@@ -1,0 +1,76 @@
+// Reproduces Fig. 10/18/19 (Expt 7): model adaptivity under workload drift.
+// Two injection settings — (a) realistic temporal order and (b) the
+// hypothetical worst case (stages injected from longest- to
+// shortest-running) — each served by three update policies: static,
+// 24h retrain, and 24h retrain + 6h fine-tune.
+//
+// Paper shape: static degrades badly (up to 72% WMAPE realistic, ~10000%
+// in the worst case); retrain and retrain+finetune stay in the 15-25%
+// band, with fine-tuning helping most under strong drift.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "common/math_utils.h"
+#include "model/model_server.h"
+
+using namespace fgro;
+using namespace fgro::bench;
+
+int main() {
+  SetLogLevel(LogLevel::kWarning);
+  PrintHeader("Fig. 10 (Expt 7): WMAPE over time under workload drift (WL C)");
+
+  ExperimentEnv::Options options =
+      DefaultOptions(WorkloadId::kC, BenchScale::kAblation);
+  options.scale = 0.4;  // enough jobs that every 6h bucket has records
+  options.train_model = false;
+  Result<std::unique_ptr<ExperimentEnv>> env = ExperimentEnv::Build(options);
+  FGRO_CHECK_OK(env.status());
+
+  ModelServer::DriftOptions drift;
+  drift.model.featurizer = Featurizer(ChannelMask{}, 10);
+  drift.train.epochs = 5;
+  drift.train.max_train_samples = 6000;
+  drift.finetune.epochs = 2;
+  drift.finetune.lr = 5e-4;
+  drift.finetune.max_train_samples = 2000;
+  drift.bucket_hours = 6.0;
+
+  struct Setting {
+    const char* name;
+    std::vector<std::vector<int>> buckets;
+  };
+  std::vector<Setting> settings;
+  settings.push_back(
+      {"realistic (temporal order)",
+       BucketRecordsByTime((*env)->dataset(), drift.bucket_hours * 3600.0)});
+  settings.push_back(
+      {"worst case (latency-descending order)",
+       BucketRecordsByStageLatencyDesc((*env)->dataset(), 20)});
+
+  for (const Setting& setting : settings) {
+    std::printf("  setting: %s\n", setting.name);
+    for (ModelServer::UpdatePolicy policy :
+         {ModelServer::UpdatePolicy::kStatic,
+          ModelServer::UpdatePolicy::kRetrain,
+          ModelServer::UpdatePolicy::kRetrainFinetune}) {
+      Result<ModelServer::DriftResult> result =
+          ModelServer::RunDriftSimulation((*env)->dataset(), setting.buckets,
+                                          policy, drift);
+      FGRO_CHECK_OK(result.status());
+      const std::vector<double>& w = result->bucket_wmape;
+      size_t half = w.size() / 2;
+      std::vector<double> late(w.begin() + static_cast<long>(half), w.end());
+      std::printf("    %-18s buckets=%zu  WMAPE first=%5.1f%%  "
+                  "late-half avg=%6.1f%%  max=%7.1f%%\n",
+                  ModelServer::PolicyName(policy), w.size(),
+                  w.empty() ? 0.0 : w.front() * 100, Mean(late) * 100,
+                  Max(w) * 100);
+    }
+  }
+  std::printf("\nPaper shape: 'static' drifts far above the updating\n"
+              "policies, most dramatically in the worst-case order;\n"
+              "retrain(+finetune) keeps late-window errors low.\n");
+  return 0;
+}

@@ -1,0 +1,47 @@
+// Reproduces Fig. 9(b) (Expt 3): impact of cardinality quality on AIM.
+// all_on+calib uses the CBO's estimated selectivities; all_on+simu1 the
+// ground-truth stage-level selectivities; all_on+simu2 the (unrealistic)
+// ground-truth instance-level cardinalities including per-instance skew.
+//
+// Paper shape: better cardinalities barely help (<=0.4% WMAPE) — improving
+// cardinality estimation alone cannot improve latency prediction much.
+
+#include <cstdio>
+
+#include "bench_util.h"
+
+using namespace fgro;
+using namespace fgro::bench;
+
+int main() {
+  SetLogLevel(LogLevel::kWarning);
+  PrintHeader("Fig. 9(b) (Expt 3): AIM cardinality source, test WMAPE");
+  struct Variant {
+    const char* name;
+    AimMode mode;
+  };
+  const Variant kVariants[] = {
+      {"all_on+calib", AimMode::kCalibrated},
+      {"all_on+simu1", AimMode::kSimu1},
+      {"all_on+simu2", AimMode::kSimu2},
+  };
+  for (WorkloadId id : {WorkloadId::kA, WorkloadId::kB, WorkloadId::kC}) {
+    std::printf("  workload %s:\n", WorkloadName(id));
+    for (const Variant& variant : kVariants) {
+      ExperimentEnv::Options options =
+          DefaultOptions(id, BenchScale::kAblation);
+      options.channels.aim = variant.mode;
+      Result<std::unique_ptr<ExperimentEnv>> env =
+          ExperimentEnv::Build(options);
+      FGRO_CHECK_OK(env.status());
+      Result<ModelMetrics> metrics = TestMetrics(**env);
+      FGRO_CHECK_OK(metrics.status());
+      std::printf("    %-13s WMAPE=%5.2f%%  MdErr=%5.2f%%\n", variant.name,
+                  metrics->wmape * 100, metrics->mderr * 100);
+    }
+  }
+  std::printf("\nPaper shape: simu1/simu2 reduce WMAPE by at most a fraction\n"
+              "of a point over calib — cardinality is not the bottleneck\n"
+              "(consistent with CLEO's observation).\n");
+  return 0;
+}

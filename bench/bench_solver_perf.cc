@@ -1,0 +1,130 @@
+// Microbenchmarks (google-benchmark) backing the complexity claims of
+// Section 5: IPA's greedy matching, clustered IPA's reduced problem,
+// RAA-Path's O(m p log(m p)) walk vs the O((m p)^2) general algorithm,
+// 1-D KDE clustering vs O(n^2) DBSCAN. These are the solve-time mechanics
+// behind Table 2's timing columns.
+
+#include <benchmark/benchmark.h>
+
+#include "clustering/dbscan.h"
+#include "clustering/kde1d.h"
+#include "common/rng.h"
+#include "optimizer/ipa.h"
+#include "optimizer/raa_general.h"
+#include "optimizer/raa_path.h"
+
+namespace fgro {
+namespace {
+
+void BM_IpaGreedyMatch(benchmark::State& state) {
+  const int m = static_cast<int>(state.range(0));
+  const int n = static_cast<int>(state.range(1));
+  Rng rng(7);
+  std::vector<double> inst(static_cast<size_t>(m)), mach(static_cast<size_t>(n));
+  for (double& v : inst) v = rng.Pareto(1.0, 1.3);
+  for (double& v : mach) v = rng.Uniform(0.5, 2.0);
+  std::vector<std::vector<double>> L(static_cast<size_t>(m),
+                                     std::vector<double>(static_cast<size_t>(n)));
+  for (int i = 0; i < m; ++i) {
+    for (int j = 0; j < n; ++j) {
+      L[static_cast<size_t>(i)][static_cast<size_t>(j)] =
+          inst[static_cast<size_t>(i)] * mach[static_cast<size_t>(j)];
+    }
+  }
+  std::vector<int> capacity(static_cast<size_t>(n), (m + n - 1) / n + 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(IpaGreedyMatch(L, capacity));
+  }
+  state.SetComplexityN(static_cast<int64_t>(m));
+}
+BENCHMARK(BM_IpaGreedyMatch)
+    ->Args({64, 64})
+    ->Args({256, 128})
+    ->Args({1024, 128})
+    ->Args({4096, 256})
+    ->Unit(benchmark::kMillisecond);
+
+std::vector<std::vector<InstanceParetoPoint>> RandomParetoSets(int m, int p,
+                                                               uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::vector<InstanceParetoPoint>> sets(static_cast<size_t>(m));
+  for (auto& set : sets) {
+    double lat = rng.Uniform(100, 500), cost = rng.Uniform(1, 3);
+    for (int j = 0; j < p; ++j) {
+      set.push_back({{}, lat, cost});
+      lat *= rng.Uniform(0.5, 0.9);
+      cost *= rng.Uniform(1.2, 2.0);
+    }
+  }
+  return sets;
+}
+
+void BM_RaaPath(benchmark::State& state) {
+  const int m = static_cast<int>(state.range(0));
+  const int p = static_cast<int>(state.range(1));
+  auto sets = RandomParetoSets(m, p, 11);
+  std::vector<double> mult(static_cast<size_t>(m), 4.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(RaaPath(sets, mult));
+  }
+  state.SetComplexityN(static_cast<int64_t>(m) * p);
+}
+BENCHMARK(BM_RaaPath)
+    ->Args({16, 6})
+    ->Args({64, 8})
+    ->Args({256, 8})
+    ->Args({1024, 8})
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_RaaGeneral(benchmark::State& state) {
+  const int m = static_cast<int>(state.range(0));
+  const int p = static_cast<int>(state.range(1));
+  auto sets = RandomParetoSets(m, p, 13);
+  std::vector<std::vector<std::vector<double>>> solutions(sets.size());
+  for (size_t i = 0; i < sets.size(); ++i) {
+    for (const InstanceParetoPoint& point : sets[i]) {
+      solutions[i].push_back({point.latency, point.cost});
+    }
+  }
+  std::vector<double> mult(static_cast<size_t>(m), 4.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        GeneralHierarchicalMoo(solutions, {true, false}, mult));
+  }
+}
+BENCHMARK(BM_RaaGeneral)
+    ->Args({16, 6})
+    ->Args({64, 8})
+    ->Args({256, 8})
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_Kde1dCluster(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(17);
+  std::vector<double> values(static_cast<size_t>(n));
+  for (double& v : values) v = rng.LogNormal(10.0, 1.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Kde1dCluster(values));
+  }
+  state.SetComplexityN(n);
+}
+BENCHMARK(BM_Kde1dCluster)->Arg(256)->Arg(1024)->Arg(8192)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_Dbscan(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(19);
+  std::vector<std::vector<double>> points(static_cast<size_t>(n));
+  for (auto& p : points) p = {rng.Normal(0, 1), rng.Normal(0, 1)};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Dbscan(points, {.eps = 0.2, .min_pts = 4}));
+  }
+  state.SetComplexityN(n);
+}
+BENCHMARK(BM_Dbscan)->Arg(256)->Arg(1024)->Arg(4096)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace fgro
+
+BENCHMARK_MAIN();

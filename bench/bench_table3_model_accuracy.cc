@@ -1,0 +1,73 @@
+// Reproduces Table 3 (Expt 1): accuracy of the best instance-level model
+// (MCI+GTN, all channels + AIM) on workloads A-C, plus the Expt 1 breakdown
+// attributing error to operator types (Fig. 21: IO-intensive operators
+// dominate the error).
+//
+// Paper values: WMAPE 8.6/19.0/15.1%, MdErr 7.4/15.1/12.7%,
+// 95%Err 62-97%, Corr 96-98%, GlbErr 1.9-5.4%.
+
+#include <cstdio>
+#include <map>
+
+#include "bench_util.h"
+
+using namespace fgro;
+using namespace fgro::bench;
+
+int main() {
+  SetLogLevel(LogLevel::kWarning);
+  PrintHeader("Table 3 (Expt 1): MCI+GTN instance-latency model accuracy");
+  for (WorkloadId id : {WorkloadId::kA, WorkloadId::kB, WorkloadId::kC}) {
+    ExperimentEnv::Options options = DefaultOptions(id, BenchScale::kHeadline);
+    Result<std::unique_ptr<ExperimentEnv>> env = ExperimentEnv::Build(options);
+    FGRO_CHECK_OK(env.status());
+    Result<ModelMetrics> metrics = TestMetrics(**env);
+    FGRO_CHECK_OK(metrics.status());
+    PrintMetricsRow(std::string("workload ") +
+                        WorkloadName(id),
+                    metrics.value());
+
+    // Expt 1 breakdown: attribute each test instance's absolute error to
+    // its operators proportionally to their share of the actual runtime,
+    // then aggregate by operator type (WMAPE contribution).
+    Result<std::vector<double>> preds = (*env)->TestPredictions();
+    FGRO_CHECK_OK(preds.status());
+    std::map<OperatorType, double> err_contrib;
+    double actual_sum = 0.0;
+    for (size_t k = 0; k < (*env)->split().test.size(); ++k) {
+      const InstanceRecord& r =
+          (*env)->dataset().records[static_cast<size_t>(
+              (*env)->split().test[k])];
+      const Stage& stage = (*env)->dataset().StageOf(r);
+      double abs_err = std::abs(r.actual_latency - preds.value()[k]);
+      actual_sum += r.actual_latency;
+      double op_total = 0.0;
+      for (float s : r.op_seconds) op_total += s;
+      if (op_total <= 0.0) continue;
+      for (size_t o = 0; o < r.op_seconds.size(); ++o) {
+        err_contrib[stage.operators[o].type] +=
+            abs_err * r.op_seconds[o] / op_total;
+      }
+    }
+    std::vector<std::pair<double, OperatorType>> ranked;
+    double io_share = 0.0, total_share = 0.0;
+    for (const auto& [type, err] : err_contrib) {
+      ranked.push_back({err / actual_sum, type});
+      total_share += err / actual_sum;
+      if (IsIoIntensive(type)) io_share += err / actual_sum;
+    }
+    std::sort(ranked.rbegin(), ranked.rend());
+    std::printf("    top error contributors:");
+    for (size_t i = 0; i < std::min<size_t>(3, ranked.size()); ++i) {
+      std::printf(" %s(%.1f%%)", OperatorTypeName(ranked[i].second),
+                  ranked[i].first * 100);
+    }
+    std::printf("  [IO-intensive share of WMAPE: %.0f%%]\n",
+                100.0 * io_share / std::max(1e-12, total_share));
+  }
+  std::printf("\nPaper shape: 9-19%% WMAPE, MdErr below WMAPE, GlbErr 3-4.5x\n"
+              "smaller than WMAPE (errors cancel in the global cost), and\n"
+              "IO-intensive operators (StreamLineWrite/TableScan/MergeJoin)\n"
+              "contribute 59-84%% of the error.\n");
+  return 0;
+}

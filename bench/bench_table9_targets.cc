@@ -1,0 +1,138 @@
+// Reproduces Table 9 and Table 10 (Expt 1 breakdown + Expt 6): modeling
+// targets. SiSL (single-instance stage latency) is our default target; ACT
+// and ACT* (actual CPU time, optionally with lifetime-averaged states) are
+// cleaner targets because they dodge the shared-IO noise; MiSL
+// (multi-instance end-to-end stage latency, CLEO's style of target) is far
+// harder to predict because it inherits the cross-instance variance.
+//
+// Paper: SiSL 8.6-19% WMAPE; ACT 6.6-14.7%; ACT* 6.3-12.5%;
+// MiSL 36.7-53.8% (Table 10), i.e. 2.5-4x worse than SiSL.
+
+#include <cstdio>
+#include <map>
+
+#include "bench_util.h"
+
+using namespace fgro;
+using namespace fgro::bench;
+
+namespace {
+
+/// Derives the MiSL dataset: one record per (job, stage), carried by the
+/// heaviest instance, labeled with the END-TO-END stage latency (max over
+/// the stage's instances) — CLEO's coarse-grained modeling target.
+TraceDataset MakeMislDataset(const TraceDataset& base) {
+  std::map<std::pair<int, int>, double> stage_max;
+  std::map<std::pair<int, int>, const InstanceRecord*> heaviest;
+  for (const InstanceRecord& r : base.records) {
+    auto key = std::make_pair(r.job_idx, r.stage_idx);
+    stage_max[key] = std::max(stage_max[key], r.actual_latency);
+    const Stage& stage = base.StageOf(r);
+    const InstanceRecord*& best = heaviest[key];
+    if (best == nullptr ||
+        stage.instances[static_cast<size_t>(r.instance_idx)].input_rows >
+            stage.instances[static_cast<size_t>(best->instance_idx)]
+                .input_rows) {
+      best = &r;
+    }
+  }
+  TraceDataset misl;
+  misl.workload = base.workload;
+  for (const auto& [key, record] : heaviest) {
+    InstanceRecord copy = *record;
+    copy.actual_latency = stage_max[key];
+    misl.records.push_back(std::move(copy));
+  }
+  return misl;
+}
+
+ModelMetrics EvaluateTarget(const ExperimentEnv& env,
+                            LatencyModel::Target target) {
+  LatencyModel::Options options;
+  options.featurizer = Featurizer(ChannelMask{}, 10);
+  options.seed = 21;
+  LatencyModel model(options);
+  TrainOptions train = DefaultOptions(WorkloadId::kA,
+                                      BenchScale::kAblation).train;
+  FGRO_CHECK_OK(model.Train(env.dataset(), env.split().train,
+                            env.split().val, train, target));
+  Result<std::vector<double>> preds =
+      model.PredictRecords(env.dataset(), env.split().test);
+  FGRO_CHECK_OK(preds.status());
+  std::vector<double> actual;
+  for (int idx : env.split().test) {
+    const InstanceRecord& r =
+        env.dataset().records[static_cast<size_t>(idx)];
+    switch (target) {
+      case LatencyModel::Target::kInstanceLatency:
+        actual.push_back(r.actual_latency);
+        break;
+      case LatencyModel::Target::kActualCpuTime:
+        actual.push_back(r.actual_cpu_seconds);
+        break;
+      case LatencyModel::Target::kActualCpuTimeStar:
+        actual.push_back(r.actual_cpu_seconds_star);
+        break;
+    }
+  }
+  return ComputeModelMetrics(actual, preds.value());
+}
+
+}  // namespace
+
+int main() {
+  SetLogLevel(LogLevel::kWarning);
+  PrintHeader("Table 9 (targets) and Table 10 (MiSL, Expt 6)");
+  for (WorkloadId id : {WorkloadId::kA, WorkloadId::kB, WorkloadId::kC}) {
+    ExperimentEnv::Options options =
+        DefaultOptions(id, BenchScale::kAblation);
+    options.train_model = false;  // we train per target below
+    Result<std::unique_ptr<ExperimentEnv>> env = ExperimentEnv::Build(options);
+    FGRO_CHECK_OK(env.status());
+    std::printf("  workload %s:\n", WorkloadName(id));
+
+    PrintMetricsRow("SiSL (default)",
+                    EvaluateTarget(**env,
+                                   LatencyModel::Target::kInstanceLatency));
+    PrintMetricsRow("ACT",
+                    EvaluateTarget(**env,
+                                   LatencyModel::Target::kActualCpuTime));
+    PrintMetricsRow(
+        "ACT*",
+        EvaluateTarget(**env, LatencyModel::Target::kActualCpuTimeStar));
+
+    // MiSL: train on the end-to-end stage latency dataset. One record per
+    // stage leaves far less data than the instance-level targets have, so
+    // regenerate the workload at a scale giving a few hundred stages
+    // (the paper trains MiSL on its full 2M stages).
+    ExperimentEnv::Options misl_options = options;
+    misl_options.scale =
+        std::max(options.scale, 220.0 / std::max(1, (*env)->workload()
+                                                          .TotalStages()) *
+                                    options.scale);
+    Result<std::unique_ptr<ExperimentEnv>> misl_env =
+        ExperimentEnv::Build(misl_options);
+    FGRO_CHECK_OK(misl_env.status());
+    TraceDataset misl = MakeMislDataset((*misl_env)->dataset());
+    Rng split_rng(17);
+    DataSplit split = SplitByTemplateFrequency(misl, &split_rng);
+    LatencyModel::Options mo;
+    mo.featurizer = Featurizer(ChannelMask{}, 10);
+    LatencyModel model(mo);
+    TrainOptions train = options.train;
+    FGRO_CHECK_OK(model.Train(misl, split.train, split.val, train));
+    Result<std::vector<double>> preds = model.PredictRecords(misl, split.test);
+    FGRO_CHECK_OK(preds.status());
+    std::vector<double> actual;
+    for (int idx : split.test) {
+      actual.push_back(misl.records[static_cast<size_t>(idx)].actual_latency);
+    }
+    PrintMetricsRow("MiSL (end-to-end)",
+                    ComputeModelMetrics(actual, preds.value()));
+  }
+  std::printf("\nPaper shape: ACT/ACT* beat SiSL (less shared-IO noise),\n"
+              "while MiSL is several times worse — the core argument for\n"
+              "fine-grained instance-level modeling over CLEO-style\n"
+              "end-to-end targets.\n");
+  return 0;
+}

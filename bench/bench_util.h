@@ -1,0 +1,122 @@
+#ifndef FGRO_BENCH_BENCH_UTIL_H_
+#define FGRO_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/logging.h"
+#include "model/metrics.h"
+#include "sim/experiment_env.h"
+#include "sim/ro_metrics.h"
+
+namespace fgro {
+namespace bench {
+
+/// Standard experiment sizes. kHeadline reproduces the main tables;
+/// kAblation keeps many-configuration sweeps affordable on one core.
+enum class BenchScale { kHeadline, kAblation, kSmoke };
+
+inline ExperimentEnv::Options DefaultOptions(WorkloadId workload,
+                                             BenchScale scale) {
+  ExperimentEnv::Options options;
+  options.workload = workload;
+  switch (scale) {
+    case BenchScale::kHeadline:
+      options.scale = 0.28;
+      options.train.epochs = 14;
+      options.train.max_train_samples = 14000;
+      break;
+    case BenchScale::kAblation:
+      options.scale = 0.12;
+      options.train.epochs = 7;
+      options.train.max_train_samples = 7000;
+      break;
+    case BenchScale::kSmoke:
+      options.scale = 0.05;
+      options.train.epochs = 3;
+      options.train.max_train_samples = 3000;
+      break;
+  }
+  return options;
+}
+
+/// Computes the five Table-3 metrics of a trained environment's test set.
+inline Result<ModelMetrics> TestMetrics(const ExperimentEnv& env) {
+  Result<std::vector<double>> predictions = env.TestPredictions();
+  if (!predictions.ok()) return predictions.status();
+  Result<std::vector<double>> actuals = env.TestActuals();
+  std::vector<double> rates;
+  CostWeights weights;
+  rates.reserve(env.split().test.size());
+  for (int idx : env.split().test) {
+    rates.push_back(weights.Rate(
+        env.dataset().records[static_cast<size_t>(idx)].theta));
+  }
+  return ComputeModelMetrics(actuals.value(), predictions.value(), rates);
+}
+
+inline void PrintMetricsRow(const std::string& label, const ModelMetrics& m) {
+  std::printf("  %-22s WMAPE=%5.1f%%  MdErr=%5.1f%%  95%%Err=%6.1f%%  "
+              "Corr=%5.1f%%  GlbErr=%4.1f%%\n",
+              label.c_str(), m.wmape * 100, m.mderr * 100, m.p95err * 100,
+              m.corr * 100, m.glberr * 100);
+}
+
+inline void PrintHeader(const std::string& title) {
+  std::printf("\n=== %s ===\n", title.c_str());
+}
+
+inline void PrintRoRow(const std::string& label, const RoSummary& s,
+                       const ReductionRates* rr = nullptr) {
+  std::printf("  %-18s cov=%4.0f%%  Lat=%7.2fs  Lat(in)=%7.2fs  "
+              "Cost=%8.4fm$  avgT=%7.1fms  maxT=%8.1fms",
+              label.c_str(), s.coverage * 100, s.avg_latency,
+              s.avg_latency_in, s.avg_cost * 1000, s.avg_solve_ms,
+              s.max_solve_ms);
+  if (rr != nullptr) {
+    std::printf("  | RR lat(in)=%4.0f%% cost=%4.0f%%", rr->latency_in_rr * 100,
+                rr->cost_rr * 100);
+  }
+  std::printf("\n");
+}
+
+/// One subworkload of Expt 8-10: a day's jobs replayed against a busy or an
+/// idle cluster (Appendix F.9).
+struct Subworkload {
+  std::string name;
+  std::vector<int> job_indices;
+  ClusterOptions cluster;
+};
+
+/// Partitions a workload's jobs into per-day busy/idle subworkloads,
+/// mirroring the paper's 29 subworkloads (one may come out empty and is
+/// skipped, exactly like workload C's idle day 2).
+inline std::vector<Subworkload> MakeSubworkloads(const Workload& workload) {
+  std::map<int, std::vector<int>> by_day;
+  for (size_t j = 0; j < workload.jobs.size(); ++j) {
+    int day = static_cast<int>(workload.jobs[j].arrival_time / 86400.0);
+    by_day[day].push_back(static_cast<int>(j));
+  }
+  std::vector<Subworkload> out;
+  for (const auto& [day, jobs] : by_day) {
+    if (jobs.empty()) continue;
+    for (bool busy : {true, false}) {
+      Subworkload sw;
+      sw.name = "day" + std::to_string(day) + (busy ? "-busy" : "-idle");
+      sw.job_indices = jobs;
+      sw.cluster.num_machines = 96;
+      sw.cluster.base_util_mean = busy ? 0.72 : 0.33;
+      sw.cluster.seed = 100 + static_cast<uint64_t>(day) * 2 + (busy ? 1 : 0);
+      out.push_back(std::move(sw));
+    }
+  }
+  return out;
+}
+
+}  // namespace bench
+}  // namespace fgro
+
+#endif  // FGRO_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,69 @@
+// Scenario: capacity planning. An operator asks "how does the optimizer's
+// benefit change if I shrink the fleet or let utilization climb?" — a
+// what-if sweep over cluster size and background load, replaying the same
+// workload under Fuxi and under the Stage Optimizer and reporting coverage,
+// latency and cost for each configuration.
+//
+// Build & run:  ./build/examples/capacity_what_if
+
+#include <cstdio>
+
+#include "common/logging.h"
+
+#include "optimizer/fuxi.h"
+#include "optimizer/stage_optimizer.h"
+#include "sim/experiment_env.h"
+#include "sim/ro_metrics.h"
+
+using namespace fgro;
+
+int main() {
+  SetLogLevel(LogLevel::kWarning);
+  std::printf("Preparing workload A...\n");
+  ExperimentEnv::Options options;
+  options.workload = WorkloadId::kA;
+  options.scale = 0.08;
+  options.train.epochs = 8;
+  options.train.max_train_samples = 6000;
+  Result<std::unique_ptr<ExperimentEnv>> env = ExperimentEnv::Build(options);
+  if (!env.ok()) {
+    std::printf("setup failed: %s\n", env.status().ToString().c_str());
+    return 1;
+  }
+
+  std::printf("%-22s %-9s | %-28s | %-28s | %s\n", "configuration", "",
+              "Fuxi", "IPA+RAA(Path)", "savings");
+  StageOptimizer optimizer(StageOptimizer::IpaRaaPath());
+  for (int machines : {32, 96}) {
+    for (double util : {0.35, 0.6, 0.8}) {
+      SimOptions sim_options;
+      sim_options.outcome = OutcomeMode::kEnvironment;
+      sim_options.cluster.num_machines = machines;
+      sim_options.cluster.base_util_mean = util;
+
+      Simulator fuxi_sim(&(*env)->workload(), &(*env)->model(), sim_options);
+      Result<SimResult> fuxi = fuxi_sim.Run(
+          [](const SchedulingContext& c) { return FuxiSchedule(c); });
+      Simulator so_sim(&(*env)->workload(), &(*env)->model(), sim_options);
+      Result<SimResult> ours = so_sim.Run(
+          [&](const SchedulingContext& c) { return optimizer.Optimize(c); });
+      if (!fuxi.ok() || !ours.ok()) {
+        std::printf("replay failed\n");
+        return 1;
+      }
+      PairedSummaries paired = SummarizePaired(fuxi.value(), ours.value());
+      ReductionRates rr = ComputeReduction(paired.baseline, paired.method);
+      std::printf("%3d machines @ %2.0f%% util | lat %6.1fs cost %8.4fm$ | "
+                  "lat %6.1fs cost %8.4fm$ | -%2.0f%% lat, -%2.0f%% cost\n",
+                  machines, util * 100, paired.baseline.avg_latency_in,
+                  paired.baseline.avg_cost * 1000,
+                  paired.method.avg_latency_in, paired.method.avg_cost * 1000,
+                  rr.latency_in_rr * 100, rr.cost_rr * 100);
+    }
+  }
+  std::printf("\nTakeaway: the optimizer's placement advantage grows with\n"
+              "cluster heterogeneity headroom (more machines, lower load),\n"
+              "while the resource-plan savings persist even on a hot, small\n"
+              "fleet — capacity can be traded for intelligence.\n");
+  return 0;
+}

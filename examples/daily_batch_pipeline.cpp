@@ -1,0 +1,101 @@
+// Scenario: a department's daily batch window. A recurring multi-stage ETL
+// job DAG (the paper's Fig. 1 motivation) is replayed through the extended
+// MaxCompute simulator under the Fuxi scheduler and under the Stage
+// Optimizer, on both a busy daytime cluster and an idle overnight cluster,
+// reporting per-stage outcomes and the aggregate latency/cost savings.
+//
+// Build & run:  ./build/examples/daily_batch_pipeline
+
+#include <cstdio>
+
+#include "common/logging.h"
+
+#include "optimizer/fuxi.h"
+#include "optimizer/stage_optimizer.h"
+#include "sim/experiment_env.h"
+#include "sim/ro_metrics.h"
+
+using namespace fgro;
+
+int main() {
+  SetLogLevel(LogLevel::kWarning);
+  std::printf("Preparing workload B (deep multi-stage job DAGs)...\n");
+  ExperimentEnv::Options options;
+  options.workload = WorkloadId::kB;  // the most DAG-heavy workload
+  options.scale = 0.12;
+  options.train.epochs = 8;
+  options.train.max_train_samples = 6000;
+  Result<std::unique_ptr<ExperimentEnv>> env = ExperimentEnv::Build(options);
+  if (!env.ok()) {
+    std::printf("setup failed: %s\n", env.status().ToString().c_str());
+    return 1;
+  }
+
+  // The deepest pipeline in the workload plays the "nightly ETL" role.
+  int pipeline_job = 0;
+  for (size_t j = 0; j < (*env)->workload().jobs.size(); ++j) {
+    if ((*env)->workload().jobs[j].stage_count() >
+        (*env)->workload().jobs[static_cast<size_t>(pipeline_job)]
+            .stage_count()) {
+      pipeline_job = static_cast<int>(j);
+    }
+  }
+  const Job& job =
+      (*env)->workload().jobs[static_cast<size_t>(pipeline_job)];
+  std::printf("Pipeline job #%d: %d stages, dependencies:", job.id,
+              job.stage_count());
+  for (int s = 0; s < job.stage_count(); ++s) {
+    std::printf(" s%d<-(", s);
+    for (int d : job.stage_deps[static_cast<size_t>(s)]) std::printf("s%d", d);
+    std::printf(")");
+  }
+  std::printf("\n\n");
+
+  for (double base_util : {0.72, 0.33}) {
+    std::printf("--- cluster %s (avg utilization %.0f%%) ---\n",
+                base_util > 0.5 ? "BUSY (daytime)" : "IDLE (overnight)",
+                base_util * 100);
+    SimOptions sim_options;
+    sim_options.outcome = OutcomeMode::kEnvironment;
+    sim_options.cluster.num_machines = 96;
+    sim_options.cluster.base_util_mean = base_util;
+
+    StageOptimizer optimizer(StageOptimizer::IpaRaaPath());
+    struct Run {
+      const char* name;
+      Simulator::SchedulerFn scheduler;
+    };
+    Run runs[] = {
+        {"Fuxi",
+         [](const SchedulingContext& c) { return FuxiSchedule(c); }},
+        {"IPA+RAA",
+         [&](const SchedulingContext& c) { return optimizer.Optimize(c); }},
+    };
+    RoSummary summaries[2];
+    for (int r = 0; r < 2; ++r) {
+      Simulator sim(&(*env)->workload(), &(*env)->model(), sim_options);
+      Result<SimResult> result =
+          sim.RunJobs(runs[r].scheduler, {pipeline_job});
+      if (!result.ok()) {
+        std::printf("replay failed: %s\n",
+                    result.status().ToString().c_str());
+        return 1;
+      }
+      summaries[r] = Summarize(result.value());
+      std::printf("  %-8s per-stage:", runs[r].name);
+      double pipeline_latency = 0.0;
+      for (const StageOutcome& o : result->outcomes) {
+        std::printf(" %.0fs", o.stage_latency_in);
+        pipeline_latency += o.stage_latency_in;  // critical-path approx.
+      }
+      std::printf("   | pipeline %.0fs, cost %.4fm$\n", pipeline_latency,
+                  summaries[r].avg_cost * result->outcomes.size() * 1000);
+    }
+    ReductionRates rr = ComputeReduction(summaries[0], summaries[1]);
+    std::printf("  -> stage latency -%.0f%%, cost -%.0f%% vs Fuxi\n\n",
+                rr.latency_in_rr * 100, rr.cost_rr * 100);
+  }
+  std::printf("Idle clusters leave more headroom for placement, so the\n"
+              "optimizer's advantage is typically larger overnight.\n");
+  return 0;
+}

@@ -1,0 +1,106 @@
+#include "cbo/cost_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace fgro {
+
+double CostModel::CpuWeight(OperatorType type) {
+  switch (type) {
+    case OperatorType::kTableScan: return 0.4;
+    case OperatorType::kFilter: return 0.3;
+    case OperatorType::kProject: return 0.2;
+    case OperatorType::kHashJoin: return 1.6;
+    case OperatorType::kMergeJoin: return 1.1;
+    case OperatorType::kHashAgg: return 1.2;
+    case OperatorType::kSortedAgg: return 0.8;
+    case OperatorType::kSort: return 1.0;
+    case OperatorType::kTopN: return 0.5;
+    case OperatorType::kWindow: return 1.4;
+    case OperatorType::kUnion: return 0.1;
+    case OperatorType::kStreamLineRead: return 0.3;
+    case OperatorType::kStreamLineWrite: return 0.5;
+    case OperatorType::kNumOperatorTypes: break;
+  }
+  return 1.0;
+}
+
+double CostModel::IoWeight(OperatorType type) {
+  switch (type) {
+    case OperatorType::kTableScan: return 1.0;
+    case OperatorType::kMergeJoin: return 0.35;  // external-sort spill traffic
+    case OperatorType::kStreamLineRead: return 1.2;   // network shuffle read
+    case OperatorType::kStreamLineWrite: return 1.5;  // network shuffle write
+    default: return 0.0;
+  }
+}
+
+namespace {
+bool IsSortBased(OperatorType type) {
+  return type == OperatorType::kSort || type == OperatorType::kMergeJoin ||
+         type == OperatorType::kSortedAgg;
+}
+}  // namespace
+
+OperatorCost CostModel::Cost(OperatorType type,
+                             const OperatorCardinality& card,
+                             double avg_row_size, int partition_count) const {
+  const double parts = std::max(1, partition_count);
+  const double rows = card.input_rows / parts;
+  const double bytes = rows * avg_row_size;
+  OperatorCost cost;
+  double cpu_rows = rows;
+  if (IsSortBased(type)) {
+    cpu_rows *= std::log2(std::max(2.0, rows));
+  }
+  cost.cpu = CpuWeight(type) * cpu_rows;
+  // IO cost is charged per KB so CPU and IO land in comparable units.
+  cost.io = IoWeight(type) * bytes / 1024.0;
+  return cost;
+}
+
+Result<std::vector<OperatorCardinality>> CostModel::PropagateCardinality(
+    const Stage& stage, const std::vector<double>& leaf_input_rows,
+    bool use_truth) const {
+  if (leaf_input_rows.size() != stage.operators.size()) {
+    return Status::InvalidArgument(
+        "leaf_input_rows must have one entry per operator");
+  }
+  Result<std::vector<int>> topo = stage.TopologicalOrder();
+  if (!topo.ok()) return topo.status();
+
+  std::vector<OperatorCardinality> cards(stage.operators.size());
+  for (int op_id : topo.value()) {
+    const Operator& op = stage.operators[static_cast<size_t>(op_id)];
+    OperatorCardinality& card = cards[static_cast<size_t>(op_id)];
+    if (op.is_leaf()) {
+      card.input_rows = leaf_input_rows[static_cast<size_t>(op_id)];
+    } else {
+      card.input_rows = 0.0;
+      for (int c : op.children) {
+        card.input_rows += cards[static_cast<size_t>(c)].output_rows;
+      }
+    }
+    const double sel = use_truth ? op.truth.selectivity
+                                 : op.estimate.selectivity;
+    card.output_rows = card.input_rows * sel;
+  }
+  return cards;
+}
+
+Status CostModel::AnnotateStageCosts(Stage* stage) const {
+  const int parts = std::max(1, stage->instance_count());
+  for (Operator& op : stage->operators) {
+    OperatorCost est = Cost(op.type,
+                            {op.estimate.input_rows, op.estimate.output_rows},
+                            op.estimate.avg_row_size, parts);
+    op.estimate.cost = est.total();
+    OperatorCost tru = Cost(op.type,
+                            {op.truth.input_rows, op.truth.output_rows},
+                            op.truth.avg_row_size, parts);
+    op.truth.cost = tru.total();
+  }
+  return Status::OK();
+}
+
+}  // namespace fgro

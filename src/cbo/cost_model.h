@@ -1,0 +1,58 @@
+#ifndef FGRO_CBO_COST_MODEL_H_
+#define FGRO_CBO_COST_MODEL_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "plan/stage.h"
+
+namespace fgro {
+
+/// Per-operator cardinalities produced by propagating leaf inputs through
+/// operator selectivities (children's outputs sum into the parent's input).
+struct OperatorCardinality {
+  double input_rows = 0.0;
+  double output_rows = 0.0;
+};
+
+/// Cost of one operator, split into CPU work and IO work (CBO cost units;
+/// roughly "row-equivalents" of work for one partition).
+struct OperatorCost {
+  double cpu = 0.0;
+  double io = 0.0;
+  double total() const { return cpu + io; }
+};
+
+/// The CBO's analytical cost model. It plays two roles, exactly as in the
+/// paper: (1) estimating stage-level operator costs during plan generation,
+/// and (2) being re-invoked with instance-level cardinalities and partition
+/// count 1 to derive the AIM features (Section 4.1).
+class CostModel {
+ public:
+  /// Per-row CPU weight of an operator type. Sort-based operators get an
+  /// extra log(input) factor in Cost().
+  static double CpuWeight(OperatorType type);
+  /// Per-byte IO weight; zero for pure-compute operators.
+  static double IoWeight(OperatorType type);
+
+  /// Cost of one operator given its cardinalities; work is divided across
+  /// `partition_count` parallel instances.
+  OperatorCost Cost(OperatorType type, const OperatorCardinality& card,
+                    double avg_row_size, int partition_count) const;
+
+  /// Propagates leaf cardinalities through the DAG using the operators'
+  /// `selectivity` from the chosen stats side. `leaf_input_rows[op_id]` must
+  /// be set for every leaf operator id (others ignored).
+  /// `use_truth` selects truth vs. estimate selectivities.
+  Result<std::vector<OperatorCardinality>> PropagateCardinality(
+      const Stage& stage, const std::vector<double>& leaf_input_rows,
+      bool use_truth) const;
+
+  /// Fills `estimate.cost` of every operator of the stage from its estimated
+  /// cardinalities (and `truth.cost` from true cardinalities).
+  Status AnnotateStageCosts(Stage* stage) const;
+};
+
+}  // namespace fgro
+
+#endif  // FGRO_CBO_COST_MODEL_H_

@@ -1,0 +1,303 @@
+#include "cbo/plan_generator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/math_utils.h"
+
+namespace fgro {
+
+namespace {
+
+// Unary operators eligible for chain positions, with sampling weights.
+const OperatorType kUnaryOps[] = {
+    OperatorType::kFilter,   OperatorType::kProject, OperatorType::kHashAgg,
+    OperatorType::kSortedAgg, OperatorType::kSort,   OperatorType::kTopN,
+    OperatorType::kWindow,
+};
+const double kUnaryWeights[] = {3.0, 3.0, 1.5, 0.7, 0.8, 0.6, 0.6};
+
+OperatorType SampleUnary(Rng* rng) {
+  std::vector<double> w(std::begin(kUnaryWeights), std::end(kUnaryWeights));
+  return kUnaryOps[rng->Categorical(w)];
+}
+
+}  // namespace
+
+Stage PlanGenerator::GenerateStageTopology(int target_ops,
+                                           int num_shuffle_inputs,
+                                           Rng* rng) const {
+  Stage stage;
+  auto add_op = [&stage](OperatorType type,
+                         std::vector<int> children) -> int {
+    Operator op;
+    op.id = stage.operator_count();
+    op.type = type;
+    op.children = std::move(children);
+    stage.operators.push_back(op);
+    return op.id;
+  };
+
+  // Leaves: one StreamLineRead per upstream dependency, or TableScans for a
+  // source stage; downstream stages may additionally join a base table.
+  std::vector<int> heads;
+  if (num_shuffle_inputs == 0) {
+    int num_scans = rng->Bernoulli(0.25) ? 2 : 1;
+    for (int i = 0; i < num_scans; ++i) {
+      heads.push_back(add_op(OperatorType::kTableScan, {}));
+    }
+  } else {
+    for (int i = 0; i < num_shuffle_inputs; ++i) {
+      heads.push_back(add_op(OperatorType::kStreamLineRead, {}));
+    }
+    if (rng->Bernoulli(options_.extra_scan_prob)) {
+      heads.push_back(add_op(OperatorType::kTableScan, {}));
+    }
+  }
+
+  target_ops = std::max<int>(target_ops,
+                             static_cast<int>(heads.size()) + 2);
+  // Grow the DAG: merge branches with joins/unions, and sprinkle unary
+  // operators, until we approach the target size (leave room for the root).
+  while (stage.operator_count() < target_ops - 1) {
+    if (heads.size() > 1 &&
+        (rng->Bernoulli(0.6) ||
+         stage.operator_count() + static_cast<int>(heads.size()) >=
+             target_ops - 1)) {
+      size_t a = static_cast<size_t>(
+          rng->UniformInt(0, static_cast<int64_t>(heads.size()) - 1));
+      size_t b = a;
+      while (b == a) {
+        b = static_cast<size_t>(
+            rng->UniformInt(0, static_cast<int64_t>(heads.size()) - 1));
+      }
+      OperatorType merge_type;
+      if (rng->Bernoulli(options_.join_prob)) {
+        merge_type = rng->Bernoulli(options_.merge_join_frac)
+                         ? OperatorType::kMergeJoin
+                         : OperatorType::kHashJoin;
+      } else {
+        merge_type = OperatorType::kUnion;
+      }
+      int merged = add_op(merge_type, {heads[a], heads[b]});
+      if (a > b) std::swap(a, b);
+      heads.erase(heads.begin() + static_cast<long>(b));
+      heads[a] = merged;
+    } else {
+      size_t h = static_cast<size_t>(
+          rng->UniformInt(0, static_cast<int64_t>(heads.size()) - 1));
+      heads[h] = add_op(SampleUnary(rng), {heads[h]});
+    }
+  }
+  // Collapse any remaining heads pairwise so a single branch feeds the root.
+  while (heads.size() > 1) {
+    int merged = add_op(OperatorType::kUnion, {heads[heads.size() - 2],
+                                               heads[heads.size() - 1]});
+    heads.pop_back();
+    heads.back() = merged;
+  }
+  add_op(OperatorType::kStreamLineWrite, {heads[0]});
+  return stage;
+}
+
+double PlanGenerator::SampleTruthSelectivity(OperatorType type,
+                                             Rng* rng) const {
+  switch (type) {
+    case OperatorType::kFilter:
+      return std::exp(rng->Uniform(std::log(0.02), std::log(0.9)));
+    case OperatorType::kHashJoin:
+    case OperatorType::kMergeJoin:
+      // Join "selectivity" here is output/(sum of inputs): usually reducing,
+      // occasionally expanding.
+      return std::exp(rng->Uniform(std::log(0.1), std::log(1.8)));
+    case OperatorType::kHashAgg:
+    case OperatorType::kSortedAgg:
+      return std::exp(rng->Uniform(std::log(0.001), std::log(0.3)));
+    case OperatorType::kTopN:
+      return std::exp(rng->Uniform(std::log(0.0005), std::log(0.02)));
+    default:
+      return 1.0;
+  }
+}
+
+Status PlanGenerator::PopulateStats(Stage* stage,
+                                    const std::vector<double>& leaf_rows,
+                                    Rng* rng) const {
+  const size_t n = stage->operators.size();
+  std::vector<double> leaf_rows_full(n, 0.0);
+  {
+    size_t leaf_i = 0;
+    for (Operator& op : stage->operators) {
+      if (op.is_leaf()) {
+        if (leaf_i >= leaf_rows.size()) {
+          return Status::InvalidArgument("too few leaf_rows entries");
+        }
+        leaf_rows_full[static_cast<size_t>(op.id)] = leaf_rows[leaf_i++];
+      }
+    }
+    if (leaf_i != leaf_rows.size()) {
+      return Status::InvalidArgument("too many leaf_rows entries");
+    }
+  }
+
+  // 1. Truth selectivities, row sizes, custom features.
+  Result<std::vector<int>> topo = stage->TopologicalOrder();
+  if (!topo.ok()) return topo.status();
+  for (int op_id : topo.value()) {
+    Operator& op = stage->operators[static_cast<size_t>(op_id)];
+    op.truth.selectivity = SampleTruthSelectivity(op.type, rng);
+    if (op.is_leaf()) {
+      op.truth.avg_row_size = rng->Uniform(32.0, 512.0);
+      op.location = op.type == OperatorType::kTableScan
+                        ? (rng->Bernoulli(0.7) ? DataLocation::kLocalDisk
+                                               : DataLocation::kNetwork)
+                        : DataLocation::kNetwork;
+    } else {
+      double child_size = 0.0;
+      for (int c : op.children) {
+        child_size = std::max(
+            child_size, stage->operators[static_cast<size_t>(c)]
+                            .truth.avg_row_size);
+      }
+      switch (op.type) {
+        case OperatorType::kProject:
+          op.truth.avg_row_size = child_size * rng->Uniform(0.3, 0.9);
+          break;
+        case OperatorType::kHashJoin:
+        case OperatorType::kMergeJoin:
+          op.truth.avg_row_size = child_size * rng->Uniform(1.1, 1.6);
+          break;
+        case OperatorType::kHashAgg:
+        case OperatorType::kSortedAgg:
+          op.truth.avg_row_size = child_size * rng->Uniform(0.4, 1.1);
+          break;
+        default:
+          op.truth.avg_row_size = child_size;
+      }
+    }
+    if (op.type == OperatorType::kStreamLineWrite) {
+      op.shuffle = rng->Bernoulli(0.8) ? ShuffleStrategy::kHash
+                                       : ShuffleStrategy::kRange;
+    } else if (op.type == OperatorType::kStreamLineRead) {
+      op.shuffle = ShuffleStrategy::kHash;
+    }
+    // Customized features: type-specific knobs the model sees in Channel 1.
+    switch (op.type) {
+      case OperatorType::kHashJoin:
+      case OperatorType::kMergeJoin:
+        op.custom[0] = rng->Uniform(1.0, 4.0);   // join key count
+        op.custom[1] = rng->Bernoulli(0.5);      // inner/outer flag
+        break;
+      case OperatorType::kHashAgg:
+      case OperatorType::kSortedAgg:
+        op.custom[0] = rng->Uniform(1.0, 6.0);   // group-by column count
+        break;
+      case OperatorType::kTopN:
+        op.custom[0] = std::floor(rng->Uniform(10.0, 1000.0));  // N
+        break;
+      case OperatorType::kFilter:
+        op.custom[0] = rng->Uniform(1.0, 5.0);   // predicate count
+        break;
+      default:
+        break;
+    }
+  }
+
+  // 2. Propagate truth cardinalities.
+  Result<std::vector<OperatorCardinality>> truth_cards =
+      cost_model_.PropagateCardinality(*stage, leaf_rows_full,
+                                       /*use_truth=*/true);
+  if (!truth_cards.ok()) return truth_cards.status();
+  for (size_t i = 0; i < n; ++i) {
+    stage->operators[i].truth.input_rows = truth_cards.value()[i].input_rows;
+    stage->operators[i].truth.output_rows = truth_cards.value()[i].output_rows;
+  }
+
+  // 3. CBO estimates: perturb selectivities/leaf sizes, then propagate so
+  //    estimation error compounds with depth (as it does in real optimizers).
+  std::vector<double> leaf_rows_est(n, 0.0);
+  for (Operator& op : stage->operators) {
+    op.estimate.selectivity =
+        Clamp(op.truth.selectivity *
+                  rng->LogNormal(0.0, options_.cbo_sel_error_sigma),
+              1e-6, 10.0);
+    op.estimate.avg_row_size = op.truth.avg_row_size;  // schema is known
+    if (op.is_leaf()) {
+      leaf_rows_est[static_cast<size_t>(op.id)] =
+          leaf_rows_full[static_cast<size_t>(op.id)] *
+          rng->LogNormal(0.0, options_.cbo_leaf_error_sigma);
+    }
+  }
+  Result<std::vector<OperatorCardinality>> est_cards =
+      cost_model_.PropagateCardinality(*stage, leaf_rows_est,
+                                       /*use_truth=*/false);
+  if (!est_cards.ok()) return est_cards.status();
+  for (size_t i = 0; i < n; ++i) {
+    stage->operators[i].estimate.input_rows = est_cards.value()[i].input_rows;
+    stage->operators[i].estimate.output_rows =
+        est_cards.value()[i].output_rows;
+  }
+  return Status::OK();
+}
+
+Result<Job> PlanGenerator::GenerateJob(int num_stages,
+                                       double avg_ops_per_stage,
+                                       Rng* rng) const {
+  Job job;
+  job.stages.resize(static_cast<size_t>(num_stages));
+  job.stage_deps.resize(static_cast<size_t>(num_stages));
+
+  // Stage s > 0 depends on 1-2 earlier stages; stage 0 is always a source.
+  for (int s = 1; s < num_stages; ++s) {
+    int num_deps = rng->Bernoulli(0.3) && s >= 2 ? 2 : 1;
+    std::vector<int>& deps = job.stage_deps[static_cast<size_t>(s)];
+    while (static_cast<int>(deps.size()) < num_deps) {
+      int d = static_cast<int>(rng->UniformInt(0, s - 1));
+      if (std::find(deps.begin(), deps.end(), d) == deps.end()) {
+        deps.push_back(d);
+      }
+    }
+  }
+
+  // Build topologies and statistics in topological (index) order so each
+  // stage's shuffle-read leaves can take the upstream output cardinality.
+  for (int s = 0; s < num_stages; ++s) {
+    const std::vector<int>& deps = job.stage_deps[static_cast<size_t>(s)];
+    int target_ops = std::max(
+        options_.min_ops_per_stage,
+        std::min(options_.max_ops_per_stage,
+                 static_cast<int>(std::lround(
+                     rng->LogNormal(std::log(avg_ops_per_stage), 0.4)))));
+    Stage stage = GenerateStageTopology(target_ops,
+                                        static_cast<int>(deps.size()), rng);
+    stage.id = s;
+
+    // Leaf truth input rows: StreamLineReads take the upstream stages' root
+    // output rows (in leaf order), TableScans sample fresh base-table sizes.
+    std::vector<double> leaf_rows;
+    size_t dep_i = 0;
+    for (const Operator& op : stage.operators) {
+      if (!op.is_leaf()) continue;
+      if (op.type == OperatorType::kStreamLineRead && dep_i < deps.size()) {
+        const Stage& upstream =
+            job.stages[static_cast<size_t>(deps[dep_i++])];
+        double upstream_out = 0.0;
+        for (int r : upstream.RootOperators()) {
+          upstream_out +=
+              upstream.operators[static_cast<size_t>(r)].truth.output_rows;
+        }
+        leaf_rows.push_back(std::max(1.0, upstream_out));
+      } else {
+        leaf_rows.push_back(std::max(
+            1.0, rng->LogNormal(options_.leaf_rows_log_mean,
+                                options_.leaf_rows_log_sigma)));
+      }
+    }
+    FGRO_RETURN_IF_ERROR(PopulateStats(&stage, leaf_rows, rng));
+    job.stages[static_cast<size_t>(s)] = std::move(stage);
+  }
+  return job;
+}
+
+}  // namespace fgro

@@ -1,0 +1,66 @@
+#ifndef FGRO_CBO_PLAN_GENERATOR_H_
+#define FGRO_CBO_PLAN_GENERATOR_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "cbo/cost_model.h"
+#include "plan/job.h"
+
+namespace fgro {
+
+/// Knobs controlling the shape of generated plans. Workload profiles (A/B/C)
+/// in trace/workload_gen set these to match Table 1 of the paper.
+struct PlanGenOptions {
+  int min_ops_per_stage = 2;
+  int max_ops_per_stage = 12;
+  double extra_scan_prob = 0.25;   // downstream stage also joins a base table
+  double join_prob = 0.5;          // chance a merge point is a join vs union
+  double merge_join_frac = 0.4;    // MergeJoin (vs HashJoin) at join points
+  // Lognormal sigma of CBO selectivity misestimation, per operator depth.
+  double cbo_sel_error_sigma = 0.15;
+  double cbo_leaf_error_sigma = 0.05;
+  // Truth distribution of leaf (source) input rows: lognormal.
+  double leaf_rows_log_mean = 13.0;  // exp(13) ~ 4.4e5 rows
+  double leaf_rows_log_sigma = 1.6;
+};
+
+/// Generates physical operator DAGs and job DAGs with true statistics plus
+/// CBO estimates (truth perturbed by estimation error). This stands in for
+/// MaxCompute's Cascades-style CBO: downstream components consume exactly
+/// what a real CBO exposes — a stage DAG annotated with estimated
+/// cardinality, selectivity, row size and cost.
+class PlanGenerator {
+ public:
+  explicit PlanGenerator(PlanGenOptions options) : options_(options) {}
+
+  /// Builds the operator topology of one stage. `num_shuffle_inputs` is the
+  /// number of upstream stages it reads (0 for a source stage, which scans
+  /// base tables instead). The root is always a StreamLineWrite.
+  Stage GenerateStageTopology(int target_ops, int num_shuffle_inputs,
+                              Rng* rng) const;
+
+  /// Samples truth selectivities / row sizes / custom features, propagates
+  /// cardinalities from the given per-leaf truth input rows, and derives CBO
+  /// estimates by perturbing the truth.
+  Status PopulateStats(Stage* stage, const std::vector<double>& leaf_rows,
+                       Rng* rng) const;
+
+  /// Generates a whole job: a DAG of `num_stages` stages where each
+  /// non-source stage reads the shuffle outputs of 1-2 earlier stages.
+  /// Instance partitioning is NOT done here (that is HBO's decision).
+  Result<Job> GenerateJob(int num_stages, double avg_ops_per_stage, Rng* rng) const;
+
+  const PlanGenOptions& options() const { return options_; }
+
+ private:
+  double SampleTruthSelectivity(OperatorType type, Rng* rng) const;
+
+  PlanGenOptions options_;
+  CostModel cost_model_;
+};
+
+}  // namespace fgro
+
+#endif  // FGRO_CBO_PLAN_GENERATOR_H_

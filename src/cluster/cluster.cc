@@ -1,0 +1,38 @@
+#include "cluster/cluster.h"
+
+#include "common/math_utils.h"
+
+namespace fgro {
+
+Cluster::Cluster(const ClusterOptions& options) {
+  Rng rng(options.seed);
+  const std::vector<HardwareType>& catalog = DefaultHardwareCatalog();
+  machines_.reserve(static_cast<size_t>(options.num_machines));
+  for (int i = 0; i < options.num_machines; ++i) {
+    // Hardware mix: skewed toward the common types, as in production fleets.
+    int hw = rng.Zipf(static_cast<int>(catalog.size()), 0.8);
+    double base = Clamp(
+        rng.Normal(options.base_util_mean, options.base_util_sigma), 0.05,
+        0.95);
+    machines_.emplace_back(i, &catalog[static_cast<size_t>(hw)], base,
+                           rng.NextUint64());
+  }
+}
+
+std::vector<int> Cluster::AvailableMachines(const ResourceConfig& theta) const {
+  std::vector<int> out;
+  out.reserve(machines_.size());
+  for (const Machine& m : machines_) {
+    if (m.CanFit(theta)) out.push_back(m.id());
+  }
+  return out;
+}
+
+void Cluster::AdvanceTime(double now) {
+  double dt = now - now_;
+  if (dt <= 0.0) return;
+  for (Machine& m : machines_) m.AdvanceTime(now, dt);
+  now_ = now;
+}
+
+}  // namespace fgro

@@ -1,0 +1,50 @@
+#ifndef FGRO_CLUSTER_CLUSTER_H_
+#define FGRO_CLUSTER_CLUSTER_H_
+
+#include <memory>
+#include <vector>
+
+#include "cluster/machine.h"
+#include "common/rng.h"
+
+namespace fgro {
+
+/// Options for building a synthetic fleet. `base_util` sets the busy/idle
+/// scenario of Expt 8-9 (Fig. 24(b): busy ≈ 0.75, idle ≈ 0.35).
+struct ClusterOptions {
+  int num_machines = 128;
+  double base_util_mean = 0.55;
+  double base_util_sigma = 0.15;
+  uint64_t seed = 7;
+};
+
+/// A fleet of machines drawn from the default hardware catalog.
+class Cluster {
+ public:
+  explicit Cluster(const ClusterOptions& options);
+
+  int size() const { return static_cast<int>(machines_.size()); }
+  Machine& machine(int i) { return machines_[static_cast<size_t>(i)]; }
+  const Machine& machine(int i) const {
+    return machines_[static_cast<size_t>(i)];
+  }
+  std::vector<Machine>& machines() { return machines_; }
+  const std::vector<Machine>& machines() const { return machines_; }
+
+  /// Indices of machines that can still fit at least one container of the
+  /// given configuration.
+  std::vector<int> AvailableMachines(const ResourceConfig& theta) const;
+
+  /// Advances all machine states to absolute time `now` (seconds).
+  void AdvanceTime(double now);
+
+  double now() const { return now_; }
+
+ private:
+  std::vector<Machine> machines_;
+  double now_ = 0.0;
+};
+
+}  // namespace fgro
+
+#endif  // FGRO_CLUSTER_CLUSTER_H_

@@ -1,0 +1,17 @@
+#include "cluster/hardware.h"
+
+namespace fgro {
+
+const std::vector<HardwareType>& DefaultHardwareCatalog() {
+  static const std::vector<HardwareType>& kCatalog =
+      *new std::vector<HardwareType>{
+          {0, "G5-compute", 1.00, 1.00, 32, 128},
+          {1, "G5-memory", 0.95, 1.05, 32, 256},
+          {2, "G6-compute", 1.20, 1.10, 48, 192},
+          {3, "G6-storage", 1.05, 1.50, 32, 128},
+          {4, "G4-legacy", 0.80, 0.75, 24, 96},
+      };
+  return kCatalog;
+}
+
+}  // namespace fgro

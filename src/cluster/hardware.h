@@ -1,0 +1,27 @@
+#ifndef FGRO_CLUSTER_HARDWARE_H_
+#define FGRO_CLUSTER_HARDWARE_H_
+
+#include <string>
+#include <vector>
+
+namespace fgro {
+
+/// One machine model in the heterogeneous fleet (the paper observes 5
+/// hardware types per workload). Speeds are relative to a reference machine.
+struct HardwareType {
+  int id = 0;
+  std::string name;
+  double cpu_speed = 1.0;      // relative per-core throughput
+  double io_bandwidth = 1.0;   // relative disk+network bandwidth
+  double total_cores = 32.0;   // schedulable cores per machine
+  double total_memory_gb = 128.0;
+};
+
+/// The default 5-type catalog used by all workloads. All types are
+/// "high-performance" with modest spread, which is why Channel 5 has a small
+/// (but non-zero) effect on model accuracy, matching Expt 2.
+const std::vector<HardwareType>& DefaultHardwareCatalog();
+
+}  // namespace fgro
+
+#endif  // FGRO_CLUSTER_HARDWARE_H_

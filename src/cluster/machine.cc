@@ -1,0 +1,49 @@
+#include "cluster/machine.h"
+
+#include <cmath>
+
+#include "common/math_utils.h"
+
+namespace fgro {
+
+Machine::Machine(int id, const HardwareType* hw, double base_util,
+                 uint64_t seed)
+    : id_(id), hw_(hw), base_util_(base_util), rng_(seed) {
+  state_.cpu_util = Clamp(base_util + rng_.Normal(0.0, 0.08), 0.02, 0.98);
+  state_.mem_util = Clamp(base_util * rng_.Uniform(0.7, 1.2), 0.02, 0.98);
+  state_.io_util = Clamp(base_util * rng_.Uniform(0.4, 1.1), 0.01, 0.98);
+  hidden_dynamics_ = rng_.LogNormal(0.0, 0.05);
+}
+
+bool Machine::Allocate(const ResourceConfig& theta) {
+  if (!CanFit(theta)) return false;
+  allocated_cores_ += theta.cores;
+  allocated_memory_gb_ += theta.memory_gb;
+  return true;
+}
+
+void Machine::Release(const ResourceConfig& theta) {
+  allocated_cores_ = std::max(0.0, allocated_cores_ - theta.cores);
+  allocated_memory_gb_ = std::max(0.0, allocated_memory_gb_ - theta.memory_gb);
+}
+
+void Machine::AdvanceTime(double now, double dt) {
+  // Diurnal load wave (24h period) shared by the fleet plus a mean-reverting
+  // per-machine wiggle. theta_rev controls how fast state forgets shocks.
+  constexpr double kDay = 86400.0;
+  const double diurnal = 0.08 * std::sin(2.0 * M_PI * now / kDay);
+  const double theta_rev = dt / 600.0;  // ~10 min relaxation
+  auto step = [&](double current, double target, double sigma) {
+    double next = current + Clamp(theta_rev, 0.0, 1.0) * (target - current) +
+                  rng_.Normal(0.0, sigma * std::sqrt(std::min(dt, 600.0)) / 24.0);
+    return Clamp(next, 0.01, 0.99);
+  };
+  state_.cpu_util = step(state_.cpu_util, base_util_ + diurnal, 0.25);
+  state_.mem_util = step(state_.mem_util, base_util_ * 0.9 + diurnal, 0.15);
+  state_.io_util = step(state_.io_util, base_util_ * 0.7 + diurnal, 0.30);
+  // The hidden dynamics factor drifts independently of the observable state.
+  hidden_dynamics_ =
+      Clamp(hidden_dynamics_ * rng_.LogNormal(0.0, 0.02), 0.8, 1.25);
+}
+
+}  // namespace fgro

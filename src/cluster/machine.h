@@ -1,0 +1,73 @@
+#ifndef FGRO_CLUSTER_MACHINE_H_
+#define FGRO_CLUSTER_MACHINE_H_
+
+#include "cluster/hardware.h"
+#include "cluster/resource.h"
+#include "common/rng.h"
+
+namespace fgro {
+
+/// Channel 4: observable system state of a machine at schedule time.
+/// Utilizations are fractions in [0, 1].
+struct SystemState {
+  double cpu_util = 0.0;
+  double mem_util = 0.0;
+  double io_util = 0.0;
+};
+
+/// One physical machine: hardware type, capacity accounting for the
+/// containers currently placed on it, and a stochastically evolving system
+/// state (mean-reverting around a per-machine baseline, so busy machines
+/// stay busy-ish). The `hidden_dynamics` factor models the within-lifetime
+/// state drift that Expt 1 identifies as an irreducible error source: it
+/// affects true latency but is not visible in Channel 4.
+class Machine {
+ public:
+  Machine(int id, const HardwareType* hw, double base_util, uint64_t seed);
+
+  int id() const { return id_; }
+  const HardwareType& hardware() const { return *hw_; }
+  const SystemState& state() const { return state_; }
+  double hidden_dynamics() const { return hidden_dynamics_; }
+
+  /// Free resources not yet allocated to containers.
+  double available_cores() const {
+    return hw_->total_cores - allocated_cores_;
+  }
+  double available_memory_gb() const {
+    return hw_->total_memory_gb - allocated_memory_gb_;
+  }
+
+  bool CanFit(const ResourceConfig& theta) const {
+    return theta.cores <= available_cores() + 1e-9 &&
+           theta.memory_gb <= available_memory_gb() + 1e-9;
+  }
+
+  /// Reserves / releases container resources; Allocate returns false if the
+  /// machine cannot fit the container.
+  bool Allocate(const ResourceConfig& theta);
+  void Release(const ResourceConfig& theta);
+
+  /// Advances the stochastic system state by `dt` seconds (Ornstein-
+  /// Uhlenbeck around the baseline plus a diurnal component).
+  void AdvanceTime(double now, double dt);
+
+  /// For tests/scenario setup: pin the observable state.
+  void set_state(const SystemState& s) { state_ = s; }
+  void set_base_util(double u) { base_util_ = u; }
+  double base_util() const { return base_util_; }
+
+ private:
+  int id_;
+  const HardwareType* hw_;
+  double base_util_;
+  SystemState state_;
+  double hidden_dynamics_ = 1.0;
+  double allocated_cores_ = 0.0;
+  double allocated_memory_gb_ = 0.0;
+  Rng rng_;
+};
+
+}  // namespace fgro
+
+#endif  // FGRO_CLUSTER_MACHINE_H_

@@ -1,0 +1,31 @@
+#ifndef FGRO_CLUSTER_RESOURCE_H_
+#define FGRO_CLUSTER_RESOURCE_H_
+
+namespace fgro {
+
+/// A resource configuration theta for one container/instance: d = 2 resource
+/// types as in the paper (CPU cores and memory).
+struct ResourceConfig {
+  double cores = 1.0;
+  double memory_gb = 4.0;
+
+  bool operator==(const ResourceConfig& other) const {
+    return cores == other.cores && memory_gb == other.memory_gb;
+  }
+};
+
+/// Weight vector w over the d resources used in the cloud-cost objective
+/// cost = latency * (w . theta). Units: $ per core-second / GB-second,
+/// scaled so typical stage costs are O(0.001$) as in Table 11.
+struct CostWeights {
+  double per_core_second = 2.0e-6;
+  double per_gb_second = 2.5e-7;
+
+  double Rate(const ResourceConfig& theta) const {
+    return per_core_second * theta.cores + per_gb_second * theta.memory_gb;
+  }
+};
+
+}  // namespace fgro
+
+#endif  // FGRO_CLUSTER_RESOURCE_H_

@@ -1,0 +1,71 @@
+#include "clustering/dbscan.h"
+
+#include <cmath>
+#include <queue>
+
+namespace fgro {
+
+namespace {
+double SquaredDistance(const std::vector<double>& a,
+                       const std::vector<double>& b) {
+  double d = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) d += (a[i] - b[i]) * (a[i] - b[i]);
+  return d;
+}
+}  // namespace
+
+std::vector<int> Dbscan(const std::vector<std::vector<double>>& points,
+                        const DbscanOptions& options) {
+  const int n = static_cast<int>(points.size());
+  const double eps2 = options.eps * options.eps;
+  constexpr int kUnvisited = -2;
+  constexpr int kNoise = -1;
+  std::vector<int> labels(static_cast<size_t>(n), kUnvisited);
+
+  auto neighbors = [&](int p) {
+    std::vector<int> out;
+    for (int q = 0; q < n; ++q) {
+      if (SquaredDistance(points[static_cast<size_t>(p)],
+                          points[static_cast<size_t>(q)]) <= eps2) {
+        out.push_back(q);
+      }
+    }
+    return out;
+  };
+
+  int cluster = 0;
+  for (int p = 0; p < n; ++p) {
+    if (labels[static_cast<size_t>(p)] != kUnvisited) continue;
+    std::vector<int> nbrs = neighbors(p);
+    if (static_cast<int>(nbrs.size()) < options.min_pts) {
+      labels[static_cast<size_t>(p)] = kNoise;
+      continue;
+    }
+    labels[static_cast<size_t>(p)] = cluster;
+    std::queue<int> frontier;
+    for (int q : nbrs) frontier.push(q);
+    while (!frontier.empty()) {
+      int q = frontier.front();
+      frontier.pop();
+      if (labels[static_cast<size_t>(q)] == kNoise) {
+        labels[static_cast<size_t>(q)] = cluster;
+      }
+      if (labels[static_cast<size_t>(q)] != kUnvisited) continue;
+      labels[static_cast<size_t>(q)] = cluster;
+      std::vector<int> qn = neighbors(q);
+      if (static_cast<int>(qn.size()) >= options.min_pts) {
+        for (int r : qn) frontier.push(r);
+      }
+    }
+    ++cluster;
+  }
+  // Promote noise points to singleton clusters.
+  for (int p = 0; p < n; ++p) {
+    if (labels[static_cast<size_t>(p)] == kNoise) {
+      labels[static_cast<size_t>(p)] = cluster++;
+    }
+  }
+  return labels;
+}
+
+}  // namespace fgro

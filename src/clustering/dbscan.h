@@ -1,0 +1,23 @@
+#ifndef FGRO_CLUSTERING_DBSCAN_H_
+#define FGRO_CLUSTERING_DBSCAN_H_
+
+#include <vector>
+
+namespace fgro {
+
+/// Standard DBSCAN over points in R^d, used as the off-the-shelf clustering
+/// baseline of Expt 9 (IPA+RAA(DBSCAN)). Deliberately the textbook O(n^2)
+/// formulation — its cost on wide stages is part of the result.
+struct DbscanOptions {
+  double eps = 0.5;
+  int min_pts = 4;
+};
+
+/// Returns a dense cluster id per point. Noise points each become their own
+/// singleton cluster (the scheduler must place every instance regardless).
+std::vector<int> Dbscan(const std::vector<std::vector<double>>& points,
+                        const DbscanOptions& options = {});
+
+}  // namespace fgro
+
+#endif  // FGRO_CLUSTERING_DBSCAN_H_

@@ -1,0 +1,87 @@
+#include "clustering/kde1d.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/math_utils.h"
+
+namespace fgro {
+
+std::vector<int> Kde1dCluster(const std::vector<double>& values,
+                              const Kde1dOptions& options) {
+  const size_t n = values.size();
+  std::vector<int> labels(n, 0);
+  if (n <= 1) return labels;
+
+  const double lo = Min(values), hi = Max(values);
+  if (hi - lo < 1e-12) return labels;  // all identical: one cluster
+
+  // Silverman's rule-of-thumb bandwidth.
+  const double sd = StdDev(values);
+  double bw = 1.06 * std::max(sd, (hi - lo) / 100.0) *
+              std::pow(static_cast<double>(n), -0.2) *
+              options.bandwidth_factor;
+
+  // KDE on a regular grid.
+  const int g = std::max(8, options.grid_size);
+  std::vector<double> density(static_cast<size_t>(g), 0.0);
+  const double step = (hi - lo) / (g - 1);
+  for (double v : values) {
+    // Only bins within 4 bandwidths matter.
+    int first = std::max(0, static_cast<int>((v - 4 * bw - lo) / step));
+    int last = std::min(g - 1, static_cast<int>((v + 4 * bw - lo) / step) + 1);
+    for (int i = first; i <= last; ++i) {
+      double x = lo + i * step;
+      double z = (x - v) / bw;
+      density[static_cast<size_t>(i)] += std::exp(-0.5 * z * z);
+    }
+  }
+
+  // Cluster boundaries = local minima of the density.
+  std::vector<double> boundaries;
+  for (int i = 1; i + 1 < g; ++i) {
+    if (density[static_cast<size_t>(i)] <
+            density[static_cast<size_t>(i - 1)] &&
+        density[static_cast<size_t>(i)] <=
+            density[static_cast<size_t>(i + 1)]) {
+      boundaries.push_back(lo + i * step);
+    }
+  }
+  // Cap the cluster count by dropping the shallowest minima first: simply
+  // keep evenly spread boundaries when there are too many.
+  while (static_cast<int>(boundaries.size()) + 1 > options.max_clusters) {
+    boundaries.erase(boundaries.begin() +
+                     static_cast<long>(boundaries.size() / 2));
+  }
+
+  for (size_t i = 0; i < n; ++i) {
+    int c = static_cast<int>(
+        std::upper_bound(boundaries.begin(), boundaries.end(), values[i]) -
+        boundaries.begin());
+    labels[i] = c;
+  }
+  // Re-densify ids (some intervals may be empty).
+  std::vector<int> remap(boundaries.size() + 1, -1);
+  int next = 0;
+  // Assign ids in increasing-value order: iterate sorted values.
+  std::vector<size_t> order(n);
+  for (size_t i = 0; i < n; ++i) order[i] = i;
+  std::sort(order.begin(), order.end(),
+            [&](size_t a, size_t b) { return values[a] < values[b]; });
+  for (size_t oi : order) {
+    int c = labels[oi];
+    if (remap[static_cast<size_t>(c)] < 0) remap[static_cast<size_t>(c)] = next++;
+  }
+  for (size_t i = 0; i < n; ++i) {
+    labels[i] = remap[static_cast<size_t>(labels[i])];
+  }
+  return labels;
+}
+
+int NumClusters(const std::vector<int>& labels) {
+  int k = 0;
+  for (int l : labels) k = std::max(k, l + 1);
+  return k;
+}
+
+}  // namespace fgro

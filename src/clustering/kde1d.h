@@ -1,0 +1,28 @@
+#ifndef FGRO_CLUSTERING_KDE1D_H_
+#define FGRO_CLUSTERING_KDE1D_H_
+
+#include <vector>
+
+namespace fgro {
+
+/// The customized 1-D density-based clustering of Section 5.2: a Gaussian
+/// kernel density estimate is computed over the values, and local minima of
+/// the density become cluster boundaries. Values should already be in the
+/// space where density matters (we pass log input-row counts).
+struct Kde1dOptions {
+  int grid_size = 64;             // KDE evaluation grid
+  double bandwidth_factor = 1.0;  // multiplies Silverman's rule bandwidth
+  int max_clusters = 40;          // merge smallest-gap boundaries beyond this
+};
+
+/// Returns a cluster id for every value; ids are dense, 0..k-1, ordered by
+/// increasing value. n log n overall (sorting dominates).
+std::vector<int> Kde1dCluster(const std::vector<double>& values,
+                              const Kde1dOptions& options = {});
+
+/// Number of clusters in a labeling produced by Kde1dCluster.
+int NumClusters(const std::vector<int>& labels);
+
+}  // namespace fgro
+
+#endif  // FGRO_CLUSTERING_KDE1D_H_

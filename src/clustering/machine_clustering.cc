@@ -1,0 +1,66 @@
+#include "clustering/machine_clustering.h"
+
+#include <algorithm>
+#include <map>
+#include <tuple>
+
+#include "common/math_utils.h"
+#include "featurize/discretize.h"
+
+namespace fgro {
+
+std::vector<MachineClusterGroup> ClusterMachines(
+    const Cluster& cluster, const std::vector<int>& machine_ids,
+    int discretization_degree) {
+  using Key = std::tuple<int, int, int, int>;  // hw, dcpu, dmem, dio
+  std::map<Key, MachineClusterGroup> groups;
+  for (int id : machine_ids) {
+    const Machine& m = cluster.machine(id);
+    Key key{m.hardware().id,
+            DiscretizeIndex(m.state().cpu_util, discretization_degree),
+            DiscretizeIndex(m.state().mem_util, discretization_degree),
+            DiscretizeIndex(m.state().io_util, discretization_degree)};
+    MachineClusterGroup& g = groups[key];
+    g.machine_ids.push_back(id);
+    if (g.representative < 0 ||
+        m.state().cpu_util >
+            cluster.machine(g.representative).state().cpu_util) {
+      g.representative = id;
+    }
+  }
+  std::vector<MachineClusterGroup> out;
+  out.reserve(groups.size());
+  for (auto& [key, g] : groups) {
+    (void)key;
+    out.push_back(std::move(g));
+  }
+  return out;
+}
+
+std::vector<InstanceClusterGroup> ClusterInstancesByRows(
+    const Stage& stage, const Kde1dOptions& options) {
+  const int m = stage.instance_count();
+  std::vector<double> log_rows(static_cast<size_t>(m));
+  for (int i = 0; i < m; ++i) {
+    log_rows[static_cast<size_t>(i)] =
+        Log1pSafe(stage.instances[static_cast<size_t>(i)].input_rows);
+  }
+  std::vector<int> labels = Kde1dCluster(log_rows, options);
+
+  std::vector<InstanceClusterGroup> out(
+      static_cast<size_t>(NumClusters(labels)));
+  for (int i = 0; i < m; ++i) {
+    out[static_cast<size_t>(labels[static_cast<size_t>(i)])]
+        .instance_ids.push_back(i);
+  }
+  for (InstanceClusterGroup& g : out) {
+    std::sort(g.instance_ids.begin(), g.instance_ids.end(), [&](int a, int b) {
+      return stage.instances[static_cast<size_t>(a)].input_rows >
+             stage.instances[static_cast<size_t>(b)].input_rows;
+    });
+    g.representative = g.instance_ids.front();
+  }
+  return out;
+}
+
+}  // namespace fgro

@@ -1,0 +1,46 @@
+#ifndef FGRO_CLUSTERING_MACHINE_CLUSTERING_H_
+#define FGRO_CLUSTERING_MACHINE_CLUSTERING_H_
+
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "clustering/kde1d.h"
+#include "plan/stage.h"
+
+namespace fgro {
+
+/// A group of machines sharing discretized system state (Ch4) and hardware
+/// type (Ch5). `representative` is the member with the highest CPU
+/// utilization, so latency estimates for the cluster err conservative.
+struct MachineClusterGroup {
+  std::vector<int> machine_ids;
+  int representative = -1;
+};
+
+std::vector<MachineClusterGroup> ClusterMachines(
+    const Cluster& cluster, const std::vector<int>& machine_ids,
+    int discretization_degree);
+
+/// A group of a stage's instances with similar input-row counts (1-D KDE on
+/// log rows). `representative` is the member with the largest input rows to
+/// avoid underestimating the cluster's latency; members are sorted by
+/// descending input rows so a prefix of a cluster is always its heaviest
+/// instances (used by clustered IPA when a cluster is split across machine
+/// groups).
+struct InstanceClusterGroup {
+  std::vector<int> instance_ids;  // descending input rows
+  int representative = -1;
+};
+
+std::vector<InstanceClusterGroup> ClusterInstancesByRows(
+    const Stage& stage,
+    // Narrower-than-Silverman bandwidth: partition sizes are lognormal and
+    // unimodal in log space, but the optimizer needs resolution across the
+    // size spectrum, not one blob.
+    const Kde1dOptions& options = {.grid_size = 128,
+                                   .bandwidth_factor = 0.3,
+                                   .max_clusters = 40});
+
+}  // namespace fgro
+
+#endif  // FGRO_CLUSTERING_MACHINE_CLUSTERING_H_

@@ -1,0 +1,73 @@
+#ifndef FGRO_COMMON_LOGGING_H_
+#define FGRO_COMMON_LOGGING_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace fgro {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Global log threshold; messages below it are discarded. Defaults to kInfo
+/// and can be raised by benchmarks to keep table output clean.
+LogLevel GetLogLevel();
+void SetLogLevel(LogLevel level);
+
+namespace internal {
+
+/// Accumulates one log line and emits it (with level prefix) on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+/// Like LogMessage but aborts the process on destruction (CHECK failures).
+class FatalLogMessage {
+ public:
+  FatalLogMessage(const char* file, int line, const char* condition);
+  [[noreturn]] ~FatalLogMessage();
+
+  template <typename T>
+  FatalLogMessage& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+
+#define FGRO_LOG(level)                                                  \
+  if (::fgro::LogLevel::level < ::fgro::GetLogLevel()) {                 \
+  } else                                                                 \
+    ::fgro::internal::LogMessage(::fgro::LogLevel::level, __FILE__, __LINE__)
+
+#define FGRO_CHECK(condition)                                            \
+  if (condition) {                                                       \
+  } else                                                                 \
+    ::fgro::internal::FatalLogMessage(__FILE__, __LINE__, #condition)
+
+#define FGRO_CHECK_OK(expr)                                              \
+  do {                                                                   \
+    ::fgro::Status _st = (expr);                                         \
+    FGRO_CHECK(_st.ok()) << _st.ToString();                              \
+  } while (0)
+
+}  // namespace fgro
+
+#endif  // FGRO_COMMON_LOGGING_H_

@@ -1,0 +1,84 @@
+#include "common/math_utils.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace fgro {
+
+double Sum(const std::vector<double>& v) {
+  double s = 0.0;
+  for (double x : v) s += x;
+  return s;
+}
+
+double Mean(const std::vector<double>& v) {
+  if (v.empty()) return 0.0;
+  return Sum(v) / static_cast<double>(v.size());
+}
+
+double StdDev(const std::vector<double>& v) {
+  if (v.size() < 2) return 0.0;
+  double m = Mean(v);
+  double acc = 0.0;
+  for (double x : v) acc += (x - m) * (x - m);
+  return std::sqrt(acc / static_cast<double>(v.size() - 1));
+}
+
+double Min(const std::vector<double>& v) {
+  if (v.empty()) return 0.0;
+  return *std::min_element(v.begin(), v.end());
+}
+
+double Max(const std::vector<double>& v) {
+  if (v.empty()) return 0.0;
+  return *std::max_element(v.begin(), v.end());
+}
+
+double Percentile(std::vector<double> v, double p) {
+  if (v.empty()) return 0.0;
+  std::sort(v.begin(), v.end());
+  if (v.size() == 1) return v[0];
+  double rank = (p / 100.0) * static_cast<double>(v.size() - 1);
+  size_t lo = static_cast<size_t>(rank);
+  size_t hi = std::min(lo + 1, v.size() - 1);
+  double frac = rank - static_cast<double>(lo);
+  return v[lo] * (1.0 - frac) + v[hi] * frac;
+}
+
+double Median(const std::vector<double>& v) { return Percentile(v, 50.0); }
+
+double PearsonCorrelation(const std::vector<double>& a,
+                          const std::vector<double>& b) {
+  if (a.size() != b.size() || a.size() < 2) return 0.0;
+  double ma = Mean(a), mb = Mean(b);
+  double cov = 0.0, va = 0.0, vb = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    cov += (a[i] - ma) * (b[i] - mb);
+    va += (a[i] - ma) * (a[i] - ma);
+    vb += (b[i] - mb) * (b[i] - mb);
+  }
+  if (va <= 0.0 || vb <= 0.0) return 0.0;
+  return cov / std::sqrt(va * vb);
+}
+
+double Clamp(double v, double lo, double hi) {
+  return std::max(lo, std::min(hi, v));
+}
+
+double Log1pSafe(double x) { return std::log1p(std::max(0.0, x)); }
+
+std::vector<int> Histogram(const std::vector<double>& v, double lo, double hi,
+                           int bins) {
+  std::vector<int> counts(static_cast<size_t>(std::max(bins, 1)), 0);
+  if (v.empty() || hi <= lo) return counts;
+  double width = (hi - lo) / bins;
+  for (double x : v) {
+    int b = static_cast<int>((x - lo) / width);
+    b = std::max(0, std::min(bins - 1, b));
+    counts[static_cast<size_t>(b)]++;
+  }
+  return counts;
+}
+
+}  // namespace fgro

@@ -1,0 +1,39 @@
+#ifndef FGRO_COMMON_MATH_UTILS_H_
+#define FGRO_COMMON_MATH_UTILS_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace fgro {
+
+/// Statistical helpers shared by the model metrics, clustering, and
+/// benchmark reporting code. All take values by const-ref and never mutate.
+
+double Mean(const std::vector<double>& v);
+double StdDev(const std::vector<double>& v);
+double Sum(const std::vector<double>& v);
+double Min(const std::vector<double>& v);
+double Max(const std::vector<double>& v);
+
+/// Linear-interpolated percentile; `p` in [0, 100]. Copies and sorts.
+double Percentile(std::vector<double> v, double p);
+
+double Median(const std::vector<double>& v);
+
+/// Pearson correlation of two equal-length series; 0 if degenerate.
+double PearsonCorrelation(const std::vector<double>& a,
+                          const std::vector<double>& b);
+
+double Clamp(double v, double lo, double hi);
+
+/// log(1 + x) of a non-negative feature; the standard transform we apply to
+/// cardinalities and sizes before feeding neural networks.
+double Log1pSafe(double x);
+
+/// Simple histogram of `v` into `bins` equal-width buckets over [lo, hi].
+std::vector<int> Histogram(const std::vector<double>& v, double lo, double hi,
+                           int bins);
+
+}  // namespace fgro
+
+#endif  // FGRO_COMMON_MATH_UTILS_H_

@@ -1,0 +1,88 @@
+#ifndef FGRO_COMMON_RNG_H_
+#define FGRO_COMMON_RNG_H_
+
+#include <cmath>
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace fgro {
+
+/// Deterministic random source used everywhere in the library. Experiments
+/// seed one Rng per component so runs are reproducible bit-for-bit.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : engine_(seed) {}
+
+  uint64_t NextUint64() { return engine_(); }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int64_t UniformInt(int64_t lo, int64_t hi) {
+    std::uniform_int_distribution<int64_t> dist(lo, hi);
+    return dist(engine_);
+  }
+
+  /// Uniform double in [lo, hi).
+  double Uniform(double lo = 0.0, double hi = 1.0) {
+    std::uniform_real_distribution<double> dist(lo, hi);
+    return dist(engine_);
+  }
+
+  double Normal(double mean = 0.0, double stddev = 1.0) {
+    std::normal_distribution<double> dist(mean, stddev);
+    return dist(engine_);
+  }
+
+  /// Lognormal with the given parameters of the underlying normal.
+  double LogNormal(double mu, double sigma) {
+    return std::exp(Normal(mu, sigma));
+  }
+
+  /// Pareto-tailed sample: x_min * U^{-1/alpha}; heavy tails for small alpha.
+  double Pareto(double x_min, double alpha) {
+    double u = Uniform(1e-12, 1.0);
+    return x_min * std::pow(u, -1.0 / alpha);
+  }
+
+  bool Bernoulli(double p) { return Uniform() < p; }
+
+  /// Zipf-like categorical draw over `n` categories with exponent `s`.
+  int Zipf(int n, double s) {
+    // Inverse-CDF on the (small) normalized Zipf mass; n is tiny in our use.
+    double norm = 0.0;
+    for (int i = 1; i <= n; ++i) norm += 1.0 / std::pow(i, s);
+    double u = Uniform(0.0, norm);
+    double acc = 0.0;
+    for (int i = 1; i <= n; ++i) {
+      acc += 1.0 / std::pow(i, s);
+      if (u <= acc) return i - 1;
+    }
+    return n - 1;
+  }
+
+  /// Samples an index proportionally to non-negative `weights`.
+  int Categorical(const std::vector<double>& weights) {
+    double total = 0.0;
+    for (double w : weights) total += w;
+    double u = Uniform(0.0, total);
+    double acc = 0.0;
+    for (size_t i = 0; i < weights.size(); ++i) {
+      acc += weights[i];
+      if (u <= acc) return static_cast<int>(i);
+    }
+    return static_cast<int>(weights.size()) - 1;
+  }
+
+  /// Derives an independent child generator; used to give each job/stage its
+  /// own stream so generation order does not perturb unrelated entities.
+  Rng Fork() { return Rng(engine_() ^ 0x9e3779b97f4a7c15ULL); }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace fgro
+
+#endif  // FGRO_COMMON_RNG_H_

@@ -1,0 +1,28 @@
+#ifndef FGRO_COMMON_STOPWATCH_H_
+#define FGRO_COMMON_STOPWATCH_H_
+
+#include <chrono>
+
+namespace fgro {
+
+/// Wall-clock stopwatch for measuring resource-optimization solve times.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace fgro
+
+#endif  // FGRO_COMMON_STOPWATCH_H_

@@ -1,0 +1,22 @@
+#include "env/cost.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace fgro {
+
+StageObjectives AggregateStageObjectives(
+    const std::vector<double>& instance_latencies,
+    const std::vector<ResourceConfig>& thetas, const CostWeights& weights) {
+  FGRO_CHECK(instance_latencies.size() == thetas.size())
+      << instance_latencies.size() << " vs " << thetas.size();
+  StageObjectives out;
+  for (size_t i = 0; i < instance_latencies.size(); ++i) {
+    out.latency = std::max(out.latency, instance_latencies[i]);
+    out.cost += instance_latencies[i] * weights.Rate(thetas[i]);
+  }
+  return out;
+}
+
+}  // namespace fgro

@@ -1,0 +1,24 @@
+#ifndef FGRO_ENV_COST_H_
+#define FGRO_ENV_COST_H_
+
+#include <vector>
+
+#include "cluster/resource.h"
+
+namespace fgro {
+
+/// The two default stage-level objectives of the paper: latency aggregates
+/// instances with max, cloud cost with sum.
+struct StageObjectives {
+  double latency = 0.0;  // max over instance latencies (seconds)
+  double cost = 0.0;     // sum of latency * (w . theta) over instances ($)
+};
+
+/// Aggregates per-instance latencies/configurations into stage objectives.
+StageObjectives AggregateStageObjectives(
+    const std::vector<double>& instance_latencies,
+    const std::vector<ResourceConfig>& thetas, const CostWeights& weights);
+
+}  // namespace fgro
+
+#endif  // FGRO_ENV_COST_H_

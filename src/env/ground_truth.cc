@@ -1,0 +1,108 @@
+#include "env/ground_truth.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/math_utils.h"
+
+namespace fgro {
+
+LatencyBreakdown GroundTruthEnv::ExpectedLatency(
+    const Stage& stage, int instance_idx, const Machine& machine,
+    const ResourceConfig& theta) const {
+  const InstanceMeta& meta =
+      stage.instances[static_cast<size_t>(instance_idx)];
+  const double share = meta.input_fraction * meta.hidden_skew;
+  const HardwareType& hw = machine.hardware();
+  const SystemState& st = machine.state();
+
+  // Per-operator true work for this instance (CBO cost units with the true
+  // cardinalities scaled down to the instance's share).
+  double cpu_work = 0.0;
+  double io_work = 0.0;
+  double working_set_bytes = 0.0;
+  LatencyBreakdown out;
+  out.op_seconds.assign(stage.operators.size(), 0.0);
+
+  // Useful parallelism is capped by the instance's data size.
+  double instance_rows = 0.0;
+  for (const Operator& op : stage.operators) {
+    if (op.is_leaf()) instance_rows += op.truth.input_rows * share;
+  }
+  const double core_cap = std::max(
+      1.0, instance_rows / options_.parallel_rows_per_core);
+  const double eff_cores = std::pow(
+      std::min({theta.cores, core_cap, options_.max_effective_cores}),
+      options_.cpu_core_exponent);
+  const double cpu_slowdown =
+      (1.0 + options_.cpu_contention * st.cpu_util * st.cpu_util) /
+      (hw.cpu_speed * std::max(0.05, eff_cores));
+  const double io_slowdown =
+      (1.0 + options_.io_contention * std::pow(st.io_util, 1.5)) /
+      hw.io_bandwidth;
+
+  for (const Operator& op : stage.operators) {
+    OperatorCardinality card{op.truth.input_rows * share,
+                             op.truth.output_rows * share};
+    OperatorCost cost =
+        cost_model_.Cost(op.type, card, op.truth.avg_row_size,
+                         /*partition_count=*/1);
+    cpu_work += cost.cpu;
+    io_work += cost.io;
+    // Pipeline breakers must materialize their input.
+    switch (op.type) {
+      case OperatorType::kHashJoin:
+      case OperatorType::kMergeJoin:
+      case OperatorType::kHashAgg:
+      case OperatorType::kSortedAgg:
+      case OperatorType::kSort:
+      case OperatorType::kWindow:
+        working_set_bytes =
+            std::max(working_set_bytes,
+                     card.input_rows * op.truth.avg_row_size *
+                         options_.mem_bytes_per_row_factor);
+        break;
+      default:
+        break;
+    }
+    out.op_seconds[static_cast<size_t>(op.id)] =
+        cost.cpu * options_.cpu_seconds_per_work * cpu_slowdown +
+        cost.io * options_.io_seconds_per_unit * io_slowdown;
+  }
+
+  out.cpu_seconds = cpu_work * options_.cpu_seconds_per_work * cpu_slowdown;
+  out.io_seconds = io_work * options_.io_seconds_per_unit * io_slowdown;
+
+  // Memory spill: running below the working set inflates everything.
+  const double mem_bytes = theta.memory_gb * 1e9;
+  if (working_set_bytes > mem_bytes && mem_bytes > 0.0) {
+    out.spill_factor =
+        1.0 + options_.spill_penalty * (working_set_bytes / mem_bytes - 1.0);
+    out.spill_factor = std::min(out.spill_factor, 8.0);
+  }
+
+  out.startup_seconds = options_.startup_seconds / hw.cpu_speed;
+  out.total = (out.cpu_seconds + out.io_seconds) * out.spill_factor *
+                  machine.hidden_dynamics() +
+              out.startup_seconds;
+  for (double& s : out.op_seconds) {
+    s *= out.spill_factor * machine.hidden_dynamics();
+  }
+  return out;
+}
+
+double GroundTruthEnv::SampleLatency(const Stage& stage, int instance_idx,
+                                     const Machine& machine,
+                                     const ResourceConfig& theta,
+                                     Rng* rng) const {
+  LatencyBreakdown exp = ExpectedLatency(stage, instance_idx, machine, theta);
+  // IO time is noisier than CPU time (shared disks/links), which is what
+  // makes StreamLineWrite/TableScan/MergeJoin the top error contributors.
+  const double io_noise = rng->LogNormal(0.0, options_.io_noise_sigma);
+  const double overall_noise = rng->LogNormal(0.0, options_.noise_sigma);
+  double body = (exp.cpu_seconds + exp.io_seconds * io_noise) *
+                exp.spill_factor * machine.hidden_dynamics();
+  return std::max(0.01, (body + exp.startup_seconds) * overall_noise);
+}
+
+}  // namespace fgro

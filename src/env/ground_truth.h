@@ -1,0 +1,87 @@
+#ifndef FGRO_ENV_GROUND_TRUTH_H_
+#define FGRO_ENV_GROUND_TRUTH_H_
+
+#include "cbo/cost_model.h"
+#include "cluster/machine.h"
+#include "cluster/resource.h"
+#include "common/rng.h"
+#include "plan/stage.h"
+
+namespace fgro {
+
+/// Knobs of the hidden latency function. The per-workload noise sigmas are
+/// how we calibrate the irreducible prediction error of each trace (the
+/// paper's workloads have different noise floors: A cleanest, B noisiest).
+struct GroundTruthOptions {
+  double cpu_seconds_per_work = 6.0e-6;   // seconds per CBO cpu-work unit
+  double io_seconds_per_unit = 5.0e-6;    // seconds per CBO io-work unit
+  double cpu_core_exponent = 0.78;        // Amdahl-style diminishing returns
+  double max_effective_cores = 16.0;
+  // Parallelism saturates with instance size: an instance with R input rows
+  // cannot use more than max(1, R / parallel_rows_per_core) cores. This is
+  // the mechanism behind the paper's Example 1 — extra resources on
+  // short-running instances buy no latency, only cost.
+  double parallel_rows_per_core = 6.0e4;
+  double cpu_contention = 1.6;            // scales with cpu_util^2
+  double io_contention = 2.2;             // scales with io_util^1.5
+  double mem_bytes_per_row_factor = 1.4;  // working set vs pipeline input
+  double spill_penalty = 0.9;             // slowdown per unit of mem deficit
+  double startup_seconds = 0.4;
+  double noise_sigma = 0.07;              // lognormal on the whole latency
+  double io_noise_sigma = 0.16;           // extra lognormal on the IO part
+};
+
+/// Deterministic decomposition of one instance's latency.
+struct LatencyBreakdown {
+  double cpu_seconds = 0.0;
+  double io_seconds = 0.0;
+  double startup_seconds = 0.0;
+  double spill_factor = 1.0;
+  double total = 0.0;
+  /// Per-operator share of (cpu+io) work, for error-attribution experiments.
+  std::vector<double> op_seconds;
+};
+
+/// The hidden ground truth: what latency an instance of `stage` would truly
+/// have on `machine` under resource configuration `theta`. Models never see
+/// this function — they only see traces sampled from it — preserving the
+/// paper's causal structure between model error and optimization benefit.
+///
+/// Shape: cpu time scales with true per-instance work, divided by
+/// hardware speed and a sublinear core-scaling term, inflated by CPU
+/// contention; IO time scales with bytes over hardware bandwidth and IO
+/// contention and is insensitive to cores (that is what makes IO-heavy
+/// operators both hard to predict and resistant to core scaling); memory
+/// below the working set triggers a spill penalty.
+class GroundTruthEnv {
+ public:
+  explicit GroundTruthEnv(GroundTruthOptions options) : options_(options) {}
+
+  /// Expected latency (all hidden factors included, sampled noise excluded).
+  LatencyBreakdown ExpectedLatency(const Stage& stage, int instance_idx,
+                                   const Machine& machine,
+                                   const ResourceConfig& theta) const;
+
+  /// One draw of the actual latency (expected value times sampled noise).
+  double SampleLatency(const Stage& stage, int instance_idx,
+                       const Machine& machine, const ResourceConfig& theta,
+                       Rng* rng) const;
+
+  /// Cloud cost of an instance that ran for `latency_seconds` under theta.
+  double InstanceCost(double latency_seconds,
+                      const ResourceConfig& theta) const {
+    return latency_seconds * cost_weights_.Rate(theta);
+  }
+
+  const GroundTruthOptions& options() const { return options_; }
+  const CostWeights& cost_weights() const { return cost_weights_; }
+
+ private:
+  GroundTruthOptions options_;
+  CostModel cost_model_;
+  CostWeights cost_weights_;
+};
+
+}  // namespace fgro
+
+#endif  // FGRO_ENV_GROUND_TRUTH_H_

@@ -1,0 +1,52 @@
+#include "featurize/aim.h"
+
+#include "cbo/cost_model.h"
+
+namespace fgro {
+
+Result<std::vector<AimEntry>> ComputeAim(const Stage& stage, int instance_idx,
+                                         AimMode mode) {
+  std::vector<AimEntry> aim(stage.operators.size());
+  if (mode == AimMode::kOff) return aim;
+  if (instance_idx < 0 || instance_idx >= stage.instance_count()) {
+    return Status::InvalidArgument("instance_idx out of range");
+  }
+  const InstanceMeta& meta =
+      stage.instances[static_cast<size_t>(instance_idx)];
+
+  // Instance share of each leaf. simu2 additionally knows the hidden
+  // per-instance skew (unrealistic ground truth, as in the paper).
+  double share = meta.input_fraction;
+  if (mode == AimMode::kSimu2) share *= meta.hidden_skew;
+
+  const bool use_truth_selectivity =
+      mode == AimMode::kSimu1 || mode == AimMode::kSimu2;
+
+  CostModel cm;
+  std::vector<double> leaf_rows(stage.operators.size(), 0.0);
+  for (const Operator& op : stage.operators) {
+    if (!op.is_leaf()) continue;
+    const double stage_rows = use_truth_selectivity
+                                  ? op.truth.input_rows
+                                  : op.estimate.input_rows;
+    leaf_rows[static_cast<size_t>(op.id)] = stage_rows * share;
+  }
+  Result<std::vector<OperatorCardinality>> cards =
+      cm.PropagateCardinality(stage, leaf_rows, use_truth_selectivity);
+  if (!cards.ok()) return cards.status();
+
+  for (size_t i = 0; i < stage.operators.size(); ++i) {
+    const Operator& op = stage.operators[i];
+    aim[i].input_rows = cards.value()[i].input_rows;
+    aim[i].output_rows = cards.value()[i].output_rows;
+    const double row_size = use_truth_selectivity ? op.truth.avg_row_size
+                                                  : op.estimate.avg_row_size;
+    // Partition count 1: the cost of this operator inside ONE instance.
+    aim[i].cost =
+        cm.Cost(op.type, cards.value()[i], row_size, /*partition_count=*/1)
+            .total();
+  }
+  return aim;
+}
+
+}  // namespace fgro

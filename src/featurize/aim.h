@@ -1,0 +1,35 @@
+#ifndef FGRO_FEATURIZE_AIM_H_
+#define FGRO_FEATURIZE_AIM_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "plan/stage.h"
+
+namespace fgro {
+
+/// Which cardinalities seed the AIM derivation (Expt 3 / Fig. 9(b)):
+///  kCalibrated — CBO's estimated selectivities (all_on+calib, the default);
+///  kSimu1      — ground-truth stage-level selectivities (all_on+simu1);
+///  kSimu2      — ground-truth instance-level cardinalities, i.e. including
+///                the per-instance skew hidden from calib/simu1 (all_on+simu2).
+enum class AimMode { kOff, kCalibrated, kSimu1, kSimu2 };
+
+/// Additional Instance Meta for one operator: the instance-level
+/// cardinalities and cost re-derived through the CBO cost model with the
+/// partition count set to one (Section 4.1).
+struct AimEntry {
+  double input_rows = 0.0;
+  double output_rows = 0.0;
+  double cost = 0.0;
+};
+
+/// Derives the AIM features of one instance: leaf cardinalities are scaled
+/// by the instance's input fraction (what Channel 2 exposes), propagated
+/// through stage-level selectivities, then costed with partition count 1.
+Result<std::vector<AimEntry>> ComputeAim(const Stage& stage, int instance_idx,
+                                         AimMode mode);
+
+}  // namespace fgro
+
+#endif  // FGRO_FEATURIZE_AIM_H_

@@ -1,0 +1,84 @@
+#include "featurize/channels.h"
+
+#include <cmath>
+
+#include "common/math_utils.h"
+#include "featurize/discretize.h"
+
+namespace fgro {
+
+Vec OperatorFeatureRow(const Operator& op, int partition_count,
+                       const AimEntry& aim, const ChannelMask& mask) {
+  Vec row(static_cast<size_t>(kOpFeatureDim), 0.0);
+  if (!mask.ch1) return row;
+  int off = 0;
+  // One-hot operator type (CT1).
+  row[static_cast<size_t>(off + static_cast<int>(op.type))] = 1.0;
+  off += kOpTypeOneHotDim;
+  // CT2: CBO/HBO statistics.
+  row[static_cast<size_t>(off + 0)] = Log1pSafe(op.estimate.input_rows);
+  row[static_cast<size_t>(off + 1)] = Log1pSafe(op.estimate.output_rows);
+  row[static_cast<size_t>(off + 2)] = op.estimate.selectivity;
+  row[static_cast<size_t>(off + 3)] = Log1pSafe(op.estimate.avg_row_size);
+  row[static_cast<size_t>(off + 4)] = Log1pSafe(partition_count);
+  row[static_cast<size_t>(off + 5)] = Log1pSafe(op.estimate.cost);
+  off += kOpCt2Dim;
+  // CT3: IO-related properties.
+  row[static_cast<size_t>(off)] =
+      op.location == DataLocation::kNetwork ? 1.0 : 0.0;
+  row[static_cast<size_t>(off + 1 + static_cast<int>(op.shuffle))] = 1.0;
+  off += kOpCt3Dim;
+  // Customized features, zero-padded to the uniform width.
+  for (int i = 0; i < kNumCustomFeatures; ++i) {
+    row[static_cast<size_t>(off + i)] = op.custom[i];
+  }
+  off += kNumCustomFeatures;
+  // AIM augmentation.
+  if (mask.aim != AimMode::kOff) {
+    row[static_cast<size_t>(off + 0)] = Log1pSafe(aim.input_rows);
+    row[static_cast<size_t>(off + 1)] = Log1pSafe(aim.output_rows);
+    row[static_cast<size_t>(off + 2)] = Log1pSafe(aim.cost);
+  }
+  return row;
+}
+
+Vec Ch2FeatureVector(const Stage& stage, int instance_idx,
+                     const ChannelMask& mask) {
+  Vec out(static_cast<size_t>(kCh2Dim), 0.0);
+  if (!mask.ch2) return out;
+  const InstanceMeta& meta =
+      stage.instances[static_cast<size_t>(instance_idx)];
+  out[0] = Log1pSafe(meta.input_rows);
+  out[1] = Log1pSafe(meta.input_bytes);
+  // Skew ratio: this instance's share relative to a uniform partition.
+  out[2] = meta.input_fraction * stage.instance_count();
+  return out;
+}
+
+Vec ContextFeatureVector(const ResourceConfig& theta, const SystemState& state,
+                         int hardware_type, const ChannelMask& mask,
+                         int discretization_degree) {
+  Vec out(static_cast<size_t>(kContextDim), 0.0);
+  int off = 0;
+  if (mask.ch3) {
+    out[static_cast<size_t>(off + 0)] =
+        std::log2(std::max(0.125, theta.cores));
+    out[static_cast<size_t>(off + 1)] =
+        std::log2(std::max(0.25, theta.memory_gb));
+    out[static_cast<size_t>(off + 2)] = theta.cores;
+  }
+  off += kCh3Dim;
+  if (mask.ch4) {
+    SystemState d = DiscretizeState(state, discretization_degree);
+    out[static_cast<size_t>(off + 0)] = d.cpu_util;
+    out[static_cast<size_t>(off + 1)] = d.mem_util;
+    out[static_cast<size_t>(off + 2)] = d.io_util;
+  }
+  off += kCh4Dim;
+  if (mask.ch5 && hardware_type >= 0 && hardware_type < kNumHardwareTypes) {
+    out[static_cast<size_t>(off + hardware_type)] = 1.0;
+  }
+  return out;
+}
+
+}  // namespace fgro

@@ -1,0 +1,28 @@
+#include "featurize/discretize.h"
+
+#include <algorithm>
+
+namespace fgro {
+
+int DiscretizeIndex(double util, int dd) {
+  dd = std::max(1, dd);
+  int idx = static_cast<int>(util * dd);
+  return std::clamp(idx, 0, dd - 1);
+}
+
+double DiscretizeValue(double util, int dd) {
+  return (DiscretizeIndex(util, dd) + 0.5) / std::max(1, dd);
+}
+
+SystemState DiscretizeState(const SystemState& state, int dd) {
+  return SystemState{DiscretizeValue(state.cpu_util, dd),
+                     DiscretizeValue(state.mem_util, dd),
+                     DiscretizeValue(state.io_util, dd)};
+}
+
+long NumStateCombinations(int dd) {
+  long d = std::max(1, dd);
+  return d * d * d;
+}
+
+}  // namespace fgro

@@ -1,0 +1,24 @@
+#ifndef FGRO_FEATURIZE_DISCRETIZE_H_
+#define FGRO_FEATURIZE_DISCRETIZE_H_
+
+#include "cluster/machine.h"
+
+namespace fgro {
+
+/// Maps a utilization in [0,1] to its bucket index under discretization
+/// degree `dd` (Expt 4 / Fig. 22: higher dd = finer states = better model,
+/// but exponentially more machine-state combinations for the optimizer).
+int DiscretizeIndex(double util, int dd);
+
+/// The bucket's midpoint value — what the model actually sees in Channel 4.
+double DiscretizeValue(double util, int dd);
+
+/// A discretized system state (all three utilizations).
+SystemState DiscretizeState(const SystemState& state, int dd);
+
+/// Number of distinct discretized (cpu, mem, io) combinations: dd^3.
+long NumStateCombinations(int dd);
+
+}  // namespace fgro
+
+#endif  // FGRO_FEATURIZE_DISCRETIZE_H_

@@ -1,0 +1,98 @@
+#include "hbo/hbo.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "cbo/cost_model.h"
+
+namespace fgro {
+
+const std::vector<ResourceConfig>& Hbo::ResourcePlanCatalog() {
+  // cores x memory_gb grid a production scheduler would expose. Kept small
+  // on purpose: Channel 3 sparsity in the traces mirrors the paper (Expt 2).
+  static const std::vector<ResourceConfig>& kCatalog =
+      *new std::vector<ResourceConfig>{
+          {0.25, 0.5}, {0.25, 1}, {0.5, 1},  {0.5, 2},  {0.5, 4},
+          {1, 2},      {1, 4},    {1, 8},    {2, 4},    {2, 8},
+          {2, 16},     {4, 8},    {4, 16},   {4, 32},   {8, 16},
+          {8, 32},     {8, 64},   {12, 24},  {12, 48},  {16, 32},
+          {16, 64},    {16, 128},
+      };
+  return kCatalog;
+}
+
+ResourceConfig Hbo::QuantizeUp(const ResourceConfig& theta) {
+  const std::vector<ResourceConfig>& catalog = ResourcePlanCatalog();
+  const ResourceConfig* best = nullptr;
+  for (const ResourceConfig& c : catalog) {
+    if (c.cores + 1e-9 >= theta.cores && c.memory_gb + 1e-9 >= theta.memory_gb) {
+      if (best == nullptr || c.cores < best->cores ||
+          (c.cores == best->cores && c.memory_gb < best->memory_gb)) {
+        best = &c;
+      }
+    }
+  }
+  return best != nullptr ? *best : catalog.back();
+}
+
+HboRecommendation Hbo::Recommend(const Stage& stage) const {
+  auto it = history_.find(stage.template_id);
+  if (it != history_.end() && it->second.runs > 0) {
+    return it->second.best;
+  }
+
+  HboRecommendation rec;
+  const double input_rows = std::max(1.0, stage.EstimatedInputRows());
+  rec.partition_count = static_cast<int>(
+      std::clamp(std::ceil(input_rows / options_.target_rows_per_instance),
+                 1.0, static_cast<double>(options_.max_instances)));
+
+  // Size theta0 from the estimated per-instance work: CPU from total
+  // operator cost, memory from the largest pipeline-breaker input.
+  CostModel cm;
+  double total_cost = 0.0;
+  double working_set_bytes = 0.0;
+  for (const Operator& op : stage.operators) {
+    OperatorCost c = cm.Cost(op.type,
+                             {op.estimate.input_rows, op.estimate.output_rows},
+                             op.estimate.avg_row_size, rec.partition_count);
+    total_cost += c.total();
+    switch (op.type) {
+      case OperatorType::kHashJoin:
+      case OperatorType::kMergeJoin:
+      case OperatorType::kHashAgg:
+      case OperatorType::kSortedAgg:
+      case OperatorType::kSort:
+      case OperatorType::kWindow:
+        working_set_bytes = std::max(
+            working_set_bytes, op.estimate.input_rows /
+                                   std::max(1, rec.partition_count) *
+                                   op.estimate.avg_row_size * 1.4);
+        break;
+      default:
+        break;
+    }
+  }
+  // Heavier per-instance work historically got more cores. Historical
+  // plans cap at 8 cores / 64 GB: the larger catalog entries exist for
+  // RAA's upsizing, not for HBO's uniform defaults (which must leave the
+  // cluster enough room to host the whole stage).
+  double cores = std::clamp(
+      total_cost / 4.0e5 * options_.overprovision_factor, 0.25, 8.0);
+  double mem_gb = std::clamp(
+      working_set_bytes / 1e9 * options_.overprovision_factor, 0.5, 64.0);
+  rec.theta0 = QuantizeUp({cores, mem_gb});
+  return rec;
+}
+
+void Hbo::RecordRun(int template_id, const HboRecommendation& used,
+                    double stage_latency, double /*stage_cost*/) {
+  HistoryEntry& entry = history_[template_id];
+  if (entry.runs == 0 || stage_latency < entry.best_latency) {
+    entry.best = used;
+    entry.best_latency = stage_latency;
+  }
+  entry.runs++;
+}
+
+}  // namespace fgro

@@ -1,0 +1,77 @@
+#ifndef FGRO_HBO_HBO_H_
+#define FGRO_HBO_HBO_H_
+
+#include <map>
+#include <vector>
+
+#include "cluster/resource.h"
+#include "plan/stage.h"
+
+namespace fgro {
+
+/// HBO's output for a stage: the partition count (number of instances) and
+/// the single resource plan theta0 shared by all instances.
+struct HboRecommendation {
+  int partition_count = 1;
+  ResourceConfig theta0;
+};
+
+struct HboOptions {
+  double target_rows_per_instance = 2.0e5;
+  int max_instances = 4096;
+  // HBO is deliberately conservative: it over-provisions so recurring jobs
+  // do not regress, which is exactly the slack RAA later recovers (the
+  // paper's motivating example: a user paying 10x the resources for 2x the
+  // latency).
+  double overprovision_factor = 2.0;
+};
+
+/// The multiplicative window around theta0 that historical runs explore
+/// (HBO re-tuning drift) and therefore the only region where the learned
+/// model's theta-response is trustworthy. RAA restricts its search to this
+/// window — the paper's F.15 observes that beyond the observed plans the
+/// model "is not guaranteed to function properly".
+constexpr double kPlanExplorationLow = 0.28;
+constexpr double kPlanExplorationHigh = 2.2;
+
+/// History-Based Optimizer. For a recurring stage template with recorded
+/// history it returns the best-performing past configuration; otherwise it
+/// falls back to a sizing rule on the CBO estimates (rows-per-instance
+/// target for the partition count, estimated per-instance work/working-set
+/// for theta0), quantized to the discrete catalog of container plans that a
+/// production cluster actually offers (the paper observes only 17-38
+/// distinct plans per workload).
+class Hbo {
+ public:
+  explicit Hbo(HboOptions options = {}) : options_(options) {}
+
+  /// The discrete container configurations available in the cluster.
+  static const std::vector<ResourceConfig>& ResourcePlanCatalog();
+
+  /// Snaps an arbitrary configuration to the nearest catalog entry with at
+  /// least the requested cores and memory (rounds up, like a real quota).
+  static ResourceConfig QuantizeUp(const ResourceConfig& theta);
+
+  HboRecommendation Recommend(const Stage& stage) const;
+
+  /// Records one historical run of a template; future Recommend calls for
+  /// that template return the lowest-latency recorded configuration.
+  void RecordRun(int template_id, const HboRecommendation& used,
+                 double stage_latency, double stage_cost);
+
+  const HboOptions& options() const { return options_; }
+
+ private:
+  struct HistoryEntry {
+    HboRecommendation best;
+    double best_latency = 0.0;
+    int runs = 0;
+  };
+
+  HboOptions options_;
+  std::map<int, HistoryEntry> history_;
+};
+
+}  // namespace fgro
+
+#endif  // FGRO_HBO_HBO_H_

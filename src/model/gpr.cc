@@ -1,0 +1,166 @@
+#include "model/gpr.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/math_utils.h"
+
+namespace fgro {
+
+namespace {
+
+/// In-place Cholesky decomposition of a dense SPD matrix (row-major, n x n);
+/// returns false if the matrix is not positive definite.
+bool Cholesky(std::vector<double>* a, int n) {
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j <= i; ++j) {
+      double sum = (*a)[static_cast<size_t>(i) * static_cast<size_t>(n) +
+                        static_cast<size_t>(j)];
+      for (int k = 0; k < j; ++k) {
+        sum -= (*a)[static_cast<size_t>(i) * static_cast<size_t>(n) +
+                    static_cast<size_t>(k)] *
+               (*a)[static_cast<size_t>(j) * static_cast<size_t>(n) +
+                    static_cast<size_t>(k)];
+      }
+      if (i == j) {
+        if (sum <= 0.0) return false;
+        (*a)[static_cast<size_t>(i) * static_cast<size_t>(n) +
+             static_cast<size_t>(i)] = std::sqrt(sum);
+      } else {
+        (*a)[static_cast<size_t>(i) * static_cast<size_t>(n) +
+             static_cast<size_t>(j)] =
+            sum / (*a)[static_cast<size_t>(j) * static_cast<size_t>(n) +
+                       static_cast<size_t>(j)];
+      }
+    }
+    for (int j = i + 1; j < n; ++j) {
+      (*a)[static_cast<size_t>(i) * static_cast<size_t>(n) +
+           static_cast<size_t>(j)] = 0.0;
+    }
+  }
+  return true;
+}
+
+/// Solves L z = b then L^T x = z for SPD K = L L^T.
+std::vector<double> CholeskySolve(const std::vector<double>& chol, int n,
+                                  std::vector<double> b) {
+  for (int i = 0; i < n; ++i) {
+    double sum = b[static_cast<size_t>(i)];
+    for (int k = 0; k < i; ++k) {
+      sum -= chol[static_cast<size_t>(i) * static_cast<size_t>(n) +
+                  static_cast<size_t>(k)] *
+             b[static_cast<size_t>(k)];
+    }
+    b[static_cast<size_t>(i)] =
+        sum / chol[static_cast<size_t>(i) * static_cast<size_t>(n) +
+                   static_cast<size_t>(i)];
+  }
+  for (int i = n - 1; i >= 0; --i) {
+    double sum = b[static_cast<size_t>(i)];
+    for (int k = i + 1; k < n; ++k) {
+      sum -= chol[static_cast<size_t>(k) * static_cast<size_t>(n) +
+                  static_cast<size_t>(i)] *
+             b[static_cast<size_t>(k)];
+    }
+    b[static_cast<size_t>(i)] =
+        sum / chol[static_cast<size_t>(i) * static_cast<size_t>(n) +
+                   static_cast<size_t>(i)];
+  }
+  return b;
+}
+
+}  // namespace
+
+double GprNoiseModel::Kernel(double a, double b) const {
+  double d = (a - b) / options_.length_scale;
+  return options_.signal_variance * std::exp(-0.5 * d * d);
+}
+
+Status GprNoiseModel::Fit(const std::vector<double>& predicted,
+                          const std::vector<double>& actual) {
+  if (predicted.size() != actual.size() || predicted.empty()) {
+    return Status::InvalidArgument("predicted/actual size mismatch or empty");
+  }
+  Rng rng(options_.seed);
+
+  // Residuals in log space; the GP models E[log actual - log pred | pred].
+  std::vector<double> xs, ys;
+  xs.reserve(predicted.size());
+  ys.reserve(predicted.size());
+  for (size_t i = 0; i < predicted.size(); ++i) {
+    xs.push_back(std::log(std::max(1e-3, predicted[i])));
+    ys.push_back(std::log(std::max(1e-3, actual[i])) -
+                 std::log(std::max(1e-3, predicted[i])));
+  }
+  // The residual spread is the GPR's sigma: it widens for worse bootstrap
+  // models (the Expt 12 mechanism).
+  residual_variance_ = 0.0;
+  y_mean_ = Mean(ys);
+  for (double y : ys) residual_variance_ += (y - y_mean_) * (y - y_mean_);
+  residual_variance_ =
+      std::max(1e-4, residual_variance_ / static_cast<double>(ys.size()));
+
+  // Subsample inducing points.
+  std::vector<size_t> order(xs.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::shuffle(order.begin(), order.end(), rng.engine());
+  const int k = std::min<int>(options_.max_inducing_points,
+                              static_cast<int>(xs.size()));
+  x_.resize(static_cast<size_t>(k));
+  std::vector<double> y(static_cast<size_t>(k));
+  for (int i = 0; i < k; ++i) {
+    x_[static_cast<size_t>(i)] = xs[order[static_cast<size_t>(i)]];
+    y[static_cast<size_t>(i)] = ys[order[static_cast<size_t>(i)]] - y_mean_;
+  }
+
+  chol_.assign(static_cast<size_t>(k) * static_cast<size_t>(k), 0.0);
+  for (int i = 0; i < k; ++i) {
+    for (int j = 0; j < k; ++j) {
+      double v = Kernel(x_[static_cast<size_t>(i)], x_[static_cast<size_t>(j)]);
+      if (i == j) v += residual_variance_ + options_.noise_floor;
+      chol_[static_cast<size_t>(i) * static_cast<size_t>(k) +
+            static_cast<size_t>(j)] = v;
+    }
+  }
+  if (!Cholesky(&chol_, k)) {
+    return Status::Internal("GPR kernel matrix not positive definite");
+  }
+  alpha_ = CholeskySolve(chol_, k, y);
+  return Status::OK();
+}
+
+void GprNoiseModel::PredictDistribution(double predicted_latency, double* mu,
+                                        double* sigma) const {
+  const double x = std::log(std::max(1e-3, predicted_latency));
+  if (!fitted()) {
+    *mu = x;
+    *sigma = 0.1;
+    return;
+  }
+  const int k = static_cast<int>(x_.size());
+  std::vector<double> ks(static_cast<size_t>(k));
+  double mean_resid = y_mean_;
+  for (int i = 0; i < k; ++i) {
+    ks[static_cast<size_t>(i)] = Kernel(x, x_[static_cast<size_t>(i)]);
+    mean_resid += ks[static_cast<size_t>(i)] * alpha_[static_cast<size_t>(i)];
+  }
+  // Posterior variance: k(x,x) - k* K^-1 k* + residual noise.
+  std::vector<double> v = CholeskySolve(chol_, k, ks);
+  double reduction = 0.0;
+  for (int i = 0; i < k; ++i) {
+    reduction += ks[static_cast<size_t>(i)] * v[static_cast<size_t>(i)];
+  }
+  double var = std::max(1e-6, Kernel(x, x) - reduction + residual_variance_);
+  *mu = x + mean_resid;
+  *sigma = std::sqrt(var);
+}
+
+double GprNoiseModel::Sample(double predicted_latency, Rng* rng) const {
+  double mu = 0.0, sigma = 0.0;
+  PredictDistribution(predicted_latency, &mu, &sigma);
+  double z = Clamp(rng->Normal(0.0, 1.0), -3.0, 3.0);
+  return std::max(0.005, std::exp(mu + sigma * z));
+}
+
+}  // namespace fgro

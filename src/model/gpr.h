@@ -1,0 +1,57 @@
+#ifndef FGRO_MODEL_GPR_H_
+#define FGRO_MODEL_GPR_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+
+namespace fgro {
+
+/// The actual-latency simulator of Expt 11: a Gaussian-process regression
+/// fit on (predicted, actual) latency pairs of a bootstrap model. Given a
+/// predicted latency it yields a Gaussian N(mu, sigma) over the actual
+/// latency (in log space, so the noise is multiplicative) from which the
+/// simulator samples within mu +/- 3 sigma. A less accurate bootstrap model
+/// produces a wider GPR — which is how Expt 12 couples model accuracy to
+/// optimization benefit.
+class GprNoiseModel {
+ public:
+  struct Options {
+    int max_inducing_points = 160;  // subsample cap for the O(k^3) fit
+    double length_scale = 0.6;      // RBF length scale in log-latency space
+    double signal_variance = 1.0;
+    double noise_floor = 1e-4;      // jitter added to the kernel diagonal
+    uint64_t seed = 97;
+  };
+
+  GprNoiseModel() = default;
+  explicit GprNoiseModel(Options options) : options_(options) {}
+
+  /// Fits on pairs of predicted/actual latencies (seconds).
+  Status Fit(const std::vector<double>& predicted,
+             const std::vector<double>& actual);
+
+  /// Posterior over log(actual) at the given predicted latency.
+  void PredictDistribution(double predicted_latency, double* mu,
+                           double* sigma) const;
+
+  /// One draw of the simulated actual latency, clipped to mu +/- 3 sigma.
+  double Sample(double predicted_latency, Rng* rng) const;
+
+  bool fitted() const { return !x_.empty(); }
+
+ private:
+  double Kernel(double a, double b) const;
+
+  Options options_;
+  std::vector<double> x_;        // inducing inputs: log predicted
+  std::vector<double> alpha_;    // K^-1 y
+  std::vector<double> chol_;     // lower-triangular Cholesky factor of K
+  double residual_variance_ = 0.01;
+  double y_mean_ = 0.0;
+};
+
+}  // namespace fgro
+
+#endif  // FGRO_MODEL_GPR_H_

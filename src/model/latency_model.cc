@@ -1,0 +1,552 @@
+#include "model/latency_model.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "common/logging.h"
+#include "common/math_utils.h"
+#include "model/metrics.h"
+
+namespace fgro {
+
+const char* ModelKindName(ModelKind kind) {
+  switch (kind) {
+    case ModelKind::kMciGtn: return "MCI+GTN";
+    case ModelKind::kMciTlstm: return "MCI+TLSTM";
+    case ModelKind::kMciQppnet: return "MCI+QPPNet";
+    case ModelKind::kTlstmOriginal: return "TLSTM";
+    case ModelKind::kQppnetOriginal: return "QPPNet";
+  }
+  return "?";
+}
+
+void Standardizer::Fit(const std::vector<const Vec*>& rows) {
+  if (rows.empty()) return;
+  const size_t d = rows[0]->size();
+  mean.assign(d, 0.0);
+  Vec sq(d, 0.0);
+  for (const Vec* row : rows) {
+    for (size_t i = 0; i < d; ++i) {
+      mean[i] += (*row)[i];
+      sq[i] += (*row)[i] * (*row)[i];
+    }
+  }
+  const double n = static_cast<double>(rows.size());
+  inv_std.assign(d, 1.0);
+  for (size_t i = 0; i < d; ++i) {
+    mean[i] /= n;
+    double var = std::max(0.0, sq[i] / n - mean[i] * mean[i]);
+    // Floor the deviation relative to the feature's own magnitude: a
+    // near-constant dimension in a small training slice must not amplify
+    // out-of-slice values by orders of magnitude (the drift experiments
+    // retrain on thin windows where this bites hard).
+    double floor = std::max(1e-3, 0.02 * std::abs(mean[i]));
+    inv_std[i] = 1.0 / std::max(floor, std::sqrt(var));
+  }
+}
+
+void Standardizer::Apply(Vec* row) const {
+  if (!fitted()) return;
+  FGRO_CHECK(row->size() == mean.size());
+  for (size_t i = 0; i < row->size(); ++i) {
+    // Clamp to a wide band: values far outside the training distribution
+    // carry no usable signal and would destabilize the network.
+    (*row)[i] = std::clamp(((*row)[i] - mean[i]) * inv_std[i], -10.0, 10.0);
+  }
+}
+
+LatencyModel::LatencyModel(Options options) : options_(std::move(options)) {
+  Rng rng(options_.seed);
+  const int h = options_.mlp_hidden;
+  const int e = options_.embed_dim;
+  switch (options_.kind) {
+    case ModelKind::kMciGtn:
+      gnn_ = GraphEmbedder(kOpFeatureDim, e, options_.gnn_layers, &rng);
+      predictor_ = Mlp({e + kInstanceFeatureDim, h, h, 1}, &rng);
+      break;
+    case ModelKind::kMciTlstm:
+      tlstm_ = TreeLstm(kOpFeatureDim, e, &rng);
+      predictor_ = Mlp({e + kInstanceFeatureDim, h, h, 1}, &rng);
+      break;
+    case ModelKind::kMciQppnet:
+      qpp_ = QppNet(kNumOperatorTypes, kOpFeatureDim + kInstanceFeatureDim,
+                    options_.qpp_data_dim, h, &rng);
+      break;
+    case ModelKind::kTlstmOriginal:
+      tlstm_ = TreeLstm(kOpFeatureDim, e, &rng);
+      predictor_ = Mlp({e, h, 1}, &rng);
+      break;
+    case ModelKind::kQppnetOriginal:
+      qpp_ = QppNet(kNumOperatorTypes, kOpFeatureDim, options_.qpp_data_dim,
+                    h, &rng);
+      break;
+  }
+}
+
+bool LatencyModel::UsesTree() const {
+  return options_.kind != ModelKind::kMciGtn;
+}
+
+bool LatencyModel::UsesInstanceFeatures() const {
+  return options_.kind == ModelKind::kMciGtn ||
+         options_.kind == ModelKind::kMciTlstm ||
+         options_.kind == ModelKind::kMciQppnet;
+}
+
+double LatencyModel::TargetOf(const InstanceRecord& record,
+                              Target target) const {
+  switch (target) {
+    case Target::kInstanceLatency: return record.actual_latency;
+    case Target::kActualCpuTime: return record.actual_cpu_seconds;
+    case Target::kActualCpuTimeStar: return record.actual_cpu_seconds_star;
+  }
+  return record.actual_latency;
+}
+
+Status LatencyModel::PrepareSample(const TraceDataset& dataset,
+                                   int record_idx, Target target,
+                                   PreparedSample* out) const {
+  const InstanceRecord& record =
+      dataset.records[static_cast<size_t>(record_idx)];
+  const Stage& stage = dataset.StageOf(record);
+  FGRO_RETURN_IF_ERROR(PrepareForInference(stage, record.instance_idx,
+                                           record.theta, record.machine_state,
+                                           record.hardware_type, out));
+  out->target_raw = std::max(0.005, TargetOf(record, target));
+  out->target_log = std::log1p(out->target_raw);
+  return Status::OK();
+}
+
+Status LatencyModel::PrepareForInference(const Stage& stage, int instance_idx,
+                                         const ResourceConfig& theta,
+                                         const SystemState& state,
+                                         int hardware_type,
+                                         PreparedSample* out) const {
+  const Featurizer& fz = options_.featurizer;
+  if (UsesTree()) {
+    Result<PlanGraph> tree = fz.BuildPlanTree(stage, instance_idx,
+                                              &out->tree_root);
+    if (!tree.ok()) return tree.status();
+    out->graph = std::move(tree).value();
+  } else {
+    Result<PlanGraph> graph = fz.BuildPlanGraph(stage, instance_idx);
+    if (!graph.ok()) return graph.status();
+    out->graph = std::move(graph).value();
+  }
+  out->inst_features = fz.InstanceFeatures(stage, instance_idx, theta, state,
+                                           hardware_type);
+  // Standardize (no-op before Fit during training preparation). The MCI
+  // broadcast for QPPNet happens inside QppNet::Forward via the context
+  // argument, so node rows always keep the plan-channel width here.
+  for (Vec& row : out->graph.node_features) op_standardizer_.Apply(&row);
+  inst_standardizer_.Apply(&out->inst_features);
+  return Status::OK();
+}
+
+double LatencyModel::ForwardBackward(const PreparedSample& sample,
+                                     const double* dpred) {
+  switch (options_.kind) {
+    case ModelKind::kMciGtn: {
+      GraphEmbedder::Cache cache;
+      Vec emb = gnn_.Forward(sample.graph, &cache);
+      Vec input = emb;
+      input.insert(input.end(), sample.inst_features.begin(),
+                   sample.inst_features.end());
+      MlpCache mc;
+      double pred = predictor_.Forward(input, &mc)[0];
+      if (dpred != nullptr) {
+        Vec dinput = predictor_.Backward(mc, Vec{*dpred});
+        Vec demb(dinput.begin(),
+                 dinput.begin() + static_cast<long>(emb.size()));
+        gnn_.Backward(cache, demb);
+      }
+      return pred;
+    }
+    case ModelKind::kMciTlstm:
+    case ModelKind::kTlstmOriginal: {
+      TreeLstm::Cache cache;
+      Vec emb = tlstm_.Forward(sample.graph, sample.tree_root, &cache);
+      Vec input = emb;
+      if (options_.kind == ModelKind::kMciTlstm) {
+        input.insert(input.end(), sample.inst_features.begin(),
+                     sample.inst_features.end());
+      }
+      MlpCache mc;
+      double pred = predictor_.Forward(input, &mc)[0];
+      if (dpred != nullptr) {
+        Vec dinput = predictor_.Backward(mc, Vec{*dpred});
+        Vec demb(dinput.begin(),
+                 dinput.begin() + static_cast<long>(emb.size()));
+        tlstm_.Backward(cache, demb);
+      }
+      return pred;
+    }
+    case ModelKind::kMciQppnet:
+    case ModelKind::kQppnetOriginal: {
+      QppNet::Cache cache;
+      const Vec* context = options_.kind == ModelKind::kMciQppnet
+                               ? &sample.inst_features
+                               : nullptr;
+      double pred =
+          qpp_.Forward(sample.graph, sample.tree_root, &cache, context);
+      if (dpred != nullptr) qpp_.Backward(cache, *dpred);
+      return pred;
+    }
+  }
+  return 0.0;
+}
+
+double LatencyModel::ForwardOnly(const PreparedSample& sample) const {
+  // Forward never mutates parameters; the const_cast spares a parallel
+  // const implementation of the cached forward passes.
+  return const_cast<LatencyModel*>(this)->ForwardBackward(sample, nullptr);
+}
+
+std::vector<Param*> LatencyModel::AllParams() {
+  std::vector<Param*> params;
+  switch (options_.kind) {
+    case ModelKind::kMciGtn:
+      gnn_.AppendParams(&params);
+      predictor_.AppendParams(&params);
+      break;
+    case ModelKind::kMciTlstm:
+    case ModelKind::kTlstmOriginal:
+      tlstm_.AppendParams(&params);
+      predictor_.AppendParams(&params);
+      break;
+    case ModelKind::kMciQppnet:
+    case ModelKind::kQppnetOriginal:
+      qpp_.AppendParams(&params);
+      break;
+  }
+  return params;
+}
+
+Status LatencyModel::Train(const TraceDataset& dataset,
+                           const std::vector<int>& train_idx,
+                           const std::vector<int>& val_idx,
+                           const TrainOptions& options, Target target) {
+  target_ = target;
+  Rng rng(options.seed);
+
+  // Subsample the training set to the cap (uniformly, preserving skew).
+  std::vector<int> indices = train_idx;
+  std::shuffle(indices.begin(), indices.end(), rng.engine());
+  if (static_cast<int>(indices.size()) > options.max_train_samples) {
+    indices.resize(static_cast<size_t>(options.max_train_samples));
+  }
+  if (indices.empty()) return Status::InvalidArgument("empty training set");
+
+  // Pass 1: raw features to fit the standardizers.
+  op_standardizer_ = Standardizer{};
+  inst_standardizer_ = Standardizer{};
+  std::vector<PreparedSample> samples(indices.size());
+  for (size_t i = 0; i < indices.size(); ++i) {
+    FGRO_RETURN_IF_ERROR(
+        PrepareSample(dataset, indices[i], target, &samples[i]));
+  }
+  {
+    std::vector<const Vec*> op_rows, inst_rows;
+    for (const PreparedSample& s : samples) {
+      for (const Vec& row : s.graph.node_features) op_rows.push_back(&row);
+      inst_rows.push_back(&s.inst_features);
+    }
+    op_standardizer_.Fit(op_rows);
+    inst_standardizer_.Fit(inst_rows);
+  }
+  // Pass 2: re-prepare with standardization (and QPPNet broadcast) applied.
+  for (size_t i = 0; i < indices.size(); ++i) {
+    double raw = samples[i].target_raw, lg = samples[i].target_log;
+    FGRO_RETURN_IF_ERROR(
+        PrepareSample(dataset, indices[i], target, &samples[i]));
+    samples[i].target_raw = raw;
+    samples[i].target_log = lg;
+  }
+
+  adam_ = Adam(Adam::Options{.lr = options.lr});
+  std::vector<Param*> params = AllParams();
+  std::vector<size_t> order(samples.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+
+  for (int epoch = 0; epoch < options.epochs; ++epoch) {
+    std::shuffle(order.begin(), order.end(), rng.engine());
+    double loss_sum = 0.0;
+    size_t pos = 0;
+    while (pos < order.size()) {
+      adam_.ZeroGrad(params);
+      int batch = 0;
+      for (; batch < options.batch_size && pos < order.size();
+           ++batch, ++pos) {
+        const PreparedSample& s = samples[order[pos]];
+        double pred = ForwardOnly(s);
+        double dpred = pred - s.target_log;
+        loss_sum += 0.5 * dpred * dpred;
+        ForwardBackward(s, &dpred);
+      }
+      adam_.Step(params, batch);
+    }
+    adam_.set_lr(adam_.lr() * options.lr_decay);
+    if (options.verbose) {
+      trained_ = true;
+      double val_wmape = -1.0;
+      if (!val_idx.empty()) {
+        Result<std::vector<double>> preds = PredictRecords(dataset, val_idx);
+        if (preds.ok()) {
+          std::vector<double> actual;
+          actual.reserve(val_idx.size());
+          for (int idx : val_idx) {
+            actual.push_back(TargetOf(
+                dataset.records[static_cast<size_t>(idx)], target));
+          }
+          val_wmape = ComputeModelMetrics(actual, preds.value()).wmape;
+        }
+      }
+      FGRO_LOG(kInfo) << ModelKindName(options_.kind) << " epoch " << epoch
+                      << " train_loss=" << loss_sum / samples.size()
+                      << " val_wmape=" << val_wmape;
+    }
+  }
+  trained_ = true;
+  return Status::OK();
+}
+
+Status LatencyModel::FineTune(const TraceDataset& dataset,
+                              const std::vector<int>& indices,
+                              const TrainOptions& options) {
+  if (!trained_) return Status::FailedPrecondition("model not trained");
+  if (indices.empty()) return Status::OK();
+  Rng rng(options.seed);
+
+  std::vector<int> subset = indices;
+  std::shuffle(subset.begin(), subset.end(), rng.engine());
+  if (static_cast<int>(subset.size()) > options.max_train_samples) {
+    subset.resize(static_cast<size_t>(options.max_train_samples));
+  }
+  std::vector<PreparedSample> samples(subset.size());
+  for (size_t i = 0; i < subset.size(); ++i) {
+    FGRO_RETURN_IF_ERROR(
+        PrepareSample(dataset, subset[i], target_, &samples[i]));
+  }
+  std::vector<Param*> params = AllParams();
+  Adam tuner(Adam::Options{.lr = options.lr});
+  std::vector<size_t> order(samples.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  for (int epoch = 0; epoch < options.epochs; ++epoch) {
+    std::shuffle(order.begin(), order.end(), rng.engine());
+    size_t pos = 0;
+    while (pos < order.size()) {
+      tuner.ZeroGrad(params);
+      int batch = 0;
+      for (; batch < options.batch_size && pos < order.size();
+           ++batch, ++pos) {
+        const PreparedSample& s = samples[order[pos]];
+        double pred = ForwardOnly(s);
+        double dpred = pred - s.target_log;
+        ForwardBackward(s, &dpred);
+      }
+      tuner.Step(params, batch);
+    }
+  }
+  return Status::OK();
+}
+
+Result<double> LatencyModel::Predict(const Stage& stage, int instance_idx,
+                                     const ResourceConfig& theta,
+                                     const SystemState& state,
+                                     int hardware_type) const {
+  PreparedSample sample;
+  FGRO_RETURN_IF_ERROR(PrepareForInference(
+      stage, instance_idx, theta, state, hardware_type, &sample));
+  double pred_log = Clamp(ForwardOnly(sample), -2.0, 12.5);
+  return std::max(0.005, std::expm1(pred_log));
+}
+
+Result<LatencyModel::EmbeddedInstance> LatencyModel::Embed(
+    const Stage& stage, int instance_idx) const {
+  EmbeddedInstance out;
+  out.stage = &stage;
+  out.instance_idx = instance_idx;
+  if (options_.kind == ModelKind::kMciGtn ||
+      options_.kind == ModelKind::kMciTlstm) {
+    PreparedSample sample;
+    // theta/state/hw are placeholders: only the plan graph matters here.
+    FGRO_RETURN_IF_ERROR(PrepareForInference(
+        stage, instance_idx, ResourceConfig{}, SystemState{}, 0, &sample));
+    if (options_.kind == ModelKind::kMciGtn) {
+      GraphEmbedder::Cache cache;
+      out.plan_embedding = gnn_.Forward(sample.graph, &cache);
+    } else {
+      TreeLstm::Cache cache;
+      out.plan_embedding =
+          tlstm_.Forward(sample.graph, sample.tree_root, &cache);
+    }
+    // Standardized Channel-2 slice (first kCh2Dim entries of inst features).
+    out.ch2_features.assign(sample.inst_features.begin(),
+                            sample.inst_features.begin() + kCh2Dim);
+  }
+  return out;
+}
+
+double LatencyModel::PredictFromEmbedding(const EmbeddedInstance& embedded,
+                                          const ResourceConfig& theta,
+                                          const SystemState& state,
+                                          int hardware_type) const {
+  if (options_.kind == ModelKind::kMciGtn ||
+      options_.kind == ModelKind::kMciTlstm) {
+    Vec context =
+        options_.featurizer.ContextFeatures(theta, state, hardware_type);
+    // Standardize the context slice with the tail of the instance
+    // standardizer (indices kCh2Dim..).
+    if (inst_standardizer_.fitted()) {
+      for (size_t i = 0; i < context.size(); ++i) {
+        size_t j = static_cast<size_t>(kCh2Dim) + i;
+        context[i] =
+            (context[i] - inst_standardizer_.mean[j]) *
+            inst_standardizer_.inv_std[j];
+      }
+    }
+    Vec input = embedded.plan_embedding;
+    input.insert(input.end(), embedded.ch2_features.begin(),
+                 embedded.ch2_features.end());
+    input.insert(input.end(), context.begin(), context.end());
+    double pred_log = Clamp(predictor_.Forward(input)[0], -2.0, 12.5);
+    return std::max(0.005, std::expm1(pred_log));
+  }
+  // QPPNet-style and original models: full forward pass.
+  Result<double> pred = Predict(*embedded.stage, embedded.instance_idx, theta,
+                                state, hardware_type);
+  return pred.ok() ? pred.value() : 1.0;
+}
+
+Result<std::vector<double>> LatencyModel::PredictRecords(
+    const TraceDataset& dataset, const std::vector<int>& indices) const {
+  std::vector<double> out;
+  out.reserve(indices.size());
+  for (int idx : indices) {
+    const InstanceRecord& r = dataset.records[static_cast<size_t>(idx)];
+    Result<double> pred = Predict(dataset.StageOf(r), r.instance_idx, r.theta,
+                                  r.machine_state, r.hardware_type);
+    if (!pred.ok()) return pred.status();
+    out.push_back(pred.value());
+  }
+  return out;
+}
+
+namespace {
+constexpr const char* kModelMagic = "fgro-model-v1";
+
+void WriteVec(std::FILE* f, const Vec& v) {
+  std::fprintf(f, "%zu", v.size());
+  for (double x : v) std::fprintf(f, " %.17g", x);
+  std::fprintf(f, "\n");
+}
+
+bool ReadVec(std::FILE* f, Vec* v) {
+  size_t n = 0;
+  if (std::fscanf(f, "%zu", &n) != 1) return false;
+  v->resize(n);
+  for (size_t i = 0; i < n; ++i) {
+    if (std::fscanf(f, "%lg", &(*v)[i]) != 1) return false;
+  }
+  return true;
+}
+}  // namespace
+
+Status LatencyModel::Save(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return Status::Internal("cannot open " + path);
+  const ChannelMask& mask = options_.featurizer.mask();
+  std::fprintf(f, "%s\n", kModelMagic);
+  std::fprintf(f, "%d %d %d %d %d %lu\n", static_cast<int>(options_.kind),
+               options_.embed_dim, options_.gnn_layers, options_.mlp_hidden,
+               options_.qpp_data_dim,
+               static_cast<unsigned long>(options_.seed));
+  std::fprintf(f, "%d %d %d %d %d %d %d\n", mask.ch1 ? 1 : 0,
+               mask.ch2 ? 1 : 0, mask.ch3 ? 1 : 0, mask.ch4 ? 1 : 0,
+               mask.ch5 ? 1 : 0, static_cast<int>(mask.aim),
+               options_.featurizer.discretization_degree());
+  std::fprintf(f, "%d %d\n", trained_ ? 1 : 0, static_cast<int>(target_));
+  WriteVec(f, op_standardizer_.mean);
+  WriteVec(f, op_standardizer_.inv_std);
+  WriteVec(f, inst_standardizer_.mean);
+  WriteVec(f, inst_standardizer_.inv_std);
+  std::vector<Param*> params = const_cast<LatencyModel*>(this)->AllParams();
+  std::fprintf(f, "%zu\n", params.size());
+  for (const Param* p : params) {
+    std::fprintf(f, "%d %d ", p->rows, p->cols);
+    WriteVec(f, p->value);
+  }
+  std::fclose(f);
+  return Status::OK();
+}
+
+Result<std::unique_ptr<LatencyModel>> LatencyModel::Load(
+    const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  if (f == nullptr) return Status::NotFound("cannot open " + path);
+  auto fail = [&](const std::string& why) -> Status {
+    std::fclose(f);
+    return Status::InvalidArgument(path + ": " + why);
+  };
+  char magic[64] = {0};
+  if (std::fscanf(f, "%63s", magic) != 1 ||
+      std::string(magic) != kModelMagic) {
+    return fail("bad magic");
+  }
+  Options options;
+  int kind = 0;
+  unsigned long seed = 0;
+  if (std::fscanf(f, "%d %d %d %d %d %lu", &kind, &options.embed_dim,
+                  &options.gnn_layers, &options.mlp_hidden,
+                  &options.qpp_data_dim, &seed) != 6) {
+    return fail("bad architecture header");
+  }
+  options.kind = static_cast<ModelKind>(kind);
+  options.seed = seed;
+  int ch[5] = {0}, aim = 0, dd = 10;
+  if (std::fscanf(f, "%d %d %d %d %d %d %d", &ch[0], &ch[1], &ch[2], &ch[3],
+                  &ch[4], &aim, &dd) != 7) {
+    return fail("bad channel mask");
+  }
+  ChannelMask mask;
+  mask.ch1 = ch[0] != 0;
+  mask.ch2 = ch[1] != 0;
+  mask.ch3 = ch[2] != 0;
+  mask.ch4 = ch[3] != 0;
+  mask.ch5 = ch[4] != 0;
+  mask.aim = static_cast<AimMode>(aim);
+  options.featurizer = Featurizer(mask, dd);
+
+  auto model = std::make_unique<LatencyModel>(options);
+  int trained = 0, target = 0;
+  if (std::fscanf(f, "%d %d", &trained, &target) != 2) {
+    return fail("bad state header");
+  }
+  model->trained_ = trained != 0;
+  model->target_ = static_cast<Target>(target);
+  if (!ReadVec(f, &model->op_standardizer_.mean) ||
+      !ReadVec(f, &model->op_standardizer_.inv_std) ||
+      !ReadVec(f, &model->inst_standardizer_.mean) ||
+      !ReadVec(f, &model->inst_standardizer_.inv_std)) {
+    return fail("bad standardizers");
+  }
+  size_t param_count = 0;
+  if (std::fscanf(f, "%zu", &param_count) != 1) return fail("bad param count");
+  std::vector<Param*> params = model->AllParams();
+  if (params.size() != param_count) return fail("param count mismatch");
+  for (Param* p : params) {
+    int rows = 0, cols = 0;
+    Vec value;
+    if (std::fscanf(f, "%d %d", &rows, &cols) != 2 || !ReadVec(f, &value) ||
+        rows != p->rows || cols != p->cols ||
+        value.size() != p->value.size()) {
+      return fail("param shape mismatch");
+    }
+    p->value = std::move(value);
+  }
+  std::fclose(f);
+  return model;
+}
+
+}  // namespace fgro

@@ -1,0 +1,162 @@
+#ifndef FGRO_MODEL_LATENCY_MODEL_H_
+#define FGRO_MODEL_LATENCY_MODEL_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/status.h"
+#include "featurize/featurizer.h"
+#include "nn/adam.h"
+#include "nn/graph_embedder.h"
+#include "nn/mlp.h"
+#include "nn/qppnet.h"
+#include "nn/tree_lstm.h"
+#include "trace/trace_collector.h"
+
+namespace fgro {
+
+/// The five modeling tools compared in Fig. 9(c). MCI variants consume all
+/// channels; the "original" variants see only the plan channel (their
+/// published form predicts per-query latency on a fixed single machine).
+enum class ModelKind {
+  kMciGtn = 0,        // our model: DAG embedder + MLP predictor
+  kMciTlstm,          // Tree-LSTM embedder retrofitted with MCI
+  kMciQppnet,         // QPPNet units retrofitted with MCI (broadcast Ch2-5)
+  kTlstmOriginal,     // plan-only Tree-LSTM
+  kQppnetOriginal,    // plan-only QPPNet
+};
+
+const char* ModelKindName(ModelKind kind);
+
+/// Per-dimension z-normalization fit on the training features.
+struct Standardizer {
+  Vec mean;
+  Vec inv_std;
+  void Fit(const std::vector<const Vec*>& rows);
+  void Apply(Vec* row) const;
+  bool fitted() const { return !mean.empty(); }
+};
+
+struct TrainOptions {
+  int epochs = 10;
+  int batch_size = 32;
+  double lr = 1.5e-3;
+  double lr_decay = 0.88;          // multiplicative, per epoch
+  int max_train_samples = 40000;   // subsample cap for laptop-scale runs
+  uint64_t seed = 17;
+  bool verbose = false;
+};
+
+/// Instance-level latency model: the paper's model-server artifact. Trains
+/// on trace records (log-latency MSE) and predicts the latency of an
+/// instance on any (machine, resource plan) pair.
+class LatencyModel {
+ public:
+  struct Options {
+    ModelKind kind = ModelKind::kMciGtn;
+    Featurizer featurizer;
+    int embed_dim = 32;
+    int gnn_layers = 2;
+    int mlp_hidden = 48;
+    int qpp_data_dim = 8;
+    uint64_t seed = 1;
+  };
+
+  /// Which trace label to learn (Table 9's modeling targets).
+  enum class Target {
+    kInstanceLatency,     // SiSL (default)
+    kActualCpuTime,       // ACT
+    kActualCpuTimeStar,   // ACT*
+  };
+
+  explicit LatencyModel(Options options);
+
+  /// Trains from scratch on `train_idx`; `val_idx` is used for the verbose
+  /// per-epoch report only (hyperparameters are fixed in this build).
+  Status Train(const TraceDataset& dataset, const std::vector<int>& train_idx,
+               const std::vector<int>& val_idx, const TrainOptions& options,
+               Target target = Target::kInstanceLatency);
+
+  /// Continues training the current parameters on new records (the
+  /// "fine-tune" arm of Expt 7). Requires a prior Train call.
+  Status FineTune(const TraceDataset& dataset,
+                  const std::vector<int>& indices,
+                  const TrainOptions& options);
+
+  /// Predicted latency (seconds) of one instance on one machine context.
+  Result<double> Predict(const Stage& stage, int instance_idx,
+                         const ResourceConfig& theta, const SystemState& state,
+                         int hardware_type) const;
+
+  /// Two-phase inference for the optimizer hot path: the plan embedding
+  /// depends only on Channels 1-2 (+AIM), so IPA can embed each instance
+  /// once and sweep machines/configurations cheaply. For QPPNet-style
+  /// models (which broadcast context into every unit) this transparently
+  /// falls back to a full forward pass.
+  struct EmbeddedInstance {
+    Vec plan_embedding;       // standardized-model-space embedding
+    Vec ch2_features;         // standardized Channel 2 slice
+    const Stage* stage = nullptr;
+    int instance_idx = 0;
+  };
+  Result<EmbeddedInstance> Embed(const Stage& stage, int instance_idx) const;
+  double PredictFromEmbedding(const EmbeddedInstance& embedded,
+                              const ResourceConfig& theta,
+                              const SystemState& state,
+                              int hardware_type) const;
+
+  /// Convenience: predict for every record index, in order.
+  Result<std::vector<double>> PredictRecords(
+      const TraceDataset& dataset, const std::vector<int>& indices) const;
+
+  /// Persists the trained model (architecture, standardizers, parameters)
+  /// to a version-tagged text file; Load reconstructs it. This is what lets
+  /// the model server hand models to schedulers across process boundaries.
+  Status Save(const std::string& path) const;
+  static Result<std::unique_ptr<LatencyModel>> Load(const std::string& path);
+
+  ModelKind kind() const { return options_.kind; }
+  const Featurizer& featurizer() const { return options_.featurizer; }
+  bool trained() const { return trained_; }
+
+ private:
+  struct PreparedSample {
+    PlanGraph graph;
+    int tree_root = 0;
+    Vec inst_features;
+    double target_log = 0.0;
+    double target_raw = 0.0;
+  };
+
+  bool UsesTree() const;
+  bool UsesInstanceFeatures() const;
+  Status PrepareSample(const TraceDataset& dataset, int record_idx,
+                       Target target, PreparedSample* out) const;
+  Status PrepareForInference(const Stage& stage, int instance_idx,
+                             const ResourceConfig& theta,
+                             const SystemState& state, int hardware_type,
+                             PreparedSample* out) const;
+  /// Forward pass; if `dpred` != nullptr also runs backward with that
+  /// output gradient (parameter grads accumulate).
+  double ForwardBackward(const PreparedSample& sample, const double* dpred);
+  double ForwardOnly(const PreparedSample& sample) const;
+  std::vector<Param*> AllParams();
+  double TargetOf(const InstanceRecord& record, Target target) const;
+
+  Options options_;
+  Target target_ = Target::kInstanceLatency;
+  bool trained_ = false;
+
+  GraphEmbedder gnn_;
+  TreeLstm tlstm_;
+  QppNet qpp_;
+  Mlp predictor_;   // head for GTN/TLSTM variants
+  Adam adam_;
+
+  Standardizer op_standardizer_;
+  Standardizer inst_standardizer_;
+};
+
+}  // namespace fgro
+
+#endif  // FGRO_MODEL_LATENCY_MODEL_H_

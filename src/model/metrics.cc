@@ -1,0 +1,45 @@
+#include "model/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/math_utils.h"
+
+namespace fgro {
+
+ModelMetrics ComputeModelMetrics(const std::vector<double>& actual,
+                                 const std::vector<double>& predicted,
+                                 const std::vector<double>& cost_rates) {
+  FGRO_CHECK(actual.size() == predicted.size());
+  FGRO_CHECK(actual.size() == cost_rates.size());
+  ModelMetrics m;
+  if (actual.empty()) return m;
+
+  double abs_err_sum = 0.0, actual_sum = 0.0;
+  double cost_a = 0.0, cost_p = 0.0;
+  std::vector<double> rel_errs;
+  rel_errs.reserve(actual.size());
+  for (size_t i = 0; i < actual.size(); ++i) {
+    const double a = actual[i], p = predicted[i];
+    abs_err_sum += std::abs(a - p);
+    actual_sum += a;
+    rel_errs.push_back(a > 1e-12 ? std::abs(a - p) / a : 0.0);
+    cost_a += a * cost_rates[i];
+    cost_p += p * cost_rates[i];
+  }
+  m.wmape = actual_sum > 0.0 ? abs_err_sum / actual_sum : 0.0;
+  m.mderr = Median(rel_errs);
+  m.p95err = Percentile(rel_errs, 95.0);
+  m.corr = PearsonCorrelation(actual, predicted);
+  m.glberr = cost_a > 0.0 ? std::abs(cost_a - cost_p) / cost_a : 0.0;
+  return m;
+}
+
+ModelMetrics ComputeModelMetrics(const std::vector<double>& actual,
+                                 const std::vector<double>& predicted) {
+  return ComputeModelMetrics(actual, predicted,
+                             std::vector<double>(actual.size(), 1.0));
+}
+
+}  // namespace fgro

@@ -1,0 +1,31 @@
+#ifndef FGRO_MODEL_METRICS_H_
+#define FGRO_MODEL_METRICS_H_
+
+#include <vector>
+
+namespace fgro {
+
+/// The five accuracy metrics of Section 6.1. WMAPE is the primary one: it
+/// weights errors by the actual latency, so long-running instances (the ones
+/// resource optimization cares about) dominate it.
+struct ModelMetrics {
+  double wmape = 0.0;   // sum|a-p| / sum a
+  double mderr = 0.0;   // median of |a-p|/a
+  double p95err = 0.0;  // 95th percentile of |a-p|/a
+  double corr = 0.0;    // Pearson correlation of a and p
+  double glberr = 0.0;  // |sum(cost_a) - sum(cost_p)| / sum(cost_a)
+};
+
+/// `cost_rates[i]` converts instance i's latency to cloud cost (w . theta);
+/// pass all-ones to get GlbErr on total latency instead.
+ModelMetrics ComputeModelMetrics(const std::vector<double>& actual,
+                                 const std::vector<double>& predicted,
+                                 const std::vector<double>& cost_rates);
+
+/// Convenience overload with unit cost rates.
+ModelMetrics ComputeModelMetrics(const std::vector<double>& actual,
+                                 const std::vector<double>& predicted);
+
+}  // namespace fgro
+
+#endif  // FGRO_MODEL_METRICS_H_

@@ -1,0 +1,32 @@
+#include "moo/config_space.h"
+
+namespace fgro {
+
+const std::vector<ResourceConfig>& DefaultConfigGrid() {
+  static const std::vector<ResourceConfig>& kGrid = [] {
+    auto* grid = new std::vector<ResourceConfig>;
+    const double cores[] = {0.25, 0.5, 1, 2, 4, 8};
+    const double mems[] = {0.5, 1, 2, 4, 8, 16, 32, 64};
+    for (double c : cores) {
+      for (double m : mems) grid->push_back({c, m});
+    }
+    return *grid;
+  }();
+  return kGrid;
+}
+
+std::vector<ResourceConfig> FilterByCapacity(
+    const std::vector<ResourceConfig>& grid, double max_cores,
+    double max_memory_gb) {
+  std::vector<ResourceConfig> out;
+  out.reserve(grid.size());
+  for (const ResourceConfig& theta : grid) {
+    if (theta.cores <= max_cores + 1e-9 &&
+        theta.memory_gb <= max_memory_gb + 1e-9) {
+      out.push_back(theta);
+    }
+  }
+  return out;
+}
+
+}  // namespace fgro

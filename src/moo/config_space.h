@@ -1,0 +1,32 @@
+#ifndef FGRO_MOO_CONFIG_SPACE_H_
+#define FGRO_MOO_CONFIG_SPACE_H_
+
+#include <functional>
+#include <vector>
+
+#include "cluster/resource.h"
+
+namespace fgro {
+
+/// One point of an instance-level Pareto set: a resource configuration with
+/// its predicted latency and cost on the instance's assigned machine.
+struct InstanceParetoPoint {
+  ResourceConfig theta;
+  double latency = 0.0;
+  double cost = 0.0;
+};
+
+/// The discrete resource-configuration space Sigma an instance's container
+/// may use. RAA searches this grid; it is wider than HBO's historical
+/// catalog but still bounded (the paper's F.15 discusses why the searchable
+/// range must stay inside the space the model has seen).
+const std::vector<ResourceConfig>& DefaultConfigGrid();
+
+/// Grid entries that fit the given capacity limits.
+std::vector<ResourceConfig> FilterByCapacity(
+    const std::vector<ResourceConfig>& grid, double max_cores,
+    double max_memory_gb);
+
+}  // namespace fgro
+
+#endif  // FGRO_MOO_CONFIG_SPACE_H_

@@ -1,0 +1,63 @@
+#include "moo/mogd.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/math_utils.h"
+
+namespace fgro {
+
+Vec MinimizeFiniteDiff(const std::function<double(const Vec&)>& f, Vec x0,
+                       const Vec& lower, const Vec& upper,
+                       const MogdOptions& options) {
+  Rng rng(options.seed);
+  const size_t d = x0.size();
+  Vec best_x = x0;
+  double best_f = std::numeric_limits<double>::infinity();
+
+  for (int r = 0; r < options.restarts; ++r) {
+    Vec x = x0;
+    if (r > 0) {
+      for (size_t i = 0; i < d; ++i) x[i] = rng.Uniform(lower[i], upper[i]);
+    }
+    double fx = f(x);
+    double lr = options.lr;
+    for (int it = 0; it < options.iterations; ++it) {
+      // Central finite-difference gradient, scaled per-dimension.
+      Vec grad(d, 0.0);
+      for (size_t i = 0; i < d; ++i) {
+        double h = std::max(1e-6, options.fd_step * (upper[i] - lower[i]));
+        Vec xp = x, xm = x;
+        xp[i] = Clamp(x[i] + h, lower[i], upper[i]);
+        xm[i] = Clamp(x[i] - h, lower[i], upper[i]);
+        double denom = xp[i] - xm[i];
+        grad[i] = denom > 1e-12 ? (f(xp) - f(xm)) / denom : 0.0;
+      }
+      double gnorm = 0.0;
+      for (double g : grad) gnorm += g * g;
+      gnorm = std::sqrt(gnorm);
+      if (gnorm < 1e-12) break;
+      Vec x_new(d);
+      for (size_t i = 0; i < d; ++i) {
+        double step = lr * (upper[i] - lower[i]) * grad[i] / gnorm;
+        x_new[i] = Clamp(x[i] - step, lower[i], upper[i]);
+      }
+      double f_new = f(x_new);
+      if (f_new < fx) {
+        x = std::move(x_new);
+        fx = f_new;
+      } else {
+        lr *= 0.6;  // backtrack
+        if (lr < 1e-3) break;
+      }
+    }
+    if (fx < best_f) {
+      best_f = fx;
+      best_x = x;
+    }
+  }
+  return best_x;
+}
+
+}  // namespace fgro

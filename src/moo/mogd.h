@@ -1,0 +1,34 @@
+#ifndef FGRO_MOO_MOGD_H_
+#define FGRO_MOO_MOGD_H_
+
+#include <functional>
+#include <vector>
+
+#include "common/rng.h"
+#include "nn/param.h"
+
+namespace fgro {
+
+/// Multi-Objective Gradient Descent primitive used by the PF(MOGD)
+/// baseline: minimizes a scalarized/constraint-penalized objective over a
+/// box-constrained continuous vector via finite-difference gradient descent
+/// with random restarts. The caller rounds the solution back to the
+/// discrete domain (machine ids, config grid) exactly as the paper's MOGD
+/// rounds after every backward step.
+struct MogdOptions {
+  int iterations = 40;
+  int restarts = 2;
+  double lr = 0.25;
+  double fd_step = 1e-2;  // relative finite-difference step
+  uint64_t seed = 11;
+};
+
+/// Returns the best x found; `f` is evaluated ~iterations * dim times per
+/// restart, so keep dim modest (the baselines run on clustered variables).
+Vec MinimizeFiniteDiff(const std::function<double(const Vec&)>& f, Vec x0,
+                       const Vec& lower, const Vec& upper,
+                       const MogdOptions& options);
+
+}  // namespace fgro
+
+#endif  // FGRO_MOO_MOGD_H_

@@ -1,0 +1,39 @@
+#ifndef FGRO_MOO_MOO_PROBLEM_H_
+#define FGRO_MOO_MOO_PROBLEM_H_
+
+#include <functional>
+#include <vector>
+
+#include "common/rng.h"
+#include "nn/param.h"
+
+namespace fgro {
+
+/// One evaluation of a candidate solution for a constrained MOO problem:
+/// objective values (minimization) plus an aggregate constraint violation
+/// (0 = feasible). Generic across the EVO / WS / PF baselines.
+struct MooEvaluation {
+  std::vector<double> objectives;
+  double violation = 0.0;
+
+  bool feasible() const { return violation <= 0.0; }
+};
+
+/// A generic constrained MOO problem over a flat genome of doubles.
+/// Integer variables (machine indices, grid indices) are encoded as doubles
+/// and rounded inside `evaluate`.
+struct MooProblem {
+  int num_vars = 0;
+  int num_objectives = 2;
+  std::function<double(int var, Rng* rng)> sample_var;
+  std::function<MooEvaluation(const Vec& genome)> evaluate;
+};
+
+/// Feasibility-first constrained dominance (Deb's rules): feasible beats
+/// infeasible; among infeasible, lower violation wins; among feasible,
+/// Pareto dominance decides (1 = a better, -1 = b better, 0 = tie).
+int ConstrainedCompare(const MooEvaluation& a, const MooEvaluation& b);
+
+}  // namespace fgro
+
+#endif  // FGRO_MOO_MOO_PROBLEM_H_

@@ -1,0 +1,223 @@
+#include "moo/nsga2.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/stopwatch.h"
+#include "moo/pareto.h"
+
+namespace fgro {
+
+int ConstrainedCompare(const MooEvaluation& a, const MooEvaluation& b) {
+  if (a.feasible() && !b.feasible()) return 1;
+  if (!a.feasible() && b.feasible()) return -1;
+  if (!a.feasible() && !b.feasible()) {
+    if (a.violation < b.violation) return 1;
+    if (a.violation > b.violation) return -1;
+    return 0;
+  }
+  if (Dominates(a.objectives, b.objectives)) return 1;
+  if (Dominates(b.objectives, a.objectives)) return -1;
+  return 0;
+}
+
+namespace {
+
+struct Individual {
+  Vec genome;
+  MooEvaluation eval;
+  int rank = 0;
+  double crowding = 0.0;
+};
+
+/// Fast non-dominated sort under constrained dominance; fills ranks and
+/// returns the fronts (indices).
+std::vector<std::vector<int>> NonDominatedSort(
+    std::vector<Individual>* pop) {
+  const int n = static_cast<int>(pop->size());
+  std::vector<std::vector<int>> dominated(static_cast<size_t>(n));
+  std::vector<int> dom_count(static_cast<size_t>(n), 0);
+  std::vector<std::vector<int>> fronts(1);
+  for (int i = 0; i < n; ++i) {
+    for (int j = i + 1; j < n; ++j) {
+      int cmp = ConstrainedCompare((*pop)[static_cast<size_t>(i)].eval,
+                                   (*pop)[static_cast<size_t>(j)].eval);
+      if (cmp > 0) {
+        dominated[static_cast<size_t>(i)].push_back(j);
+        dom_count[static_cast<size_t>(j)]++;
+      } else if (cmp < 0) {
+        dominated[static_cast<size_t>(j)].push_back(i);
+        dom_count[static_cast<size_t>(i)]++;
+      }
+    }
+    if (dom_count[static_cast<size_t>(i)] == 0) {
+      (*pop)[static_cast<size_t>(i)].rank = 0;
+      fronts[0].push_back(i);
+    }
+  }
+  // dom_count for later fronts is completed only after the full pass above,
+  // so build subsequent fronts now.
+  size_t f = 0;
+  while (f < fronts.size() && !fronts[f].empty()) {
+    std::vector<int> next;
+    for (int i : fronts[f]) {
+      for (int j : dominated[static_cast<size_t>(i)]) {
+        if (--dom_count[static_cast<size_t>(j)] == 0) {
+          (*pop)[static_cast<size_t>(j)].rank = static_cast<int>(f) + 1;
+          next.push_back(j);
+        }
+      }
+    }
+    if (next.empty()) break;
+    fronts.push_back(std::move(next));
+    ++f;
+  }
+  return fronts;
+}
+
+void AssignCrowding(std::vector<Individual>* pop,
+                    const std::vector<int>& front) {
+  if (front.empty()) return;
+  const size_t k = (*pop)[static_cast<size_t>(front[0])].eval.objectives.size();
+  for (int i : front) (*pop)[static_cast<size_t>(i)].crowding = 0.0;
+  std::vector<int> order = front;
+  for (size_t obj = 0; obj < k; ++obj) {
+    std::sort(order.begin(), order.end(), [&](int a, int b) {
+      return (*pop)[static_cast<size_t>(a)].eval.objectives[obj] <
+             (*pop)[static_cast<size_t>(b)].eval.objectives[obj];
+    });
+    double lo = (*pop)[static_cast<size_t>(order.front())].eval.objectives[obj];
+    double hi = (*pop)[static_cast<size_t>(order.back())].eval.objectives[obj];
+    (*pop)[static_cast<size_t>(order.front())].crowding =
+        std::numeric_limits<double>::infinity();
+    (*pop)[static_cast<size_t>(order.back())].crowding =
+        std::numeric_limits<double>::infinity();
+    if (hi - lo < 1e-15) continue;
+    for (size_t i = 1; i + 1 < order.size(); ++i) {
+      double prev =
+          (*pop)[static_cast<size_t>(order[i - 1])].eval.objectives[obj];
+      double next =
+          (*pop)[static_cast<size_t>(order[i + 1])].eval.objectives[obj];
+      (*pop)[static_cast<size_t>(order[i])].crowding +=
+          (next - prev) / (hi - lo);
+    }
+  }
+}
+
+}  // namespace
+
+Nsga2Result RunNsga2(const MooProblem& problem, const Nsga2Options& options) {
+  Rng rng(options.seed);
+  Stopwatch timer;
+  Nsga2Result result;
+
+  auto make_random = [&]() {
+    Individual ind;
+    ind.genome.resize(static_cast<size_t>(problem.num_vars));
+    for (int v = 0; v < problem.num_vars; ++v) {
+      ind.genome[static_cast<size_t>(v)] = problem.sample_var(v, &rng);
+    }
+    ind.eval = problem.evaluate(ind.genome);
+    ++result.evaluations;
+    return ind;
+  };
+
+  std::vector<Individual> pop;
+  pop.reserve(static_cast<size_t>(options.population) * 2);
+  for (int i = 0; i < options.population; ++i) {
+    if (timer.ElapsedSeconds() > options.time_limit_seconds) {
+      result.timed_out = true;
+      return result;
+    }
+    pop.push_back(make_random());
+  }
+
+  auto tournament = [&](const std::vector<Individual>& p) -> const Individual& {
+    int a = static_cast<int>(rng.UniformInt(0, static_cast<int64_t>(p.size()) - 1));
+    int b = static_cast<int>(rng.UniformInt(0, static_cast<int64_t>(p.size()) - 1));
+    const Individual& ia = p[static_cast<size_t>(a)];
+    const Individual& ib = p[static_cast<size_t>(b)];
+    if (ia.rank != ib.rank) return ia.rank < ib.rank ? ia : ib;
+    return ia.crowding > ib.crowding ? ia : ib;
+  };
+
+  for (int gen = 0; gen < options.generations; ++gen) {
+    if (timer.ElapsedSeconds() > options.time_limit_seconds) {
+      result.timed_out = true;
+      break;
+    }
+    std::vector<std::vector<int>> fronts = NonDominatedSort(&pop);
+    for (const std::vector<int>& front : fronts) AssignCrowding(&pop, front);
+
+    // Offspring: uniform crossover + per-variable resampling mutation.
+    std::vector<Individual> offspring;
+    offspring.reserve(static_cast<size_t>(options.population));
+    while (static_cast<int>(offspring.size()) < options.population) {
+      if (timer.ElapsedSeconds() > options.time_limit_seconds) {
+        result.timed_out = true;
+        break;
+      }
+      const Individual& p1 = tournament(pop);
+      const Individual& p2 = tournament(pop);
+      Individual child;
+      child.genome = p1.genome;
+      if (rng.Bernoulli(options.crossover_prob)) {
+        for (int v = 0; v < problem.num_vars; ++v) {
+          if (rng.Bernoulli(0.5)) {
+            child.genome[static_cast<size_t>(v)] =
+                p2.genome[static_cast<size_t>(v)];
+          }
+        }
+      }
+      for (int v = 0; v < problem.num_vars; ++v) {
+        if (rng.Bernoulli(options.mutation_prob)) {
+          child.genome[static_cast<size_t>(v)] = problem.sample_var(v, &rng);
+        }
+      }
+      child.eval = problem.evaluate(child.genome);
+      ++result.evaluations;
+      offspring.push_back(std::move(child));
+    }
+    for (Individual& c : offspring) pop.push_back(std::move(c));
+
+    // Environmental selection back to population size.
+    fronts = NonDominatedSort(&pop);
+    std::vector<Individual> next;
+    next.reserve(static_cast<size_t>(options.population));
+    for (const std::vector<int>& front : fronts) {
+      AssignCrowding(&pop, front);
+      if (static_cast<int>(next.size() + front.size()) <= options.population) {
+        for (int i : front) next.push_back(pop[static_cast<size_t>(i)]);
+      } else {
+        std::vector<int> sorted = front;
+        std::sort(sorted.begin(), sorted.end(), [&](int a, int b) {
+          return pop[static_cast<size_t>(a)].crowding >
+                 pop[static_cast<size_t>(b)].crowding;
+        });
+        for (int i : sorted) {
+          if (static_cast<int>(next.size()) >= options.population) break;
+          next.push_back(pop[static_cast<size_t>(i)]);
+        }
+      }
+      if (static_cast<int>(next.size()) >= options.population) break;
+    }
+    pop = std::move(next);
+  }
+
+  // Final feasible non-dominated set.
+  std::vector<std::vector<double>> feasible_objs;
+  std::vector<const Individual*> feasible;
+  for (const Individual& ind : pop) {
+    if (ind.eval.feasible()) {
+      feasible.push_back(&ind);
+      feasible_objs.push_back(ind.eval.objectives);
+    }
+  }
+  for (int idx : ParetoFilter(feasible_objs)) {
+    result.genomes.push_back(feasible[static_cast<size_t>(idx)]->genome);
+    result.objectives.push_back(feasible_objs[static_cast<size_t>(idx)]);
+  }
+  return result;
+}
+
+}  // namespace fgro

@@ -1,0 +1,33 @@
+#ifndef FGRO_MOO_NSGA2_H_
+#define FGRO_MOO_NSGA2_H_
+
+#include <vector>
+
+#include "moo/moo_problem.h"
+
+namespace fgro {
+
+/// NSGA-II (Deb et al. 2002), the Evolutionary baseline (EVO) of Expt 10.
+/// Uniform crossover + per-variable resampling mutation, feasibility-first
+/// tournament selection, fast non-dominated sort, crowding distance.
+struct Nsga2Options {
+  int population = 40;
+  int generations = 30;
+  double crossover_prob = 0.9;
+  double mutation_prob = 0.15;  // per variable
+  double time_limit_seconds = 60.0;
+  uint64_t seed = 23;
+};
+
+struct Nsga2Result {
+  std::vector<Vec> genomes;                        // feasible front
+  std::vector<std::vector<double>> objectives;     // matching objective rows
+  bool timed_out = false;
+  int evaluations = 0;
+};
+
+Nsga2Result RunNsga2(const MooProblem& problem, const Nsga2Options& options);
+
+}  // namespace fgro
+
+#endif  // FGRO_MOO_NSGA2_H_

@@ -1,0 +1,71 @@
+#include "moo/pareto.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace fgro {
+
+bool Dominates(const std::vector<double>& a, const std::vector<double>& b) {
+  bool strictly_better = false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i] > b[i]) return false;
+    if (a[i] < b[i]) strictly_better = true;
+  }
+  return strictly_better;
+}
+
+std::vector<int> ParetoFilter(
+    const std::vector<std::vector<double>>& points) {
+  std::vector<int> result;
+  if (points.empty()) return result;
+
+  if (points[0].size() == 2) {
+    // Sort by first objective (ties: second); sweep keeping the running
+    // minimum of the second objective.
+    std::vector<int> order(points.size());
+    for (size_t i = 0; i < order.size(); ++i) order[i] = static_cast<int>(i);
+    std::sort(order.begin(), order.end(), [&](int a, int b) {
+      if (points[static_cast<size_t>(a)][0] !=
+          points[static_cast<size_t>(b)][0]) {
+        return points[static_cast<size_t>(a)][0] <
+               points[static_cast<size_t>(b)][0];
+      }
+      if (points[static_cast<size_t>(a)][1] !=
+          points[static_cast<size_t>(b)][1]) {
+        return points[static_cast<size_t>(a)][1] <
+               points[static_cast<size_t>(b)][1];
+      }
+      return a < b;  // duplicates: keep the first occurrence
+    });
+    double best_second = std::numeric_limits<double>::infinity();
+    for (int idx : order) {
+      const std::vector<double>& p = points[static_cast<size_t>(idx)];
+      if (p[1] < best_second) {
+        result.push_back(idx);
+        best_second = p[1];
+      }
+    }
+    std::sort(result.begin(), result.end());
+    return result;
+  }
+
+  for (size_t i = 0; i < points.size(); ++i) {
+    bool dominated = false;
+    for (size_t j = 0; j < points.size(); ++j) {
+      if (i == j) continue;
+      if (Dominates(points[j], points[i])) {
+        dominated = true;
+        break;
+      }
+      // Duplicate points: keep only the first occurrence.
+      if (j < i && points[j] == points[i]) {
+        dominated = true;
+        break;
+      }
+    }
+    if (!dominated) result.push_back(static_cast<int>(i));
+  }
+  return result;
+}
+
+}  // namespace fgro

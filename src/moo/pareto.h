@@ -1,0 +1,18 @@
+#ifndef FGRO_MOO_PARETO_H_
+#define FGRO_MOO_PARETO_H_
+
+#include <vector>
+
+namespace fgro {
+
+/// True iff `a` Pareto-dominates `b` under minimization: a <= b in every
+/// objective and strictly < in at least one.
+bool Dominates(const std::vector<double>& a, const std::vector<double>& b);
+
+/// Indices of the non-dominated points (minimization). O(n^2) in general,
+/// O(n log n) sort-based fast path for the 2-objective case.
+std::vector<int> ParetoFilter(const std::vector<std::vector<double>>& points);
+
+}  // namespace fgro
+
+#endif  // FGRO_MOO_PARETO_H_

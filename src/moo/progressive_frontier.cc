@@ -1,0 +1,129 @@
+#include "moo/progressive_frontier.h"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <limits>
+
+#include "moo/pareto.h"
+
+namespace fgro {
+
+std::vector<InstanceParetoPoint> InstanceMooSolver::SolveExhaustive(
+    const LatencyFn& predict_latency,
+    const std::vector<ResourceConfig>& grid) const {
+  std::vector<InstanceParetoPoint> points;
+  points.reserve(grid.size());
+  std::vector<std::vector<double>> objectives;
+  objectives.reserve(grid.size());
+  for (const ResourceConfig& theta : grid) {
+    double lat = predict_latency(theta);
+    double cost = lat * weights_.Rate(theta);
+    points.push_back({theta, lat, cost});
+    objectives.push_back({lat, cost});
+  }
+  std::vector<InstanceParetoPoint> frontier;
+  for (int idx : ParetoFilter(objectives)) {
+    frontier.push_back(points[static_cast<size_t>(idx)]);
+  }
+  // Descending latency (ascending cost), the order RAA-Path expects.
+  std::sort(frontier.begin(), frontier.end(),
+            [](const InstanceParetoPoint& a, const InstanceParetoPoint& b) {
+              return a.latency > b.latency;
+            });
+  return frontier;
+}
+
+std::vector<InstanceParetoPoint> InstanceMooSolver::SolveProgressive(
+    const LatencyFn& predict_latency, const std::vector<ResourceConfig>& grid,
+    int max_probes) const {
+  if (grid.empty()) return {};
+  // Cache evaluations: the PF variant's value is bounding model calls, so we
+  // memoize by grid index and only evaluate points a probe actually touches.
+  std::vector<double> lat_cache(grid.size(),
+                                std::numeric_limits<double>::quiet_NaN());
+  auto eval = [&](size_t i) {
+    if (std::isnan(lat_cache[i])) lat_cache[i] = predict_latency(grid[i]);
+    return lat_cache[i];
+  };
+  auto cost_of = [&](size_t i) { return eval(i) * weights_.Rate(grid[i]); };
+
+  // A probe: minimize cost subject to latency <= bound; returns grid index
+  // or -1 if infeasible.
+  auto probe = [&](double latency_bound) -> int {
+    int best = -1;
+    double best_cost = std::numeric_limits<double>::infinity();
+    for (size_t i = 0; i < grid.size(); ++i) {
+      if (eval(i) <= latency_bound && cost_of(i) < best_cost) {
+        best_cost = cost_of(i);
+        best = static_cast<int>(i);
+      }
+    }
+    return best;
+  };
+
+  // Anchor points: the latency-optimal and cost-optimal corners.
+  int lat_opt = 0, cost_opt = 0;
+  for (size_t i = 1; i < grid.size(); ++i) {
+    if (eval(i) < eval(static_cast<size_t>(lat_opt))) {
+      lat_opt = static_cast<int>(i);
+    }
+    if (cost_of(i) < cost_of(static_cast<size_t>(cost_opt))) {
+      cost_opt = static_cast<int>(i);
+    }
+  }
+
+  std::vector<int> solution_set = {lat_opt, cost_opt};
+  // Uncertainty segments between consecutive frontier points (by latency).
+  struct Segment {
+    double lat_lo, lat_hi;
+  };
+  std::deque<Segment> segments;
+  segments.push_back(
+      {eval(static_cast<size_t>(lat_opt)), eval(static_cast<size_t>(cost_opt))});
+  int probes = 0;
+  while (!segments.empty() && probes < max_probes) {
+    Segment seg = segments.front();
+    segments.pop_front();
+    double mid = 0.5 * (seg.lat_lo + seg.lat_hi);
+    if (seg.lat_hi - seg.lat_lo < 1e-9) continue;
+    int found = probe(mid);
+    ++probes;
+    if (found < 0) continue;
+    solution_set.push_back(found);
+    double found_lat = eval(static_cast<size_t>(found));
+    if (found_lat > seg.lat_lo + 1e-12) {
+      segments.push_back({seg.lat_lo, found_lat});
+    }
+    if (mid < seg.lat_hi - 1e-12) {
+      segments.push_back({mid, seg.lat_hi});
+    }
+  }
+
+  std::vector<std::vector<double>> objectives;
+  std::vector<InstanceParetoPoint> points;
+  for (int idx : solution_set) {
+    size_t i = static_cast<size_t>(idx);
+    points.push_back({grid[i], eval(i), cost_of(i)});
+    objectives.push_back({points.back().latency, points.back().cost});
+  }
+  std::vector<InstanceParetoPoint> frontier;
+  for (int idx : ParetoFilter(objectives)) {
+    frontier.push_back(points[static_cast<size_t>(idx)]);
+  }
+  std::sort(frontier.begin(), frontier.end(),
+            [](const InstanceParetoPoint& a, const InstanceParetoPoint& b) {
+              return a.latency > b.latency;
+            });
+  // Drop duplicate latencies that can arise from repeated probes.
+  frontier.erase(std::unique(frontier.begin(), frontier.end(),
+                             [](const InstanceParetoPoint& a,
+                                const InstanceParetoPoint& b) {
+                               return a.latency == b.latency &&
+                                      a.cost == b.cost;
+                             }),
+                 frontier.end());
+  return frontier;
+}
+
+}  // namespace fgro

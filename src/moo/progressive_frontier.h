@@ -1,0 +1,46 @@
+#ifndef FGRO_MOO_PROGRESSIVE_FRONTIER_H_
+#define FGRO_MOO_PROGRESSIVE_FRONTIER_H_
+
+#include <functional>
+#include <vector>
+
+#include "moo/config_space.h"
+
+namespace fgro {
+
+/// Instance-level MOO solver: computes the Pareto frontier of (latency,
+/// cost) over a discrete configuration grid. `predict_latency` is the
+/// fine-grained model evaluated on the instance's assigned machine; cost is
+/// latency * (w . theta).
+///
+/// Two strategies with identical output on a grid:
+///  - SolveExhaustive: evaluate every grid point, Pareto-filter. Exact and,
+///    at our grid sizes (~48 points), the fastest thing to do.
+///  - SolveProgressive: the Progressive Frontier algorithm of UDAO adapted
+///    to a discrete grid — recursively subdivides the objective space into
+///    uncertainty rectangles and probes each with a constrained
+///    minimization, so it approaches the frontier with a bounded number of
+///    model calls. Used when the grid is large and for fidelity with the
+///    paper's instance-level solver.
+class InstanceMooSolver {
+ public:
+  using LatencyFn = std::function<double(const ResourceConfig&)>;
+
+  explicit InstanceMooSolver(CostWeights weights) : weights_(weights) {}
+
+  std::vector<InstanceParetoPoint> SolveExhaustive(
+      const LatencyFn& predict_latency,
+      const std::vector<ResourceConfig>& grid) const;
+
+  /// `max_probes` bounds the number of constrained sub-problems.
+  std::vector<InstanceParetoPoint> SolveProgressive(
+      const LatencyFn& predict_latency,
+      const std::vector<ResourceConfig>& grid, int max_probes = 32) const;
+
+ private:
+  CostWeights weights_;
+};
+
+}  // namespace fgro
+
+#endif  // FGRO_MOO_PROGRESSIVE_FRONTIER_H_

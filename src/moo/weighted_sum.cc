@@ -1,0 +1,92 @@
+#include "moo/weighted_sum.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/stopwatch.h"
+#include "moo/pareto.h"
+
+namespace fgro {
+
+WsSampleResult RunWeightedSumSampling(const MooProblem& problem,
+                                      const WsSampleOptions& options) {
+  Rng rng(options.seed);
+  Stopwatch timer;
+  WsSampleResult result;
+
+  std::vector<Vec> genomes;
+  std::vector<std::vector<double>> objectives;
+  for (int s = 0; s < options.num_samples; ++s) {
+    if (timer.ElapsedSeconds() > options.time_limit_seconds) {
+      result.timed_out = true;
+      break;
+    }
+    Vec genome(static_cast<size_t>(problem.num_vars));
+    for (int v = 0; v < problem.num_vars; ++v) {
+      genome[static_cast<size_t>(v)] = problem.sample_var(v, &rng);
+    }
+    MooEvaluation eval = problem.evaluate(genome);
+    if (!eval.feasible()) continue;
+    genomes.push_back(std::move(genome));
+    objectives.push_back(std::move(eval.objectives));
+  }
+  result.feasible_samples = static_cast<int>(genomes.size());
+  if (genomes.empty()) return result;
+
+  const size_t k = objectives[0].size();
+  std::vector<double> lo(k, std::numeric_limits<double>::infinity());
+  std::vector<double> hi(k, -std::numeric_limits<double>::infinity());
+  for (const std::vector<double>& o : objectives) {
+    for (size_t j = 0; j < k; ++j) {
+      lo[j] = std::min(lo[j], o[j]);
+      hi[j] = std::max(hi[j], o[j]);
+    }
+  }
+  auto norm = [&](const std::vector<double>& o, size_t j) {
+    double range = hi[j] - lo[j];
+    return range > 1e-15 ? (o[j] - lo[j]) / range : 0.0;
+  };
+
+  std::vector<int> picked;
+  for (int wi = 0; wi < options.num_weights; ++wi) {
+    // For 2 objectives sweep w linearly; for more, sample random weights.
+    std::vector<double> w(k, 1.0);
+    if (k == 2) {
+      w[0] = options.num_weights > 1
+                 ? static_cast<double>(wi) / (options.num_weights - 1)
+                 : 0.5;
+      w[1] = 1.0 - w[0];
+    } else {
+      double total = 0.0;
+      for (size_t j = 0; j < k; ++j) {
+        w[j] = rng.Uniform(0.0, 1.0);
+        total += w[j];
+      }
+      for (size_t j = 0; j < k; ++j) w[j] /= std::max(1e-12, total);
+    }
+    int best = -1;
+    double best_score = std::numeric_limits<double>::infinity();
+    for (size_t s = 0; s < objectives.size(); ++s) {
+      double score = 0.0;
+      for (size_t j = 0; j < k; ++j) score += w[j] * norm(objectives[s], j);
+      if (score < best_score) {
+        best_score = score;
+        best = static_cast<int>(s);
+      }
+    }
+    if (best >= 0) picked.push_back(best);
+  }
+  std::sort(picked.begin(), picked.end());
+  picked.erase(std::unique(picked.begin(), picked.end()), picked.end());
+
+  std::vector<std::vector<double>> picked_objs;
+  for (int idx : picked) picked_objs.push_back(objectives[static_cast<size_t>(idx)]);
+  for (int pareto_idx : ParetoFilter(picked_objs)) {
+    int idx = picked[static_cast<size_t>(pareto_idx)];
+    result.genomes.push_back(genomes[static_cast<size_t>(idx)]);
+    result.objectives.push_back(objectives[static_cast<size_t>(idx)]);
+  }
+  return result;
+}
+
+}  // namespace fgro

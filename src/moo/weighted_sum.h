@@ -1,0 +1,33 @@
+#ifndef FGRO_MOO_WEIGHTED_SUM_H_
+#define FGRO_MOO_WEIGHTED_SUM_H_
+
+#include <vector>
+
+#include "moo/moo_problem.h"
+
+namespace fgro {
+
+/// WS(Sample) baseline of Expt 10: sample random genomes, drop the
+/// infeasible ones, then for a sweep of objective weights return the
+/// feasible sample minimizing the (min-max normalized) weighted sum; the
+/// union over weights, Pareto-filtered, is the returned solution set.
+struct WsSampleOptions {
+  int num_samples = 3000;
+  int num_weights = 11;  // weight sweep granularity for 2 objectives
+  double time_limit_seconds = 60.0;
+  uint64_t seed = 29;
+};
+
+struct WsSampleResult {
+  std::vector<Vec> genomes;
+  std::vector<std::vector<double>> objectives;
+  int feasible_samples = 0;
+  bool timed_out = false;
+};
+
+WsSampleResult RunWeightedSumSampling(const MooProblem& problem,
+                                      const WsSampleOptions& options);
+
+}  // namespace fgro
+
+#endif  // FGRO_MOO_WEIGHTED_SUM_H_

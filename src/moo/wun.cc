@@ -1,0 +1,38 @@
+#include "moo/wun.h"
+
+#include <cmath>
+#include <limits>
+
+namespace fgro {
+
+int WeightedUtopiaNearest(const std::vector<std::vector<double>>& pareto,
+                          const std::vector<double>& weights) {
+  if (pareto.empty()) return -1;
+  const size_t k = pareto[0].size();
+  std::vector<double> lo(k, std::numeric_limits<double>::infinity());
+  std::vector<double> hi(k, -std::numeric_limits<double>::infinity());
+  for (const std::vector<double>& p : pareto) {
+    for (size_t j = 0; j < k; ++j) {
+      lo[j] = std::min(lo[j], p[j]);
+      hi[j] = std::max(hi[j], p[j]);
+    }
+  }
+  int best = 0;
+  double best_dist = std::numeric_limits<double>::infinity();
+  for (size_t i = 0; i < pareto.size(); ++i) {
+    double dist = 0.0;
+    for (size_t j = 0; j < k; ++j) {
+      double range = hi[j] - lo[j];
+      double norm = range > 1e-12 ? (pareto[i][j] - lo[j]) / range : 0.0;
+      double w = j < weights.size() ? weights[j] : 1.0;
+      dist += w * norm * norm;
+    }
+    if (dist < best_dist) {
+      best_dist = dist;
+      best = static_cast<int>(i);
+    }
+  }
+  return best;
+}
+
+}  // namespace fgro

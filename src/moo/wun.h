@@ -1,0 +1,18 @@
+#ifndef FGRO_MOO_WUN_H_
+#define FGRO_MOO_WUN_H_
+
+#include <vector>
+
+namespace fgro {
+
+/// UDAO's Weighted Utopia Nearest recommendation: given a Pareto set of
+/// objective vectors (minimization), returns the index of the point closest
+/// (weighted Euclidean on per-objective min-max-normalized values) to the
+/// Utopia point — the hypothetical optimum in every objective.
+/// `weights` defaults to equal importance.
+int WeightedUtopiaNearest(const std::vector<std::vector<double>>& pareto,
+                          const std::vector<double>& weights = {});
+
+}  // namespace fgro
+
+#endif  // FGRO_MOO_WUN_H_

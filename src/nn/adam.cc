@@ -1,0 +1,33 @@
+#include "nn/adam.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace fgro {
+
+void Adam::Step(const std::vector<Param*>& params, int batch_size) {
+  ++t_;
+  const double inv_batch = 1.0 / std::max(1, batch_size);
+  const double bias1 = 1.0 - std::pow(options_.beta1, static_cast<double>(t_));
+  const double bias2 = 1.0 - std::pow(options_.beta2, static_cast<double>(t_));
+  for (Param* p : params) {
+    for (size_t i = 0; i < p->value.size(); ++i) {
+      double g = p->grad[i] * inv_batch;
+      g = std::clamp(g, -options_.grad_clip, options_.grad_clip);
+      if (options_.weight_decay > 0.0) {
+        g += options_.weight_decay * p->value[i];
+      }
+      p->m[i] = options_.beta1 * p->m[i] + (1.0 - options_.beta1) * g;
+      p->v[i] = options_.beta2 * p->v[i] + (1.0 - options_.beta2) * g * g;
+      double m_hat = p->m[i] / bias1;
+      double v_hat = p->v[i] / bias2;
+      p->value[i] -= options_.lr * m_hat / (std::sqrt(v_hat) + options_.eps);
+    }
+  }
+}
+
+void Adam::ZeroGrad(const std::vector<Param*>& params) {
+  for (Param* p : params) p->ZeroGrad();
+}
+
+}  // namespace fgro

@@ -1,0 +1,39 @@
+#ifndef FGRO_NN_ADAM_H_
+#define FGRO_NN_ADAM_H_
+
+#include <vector>
+
+#include "nn/param.h"
+
+namespace fgro {
+
+/// Adam optimizer over a flat list of Params. Gradients are expected to be
+/// accumulated (summed) over the minibatch; Step() scales by 1/batch_size.
+class Adam {
+ public:
+  struct Options {
+    double lr = 1e-3;
+    double beta1 = 0.9;
+    double beta2 = 0.999;
+    double eps = 1e-8;
+    double weight_decay = 0.0;
+    double grad_clip = 5.0;  // per-element clip after batch averaging
+  };
+
+  Adam() = default;
+  explicit Adam(Options options) : options_(options) {}
+
+  void Step(const std::vector<Param*>& params, int batch_size);
+  void ZeroGrad(const std::vector<Param*>& params);
+
+  void set_lr(double lr) { options_.lr = lr; }
+  double lr() const { return options_.lr; }
+
+ private:
+  Options options_;
+  long t_ = 0;
+};
+
+}  // namespace fgro
+
+#endif  // FGRO_NN_ADAM_H_

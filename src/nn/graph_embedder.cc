@@ -1,0 +1,171 @@
+#include "nn/graph_embedder.h"
+
+#include "common/logging.h"
+
+namespace fgro {
+
+GraphEmbedder::GraphEmbedder(int in_dim, int hidden_dim, int num_layers,
+                             Rng* rng)
+    : hidden_dim_(hidden_dim), input_(in_dim, hidden_dim, rng) {
+  layers_.reserve(static_cast<size_t>(num_layers));
+  for (int l = 0; l < num_layers; ++l) {
+    layers_.push_back(MessageLayer{Linear(hidden_dim, hidden_dim, rng),
+                                   Linear(hidden_dim, hidden_dim, rng),
+                                   Linear(hidden_dim, hidden_dim, rng)});
+  }
+}
+
+Vec GraphEmbedder::Forward(const PlanGraph& graph, Cache* cache) const {
+  const int n = graph.size();
+  FGRO_CHECK(n > 0);
+  cache->graph = &graph;
+  cache->h.assign(layers_.size() + 1, {});
+  cache->child_means.assign(layers_.size(), {});
+  cache->parent_means.assign(layers_.size(), {});
+
+  // Reverse adjacency.
+  cache->parents.assign(static_cast<size_t>(n), {});
+  for (int i = 0; i < n; ++i) {
+    for (int c : graph.children[static_cast<size_t>(i)]) {
+      cache->parents[static_cast<size_t>(c)].push_back(i);
+    }
+  }
+
+  // Input projection.
+  cache->h[0].resize(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    cache->h[0][static_cast<size_t>(i)] =
+        Relu(input_.Forward(graph.node_features[static_cast<size_t>(i)]));
+  }
+
+  const Vec zeros(static_cast<size_t>(hidden_dim_), 0.0);
+  auto mean_of = [&](const std::vector<Vec>& h,
+                     const std::vector<int>& ids) -> Vec {
+    if (ids.empty()) return zeros;
+    Vec m(static_cast<size_t>(hidden_dim_), 0.0);
+    for (int j : ids) {
+      const Vec& hj = h[static_cast<size_t>(j)];
+      for (int k = 0; k < hidden_dim_; ++k) {
+        m[static_cast<size_t>(k)] += hj[static_cast<size_t>(k)];
+      }
+    }
+    for (double& x : m) x /= static_cast<double>(ids.size());
+    return m;
+  };
+
+  for (size_t l = 0; l < layers_.size(); ++l) {
+    const std::vector<Vec>& prev = cache->h[l];
+    cache->child_means[l].resize(static_cast<size_t>(n));
+    cache->parent_means[l].resize(static_cast<size_t>(n));
+    cache->h[l + 1].resize(static_cast<size_t>(n));
+    for (int i = 0; i < n; ++i) {
+      Vec cm = mean_of(prev, graph.children[static_cast<size_t>(i)]);
+      Vec pm = mean_of(prev, cache->parents[static_cast<size_t>(i)]);
+      Vec pre = layers_[l].self.Forward(prev[static_cast<size_t>(i)]);
+      Vec from_child = layers_[l].child.Forward(cm);
+      Vec from_parent = layers_[l].parent.Forward(pm);
+      for (int k = 0; k < hidden_dim_; ++k) {
+        pre[static_cast<size_t>(k)] += from_child[static_cast<size_t>(k)] +
+                                       from_parent[static_cast<size_t>(k)];
+      }
+      cache->h[l + 1][static_cast<size_t>(i)] = Relu(pre);
+      cache->child_means[l][static_cast<size_t>(i)] = std::move(cm);
+      cache->parent_means[l][static_cast<size_t>(i)] = std::move(pm);
+    }
+  }
+
+  // Mean-pool readout.
+  Vec emb(static_cast<size_t>(hidden_dim_), 0.0);
+  const std::vector<Vec>& last = cache->h.back();
+  for (int i = 0; i < n; ++i) {
+    for (int k = 0; k < hidden_dim_; ++k) {
+      emb[static_cast<size_t>(k)] += last[static_cast<size_t>(i)][static_cast<size_t>(k)];
+    }
+  }
+  for (double& x : emb) x /= static_cast<double>(n);
+  return emb;
+}
+
+void GraphEmbedder::Backward(Cache& cache, const Vec& dembedding) {
+  const PlanGraph& graph = *cache.graph;
+  const int n = graph.size();
+
+  // d(readout): mean-pool spreads the gradient uniformly.
+  std::vector<Vec> dh(static_cast<size_t>(n),
+                      Vec(static_cast<size_t>(hidden_dim_), 0.0));
+  for (int i = 0; i < n; ++i) {
+    for (int k = 0; k < hidden_dim_; ++k) {
+      dh[static_cast<size_t>(i)][static_cast<size_t>(k)] =
+          dembedding[static_cast<size_t>(k)] / static_cast<double>(n);
+    }
+  }
+
+  for (size_t l = layers_.size(); l-- > 0;) {
+    std::vector<Vec> dprev(static_cast<size_t>(n),
+                           Vec(static_cast<size_t>(hidden_dim_), 0.0));
+    for (int i = 0; i < n; ++i) {
+      // Through the ReLU of layer l+1's output.
+      Vec dpre = ReluBackward(cache.h[l + 1][static_cast<size_t>(i)],
+                              dh[static_cast<size_t>(i)]);
+      // Self path.
+      layers_[l].self.BackwardInto(cache.h[l][static_cast<size_t>(i)], dpre,
+                                   &dprev[static_cast<size_t>(i)]);
+      // Child-mean path: gradient splits evenly over children.
+      const std::vector<int>& kids = graph.children[static_cast<size_t>(i)];
+      if (!kids.empty()) {
+        Vec dcm(static_cast<size_t>(hidden_dim_), 0.0);
+        layers_[l].child.BackwardInto(
+            cache.child_means[l][static_cast<size_t>(i)], dpre, &dcm);
+        for (int c : kids) {
+          for (int k = 0; k < hidden_dim_; ++k) {
+            dprev[static_cast<size_t>(c)][static_cast<size_t>(k)] +=
+                dcm[static_cast<size_t>(k)] /
+                static_cast<double>(kids.size());
+          }
+        }
+      } else {
+        Vec scratch(static_cast<size_t>(hidden_dim_), 0.0);
+        layers_[l].child.BackwardInto(
+            cache.child_means[l][static_cast<size_t>(i)], dpre, &scratch);
+      }
+      // Parent-mean path.
+      const std::vector<int>& pars = cache.parents[static_cast<size_t>(i)];
+      if (!pars.empty()) {
+        Vec dpm(static_cast<size_t>(hidden_dim_), 0.0);
+        layers_[l].parent.BackwardInto(
+            cache.parent_means[l][static_cast<size_t>(i)], dpre, &dpm);
+        for (int p : pars) {
+          for (int k = 0; k < hidden_dim_; ++k) {
+            dprev[static_cast<size_t>(p)][static_cast<size_t>(k)] +=
+                dpm[static_cast<size_t>(k)] / static_cast<double>(pars.size());
+          }
+        }
+      } else {
+        Vec scratch(static_cast<size_t>(hidden_dim_), 0.0);
+        layers_[l].parent.BackwardInto(
+            cache.parent_means[l][static_cast<size_t>(i)], dpre, &scratch);
+      }
+    }
+    dh = std::move(dprev);
+  }
+
+  // Input projection; node features are data, their gradient is discarded.
+  for (int i = 0; i < n; ++i) {
+    Vec dpre = ReluBackward(cache.h[0][static_cast<size_t>(i)],
+                            dh[static_cast<size_t>(i)]);
+    Vec scratch(graph.node_features[static_cast<size_t>(i)].size(), 0.0);
+    input_.BackwardInto(graph.node_features[static_cast<size_t>(i)], dpre,
+                        &scratch);
+  }
+}
+
+void GraphEmbedder::AppendParams(std::vector<Param*>* out) {
+  input_.AppendParams(out);
+  for (MessageLayer& layer : layers_) {
+    layer.self.AppendParams(out);
+    layer.child.AppendParams(out);
+    layer.parent.AppendParams(out);
+  }
+}
+
+}  // namespace fgro

@@ -1,0 +1,64 @@
+#ifndef FGRO_NN_GRAPH_EMBEDDER_H_
+#define FGRO_NN_GRAPH_EMBEDDER_H_
+
+#include <vector>
+
+#include "nn/linear.h"
+
+namespace fgro {
+
+/// Generic plan-graph input consumed by every embedder. For DAG models the
+/// `children` lists come straight from the stage; for tree models they come
+/// from the DAG-to-tree conversion. `node_types` selects QPPNet units
+/// (kArtificialRoot = -1 maps to a dedicated unit).
+struct PlanGraph {
+  std::vector<Vec> node_features;
+  std::vector<std::vector<int>> children;
+  std::vector<int> node_types;
+
+  int size() const { return static_cast<int>(node_features.size()); }
+};
+
+/// The GTN stand-in: a message-passing network over the operator DAG. Each
+/// layer mixes a node's own state with the mean of its children's and
+/// parents' states (so information flows both with and against the data
+/// flow, which is what lets the embedding capture DAG context); the stage
+/// embedding is the mean over final node states.
+class GraphEmbedder {
+ public:
+  GraphEmbedder() = default;
+  GraphEmbedder(int in_dim, int hidden_dim, int num_layers, Rng* rng);
+
+  struct Cache {
+    // h[0] = post-input-projection states; h[l+1] = after message layer l.
+    std::vector<std::vector<Vec>> h;
+    std::vector<std::vector<Vec>> child_means;   // per message layer
+    std::vector<std::vector<Vec>> parent_means;  // per message layer
+    std::vector<std::vector<int>> parents;
+    const PlanGraph* graph = nullptr;
+  };
+
+  Vec Forward(const PlanGraph& graph, Cache* cache) const;
+  /// Accumulates parameter gradients given dL/d(embedding).
+  void Backward(Cache& cache, const Vec& dembedding);
+
+  void AppendParams(std::vector<Param*>* out);
+
+  int out_dim() const { return hidden_dim_; }
+  int in_dim() const { return input_.in_dim(); }
+
+ private:
+  struct MessageLayer {
+    Linear self;
+    Linear child;
+    Linear parent;
+  };
+
+  int hidden_dim_ = 0;
+  Linear input_;
+  std::vector<MessageLayer> layers_;
+};
+
+}  // namespace fgro
+
+#endif  // FGRO_NN_GRAPH_EMBEDDER_H_

@@ -1,0 +1,66 @@
+#include "nn/linear.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace fgro {
+
+Linear::Linear(int in_dim, int out_dim, Rng* rng) {
+  weight_.Resize(out_dim, in_dim);
+  weight_.InitXavier(rng);
+  bias_.Resize(out_dim, 1);
+}
+
+Vec Linear::Forward(const Vec& x) const {
+  FGRO_CHECK(static_cast<int>(x.size()) == weight_.cols)
+      << x.size() << " vs " << weight_.cols;
+  Vec y(static_cast<size_t>(weight_.rows));
+  for (int r = 0; r < weight_.rows; ++r) {
+    double acc = bias_.value[static_cast<size_t>(r)];
+    const double* wr =
+        &weight_.value[static_cast<size_t>(r) * static_cast<size_t>(weight_.cols)];
+    for (int c = 0; c < weight_.cols; ++c) acc += wr[c] * x[static_cast<size_t>(c)];
+    y[static_cast<size_t>(r)] = acc;
+  }
+  return y;
+}
+
+void Linear::BackwardInto(const Vec& x, const Vec& dy, Vec* dx) {
+  for (int r = 0; r < weight_.rows; ++r) {
+    const double g = dy[static_cast<size_t>(r)];
+    if (g == 0.0) continue;
+    double* gw = &weight_.grad[static_cast<size_t>(r) *
+                               static_cast<size_t>(weight_.cols)];
+    const double* wr = &weight_.value[static_cast<size_t>(r) *
+                                      static_cast<size_t>(weight_.cols)];
+    for (int c = 0; c < weight_.cols; ++c) {
+      gw[c] += g * x[static_cast<size_t>(c)];
+      (*dx)[static_cast<size_t>(c)] += g * wr[c];
+    }
+    bias_.grad[static_cast<size_t>(r)] += g;
+  }
+}
+
+Vec Linear::Backward(const Vec& x, const Vec& dy) {
+  Vec dx(x.size(), 0.0);
+  BackwardInto(x, dy, &dx);
+  return dx;
+}
+
+Vec Relu(const Vec& x) {
+  Vec y(x.size());
+  for (size_t i = 0; i < x.size(); ++i) y[i] = x[i] > 0.0 ? x[i] : 0.0;
+  return y;
+}
+
+Vec ReluBackward(const Vec& y, const Vec& dy) {
+  Vec dx(y.size());
+  for (size_t i = 0; i < y.size(); ++i) dx[i] = y[i] > 0.0 ? dy[i] : 0.0;
+  return dx;
+}
+
+double Sigmoid(double x) { return 1.0 / (1.0 + std::exp(-x)); }
+double Tanh(double x) { return std::tanh(x); }
+
+}  // namespace fgro

@@ -1,0 +1,46 @@
+#ifndef FGRO_NN_LINEAR_H_
+#define FGRO_NN_LINEAR_H_
+
+#include <vector>
+
+#include "nn/param.h"
+
+namespace fgro {
+
+/// y = W x + b with manual backprop. Forward is const; Backward accumulates
+/// gradients into the Params and returns dL/dx.
+class Linear {
+ public:
+  Linear() = default;
+  Linear(int in_dim, int out_dim, Rng* rng);
+
+  Vec Forward(const Vec& x) const;
+  /// `x` must be the same input passed to Forward.
+  Vec Backward(const Vec& x, const Vec& dy);
+  /// Accumulates into an existing dx instead of allocating (hot paths).
+  void BackwardInto(const Vec& x, const Vec& dy, Vec* dx);
+
+  void AppendParams(std::vector<Param*>* out) {
+    out->push_back(&weight_);
+    out->push_back(&bias_);
+  }
+
+  int in_dim() const { return weight_.cols; }
+  int out_dim() const { return weight_.rows; }
+
+ private:
+  Param weight_;  // out x in
+  Param bias_;    // out x 1
+};
+
+/// Elementwise activations used across the models.
+Vec Relu(const Vec& x);
+/// dL/dx given post-activation y = relu(x) and upstream dy.
+Vec ReluBackward(const Vec& y, const Vec& dy);
+
+double Sigmoid(double x);
+double Tanh(double x);
+
+}  // namespace fgro
+
+#endif  // FGRO_NN_LINEAR_H_

@@ -1,0 +1,52 @@
+#include "nn/mlp.h"
+
+#include "common/logging.h"
+
+namespace fgro {
+
+Mlp::Mlp(const std::vector<int>& dims, Rng* rng) {
+  FGRO_CHECK(dims.size() >= 2);
+  for (size_t i = 0; i + 1 < dims.size(); ++i) {
+    layers_.emplace_back(dims[i], dims[i + 1], rng);
+  }
+}
+
+Vec Mlp::Forward(const Vec& x, MlpCache* cache) const {
+  cache->layer_inputs.clear();
+  cache->layer_outputs.clear();
+  Vec h = x;
+  for (size_t l = 0; l < layers_.size(); ++l) {
+    cache->layer_inputs.push_back(h);
+    Vec z = layers_[l].Forward(h);
+    if (l + 1 < layers_.size()) z = Relu(z);
+    cache->layer_outputs.push_back(z);
+    h = std::move(z);
+  }
+  return h;
+}
+
+Vec Mlp::Forward(const Vec& x) const {
+  Vec h = x;
+  for (size_t l = 0; l < layers_.size(); ++l) {
+    h = layers_[l].Forward(h);
+    if (l + 1 < layers_.size()) h = Relu(h);
+  }
+  return h;
+}
+
+Vec Mlp::Backward(const MlpCache& cache, const Vec& dout) {
+  Vec grad = dout;
+  for (size_t l = layers_.size(); l-- > 0;) {
+    if (l + 1 < layers_.size()) {
+      grad = ReluBackward(cache.layer_outputs[l], grad);
+    }
+    grad = layers_[l].Backward(cache.layer_inputs[l], grad);
+  }
+  return grad;
+}
+
+void Mlp::AppendParams(std::vector<Param*>* out) {
+  for (Linear& layer : layers_) layer.AppendParams(out);
+}
+
+}  // namespace fgro

@@ -1,0 +1,46 @@
+#ifndef FGRO_NN_MLP_H_
+#define FGRO_NN_MLP_H_
+
+#include <vector>
+
+#include "nn/linear.h"
+
+namespace fgro {
+
+/// Forward-pass cache needed by Backward: the input to each layer plus each
+/// layer's post-activation output.
+struct MlpCache {
+  std::vector<Vec> layer_inputs;   // one per layer
+  std::vector<Vec> layer_outputs;  // post-activation (last layer: raw)
+};
+
+/// Multilayer perceptron with ReLU between layers and a linear final layer.
+/// This is the paper's "latency predictor" head and is also reused inside
+/// the QPPNet neural units.
+class Mlp {
+ public:
+  Mlp() = default;
+  /// dims = {in, hidden..., out}.
+  Mlp(const std::vector<int>& dims, Rng* rng);
+
+  Vec Forward(const Vec& x, MlpCache* cache) const;
+  /// Inference-only forward without cache allocation churn.
+  Vec Forward(const Vec& x) const;
+
+  /// Accumulates parameter gradients; returns dL/dx.
+  Vec Backward(const MlpCache& cache, const Vec& dout);
+
+  void AppendParams(std::vector<Param*>* out);
+
+  int in_dim() const { return layers_.empty() ? 0 : layers_.front().in_dim(); }
+  int out_dim() const {
+    return layers_.empty() ? 0 : layers_.back().out_dim();
+  }
+
+ private:
+  std::vector<Linear> layers_;
+};
+
+}  // namespace fgro
+
+#endif  // FGRO_NN_MLP_H_

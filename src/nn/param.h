@@ -1,0 +1,57 @@
+#ifndef FGRO_NN_PARAM_H_
+#define FGRO_NN_PARAM_H_
+
+#include <vector>
+
+#include "common/rng.h"
+
+namespace fgro {
+
+using Vec = std::vector<double>;
+
+/// One learnable tensor (matrix or bias vector) with its gradient and Adam
+/// moment buffers. All neural modules expose their Params so a single
+/// optimizer can step them.
+struct Param {
+  int rows = 0;
+  int cols = 0;  // 1 for bias vectors
+  Vec value;
+  Vec grad;
+  Vec m;  // Adam first moment
+  Vec v;  // Adam second moment
+
+  void Resize(int r, int c) {
+    rows = r;
+    cols = c;
+    size_t n = static_cast<size_t>(r) * static_cast<size_t>(c);
+    value.assign(n, 0.0);
+    grad.assign(n, 0.0);
+    m.assign(n, 0.0);
+    v.assign(n, 0.0);
+  }
+
+  /// Xavier/Glorot-style uniform init.
+  void InitXavier(Rng* rng) {
+    double scale = std::sqrt(6.0 / (rows + cols));
+    for (double& w : value) w = rng->Uniform(-scale, scale);
+  }
+
+  void ZeroGrad() { std::fill(grad.begin(), grad.end(), 0.0); }
+
+  double& at(int r, int c) {
+    return value[static_cast<size_t>(r) * static_cast<size_t>(cols) +
+                 static_cast<size_t>(c)];
+  }
+  double at(int r, int c) const {
+    return value[static_cast<size_t>(r) * static_cast<size_t>(cols) +
+                 static_cast<size_t>(c)];
+  }
+  double& grad_at(int r, int c) {
+    return grad[static_cast<size_t>(r) * static_cast<size_t>(cols) +
+                static_cast<size_t>(c)];
+  }
+};
+
+}  // namespace fgro
+
+#endif  // FGRO_NN_PARAM_H_

@@ -1,0 +1,103 @@
+#include "nn/qppnet.h"
+
+#include <functional>
+
+#include "common/logging.h"
+
+namespace fgro {
+
+QppNet::QppNet(int num_types, int feat_dim, int data_dim, int hidden_dim,
+               Rng* rng)
+    : feat_dim_(feat_dim), data_dim_(data_dim) {
+  units_.reserve(static_cast<size_t>(num_types) + 1);
+  for (int t = 0; t <= num_types; ++t) {
+    units_.emplace_back(
+        std::vector<int>{feat_dim + data_dim, hidden_dim, data_dim + 1}, rng);
+  }
+}
+
+int QppNet::UnitIndex(int node_type) const {
+  if (node_type < 0 || node_type >= static_cast<int>(units_.size()) - 1) {
+    return static_cast<int>(units_.size()) - 1;  // artificial root unit
+  }
+  return node_type;
+}
+
+double QppNet::Forward(const PlanGraph& tree, int root, Cache* cache,
+                       const Vec* context) const {
+  cache->graph = &tree;
+  cache->root = root;
+  cache->nodes.assign(tree.node_features.size(), NodeCache{});
+  cache->order.clear();
+
+  std::function<void(int)> visit = [&](int j) {
+    for (int c : tree.children[static_cast<size_t>(j)]) visit(c);
+    cache->order.push_back(j);
+
+    NodeCache& nc = cache->nodes[static_cast<size_t>(j)];
+    nc.unit = UnitIndex(tree.node_types[static_cast<size_t>(j)]);
+    nc.input.assign(static_cast<size_t>(feat_dim_ + data_dim_), 0.0);
+    const Vec& feats = tree.node_features[static_cast<size_t>(j)];
+    const size_t ctx_dim = context != nullptr ? context->size() : 0;
+    FGRO_CHECK(feats.size() + ctx_dim == static_cast<size_t>(feat_dim_));
+    std::copy(feats.begin(), feats.end(), nc.input.begin());
+    if (context != nullptr) {
+      std::copy(context->begin(), context->end(),
+                nc.input.begin() + static_cast<long>(feats.size()));
+    }
+    for (int c : tree.children[static_cast<size_t>(j)]) {
+      const Vec& cd = cache->nodes[static_cast<size_t>(c)].data;
+      for (int k = 0; k < data_dim_; ++k) {
+        nc.input[static_cast<size_t>(feat_dim_ + k)] +=
+            cd[static_cast<size_t>(k)];
+      }
+    }
+    nc.raw_out = units_[static_cast<size_t>(nc.unit)].Forward(nc.input,
+                                                              &nc.mlp_cache);
+    // Channel 0 is the latency output (linear); the rest is the ReLU'd data
+    // vector handed to the parent.
+    nc.data.resize(static_cast<size_t>(data_dim_));
+    for (int k = 0; k < data_dim_; ++k) {
+      double v = nc.raw_out[static_cast<size_t>(k + 1)];
+      nc.data[static_cast<size_t>(k)] = v > 0.0 ? v : 0.0;
+    }
+  };
+  visit(root);
+  return cache->nodes[static_cast<size_t>(root)].raw_out[0];
+}
+
+void QppNet::Backward(Cache& cache, double dprediction) {
+  const PlanGraph& tree = *cache.graph;
+  std::vector<Vec> ddata(cache.nodes.size(),
+                         Vec(static_cast<size_t>(data_dim_), 0.0));
+  // Parents before children.
+  for (size_t oi = cache.order.size(); oi-- > 0;) {
+    int j = cache.order[oi];
+    NodeCache& nc = cache.nodes[static_cast<size_t>(j)];
+    Vec dout(static_cast<size_t>(data_dim_ + 1), 0.0);
+    if (j == cache.root) dout[0] = dprediction;
+    for (int k = 0; k < data_dim_; ++k) {
+      // ReLU on the data channels.
+      if (nc.raw_out[static_cast<size_t>(k + 1)] > 0.0) {
+        dout[static_cast<size_t>(k + 1)] =
+            ddata[static_cast<size_t>(j)][static_cast<size_t>(k)];
+      }
+    }
+    Vec dinput =
+        units_[static_cast<size_t>(nc.unit)].Backward(nc.mlp_cache, dout);
+    // The child-data slice of dinput flows to every child (sum aggregation
+    // passes the gradient through unchanged).
+    for (int c : tree.children[static_cast<size_t>(j)]) {
+      for (int k = 0; k < data_dim_; ++k) {
+        ddata[static_cast<size_t>(c)][static_cast<size_t>(k)] +=
+            dinput[static_cast<size_t>(feat_dim_ + k)];
+      }
+    }
+  }
+}
+
+void QppNet::AppendParams(std::vector<Param*>* out) {
+  for (Mlp& unit : units_) unit.AppendParams(out);
+}
+
+}  // namespace fgro

@@ -1,0 +1,61 @@
+#ifndef FGRO_NN_QPPNET_H_
+#define FGRO_NN_QPPNET_H_
+
+#include <vector>
+
+#include "nn/graph_embedder.h"
+#include "nn/mlp.h"
+
+namespace fgro {
+
+/// QPPNet stand-in (Marcus & Papaemmanouil): one neural unit per operator
+/// type, composed along the (DAG-to-tree converted) plan. Each unit maps
+/// [node features, aggregated child data vector] to [latency, data vector];
+/// the prediction is the root unit's latency channel. Children are
+/// aggregated by summation so any arity (including the artificial root) is
+/// supported. Unlike the original we train only on the root latency — the
+/// per-operator latencies the original supervises on are folded into the
+/// trace's op_seconds and used elsewhere for error attribution.
+class QppNet {
+ public:
+  QppNet() = default;
+  /// `num_types` operator units plus one extra unit for the artificial root.
+  QppNet(int num_types, int feat_dim, int data_dim, int hidden_dim, Rng* rng);
+
+  struct NodeCache {
+    Vec input;          // [features, child data sum]
+    MlpCache mlp_cache;
+    Vec raw_out;        // pre-ReLU unit output
+    Vec data;           // ReLU'd data channels
+    int unit = 0;
+  };
+
+  struct Cache {
+    std::vector<NodeCache> nodes;
+    std::vector<int> order;  // bottom-up
+    const PlanGraph* graph = nullptr;
+    int root = 0;
+  };
+
+  /// Returns the predicted (log-)latency from the root unit. `context` is
+  /// an optional vector broadcast into every unit's input (the MCI
+  /// retrofit's Channels 2-5); node features plus context must total
+  /// feat_dim.
+  double Forward(const PlanGraph& tree, int root, Cache* cache,
+                 const Vec* context = nullptr) const;
+  void Backward(Cache& cache, double dprediction);
+
+  void AppendParams(std::vector<Param*>* out);
+  int data_dim() const { return data_dim_; }
+
+ private:
+  int UnitIndex(int node_type) const;
+
+  int feat_dim_ = 0;
+  int data_dim_ = 0;
+  std::vector<Mlp> units_;  // one per operator type + artificial root
+};
+
+}  // namespace fgro
+
+#endif  // FGRO_NN_QPPNET_H_

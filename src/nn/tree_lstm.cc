@@ -1,0 +1,145 @@
+#include "nn/tree_lstm.h"
+
+#include <functional>
+
+#include "common/logging.h"
+
+namespace fgro {
+
+TreeLstm::TreeLstm(int in_dim, int hidden_dim, Rng* rng)
+    : hidden_dim_(hidden_dim),
+      wi_(in_dim, hidden_dim, rng), ui_(hidden_dim, hidden_dim, rng),
+      wo_(in_dim, hidden_dim, rng), uo_(hidden_dim, hidden_dim, rng),
+      wu_(in_dim, hidden_dim, rng), uu_(hidden_dim, hidden_dim, rng),
+      wf_(in_dim, hidden_dim, rng), uf_(hidden_dim, hidden_dim, rng) {}
+
+Vec TreeLstm::Forward(const PlanGraph& tree, int root, Cache* cache) const {
+  const int n = tree.size();
+  cache->graph = &tree;
+  cache->root = root;
+  cache->nodes.assign(static_cast<size_t>(n), NodeCache{});
+  cache->order.clear();
+
+  // Bottom-up post-order traversal from the root.
+  std::function<void(int)> visit = [&](int j) {
+    for (int c : tree.children[static_cast<size_t>(j)]) visit(c);
+    cache->order.push_back(j);
+
+    NodeCache& nc = cache->nodes[static_cast<size_t>(j)];
+    nc.x = tree.node_features[static_cast<size_t>(j)];
+    nc.h_sum.assign(static_cast<size_t>(hidden_dim_), 0.0);
+    for (int c : tree.children[static_cast<size_t>(j)]) {
+      const Vec& hc = cache->nodes[static_cast<size_t>(c)].h;
+      for (int k = 0; k < hidden_dim_; ++k) {
+        nc.h_sum[static_cast<size_t>(k)] += hc[static_cast<size_t>(k)];
+      }
+    }
+
+    Vec zi = wi_.Forward(nc.x), zhi = ui_.Forward(nc.h_sum);
+    Vec zo = wo_.Forward(nc.x), zho = uo_.Forward(nc.h_sum);
+    Vec zu = wu_.Forward(nc.x), zhu = uu_.Forward(nc.h_sum);
+    nc.i.resize(static_cast<size_t>(hidden_dim_));
+    nc.o.resize(static_cast<size_t>(hidden_dim_));
+    nc.u.resize(static_cast<size_t>(hidden_dim_));
+    for (int k = 0; k < hidden_dim_; ++k) {
+      size_t kk = static_cast<size_t>(k);
+      nc.i[kk] = Sigmoid(zi[kk] + zhi[kk]);
+      nc.o[kk] = Sigmoid(zo[kk] + zho[kk]);
+      nc.u[kk] = Tanh(zu[kk] + zhu[kk]);
+    }
+
+    nc.c.assign(static_cast<size_t>(hidden_dim_), 0.0);
+    Vec zf = wf_.Forward(nc.x);
+    nc.f.clear();
+    for (int c : tree.children[static_cast<size_t>(j)]) {
+      const NodeCache& child = cache->nodes[static_cast<size_t>(c)];
+      Vec zhf = uf_.Forward(child.h);
+      Vec f(static_cast<size_t>(hidden_dim_));
+      for (int k = 0; k < hidden_dim_; ++k) {
+        size_t kk = static_cast<size_t>(k);
+        f[kk] = Sigmoid(zf[kk] + zhf[kk]);
+        nc.c[kk] += f[kk] * child.c[kk];
+      }
+      nc.f.push_back(std::move(f));
+    }
+    nc.tanh_c.resize(static_cast<size_t>(hidden_dim_));
+    nc.h.resize(static_cast<size_t>(hidden_dim_));
+    for (int k = 0; k < hidden_dim_; ++k) {
+      size_t kk = static_cast<size_t>(k);
+      nc.c[kk] += nc.i[kk] * nc.u[kk];
+      nc.tanh_c[kk] = Tanh(nc.c[kk]);
+      nc.h[kk] = nc.o[kk] * nc.tanh_c[kk];
+    }
+  };
+  visit(root);
+  return cache->nodes[static_cast<size_t>(root)].h;
+}
+
+void TreeLstm::Backward(Cache& cache, const Vec& droot_h) {
+  const PlanGraph& tree = *cache.graph;
+  const int n = tree.size();
+  std::vector<Vec> dh(static_cast<size_t>(n),
+                      Vec(static_cast<size_t>(hidden_dim_), 0.0));
+  std::vector<Vec> dc(static_cast<size_t>(n),
+                      Vec(static_cast<size_t>(hidden_dim_), 0.0));
+  dh[static_cast<size_t>(cache.root)] = droot_h;
+
+  // Reverse of the bottom-up order = parents before children.
+  for (size_t oi = cache.order.size(); oi-- > 0;) {
+    int j = cache.order[oi];
+    NodeCache& nc = cache.nodes[static_cast<size_t>(j)];
+    const std::vector<int>& kids = tree.children[static_cast<size_t>(j)];
+    Vec& dhj = dh[static_cast<size_t>(j)];
+    Vec& dcj = dc[static_cast<size_t>(j)];
+
+    Vec dpre_i(static_cast<size_t>(hidden_dim_));
+    Vec dpre_o(static_cast<size_t>(hidden_dim_));
+    Vec dpre_u(static_cast<size_t>(hidden_dim_));
+    for (int k = 0; k < hidden_dim_; ++k) {
+      size_t kk = static_cast<size_t>(k);
+      // h = o * tanh(c)
+      double do_ = dhj[kk] * nc.tanh_c[kk];
+      dcj[kk] += dhj[kk] * nc.o[kk] * (1.0 - nc.tanh_c[kk] * nc.tanh_c[kk]);
+      // c = i*u + sum f_k * c_k
+      double di = dcj[kk] * nc.u[kk];
+      double du = dcj[kk] * nc.i[kk];
+      dpre_i[kk] = di * nc.i[kk] * (1.0 - nc.i[kk]);
+      dpre_o[kk] = do_ * nc.o[kk] * (1.0 - nc.o[kk]);
+      dpre_u[kk] = du * (1.0 - nc.u[kk] * nc.u[kk]);
+    }
+
+    Vec dx(nc.x.size(), 0.0);
+    Vec dh_sum(static_cast<size_t>(hidden_dim_), 0.0);
+    wi_.BackwardInto(nc.x, dpre_i, &dx);
+    ui_.BackwardInto(nc.h_sum, dpre_i, &dh_sum);
+    wo_.BackwardInto(nc.x, dpre_o, &dx);
+    uo_.BackwardInto(nc.h_sum, dpre_o, &dh_sum);
+    wu_.BackwardInto(nc.x, dpre_u, &dx);
+    uu_.BackwardInto(nc.h_sum, dpre_u, &dh_sum);
+
+    for (size_t ci = 0; ci < kids.size(); ++ci) {
+      int c = kids[ci];
+      NodeCache& child = cache.nodes[static_cast<size_t>(c)];
+      Vec dpre_f(static_cast<size_t>(hidden_dim_));
+      for (int k = 0; k < hidden_dim_; ++k) {
+        size_t kk = static_cast<size_t>(k);
+        double df = dcj[kk] * child.c[kk];
+        dc[static_cast<size_t>(c)][kk] += dcj[kk] * nc.f[ci][kk];
+        dpre_f[kk] = df * nc.f[ci][kk] * (1.0 - nc.f[ci][kk]);
+        // child-sum: h_sum gradient flows to each child hidden state.
+        dh[static_cast<size_t>(c)][kk] += dh_sum[kk];
+      }
+      wf_.BackwardInto(nc.x, dpre_f, &dx);
+      uf_.BackwardInto(child.h, dpre_f, &dh[static_cast<size_t>(c)]);
+    }
+    // dx (input-feature gradient) is discarded: features are data.
+  }
+}
+
+void TreeLstm::AppendParams(std::vector<Param*>* out) {
+  for (Linear* l : {&wi_, &ui_, &wo_, &uo_, &wu_, &uu_, &wf_, &uf_}) {
+    l->AppendParams(out);
+  }
+}
+
+}  // namespace fgro

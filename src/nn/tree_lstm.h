@@ -1,0 +1,54 @@
+#ifndef FGRO_NN_TREE_LSTM_H_
+#define FGRO_NN_TREE_LSTM_H_
+
+#include <vector>
+
+#include "nn/graph_embedder.h"
+#include "nn/linear.h"
+
+namespace fgro {
+
+/// Child-sum Tree-LSTM (Tai et al.), the plan embedder used by the TLSTM
+/// baseline. Consumes a PlanGraph that must be a tree (each node appears as
+/// a child of at most one parent — the DAG-to-tree conversion guarantees
+/// this); the embedding is the root's hidden state.
+class TreeLstm {
+ public:
+  TreeLstm() = default;
+  TreeLstm(int in_dim, int hidden_dim, Rng* rng);
+
+  struct NodeCache {
+    Vec x;       // input features
+    Vec h_sum;   // sum of child hidden states
+    Vec i, o, u; // gate activations
+    std::vector<Vec> f;  // forget gate per child
+    Vec c, tanh_c, h;
+  };
+
+  struct Cache {
+    std::vector<NodeCache> nodes;
+    std::vector<int> order;  // bottom-up evaluation order
+    const PlanGraph* graph = nullptr;
+    int root = 0;
+  };
+
+  /// Returns the root hidden state. `root` is the tree's root node index.
+  Vec Forward(const PlanGraph& tree, int root, Cache* cache) const;
+  void Backward(Cache& cache, const Vec& droot_h);
+
+  void AppendParams(std::vector<Param*>* out);
+  int out_dim() const { return hidden_dim_; }
+
+ private:
+  int hidden_dim_ = 0;
+  // W* act on the node input x (with bias); U* act on hidden states
+  // (bias folded into the W side is fine for our purposes).
+  Linear wi_, ui_;
+  Linear wo_, uo_;
+  Linear wu_, uu_;
+  Linear wf_, uf_;
+};
+
+}  // namespace fgro
+
+#endif  // FGRO_NN_TREE_LSTM_H_

@@ -1,0 +1,86 @@
+#include "optimizer/fuxi.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/stopwatch.h"
+
+namespace fgro {
+
+int InstanceCapacity(const Machine& machine, const ResourceConfig& theta0,
+                     int alpha) {
+  int by_cores = static_cast<int>(
+      std::floor(machine.available_cores() / std::max(1e-9, theta0.cores)));
+  int by_mem = static_cast<int>(std::floor(machine.available_memory_gb() /
+                                           std::max(1e-9, theta0.memory_gb)));
+  return std::max(0, std::min({by_cores, by_mem, alpha}));
+}
+
+int ResolveAlpha(int alpha, int num_instances, int num_machines) {
+  if (alpha > 0) return alpha;
+  int min_alpha = static_cast<int>(
+      std::ceil(static_cast<double>(num_instances) /
+                std::max(1, num_machines)));
+  return std::max(1, 2 * min_alpha);
+}
+
+StageDecision FuxiSchedule(const SchedulingContext& context) {
+  Stopwatch timer;
+  StageDecision decision;
+  const Stage& stage = *context.stage;
+  const Cluster& cluster = *context.cluster;
+  const int m = stage.instance_count();
+
+  std::vector<int> candidates = cluster.AvailableMachines(context.theta0);
+  if (candidates.empty()) return decision;
+  const int alpha =
+      ResolveAlpha(context.alpha, m, static_cast<int>(candidates.size()));
+
+  // (1) Key resource: whichever of CPU / IO is hotter on average.
+  double cpu_sum = 0.0, io_sum = 0.0;
+  for (int id : candidates) {
+    cpu_sum += cluster.machine(id).state().cpu_util;
+    io_sum += cluster.machine(id).state().io_util;
+  }
+  const bool cpu_is_key = cpu_sum >= io_sum;
+
+  // (2) Lowest watermark first.
+  std::sort(candidates.begin(), candidates.end(), [&](int a, int b) {
+    const SystemState& sa = cluster.machine(a).state();
+    const SystemState& sb = cluster.machine(b).state();
+    return (cpu_is_key ? sa.cpu_util : sa.io_util) <
+           (cpu_is_key ? sb.cpu_util : sb.io_util);
+  });
+
+  // (3) Assign in instance-id order, round-robin over the watermark-sorted
+  // machines, respecting per-machine capacity.
+  std::vector<int> capacity;
+  capacity.reserve(candidates.size());
+  for (int id : candidates) {
+    capacity.push_back(
+        InstanceCapacity(cluster.machine(id), context.theta0, alpha));
+  }
+  decision.machine_of_instance.assign(static_cast<size_t>(m), -1);
+  decision.theta_of_instance.assign(static_cast<size_t>(m), context.theta0);
+  size_t cursor = 0;
+  int placed = 0;
+  for (int i = 0; i < m; ++i) {
+    size_t scanned = 0;
+    while (scanned < candidates.size() &&
+           capacity[cursor % candidates.size()] <= 0) {
+      ++cursor;
+      ++scanned;
+    }
+    if (scanned >= candidates.size()) break;  // cluster exhausted
+    size_t j = cursor % candidates.size();
+    decision.machine_of_instance[static_cast<size_t>(i)] = candidates[j];
+    capacity[j]--;
+    ++cursor;  // diversity: spread consecutive instances over machines
+    ++placed;
+  }
+  decision.feasible = placed == m;
+  decision.solve_seconds = timer.ElapsedSeconds();
+  return decision;
+}
+
+}  // namespace fgro

@@ -1,0 +1,17 @@
+#ifndef FGRO_OPTIMIZER_FUXI_H_
+#define FGRO_OPTIMIZER_FUXI_H_
+
+#include "optimizer/scheduler_types.h"
+
+namespace fgro {
+
+/// The production Fuxi scheduler baseline (Section 5): (1) identify the key
+/// (bottleneck) resource of the cluster, (2) pick the machines with the
+/// lowest watermark on that resource, (3) assign instances in instance-id
+/// order, all with HBO's uniform resource plan theta0. No model, no
+/// awareness of per-instance latency.
+StageDecision FuxiSchedule(const SchedulingContext& context);
+
+}  // namespace fgro
+
+#endif  // FGRO_OPTIMIZER_FUXI_H_

@@ -1,0 +1,38 @@
+#ifndef FGRO_OPTIMIZER_IPA_CLUSTERED_H_
+#define FGRO_OPTIMIZER_IPA_CLUSTERED_H_
+
+#include <vector>
+
+#include "clustering/machine_clustering.h"
+#include "optimizer/scheduler_types.h"
+
+namespace fgro {
+
+/// A chunk of instances from one instance cluster that Algorithm 4 sent to
+/// machines of one machine cluster. These are exactly the RAA(Fast_MCI)
+/// sub-clusters of Appendix E.1 — they fall out of clustered IPA for free.
+/// `instances` are sorted by descending input rows; the first one is the
+/// representative (largest rows, conservative latency).
+struct FastMciGroup {
+  std::vector<int> instances;
+  int representative = -1;
+  int representative_machine = -1;
+};
+
+struct ClusteredIpaResult {
+  StageDecision decision;
+  std::vector<FastMciGroup> groups;
+  int num_instance_clusters = 0;
+  int num_machine_clusters = 0;
+};
+
+/// Clustered IPA, Algorithm 4: 1-D KDE clustering of instances on input
+/// rows, machine clustering on discretized state + hardware, then the BPL
+/// greedy over the reduced m' x n' latency matrix, dispatching delta =
+/// min(remaining instances, remaining machine-cluster slots) heaviest
+/// instances at each step. O(m log m + n log n) overall.
+ClusteredIpaResult IpaClusteredSchedule(const SchedulingContext& context);
+
+}  // namespace fgro
+
+#endif  // FGRO_OPTIMIZER_IPA_CLUSTERED_H_

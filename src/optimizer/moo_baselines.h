@@ -1,0 +1,39 @@
+#ifndef FGRO_OPTIMIZER_MOO_BASELINES_H_
+#define FGRO_OPTIMIZER_MOO_BASELINES_H_
+
+#include <string>
+
+#include "optimizer/scheduler_types.h"
+
+namespace fgro {
+
+/// The generic MOO solvers of Expt 10 applied to the stage-level problem of
+/// Def. 5.2. Plan A optimizes placement B' and resources Theta' jointly
+/// over instance/machine clusters (Appendix A.1.1); Plan B fixes B* with
+/// clustered IPA and optimizes only Theta' (Appendix A.1.2).
+enum class MooBaselineKind { kEvo, kWsSample, kPfMogd };
+
+struct MooBaselineOptions {
+  MooBaselineKind kind = MooBaselineKind::kEvo;
+  bool ipa_placement = false;  // false = plan A, true = plan B
+  double time_limit_seconds = 60.0;
+  // EVO hyperparameters (tuned once, as in Appendix A.2).
+  int evo_population = 32;
+  int evo_generations = 24;
+  // WS(Sample) sampling budget.
+  int ws_samples = 2500;
+  // PF(MOGD) epsilon-constraint levels.
+  int pf_levels = 6;
+  uint64_t seed = 41;
+};
+
+std::string MooBaselineName(const MooBaselineOptions& options);
+
+/// Returns an infeasible decision when the solver finds no feasible
+/// solution within the time limit (the coverage metric of Table 2).
+StageDecision RunMooBaseline(const SchedulingContext& context,
+                             const MooBaselineOptions& options);
+
+}  // namespace fgro
+
+#endif  // FGRO_OPTIMIZER_MOO_BASELINES_H_

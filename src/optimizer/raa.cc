@@ -1,0 +1,283 @@
+#include "optimizer/raa.h"
+
+#include <algorithm>
+#include <map>
+#include <tuple>
+
+#include "clustering/dbscan.h"
+#include "common/logging.h"
+#include "common/math_utils.h"
+#include "common/stopwatch.h"
+#include "featurize/discretize.h"
+#include "hbo/hbo.h"
+#include "moo/progressive_frontier.h"
+#include "moo/wun.h"
+#include "optimizer/raa_general.h"
+
+namespace fgro {
+
+namespace {
+
+/// Builds the RAA groups for each clustering strategy. Every group carries
+/// its member instances, a representative (largest input rows,
+/// conservative) and the representative's assigned machine.
+std::vector<FastMciGroup> BuildGroups(
+    const SchedulingContext& context, const StageDecision& placement,
+    const std::vector<FastMciGroup>* fast_mci_groups,
+    RaaClustering clustering) {
+  const Stage& stage = *context.stage;
+  const int m = stage.instance_count();
+  auto representative_of = [&](const std::vector<int>& members) {
+    int rep = members[0];
+    for (int i : members) {
+      if (stage.instances[static_cast<size_t>(i)].input_rows >
+          stage.instances[static_cast<size_t>(rep)].input_rows) {
+        rep = i;
+      }
+    }
+    return rep;
+  };
+
+  std::vector<FastMciGroup> groups;
+  switch (clustering) {
+    case RaaClustering::kNone: {
+      groups.reserve(static_cast<size_t>(m));
+      for (int i = 0; i < m; ++i) {
+        FastMciGroup g;
+        g.instances = {i};
+        g.representative = i;
+        g.representative_machine =
+            placement.machine_of_instance[static_cast<size_t>(i)];
+        groups.push_back(std::move(g));
+      }
+      break;
+    }
+    case RaaClustering::kDbscan: {
+      // Cluster on the Channel-2 features (log rows, log bytes); then split
+      // by assigned machine's state bucket so one configuration per group
+      // stays meaningful.
+      std::vector<std::vector<double>> points;
+      points.reserve(static_cast<size_t>(m));
+      for (int i = 0; i < m; ++i) {
+        const InstanceMeta& meta = stage.instances[static_cast<size_t>(i)];
+        points.push_back(
+            {Log1pSafe(meta.input_rows), Log1pSafe(meta.input_bytes)});
+      }
+      std::vector<int> labels = Dbscan(points, {.eps = 0.4, .min_pts = 3});
+      std::map<std::pair<int, int>, std::vector<int>> by_key;
+      for (int i = 0; i < m; ++i) {
+        int machine = placement.machine_of_instance[static_cast<size_t>(i)];
+        const Machine& mach = context.cluster->machine(machine);
+        int bucket =
+            mach.hardware().id * 1000 +
+            DiscretizeIndex(mach.state().cpu_util,
+                            context.discretization_degree) *
+                10 +
+            DiscretizeIndex(mach.state().io_util,
+                            context.discretization_degree);
+        by_key[{labels[static_cast<size_t>(i)], bucket}].push_back(i);
+      }
+      for (auto& [key, members] : by_key) {
+        (void)key;
+        FastMciGroup g;
+        g.instances = std::move(members);
+        g.representative = representative_of(g.instances);
+        g.representative_machine =
+            placement.machine_of_instance[static_cast<size_t>(
+                g.representative)];
+        groups.push_back(std::move(g));
+      }
+      break;
+    }
+    case RaaClustering::kFastMci: {
+      if (fast_mci_groups != nullptr && !fast_mci_groups->empty()) {
+        groups = *fast_mci_groups;
+      } else {
+        // Rebuild: KDE clusters subdivided by the assigned machine's state
+        // bucket (what clustered IPA would have produced).
+        std::vector<InstanceClusterGroup> kde =
+            ClusterInstancesByRows(stage);
+        std::map<std::tuple<int, int>, std::vector<int>> by_key;
+        for (size_t c = 0; c < kde.size(); ++c) {
+          for (int i : kde[c].instance_ids) {
+            int machine =
+                placement.machine_of_instance[static_cast<size_t>(i)];
+            const Machine& mach = context.cluster->machine(machine);
+            int bucket =
+                mach.hardware().id * 1000 +
+                DiscretizeIndex(mach.state().cpu_util,
+                                context.discretization_degree) *
+                    10 +
+                DiscretizeIndex(mach.state().io_util,
+                                context.discretization_degree);
+            by_key[{static_cast<int>(c), bucket}].push_back(i);
+          }
+        }
+        for (auto& [key, members] : by_key) {
+          (void)key;
+          FastMciGroup g;
+          g.instances = std::move(members);
+          g.representative = representative_of(g.instances);
+          g.representative_machine =
+              placement.machine_of_instance[static_cast<size_t>(
+                  g.representative)];
+          groups.push_back(std::move(g));
+        }
+      }
+      break;
+    }
+  }
+  return groups;
+}
+
+}  // namespace
+
+RaaResult RunRaa(const SchedulingContext& context,
+                 const StageDecision& placement,
+                 const std::vector<FastMciGroup>* fast_mci_groups,
+                 const RaaOptions& options) {
+  Stopwatch timer;
+  RaaResult result;
+  const Stage& stage = *context.stage;
+  const Cluster& cluster = *context.cluster;
+  FGRO_CHECK(context.model != nullptr);
+  const int m = stage.instance_count();
+  if (!placement.feasible) return result;
+
+  std::vector<FastMciGroup> groups =
+      BuildGroups(context, placement, fast_mci_groups, options.clustering);
+  result.num_groups = static_cast<int>(groups.size());
+
+  // Per-machine co-residency count: an instance may only grow its container
+  // up to its fair share of the machine's free capacity, which keeps the
+  // per-instance searches independent while respecting Def. 5.2's capacity
+  // constraints.
+  std::vector<int> coresidents(static_cast<size_t>(cluster.size()), 0);
+  for (int i = 0; i < m; ++i) {
+    coresidents[static_cast<size_t>(
+        placement.machine_of_instance[static_cast<size_t>(i)])]++;
+  }
+
+  // Instance-level MOO per group, on the representative's machine. Along
+  // the way, accumulate the predicted objectives of keeping HBO's default
+  // theta0 everywhere: the incumbent operating point the recommendation
+  // should dominate.
+  InstanceMooSolver solver(context.cost_weights);
+  std::vector<std::vector<InstanceParetoPoint>> pareto_sets;
+  std::vector<double> multiplicity;
+  double default_latency = 0.0, default_cost = 0.0;
+  pareto_sets.reserve(groups.size());
+  for (const FastMciGroup& group : groups) {
+    const Machine& machine = cluster.machine(group.representative_machine);
+    const double share =
+        static_cast<double>(coresidents[static_cast<size_t>(
+            group.representative_machine)]);
+    // Search the historically observed plan space: catalog entries within
+    // the exploration window around theta0. Outside it the model has never
+    // seen a configuration and its extrapolation is untrustworthy
+    // (Appendix F.15: "we cannot lower the cores anymore ... the searching
+    // space is still in a narrow range").
+    std::vector<ResourceConfig> grid;
+    for (const ResourceConfig& theta : FilterByCapacity(
+             Hbo::ResourcePlanCatalog(),
+             (machine.available_cores() + context.theta0.cores) / share,
+             (machine.available_memory_gb() + context.theta0.memory_gb) /
+                 share)) {
+      if (theta.cores >= context.theta0.cores * kPlanExplorationLow &&
+          theta.cores <= context.theta0.cores * kPlanExplorationHigh &&
+          theta.memory_gb >=
+              context.theta0.memory_gb * kPlanExplorationLow &&
+          theta.memory_gb <=
+              context.theta0.memory_gb * kPlanExplorationHigh) {
+        grid.push_back(theta);
+      }
+    }
+    if (grid.empty()) grid.push_back(context.theta0);
+
+    Result<LatencyModel::EmbeddedInstance> embedded =
+        context.model->Embed(stage, group.representative);
+    if (!embedded.ok()) return result;
+    auto predict = [&](const ResourceConfig& theta) {
+      return context.model->PredictFromEmbedding(
+          embedded.value(), theta, machine.state(), machine.hardware().id);
+    };
+    std::vector<InstanceParetoPoint> frontier =
+        solver.SolveExhaustive(predict, grid);
+    if (frontier.empty()) return result;
+    pareto_sets.push_back(std::move(frontier));
+    multiplicity.push_back(static_cast<double>(group.instances.size()));
+
+    double lat0 = predict(context.theta0);
+    default_latency = std::max(default_latency, lat0);
+    default_cost += lat0 * context.cost_weights.Rate(context.theta0) *
+                    static_cast<double>(group.instances.size());
+  }
+
+  // Stage-level hierarchical MOO.
+  std::vector<StageParetoPoint> stage_pareto;
+  if (options.algorithm == RaaAlgorithm::kPath) {
+    stage_pareto = RaaPath(pareto_sets, multiplicity);
+  } else {
+    std::vector<std::vector<std::vector<double>>> solutions(
+        pareto_sets.size());
+    for (size_t i = 0; i < pareto_sets.size(); ++i) {
+      for (const InstanceParetoPoint& p : pareto_sets[i]) {
+        solutions[i].push_back({p.latency, p.cost});
+      }
+    }
+    std::vector<GeneralStagePoint> general = GeneralHierarchicalMoo(
+        solutions, {true, false}, multiplicity);
+    stage_pareto.reserve(general.size());
+    for (GeneralStagePoint& g : general) {
+      stage_pareto.push_back(
+          {g.objectives[0], g.objectives[1], std::move(g.choice)});
+    }
+  }
+  if (stage_pareto.empty()) return result;
+
+  // WUN recommendation, anchored at the incumbent: prefer the frontier
+  // region that dominates HBO's default plan in BOTH latency and cost, so
+  // the recommendation improves the stage rather than trading one objective
+  // far away (Table 13: the plan dominates the default on 68-99% of
+  // stages). If no point dominates the default, WUN runs on the full set.
+  result.stage_pareto.reserve(stage_pareto.size());
+  for (const StageParetoPoint& p : stage_pareto) {
+    result.stage_pareto.push_back({p.latency, p.cost});
+  }
+  std::vector<int> dominating;
+  for (size_t i = 0; i < stage_pareto.size(); ++i) {
+    if (stage_pareto[i].latency <= default_latency + 1e-12 &&
+        stage_pareto[i].cost <= default_cost + 1e-12) {
+      dominating.push_back(static_cast<int>(i));
+    }
+  }
+  if (dominating.empty()) {
+    result.recommended_index =
+        WeightedUtopiaNearest(result.stage_pareto, options.wun_weights);
+  } else {
+    std::vector<std::vector<double>> candidates;
+    candidates.reserve(dominating.size());
+    for (int i : dominating) {
+      candidates.push_back(result.stage_pareto[static_cast<size_t>(i)]);
+    }
+    int pick = WeightedUtopiaNearest(candidates, options.wun_weights);
+    result.recommended_index = dominating[static_cast<size_t>(pick)];
+  }
+  const StageParetoPoint& chosen =
+      stage_pareto[static_cast<size_t>(result.recommended_index)];
+
+  // Expand group choices to per-instance resource plans.
+  result.theta_of_instance.assign(static_cast<size_t>(m), context.theta0);
+  for (size_t g = 0; g < groups.size(); ++g) {
+    const ResourceConfig& theta =
+        pareto_sets[g][static_cast<size_t>(chosen.choice[g])].theta;
+    for (int i : groups[g].instances) {
+      result.theta_of_instance[static_cast<size_t>(i)] = theta;
+    }
+  }
+  result.ok = true;
+  result.solve_seconds = timer.ElapsedSeconds();
+  return result;
+}
+
+}  // namespace fgro

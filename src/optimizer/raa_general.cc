@@ -1,0 +1,144 @@
+#include "optimizer/raa_general.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/logging.h"
+#include "moo/pareto.h"
+
+namespace fgro {
+
+std::vector<GeneralStagePoint> GeneralHierarchicalMoo(
+    const std::vector<std::vector<std::vector<double>>>& solutions,
+    const std::vector<bool>& is_max, const std::vector<double>& multiplicity,
+    const GeneralMooOptions& options) {
+  const int m = static_cast<int>(solutions.size());
+  std::vector<GeneralStagePoint> result;
+  if (m == 0) return result;
+  const int k = static_cast<int>(is_max.size());
+  std::vector<int> max_objs, sum_objs;
+  for (int v = 0; v < k; ++v) {
+    (is_max[static_cast<size_t>(v)] ? max_objs : sum_objs).push_back(v);
+  }
+
+  // find_range + find_all_possible_values: per max objective, all distinct
+  // values across instance-level solutions, clipped to [lower, upper] where
+  // lower = max_i min_j and upper = max_i max_j (values below `lower` can
+  // never be the stage max).
+  std::vector<std::vector<double>> candidates;
+  for (int h : max_objs) {
+    double lower = -std::numeric_limits<double>::infinity();
+    std::vector<double> values;
+    for (int i = 0; i < m; ++i) {
+      double inst_min = std::numeric_limits<double>::infinity();
+      for (const std::vector<double>& sol : solutions[static_cast<size_t>(i)]) {
+        inst_min = std::min(inst_min, sol[static_cast<size_t>(h)]);
+        values.push_back(sol[static_cast<size_t>(h)]);
+      }
+      lower = std::max(lower, inst_min);
+    }
+    std::sort(values.begin(), values.end());
+    values.erase(std::unique(values.begin(), values.end()), values.end());
+    values.erase(std::remove_if(values.begin(), values.end(),
+                                [&](double v) { return v < lower; }),
+                 values.end());
+    while (static_cast<int>(values.size()) >
+           options.max_candidates_per_objective) {
+      // Evenly thin the list, always keeping the endpoints.
+      std::vector<double> thinned;
+      for (size_t i = 0; i < values.size(); i += 2) thinned.push_back(values[i]);
+      if (thinned.back() != values.back()) thinned.push_back(values.back());
+      values = std::move(thinned);
+    }
+    candidates.push_back(std::move(values));
+  }
+
+  std::vector<std::vector<double>> weights = options.sum_weight_vectors;
+  if (weights.empty()) {
+    weights.push_back(std::vector<double>(sum_objs.size(), 1.0));
+  }
+
+  // Iterate the Cartesian product of candidate lists.
+  std::vector<size_t> combo(candidates.size(), 0);
+  long combos_done = 0;
+  std::vector<std::vector<double>> objective_rows;
+  while (combos_done < options.max_combinations) {
+    // Bounds for this combination.
+    std::vector<double> bound(candidates.size());
+    for (size_t h = 0; h < candidates.size(); ++h) {
+      bound[h] = candidates[h][combo[h]];
+    }
+    for (const std::vector<double>& w : weights) {
+      GeneralStagePoint point;
+      point.objectives.assign(static_cast<size_t>(k), 0.0);
+      point.choice.assign(static_cast<size_t>(m), -1);
+      bool feasible = true;
+      for (int i = 0; i < m && feasible; ++i) {
+        // find_optimal: cheapest weighted sum subject to the max bounds.
+        double best_score = std::numeric_limits<double>::infinity();
+        int best_j = -1;
+        const std::vector<std::vector<double>>& sols =
+            solutions[static_cast<size_t>(i)];
+        for (size_t j = 0; j < sols.size(); ++j) {
+          bool within = true;
+          for (size_t h = 0; h < max_objs.size(); ++h) {
+            if (sols[j][static_cast<size_t>(max_objs[h])] >
+                bound[h] + 1e-12) {
+              within = false;
+              break;
+            }
+          }
+          if (!within) continue;
+          double score = 0.0;
+          for (size_t v = 0; v < sum_objs.size(); ++v) {
+            score += w[v] * sols[j][static_cast<size_t>(sum_objs[v])];
+          }
+          if (score < best_score) {
+            best_score = score;
+            best_j = static_cast<int>(j);
+          }
+        }
+        if (best_j < 0) {
+          feasible = false;
+          break;
+        }
+        point.choice[static_cast<size_t>(i)] = best_j;
+        const std::vector<double>& chosen =
+            sols[static_cast<size_t>(best_j)];
+        for (int h : max_objs) {
+          point.objectives[static_cast<size_t>(h)] =
+              std::max(point.objectives[static_cast<size_t>(h)],
+                       chosen[static_cast<size_t>(h)]);
+        }
+        for (int v : sum_objs) {
+          point.objectives[static_cast<size_t>(v)] +=
+              chosen[static_cast<size_t>(v)] *
+              multiplicity[static_cast<size_t>(i)];
+        }
+      }
+      if (feasible) {
+        objective_rows.push_back(point.objectives);
+        result.push_back(std::move(point));
+      }
+    }
+    // Advance the combination odometer.
+    ++combos_done;
+    size_t pos = 0;
+    while (pos < combo.size()) {
+      if (++combo[pos] < candidates[pos].size()) break;
+      combo[pos] = 0;
+      ++pos;
+    }
+    if (pos >= combo.size()) break;  // odometer wrapped: done
+    if (combo.empty()) break;        // no max objectives: single pass
+  }
+
+  // filter_dominated.
+  std::vector<GeneralStagePoint> filtered;
+  for (int idx : ParetoFilter(objective_rows)) {
+    filtered.push_back(std::move(result[static_cast<size_t>(idx)]));
+  }
+  return filtered;
+}
+
+}  // namespace fgro

@@ -1,0 +1,45 @@
+#ifndef FGRO_OPTIMIZER_RAA_GENERAL_H_
+#define FGRO_OPTIMIZER_RAA_GENERAL_H_
+
+#include <vector>
+
+namespace fgro {
+
+/// A stage-level solution of the general hierarchical MOO: objective values
+/// plus the per-instance choice of instance-level Pareto solution.
+struct GeneralStagePoint {
+  std::vector<double> objectives;
+  std::vector<int> choice;
+};
+
+struct GeneralMooOptions {
+  /// Cap on the candidate value list of each max objective (evenly
+  /// subsampled beyond this — the paper enumerates all, which we do too at
+  /// our scales; the cap is a guard for adversarial inputs).
+  int max_candidates_per_objective = 512;
+  /// Hard cap on the Cartesian product of max-objective candidates.
+  long max_combinations = 200000;
+  /// Weight vectors for the WS-based find_optimal over the sum objectives
+  /// (Appendix E.3). Empty = single equal-weight vector.
+  std::vector<std::vector<double>> sum_weight_vectors;
+};
+
+/// General hierarchical MOO, Algorithm 2: enumerate candidate values for
+/// every max-aggregated objective (Cartesian product across them), and for
+/// each combination select per instance the Pareto solution minimizing the
+/// weighted sum of the sum-aggregated objectives subject to the max bounds;
+/// finally filter dominated stage-level points. Guaranteed to return a
+/// subset of the stage-level Pareto set (Proposition 5.1).
+///
+/// `solutions[i][j]` is the j-th Pareto solution of instance i over all k
+/// objectives; `is_max[v]` says whether objective v aggregates with max
+/// (latency-like) or sum (cost-like); `multiplicity[i]` scales instance i's
+/// sum objectives (cluster size).
+std::vector<GeneralStagePoint> GeneralHierarchicalMoo(
+    const std::vector<std::vector<std::vector<double>>>& solutions,
+    const std::vector<bool>& is_max, const std::vector<double>& multiplicity,
+    const GeneralMooOptions& options = {});
+
+}  // namespace fgro
+
+#endif  // FGRO_OPTIMIZER_RAA_GENERAL_H_

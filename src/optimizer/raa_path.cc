@@ -1,0 +1,60 @@
+#include "optimizer/raa_path.h"
+
+#include <limits>
+#include <queue>
+
+#include "common/logging.h"
+
+namespace fgro {
+
+std::vector<StageParetoPoint> RaaPath(
+    const std::vector<std::vector<InstanceParetoPoint>>& pareto_sets,
+    const std::vector<double>& multiplicity) {
+  const int m = static_cast<int>(pareto_sets.size());
+  std::vector<StageParetoPoint> result;
+  if (m == 0) return result;
+  FGRO_CHECK(multiplicity.size() == pareto_sets.size());
+
+  // State lambda: current solution index per instance (0-based; the paper's
+  // lambda_i - 1). Start with every instance at its highest-latency
+  // (cheapest) solution.
+  std::vector<int> lambda(static_cast<size_t>(m), 0);
+  double cost_sum = 0.0;
+  using HeapEntry = std::pair<double, int>;  // (latency, instance)
+  std::priority_queue<HeapEntry> heap;
+  for (int i = 0; i < m; ++i) {
+    FGRO_CHECK(!pareto_sets[static_cast<size_t>(i)].empty())
+        << "instance " << i << " has an empty Pareto set";
+    const InstanceParetoPoint& first = pareto_sets[static_cast<size_t>(i)][0];
+    cost_sum += first.cost * multiplicity[static_cast<size_t>(i)];
+    heap.push({first.latency, i});
+  }
+
+  double smax = std::numeric_limits<double>::infinity();
+  while (true) {
+    auto [qmax, i] = heap.top();
+    heap.pop();
+    if (qmax < smax) {
+      StageParetoPoint point;
+      point.latency = qmax;
+      point.cost = cost_sum;
+      point.choice = lambda;
+      result.push_back(std::move(point));
+      smax = qmax;
+    }
+    // Step: advance instance i to its next (lower-latency, costlier)
+    // solution; terminate when it has none.
+    const std::vector<InstanceParetoPoint>& set =
+        pareto_sets[static_cast<size_t>(i)];
+    int next = lambda[static_cast<size_t>(i)] + 1;
+    if (next >= static_cast<int>(set.size())) break;
+    cost_sum += (set[static_cast<size_t>(next)].cost -
+                 set[static_cast<size_t>(next - 1)].cost) *
+                multiplicity[static_cast<size_t>(i)];
+    lambda[static_cast<size_t>(i)] = next;
+    heap.push({set[static_cast<size_t>(next)].latency, i});
+  }
+  return result;
+}
+
+}  // namespace fgro

@@ -1,0 +1,32 @@
+#ifndef FGRO_OPTIMIZER_RAA_PATH_H_
+#define FGRO_OPTIMIZER_RAA_PATH_H_
+
+#include <vector>
+
+#include "moo/config_space.h"
+
+namespace fgro {
+
+/// A stage-level Pareto point together with the per-instance (or
+/// per-cluster) choice of instance-level Pareto solution that achieves it.
+struct StageParetoPoint {
+  double latency = 0.0;
+  double cost = 0.0;
+  std::vector<int> choice;  // index into each instance's Pareto set
+};
+
+/// RAA-Path, Algorithm 3: for the 2-objective (latency=max, cost=sum) case,
+/// walks the unique tradeoff path through the per-instance Pareto sets with
+/// a max-heap and emits the FULL stage-level Pareto set in
+/// O(m p log(m p)) (Proposition 5.2).
+///
+/// `pareto_sets[i]` must be sorted by strictly descending latency (ascending
+/// cost) — the order InstanceMooSolver produces. `multiplicity[i]` scales
+/// instance i's cost (cluster size when instances are clustered).
+std::vector<StageParetoPoint> RaaPath(
+    const std::vector<std::vector<InstanceParetoPoint>>& pareto_sets,
+    const std::vector<double>& multiplicity);
+
+}  // namespace fgro
+
+#endif  // FGRO_OPTIMIZER_RAA_PATH_H_

@@ -1,0 +1,50 @@
+#ifndef FGRO_OPTIMIZER_SCHEDULER_TYPES_H_
+#define FGRO_OPTIMIZER_SCHEDULER_TYPES_H_
+
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "cluster/resource.h"
+#include "model/latency_model.h"
+#include "plan/stage.h"
+
+namespace fgro {
+
+/// Everything a scheduler needs to decide one stage: the stage itself, the
+/// current cluster view, the fine-grained model (null for the model-free
+/// Fuxi baseline), and HBO's default resource plan theta0.
+struct SchedulingContext {
+  const Stage* stage = nullptr;
+  const Cluster* cluster = nullptr;
+  const LatencyModel* model = nullptr;
+  ResourceConfig theta0;
+  CostWeights cost_weights;
+  /// Diverse-placement cap: max instances per machine. 0 = auto
+  /// (2 * ceil(m / available machines), always >= ceil(m/n) as required).
+  int alpha = 0;
+  /// Discretization degree for machine clustering (Expt 4 couples this to
+  /// model accuracy).
+  int discretization_degree = 4;
+};
+
+/// The output of any scheduler: the placement plan (machine per instance)
+/// and the resource plan (theta per instance).
+struct StageDecision {
+  bool feasible = false;
+  std::vector<int> machine_of_instance;
+  std::vector<ResourceConfig> theta_of_instance;
+  double solve_seconds = 0.0;
+};
+
+/// Per-machine instance capacity under theta0:
+/// beta_j = min(floor(free cores / theta0.cores),
+///              floor(free mem / theta0.mem), alpha).
+int InstanceCapacity(const Machine& machine, const ResourceConfig& theta0,
+                     int alpha);
+
+/// Resolves alpha = 0 to the auto value for m instances on n machines.
+int ResolveAlpha(int alpha, int num_instances, int num_machines);
+
+}  // namespace fgro
+
+#endif  // FGRO_OPTIMIZER_SCHEDULER_TYPES_H_

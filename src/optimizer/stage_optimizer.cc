@@ -1,0 +1,83 @@
+#include "optimizer/stage_optimizer.h"
+
+#include "optimizer/fuxi.h"
+#include "optimizer/ipa.h"
+#include "optimizer/ipa_clustered.h"
+
+namespace fgro {
+
+StageOptimizer::Config StageOptimizer::FuxiOnly() {
+  return {Placement::kFuxi, false, {}};
+}
+StageOptimizer::Config StageOptimizer::IpaOrg() {
+  return {Placement::kIpaOrg, false, {}};
+}
+StageOptimizer::Config StageOptimizer::IpaCluster() {
+  return {Placement::kIpaClustered, false, {}};
+}
+StageOptimizer::Config StageOptimizer::IpaRaaWithoutClustering() {
+  return {Placement::kIpaClustered, true,
+          {RaaClustering::kNone, RaaAlgorithm::kPath}};
+}
+StageOptimizer::Config StageOptimizer::IpaRaaDbscan() {
+  return {Placement::kIpaClustered, true,
+          {RaaClustering::kDbscan, RaaAlgorithm::kPath}};
+}
+StageOptimizer::Config StageOptimizer::IpaRaaGeneral() {
+  return {Placement::kIpaClustered, true,
+          {RaaClustering::kFastMci, RaaAlgorithm::kGeneral}};
+}
+StageOptimizer::Config StageOptimizer::IpaRaaPath() {
+  return {Placement::kIpaClustered, true,
+          {RaaClustering::kFastMci, RaaAlgorithm::kPath}};
+}
+
+std::string StageOptimizer::ConfigName(const Config& config) {
+  switch (config.placement) {
+    case Placement::kFuxi:
+      return "Fuxi";
+    case Placement::kIpaOrg:
+      return config.run_raa ? "IPA(Org)+RAA" : "IPA(Org)";
+    case Placement::kIpaClustered:
+      break;
+  }
+  if (!config.run_raa) return "IPA(Cluster)";
+  std::string raa;
+  switch (config.raa.clustering) {
+    case RaaClustering::kNone: raa = "W/O_C"; break;
+    case RaaClustering::kDbscan: raa = "DBSCAN"; break;
+    case RaaClustering::kFastMci:
+      raa = config.raa.algorithm == RaaAlgorithm::kPath ? "Path" : "General";
+      break;
+  }
+  return "IPA+RAA(" + raa + ")";
+}
+
+StageDecision StageOptimizer::Optimize(const SchedulingContext& context) const {
+  StageDecision decision;
+  const std::vector<FastMciGroup>* groups = nullptr;
+  ClusteredIpaResult clustered;
+  switch (config_.placement) {
+    case Placement::kFuxi:
+      decision = FuxiSchedule(context);
+      break;
+    case Placement::kIpaOrg:
+      decision = IpaSchedule(context);
+      break;
+    case Placement::kIpaClustered:
+      clustered = IpaClusteredSchedule(context);
+      decision = std::move(clustered.decision);
+      groups = &clustered.groups;
+      break;
+  }
+  if (!decision.feasible || !config_.run_raa) return decision;
+
+  RaaResult raa = RunRaa(context, decision, groups, config_.raa);
+  if (raa.ok) {
+    decision.theta_of_instance = std::move(raa.theta_of_instance);
+  }
+  decision.solve_seconds += raa.solve_seconds;
+  return decision;
+}
+
+}  // namespace fgro

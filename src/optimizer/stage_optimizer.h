@@ -1,0 +1,48 @@
+#ifndef FGRO_OPTIMIZER_STAGE_OPTIMIZER_H_
+#define FGRO_OPTIMIZER_STAGE_OPTIMIZER_H_
+
+#include <string>
+
+#include "optimizer/raa.h"
+#include "optimizer/scheduler_types.h"
+
+namespace fgro {
+
+/// The Stage-level Optimizer (SO) of Fig. 3: a placement step (Fuxi, IPA, or
+/// clustered IPA) optionally followed by RAA's instance-specific resource
+/// tuning. Each named configuration of Table 2 is one SoConfig.
+class StageOptimizer {
+ public:
+  enum class Placement { kFuxi, kIpaOrg, kIpaClustered };
+
+  struct Config {
+    Placement placement = Placement::kIpaClustered;
+    bool run_raa = true;
+    RaaOptions raa;
+  };
+
+  /// Table 2 row presets.
+  static Config FuxiOnly();
+  static Config IpaOrg();
+  static Config IpaCluster();
+  static Config IpaRaaWithoutClustering();
+  static Config IpaRaaDbscan();
+  static Config IpaRaaGeneral();
+  static Config IpaRaaPath();
+
+  static std::string ConfigName(const Config& config);
+
+  explicit StageOptimizer(Config config) : config_(config) {}
+
+  /// Runs placement then (optionally) RAA; solve_seconds covers both.
+  StageDecision Optimize(const SchedulingContext& context) const;
+
+  const Config& config() const { return config_; }
+
+ private:
+  Config config_;
+};
+
+}  // namespace fgro
+
+#endif  // FGRO_OPTIMIZER_STAGE_OPTIMIZER_H_

@@ -1,0 +1,56 @@
+#include "plan/dag_to_tree.h"
+
+#include <functional>
+#include <string>
+
+namespace fgro {
+
+Result<PlanTree> ConvertDagToTree(const Stage& stage, int max_nodes) {
+  Result<std::vector<int>> topo = stage.TopologicalOrder();
+  if (!topo.ok()) return topo.status();
+
+  PlanTree tree;
+  bool exhausted = false;
+
+  // Recursively copy the subtree rooted at `op_id`, forking shared subtrees.
+  std::function<int(int)> copy_subtree = [&](int op_id) -> int {
+    if (exhausted) return -1;
+    if (tree.size() >= max_nodes) {
+      exhausted = true;
+      return -1;
+    }
+    int node_index = tree.size();
+    tree.nodes.push_back(PlanTreeNode{op_id, {}});
+    const Operator& op = stage.operators[static_cast<size_t>(op_id)];
+    for (int child_op : op.children) {
+      int child_node = copy_subtree(child_op);
+      if (exhausted) return -1;
+      tree.nodes[static_cast<size_t>(node_index)].children.push_back(
+          child_node);
+    }
+    return node_index;
+  };
+
+  std::vector<int> roots = stage.RootOperators();
+  if (roots.size() == 1) {
+    tree.root = copy_subtree(roots[0]);
+  } else {
+    // Multi-root DAG: join under an artificial root whose children are the
+    // subtrees of every sink.
+    int root_index = tree.size();
+    tree.nodes.push_back(PlanTreeNode{PlanTreeNode::kArtificialRoot, {}});
+    for (int r : roots) {
+      int child = copy_subtree(r);
+      if (exhausted) break;
+      tree.nodes[static_cast<size_t>(root_index)].children.push_back(child);
+    }
+    tree.root = root_index;
+  }
+  if (exhausted) {
+    return Status::ResourceExhausted(
+        "DAG-to-tree fork exceeded " + std::to_string(max_nodes) + " nodes");
+  }
+  return tree;
+}
+
+}  // namespace fgro

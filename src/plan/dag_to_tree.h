@@ -1,0 +1,39 @@
+#ifndef FGRO_PLAN_DAG_TO_TREE_H_
+#define FGRO_PLAN_DAG_TO_TREE_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "plan/stage.h"
+
+namespace fgro {
+
+/// A node of the tree produced by ConvertDagToTree. `op_id` refers back to
+/// the stage's operator, or is kArtificialRoot for the synthetic root added
+/// when the DAG has multiple sinks.
+struct PlanTreeNode {
+  static constexpr int kArtificialRoot = -1;
+  int op_id = kArtificialRoot;
+  std::vector<int> children;  // indices into PlanTree::nodes
+};
+
+struct PlanTree {
+  std::vector<PlanTreeNode> nodes;
+  int root = 0;
+
+  int size() const { return static_cast<int>(nodes.size()); }
+};
+
+/// Converts an arbitrary operator DAG into a tree, as required by the
+/// tree-structured model baselines (TLSTM, QPPNet). Following Appendix C of
+/// the paper: nodes with multiple parents have their subtree forked once per
+/// parent, and multiple roots are joined under one artificial root.
+///
+/// Forking can blow up exponentially on adversarial DAGs; `max_nodes` caps
+/// the output (default generous for our plan sizes) and the conversion fails
+/// with ResourceExhausted beyond it.
+Result<PlanTree> ConvertDagToTree(const Stage& stage, int max_nodes = 4096);
+
+}  // namespace fgro
+
+#endif  // FGRO_PLAN_DAG_TO_TREE_H_

@@ -1,0 +1,55 @@
+#include "plan/job.h"
+
+#include <queue>
+#include <string>
+
+namespace fgro {
+
+Result<std::vector<int>> Job::TopologicalOrder() const {
+  const int n = stage_count();
+  if (static_cast<int>(stage_deps.size()) != n) {
+    return Status::InvalidArgument("stage_deps size mismatch");
+  }
+  std::vector<int> in_degree(static_cast<size_t>(n), 0);
+  std::vector<std::vector<int>> downstream(static_cast<size_t>(n));
+  for (int s = 0; s < n; ++s) {
+    for (int d : stage_deps[static_cast<size_t>(s)]) {
+      if (d < 0 || d >= n) {
+        return Status::InvalidArgument("dangling stage dependency " +
+                                       std::to_string(d));
+      }
+      downstream[static_cast<size_t>(d)].push_back(s);
+      in_degree[static_cast<size_t>(s)]++;
+    }
+  }
+  std::queue<int> ready;
+  for (int s = 0; s < n; ++s) {
+    if (in_degree[static_cast<size_t>(s)] == 0) ready.push(s);
+  }
+  std::vector<int> order;
+  order.reserve(static_cast<size_t>(n));
+  while (!ready.empty()) {
+    int u = ready.front();
+    ready.pop();
+    order.push_back(u);
+    for (int v : downstream[static_cast<size_t>(u)]) {
+      if (--in_degree[static_cast<size_t>(v)] == 0) ready.push(v);
+    }
+  }
+  if (static_cast<int>(order.size()) != n) {
+    return Status::InvalidArgument("stage graph has a cycle");
+  }
+  return order;
+}
+
+Status Job::Validate() const {
+  if (stages.empty()) return Status::InvalidArgument("job has no stages");
+  Result<std::vector<int>> topo = TopologicalOrder();
+  if (!topo.ok()) return topo.status();
+  for (const Stage& stage : stages) {
+    FGRO_RETURN_IF_ERROR(stage.Validate());
+  }
+  return Status::OK();
+}
+
+}  // namespace fgro

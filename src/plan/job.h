@@ -1,0 +1,32 @@
+#ifndef FGRO_PLAN_JOB_H_
+#define FGRO_PLAN_JOB_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "plan/stage.h"
+
+namespace fgro {
+
+/// A job: a DAG of stages where edges are data-shuffle dependencies. A stage
+/// becomes schedulable once all its upstream stages finish.
+class Job {
+ public:
+  int id = 0;
+  double arrival_time = 0.0;  // seconds since trace start
+
+  std::vector<Stage> stages;
+  /// stage_deps[s] lists upstream stage indices that must complete before s.
+  std::vector<std::vector<int>> stage_deps;
+
+  int stage_count() const { return static_cast<int>(stages.size()); }
+
+  /// Stage indices in a valid execution order (upstream first).
+  Result<std::vector<int>> TopologicalOrder() const;
+
+  Status Validate() const;
+};
+
+}  // namespace fgro
+
+#endif  // FGRO_PLAN_JOB_H_

@@ -1,0 +1,37 @@
+#include "plan/operator.h"
+
+namespace fgro {
+
+const char* OperatorTypeName(OperatorType type) {
+  switch (type) {
+    case OperatorType::kTableScan: return "TableScan";
+    case OperatorType::kFilter: return "Filter";
+    case OperatorType::kProject: return "Project";
+    case OperatorType::kHashJoin: return "HashJoin";
+    case OperatorType::kMergeJoin: return "MergeJoin";
+    case OperatorType::kHashAgg: return "HashAgg";
+    case OperatorType::kSortedAgg: return "SortedAgg";
+    case OperatorType::kSort: return "Sort";
+    case OperatorType::kTopN: return "TopN";
+    case OperatorType::kWindow: return "Window";
+    case OperatorType::kUnion: return "Union";
+    case OperatorType::kStreamLineRead: return "StreamLineRead";
+    case OperatorType::kStreamLineWrite: return "StreamLineWrite";
+    case OperatorType::kNumOperatorTypes: break;
+  }
+  return "Unknown";
+}
+
+bool IsIoIntensive(OperatorType type) {
+  switch (type) {
+    case OperatorType::kTableScan:
+    case OperatorType::kMergeJoin:  // external sort-merge spills
+    case OperatorType::kStreamLineRead:
+    case OperatorType::kStreamLineWrite:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace fgro

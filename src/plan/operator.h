@@ -1,0 +1,81 @@
+#ifndef FGRO_PLAN_OPERATOR_H_
+#define FGRO_PLAN_OPERATOR_H_
+
+#include <string>
+#include <vector>
+
+namespace fgro {
+
+/// Physical operator taxonomy. The names mirror the MaxCompute operators the
+/// paper calls out (TableScan, MergeJoin, StreamLineWrite/Read are the
+/// IO-intensive ones responsible for most model error in Expt 1).
+enum class OperatorType {
+  kTableScan = 0,
+  kFilter,
+  kProject,
+  kHashJoin,
+  kMergeJoin,
+  kHashAgg,
+  kSortedAgg,
+  kSort,
+  kTopN,
+  kWindow,
+  kUnion,
+  kStreamLineRead,   // shuffle read (stage input from an upstream stage)
+  kStreamLineWrite,  // shuffle write (stage output to a downstream stage)
+  kNumOperatorTypes,
+};
+
+constexpr int kNumOperatorTypes =
+    static_cast<int>(OperatorType::kNumOperatorTypes);
+
+const char* OperatorTypeName(OperatorType type);
+
+/// True if the operator's cost is dominated by disk/network IO. These are
+/// the operators whose latency the paper finds hardest to predict.
+bool IsIoIntensive(OperatorType type);
+
+/// Where an operator reads its input from (CT3 feature in Channel 1).
+enum class DataLocation { kLocalDisk = 0, kNetwork = 1 };
+
+/// Shuffle strategy for StreamLine operators (CT3 feature in Channel 1).
+enum class ShuffleStrategy { kNone = 0, kHash = 1, kRange = 2, kBroadcast = 3 };
+
+/// Stage-level statistics of one operator. Two copies exist per operator:
+/// the hidden ground truth (used only by the environment) and the CBO
+/// estimate (what models and optimizers are allowed to see).
+struct OperatorStats {
+  double input_rows = 0.0;    // total rows entering, summed over instances
+  double output_rows = 0.0;   // total rows produced
+  double selectivity = 1.0;   // output_rows / input_rows
+  double avg_row_size = 64;   // bytes per row
+  double cost = 0.0;          // CBO cost units (see cbo::CostModel)
+};
+
+/// Maximum number of operator-specific ("customized") features. Operators
+/// with fewer features are zero-padded into this uniform width, exactly as
+/// the plan embedder does in the paper.
+constexpr int kNumCustomFeatures = 4;
+
+/// One physical operator inside a stage DAG.
+struct Operator {
+  int id = 0;                 // index within the stage
+  OperatorType type = OperatorType::kTableScan;
+  std::vector<int> children;  // operators feeding this one (upstream)
+
+  OperatorStats truth;        // hidden: only env/ may read this
+  OperatorStats estimate;     // CBO output: visible to models/optimizers
+
+  DataLocation location = DataLocation::kLocalDisk;
+  ShuffleStrategy shuffle = ShuffleStrategy::kNone;
+
+  // Operator-specific features (e.g. join fan-out, aggregation group count),
+  // zero-padded to kNumCustomFeatures.
+  double custom[kNumCustomFeatures] = {0, 0, 0, 0};
+
+  bool is_leaf() const { return children.empty(); }
+};
+
+}  // namespace fgro
+
+#endif  // FGRO_PLAN_OPERATOR_H_

@@ -1,0 +1,116 @@
+#include "plan/stage.h"
+
+#include <algorithm>
+#include <queue>
+#include <string>
+
+namespace fgro {
+
+std::vector<int> Stage::LeafOperators() const {
+  std::vector<int> leaves;
+  for (const Operator& op : operators) {
+    if (op.is_leaf()) leaves.push_back(op.id);
+  }
+  return leaves;
+}
+
+std::vector<int> Stage::RootOperators() const {
+  std::vector<bool> consumed(operators.size(), false);
+  for (const Operator& op : operators) {
+    for (int c : op.children) {
+      if (c >= 0 && c < static_cast<int>(operators.size())) {
+        consumed[static_cast<size_t>(c)] = true;
+      }
+    }
+  }
+  std::vector<int> roots;
+  for (const Operator& op : operators) {
+    if (!consumed[static_cast<size_t>(op.id)]) roots.push_back(op.id);
+  }
+  return roots;
+}
+
+Result<std::vector<int>> Stage::TopologicalOrder() const {
+  const int n = operator_count();
+  std::vector<int> in_degree(static_cast<size_t>(n), 0);
+  // Edge child -> parent; parent's in-degree is its child count.
+  for (const Operator& op : operators) {
+    for (int c : op.children) {
+      if (c < 0 || c >= n) {
+        return Status::InvalidArgument("dangling child index " +
+                                       std::to_string(c));
+      }
+    }
+    in_degree[static_cast<size_t>(op.id)] =
+        static_cast<int>(op.children.size());
+  }
+  // Kahn's algorithm starting from leaves.
+  std::vector<std::vector<int>> parents(static_cast<size_t>(n));
+  for (const Operator& op : operators) {
+    for (int c : op.children) parents[static_cast<size_t>(c)].push_back(op.id);
+  }
+  std::queue<int> ready;
+  for (int i = 0; i < n; ++i) {
+    if (in_degree[static_cast<size_t>(i)] == 0) ready.push(i);
+  }
+  std::vector<int> order;
+  order.reserve(static_cast<size_t>(n));
+  while (!ready.empty()) {
+    int u = ready.front();
+    ready.pop();
+    order.push_back(u);
+    for (int p : parents[static_cast<size_t>(u)]) {
+      if (--in_degree[static_cast<size_t>(p)] == 0) ready.push(p);
+    }
+  }
+  if (static_cast<int>(order.size()) != n) {
+    return Status::InvalidArgument("operator graph has a cycle");
+  }
+  return order;
+}
+
+Status Stage::Validate() const {
+  if (operators.empty()) {
+    return Status::InvalidArgument("stage has no operators");
+  }
+  for (size_t i = 0; i < operators.size(); ++i) {
+    if (operators[i].id != static_cast<int>(i)) {
+      return Status::InvalidArgument("operator ids must be dense indices");
+    }
+  }
+  Result<std::vector<int>> topo = TopologicalOrder();
+  if (!topo.ok()) return topo.status();
+  if (instances.empty()) {
+    return Status::InvalidArgument("stage has no instances");
+  }
+  double fraction_total = 0.0;
+  for (const InstanceMeta& im : instances) {
+    if (im.input_fraction < 0.0 || im.input_rows < 0.0) {
+      return Status::InvalidArgument("negative instance meta");
+    }
+    fraction_total += im.input_fraction;
+  }
+  if (fraction_total > 1.0 + 1e-6 || fraction_total < 1.0 - 1e-6) {
+    return Status::InvalidArgument("instance fractions must sum to 1, got " +
+                                   std::to_string(fraction_total));
+  }
+  return Status::OK();
+}
+
+double Stage::EstimatedInputRows() const {
+  double total = 0.0;
+  for (const Operator& op : operators) {
+    if (op.is_leaf()) total += op.estimate.input_rows;
+  }
+  return total;
+}
+
+double Stage::EstimatedInputBytes() const {
+  double total = 0.0;
+  for (const Operator& op : operators) {
+    if (op.is_leaf()) total += op.estimate.input_rows * op.estimate.avg_row_size;
+  }
+  return total;
+}
+
+}  // namespace fgro

@@ -1,0 +1,60 @@
+#ifndef FGRO_PLAN_STAGE_H_
+#define FGRO_PLAN_STAGE_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "plan/operator.h"
+
+namespace fgro {
+
+/// Per-instance metadata (Channel 2). An instance processes the fraction
+/// `input_fraction` of every leaf input of its stage; fractions over all
+/// instances of a stage sum to 1. `skew` is a hidden multiplicative factor
+/// the environment applies on top (uneven data, stragglers) that is NOT
+/// visible to models.
+struct InstanceMeta {
+  double input_rows = 0.0;    // visible: rows entering this instance
+  double input_bytes = 0.0;   // visible: bytes entering this instance
+  double input_fraction = 0;  // visible: share of the stage's leaf inputs
+  double hidden_skew = 1.0;   // hidden: environment-only straggler factor
+};
+
+/// A stage: a DAG of operators executed by `instance_count` parallel
+/// instances, each over one partition of the input.
+class Stage {
+ public:
+  Stage() = default;
+
+  int id = 0;
+  int job_id = 0;
+  // Identifies the recurring topology this stage was instantiated from;
+  // HBO keys its history on this, and data splitting stratifies on it.
+  int template_id = 0;
+
+  std::vector<Operator> operators;
+  std::vector<InstanceMeta> instances;
+
+  int instance_count() const { return static_cast<int>(instances.size()); }
+  int operator_count() const { return static_cast<int>(operators.size()); }
+
+  /// Operators with no upstream inside the stage (TableScan/StreamLineRead).
+  std::vector<int> LeafOperators() const;
+  /// Operators no other operator consumes (StreamLineWrite or final sinks).
+  std::vector<int> RootOperators() const;
+
+  /// Operator ids in a topological order (children before parents).
+  /// Fails if the operator graph has a cycle or dangling child index.
+  Result<std::vector<int>> TopologicalOrder() const;
+
+  /// Structural and statistical sanity checks used by tests and generators.
+  Status Validate() const;
+
+  /// Total estimated (CBO) stage input in rows/bytes, summed over leaves.
+  double EstimatedInputRows() const;
+  double EstimatedInputBytes() const;
+};
+
+}  // namespace fgro
+
+#endif  // FGRO_PLAN_STAGE_H_

@@ -1,0 +1,44 @@
+#include "sim/dependency_manager.h"
+
+#include "common/logging.h"
+
+namespace fgro {
+
+StageDependencyManager::StageDependencyManager(const Job& job)
+    : num_stages_(job.stage_count()) {
+  pending_deps_.assign(static_cast<size_t>(num_stages_), 0);
+  released_.assign(static_cast<size_t>(num_stages_), false);
+  completed_.assign(static_cast<size_t>(num_stages_), false);
+  downstream_.assign(static_cast<size_t>(num_stages_), {});
+  for (int s = 0; s < num_stages_; ++s) {
+    pending_deps_[static_cast<size_t>(s)] =
+        static_cast<int>(job.stage_deps[static_cast<size_t>(s)].size());
+    for (int d : job.stage_deps[static_cast<size_t>(s)]) {
+      downstream_[static_cast<size_t>(d)].push_back(s);
+    }
+  }
+}
+
+std::vector<int> StageDependencyManager::PopReadyStages() {
+  std::vector<int> ready;
+  for (int s = 0; s < num_stages_; ++s) {
+    if (!released_[static_cast<size_t>(s)] &&
+        pending_deps_[static_cast<size_t>(s)] == 0) {
+      released_[static_cast<size_t>(s)] = true;
+      ready.push_back(s);
+    }
+  }
+  return ready;
+}
+
+void StageDependencyManager::MarkCompleted(int stage_idx) {
+  FGRO_CHECK(stage_idx >= 0 && stage_idx < num_stages_);
+  if (completed_[static_cast<size_t>(stage_idx)]) return;
+  completed_[static_cast<size_t>(stage_idx)] = true;
+  ++completed_count_;
+  for (int d : downstream_[static_cast<size_t>(stage_idx)]) {
+    --pending_deps_[static_cast<size_t>(d)];
+  }
+}
+
+}  // namespace fgro

@@ -1,0 +1,36 @@
+#ifndef FGRO_SIM_DEPENDENCY_MANAGER_H_
+#define FGRO_SIM_DEPENDENCY_MANAGER_H_
+
+#include <vector>
+
+#include "plan/job.h"
+
+namespace fgro {
+
+/// The Stage Dependency Manager of Fig. 1: tracks which stages of a job have
+/// all shuffle dependencies satisfied and releases them to the scheduler.
+class StageDependencyManager {
+ public:
+  explicit StageDependencyManager(const Job& job);
+
+  /// Stages whose dependencies are met and that have not been released yet.
+  /// Each stage is returned exactly once across calls.
+  std::vector<int> PopReadyStages();
+
+  void MarkCompleted(int stage_idx);
+
+  bool AllCompleted() const { return completed_count_ == num_stages_; }
+  int num_stages() const { return num_stages_; }
+
+ private:
+  int num_stages_ = 0;
+  int completed_count_ = 0;
+  std::vector<int> pending_deps_;   // unmet dependency count per stage
+  std::vector<bool> released_;
+  std::vector<bool> completed_;
+  std::vector<std::vector<int>> downstream_;
+};
+
+}  // namespace fgro
+
+#endif  // FGRO_SIM_DEPENDENCY_MANAGER_H_

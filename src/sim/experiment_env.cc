@@ -1,0 +1,54 @@
+#include "sim/experiment_env.h"
+
+#include "common/logging.h"
+
+namespace fgro {
+
+Result<std::unique_ptr<ExperimentEnv>> ExperimentEnv::Build(
+    const Options& options) {
+  std::unique_ptr<ExperimentEnv> env(new ExperimentEnv());
+  env->options_ = options;
+
+  WorkloadGenerator generator(
+      GetWorkloadProfile(options.workload, options.scale));
+  Result<Workload> workload = generator.Generate();
+  if (!workload.ok()) return workload.status();
+  env->workload_ = std::move(workload).value();
+
+  TraceCollector collector(options.collect_cluster, options.seed);
+  Result<TraceDataset> dataset = collector.Collect(env->workload_);
+  if (!dataset.ok()) return dataset.status();
+  env->dataset_ = std::move(dataset).value();
+  env->dataset_.workload = &env->workload_;  // re-anchor after the move
+
+  Rng split_rng(options.seed ^ 0xabcdef);
+  env->split_ = SplitByTemplateFrequency(env->dataset_, &split_rng);
+
+  LatencyModel::Options model_options;
+  model_options.kind = options.model_kind;
+  model_options.featurizer =
+      Featurizer(options.channels, options.discretization_degree);
+  model_options.seed = options.seed + 13;
+  env->model_ = std::make_unique<LatencyModel>(model_options);
+  if (options.train_model) {
+    FGRO_RETURN_IF_ERROR(env->model_->Train(env->dataset_,
+                                            env->split_.train,
+                                            env->split_.val, options.train));
+  }
+  return env;
+}
+
+Result<std::vector<double>> ExperimentEnv::TestActuals() const {
+  std::vector<double> out;
+  out.reserve(split_.test.size());
+  for (int idx : split_.test) {
+    out.push_back(dataset_.records[static_cast<size_t>(idx)].actual_latency);
+  }
+  return out;
+}
+
+Result<std::vector<double>> ExperimentEnv::TestPredictions() const {
+  return model_->PredictRecords(dataset_, split_.test);
+}
+
+}  // namespace fgro

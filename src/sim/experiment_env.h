@@ -1,0 +1,59 @@
+#ifndef FGRO_SIM_EXPERIMENT_ENV_H_
+#define FGRO_SIM_EXPERIMENT_ENV_H_
+
+#include <memory>
+
+#include "model/latency_model.h"
+#include "sim/simulator.h"
+#include "trace/data_split.h"
+
+namespace fgro {
+
+/// One fully prepared experiment: a generated workload, its collected
+/// trace, the train/val/test split, and a trained fine-grained model.
+/// Benches and examples share this so every table starts from the same
+/// pipeline the paper's Fig. 3 describes. Heap-only (the trace dataset
+/// points into the workload).
+class ExperimentEnv {
+ public:
+  struct Options {
+    WorkloadId workload = WorkloadId::kA;
+    double scale = 1.0;
+    ModelKind model_kind = ModelKind::kMciGtn;
+    ChannelMask channels;
+    int discretization_degree = 10;
+    TrainOptions train;
+    ClusterOptions collect_cluster;  // cluster used for trace collection
+    bool train_model = true;
+    uint64_t seed = 3;
+  };
+
+  static Result<std::unique_ptr<ExperimentEnv>> Build(const Options& options);
+
+  const Workload& workload() const { return workload_; }
+  const TraceDataset& dataset() const { return dataset_; }
+  const DataSplit& split() const { return split_; }
+  const LatencyModel& model() const { return *model_; }
+  LatencyModel* mutable_model() { return model_.get(); }
+  const Options& options() const { return options_; }
+
+  /// Test-set actuals and model predictions (convenience for metric rows).
+  Result<std::vector<double>> TestActuals() const;
+  Result<std::vector<double>> TestPredictions() const;
+
+  ExperimentEnv(const ExperimentEnv&) = delete;
+  ExperimentEnv& operator=(const ExperimentEnv&) = delete;
+
+ private:
+  ExperimentEnv() = default;
+
+  Options options_;
+  Workload workload_;
+  TraceDataset dataset_;
+  DataSplit split_;
+  std::unique_ptr<LatencyModel> model_;
+};
+
+}  // namespace fgro
+
+#endif  // FGRO_SIM_EXPERIMENT_ENV_H_

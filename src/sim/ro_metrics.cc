@@ -1,0 +1,67 @@
+#include "sim/ro_metrics.h"
+
+#include <algorithm>
+
+namespace fgro {
+
+RoSummary Summarize(const SimResult& result) {
+  RoSummary s;
+  s.num_stages = static_cast<int>(result.outcomes.size());
+  double lat = 0.0, lat_in = 0.0, cost = 0.0, solve = 0.0;
+  for (const StageOutcome& o : result.outcomes) {
+    solve += o.solve_seconds * 1e3;
+    s.max_solve_ms = std::max(s.max_solve_ms, o.solve_seconds * 1e3);
+    if (!o.feasible) continue;
+    ++s.feasible_stages;
+    lat += o.stage_latency;
+    lat_in += o.stage_latency_in;
+    cost += o.stage_cost;
+  }
+  if (s.num_stages > 0) {
+    s.coverage = static_cast<double>(s.feasible_stages) / s.num_stages;
+    s.avg_solve_ms = solve / s.num_stages;
+  }
+  if (s.feasible_stages > 0) {
+    s.avg_latency = lat / s.feasible_stages;
+    s.avg_latency_in = lat_in / s.feasible_stages;
+    s.avg_cost = cost / s.feasible_stages;
+  }
+  return s;
+}
+
+PairedSummaries SummarizePaired(const SimResult& baseline,
+                                const SimResult& method) {
+  PairedSummaries out;
+  SimResult base_paired, method_paired;
+  size_t n = std::min(baseline.outcomes.size(), method.outcomes.size());
+  for (size_t i = 0; i < n; ++i) {
+    if (baseline.outcomes[i].feasible && method.outcomes[i].feasible) {
+      base_paired.outcomes.push_back(baseline.outcomes[i]);
+      method_paired.outcomes.push_back(method.outcomes[i]);
+    }
+  }
+  out.paired_stages = static_cast<int>(base_paired.outcomes.size());
+  out.baseline = Summarize(base_paired);
+  out.method = Summarize(method_paired);
+  return out;
+}
+
+ReductionRates ComputeReduction(const RoSummary& baseline,
+                                const RoSummary& method) {
+  ReductionRates rr;
+  if (baseline.avg_latency_in > 0.0) {
+    rr.latency_in_rr =
+        (baseline.avg_latency_in - method.avg_latency_in) /
+        baseline.avg_latency_in;
+  }
+  if (baseline.avg_latency > 0.0) {
+    rr.latency_rr =
+        (baseline.avg_latency - method.avg_latency) / baseline.avg_latency;
+  }
+  if (baseline.avg_cost > 0.0) {
+    rr.cost_rr = (baseline.avg_cost - method.avg_cost) / baseline.avg_cost;
+  }
+  return rr;
+}
+
+}  // namespace fgro

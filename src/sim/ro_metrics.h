@@ -1,0 +1,48 @@
+#ifndef FGRO_SIM_RO_METRICS_H_
+#define FGRO_SIM_RO_METRICS_H_
+
+#include "sim/simulator.h"
+
+namespace fgro {
+
+/// Aggregate resource-optimization metrics over one replay (the columns of
+/// Tables 2 and 11).
+struct RoSummary {
+  int num_stages = 0;
+  int feasible_stages = 0;
+  double coverage = 0.0;        // feasible within the RO time limit
+  double avg_latency = 0.0;     // excluding solve time, feasible stages
+  double avg_latency_in = 0.0;  // including solve time
+  double avg_cost = 0.0;
+  double avg_solve_ms = 0.0;
+  double max_solve_ms = 0.0;
+};
+
+RoSummary Summarize(const SimResult& result);
+
+/// Reduction rates against a baseline (Fuxi): positive = this method is
+/// better. Averaged over totals, as in Table 2.
+struct ReductionRates {
+  double latency_in_rr = 0.0;  // on Lat_s^(in)
+  double latency_rr = 0.0;     // on Lat_s (excluding solve time)
+  double cost_rr = 0.0;
+};
+
+ReductionRates ComputeReduction(const RoSummary& baseline,
+                                const RoSummary& method);
+
+/// Paired comparison: summaries restricted to the stages feasible in BOTH
+/// replays, so a low-coverage method is not judged on a cherry-picked
+/// subset. Both results must come from the same job set (same outcome
+/// order).
+struct PairedSummaries {
+  RoSummary baseline;
+  RoSummary method;
+  int paired_stages = 0;
+};
+PairedSummaries SummarizePaired(const SimResult& baseline,
+                                const SimResult& method);
+
+}  // namespace fgro
+
+#endif  // FGRO_SIM_RO_METRICS_H_

@@ -1,0 +1,131 @@
+#include "sim/simulator.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "sim/dependency_manager.h"
+
+namespace fgro {
+
+Simulator::Simulator(const Workload* workload, const LatencyModel* model,
+                     SimOptions options)
+    : workload_(workload), model_(model), options_(options) {}
+
+Result<SimResult> Simulator::Run(const SchedulerFn& scheduler,
+                                 bool keep_instance_detail) {
+  std::vector<int> all(workload_->jobs.size());
+  for (size_t i = 0; i < all.size(); ++i) all[i] = static_cast<int>(i);
+  return RunJobs(scheduler, all, keep_instance_detail);
+}
+
+Result<SimResult> Simulator::RunJobs(const SchedulerFn& scheduler,
+                                     const std::vector<int>& job_indices,
+                                     bool keep_instance_detail) {
+  if (options_.outcome == OutcomeMode::kGprNoise &&
+      (options_.gpr == nullptr || !options_.gpr->fitted())) {
+    return Status::FailedPrecondition("GPR noise model required but missing");
+  }
+  Rng rng(options_.seed);
+  Cluster cluster(options_.cluster);
+  GroundTruthEnv env(workload_->profile.env);
+  Hbo hbo(workload_->profile.hbo);
+  SimResult result;
+
+  for (int job_idx : job_indices) {
+    const Job& job = workload_->jobs[static_cast<size_t>(job_idx)];
+    cluster.AdvanceTime(job.arrival_time);
+    StageDependencyManager deps(job);
+
+    while (!deps.AllCompleted()) {
+      std::vector<int> ready = deps.PopReadyStages();
+      if (ready.empty()) {
+        return Status::Internal("dependency deadlock in job replay");
+      }
+      for (int s : ready) {
+        const Stage& stage = job.stages[static_cast<size_t>(s)];
+        HboRecommendation rec = hbo.Recommend(stage);
+
+        SchedulingContext context;
+        context.stage = &stage;
+        context.cluster = &cluster;
+        context.model = model_;
+        context.theta0 = rec.theta0;
+
+        StageOutcome outcome;
+        outcome.job_idx = job_idx;
+        outcome.stage_idx = s;
+        outcome.num_instances = stage.instance_count();
+        outcome.default_theta_cores = rec.theta0.cores;
+
+        StageDecision decision = scheduler(context);
+        outcome.solve_seconds = decision.solve_seconds;
+        outcome.feasible = decision.feasible &&
+                           decision.solve_seconds <=
+                               options_.ro_time_limit_seconds;
+        if (!outcome.feasible) {
+          result.outcomes.push_back(std::move(outcome));
+          deps.MarkCompleted(s);
+          continue;
+        }
+
+        // Charge the machines for the stage's containers.
+        const int m = stage.instance_count();
+        for (int i = 0; i < m; ++i) {
+          cluster
+              .machine(decision.machine_of_instance[static_cast<size_t>(i)])
+              .Allocate(decision.theta_of_instance[static_cast<size_t>(i)]);
+        }
+
+        double max_latency = 0.0, cost = 0.0;
+        std::vector<double> latencies(static_cast<size_t>(m));
+        for (int i = 0; i < m; ++i) {
+          const Machine& machine = cluster.machine(
+              decision.machine_of_instance[static_cast<size_t>(i)]);
+          const ResourceConfig& theta =
+              decision.theta_of_instance[static_cast<size_t>(i)];
+          double actual = 0.0;
+          switch (options_.outcome) {
+            case OutcomeMode::kNoiseFree: {
+              Result<double> pred = model_->Predict(
+                  stage, i, theta, machine.state(), machine.hardware().id);
+              if (!pred.ok()) return pred.status();
+              actual = pred.value();
+              break;
+            }
+            case OutcomeMode::kGprNoise: {
+              Result<double> pred = model_->Predict(
+                  stage, i, theta, machine.state(), machine.hardware().id);
+              if (!pred.ok()) return pred.status();
+              actual = options_.gpr->Sample(pred.value(), &rng);
+              break;
+            }
+            case OutcomeMode::kEnvironment:
+              actual = env.SampleLatency(stage, i, machine, theta, &rng);
+              break;
+          }
+          latencies[static_cast<size_t>(i)] = actual;
+          max_latency = std::max(max_latency, actual);
+          cost += actual * context.cost_weights.Rate(theta);
+        }
+        for (int i = 0; i < m; ++i) {
+          cluster
+              .machine(decision.machine_of_instance[static_cast<size_t>(i)])
+              .Release(decision.theta_of_instance[static_cast<size_t>(i)]);
+        }
+
+        outcome.stage_latency = max_latency;
+        outcome.stage_latency_in = max_latency + decision.solve_seconds;
+        outcome.stage_cost = cost;
+        if (keep_instance_detail) {
+          outcome.instance_latencies = std::move(latencies);
+          outcome.instance_thetas = decision.theta_of_instance;
+        }
+        result.outcomes.push_back(std::move(outcome));
+        deps.MarkCompleted(s);
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace fgro

@@ -1,0 +1,82 @@
+#ifndef FGRO_SIM_SIMULATOR_H_
+#define FGRO_SIM_SIMULATOR_H_
+
+#include <functional>
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "common/status.h"
+#include "env/ground_truth.h"
+#include "hbo/hbo.h"
+#include "model/gpr.h"
+#include "model/latency_model.h"
+#include "optimizer/scheduler_types.h"
+#include "trace/workload_gen.h"
+
+namespace fgro {
+
+/// How "actual" instance latency is determined after a scheduling decision
+/// (Expt 11's noise-free vs noisy settings).
+enum class OutcomeMode {
+  kNoiseFree,    // predicted latency is the true latency
+  kGprNoise,     // actual ~ GPR(predicted), sampled within mu +/- 3 sigma
+  kEnvironment,  // actual sampled from the hidden ground-truth environment
+};
+
+struct SimOptions {
+  ClusterOptions cluster;
+  OutcomeMode outcome = OutcomeMode::kEnvironment;
+  const GprNoiseModel* gpr = nullptr;  // required for kGprNoise
+  double ro_time_limit_seconds = 60.0; // coverage cutoff per stage
+  uint64_t seed = 5;
+};
+
+/// Per-stage result of one replay.
+struct StageOutcome {
+  int job_idx = 0;
+  int stage_idx = 0;
+  bool feasible = false;
+  int num_instances = 0;
+  double stage_latency = 0.0;     // max instance latency (excl. RO time)
+  double stage_latency_in = 0.0;  // including RO solve time
+  double stage_cost = 0.0;        // sum of latency * (w . theta)
+  double solve_seconds = 0.0;
+  double default_theta_cores = 0.0;  // HBO theta0, for diagnostics
+  std::vector<double> instance_latencies;  // populated when requested
+  std::vector<ResourceConfig> instance_thetas;
+};
+
+struct SimResult {
+  std::vector<StageOutcome> outcomes;
+};
+
+/// Replays a workload through the extended-MaxCompute simulator: jobs arrive
+/// in trace order, the dependency manager releases stages, the given
+/// scheduler decides placement + resources, machines are charged for the
+/// stage's containers, and actual latencies are drawn per OutcomeMode.
+class Simulator {
+ public:
+  using SchedulerFn = std::function<StageDecision(const SchedulingContext&)>;
+
+  Simulator(const Workload* workload, const LatencyModel* model,
+            SimOptions options);
+
+  /// `keep_instance_detail` retains per-instance latencies/thetas in the
+  /// outcomes (needed by the diagnostics benches; costs memory).
+  Result<SimResult> Run(const SchedulerFn& scheduler,
+                        bool keep_instance_detail = false);
+
+  /// Runs only the subset of job indices (for subworkload experiments).
+  Result<SimResult> RunJobs(const SchedulerFn& scheduler,
+                            const std::vector<int>& job_indices,
+                            bool keep_instance_detail = false);
+
+ private:
+  const Workload* workload_;
+  const LatencyModel* model_;
+  SimOptions options_;
+};
+
+}  // namespace fgro
+
+#endif  // FGRO_SIM_SIMULATOR_H_

@@ -1,0 +1,96 @@
+#include "trace/data_split.h"
+
+#include <algorithm>
+#include <map>
+
+namespace fgro {
+
+DataSplit SplitByTemplateFrequency(const TraceDataset& dataset, Rng* rng) {
+  std::map<int, std::vector<int>> by_template;
+  for (size_t i = 0; i < dataset.records.size(); ++i) {
+    by_template[dataset.records[i].template_id].push_back(
+        static_cast<int>(i));
+  }
+
+  DataSplit split;
+  for (auto& [tmpl, indices] : by_template) {
+    (void)tmpl;
+    std::shuffle(indices.begin(), indices.end(), rng->engine());
+    const size_t n = indices.size();
+    size_t n_val = 0, n_test = 0;
+    if (n >= 1000) {          // HIGH: fixed per-topology counts
+      n_val = n_test = 100;
+    } else if (n >= 100) {    // MEDIAN
+      n_val = n_test = 10;
+    } else if (n >= 5) {      // MEDIAN-LOW: 10% each side
+      n_val = n_test = std::max<size_t>(1, n / 10);
+    } else {                  // LOW: occasionally hold the template out
+      if (rng->Bernoulli(0.2)) {
+        for (int idx : indices) {
+          (rng->Bernoulli(0.5) ? split.val : split.test).push_back(idx);
+        }
+        continue;
+      }
+    }
+    for (size_t i = 0; i < n; ++i) {
+      if (i < n_val) {
+        split.val.push_back(indices[i]);
+      } else if (i < n_val + n_test) {
+        split.test.push_back(indices[i]);
+      } else {
+        split.train.push_back(indices[i]);
+      }
+    }
+  }
+  return split;
+}
+
+std::vector<std::vector<int>> BucketRecordsByTime(const TraceDataset& dataset,
+                                                  double window_seconds) {
+  double horizon = dataset.workload->profile.horizon_seconds;
+  int num_buckets =
+      std::max(1, static_cast<int>(horizon / window_seconds + 0.999));
+  std::vector<std::vector<int>> buckets(static_cast<size_t>(num_buckets));
+  for (size_t i = 0; i < dataset.records.size(); ++i) {
+    int b = static_cast<int>(dataset.records[i].submit_time / window_seconds);
+    b = std::clamp(b, 0, num_buckets - 1);
+    buckets[static_cast<size_t>(b)].push_back(static_cast<int>(i));
+  }
+  return buckets;
+}
+
+std::vector<std::vector<int>> BucketRecordsByStageLatencyDesc(
+    const TraceDataset& dataset, int num_buckets) {
+  // Stage latency = max instance latency of the (job, stage) group.
+  std::map<std::pair<int, int>, double> stage_latency;
+  std::map<std::pair<int, int>, std::vector<int>> stage_records;
+  for (size_t i = 0; i < dataset.records.size(); ++i) {
+    const InstanceRecord& r = dataset.records[i];
+    auto key = std::make_pair(r.job_idx, r.stage_idx);
+    stage_latency[key] = std::max(stage_latency[key], r.actual_latency);
+    stage_records[key].push_back(static_cast<int>(i));
+  }
+  std::vector<std::pair<double, std::pair<int, int>>> order;
+  order.reserve(stage_latency.size());
+  for (const auto& [key, lat] : stage_latency) order.push_back({lat, key});
+  std::sort(order.begin(), order.end(),
+            [](const auto& a, const auto& b) { return a.first > b.first; });
+
+  std::vector<int> flat;
+  flat.reserve(dataset.records.size());
+  for (const auto& [lat, key] : order) {
+    (void)lat;
+    for (int idx : stage_records[key]) flat.push_back(idx);
+  }
+  num_buckets = std::max(1, num_buckets);
+  std::vector<std::vector<int>> buckets(static_cast<size_t>(num_buckets));
+  size_t per = (flat.size() + static_cast<size_t>(num_buckets) - 1) /
+               static_cast<size_t>(num_buckets);
+  per = std::max<size_t>(per, 1);
+  for (size_t i = 0; i < flat.size(); ++i) {
+    buckets[std::min(i / per, buckets.size() - 1)].push_back(flat[i]);
+  }
+  return buckets;
+}
+
+}  // namespace fgro

@@ -1,0 +1,37 @@
+#ifndef FGRO_TRACE_DATA_SPLIT_H_
+#define FGRO_TRACE_DATA_SPLIT_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "trace/trace_collector.h"
+
+namespace fgro {
+
+/// Train/validation/test split (indices into TraceDataset::records).
+struct DataSplit {
+  std::vector<int> train;
+  std::vector<int> val;
+  std::vector<int> test;
+};
+
+/// Stratified split following Fig. 14 of the paper: templates are bucketed
+/// by record frequency and sampled differently per bucket (fixed counts for
+/// high/median-frequency templates, percentages for rare ones), so the
+/// val/test sets stay small but representative of every DAG topology.
+DataSplit SplitByTemplateFrequency(const TraceDataset& dataset, Rng* rng);
+
+/// Buckets record indices into consecutive wall-clock windows (for the
+/// workload-drift experiments, realistic injection order).
+std::vector<std::vector<int>> BucketRecordsByTime(const TraceDataset& dataset,
+                                                  double window_seconds);
+
+/// The hypothetical-worst drift order of Expt 7: whole stages sorted by
+/// descending stage latency, flattened back to record indices and bucketed
+/// into `num_buckets` equal chunks.
+std::vector<std::vector<int>> BucketRecordsByStageLatencyDesc(
+    const TraceDataset& dataset, int num_buckets);
+
+}  // namespace fgro
+
+#endif  // FGRO_TRACE_DATA_SPLIT_H_

@@ -1,0 +1,141 @@
+#include "trace/trace_collector.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/logging.h"
+#include "env/cost.h"
+
+namespace fgro {
+
+Result<TraceDataset> TraceCollector::Collect(const Workload& workload,
+                                             Hbo* hbo) {
+  Rng rng(seed_);
+  Cluster cluster(cluster_options_);
+  GroundTruthEnv env(workload.profile.env);
+  Hbo local_hbo(workload.profile.hbo);
+  if (hbo == nullptr) hbo = &local_hbo;
+
+  TraceDataset dataset;
+  dataset.workload = &workload;
+
+  for (size_t j = 0; j < workload.jobs.size(); ++j) {
+    const Job& job = workload.jobs[j];
+    cluster.AdvanceTime(job.arrival_time);
+    Result<std::vector<int>> topo = job.TopologicalOrder();
+    if (!topo.ok()) return topo.status();
+
+    for (int s : topo.value()) {
+      const Stage& stage = job.stages[static_cast<size_t>(s)];
+      HboRecommendation rec = hbo->Recommend(stage);
+      rec.partition_count = stage.instance_count();  // set at generation
+      // Historical resource plans vary: HBO's recommendation drifts across
+      // days/re-tuning, so the trace covers a neighborhood of the catalog
+      // around theta0 (the paper observes 17-38 distinct plans per
+      // workload). Without this variation Channel 3 would carry no signal
+      // at all and RAA could not be trained for (Appendix F.15).
+      ResourceConfig theta0 = rec.theta0;
+      if (rng.Bernoulli(0.75)) {
+        const std::vector<ResourceConfig>& catalog = Hbo::ResourcePlanCatalog();
+        std::vector<int> nearby;
+        for (size_t c = 0; c < catalog.size(); ++c) {
+          if (catalog[c].cores >= theta0.cores * kPlanExplorationLow &&
+              catalog[c].cores <= theta0.cores * kPlanExplorationHigh &&
+              catalog[c].memory_gb >=
+                  theta0.memory_gb * kPlanExplorationLow &&
+              catalog[c].memory_gb <=
+                  theta0.memory_gb * kPlanExplorationHigh) {
+            nearby.push_back(static_cast<int>(c));
+          }
+        }
+        if (!nearby.empty()) {
+          theta0 = catalog[static_cast<size_t>(nearby[static_cast<size_t>(
+              rng.UniformInt(0, static_cast<int64_t>(nearby.size()) - 1))])];
+        }
+      }
+      rec.theta0 = theta0;
+      const int m = stage.instance_count();
+
+      // Historical placement: watermark heuristic (top-m lowest CPU
+      // utilization, instances assigned in id order) — what Fuxi does.
+      std::vector<int> candidates = cluster.AvailableMachines(theta0);
+      if (candidates.empty()) {
+        return Status::ResourceExhausted("no machine fits theta0");
+      }
+      std::sort(candidates.begin(), candidates.end(), [&](int a, int b) {
+        return cluster.machine(a).state().cpu_util <
+               cluster.machine(b).state().cpu_util;
+      });
+
+      // Container-level plan drift: a fraction of instances historically
+      // ran under a neighboring catalog plan (re-scheduling, quota changes,
+      // per-department overrides). This within-stage variation is what
+      // gives Channel 3 enough support for RAA to be trainable at all —
+      // sparse-plan traces are the failure mode of Appendix F.15.
+      std::vector<ResourceConfig> nearby_plans;
+      for (const ResourceConfig& c : Hbo::ResourcePlanCatalog()) {
+        if (c.cores >= theta0.cores * kPlanExplorationLow &&
+            c.cores <= theta0.cores * kPlanExplorationHigh &&
+            c.memory_gb >= theta0.memory_gb * kPlanExplorationLow &&
+            c.memory_gb <= theta0.memory_gb * kPlanExplorationHigh) {
+          nearby_plans.push_back(c);
+        }
+      }
+      std::vector<double> latencies(static_cast<size_t>(m));
+      std::vector<ResourceConfig> thetas(static_cast<size_t>(m), theta0);
+      for (int i = 0; i < m; ++i) {
+        ResourceConfig theta_i = theta0;
+        if (!nearby_plans.empty() && rng.Bernoulli(0.4)) {
+          theta_i = nearby_plans[static_cast<size_t>(rng.UniformInt(
+              0, static_cast<int64_t>(nearby_plans.size()) - 1))];
+        }
+        thetas[static_cast<size_t>(i)] = theta_i;
+        const Machine& machine = cluster.machine(
+            candidates[static_cast<size_t>(i) % candidates.size()]);
+        LatencyBreakdown expected =
+            env.ExpectedLatency(stage, i, machine, theta_i);
+        double actual = env.SampleLatency(stage, i, machine, theta_i, &rng);
+        latencies[static_cast<size_t>(i)] = actual;
+
+        InstanceRecord record;
+        record.job_idx = static_cast<int>(j);
+        record.stage_idx = s;
+        record.instance_idx = i;
+        record.template_id = stage.template_id;
+        record.submit_time = job.arrival_time;
+        record.theta = theta_i;
+        record.machine_id = machine.id();
+        record.hardware_type = machine.hardware().id;
+        record.machine_state = machine.state();
+        record.actual_latency = actual;
+        // ACT: CPU-only time is far less exposed to shared-IO noise; ACT*
+        // additionally averages states over the instance lifetime, which we
+        // emulate with an even smaller residual.
+        const double cpu_body = expected.cpu_seconds * expected.spill_factor *
+                                machine.hidden_dynamics();
+        record.actual_cpu_seconds = cpu_body * rng.LogNormal(0.0, 0.06);
+        record.actual_cpu_seconds_star = cpu_body * rng.LogNormal(0.0, 0.03);
+        // Per-operator actual seconds: expected shares rescaled so they sum
+        // to the realized (noise-included) body time.
+        double expected_body = expected.total - expected.startup_seconds;
+        double scale = expected_body > 1e-12
+                           ? (actual - expected.startup_seconds) /
+                                 expected_body
+                           : 1.0;
+        record.op_seconds.reserve(expected.op_seconds.size());
+        for (double osec : expected.op_seconds) {
+          record.op_seconds.push_back(
+              static_cast<float>(std::max(0.0, osec * scale)));
+        }
+        dataset.records.push_back(std::move(record));
+      }
+
+      StageObjectives obj =
+          AggregateStageObjectives(latencies, thetas, env.cost_weights());
+      hbo->RecordRun(stage.template_id, rec, obj.latency, obj.cost);
+    }
+  }
+  return dataset;
+}
+
+}  // namespace fgro

@@ -1,0 +1,67 @@
+#ifndef FGRO_TRACE_TRACE_COLLECTOR_H_
+#define FGRO_TRACE_TRACE_COLLECTOR_H_
+
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "env/ground_truth.h"
+#include "hbo/hbo.h"
+#include "trace/workload_gen.h"
+
+namespace fgro {
+
+/// One instance-level runtime trace row: everything the model server is
+/// allowed to learn from. Plan features are reached through
+/// (job_idx, stage_idx) into the owning Workload.
+struct InstanceRecord {
+  int job_idx = 0;
+  int stage_idx = 0;
+  int instance_idx = 0;
+  int template_id = 0;
+  double submit_time = 0.0;
+
+  ResourceConfig theta;          // Channel 3
+  int machine_id = 0;
+  int hardware_type = 0;         // Channel 5
+  SystemState machine_state;     // Channel 4 (snapshot at schedule time)
+
+  double actual_latency = 0.0;          // SiSL label
+  double actual_cpu_seconds = 0.0;      // ACT label (Table 9)
+  double actual_cpu_seconds_star = 0.0; // ACT* label (lifetime-averaged)
+  std::vector<float> op_seconds;        // per-operator seconds (SiOL label)
+};
+
+/// A collected trace: the workload it came from plus instance rows in
+/// submit-time order. The Workload must outlive the dataset.
+struct TraceDataset {
+  const Workload* workload = nullptr;
+  std::vector<InstanceRecord> records;
+
+  const Stage& StageOf(const InstanceRecord& r) const {
+    return workload->jobs[static_cast<size_t>(r.job_idx)]
+        .stages[static_cast<size_t>(r.stage_idx)];
+  }
+};
+
+/// Replays a workload through the environment the way the production system
+/// historically ran it — HBO resource plans and a Fuxi-style watermark
+/// placement — and records instance-level traces. This is the trace
+/// collector of Fig. 3; it also warms up the HBO history with each
+/// template's best observed run.
+class TraceCollector {
+ public:
+  TraceCollector(ClusterOptions cluster_options, uint64_t seed)
+      : cluster_options_(cluster_options), seed_(seed) {}
+
+  Result<TraceDataset> Collect(const Workload& workload, Hbo* hbo = nullptr);
+
+ private:
+  ClusterOptions cluster_options_;
+  uint64_t seed_;
+};
+
+}  // namespace fgro
+
+#endif  // FGRO_TRACE_TRACE_COLLECTOR_H_

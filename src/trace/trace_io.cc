@@ -1,0 +1,68 @@
+#include "trace/trace_io.h"
+
+#include <cstdio>
+
+namespace fgro {
+
+namespace {
+constexpr const char* kHeader =
+    "job_idx,stage_idx,instance_idx,template_id,submit_time,cores,memory_gb,"
+    "machine_id,hardware_type,cpu_util,mem_util,io_util,actual_latency,"
+    "actual_cpu_seconds,actual_cpu_seconds_star,input_rows,input_bytes,"
+    "operator_count";
+}  // namespace
+
+Status ExportTraceCsv(const TraceDataset& dataset, const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return Status::Internal("cannot open " + path);
+  std::fprintf(f, "%s\n", kHeader);
+  for (const InstanceRecord& r : dataset.records) {
+    const Stage& stage = dataset.StageOf(r);
+    const InstanceMeta& meta =
+        stage.instances[static_cast<size_t>(r.instance_idx)];
+    std::fprintf(f,
+                 "%d,%d,%d,%d,%.6f,%.4g,%.4g,%d,%d,%.4f,%.4f,%.4f,%.6f,%.6f,"
+                 "%.6f,%.1f,%.1f,%d\n",
+                 r.job_idx, r.stage_idx, r.instance_idx, r.template_id,
+                 r.submit_time, r.theta.cores, r.theta.memory_gb,
+                 r.machine_id, r.hardware_type, r.machine_state.cpu_util,
+                 r.machine_state.mem_util, r.machine_state.io_util,
+                 r.actual_latency, r.actual_cpu_seconds,
+                 r.actual_cpu_seconds_star, meta.input_rows, meta.input_bytes,
+                 stage.operator_count());
+  }
+  std::fclose(f);
+  return Status::OK();
+}
+
+Result<std::vector<InstanceRecord>> ImportTraceCsv(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  if (f == nullptr) return Status::NotFound("cannot open " + path);
+  char header[512] = {0};
+  if (std::fscanf(f, "%511[^\n]\n", header) != 1 ||
+      std::string(header) != kHeader) {
+    std::fclose(f);
+    return Status::InvalidArgument(path + ": unexpected CSV header");
+  }
+  std::vector<InstanceRecord> records;
+  while (true) {
+    InstanceRecord r;
+    double rows = 0, bytes = 0;
+    int ops = 0;
+    int got = std::fscanf(
+        f,
+        "%d,%d,%d,%d,%lf,%lf,%lf,%d,%d,%lf,%lf,%lf,%lf,%lf,%lf,%lf,%lf,%d\n",
+        &r.job_idx, &r.stage_idx, &r.instance_idx, &r.template_id,
+        &r.submit_time, &r.theta.cores, &r.theta.memory_gb, &r.machine_id,
+        &r.hardware_type, &r.machine_state.cpu_util,
+        &r.machine_state.mem_util, &r.machine_state.io_util,
+        &r.actual_latency, &r.actual_cpu_seconds, &r.actual_cpu_seconds_star,
+        &rows, &bytes, &ops);
+    if (got != 18) break;
+    records.push_back(std::move(r));
+  }
+  std::fclose(f);
+  return records;
+}
+
+}  // namespace fgro

@@ -1,0 +1,24 @@
+#ifndef FGRO_TRACE_TRACE_IO_H_
+#define FGRO_TRACE_TRACE_IO_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "trace/trace_collector.h"
+
+namespace fgro {
+
+/// Exports the instance-level trace as CSV (one row per instance record,
+/// header included) for offline analysis with external tooling. Plan
+/// features are summarized (operator count, input rows) since the full DAG
+/// does not flatten into a row.
+Status ExportTraceCsv(const TraceDataset& dataset, const std::string& path);
+
+/// Reads back the scalar columns of an exported trace. The returned records
+/// reference the SAME workload the dataset was exported from (pass it in);
+/// this is a consistency/analysis tool, not a full round-trip of plans.
+Result<std::vector<InstanceRecord>> ImportTraceCsv(const std::string& path);
+
+}  // namespace fgro
+
+#endif  // FGRO_TRACE_TRACE_IO_H_

@@ -1,0 +1,245 @@
+#include "trace/workload_gen.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/math_utils.h"
+
+namespace fgro {
+
+const char* WorkloadName(WorkloadId id) {
+  switch (id) {
+    case WorkloadId::kA: return "A";
+    case WorkloadId::kB: return "B";
+    case WorkloadId::kC: return "C";
+  }
+  return "?";
+}
+
+WorkloadProfile GetWorkloadProfile(WorkloadId id, double scale) {
+  WorkloadProfile p;
+  p.id = id;
+  p.name = WorkloadName(id);
+  switch (id) {
+    case WorkloadId::kA:
+      // Table 1: 405K jobs, 2.40 stages/job, 35 insts/stage, 3.71 ops/stage,
+      // avg instance latency ~17 s. Cleanest workload (8.6% WMAPE).
+      p.seed = 101;
+      p.num_jobs = 320;
+      p.num_job_templates = 28;
+      p.avg_stages_per_job = 2.4;
+      p.max_stages_per_job = 8;
+      p.avg_ops_per_stage = 3.7;
+      p.plan.leaf_rows_log_mean = 15.8;  // ~7e6 rows -> ~35 instances
+      p.plan.leaf_rows_log_sigma = 1.2;
+      p.plan.cbo_sel_error_sigma = 0.12;
+      p.partition_skew_sigma = 0.6;
+      p.env.cpu_seconds_per_work = 3.0e-5;  // avg instance latency ~17 s
+      p.env.io_seconds_per_unit = 2.5e-5;
+      p.env.noise_sigma = 0.05;
+      p.env.io_noise_sigma = 0.10;
+      break;
+    case WorkloadId::kB:
+      // Table 1: 72K jobs, 4.95 stages/job, 42 insts/stage, 6.27 ops/stage.
+      // Most complex topologies, noisiest environment (19% WMAPE).
+      p.seed = 202;
+      p.num_jobs = 110;
+      p.num_job_templates = 18;
+      p.avg_stages_per_job = 4.95;
+      p.max_stages_per_job = 14;
+      p.avg_ops_per_stage = 6.27;
+      p.plan.leaf_rows_log_mean = 15.9;
+      p.plan.leaf_rows_log_sigma = 1.3;
+      p.plan.cbo_sel_error_sigma = 0.22;
+      p.partition_skew_sigma = 0.75;
+      p.env.cpu_seconds_per_work = 2.2e-5;  // avg instance latency ~16 s
+      p.env.io_seconds_per_unit = 2.0e-5;
+      p.env.noise_sigma = 0.15;
+      p.env.io_noise_sigma = 0.32;
+      break;
+    case WorkloadId::kC:
+      // Table 1: 41K jobs, 2.42 stages/job, 505 insts/stage, 5.31 ops/stage,
+      // longest instances (~71 s). Widest stages.
+      p.seed = 303;
+      p.num_jobs = 48;
+      p.num_job_templates = 12;
+      p.avg_stages_per_job = 2.42;
+      p.max_stages_per_job = 6;
+      p.avg_ops_per_stage = 5.31;
+      p.plan.leaf_rows_log_mean = 18.3;  // ~9e7 rows -> wide stages
+      p.plan.leaf_rows_log_sigma = 1.1;
+      p.plan.cbo_sel_error_sigma = 0.16;
+      p.hbo.target_rows_per_instance = 4.0e5;  // longer instances
+      p.partition_skew_sigma = 0.85;
+      p.env.cpu_seconds_per_work = 8.0e-5;  // avg instance latency ~70 s
+      p.env.io_seconds_per_unit = 7.0e-5;
+      p.env.noise_sigma = 0.095;
+      p.env.io_noise_sigma = 0.21;
+      break;
+  }
+  p.num_jobs = std::max(4, static_cast<int>(std::lround(p.num_jobs * scale)));
+  return p;
+}
+
+int Workload::TotalStages() const {
+  int n = 0;
+  for (const Job& j : jobs) n += j.stage_count();
+  return n;
+}
+
+int Workload::TotalInstances() const {
+  int n = 0;
+  for (const Job& j : jobs) {
+    for (const Stage& s : j.stages) n += s.instance_count();
+  }
+  return n;
+}
+
+WorkloadGenerator::WorkloadGenerator(WorkloadProfile profile)
+    : profile_(std::move(profile)),
+      plan_gen_(profile_.plan),
+      hbo_(profile_.hbo) {}
+
+Status WorkloadGenerator::PartitionStage(Stage* stage, Rng* rng) const {
+  HboRecommendation rec = hbo_.Recommend(*stage);
+  const int m = rec.partition_count;
+
+  // Skewed partition fractions (lognormal weights, normalized). This is the
+  // source of the large per-instance latency variance of Fig. 2(c)/11.
+  std::vector<double> weights(static_cast<size_t>(m));
+  double total = 0.0;
+  for (double& w : weights) {
+    w = rng->LogNormal(0.0, profile_.partition_skew_sigma);
+    total += w;
+  }
+  const double truth_rows = [&] {
+    double r = 0.0;
+    for (const Operator& op : stage->operators) {
+      if (op.is_leaf()) r += op.truth.input_rows;
+    }
+    return r;
+  }();
+  const double truth_bytes = [&] {
+    double b = 0.0;
+    for (const Operator& op : stage->operators) {
+      if (op.is_leaf()) b += op.truth.input_rows * op.truth.avg_row_size;
+    }
+    return b;
+  }();
+
+  stage->instances.resize(static_cast<size_t>(m));
+  for (int i = 0; i < m; ++i) {
+    InstanceMeta& meta = stage->instances[static_cast<size_t>(i)];
+    meta.input_fraction = weights[static_cast<size_t>(i)] / total;
+    meta.input_rows = truth_rows * meta.input_fraction;
+    meta.input_bytes = truth_bytes * meta.input_fraction;
+    meta.hidden_skew = rng->LogNormal(0.0, profile_.hidden_skew_sigma);
+  }
+  return Status::OK();
+}
+
+Status WorkloadGenerator::InstantiateJob(const Job& job_template, int job_id,
+                                         double arrival_time, Rng* rng,
+                                         Job* out) const {
+  *out = job_template;  // deep copy of plans and statistics
+  out->id = job_id;
+  out->arrival_time = arrival_time;
+
+  // Day-to-day drift: source (TableScan) inputs are rescaled; shuffle inputs
+  // are re-derived from the upstream outputs so the job stays consistent.
+  CostModel cm;
+  const double jitter =
+      rng->LogNormal(0.0, profile_.template_input_jitter_sigma);
+  Result<std::vector<int>> topo = out->TopologicalOrder();
+  if (!topo.ok()) return topo.status();
+
+  for (int s : topo.value()) {
+    Stage& stage = out->stages[static_cast<size_t>(s)];
+    std::vector<double> leaf_truth(stage.operators.size(), 0.0);
+    std::vector<double> leaf_est(stage.operators.size(), 0.0);
+    size_t dep_i = 0;
+    const std::vector<int>& deps = out->stage_deps[static_cast<size_t>(s)];
+    for (Operator& op : stage.operators) {
+      if (!op.is_leaf()) continue;
+      size_t idx = static_cast<size_t>(op.id);
+      if (op.type == OperatorType::kStreamLineRead && dep_i < deps.size()) {
+        const Stage& up = out->stages[static_cast<size_t>(deps[dep_i++])];
+        double up_truth = 0.0, up_est = 0.0;
+        for (int r : up.RootOperators()) {
+          up_truth += up.operators[static_cast<size_t>(r)].truth.output_rows;
+          up_est += up.operators[static_cast<size_t>(r)].estimate.output_rows;
+        }
+        leaf_truth[idx] = std::max(1.0, up_truth);
+        leaf_est[idx] = std::max(1.0, up_est);
+      } else {
+        leaf_truth[idx] = std::max(1.0, op.truth.input_rows * jitter *
+                                            rng->LogNormal(0.0, 0.1));
+        leaf_est[idx] =
+            leaf_truth[idx] *
+            rng->LogNormal(0.0, profile_.plan.cbo_leaf_error_sigma);
+      }
+    }
+    Result<std::vector<OperatorCardinality>> truth_cards =
+        cm.PropagateCardinality(stage, leaf_truth, /*use_truth=*/true);
+    if (!truth_cards.ok()) return truth_cards.status();
+    Result<std::vector<OperatorCardinality>> est_cards =
+        cm.PropagateCardinality(stage, leaf_est, /*use_truth=*/false);
+    if (!est_cards.ok()) return est_cards.status();
+    for (size_t i = 0; i < stage.operators.size(); ++i) {
+      stage.operators[i].truth.input_rows = truth_cards.value()[i].input_rows;
+      stage.operators[i].truth.output_rows =
+          truth_cards.value()[i].output_rows;
+      stage.operators[i].estimate.input_rows =
+          est_cards.value()[i].input_rows;
+      stage.operators[i].estimate.output_rows =
+          est_cards.value()[i].output_rows;
+    }
+    stage.job_id = job_id;
+    FGRO_RETURN_IF_ERROR(PartitionStage(&stage, rng));
+    FGRO_RETURN_IF_ERROR(cm.AnnotateStageCosts(&stage));
+  }
+  return Status::OK();
+}
+
+Result<Workload> WorkloadGenerator::Generate() {
+  Rng rng(profile_.seed);
+  Workload workload;
+  workload.profile = profile_;
+
+  // 1. Build the recurring job templates.
+  std::vector<Job> templates;
+  templates.reserve(static_cast<size_t>(profile_.num_job_templates));
+  for (int t = 0; t < profile_.num_job_templates; ++t) {
+    int num_stages = std::clamp(
+        static_cast<int>(std::lround(
+            rng.LogNormal(std::log(profile_.avg_stages_per_job), 0.5))),
+        1, profile_.max_stages_per_job);
+    Result<Job> job =
+        plan_gen_.GenerateJob(num_stages, profile_.avg_ops_per_stage, &rng);
+    if (!job.ok()) return job.status();
+    Job jt = std::move(job).value();
+    for (int s = 0; s < jt.stage_count(); ++s) {
+      jt.stages[static_cast<size_t>(s)].template_id = t * 64 + s;
+    }
+    templates.push_back(std::move(jt));
+  }
+
+  // 2. Arrival times over the horizon (sorted uniform = Poisson order stats).
+  std::vector<double> arrivals(static_cast<size_t>(profile_.num_jobs));
+  for (double& a : arrivals) a = rng.Uniform(0.0, profile_.horizon_seconds);
+  std::sort(arrivals.begin(), arrivals.end());
+
+  // 3. Instantiate jobs from templates (Zipf-ish template popularity).
+  workload.jobs.resize(static_cast<size_t>(profile_.num_jobs));
+  for (int j = 0; j < profile_.num_jobs; ++j) {
+    int t = rng.Zipf(profile_.num_job_templates, 0.8);
+    FGRO_RETURN_IF_ERROR(
+        InstantiateJob(templates[static_cast<size_t>(t)], j,
+                       arrivals[static_cast<size_t>(j)], &rng,
+                       &workload.jobs[static_cast<size_t>(j)]));
+  }
+  return workload;
+}
+
+}  // namespace fgro

@@ -1,0 +1,84 @@
+#ifndef FGRO_TRACE_WORKLOAD_GEN_H_
+#define FGRO_TRACE_WORKLOAD_GEN_H_
+
+#include <string>
+#include <vector>
+
+#include "cbo/plan_generator.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "env/ground_truth.h"
+#include "hbo/hbo.h"
+#include "plan/job.h"
+
+namespace fgro {
+
+/// The three production workloads of Table 1. A: many short jobs; B: the
+/// most complex DAG topologies; C: few jobs but very wide stages with the
+/// longest instances.
+enum class WorkloadId { kA = 0, kB = 1, kC = 2 };
+
+const char* WorkloadName(WorkloadId id);
+
+/// Distributional knobs of a workload, chosen so the *scaled* synthetic
+/// trace reproduces Table 1's shape (stages/job, instances/stage, ops/stage,
+/// latency scale, skew) at laptop size. `env` carries the per-workload noise
+/// floor that calibrates the irreducible model error.
+struct WorkloadProfile {
+  WorkloadId id = WorkloadId::kA;
+  std::string name = "A";
+  uint64_t seed = 1;
+
+  int num_jobs = 300;
+  int num_job_templates = 30;    // recurring jobs dominate production
+  double avg_stages_per_job = 2.4;
+  int max_stages_per_job = 8;
+  double avg_ops_per_stage = 3.7;
+  double horizon_seconds = 5 * 86400.0;  // five "days" of arrivals
+  double template_input_jitter_sigma = 0.35;  // day-to-day data-size drift
+
+  double partition_skew_sigma = 0.7;  // lognormal skew of partition sizes
+  double hidden_skew_sigma = 0.08;    // straggler factor invisible to models
+
+  PlanGenOptions plan;
+  HboOptions hbo;
+  GroundTruthOptions env;
+};
+
+/// Returns the calibrated profile of a workload; `scale` multiplies the job
+/// count (1.0 = the default laptop-sized trace).
+WorkloadProfile GetWorkloadProfile(WorkloadId id, double scale = 1.0);
+
+/// A generated workload: jobs with full plans, statistics, partition counts
+/// and instance metadata, sorted by arrival time.
+struct Workload {
+  WorkloadProfile profile;
+  std::vector<Job> jobs;
+
+  int TotalStages() const;
+  int TotalInstances() const;
+};
+
+/// Generates a workload from a pool of recurring job templates: each arrival
+/// clones a template, jitters its source input sizes, re-propagates
+/// cardinalities (truth and CBO estimates), and partitions every stage with
+/// the HBO sizing rule plus skewed partition fractions.
+class WorkloadGenerator {
+ public:
+  explicit WorkloadGenerator(WorkloadProfile profile);
+
+  Result<Workload> Generate();
+
+ private:
+  Status InstantiateJob(const Job& job_template, int job_id,
+                        double arrival_time, Rng* rng, Job* out) const;
+  Status PartitionStage(Stage* stage, Rng* rng) const;
+
+  WorkloadProfile profile_;
+  PlanGenerator plan_gen_;
+  Hbo hbo_;
+};
+
+}  // namespace fgro
+
+#endif  // FGRO_TRACE_WORKLOAD_GEN_H_

@@ -1,0 +1,184 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "cbo/cost_model.h"
+#include "cbo/plan_generator.h"
+#include "test_util.h"
+
+namespace fgro {
+namespace {
+
+using testing_util::MakeChainStage;
+using testing_util::MakeJoinStage;
+
+TEST(CostModelTest, WeightsArePositive) {
+  for (int t = 0; t < kNumOperatorTypes; ++t) {
+    EXPECT_GT(CostModel::CpuWeight(static_cast<OperatorType>(t)), 0.0);
+    EXPECT_GE(CostModel::IoWeight(static_cast<OperatorType>(t)), 0.0);
+  }
+}
+
+TEST(CostModelTest, IoWeightsOnlyOnIoOperators) {
+  for (int t = 0; t < kNumOperatorTypes; ++t) {
+    OperatorType type = static_cast<OperatorType>(t);
+    if (IsIoIntensive(type)) {
+      EXPECT_GT(CostModel::IoWeight(type), 0.0) << OperatorTypeName(type);
+    } else {
+      EXPECT_DOUBLE_EQ(CostModel::IoWeight(type), 0.0)
+          << OperatorTypeName(type);
+    }
+  }
+}
+
+TEST(CostModelTest, CostScalesDownWithPartitions) {
+  CostModel cm;
+  OperatorCardinality card{1.0e6, 5.0e5};
+  OperatorCost one = cm.Cost(OperatorType::kFilter, card, 100.0, 1);
+  OperatorCost ten = cm.Cost(OperatorType::kFilter, card, 100.0, 10);
+  EXPECT_NEAR(one.cpu / ten.cpu, 10.0, 1e-9);
+}
+
+TEST(CostModelTest, SortBasedOperatorsPayLogFactor) {
+  CostModel cm;
+  OperatorCardinality card{1.0e6, 1.0e6};
+  OperatorCost sort = cm.Cost(OperatorType::kSort, card, 100.0, 1);
+  OperatorCost project = cm.Cost(OperatorType::kProject, card, 100.0, 1);
+  // Sort pays ~log2(1e6) ~ 20x the per-row weight ratio.
+  EXPECT_GT(sort.cpu / CostModel::CpuWeight(OperatorType::kSort),
+            5.0 * project.cpu / CostModel::CpuWeight(OperatorType::kProject));
+}
+
+TEST(CostModelTest, PropagateChain) {
+  CostModel cm;
+  Stage stage = MakeChainStage(/*m=*/2, /*scan_rows=*/1000.0,
+                               /*filter_selectivity=*/0.25);
+  std::vector<double> leaf_rows(3, 0.0);
+  leaf_rows[0] = 1000.0;
+  Result<std::vector<OperatorCardinality>> cards =
+      cm.PropagateCardinality(stage, leaf_rows, /*use_truth=*/true);
+  ASSERT_TRUE(cards.ok());
+  EXPECT_DOUBLE_EQ(cards.value()[0].output_rows, 1000.0);
+  EXPECT_DOUBLE_EQ(cards.value()[1].input_rows, 1000.0);
+  EXPECT_DOUBLE_EQ(cards.value()[1].output_rows, 250.0);
+  EXPECT_DOUBLE_EQ(cards.value()[2].input_rows, 250.0);
+}
+
+TEST(CostModelTest, PropagateJoinSumsChildren) {
+  CostModel cm;
+  Stage stage = MakeJoinStage();
+  std::vector<double> leaf_rows(stage.operators.size(), 0.0);
+  leaf_rows[0] = 5.0e5;
+  leaf_rows[1] = 2.0e5;
+  Result<std::vector<OperatorCardinality>> cards =
+      cm.PropagateCardinality(stage, leaf_rows, true);
+  ASSERT_TRUE(cards.ok());
+  EXPECT_DOUBLE_EQ(cards.value()[2].input_rows, 7.0e5);
+}
+
+TEST(CostModelTest, AnnotateFillsBothSides) {
+  CostModel cm;
+  Stage stage = MakeJoinStage();
+  ASSERT_TRUE(cm.AnnotateStageCosts(&stage).ok());
+  for (const Operator& op : stage.operators) {
+    EXPECT_GT(op.estimate.cost, 0.0) << OperatorTypeName(op.type);
+    EXPECT_GT(op.truth.cost, 0.0);
+  }
+}
+
+class PlanGeneratorSeeds : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(PlanGeneratorSeeds, GeneratedJobsAreValid) {
+  PlanGenerator gen(PlanGenOptions{});
+  Rng rng(GetParam());
+  Result<Job> job = gen.GenerateJob(/*num_stages=*/5,
+                                    /*avg_ops_per_stage=*/5.0, &rng);
+  ASSERT_TRUE(job.ok());
+  EXPECT_EQ(job->stage_count(), 5);
+  for (const Stage& stage : job->stages) {
+    ASSERT_TRUE(stage.TopologicalOrder().ok());
+    // Root is always a StreamLineWrite.
+    std::vector<int> roots = stage.RootOperators();
+    ASSERT_EQ(roots.size(), 1u);
+    EXPECT_EQ(stage.operators[static_cast<size_t>(roots[0])].type,
+              OperatorType::kStreamLineWrite);
+    // Statistics are finite and positive where they must be.
+    for (const Operator& op : stage.operators) {
+      EXPECT_GT(op.truth.selectivity, 0.0);
+      EXPECT_GT(op.truth.avg_row_size, 0.0);
+      EXPECT_GE(op.truth.input_rows, 0.0);
+      EXPECT_TRUE(std::isfinite(op.estimate.input_rows));
+      EXPECT_GT(op.estimate.selectivity, 0.0);
+    }
+  }
+}
+
+TEST_P(PlanGeneratorSeeds, ShuffleReadsMatchUpstreamOutputs) {
+  PlanGenerator gen(PlanGenOptions{});
+  Rng rng(GetParam() + 1000);
+  Result<Job> job = gen.GenerateJob(4, 5.0, &rng);
+  ASSERT_TRUE(job.ok());
+  for (int s = 0; s < job->stage_count(); ++s) {
+    const Stage& stage = job->stages[static_cast<size_t>(s)];
+    const std::vector<int>& deps = job->stage_deps[static_cast<size_t>(s)];
+    size_t dep_i = 0;
+    for (const Operator& op : stage.operators) {
+      if (!op.is_leaf() || op.type != OperatorType::kStreamLineRead) continue;
+      if (dep_i >= deps.size()) break;
+      const Stage& upstream =
+          job->stages[static_cast<size_t>(deps[dep_i++])];
+      double upstream_out = 0.0;
+      for (int r : upstream.RootOperators()) {
+        upstream_out +=
+            upstream.operators[static_cast<size_t>(r)].truth.output_rows;
+      }
+      EXPECT_NEAR(op.truth.input_rows, std::max(1.0, upstream_out), 1e-6);
+    }
+  }
+}
+
+TEST_P(PlanGeneratorSeeds, EstimationErrorIsBoundedButNonzero) {
+  PlanGenOptions options;
+  options.cbo_sel_error_sigma = 0.2;
+  PlanGenerator gen(options);
+  Rng rng(GetParam() + 777);
+  Result<Job> job = gen.GenerateJob(3, 6.0, &rng);
+  ASSERT_TRUE(job.ok());
+  bool any_error = false;
+  for (const Stage& stage : job->stages) {
+    for (const Operator& op : stage.operators) {
+      if (op.truth.input_rows < 1.0) continue;
+      double ratio = op.estimate.input_rows / std::max(1.0, op.truth.input_rows);
+      EXPECT_GT(ratio, 1e-3);
+      EXPECT_LT(ratio, 1e3);
+      if (std::abs(std::log(std::max(1e-12, ratio))) > 0.01) any_error = true;
+    }
+  }
+  EXPECT_TRUE(any_error);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PlanGeneratorSeeds,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u, 17u, 99u, 123u));
+
+TEST(PlanGeneratorTest, StageTopologyHasRequestedShuffleInputs) {
+  PlanGenerator gen(PlanGenOptions{.extra_scan_prob = 0.0});
+  Rng rng(42);
+  Stage stage = gen.GenerateStageTopology(8, /*num_shuffle_inputs=*/2, &rng);
+  int reads = 0;
+  for (const Operator& op : stage.operators) {
+    if (op.type == OperatorType::kStreamLineRead) ++reads;
+  }
+  EXPECT_EQ(reads, 2);
+}
+
+TEST(PlanGeneratorTest, SourceStageScansTables) {
+  PlanGenerator gen(PlanGenOptions{});
+  Rng rng(43);
+  Stage stage = gen.GenerateStageTopology(6, 0, &rng);
+  for (const Operator& op : stage.operators) {
+    EXPECT_NE(op.type, OperatorType::kStreamLineRead);
+  }
+}
+
+}  // namespace
+}  // namespace fgro

@@ -1,0 +1,130 @@
+#include <gtest/gtest.h>
+
+#include "cluster/cluster.h"
+#include "cluster/hardware.h"
+#include "cluster/machine.h"
+
+namespace fgro {
+namespace {
+
+TEST(HardwareTest, CatalogHasFiveTypes) {
+  const std::vector<HardwareType>& catalog = DefaultHardwareCatalog();
+  ASSERT_EQ(catalog.size(), 5u);
+  for (size_t i = 0; i < catalog.size(); ++i) {
+    EXPECT_EQ(catalog[i].id, static_cast<int>(i));
+    EXPECT_GT(catalog[i].cpu_speed, 0.0);
+    EXPECT_GT(catalog[i].io_bandwidth, 0.0);
+    EXPECT_GT(catalog[i].total_cores, 0.0);
+    EXPECT_GT(catalog[i].total_memory_gb, 0.0);
+  }
+}
+
+TEST(MachineTest, AllocateAndRelease) {
+  Machine m(0, &DefaultHardwareCatalog()[0], 0.5, 1);
+  double cores0 = m.available_cores();
+  double mem0 = m.available_memory_gb();
+  ResourceConfig theta{4, 16};
+  ASSERT_TRUE(m.CanFit(theta));
+  ASSERT_TRUE(m.Allocate(theta));
+  EXPECT_DOUBLE_EQ(m.available_cores(), cores0 - 4);
+  EXPECT_DOUBLE_EQ(m.available_memory_gb(), mem0 - 16);
+  m.Release(theta);
+  EXPECT_DOUBLE_EQ(m.available_cores(), cores0);
+  EXPECT_DOUBLE_EQ(m.available_memory_gb(), mem0);
+}
+
+TEST(MachineTest, AllocateFailsBeyondCapacity) {
+  Machine m(0, &DefaultHardwareCatalog()[0], 0.5, 1);
+  ResourceConfig huge{1e6, 1e6};
+  EXPECT_FALSE(m.CanFit(huge));
+  EXPECT_FALSE(m.Allocate(huge));
+  // Failed allocation must not change accounting.
+  EXPECT_DOUBLE_EQ(m.available_cores(), m.hardware().total_cores);
+}
+
+TEST(MachineTest, ReleaseNeverGoesNegative) {
+  Machine m(0, &DefaultHardwareCatalog()[0], 0.5, 1);
+  m.Release({100, 100});
+  EXPECT_LE(m.available_cores(), m.hardware().total_cores);
+  EXPECT_GE(m.available_cores(), 0.0);
+}
+
+TEST(MachineTest, StateStaysInUnitRange) {
+  Machine m(0, &DefaultHardwareCatalog()[1], 0.8, 3);
+  for (int step = 0; step < 500; ++step) {
+    m.AdvanceTime(step * 60.0, 60.0);
+    EXPECT_GT(m.state().cpu_util, 0.0);
+    EXPECT_LT(m.state().cpu_util, 1.0);
+    EXPECT_GT(m.state().io_util, 0.0);
+    EXPECT_LT(m.state().io_util, 1.0);
+    EXPECT_GE(m.hidden_dynamics(), 0.8);
+    EXPECT_LE(m.hidden_dynamics(), 1.25);
+  }
+}
+
+TEST(MachineTest, StateMeanRevertsTowardBaseline) {
+  Machine busy(0, &DefaultHardwareCatalog()[0], 0.85, 5);
+  Machine idle(1, &DefaultHardwareCatalog()[0], 0.15, 5);
+  double busy_sum = 0.0, idle_sum = 0.0;
+  int n = 0;
+  for (int step = 0; step < 2000; ++step) {
+    busy.AdvanceTime(step * 60.0, 60.0);
+    idle.AdvanceTime(step * 60.0, 60.0);
+    if (step > 200) {
+      busy_sum += busy.state().cpu_util;
+      idle_sum += idle.state().cpu_util;
+      ++n;
+    }
+  }
+  EXPECT_GT(busy_sum / n, idle_sum / n + 0.3);
+}
+
+TEST(ClusterTest, ConstructsRequestedSize) {
+  Cluster cluster(ClusterOptions{.num_machines = 50, .seed = 2});
+  EXPECT_EQ(cluster.size(), 50);
+  for (int i = 0; i < cluster.size(); ++i) {
+    EXPECT_EQ(cluster.machine(i).id(), i);
+  }
+}
+
+TEST(ClusterTest, AvailableMachinesFiltersByFit) {
+  Cluster cluster(ClusterOptions{.num_machines = 20, .seed = 4});
+  std::vector<int> all = cluster.AvailableMachines({1, 2});
+  EXPECT_EQ(all.size(), 20u);
+  // Fill up one machine entirely.
+  Machine& m = cluster.machine(0);
+  ASSERT_TRUE(m.Allocate({m.available_cores(), m.available_memory_gb()}));
+  std::vector<int> remaining = cluster.AvailableMachines({1, 2});
+  EXPECT_EQ(remaining.size(), 19u);
+}
+
+TEST(ClusterTest, AdvanceTimeIsMonotone) {
+  Cluster cluster(ClusterOptions{.num_machines = 4, .seed = 6});
+  cluster.AdvanceTime(100.0);
+  EXPECT_DOUBLE_EQ(cluster.now(), 100.0);
+  cluster.AdvanceTime(50.0);  // going backwards is a no-op
+  EXPECT_DOUBLE_EQ(cluster.now(), 100.0);
+}
+
+TEST(ClusterTest, BusyClusterIsBusierThanIdle) {
+  Cluster busy(ClusterOptions{.num_machines = 64, .base_util_mean = 0.8,
+                              .seed = 8});
+  Cluster idle(ClusterOptions{.num_machines = 64, .base_util_mean = 0.25,
+                              .seed = 8});
+  double busy_avg = 0.0, idle_avg = 0.0;
+  for (int i = 0; i < 64; ++i) {
+    busy_avg += busy.machine(i).state().cpu_util;
+    idle_avg += idle.machine(i).state().cpu_util;
+  }
+  EXPECT_GT(busy_avg, idle_avg + 10.0);  // 64 machines, big margin
+}
+
+TEST(ResourceTest, CostWeightsRateIsLinear) {
+  CostWeights w;
+  ResourceConfig a{1, 4}, b{2, 8};
+  EXPECT_NEAR(w.Rate(b), 2.0 * w.Rate(a), 1e-15);
+  EXPECT_GT(w.Rate(a), 0.0);
+}
+
+}  // namespace
+}  // namespace fgro

@@ -1,0 +1,187 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "common/math_utils.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/stopwatch.h"
+
+namespace fgro {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::InvalidArgument("bad thing");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.message(), "bad thing");
+  EXPECT_EQ(s.ToString(), "InvalidArgument: bad thing");
+}
+
+TEST(StatusTest, AllFactoryCodesDistinct) {
+  std::set<StatusCode> codes = {
+      Status::InvalidArgument("").code(),  Status::NotFound("").code(),
+      Status::OutOfRange("").code(),       Status::FailedPrecondition("").code(),
+      Status::ResourceExhausted("").code(), Status::DeadlineExceeded("").code(),
+      Status::Internal("").code()};
+  EXPECT_EQ(codes.size(), 7u);
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(Status::NotFound("nope"));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+Status FailingHelper() { return Status::Internal("boom"); }
+Status UsesReturnIfError() {
+  FGRO_RETURN_IF_ERROR(FailingHelper());
+  return Status::OK();
+}
+
+TEST(ResultTest, ReturnIfErrorPropagates) {
+  EXPECT_EQ(UsesReturnIfError().code(), StatusCode::kInternal);
+}
+
+TEST(MathTest, BasicAggregates) {
+  std::vector<double> v = {1, 2, 3, 4};
+  EXPECT_DOUBLE_EQ(Sum(v), 10.0);
+  EXPECT_DOUBLE_EQ(Mean(v), 2.5);
+  EXPECT_DOUBLE_EQ(Min(v), 1.0);
+  EXPECT_DOUBLE_EQ(Max(v), 4.0);
+  EXPECT_NEAR(StdDev(v), 1.2909944, 1e-6);
+}
+
+TEST(MathTest, EmptyVectorsAreSafe) {
+  std::vector<double> v;
+  EXPECT_DOUBLE_EQ(Mean(v), 0.0);
+  EXPECT_DOUBLE_EQ(StdDev(v), 0.0);
+  EXPECT_DOUBLE_EQ(Percentile(v, 50), 0.0);
+  EXPECT_DOUBLE_EQ(PearsonCorrelation(v, v), 0.0);
+}
+
+TEST(MathTest, PercentileInterpolates) {
+  std::vector<double> v = {10, 20, 30, 40, 50};
+  EXPECT_DOUBLE_EQ(Percentile(v, 0), 10.0);
+  EXPECT_DOUBLE_EQ(Percentile(v, 100), 50.0);
+  EXPECT_DOUBLE_EQ(Percentile(v, 50), 30.0);
+  EXPECT_DOUBLE_EQ(Percentile(v, 25), 20.0);
+  EXPECT_DOUBLE_EQ(Median(v), 30.0);
+}
+
+TEST(MathTest, PercentileUnsortedInput) {
+  std::vector<double> v = {50, 10, 40, 20, 30};
+  EXPECT_DOUBLE_EQ(Percentile(v, 50), 30.0);
+}
+
+TEST(MathTest, PearsonPerfectCorrelation) {
+  std::vector<double> a = {1, 2, 3, 4};
+  std::vector<double> b = {2, 4, 6, 8};
+  EXPECT_NEAR(PearsonCorrelation(a, b), 1.0, 1e-12);
+  std::vector<double> c = {8, 6, 4, 2};
+  EXPECT_NEAR(PearsonCorrelation(a, c), -1.0, 1e-12);
+}
+
+TEST(MathTest, PearsonDegenerateSeries) {
+  std::vector<double> a = {1, 1, 1};
+  std::vector<double> b = {1, 2, 3};
+  EXPECT_DOUBLE_EQ(PearsonCorrelation(a, b), 0.0);
+}
+
+TEST(MathTest, ClampAndLog1p) {
+  EXPECT_DOUBLE_EQ(Clamp(5, 0, 3), 3.0);
+  EXPECT_DOUBLE_EQ(Clamp(-1, 0, 3), 0.0);
+  EXPECT_DOUBLE_EQ(Clamp(2, 0, 3), 2.0);
+  EXPECT_DOUBLE_EQ(Log1pSafe(-5.0), 0.0);
+  EXPECT_NEAR(Log1pSafe(std::exp(1.0) - 1.0), 1.0, 1e-12);
+}
+
+TEST(MathTest, HistogramCountsAndClamps) {
+  std::vector<double> v = {0.1, 0.2, 0.9, -1.0, 2.0};
+  std::vector<int> h = Histogram(v, 0.0, 1.0, 2);
+  ASSERT_EQ(h.size(), 2u);
+  EXPECT_EQ(h[0] + h[1], 5);  // out-of-range values clamp into end bins
+  EXPECT_EQ(h[0], 3);
+}
+
+TEST(RngTest, Deterministic) {
+  Rng a(7), b(7);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextUint64(), b.NextUint64());
+  }
+}
+
+TEST(RngTest, UniformIntBounds) {
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    int64_t x = rng.UniformInt(-2, 5);
+    EXPECT_GE(x, -2);
+    EXPECT_LE(x, 5);
+  }
+}
+
+TEST(RngTest, UniformMeanRoughlyCentered) {
+  Rng rng(11);
+  double sum = 0.0;
+  for (int i = 0; i < 20000; ++i) sum += rng.Uniform(0.0, 1.0);
+  EXPECT_NEAR(sum / 20000, 0.5, 0.02);
+}
+
+TEST(RngTest, LogNormalIsPositive) {
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_GT(rng.LogNormal(0.0, 2.0), 0.0);
+  }
+}
+
+TEST(RngTest, ZipfPrefersEarlyCategories) {
+  Rng rng(9);
+  std::vector<int> counts(5, 0);
+  for (int i = 0; i < 10000; ++i) counts[static_cast<size_t>(rng.Zipf(5, 1.0))]++;
+  EXPECT_GT(counts[0], counts[4]);
+  EXPECT_GT(counts[0], 2000);
+}
+
+TEST(RngTest, CategoricalRespectsWeights) {
+  Rng rng(13);
+  std::vector<double> w = {0.0, 1.0, 0.0};
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.Categorical(w), 1);
+}
+
+TEST(RngTest, ForkDiverges) {
+  Rng a(21);
+  Rng b = a.Fork();
+  bool differ = false;
+  for (int i = 0; i < 10; ++i) {
+    if (a.NextUint64() != b.NextUint64()) differ = true;
+  }
+  EXPECT_TRUE(differ);
+}
+
+TEST(StopwatchTest, MeasuresNonNegativeTime) {
+  Stopwatch sw;
+  volatile double sink = 0;
+  for (int i = 0; i < 100000; ++i) sink += i;
+  EXPECT_GE(sw.ElapsedSeconds(), 0.0);
+  EXPECT_GE(sw.ElapsedMillis(), sw.ElapsedSeconds());
+  double t1 = sw.ElapsedSeconds();
+  sw.Restart();
+  EXPECT_LE(sw.ElapsedSeconds(), t1 + 1.0);
+}
+
+}  // namespace
+}  // namespace fgro

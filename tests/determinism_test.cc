@@ -1,0 +1,135 @@
+// Reproducibility tests: every stochastic component must be bit-for-bit
+// deterministic given its seeds — the property that makes the benchmark
+// tables reproducible and the appendix's EVO "fixed randomness" note real.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "moo/nsga2.h"
+#include "moo/weighted_sum.h"
+#include "optimizer/fuxi.h"
+#include "optimizer/stage_optimizer.h"
+#include "sim/experiment_env.h"
+#include "sim/ro_metrics.h"
+#include "trace/trace_collector.h"
+
+namespace fgro {
+namespace {
+
+TEST(DeterminismTest, TraceCollectionIsReproducible) {
+  WorkloadGenerator gen(GetWorkloadProfile(WorkloadId::kA, 0.03));
+  Result<Workload> workload = gen.Generate();
+  ASSERT_TRUE(workload.ok());
+  TraceCollector c1(ClusterOptions{.num_machines = 32, .seed = 4}, 9);
+  TraceCollector c2(ClusterOptions{.num_machines = 32, .seed = 4}, 9);
+  Result<TraceDataset> a = c1.Collect(workload.value());
+  Result<TraceDataset> b = c2.Collect(workload.value());
+  ASSERT_TRUE(a.ok() && b.ok());
+  ASSERT_EQ(a->records.size(), b->records.size());
+  for (size_t i = 0; i < a->records.size(); i += 11) {
+    EXPECT_DOUBLE_EQ(a->records[i].actual_latency,
+                     b->records[i].actual_latency);
+    EXPECT_DOUBLE_EQ(a->records[i].theta.cores, b->records[i].theta.cores);
+    EXPECT_EQ(a->records[i].machine_id, b->records[i].machine_id);
+  }
+}
+
+TEST(DeterminismTest, DifferentSeedsDiffer) {
+  WorkloadGenerator gen(GetWorkloadProfile(WorkloadId::kA, 0.03));
+  Result<Workload> workload = gen.Generate();
+  ASSERT_TRUE(workload.ok());
+  TraceCollector c1(ClusterOptions{.num_machines = 32, .seed = 4}, 9);
+  TraceCollector c2(ClusterOptions{.num_machines = 32, .seed = 4}, 10);
+  Result<TraceDataset> a = c1.Collect(workload.value());
+  Result<TraceDataset> b = c2.Collect(workload.value());
+  ASSERT_TRUE(a.ok() && b.ok());
+  bool any_diff = false;
+  for (size_t i = 0; i < a->records.size(); ++i) {
+    if (a->records[i].actual_latency != b->records[i].actual_latency) {
+      any_diff = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+MooProblem TinyProblem() {
+  MooProblem problem;
+  problem.num_vars = 3;
+  problem.num_objectives = 2;
+  problem.sample_var = [](int, Rng* rng) { return rng->Uniform(); };
+  problem.evaluate = [](const Vec& g) {
+    double s = g[0] + g[1] + g[2];
+    MooEvaluation e;
+    e.objectives = {s, 9.0 - s};
+    return e;
+  };
+  return problem;
+}
+
+TEST(DeterminismTest, Nsga2SameSeedSameFront) {
+  Nsga2Options options{.population = 16, .generations = 8, .seed = 77};
+  Nsga2Result a = RunNsga2(TinyProblem(), options);
+  Nsga2Result b = RunNsga2(TinyProblem(), options);
+  ASSERT_EQ(a.objectives.size(), b.objectives.size());
+  for (size_t i = 0; i < a.objectives.size(); ++i) {
+    EXPECT_EQ(a.objectives[i], b.objectives[i]);
+  }
+  EXPECT_EQ(a.evaluations, b.evaluations);
+}
+
+TEST(DeterminismTest, WsSampleSameSeedSameFront) {
+  WsSampleOptions options{.num_samples = 500, .seed = 31};
+  WsSampleResult a = RunWeightedSumSampling(TinyProblem(), options);
+  WsSampleResult b = RunWeightedSumSampling(TinyProblem(), options);
+  ASSERT_EQ(a.objectives.size(), b.objectives.size());
+  for (size_t i = 0; i < a.objectives.size(); ++i) {
+    EXPECT_EQ(a.objectives[i], b.objectives[i]);
+  }
+}
+
+TEST(DeterminismTest, SimulatorReplayIsReproducible) {
+  ExperimentEnv::Options options;
+  options.workload = WorkloadId::kA;
+  options.scale = 0.03;
+  options.train.epochs = 1;
+  options.train.max_train_samples = 800;
+  Result<std::unique_ptr<ExperimentEnv>> env = ExperimentEnv::Build(options);
+  ASSERT_TRUE(env.ok());
+  SimOptions sim_options;
+  sim_options.outcome = OutcomeMode::kEnvironment;
+  sim_options.seed = 13;
+  auto run_once = [&] {
+    Simulator sim(&(*env)->workload(), &(*env)->model(), sim_options);
+    Result<SimResult> result = sim.Run(
+        [](const SchedulingContext& c) { return FuxiSchedule(c); });
+    EXPECT_TRUE(result.ok());
+    return Summarize(result.value());
+  };
+  RoSummary a = run_once();
+  RoSummary b = run_once();
+  EXPECT_DOUBLE_EQ(a.avg_latency, b.avg_latency);
+  EXPECT_DOUBLE_EQ(a.avg_cost, b.avg_cost);
+}
+
+TEST(DeterminismTest, TrainingIsReproducible) {
+  ExperimentEnv::Options options;
+  options.workload = WorkloadId::kA;
+  options.scale = 0.03;
+  options.train.epochs = 2;
+  options.train.max_train_samples = 1200;
+  Result<std::unique_ptr<ExperimentEnv>> e1 = ExperimentEnv::Build(options);
+  Result<std::unique_ptr<ExperimentEnv>> e2 = ExperimentEnv::Build(options);
+  ASSERT_TRUE(e1.ok() && e2.ok());
+  Result<std::vector<double>> p1 = (*e1)->TestPredictions();
+  Result<std::vector<double>> p2 = (*e2)->TestPredictions();
+  ASSERT_TRUE(p1.ok() && p2.ok());
+  ASSERT_EQ(p1->size(), p2->size());
+  for (size_t i = 0; i < p1->size(); i += 17) {
+    EXPECT_DOUBLE_EQ((*p1)[i], (*p2)[i]);
+  }
+}
+
+}  // namespace
+}  // namespace fgro

@@ -1,0 +1,170 @@
+// Property tests of the hidden environment and the generation pipeline:
+// the invariants the optimizer's correctness arguments lean on, checked
+// across many randomly generated stages rather than hand-picked fixtures.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "cbo/plan_generator.h"
+#include "common/logging.h"
+#include "common/math_utils.h"
+#include "env/ground_truth.h"
+#include "hbo/hbo.h"
+#include "trace/workload_gen.h"
+
+namespace fgro {
+namespace {
+
+/// Generates one random, fully populated, partitioned stage.
+Stage RandomStage(uint64_t seed, int instances = 6) {
+  PlanGenerator gen(PlanGenOptions{});
+  Rng rng(seed);
+  Stage stage = gen.GenerateStageTopology(
+      static_cast<int>(rng.UniformInt(3, 10)),
+      static_cast<int>(rng.UniformInt(0, 2)), &rng);
+  std::vector<double> leaf_rows;
+  for (const Operator& op : stage.operators) {
+    if (op.is_leaf()) leaf_rows.push_back(rng.LogNormal(14.0, 1.0));
+  }
+  FGRO_CHECK_OK(gen.PopulateStats(&stage, leaf_rows, &rng));
+  stage.instances.resize(static_cast<size_t>(instances));
+  double total_rows = 0.0;
+  for (const Operator& op : stage.operators) {
+    if (op.is_leaf()) total_rows += op.truth.input_rows;
+  }
+  std::vector<double> weights(static_cast<size_t>(instances));
+  double sum = 0.0;
+  for (double& w : weights) {
+    w = rng.LogNormal(0.0, 0.7);
+    sum += w;
+  }
+  for (int i = 0; i < instances; ++i) {
+    InstanceMeta& meta = stage.instances[static_cast<size_t>(i)];
+    meta.input_fraction = weights[static_cast<size_t>(i)] / sum;
+    meta.input_rows = total_rows * meta.input_fraction;
+    meta.input_bytes = meta.input_rows * 100;
+    meta.hidden_skew = rng.LogNormal(0.0, 0.05);
+  }
+  return stage;
+}
+
+class EnvProperty : public ::testing::TestWithParam<uint64_t> {
+ protected:
+  EnvProperty()
+      : env_(GroundTruthOptions{}),
+        machine_(0, &DefaultHardwareCatalog()[0], 0.4, GetParam()) {}
+  GroundTruthEnv env_;
+  Machine machine_;
+};
+
+TEST_P(EnvProperty, LatencyMonotoneInCores) {
+  Stage stage = RandomStage(GetParam());
+  for (int i = 0; i < stage.instance_count(); i += 2) {
+    double prev = std::numeric_limits<double>::infinity();
+    for (double cores : {0.25, 0.5, 1.0, 2.0, 4.0, 8.0, 16.0}) {
+      double lat = env_.ExpectedLatency(stage, i, machine_, {cores, 64}).total;
+      EXPECT_LE(lat, prev * (1 + 1e-12)) << "cores=" << cores;
+      EXPECT_GT(lat, 0.0);
+      EXPECT_TRUE(std::isfinite(lat));
+      prev = lat;
+    }
+  }
+}
+
+TEST_P(EnvProperty, LatencyMonotoneInMemory) {
+  Stage stage = RandomStage(GetParam() + 50);
+  for (int i = 0; i < stage.instance_count(); i += 3) {
+    double prev = std::numeric_limits<double>::infinity();
+    for (double mem : {0.5, 1.0, 4.0, 16.0, 64.0}) {
+      double lat = env_.ExpectedLatency(stage, i, machine_, {2, mem}).total;
+      EXPECT_LE(lat, prev * (1 + 1e-12)) << "mem=" << mem;
+      prev = lat;
+    }
+  }
+}
+
+TEST_P(EnvProperty, LatencyMonotoneInShare) {
+  Stage stage = RandomStage(GetParam() + 100, /*instances=*/4);
+  // Make fractions strictly increasing with index.
+  double total = 1 + 2 + 3 + 4;
+  for (int i = 0; i < 4; ++i) {
+    stage.instances[static_cast<size_t>(i)].input_fraction = (i + 1) / total;
+    stage.instances[static_cast<size_t>(i)].hidden_skew = 1.0;
+  }
+  double prev = 0.0;
+  for (int i = 0; i < 4; ++i) {
+    double lat = env_.ExpectedLatency(stage, i, machine_, {2, 16}).total;
+    EXPECT_GE(lat, prev);
+    prev = lat;
+  }
+}
+
+TEST_P(EnvProperty, SampledNoiseIsUnbiasedWithinTolerance) {
+  Stage stage = RandomStage(GetParam() + 200);
+  Rng rng(GetParam() * 7 + 1);
+  LatencyBreakdown expected =
+      env_.ExpectedLatency(stage, 0, machine_, {2, 16});
+  std::vector<double> samples;
+  for (int k = 0; k < 300; ++k) {
+    samples.push_back(env_.SampleLatency(stage, 0, machine_, {2, 16}, &rng));
+  }
+  EXPECT_NEAR(Mean(samples), expected.total, expected.total * 0.2);
+  EXPECT_GT(StdDev(samples), 0.0);
+}
+
+TEST_P(EnvProperty, HboRecommendationIsFeasibleOnFreshMachines) {
+  Stage stage = RandomStage(GetParam() + 300);
+  Hbo hbo;
+  HboRecommendation rec = hbo.Recommend(stage);
+  // Every hardware type must be able to host at least one default
+  // container, otherwise whole machine classes would be unusable.
+  for (const HardwareType& hw : DefaultHardwareCatalog()) {
+    EXPECT_LE(rec.theta0.cores, hw.total_cores);
+    EXPECT_LE(rec.theta0.memory_gb, hw.total_memory_gb);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EnvProperty,
+                         ::testing::Range<uint64_t>(1, 11));
+
+class WorkloadProperty
+    : public ::testing::TestWithParam<std::tuple<WorkloadId, double>> {};
+
+TEST_P(WorkloadProperty, GenerationInvariantsAcrossScales) {
+  auto [id, scale] = GetParam();
+  WorkloadGenerator gen(GetWorkloadProfile(id, scale));
+  Result<Workload> workload = gen.Generate();
+  ASSERT_TRUE(workload.ok());
+  for (const Job& job : workload->jobs) {
+    ASSERT_TRUE(job.Validate().ok());
+    for (const Stage& stage : job.stages) {
+      // Estimated and true cardinalities stay within sane multiplicative
+      // distance (CBO is wrong, not insane).
+      for (const Operator& op : stage.operators) {
+        if (op.truth.input_rows < 1.0) continue;
+        double ratio =
+            op.estimate.input_rows / std::max(1.0, op.truth.input_rows);
+        EXPECT_GT(ratio, 1e-4);
+        EXPECT_LT(ratio, 1e4);
+      }
+      // Costs are annotated after partitioning.
+      for (const Operator& op : stage.operators) {
+        EXPECT_GE(op.estimate.cost, 0.0);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, WorkloadProperty,
+    ::testing::Combine(::testing::Values(WorkloadId::kA, WorkloadId::kB,
+                                         WorkloadId::kC),
+                       ::testing::Values(0.03, 0.1)),
+    [](const auto& info) {
+      return std::string(WorkloadName(std::get<0>(info.param))) + "_scale" +
+             std::to_string(static_cast<int>(std::get<1>(info.param) * 100));
+    });
+
+}  // namespace
+}  // namespace fgro

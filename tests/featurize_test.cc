@@ -1,0 +1,206 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "featurize/aim.h"
+#include "featurize/channels.h"
+#include "featurize/discretize.h"
+#include "featurize/featurizer.h"
+#include "test_util.h"
+
+namespace fgro {
+namespace {
+
+using testing_util::MakeChainStage;
+using testing_util::MakeJoinStage;
+
+TEST(DiscretizeTest, IndexBucketsCoverUnitInterval) {
+  EXPECT_EQ(DiscretizeIndex(0.0, 4), 0);
+  EXPECT_EQ(DiscretizeIndex(0.24, 4), 0);
+  EXPECT_EQ(DiscretizeIndex(0.26, 4), 1);
+  EXPECT_EQ(DiscretizeIndex(0.99, 4), 3);
+  EXPECT_EQ(DiscretizeIndex(1.0, 4), 3);  // clamped
+}
+
+TEST(DiscretizeTest, ValueIsBucketMidpoint) {
+  EXPECT_DOUBLE_EQ(DiscretizeValue(0.1, 4), 0.125);
+  EXPECT_DOUBLE_EQ(DiscretizeValue(0.9, 4), 0.875);
+}
+
+TEST(DiscretizeTest, HigherDegreeIsFiner) {
+  // With a finer degree the discretized value is never farther from truth.
+  for (double u : {0.05, 0.33, 0.51, 0.77, 0.96}) {
+    EXPECT_LE(std::abs(DiscretizeValue(u, 10) - u) - 1e-12,
+              std::abs(DiscretizeValue(u, 2) - u) + 0.25);
+    EXPECT_LE(std::abs(DiscretizeValue(u, 10) - u), 0.05 + 1e-12);
+  }
+}
+
+TEST(DiscretizeTest, StateCombinationsAreCubic) {
+  EXPECT_EQ(NumStateCombinations(2), 8);
+  EXPECT_EQ(NumStateCombinations(4), 64);
+  EXPECT_EQ(NumStateCombinations(10), 1000);
+}
+
+TEST(AimTest, OffReturnsZeros) {
+  Stage stage = MakeChainStage();
+  Result<std::vector<AimEntry>> aim = ComputeAim(stage, 0, AimMode::kOff);
+  ASSERT_TRUE(aim.ok());
+  for (const AimEntry& e : aim.value()) {
+    EXPECT_DOUBLE_EQ(e.input_rows, 0.0);
+    EXPECT_DOUBLE_EQ(e.cost, 0.0);
+  }
+}
+
+TEST(AimTest, CalibratedScalesByFraction) {
+  Stage stage = MakeChainStage(/*m=*/4, /*scan_rows=*/1.0e6,
+                               /*filter_selectivity=*/0.5);
+  Result<std::vector<AimEntry>> aim =
+      ComputeAim(stage, 0, AimMode::kCalibrated);
+  ASSERT_TRUE(aim.ok());
+  // Instance 0 takes 1/4 of the input: scan sees 2.5e5 rows, filter emits
+  // 1.25e5.
+  EXPECT_NEAR(aim.value()[0].input_rows, 2.5e5, 1e-6);
+  EXPECT_NEAR(aim.value()[1].output_rows, 1.25e5, 1e-6);
+  EXPECT_GT(aim.value()[0].cost, 0.0);
+}
+
+TEST(AimTest, InvalidInstanceRejected) {
+  Stage stage = MakeChainStage();
+  EXPECT_FALSE(ComputeAim(stage, 99, AimMode::kCalibrated).ok());
+  EXPECT_FALSE(ComputeAim(stage, -1, AimMode::kCalibrated).ok());
+}
+
+TEST(AimTest, Simu2SeesHiddenSkew) {
+  Stage stage = MakeChainStage();
+  stage.instances[0].hidden_skew = 2.0;
+  Result<std::vector<AimEntry>> calib =
+      ComputeAim(stage, 0, AimMode::kCalibrated);
+  Result<std::vector<AimEntry>> simu2 = ComputeAim(stage, 0, AimMode::kSimu2);
+  ASSERT_TRUE(calib.ok() && simu2.ok());
+  EXPECT_NEAR(simu2.value()[0].input_rows,
+              2.0 * calib.value()[0].input_rows, 1e-6);
+}
+
+TEST(AimTest, Simu1UsesTruthSelectivities) {
+  Stage stage = MakeChainStage();
+  stage.operators[1].estimate.selectivity = 0.9;  // CBO is wrong
+  Result<std::vector<AimEntry>> calib =
+      ComputeAim(stage, 0, AimMode::kCalibrated);
+  Result<std::vector<AimEntry>> simu1 = ComputeAim(stage, 0, AimMode::kSimu1);
+  ASSERT_TRUE(calib.ok() && simu1.ok());
+  EXPECT_GT(calib.value()[1].output_rows, simu1.value()[1].output_rows);
+}
+
+TEST(ChannelsTest, OperatorRowDimensionsAndOneHot) {
+  Stage stage = MakeJoinStage();
+  ChannelMask mask;
+  Result<std::vector<AimEntry>> aim =
+      ComputeAim(stage, 0, AimMode::kCalibrated);
+  ASSERT_TRUE(aim.ok());
+  for (const Operator& op : stage.operators) {
+    Vec row = OperatorFeatureRow(op, stage.instance_count(),
+                                 aim.value()[static_cast<size_t>(op.id)],
+                                 mask);
+    ASSERT_EQ(static_cast<int>(row.size()), kOpFeatureDim);
+    // Exactly one type bit set.
+    double type_sum = 0.0;
+    for (int t = 0; t < kOpTypeOneHotDim; ++t) type_sum += row[static_cast<size_t>(t)];
+    EXPECT_DOUBLE_EQ(type_sum, 1.0);
+    EXPECT_DOUBLE_EQ(row[static_cast<size_t>(static_cast<int>(op.type))], 1.0);
+  }
+}
+
+TEST(ChannelsTest, Ch1OffZeroesRow) {
+  Stage stage = MakeChainStage();
+  ChannelMask mask;
+  mask.ch1 = false;
+  Vec row = OperatorFeatureRow(stage.operators[0], 4, AimEntry{}, mask);
+  for (double v : row) EXPECT_DOUBLE_EQ(v, 0.0);
+}
+
+TEST(ChannelsTest, AimOffZeroesAimSlice) {
+  Stage stage = MakeChainStage();
+  ChannelMask mask;
+  mask.aim = AimMode::kOff;
+  AimEntry aim{100, 50, 10};
+  Vec row = OperatorFeatureRow(stage.operators[0], 4, aim, mask);
+  for (int i = kOpFeatureDim - kOpAimDim; i < kOpFeatureDim; ++i) {
+    EXPECT_DOUBLE_EQ(row[static_cast<size_t>(i)], 0.0);
+  }
+}
+
+TEST(ChannelsTest, ContextMaskZeroesChannels) {
+  SystemState state{0.5, 0.5, 0.5};
+  ChannelMask all_on;
+  ChannelMask no_ch4 = all_on;
+  no_ch4.ch4 = false;
+  Vec on = ContextFeatureVector({2, 8}, state, 1, all_on, 4);
+  Vec off = ContextFeatureVector({2, 8}, state, 1, no_ch4, 4);
+  ASSERT_EQ(on.size(), static_cast<size_t>(kContextDim));
+  for (int i = kCh3Dim; i < kCh3Dim + kCh4Dim; ++i) {
+    EXPECT_NE(on[static_cast<size_t>(i)], 0.0);
+    EXPECT_DOUBLE_EQ(off[static_cast<size_t>(i)], 0.0);
+  }
+  // Hardware one-hot.
+  EXPECT_DOUBLE_EQ(on[static_cast<size_t>(kCh3Dim + kCh4Dim + 1)], 1.0);
+}
+
+TEST(ChannelsTest, Ch2CapturesSkewRatio) {
+  Stage stage = MakeJoinStage(4);
+  ChannelMask mask;
+  Vec small = Ch2FeatureVector(stage, 0, mask);
+  Vec large = Ch2FeatureVector(stage, 3, mask);
+  EXPECT_LT(small[0], large[0]);  // log rows
+  EXPECT_LT(small[2], large[2]);  // skew ratio
+}
+
+TEST(FeaturizerTest, PlanGraphShapeMatchesStage) {
+  Featurizer fz(ChannelMask{}, 10);
+  Stage stage = MakeJoinStage();
+  Result<PlanGraph> graph = fz.BuildPlanGraph(stage, 0);
+  ASSERT_TRUE(graph.ok());
+  EXPECT_EQ(graph->size(), stage.operator_count());
+  for (int i = 0; i < graph->size(); ++i) {
+    EXPECT_EQ(graph->children[static_cast<size_t>(i)],
+              stage.operators[static_cast<size_t>(i)].children);
+  }
+}
+
+TEST(FeaturizerTest, PlanTreeHasRootAndTypes) {
+  Featurizer fz(ChannelMask{}, 10);
+  Stage stage = MakeJoinStage();
+  int root = -1;
+  Result<PlanGraph> tree = fz.BuildPlanTree(stage, 0, &root);
+  ASSERT_TRUE(tree.ok());
+  ASSERT_GE(root, 0);
+  EXPECT_EQ(tree->node_types[static_cast<size_t>(root)],
+            static_cast<int>(OperatorType::kStreamLineWrite));
+}
+
+TEST(FeaturizerTest, InstanceFeatureDims) {
+  Featurizer fz(ChannelMask{}, 10);
+  Stage stage = MakeChainStage();
+  Vec f = fz.InstanceFeatures(stage, 0, {2, 8}, {0.5, 0.5, 0.5}, 2);
+  EXPECT_EQ(f.size(), static_cast<size_t>(kInstanceFeatureDim));
+  Vec ch2 = fz.Ch2Features(stage, 0);
+  Vec ctx = fz.ContextFeatures({2, 8}, {0.5, 0.5, 0.5}, 2);
+  ASSERT_EQ(ch2.size() + ctx.size(), f.size());
+  for (size_t i = 0; i < ch2.size(); ++i) EXPECT_DOUBLE_EQ(f[i], ch2[i]);
+  for (size_t i = 0; i < ctx.size(); ++i) {
+    EXPECT_DOUBLE_EQ(f[ch2.size() + i], ctx[i]);
+  }
+}
+
+TEST(FeaturizerTest, DiscretizationDegreeChangesCh4) {
+  SystemState state{0.43, 0.43, 0.43};
+  Featurizer coarse(ChannelMask{}, 2);
+  Featurizer fine(ChannelMask{}, 100);
+  Vec c = coarse.ContextFeatures({1, 4}, state, 0);
+  Vec f = fine.ContextFeatures({1, 4}, state, 0);
+  EXPECT_NE(c[static_cast<size_t>(kCh3Dim)], f[static_cast<size_t>(kCh3Dim)]);
+  EXPECT_NEAR(f[static_cast<size_t>(kCh3Dim)], 0.43, 0.01);
+}
+
+}  // namespace
+}  // namespace fgro

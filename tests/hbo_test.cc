@@ -1,0 +1,120 @@
+#include <gtest/gtest.h>
+
+#include "hbo/hbo.h"
+#include "test_util.h"
+
+namespace fgro {
+namespace {
+
+using testing_util::MakeChainStage;
+
+TEST(HboTest, CatalogIsSortedAndPlural) {
+  const std::vector<ResourceConfig>& catalog = Hbo::ResourcePlanCatalog();
+  EXPECT_GE(catalog.size(), 17u);  // paper observes 17-38 plans
+  for (const ResourceConfig& c : catalog) {
+    EXPECT_GT(c.cores, 0.0);
+    EXPECT_GT(c.memory_gb, 0.0);
+  }
+}
+
+TEST(HboTest, QuantizeUpRoundsUp) {
+  ResourceConfig q = Hbo::QuantizeUp({1.3, 5.0});
+  EXPECT_GE(q.cores, 1.3);
+  EXPECT_GE(q.memory_gb, 5.0);
+  // And it is the tightest such plan on the cores axis.
+  for (const ResourceConfig& c : Hbo::ResourcePlanCatalog()) {
+    if (c.cores >= 1.3 && c.memory_gb >= 5.0) {
+      EXPECT_LE(q.cores, c.cores);
+    }
+  }
+}
+
+TEST(HboTest, QuantizeUpExactMatchIsIdentity) {
+  ResourceConfig q = Hbo::QuantizeUp({2, 8});
+  EXPECT_DOUBLE_EQ(q.cores, 2.0);
+  EXPECT_DOUBLE_EQ(q.memory_gb, 8.0);
+}
+
+TEST(HboTest, QuantizeUpSaturatesAtCatalogMax) {
+  ResourceConfig q = Hbo::QuantizeUp({1000, 1000});
+  const ResourceConfig& biggest = Hbo::ResourcePlanCatalog().back();
+  EXPECT_DOUBLE_EQ(q.cores, biggest.cores);
+}
+
+TEST(HboTest, PartitionCountTracksInputSize) {
+  Hbo hbo;
+  Stage small = MakeChainStage(1, 1.0e5);
+  Stage large = MakeChainStage(1, 1.0e8);
+  HboRecommendation rs = hbo.Recommend(small);
+  HboRecommendation rl = hbo.Recommend(large);
+  EXPECT_GE(rs.partition_count, 1);
+  EXPECT_GT(rl.partition_count, rs.partition_count);
+  EXPECT_LE(rl.partition_count, hbo.options().max_instances);
+}
+
+TEST(HboTest, PartitionCountRespectsCap) {
+  HboOptions options;
+  options.max_instances = 16;
+  Hbo hbo(options);
+  Stage huge = MakeChainStage(1, 1.0e10);
+  EXPECT_EQ(hbo.Recommend(huge).partition_count, 16);
+}
+
+TEST(HboTest, RecommendationComesFromCatalog) {
+  Hbo hbo;
+  HboRecommendation rec = hbo.Recommend(MakeChainStage(1, 3.0e6));
+  bool in_catalog = false;
+  for (const ResourceConfig& c : Hbo::ResourcePlanCatalog()) {
+    if (c == rec.theta0) in_catalog = true;
+  }
+  EXPECT_TRUE(in_catalog);
+}
+
+TEST(HboTest, HistoryOverridesRule) {
+  Hbo hbo;
+  Stage stage = MakeChainStage(1, 3.0e6);
+  stage.template_id = 42;
+  HboRecommendation rule_based = hbo.Recommend(stage);
+
+  HboRecommendation historical;
+  historical.partition_count = rule_based.partition_count + 7;
+  historical.theta0 = {8, 32};
+  hbo.RecordRun(42, historical, /*stage_latency=*/10.0, /*stage_cost=*/1.0);
+
+  HboRecommendation after = hbo.Recommend(stage);
+  EXPECT_EQ(after.partition_count, historical.partition_count);
+  EXPECT_TRUE(after.theta0 == historical.theta0);
+}
+
+TEST(HboTest, HistoryKeepsBestPerformingRun) {
+  Hbo hbo;
+  Stage stage = MakeChainStage(1, 3.0e6);
+  stage.template_id = 7;
+  HboRecommendation fast{10, {4, 16}};
+  HboRecommendation slow{20, {1, 2}};
+  hbo.RecordRun(7, slow, /*stage_latency=*/50.0, 1.0);
+  hbo.RecordRun(7, fast, /*stage_latency=*/5.0, 1.0);
+  hbo.RecordRun(7, slow, /*stage_latency=*/60.0, 1.0);
+  EXPECT_EQ(hbo.Recommend(stage).partition_count, 10);
+}
+
+TEST(HboTest, OverprovisionGrowsTheta) {
+  HboOptions lean;
+  lean.overprovision_factor = 1.0;
+  HboOptions fat;
+  fat.overprovision_factor = 2.0;
+  Stage stage = MakeChainStage(1, 5.0e7);
+  ResourceConfig lean_theta = Hbo(lean).Recommend(stage).theta0;
+  ResourceConfig fat_theta = Hbo(fat).Recommend(stage).theta0;
+  EXPECT_GE(fat_theta.cores * fat_theta.memory_gb,
+            lean_theta.cores * lean_theta.memory_gb);
+}
+
+TEST(HboTest, ExplorationWindowIsSane) {
+  EXPECT_GT(kPlanExplorationLow, 0.0);
+  EXPECT_LT(kPlanExplorationLow, 1.0);
+  EXPECT_GT(kPlanExplorationHigh, 1.0);
+}
+
+}  // namespace
+}  // namespace fgro

@@ -1,0 +1,117 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <memory>
+
+#include "model/latency_model.h"
+#include "optimizer/ipa.h"
+#include "sim/experiment_env.h"
+#include "trace/trace_io.h"
+
+namespace fgro {
+namespace {
+
+class IoFixture : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    ExperimentEnv::Options options;
+    options.workload = WorkloadId::kA;
+    options.scale = 0.04;
+    options.train.epochs = 2;
+    options.train.max_train_samples = 2000;
+    options.seed = 99;
+    Result<std::unique_ptr<ExperimentEnv>> env = ExperimentEnv::Build(options);
+    ASSERT_TRUE(env.ok()) << env.status().ToString();
+    env_ = std::move(env).value().release();
+  }
+
+  static ExperimentEnv* env_;
+};
+
+ExperimentEnv* IoFixture::env_ = nullptr;
+
+TEST_F(IoFixture, ModelSaveLoadRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/fgro_model.txt";
+  ASSERT_TRUE(env_->model().Save(path).ok());
+  Result<std::unique_ptr<LatencyModel>> loaded = LatencyModel::Load(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ((*loaded)->kind(), env_->model().kind());
+  EXPECT_TRUE((*loaded)->trained());
+  // Predictions must match bit-for-bit on a sample of records.
+  for (int k = 0; k < 25; ++k) {
+    const InstanceRecord& r = env_->dataset().records[static_cast<size_t>(
+        (k * 101) % env_->dataset().records.size())];
+    const Stage& stage = env_->dataset().StageOf(r);
+    Result<double> a = env_->model().Predict(stage, r.instance_idx, r.theta,
+                                             r.machine_state,
+                                             r.hardware_type);
+    Result<double> b = (*loaded)->Predict(stage, r.instance_idx, r.theta,
+                                          r.machine_state, r.hardware_type);
+    ASSERT_TRUE(a.ok() && b.ok());
+    EXPECT_DOUBLE_EQ(a.value(), b.value());
+  }
+}
+
+TEST_F(IoFixture, ModelLoadRejectsGarbage) {
+  const std::string path = ::testing::TempDir() + "/fgro_garbage.txt";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  std::fprintf(f, "not a model at all\n");
+  std::fclose(f);
+  EXPECT_FALSE(LatencyModel::Load(path).ok());
+  EXPECT_FALSE(LatencyModel::Load("/nonexistent/nowhere.txt").ok());
+}
+
+TEST_F(IoFixture, TraceCsvRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/fgro_trace.csv";
+  ASSERT_TRUE(ExportTraceCsv(env_->dataset(), path).ok());
+  Result<std::vector<InstanceRecord>> records = ImportTraceCsv(path);
+  ASSERT_TRUE(records.ok()) << records.status().ToString();
+  ASSERT_EQ(records->size(), env_->dataset().records.size());
+  for (size_t i = 0; i < records->size(); i += 37) {
+    const InstanceRecord& a = env_->dataset().records[i];
+    const InstanceRecord& b = (*records)[i];
+    EXPECT_EQ(a.job_idx, b.job_idx);
+    EXPECT_EQ(a.stage_idx, b.stage_idx);
+    EXPECT_EQ(a.instance_idx, b.instance_idx);
+    EXPECT_NEAR(a.actual_latency, b.actual_latency, 1e-5);
+    EXPECT_NEAR(a.theta.cores, b.theta.cores, 1e-9);
+    EXPECT_NEAR(a.machine_state.cpu_util, b.machine_state.cpu_util, 1e-3);
+  }
+}
+
+TEST_F(IoFixture, TraceCsvRejectsWrongHeader) {
+  const std::string path = ::testing::TempDir() + "/fgro_badcsv.csv";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  std::fprintf(f, "a,b,c\n1,2,3\n");
+  std::fclose(f);
+  EXPECT_FALSE(ImportTraceCsv(path).ok());
+}
+
+TEST(ColumnOrderTest, PerfectColumnOrderHasZeroViolations) {
+  // L[i][j] = inst[i] * mach[j]: order identical across machines.
+  std::vector<double> inst = {5, 1, 3, 9};
+  std::vector<double> mach = {1.0, 2.0, 0.5};
+  std::vector<std::vector<double>> L(4, std::vector<double>(3));
+  for (int i = 0; i < 4; ++i) {
+    for (int j = 0; j < 3; ++j) {
+      L[static_cast<size_t>(i)][static_cast<size_t>(j)] =
+          inst[static_cast<size_t>(i)] * mach[static_cast<size_t>(j)];
+    }
+  }
+  EXPECT_DOUBLE_EQ(ColumnOrderViolationRate(L), 0.0);
+}
+
+TEST(ColumnOrderTest, ShuffledColumnsViolate) {
+  // Second machine reverses the order entirely: ~100% violations.
+  std::vector<std::vector<double>> L = {{1, 4}, {2, 3}, {3, 2}, {4, 1}};
+  EXPECT_GT(ColumnOrderViolationRate(L), 0.9);
+}
+
+TEST(ColumnOrderTest, DegenerateInputsAreSafe) {
+  EXPECT_DOUBLE_EQ(ColumnOrderViolationRate({}), 0.0);
+  EXPECT_DOUBLE_EQ(ColumnOrderViolationRate({{1.0}}), 0.0);
+  EXPECT_DOUBLE_EQ(ColumnOrderViolationRate({{1.0, 2.0}}), 0.0);
+}
+
+}  // namespace
+}  // namespace fgro

@@ -1,0 +1,574 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <memory>
+
+#include "common/rng.h"
+#include "optimizer/fuxi.h"
+#include "optimizer/ipa.h"
+#include "optimizer/ipa_clustered.h"
+#include "optimizer/moo_baselines.h"
+#include "optimizer/raa.h"
+#include "optimizer/raa_general.h"
+#include "optimizer/raa_path.h"
+#include "optimizer/stage_optimizer.h"
+#include "moo/pareto.h"
+#include "sim/experiment_env.h"
+#include "test_util.h"
+
+namespace fgro {
+namespace {
+
+// ---------------------------------------------------------------------------
+// IPA greedy matching (Algorithm 1)
+// ---------------------------------------------------------------------------
+
+TEST(IpaGreedyTest, PaperFigureSixExample) {
+  // Fig. 6: two instances, three machines. Latency matrix (i1 has 3x the
+  // rows of i2); Fuxi's watermark choice yields 24s, optimal is 16s by
+  // sending i1 to m3 and i2 to m1.
+  std::vector<std::vector<double>> L = {
+      {24.0, 30.0, 16.0},   // i1 (large)
+      {8.0, 10.0, 5.3}};    // i2 (small)
+  std::vector<int> assignment = IpaGreedyMatch(L, {1, 1, 1});
+  ASSERT_EQ(assignment.size(), 2u);
+  EXPECT_EQ(assignment[0], 2);  // i1 -> m3
+  EXPECT_EQ(assignment[1], 0);  // i2 -> m1
+  double stage_latency =
+      std::max(L[0][static_cast<size_t>(assignment[0])],
+               L[1][static_cast<size_t>(assignment[1])]);
+  EXPECT_DOUBLE_EQ(stage_latency, 16.0);
+}
+
+TEST(IpaGreedyTest, InfeasibleWhenCapacityShort) {
+  std::vector<std::vector<double>> L = {{1, 2}, {3, 4}, {5, 6}};
+  EXPECT_TRUE(IpaGreedyMatch(L, {1, 1}).empty());
+  EXPECT_FALSE(IpaGreedyMatch(L, {2, 1}).empty());
+}
+
+TEST(IpaGreedyTest, CapacityRespected) {
+  Rng rng(5);
+  std::vector<std::vector<double>> L(10, std::vector<double>(3));
+  for (auto& row : L) {
+    for (double& v : row) v = rng.Uniform(1.0, 100.0);
+  }
+  std::vector<int> capacity = {4, 4, 4};
+  std::vector<int> assignment = IpaGreedyMatch(L, capacity);
+  ASSERT_EQ(assignment.size(), 10u);
+  std::vector<int> used(3, 0);
+  for (int j : assignment) used[static_cast<size_t>(j)]++;
+  for (int j = 0; j < 3; ++j) EXPECT_LE(used[static_cast<size_t>(j)], 4);
+}
+
+/// Brute-force the optimal max-latency assignment (small m, n).
+double BruteForceOptimalStageLatency(const std::vector<std::vector<double>>& L,
+                                     const std::vector<int>& capacity) {
+  const int m = static_cast<int>(L.size());
+  const int n = static_cast<int>(capacity.size());
+  double best = std::numeric_limits<double>::infinity();
+  std::vector<int> assign(static_cast<size_t>(m), 0);
+  std::vector<int> used(static_cast<size_t>(n), 0);
+  std::function<void(int, double)> rec = [&](int i, double current_max) {
+    if (current_max >= best) return;
+    if (i == m) {
+      best = current_max;
+      return;
+    }
+    for (int j = 0; j < n; ++j) {
+      if (used[static_cast<size_t>(j)] >= capacity[static_cast<size_t>(j)]) {
+        continue;
+      }
+      used[static_cast<size_t>(j)]++;
+      rec(i + 1, std::max(current_max, L[static_cast<size_t>(i)][static_cast<size_t>(j)]));
+      used[static_cast<size_t>(j)]--;
+    }
+  };
+  rec(0, 0.0);
+  return best;
+}
+
+class IpaOptimalityProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(IpaOptimalityProperty, OptimalUnderColumnOrder) {
+  // Theorem 5.1: under the column-order assumption IPA achieves the minimum
+  // stage latency. Build matrices as instance_factor[i] * machine_factor[j]
+  // (shared column order by construction) and compare to brute force.
+  Rng rng(GetParam());
+  int m = static_cast<int>(rng.UniformInt(2, 6));
+  int n = static_cast<int>(rng.UniformInt(m, 7));
+  std::vector<double> inst(static_cast<size_t>(m)), mach(static_cast<size_t>(n));
+  for (double& v : inst) v = rng.Uniform(1.0, 50.0);
+  for (double& v : mach) v = rng.Uniform(0.5, 3.0);
+  std::vector<std::vector<double>> L(static_cast<size_t>(m),
+                                     std::vector<double>(static_cast<size_t>(n)));
+  for (int i = 0; i < m; ++i) {
+    for (int j = 0; j < n; ++j) {
+      L[static_cast<size_t>(i)][static_cast<size_t>(j)] =
+          inst[static_cast<size_t>(i)] * mach[static_cast<size_t>(j)];
+    }
+  }
+  std::vector<int> capacity(static_cast<size_t>(n), 1);
+  std::vector<int> assignment = IpaGreedyMatch(L, capacity);
+  ASSERT_EQ(assignment.size(), static_cast<size_t>(m));
+  double ipa_latency = 0.0;
+  for (int i = 0; i < m; ++i) {
+    ipa_latency = std::max(
+        ipa_latency, L[static_cast<size_t>(i)][static_cast<size_t>(assignment[i])]);
+  }
+  EXPECT_NEAR(ipa_latency, BruteForceOptimalStageLatency(L, capacity), 1e-9);
+}
+
+TEST_P(IpaOptimalityProperty, NeverWorseThanWatermarkOnColumnOrder) {
+  Rng rng(GetParam() + 500);
+  int m = static_cast<int>(rng.UniformInt(2, 8));
+  int n = m + static_cast<int>(rng.UniformInt(0, 4));
+  std::vector<double> inst(static_cast<size_t>(m)), mach(static_cast<size_t>(n));
+  for (double& v : inst) v = rng.Pareto(1.0, 1.2);
+  for (double& v : mach) v = rng.Uniform(0.5, 3.0);
+  std::vector<std::vector<double>> L(static_cast<size_t>(m),
+                                     std::vector<double>(static_cast<size_t>(n)));
+  for (int i = 0; i < m; ++i) {
+    for (int j = 0; j < n; ++j) {
+      L[static_cast<size_t>(i)][static_cast<size_t>(j)] =
+          inst[static_cast<size_t>(i)] * mach[static_cast<size_t>(j)];
+    }
+  }
+  std::vector<int> assignment = IpaGreedyMatch(
+      L, std::vector<int>(static_cast<size_t>(n), 1));
+  ASSERT_FALSE(assignment.empty());
+  double ipa_latency = 0.0;
+  for (int i = 0; i < m; ++i) {
+    ipa_latency = std::max(
+        ipa_latency, L[static_cast<size_t>(i)][static_cast<size_t>(assignment[i])]);
+  }
+  // Watermark: machines sorted by factor ascending, instances in id order.
+  std::vector<int> order(static_cast<size_t>(n));
+  for (int j = 0; j < n; ++j) order[static_cast<size_t>(j)] = j;
+  std::sort(order.begin(), order.end(), [&](int a, int b) {
+    return mach[static_cast<size_t>(a)] < mach[static_cast<size_t>(b)];
+  });
+  double fuxi_latency = 0.0;
+  for (int i = 0; i < m; ++i) {
+    fuxi_latency = std::max(
+        fuxi_latency,
+        L[static_cast<size_t>(i)][static_cast<size_t>(order[static_cast<size_t>(i)])]);
+  }
+  EXPECT_LE(ipa_latency, fuxi_latency + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IpaOptimalityProperty,
+                         ::testing::Range<uint64_t>(1, 16));
+
+// ---------------------------------------------------------------------------
+// RAA hierarchical MOO (Algorithms 2 & 3)
+// ---------------------------------------------------------------------------
+
+std::vector<std::vector<InstanceParetoPoint>> PaperFigureEightSets() {
+  // Fig. 8: 3 instances with 2, 4, 3 Pareto solutions (descending latency).
+  return {
+      {{{}, 150, 5}, {{}, 55, 20}},
+      {{{}, 300, 4}, {{}, 150, 5}, {{}, 100, 8}, {{}, 80, 12}},
+      {{{}, 90, 5}, {{}, 70, 7}, {{}, 50, 10}},
+  };
+}
+
+/// Brute-force the full stage-level Pareto set by enumerating all choice
+/// combinations.
+std::vector<std::vector<double>> BruteForceStagePareto(
+    const std::vector<std::vector<InstanceParetoPoint>>& sets,
+    const std::vector<double>& multiplicity) {
+  std::vector<std::vector<double>> all;
+  std::vector<size_t> choice(sets.size(), 0);
+  while (true) {
+    double lat = 0.0, cost = 0.0;
+    for (size_t i = 0; i < sets.size(); ++i) {
+      lat = std::max(lat, sets[i][choice[i]].latency);
+      cost += sets[i][choice[i]].cost * multiplicity[i];
+    }
+    all.push_back({lat, cost});
+    size_t pos = 0;
+    while (pos < sets.size() && ++choice[pos] >= sets[pos].size()) {
+      choice[pos++] = 0;
+    }
+    if (pos >= sets.size()) break;
+  }
+  std::vector<std::vector<double>> pareto;
+  for (int idx : ParetoFilter(all)) pareto.push_back(all[static_cast<size_t>(idx)]);
+  std::sort(pareto.begin(), pareto.end(),
+            [](const auto& a, const auto& b) { return a[0] > b[0]; });
+  return pareto;
+}
+
+TEST(RaaPathTest, PaperFigureSevenExample) {
+  // Fig. 7: two instances; the stage-level Pareto set is
+  // [[100, 25], [150, 10], [300, 9]].
+  std::vector<std::vector<InstanceParetoPoint>> sets = {
+      {{{}, 150, 5}, {{}, 100, 20}},
+      {{{}, 300, 4}, {{}, 100, 5}},
+  };
+  std::vector<StageParetoPoint> result = RaaPath(sets, {1.0, 1.0});
+  ASSERT_EQ(result.size(), 3u);
+  EXPECT_DOUBLE_EQ(result[0].latency, 300.0);
+  EXPECT_DOUBLE_EQ(result[0].cost, 9.0);
+  EXPECT_DOUBLE_EQ(result[1].latency, 150.0);
+  EXPECT_DOUBLE_EQ(result[1].cost, 10.0);
+  EXPECT_DOUBLE_EQ(result[2].latency, 100.0);
+  EXPECT_DOUBLE_EQ(result[2].cost, 25.0);
+}
+
+TEST(RaaPathTest, MatchesBruteForceOnFigureEight) {
+  auto sets = PaperFigureEightSets();
+  std::vector<double> mult(sets.size(), 1.0);
+  std::vector<StageParetoPoint> path = RaaPath(sets, mult);
+  std::vector<std::vector<double>> brute = BruteForceStagePareto(sets, mult);
+  ASSERT_EQ(path.size(), brute.size());
+  for (size_t i = 0; i < path.size(); ++i) {
+    EXPECT_DOUBLE_EQ(path[i].latency, brute[i][0]);
+    EXPECT_DOUBLE_EQ(path[i].cost, brute[i][1]);
+  }
+}
+
+class RaaPathProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RaaPathProperty, FullParetoSetOnRandomInstances) {
+  // Proposition 5.2: RAA-Path finds the FULL stage-level Pareto set.
+  Rng rng(GetParam());
+  int m = static_cast<int>(rng.UniformInt(1, 5));
+  std::vector<std::vector<InstanceParetoPoint>> sets(static_cast<size_t>(m));
+  std::vector<double> mult;
+  for (auto& set : sets) {
+    int p = static_cast<int>(rng.UniformInt(1, 5));
+    double lat = rng.Uniform(50, 400);
+    double cost = rng.Uniform(1, 5);
+    for (int j = 0; j < p; ++j) {
+      set.push_back({{}, lat, cost});
+      lat *= rng.Uniform(0.4, 0.9);   // strictly decreasing latency
+      cost *= rng.Uniform(1.2, 2.5);  // strictly increasing cost
+    }
+  }
+  for (int i = 0; i < m; ++i) {
+    mult.push_back(static_cast<double>(rng.UniformInt(1, 20)));
+  }
+  std::vector<StageParetoPoint> path = RaaPath(sets, mult);
+  std::vector<std::vector<double>> brute = BruteForceStagePareto(sets, mult);
+  ASSERT_EQ(path.size(), brute.size());
+  for (size_t i = 0; i < path.size(); ++i) {
+    EXPECT_NEAR(path[i].latency, brute[i][0], 1e-9);
+    EXPECT_NEAR(path[i].cost, brute[i][1], 1e-9);
+    // The recorded choice must reproduce the recorded objectives.
+    double lat = 0.0, cost = 0.0;
+    for (size_t g = 0; g < sets.size(); ++g) {
+      const InstanceParetoPoint& chosen =
+          sets[g][static_cast<size_t>(path[i].choice[g])];
+      lat = std::max(lat, chosen.latency);
+      cost += chosen.cost * mult[g];
+    }
+    EXPECT_NEAR(lat, path[i].latency, 1e-9);
+    EXPECT_NEAR(cost, path[i].cost, 1e-9);
+  }
+}
+
+TEST_P(RaaPathProperty, GeneralAlgorithmIsSubsetOfPareto) {
+  // Proposition 5.1: Algorithm 2 returns a subset of the Pareto set.
+  Rng rng(GetParam() + 1000);
+  int m = static_cast<int>(rng.UniformInt(1, 4));
+  std::vector<std::vector<InstanceParetoPoint>> sets(static_cast<size_t>(m));
+  std::vector<double> mult;
+  for (auto& set : sets) {
+    int p = static_cast<int>(rng.UniformInt(1, 4));
+    double lat = rng.Uniform(50, 400), cost = rng.Uniform(1, 5);
+    for (int j = 0; j < p; ++j) {
+      set.push_back({{}, lat, cost});
+      lat *= rng.Uniform(0.4, 0.9);
+      cost *= rng.Uniform(1.2, 2.5);
+    }
+  }
+  for (int i = 0; i < m; ++i) mult.push_back(1.0);
+
+  std::vector<std::vector<std::vector<double>>> solutions(sets.size());
+  for (size_t i = 0; i < sets.size(); ++i) {
+    for (const InstanceParetoPoint& p : sets[i]) {
+      solutions[i].push_back({p.latency, p.cost});
+    }
+  }
+  std::vector<GeneralStagePoint> general =
+      GeneralHierarchicalMoo(solutions, {true, false}, mult);
+  std::vector<std::vector<double>> brute = BruteForceStagePareto(sets, mult);
+  ASSERT_FALSE(general.empty());
+  for (const GeneralStagePoint& g : general) {
+    bool on_frontier = false;
+    for (const std::vector<double>& b : brute) {
+      if (std::abs(b[0] - g.objectives[0]) < 1e-9 &&
+          std::abs(b[1] - g.objectives[1]) < 1e-9) {
+        on_frontier = true;
+      }
+    }
+    EXPECT_TRUE(on_frontier) << g.objectives[0] << "," << g.objectives[1];
+  }
+  // For the 2D max+sum case, Algorithm 2 actually recovers the whole set.
+  EXPECT_EQ(general.size(), brute.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RaaPathProperty,
+                         ::testing::Range<uint64_t>(1, 16));
+
+TEST(GeneralMooTest, ThreeObjectivesWithTwoSums) {
+  // Appendix E.3's worked example: two instances, objectives
+  // (max, sum, sum).
+  std::vector<std::vector<std::vector<double>>> solutions = {
+      {{15, 10, 5}, {20, 15, 2}},
+      {{30, 5, 15}, {40, 10, 5}},
+  };
+  GeneralMooOptions options;
+  options.sum_weight_vectors = {{0.5, 0.5}};
+  std::vector<GeneralStagePoint> result = GeneralHierarchicalMoo(
+      solutions, {true, false, false}, {1.0, 1.0}, options);
+  // Expected stage-level MOO set: [[30,15,20],[40,20,10]].
+  ASSERT_EQ(result.size(), 2u);
+  std::sort(result.begin(), result.end(),
+            [](const auto& a, const auto& b) {
+              return a.objectives[0] < b.objectives[0];
+            });
+  EXPECT_EQ(result[0].objectives, (std::vector<double>{30, 15, 20}));
+  EXPECT_EQ(result[1].objectives, (std::vector<double>{40, 20, 10}));
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end schedulers on a real (tiny) pipeline
+// ---------------------------------------------------------------------------
+
+class SchedulerFixture : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    ExperimentEnv::Options options;
+    options.workload = WorkloadId::kA;
+    options.scale = 0.05;
+    options.train.epochs = 3;
+    options.train.max_train_samples = 4000;
+    options.seed = 77;
+    Result<std::unique_ptr<ExperimentEnv>> env = ExperimentEnv::Build(options);
+    ASSERT_TRUE(env.ok()) << env.status().ToString();
+    env_ = std::move(env).value().release();
+    cluster_ = new Cluster(ClusterOptions{.num_machines = 48, .seed = 21});
+  }
+
+  SchedulingContext MakeContext(const Stage& stage) {
+    SchedulingContext context;
+    context.stage = &stage;
+    context.cluster = cluster_;
+    context.model = &env_->model();
+    Hbo hbo;
+    context.theta0 = hbo.Recommend(stage).theta0;
+    return context;
+  }
+
+  const Stage& SomeStage(int min_instances = 8) {
+    for (const Job& job : env_->workload().jobs) {
+      for (const Stage& stage : job.stages) {
+        if (stage.instance_count() >= min_instances) return stage;
+      }
+    }
+    return env_->workload().jobs.front().stages.front();
+  }
+
+  static ExperimentEnv* env_;
+  static Cluster* cluster_;
+};
+
+ExperimentEnv* SchedulerFixture::env_ = nullptr;
+Cluster* SchedulerFixture::cluster_ = nullptr;
+
+void ExpectValidDecision(const StageDecision& decision, const Stage& stage,
+                         const Cluster& cluster) {
+  ASSERT_TRUE(decision.feasible);
+  ASSERT_EQ(decision.machine_of_instance.size(),
+            static_cast<size_t>(stage.instance_count()));
+  ASSERT_EQ(decision.theta_of_instance.size(),
+            static_cast<size_t>(stage.instance_count()));
+  for (int i = 0; i < stage.instance_count(); ++i) {
+    int machine = decision.machine_of_instance[static_cast<size_t>(i)];
+    EXPECT_GE(machine, 0);
+    EXPECT_LT(machine, cluster.size());
+    EXPECT_GT(decision.theta_of_instance[static_cast<size_t>(i)].cores, 0.0);
+  }
+}
+
+TEST_F(SchedulerFixture, FuxiProducesValidPlacement) {
+  const Stage& stage = SomeStage();
+  StageDecision decision = FuxiSchedule(MakeContext(stage));
+  ExpectValidDecision(decision, stage, *cluster_);
+  // Fuxi never touches the resource plan.
+  for (const ResourceConfig& theta : decision.theta_of_instance) {
+    EXPECT_TRUE(theta == decision.theta_of_instance[0]);
+  }
+}
+
+TEST_F(SchedulerFixture, IpaOrgProducesValidPlacement) {
+  const Stage& stage = SomeStage();
+  StageDecision decision = IpaSchedule(MakeContext(stage));
+  ExpectValidDecision(decision, stage, *cluster_);
+}
+
+TEST_F(SchedulerFixture, IpaClusteredGroupsPartitionInstances) {
+  const Stage& stage = SomeStage(16);
+  ClusteredIpaResult result = IpaClusteredSchedule(MakeContext(stage));
+  ExpectValidDecision(result.decision, stage, *cluster_);
+  std::vector<int> seen(static_cast<size_t>(stage.instance_count()), 0);
+  for (const FastMciGroup& group : result.groups) {
+    EXPECT_EQ(group.representative, group.instances.front());
+    for (int i : group.instances) seen[static_cast<size_t>(i)]++;
+  }
+  for (int count : seen) EXPECT_EQ(count, 1);
+  EXPECT_GT(result.num_instance_clusters, 0);
+  EXPECT_GT(result.num_machine_clusters, 0);
+}
+
+TEST_F(SchedulerFixture, IpaBeatsFuxiOnPredictedLatency) {
+  // On the model's own predictions (noise-free), IPA placement must not be
+  // worse than Fuxi — that is its defining property.
+  int stages_checked = 0;
+  double fuxi_total = 0.0, ipa_total = 0.0;
+  for (const Job& job : env_->workload().jobs) {
+    for (const Stage& stage : job.stages) {
+      if (stage.instance_count() < 4) continue;
+      if (++stages_checked > 8) break;
+      SchedulingContext context = MakeContext(stage);
+      StageDecision fuxi = FuxiSchedule(context);
+      StageDecision ipa = IpaSchedule(context);
+      if (!fuxi.feasible || !ipa.feasible) continue;
+      auto predicted_stage_latency = [&](const StageDecision& d) {
+        double mx = 0.0;
+        for (int i = 0; i < stage.instance_count(); ++i) {
+          const Machine& mach = cluster_->machine(
+              d.machine_of_instance[static_cast<size_t>(i)]);
+          Result<double> p = env_->model().Predict(
+              stage, i, context.theta0, mach.state(), mach.hardware().id);
+          mx = std::max(mx, p.ok() ? p.value() : 0.0);
+        }
+        return mx;
+      };
+      fuxi_total += predicted_stage_latency(fuxi);
+      ipa_total += predicted_stage_latency(ipa);
+    }
+  }
+  ASSERT_GT(stages_checked, 3);
+  EXPECT_LE(ipa_total, fuxi_total * 1.001);
+}
+
+TEST_F(SchedulerFixture, RaaProducesCapacityRespectingThetas) {
+  const Stage& stage = SomeStage(16);
+  SchedulingContext context = MakeContext(stage);
+  ClusteredIpaResult ipa = IpaClusteredSchedule(context);
+  ASSERT_TRUE(ipa.decision.feasible);
+  RaaResult raa = RunRaa(context, ipa.decision, &ipa.groups, RaaOptions{});
+  ASSERT_TRUE(raa.ok);
+  ASSERT_EQ(raa.theta_of_instance.size(),
+            static_cast<size_t>(stage.instance_count()));
+  // Frontier is mutually non-dominated and the pick is valid.
+  ASSERT_GE(raa.recommended_index, 0);
+  ASSERT_LT(raa.recommended_index,
+            static_cast<int>(raa.stage_pareto.size()));
+  for (size_t i = 0; i < raa.stage_pareto.size(); ++i) {
+    for (size_t j = 0; j < raa.stage_pareto.size(); ++j) {
+      EXPECT_FALSE(i != j &&
+                   Dominates(raa.stage_pareto[i], raa.stage_pareto[j]));
+    }
+  }
+  // Thetas stay within the machine's hardware capacity.
+  for (int i = 0; i < stage.instance_count(); ++i) {
+    const Machine& mach = cluster_->machine(
+        ipa.decision.machine_of_instance[static_cast<size_t>(i)]);
+    EXPECT_LE(raa.theta_of_instance[static_cast<size_t>(i)].cores,
+              mach.hardware().total_cores);
+  }
+}
+
+TEST_F(SchedulerFixture, RaaClusteringVariantsAllSucceed) {
+  const Stage& stage = SomeStage(16);
+  SchedulingContext context = MakeContext(stage);
+  ClusteredIpaResult ipa = IpaClusteredSchedule(context);
+  ASSERT_TRUE(ipa.decision.feasible);
+  for (RaaClustering clustering :
+       {RaaClustering::kNone, RaaClustering::kDbscan,
+        RaaClustering::kFastMci}) {
+    RaaOptions options;
+    options.clustering = clustering;
+    RaaResult raa = RunRaa(context, ipa.decision, &ipa.groups, options);
+    EXPECT_TRUE(raa.ok) << static_cast<int>(clustering);
+  }
+  // W/O_C has one group per instance.
+  RaaOptions none;
+  none.clustering = RaaClustering::kNone;
+  RaaResult raa = RunRaa(context, ipa.decision, nullptr, none);
+  EXPECT_EQ(raa.num_groups, stage.instance_count());
+}
+
+TEST_F(SchedulerFixture, RaaGeneralMatchesPathObjectives) {
+  const Stage& stage = SomeStage(16);
+  SchedulingContext context = MakeContext(stage);
+  ClusteredIpaResult ipa = IpaClusteredSchedule(context);
+  RaaOptions path_options, general_options;
+  general_options.algorithm = RaaAlgorithm::kGeneral;
+  RaaResult path = RunRaa(context, ipa.decision, &ipa.groups, path_options);
+  RaaResult general =
+      RunRaa(context, ipa.decision, &ipa.groups, general_options);
+  ASSERT_TRUE(path.ok && general.ok);
+  // Both compute the same stage frontier for 2 objectives.
+  ASSERT_EQ(path.stage_pareto.size(), general.stage_pareto.size());
+}
+
+TEST_F(SchedulerFixture, StageOptimizerPresetsRun) {
+  const Stage& stage = SomeStage();
+  SchedulingContext context = MakeContext(stage);
+  for (const StageOptimizer::Config& config :
+       {StageOptimizer::FuxiOnly(), StageOptimizer::IpaCluster(),
+        StageOptimizer::IpaRaaPath(), StageOptimizer::IpaRaaGeneral()}) {
+    StageOptimizer so(config);
+    StageDecision decision = so.Optimize(context);
+    EXPECT_TRUE(decision.feasible) << StageOptimizer::ConfigName(config);
+    EXPECT_GE(decision.solve_seconds, 0.0);
+  }
+}
+
+TEST_F(SchedulerFixture, ConfigNames) {
+  EXPECT_EQ(StageOptimizer::ConfigName(StageOptimizer::FuxiOnly()), "Fuxi");
+  EXPECT_EQ(StageOptimizer::ConfigName(StageOptimizer::IpaOrg()), "IPA(Org)");
+  EXPECT_EQ(StageOptimizer::ConfigName(StageOptimizer::IpaCluster()),
+            "IPA(Cluster)");
+  EXPECT_EQ(StageOptimizer::ConfigName(StageOptimizer::IpaRaaPath()),
+            "IPA+RAA(Path)");
+  EXPECT_EQ(StageOptimizer::ConfigName(StageOptimizer::IpaRaaDbscan()),
+            "IPA+RAA(DBSCAN)");
+  EXPECT_EQ(
+      StageOptimizer::ConfigName(StageOptimizer::IpaRaaWithoutClustering()),
+      "IPA+RAA(W/O_C)");
+}
+
+TEST_F(SchedulerFixture, MooBaselinesReturnDecisions) {
+  const Stage& stage = SomeStage(8);
+  SchedulingContext context = MakeContext(stage);
+  for (MooBaselineKind kind :
+       {MooBaselineKind::kEvo, MooBaselineKind::kWsSample,
+        MooBaselineKind::kPfMogd}) {
+    for (bool plan_b : {false, true}) {
+      MooBaselineOptions options;
+      options.kind = kind;
+      options.ipa_placement = plan_b;
+      options.time_limit_seconds = 10.0;
+      options.evo_population = 12;
+      options.evo_generations = 6;
+      options.ws_samples = 300;
+      options.pf_levels = 3;
+      StageDecision decision = RunMooBaseline(context, options);
+      EXPECT_GE(decision.solve_seconds, 0.0);
+      if (decision.feasible) {
+        ExpectValidDecision(decision, stage, *cluster_);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace fgro

@@ -1,0 +1,209 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "plan/dag_to_tree.h"
+#include "plan/job.h"
+#include "plan/stage.h"
+#include "test_util.h"
+
+namespace fgro {
+namespace {
+
+using testing_util::MakeChainStage;
+using testing_util::MakeJoinStage;
+
+TEST(OperatorTest, NamesCoverAllTypes) {
+  for (int t = 0; t < kNumOperatorTypes; ++t) {
+    EXPECT_STRNE(OperatorTypeName(static_cast<OperatorType>(t)), "Unknown");
+  }
+}
+
+TEST(OperatorTest, IoIntensiveSetMatchesPaper) {
+  // Expt 1 finds StreamLineWrite, TableScan and MergeJoin the top error
+  // sources — all must be flagged IO-intensive.
+  EXPECT_TRUE(IsIoIntensive(OperatorType::kStreamLineWrite));
+  EXPECT_TRUE(IsIoIntensive(OperatorType::kTableScan));
+  EXPECT_TRUE(IsIoIntensive(OperatorType::kMergeJoin));
+  EXPECT_FALSE(IsIoIntensive(OperatorType::kFilter));
+  EXPECT_FALSE(IsIoIntensive(OperatorType::kHashAgg));
+}
+
+TEST(StageTest, LeavesAndRoots) {
+  Stage stage = MakeJoinStage();
+  std::vector<int> leaves = stage.LeafOperators();
+  EXPECT_EQ(leaves, (std::vector<int>{0, 1}));
+  EXPECT_EQ(stage.RootOperators(), (std::vector<int>{4}));
+}
+
+TEST(StageTest, TopologicalOrderRespectsEdges) {
+  Stage stage = MakeJoinStage();
+  Result<std::vector<int>> topo = stage.TopologicalOrder();
+  ASSERT_TRUE(topo.ok());
+  std::vector<int> pos(stage.operators.size());
+  for (size_t i = 0; i < topo.value().size(); ++i) {
+    pos[static_cast<size_t>(topo.value()[i])] = static_cast<int>(i);
+  }
+  for (const Operator& op : stage.operators) {
+    for (int c : op.children) {
+      EXPECT_LT(pos[static_cast<size_t>(c)], pos[static_cast<size_t>(op.id)]);
+    }
+  }
+}
+
+TEST(StageTest, CycleDetected) {
+  Stage stage = MakeChainStage();
+  stage.operators[0].children.push_back(2);  // scan depends on the sink
+  EXPECT_FALSE(stage.TopologicalOrder().ok());
+}
+
+TEST(StageTest, DanglingChildDetected) {
+  Stage stage = MakeChainStage();
+  stage.operators[1].children.push_back(99);
+  EXPECT_FALSE(stage.TopologicalOrder().ok());
+}
+
+TEST(StageTest, ValidateAcceptsWellFormed) {
+  EXPECT_TRUE(MakeChainStage().Validate().ok());
+  EXPECT_TRUE(MakeJoinStage().Validate().ok());
+}
+
+TEST(StageTest, ValidateRejectsBadFractions) {
+  Stage stage = MakeChainStage();
+  stage.instances[0].input_fraction += 0.5;
+  EXPECT_FALSE(stage.Validate().ok());
+}
+
+TEST(StageTest, ValidateRejectsEmpty) {
+  Stage stage;
+  EXPECT_FALSE(stage.Validate().ok());
+  stage = MakeChainStage();
+  stage.instances.clear();
+  EXPECT_FALSE(stage.Validate().ok());
+}
+
+TEST(StageTest, EstimatedInputAggregatesLeaves) {
+  Stage stage = MakeJoinStage();
+  EXPECT_DOUBLE_EQ(stage.EstimatedInputRows(), 7.0e5);
+  EXPECT_DOUBLE_EQ(stage.EstimatedInputBytes(), 7.0e5 * 80.0);
+}
+
+Job MakeDiamondJob() {
+  Job job;
+  job.stages.resize(4);
+  for (int s = 0; s < 4; ++s) {
+    job.stages[static_cast<size_t>(s)] = MakeChainStage();
+    job.stages[static_cast<size_t>(s)].id = s;
+  }
+  job.stage_deps = {{}, {0}, {0}, {1, 2}};
+  return job;
+}
+
+TEST(JobTest, TopologicalOrder) {
+  Job job = MakeDiamondJob();
+  Result<std::vector<int>> topo = job.TopologicalOrder();
+  ASSERT_TRUE(topo.ok());
+  EXPECT_EQ(topo.value().front(), 0);
+  EXPECT_EQ(topo.value().back(), 3);
+}
+
+TEST(JobTest, CyclicDependencyRejected) {
+  Job job = MakeDiamondJob();
+  job.stage_deps[0] = {3};
+  EXPECT_FALSE(job.TopologicalOrder().ok());
+  EXPECT_FALSE(job.Validate().ok());
+}
+
+TEST(JobTest, ValidateAcceptsDiamond) {
+  EXPECT_TRUE(MakeDiamondJob().Validate().ok());
+}
+
+TEST(DagToTreeTest, ChainIsUnchanged) {
+  Stage stage = MakeChainStage();
+  Result<PlanTree> tree = ConvertDagToTree(stage);
+  ASSERT_TRUE(tree.ok());
+  EXPECT_EQ(tree.value().size(), 3);
+  EXPECT_EQ(tree.value().nodes[static_cast<size_t>(tree.value().root)].op_id,
+            2);  // root is the StreamLineWrite
+}
+
+TEST(DagToTreeTest, MultiParentForksSubtree) {
+  // Diamond inside a stage: scan feeds two filters, both feed a join.
+  Stage stage;
+  auto add = [&stage](OperatorType type, std::vector<int> children) {
+    Operator op;
+    op.id = stage.operator_count();
+    op.type = type;
+    op.children = std::move(children);
+    stage.operators.push_back(op);
+  };
+  add(OperatorType::kTableScan, {});
+  add(OperatorType::kFilter, {0});
+  add(OperatorType::kProject, {0});
+  add(OperatorType::kHashJoin, {1, 2});
+  stage.instances.resize(1);
+  stage.instances[0].input_fraction = 1.0;
+
+  Result<PlanTree> tree = ConvertDagToTree(stage);
+  ASSERT_TRUE(tree.ok());
+  // The scan (op 0) appears twice after forking: 5 nodes total.
+  EXPECT_EQ(tree.value().size(), 5);
+  int scan_count = 0;
+  for (const PlanTreeNode& node : tree.value().nodes) {
+    if (node.op_id == 0) ++scan_count;
+  }
+  EXPECT_EQ(scan_count, 2);
+}
+
+TEST(DagToTreeTest, MultiRootGetsArtificialRoot) {
+  Stage stage;
+  auto add = [&stage](OperatorType type, std::vector<int> children) {
+    Operator op;
+    op.id = stage.operator_count();
+    op.type = type;
+    op.children = std::move(children);
+    stage.operators.push_back(op);
+  };
+  add(OperatorType::kTableScan, {});
+  add(OperatorType::kStreamLineWrite, {0});
+  add(OperatorType::kStreamLineWrite, {0});
+  stage.instances.resize(1);
+  stage.instances[0].input_fraction = 1.0;
+
+  Result<PlanTree> tree = ConvertDagToTree(stage);
+  ASSERT_TRUE(tree.ok());
+  const PlanTree& t = tree.value();
+  EXPECT_EQ(t.nodes[static_cast<size_t>(t.root)].op_id,
+            PlanTreeNode::kArtificialRoot);
+  EXPECT_EQ(t.nodes[static_cast<size_t>(t.root)].children.size(), 2u);
+}
+
+TEST(DagToTreeTest, ForkExplosionIsCapped) {
+  // A ladder of shared nodes doubles on every fork; with a tiny cap the
+  // conversion must fail gracefully rather than blow up.
+  Stage stage;
+  auto add = [&stage](OperatorType type, std::vector<int> children) {
+    Operator op;
+    op.id = stage.operator_count();
+    op.type = type;
+    op.children = std::move(children);
+    stage.operators.push_back(op);
+  };
+  add(OperatorType::kTableScan, {});
+  for (int level = 0; level < 12; ++level) {
+    int prev = stage.operator_count() - 1;
+    add(OperatorType::kProject, {prev});
+    add(OperatorType::kFilter, {prev});
+    add(OperatorType::kHashJoin,
+        {stage.operator_count() - 2, stage.operator_count() - 1});
+  }
+  stage.instances.resize(1);
+  stage.instances[0].input_fraction = 1.0;
+
+  Result<PlanTree> tree = ConvertDagToTree(stage, /*max_nodes=*/256);
+  EXPECT_FALSE(tree.ok());
+  EXPECT_EQ(tree.status().code(), StatusCode::kResourceExhausted);
+}
+
+}  // namespace
+}  // namespace fgro

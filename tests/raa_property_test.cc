@@ -1,0 +1,192 @@
+// Deeper property tests of the hierarchical MOO algorithms: edge cases
+// (single instance, single-solution sets, multiplicities) and the general
+// algorithm under three objectives with different max/sum splits, verified
+// against exhaustive enumeration.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/rng.h"
+#include "moo/pareto.h"
+#include "optimizer/raa_general.h"
+#include "optimizer/raa_path.h"
+
+namespace fgro {
+namespace {
+
+std::vector<std::vector<double>> EnumeratePareto(
+    const std::vector<std::vector<std::vector<double>>>& solutions,
+    const std::vector<bool>& is_max, const std::vector<double>& multiplicity) {
+  const size_t m = solutions.size();
+  const size_t k = is_max.size();
+  std::vector<std::vector<double>> all;
+  std::vector<size_t> choice(m, 0);
+  while (true) {
+    std::vector<double> objs(k, 0.0);
+    for (size_t i = 0; i < m; ++i) {
+      for (size_t v = 0; v < k; ++v) {
+        double x = solutions[i][choice[i]][v];
+        if (is_max[v]) {
+          objs[v] = std::max(objs[v], x);
+        } else {
+          objs[v] += x * multiplicity[i];
+        }
+      }
+    }
+    all.push_back(std::move(objs));
+    size_t pos = 0;
+    while (pos < m && ++choice[pos] >= solutions[pos].size()) choice[pos++] = 0;
+    if (pos >= m) break;
+  }
+  std::vector<std::vector<double>> pareto;
+  for (int idx : ParetoFilter(all)) pareto.push_back(all[static_cast<size_t>(idx)]);
+  std::sort(pareto.begin(), pareto.end());
+  return pareto;
+}
+
+TEST(RaaPathEdgeTest, SingleInstanceReturnsItsWholeFrontier) {
+  std::vector<std::vector<InstanceParetoPoint>> sets = {
+      {{{}, 100, 1}, {{}, 50, 2}, {{}, 25, 4}}};
+  std::vector<StageParetoPoint> result = RaaPath(sets, {1.0});
+  ASSERT_EQ(result.size(), 3u);
+  EXPECT_DOUBLE_EQ(result[0].latency, 100);
+  EXPECT_DOUBLE_EQ(result[2].latency, 25);
+}
+
+TEST(RaaPathEdgeTest, AllSingletonSetsYieldOnePoint) {
+  std::vector<std::vector<InstanceParetoPoint>> sets = {
+      {{{}, 100, 1}}, {{{}, 60, 2}}, {{{}, 40, 1}}};
+  std::vector<StageParetoPoint> result = RaaPath(sets, {1.0, 1.0, 1.0});
+  ASSERT_EQ(result.size(), 1u);
+  EXPECT_DOUBLE_EQ(result[0].latency, 100);
+  EXPECT_DOUBLE_EQ(result[0].cost, 4);
+}
+
+TEST(RaaPathEdgeTest, MultiplicityScalesCostOnly) {
+  std::vector<std::vector<InstanceParetoPoint>> sets = {
+      {{{}, 100, 1}, {{}, 50, 2}}};
+  std::vector<StageParetoPoint> x1 = RaaPath(sets, {1.0});
+  std::vector<StageParetoPoint> x10 = RaaPath(sets, {10.0});
+  ASSERT_EQ(x1.size(), x10.size());
+  for (size_t i = 0; i < x1.size(); ++i) {
+    EXPECT_DOUBLE_EQ(x1[i].latency, x10[i].latency);
+    EXPECT_DOUBLE_EQ(x10[i].cost, 10 * x1[i].cost);
+  }
+}
+
+TEST(RaaPathEdgeTest, TiedLatenciesAcrossInstances) {
+  // Two instances sharing the same top latency: the path must pop both
+  // before recording the next frontier point.
+  std::vector<std::vector<InstanceParetoPoint>> sets = {
+      {{{}, 100, 1}, {{}, 40, 3}},
+      {{{}, 100, 2}, {{}, 30, 5}},
+  };
+  std::vector<StageParetoPoint> result = RaaPath(sets, {1.0, 1.0});
+  // Frontier: (100, 3) then (40, 8).
+  ASSERT_EQ(result.size(), 2u);
+  EXPECT_DOUBLE_EQ(result[0].latency, 100);
+  EXPECT_DOUBLE_EQ(result[0].cost, 3);
+  EXPECT_DOUBLE_EQ(result[1].latency, 40);
+  EXPECT_DOUBLE_EQ(result[1].cost, 8);
+}
+
+class GeneralMooProperty : public ::testing::TestWithParam<uint64_t> {};
+
+std::vector<std::vector<std::vector<double>>> RandomSolutions(Rng* rng, int m,
+                                                              int k) {
+  std::vector<std::vector<std::vector<double>>> solutions(
+      static_cast<size_t>(m));
+  for (auto& set : solutions) {
+    int p = static_cast<int>(rng->UniformInt(1, 3));
+    for (int j = 0; j < p; ++j) {
+      std::vector<double> sol(static_cast<size_t>(k));
+      for (int v = 0; v < k; ++v) {
+        sol[static_cast<size_t>(v)] = std::round(rng->Uniform(1.0, 50.0));
+      }
+      set.push_back(std::move(sol));
+    }
+  }
+  return solutions;
+}
+
+TEST_P(GeneralMooProperty, ThreeObjectivesOneMaxTwoSum) {
+  Rng rng(GetParam());
+  int m = static_cast<int>(rng.UniformInt(1, 4));
+  auto solutions = RandomSolutions(&rng, m, 3);
+  std::vector<bool> is_max = {true, false, false};
+  std::vector<double> mult(static_cast<size_t>(m), 1.0);
+  GeneralMooOptions options;
+  // A dense weight sweep so find_optimal can reach every frontier point.
+  for (int w = 0; w <= 10; ++w) {
+    options.sum_weight_vectors.push_back({w / 10.0, 1.0 - w / 10.0});
+  }
+  std::vector<GeneralStagePoint> result =
+      GeneralHierarchicalMoo(solutions, is_max, mult, options);
+  std::vector<std::vector<double>> brute =
+      EnumeratePareto(solutions, is_max, mult);
+  ASSERT_FALSE(result.empty());
+  // Proposition 5.1: every returned point is Pareto optimal.
+  for (const GeneralStagePoint& point : result) {
+    bool found = false;
+    for (const std::vector<double>& b : brute) {
+      if (b == point.objectives) found = true;
+    }
+    EXPECT_TRUE(found);
+  }
+}
+
+TEST_P(GeneralMooProperty, ThreeObjectivesTwoMaxOneSum) {
+  Rng rng(GetParam() + 400);
+  int m = static_cast<int>(rng.UniformInt(1, 3));
+  auto solutions = RandomSolutions(&rng, m, 3);
+  std::vector<bool> is_max = {true, true, false};
+  std::vector<double> mult(static_cast<size_t>(m), 2.0);
+  std::vector<GeneralStagePoint> result =
+      GeneralHierarchicalMoo(solutions, is_max, mult);
+  std::vector<std::vector<double>> brute =
+      EnumeratePareto(solutions, is_max, mult);
+  ASSERT_FALSE(result.empty());
+  for (const GeneralStagePoint& point : result) {
+    bool found = false;
+    for (const std::vector<double>& b : brute) {
+      if (b == point.objectives) found = true;
+    }
+    EXPECT_TRUE(found);
+  }
+  // With a single sum objective, the enumeration of max-value combinations
+  // recovers the FULL frontier.
+  EXPECT_EQ(result.size(), brute.size());
+}
+
+TEST_P(GeneralMooProperty, ChoicesReproduceObjectives) {
+  Rng rng(GetParam() + 800);
+  int m = static_cast<int>(rng.UniformInt(2, 4));
+  auto solutions = RandomSolutions(&rng, m, 2);
+  std::vector<bool> is_max = {true, false};
+  std::vector<double> mult;
+  for (int i = 0; i < m; ++i) {
+    mult.push_back(static_cast<double>(rng.UniformInt(1, 9)));
+  }
+  for (const GeneralStagePoint& point :
+       GeneralHierarchicalMoo(solutions, is_max, mult)) {
+    double max_obj = 0.0, sum_obj = 0.0;
+    for (int i = 0; i < m; ++i) {
+      const std::vector<double>& chosen =
+          solutions[static_cast<size_t>(i)]
+                   [static_cast<size_t>(point.choice[static_cast<size_t>(i)])];
+      max_obj = std::max(max_obj, chosen[0]);
+      sum_obj += chosen[1] * mult[static_cast<size_t>(i)];
+    }
+    EXPECT_DOUBLE_EQ(max_obj, point.objectives[0]);
+    EXPECT_DOUBLE_EQ(sum_obj, point.objectives[1]);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GeneralMooProperty,
+                         ::testing::Range<uint64_t>(1, 13));
+
+}  // namespace
+}  // namespace fgro

@@ -1,0 +1,163 @@
+// Edge cases of the schedulers: exhausted clusters, capacity math, single
+// instances, infeasible placements — the paths Table 2's coverage column
+// depends on.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "hbo/hbo.h"
+#include "optimizer/fuxi.h"
+#include "optimizer/ipa.h"
+#include "optimizer/ipa_clustered.h"
+#include "optimizer/raa.h"
+#include "sim/experiment_env.h"
+#include "test_util.h"
+
+namespace fgro {
+namespace {
+
+using testing_util::MakeChainStage;
+
+TEST(CapacityMathTest, InstanceCapacityTakesTheMinimum) {
+  Machine machine(0, &DefaultHardwareCatalog()[0], 0.3, 1);  // 32 cores, 128G
+  EXPECT_EQ(InstanceCapacity(machine, {4, 8}, /*alpha=*/100), 8);   // cores
+  EXPECT_EQ(InstanceCapacity(machine, {1, 64}, /*alpha=*/100), 2);  // memory
+  EXPECT_EQ(InstanceCapacity(machine, {1, 1}, /*alpha=*/3), 3);     // alpha
+  // Partially allocated machine.
+  ASSERT_TRUE(machine.Allocate({30, 0.5}));
+  EXPECT_EQ(InstanceCapacity(machine, {4, 8}, 100), 0);
+}
+
+TEST(CapacityMathTest, ResolveAlpha) {
+  EXPECT_EQ(ResolveAlpha(7, 100, 10), 7);          // explicit wins
+  EXPECT_EQ(ResolveAlpha(0, 100, 10), 20);         // 2 * ceil(100/10)
+  EXPECT_EQ(ResolveAlpha(0, 5, 10), 2);            // 2 * ceil(5/10)
+  EXPECT_GE(ResolveAlpha(0, 1000, 3), 1000 / 3);   // always >= ceil(m/n)
+}
+
+class TinyModelFixture : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    ExperimentEnv::Options options;
+    options.workload = WorkloadId::kA;
+    options.scale = 0.03;
+    options.train.epochs = 1;
+    options.train.max_train_samples = 800;
+    options.seed = 123;
+    Result<std::unique_ptr<ExperimentEnv>> env = ExperimentEnv::Build(options);
+    ASSERT_TRUE(env.ok());
+    env_ = std::move(env).value().release();
+  }
+  static ExperimentEnv* env_;
+};
+
+ExperimentEnv* TinyModelFixture::env_ = nullptr;
+
+SchedulingContext MakeContext(const Stage& stage, Cluster* cluster,
+                              const LatencyModel* model) {
+  SchedulingContext context;
+  context.stage = &stage;
+  context.cluster = cluster;
+  context.model = model;
+  Hbo hbo;
+  context.theta0 = hbo.Recommend(stage).theta0;
+  return context;
+}
+
+TEST_F(TinyModelFixture, FuxiInfeasibleOnExhaustedCluster) {
+  Cluster cluster(ClusterOptions{.num_machines = 4, .seed = 2});
+  for (int i = 0; i < cluster.size(); ++i) {
+    Machine& machine = cluster.machine(i);
+    ASSERT_TRUE(machine.Allocate(
+        {machine.available_cores(), machine.available_memory_gb()}));
+  }
+  const Stage& stage = env_->workload().jobs[0].stages[0];
+  SchedulingContext context = MakeContext(stage, &cluster, &env_->model());
+  EXPECT_FALSE(FuxiSchedule(context).feasible);
+  EXPECT_FALSE(IpaSchedule(context).feasible);
+  EXPECT_FALSE(IpaClusteredSchedule(context).decision.feasible);
+}
+
+TEST_F(TinyModelFixture, IpaInfeasibleWhenStageExceedsClusterCapacity) {
+  // 2 machines with alpha=1 can host at most 2 instances.
+  Cluster cluster(ClusterOptions{.num_machines = 2, .seed = 3});
+  Stage stage = MakeChainStage(/*m=*/8);
+  SchedulingContext context = MakeContext(stage, &cluster, &env_->model());
+  context.alpha = 1;
+  EXPECT_FALSE(IpaSchedule(context).feasible);
+  EXPECT_FALSE(IpaClusteredSchedule(context).decision.feasible);
+}
+
+TEST_F(TinyModelFixture, SingleInstanceStageSchedules) {
+  Cluster cluster(ClusterOptions{.num_machines = 8, .seed = 5});
+  Stage stage = MakeChainStage(/*m=*/1);
+  SchedulingContext context = MakeContext(stage, &cluster, &env_->model());
+  StageDecision ipa = IpaSchedule(context);
+  ASSERT_TRUE(ipa.feasible);
+  ClusteredIpaResult clustered = IpaClusteredSchedule(context);
+  ASSERT_TRUE(clustered.decision.feasible);
+  EXPECT_EQ(clustered.groups.size(), 1u);
+  RaaResult raa =
+      RunRaa(context, clustered.decision, &clustered.groups, RaaOptions{});
+  EXPECT_TRUE(raa.ok);
+  EXPECT_EQ(raa.theta_of_instance.size(), 1u);
+}
+
+TEST_F(TinyModelFixture, RaaOnInfeasiblePlacementFails) {
+  Cluster cluster(ClusterOptions{.num_machines = 8, .seed = 6});
+  Stage stage = MakeChainStage(4);
+  SchedulingContext context = MakeContext(stage, &cluster, &env_->model());
+  StageDecision infeasible;  // default: feasible = false
+  RaaResult raa = RunRaa(context, infeasible, nullptr, RaaOptions{});
+  EXPECT_FALSE(raa.ok);
+}
+
+TEST_F(TinyModelFixture, IpaSpreadsInstancesUnderAutoAlpha) {
+  Cluster cluster(ClusterOptions{.num_machines = 32, .seed = 7});
+  Stage stage = MakeChainStage(/*m=*/16);
+  SchedulingContext context = MakeContext(stage, &cluster, &env_->model());
+  StageDecision decision = IpaSchedule(context);
+  ASSERT_TRUE(decision.feasible);
+  std::map<int, int> per_machine;
+  for (int machine : decision.machine_of_instance) per_machine[machine]++;
+  int alpha = ResolveAlpha(0, 16, 32);
+  for (const auto& [machine, count] : per_machine) {
+    EXPECT_LE(count, alpha);
+  }
+}
+
+TEST_F(TinyModelFixture, RaaThetasComeFromCatalogWindow) {
+  Cluster cluster(ClusterOptions{.num_machines = 24, .seed = 8});
+  const Stage* stage = nullptr;
+  for (const Job& job : env_->workload().jobs) {
+    for (const Stage& s : job.stages) {
+      if (s.instance_count() >= 8) {
+        stage = &s;
+        break;
+      }
+    }
+    if (stage != nullptr) break;
+  }
+  ASSERT_NE(stage, nullptr);
+  SchedulingContext context = MakeContext(*stage, &cluster, &env_->model());
+  ClusteredIpaResult ipa = IpaClusteredSchedule(context);
+  ASSERT_TRUE(ipa.decision.feasible);
+  RaaResult raa = RunRaa(context, ipa.decision, &ipa.groups, RaaOptions{});
+  ASSERT_TRUE(raa.ok);
+  for (const ResourceConfig& theta : raa.theta_of_instance) {
+    // Within the exploration window around theta0 and from the catalog.
+    EXPECT_GE(theta.cores,
+              context.theta0.cores * kPlanExplorationLow - 1e-9);
+    EXPECT_LE(theta.cores,
+              context.theta0.cores * kPlanExplorationHigh + 1e-9);
+    bool in_catalog = false;
+    for (const ResourceConfig& c : Hbo::ResourcePlanCatalog()) {
+      if (c == theta || theta == context.theta0) in_catalog = true;
+    }
+    EXPECT_TRUE(in_catalog);
+  }
+}
+
+}  // namespace
+}  // namespace fgro

@@ -1,0 +1,84 @@
+#ifndef FGRO_TESTS_TEST_UTIL_H_
+#define FGRO_TESTS_TEST_UTIL_H_
+
+#include <vector>
+
+#include "plan/stage.h"
+
+namespace fgro {
+namespace testing_util {
+
+/// A 3-operator chain: TableScan -> Filter -> StreamLineWrite, with simple
+/// round statistics and `m` equal instances. Used wherever a test needs a
+/// minimal valid stage.
+inline Stage MakeChainStage(int m = 4, double scan_rows = 1.0e6,
+                            double filter_selectivity = 0.5) {
+  Stage stage;
+  auto add = [&stage](OperatorType type, std::vector<int> children) -> Operator& {
+    Operator op;
+    op.id = stage.operator_count();
+    op.type = type;
+    op.children = std::move(children);
+    stage.operators.push_back(op);
+    return stage.operators.back();
+  };
+  Operator& scan = add(OperatorType::kTableScan, {});
+  scan.truth = {scan_rows, scan_rows, 1.0, 100.0, 0.0};
+  scan.estimate = scan.truth;
+  Operator& filter = add(OperatorType::kFilter, {0});
+  filter.truth = {scan_rows, scan_rows * filter_selectivity,
+                  filter_selectivity, 100.0, 0.0};
+  filter.estimate = filter.truth;
+  Operator& write = add(OperatorType::kStreamLineWrite, {1});
+  write.truth = {filter.truth.output_rows, filter.truth.output_rows, 1.0,
+                 100.0, 0.0};
+  write.estimate = write.truth;
+
+  stage.instances.resize(static_cast<size_t>(m));
+  for (int i = 0; i < m; ++i) {
+    InstanceMeta& meta = stage.instances[static_cast<size_t>(i)];
+    meta.input_fraction = 1.0 / m;
+    meta.input_rows = scan_rows / m;
+    meta.input_bytes = meta.input_rows * 100.0;
+    meta.hidden_skew = 1.0;
+  }
+  return stage;
+}
+
+/// A diamond DAG: two scans joined, then aggregated, then written. Exercises
+/// multi-leaf and binary-operator paths.
+inline Stage MakeJoinStage(int m = 4) {
+  Stage stage;
+  auto add = [&stage](OperatorType type, std::vector<int> children,
+                      double in_rows, double sel) {
+    Operator op;
+    op.id = stage.operator_count();
+    op.type = type;
+    op.children = std::move(children);
+    op.truth = {in_rows, in_rows * sel, sel, 80.0, 0.0};
+    op.estimate = op.truth;
+    stage.operators.push_back(op);
+  };
+  add(OperatorType::kTableScan, {}, 5.0e5, 1.0);        // 0
+  add(OperatorType::kStreamLineRead, {}, 2.0e5, 1.0);   // 1
+  add(OperatorType::kHashJoin, {0, 1}, 7.0e5, 0.4);     // 2
+  add(OperatorType::kHashAgg, {2}, 2.8e5, 0.1);         // 3
+  add(OperatorType::kStreamLineWrite, {3}, 2.8e4, 1.0); // 4
+
+  stage.instances.resize(static_cast<size_t>(m));
+  double rows = 7.0e5;
+  for (int i = 0; i < m; ++i) {
+    InstanceMeta& meta = stage.instances[static_cast<size_t>(i)];
+    // Mildly skewed fractions that still sum to 1.
+    meta.input_fraction = (i + 1) * 2.0 / (m * (m + 1.0));
+    meta.input_rows = rows * meta.input_fraction;
+    meta.input_bytes = meta.input_rows * 80.0;
+    meta.hidden_skew = 1.0;
+  }
+  return stage;
+}
+
+}  // namespace testing_util
+}  // namespace fgro
+
+#endif  // FGRO_TESTS_TEST_UTIL_H_

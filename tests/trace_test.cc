@@ -1,0 +1,206 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "trace/data_split.h"
+#include "trace/trace_collector.h"
+#include "trace/workload_gen.h"
+
+namespace fgro {
+namespace {
+
+class WorkloadGenTest
+    : public ::testing::TestWithParam<WorkloadId> {};
+
+TEST_P(WorkloadGenTest, GeneratesValidJobs) {
+  WorkloadProfile profile = GetWorkloadProfile(GetParam(), /*scale=*/0.08);
+  WorkloadGenerator gen(profile);
+  Result<Workload> workload = gen.Generate();
+  ASSERT_TRUE(workload.ok()) << workload.status().ToString();
+  EXPECT_EQ(static_cast<int>(workload->jobs.size()), profile.num_jobs);
+  double prev_arrival = -1.0;
+  for (const Job& job : workload->jobs) {
+    EXPECT_TRUE(job.Validate().ok());
+    EXPECT_GE(job.arrival_time, prev_arrival);
+    prev_arrival = job.arrival_time;
+    EXPECT_LE(job.stage_count(), profile.max_stages_per_job);
+  }
+}
+
+TEST_P(WorkloadGenTest, InstanceFractionsSumToOne) {
+  WorkloadGenerator gen(GetWorkloadProfile(GetParam(), 0.05));
+  Result<Workload> workload = gen.Generate();
+  ASSERT_TRUE(workload.ok());
+  for (const Job& job : workload->jobs) {
+    for (const Stage& stage : job.stages) {
+      double total = 0.0;
+      for (const InstanceMeta& meta : stage.instances) {
+        total += meta.input_fraction;
+        EXPECT_GT(meta.hidden_skew, 0.0);
+        EXPECT_GE(meta.input_rows, 0.0);
+      }
+      EXPECT_NEAR(total, 1.0, 1e-6);
+    }
+  }
+}
+
+TEST_P(WorkloadGenTest, RecurringTemplatesDominate) {
+  WorkloadProfile profile = GetWorkloadProfile(GetParam(), 0.2);
+  WorkloadGenerator gen(profile);
+  Result<Workload> workload = gen.Generate();
+  ASSERT_TRUE(workload.ok());
+  std::set<int> templates;
+  for (const Job& job : workload->jobs) {
+    for (const Stage& stage : job.stages) templates.insert(stage.template_id);
+  }
+  // Far fewer distinct stage templates than stages: jobs recur.
+  EXPECT_LT(static_cast<int>(templates.size()), workload->TotalStages());
+}
+
+TEST_P(WorkloadGenTest, Deterministic) {
+  WorkloadProfile profile = GetWorkloadProfile(GetParam(), 0.05);
+  Result<Workload> a = WorkloadGenerator(profile).Generate();
+  Result<Workload> b = WorkloadGenerator(profile).Generate();
+  ASSERT_TRUE(a.ok() && b.ok());
+  ASSERT_EQ(a->jobs.size(), b->jobs.size());
+  for (size_t j = 0; j < a->jobs.size(); ++j) {
+    EXPECT_DOUBLE_EQ(a->jobs[j].arrival_time, b->jobs[j].arrival_time);
+    ASSERT_EQ(a->jobs[j].stage_count(), b->jobs[j].stage_count());
+    for (int s = 0; s < a->jobs[j].stage_count(); ++s) {
+      EXPECT_EQ(a->jobs[j].stages[static_cast<size_t>(s)].instance_count(),
+                b->jobs[j].stages[static_cast<size_t>(s)].instance_count());
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllWorkloads, WorkloadGenTest,
+                         ::testing::Values(WorkloadId::kA, WorkloadId::kB,
+                                           WorkloadId::kC),
+                         [](const auto& info) {
+                           return std::string(WorkloadName(info.param));
+                         });
+
+TEST(WorkloadProfileTest, ShapesMatchTableOne) {
+  WorkloadProfile a = GetWorkloadProfile(WorkloadId::kA);
+  WorkloadProfile b = GetWorkloadProfile(WorkloadId::kB);
+  WorkloadProfile c = GetWorkloadProfile(WorkloadId::kC);
+  // A has the most jobs; B the most complex DAGs; C the widest stages.
+  EXPECT_GT(a.num_jobs, b.num_jobs);
+  EXPECT_GT(b.num_jobs, c.num_jobs);
+  EXPECT_GT(b.avg_stages_per_job, a.avg_stages_per_job);
+  EXPECT_GT(b.avg_ops_per_stage, a.avg_ops_per_stage);
+  EXPECT_GT(c.plan.leaf_rows_log_mean, a.plan.leaf_rows_log_mean);
+  // B is the noisiest environment (19% WMAPE in Table 3).
+  EXPECT_GT(b.env.noise_sigma, a.env.noise_sigma);
+  EXPECT_GT(b.env.noise_sigma, c.env.noise_sigma);
+}
+
+TEST(WorkloadProfileTest, ScaleAdjustsJobCount) {
+  EXPECT_EQ(GetWorkloadProfile(WorkloadId::kA, 0.5).num_jobs,
+            GetWorkloadProfile(WorkloadId::kA, 1.0).num_jobs / 2);
+  EXPECT_GE(GetWorkloadProfile(WorkloadId::kA, 0.0001).num_jobs, 4);
+}
+
+class TraceFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    WorkloadGenerator gen(GetWorkloadProfile(WorkloadId::kA, 0.08));
+    Result<Workload> w = gen.Generate();
+    ASSERT_TRUE(w.ok());
+    workload_ = std::move(w).value();
+    TraceCollector collector(ClusterOptions{.num_machines = 64, .seed = 9},
+                             /*seed=*/31);
+    Result<TraceDataset> d = collector.Collect(workload_);
+    ASSERT_TRUE(d.ok()) << d.status().ToString();
+    dataset_ = std::move(d).value();
+  }
+
+  Workload workload_;
+  TraceDataset dataset_;
+};
+
+TEST_F(TraceFixture, OneRecordPerInstance) {
+  EXPECT_EQ(static_cast<int>(dataset_.records.size()),
+            workload_.TotalInstances());
+}
+
+TEST_F(TraceFixture, RecordsAreConsistent) {
+  for (const InstanceRecord& r : dataset_.records) {
+    const Stage& stage = dataset_.StageOf(r);
+    EXPECT_GE(r.instance_idx, 0);
+    EXPECT_LT(r.instance_idx, stage.instance_count());
+    EXPECT_GT(r.actual_latency, 0.0);
+    EXPECT_GT(r.actual_cpu_seconds, 0.0);
+    EXPECT_GT(r.actual_cpu_seconds_star, 0.0);
+    EXPECT_LE(r.actual_cpu_seconds, r.actual_latency * 3.0);
+    EXPECT_EQ(r.op_seconds.size(), stage.operators.size());
+    EXPECT_GE(r.hardware_type, 0);
+    EXPECT_LT(r.hardware_type, 5);
+    EXPECT_GT(r.theta.cores, 0.0);
+    EXPECT_GT(r.machine_state.cpu_util, 0.0);
+    EXPECT_LT(r.machine_state.cpu_util, 1.0);
+  }
+}
+
+TEST_F(TraceFixture, ResourcePlansVaryAcrossTrace) {
+  std::set<std::pair<double, double>> plans;
+  for (const InstanceRecord& r : dataset_.records) {
+    plans.insert({r.theta.cores, r.theta.memory_gb});
+  }
+  // The paper observes 17-38 distinct plans; ours must be plural too.
+  EXPECT_GE(plans.size(), 4u);
+}
+
+TEST_F(TraceFixture, SplitIsDisjointAndComplete) {
+  Rng rng(7);
+  DataSplit split = SplitByTemplateFrequency(dataset_, &rng);
+  std::set<int> seen;
+  for (const std::vector<int>* part : {&split.train, &split.val, &split.test}) {
+    for (int idx : *part) {
+      EXPECT_TRUE(seen.insert(idx).second) << "duplicate index " << idx;
+      EXPECT_GE(idx, 0);
+      EXPECT_LT(idx, static_cast<int>(dataset_.records.size()));
+    }
+  }
+  EXPECT_EQ(seen.size(), dataset_.records.size());
+  EXPECT_GT(split.train.size(), split.val.size());
+  EXPECT_FALSE(split.val.empty());
+  EXPECT_FALSE(split.test.empty());
+}
+
+TEST_F(TraceFixture, TimeBucketsPartitionRecords) {
+  std::vector<std::vector<int>> buckets =
+      BucketRecordsByTime(dataset_, 6 * 3600.0);
+  size_t total = 0;
+  for (const std::vector<int>& b : buckets) total += b.size();
+  EXPECT_EQ(total, dataset_.records.size());
+  // Records within a bucket respect its window.
+  for (size_t b = 0; b < buckets.size(); ++b) {
+    for (int idx : buckets[b]) {
+      double t = dataset_.records[static_cast<size_t>(idx)].submit_time;
+      EXPECT_GE(t, static_cast<double>(b) * 6 * 3600.0 - 1e-6);
+    }
+  }
+}
+
+TEST_F(TraceFixture, LatencyDescBucketsAreSorted) {
+  std::vector<std::vector<int>> buckets =
+      BucketRecordsByStageLatencyDesc(dataset_, 10);
+  ASSERT_GE(buckets.size(), 2u);
+  auto stage_max = [&](const std::vector<int>& bucket) {
+    double mx = 0.0;
+    for (int idx : bucket) {
+      mx = std::max(mx, dataset_.records[static_cast<size_t>(idx)]
+                            .actual_latency);
+    }
+    return mx;
+  };
+  // First bucket holds the longest-running stages.
+  EXPECT_GE(stage_max(buckets.front()), stage_max(buckets.back()));
+  size_t total = 0;
+  for (const std::vector<int>& b : buckets) total += b.size();
+  EXPECT_EQ(total, dataset_.records.size());
+}
+
+}  // namespace
+}  // namespace fgro
