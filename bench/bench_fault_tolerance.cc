@@ -1,0 +1,97 @@
+// Fault-tolerance sweep: the same workload replayed under increasing
+// instance-failure probability (plus machine crashes, stragglers, and
+// model-server outages), comparing the model-free Fuxi baseline against
+// IPA+RAA(Path) with the graceful-degradation ladder armed. The claim under
+// test: the optimizer's benefit does not come at the price of robustness —
+// with the ladder it degrades no worse than Fuxi as faults mount, and with
+// faults disabled the replay is bit-identical to the happy-path simulator.
+
+#include <cstdio>
+#include <memory>
+
+#include "bench_util.h"
+#include "optimizer/fuxi.h"
+#include "optimizer/stage_optimizer.h"
+
+using namespace fgro;
+using namespace fgro::bench;
+
+namespace {
+
+FaultOptions SweepFaults(double instance_failure_prob) {
+  FaultOptions faults;
+  faults.enabled = instance_failure_prob > 0.0;
+  faults.instance_failure_prob = instance_failure_prob;
+  faults.machine_failure_rate_per_day = instance_failure_prob > 0.0 ? 4.0 : 0.0;
+  faults.machine_recovery_seconds = 1200.0;
+  faults.straggler_prob = instance_failure_prob / 2.0;
+  faults.straggler_slowdown = 4.0;
+  faults.model_outage_rate_per_day = instance_failure_prob > 0.0 ? 6.0 : 0.0;
+  faults.model_outage_seconds = 3600.0;
+  faults.seed = 97;
+  return faults;
+}
+
+void PrintFaultRow(const char* label, const RoSummary& s) {
+  std::printf(
+      "    %-16s cov=%5.1f%%  Lat(in)=%7.2fs  Cost=%8.4fm$  "
+      "goodput=%5.1f%%  waste=%8.4fm$  retries=%-4ld failovers=%-3ld "
+      "spec=%ld/%-3ld  ladder[P/th0/Fuxi]=%d/%d/%d\n",
+      label, s.coverage * 100, s.avg_latency_in, s.avg_cost * 1000,
+      s.goodput * 100, s.total_wasted_cost * 1000, s.total_retries,
+      s.total_failovers, s.speculative_wins, s.speculative_copies,
+      s.fallback_histogram[0], s.fallback_histogram[1],
+      s.fallback_histogram[2]);
+}
+
+}  // namespace
+
+int main() {
+  SetLogLevel(LogLevel::kWarning);
+  PrintHeader(
+      "Fault tolerance: failure-rate sweep, Fuxi vs IPA+RAA(Path)+FB");
+
+  ExperimentEnv::Options options =
+      DefaultOptions(WorkloadId::kA, BenchScale::kAblation);
+  Result<std::unique_ptr<ExperimentEnv>> env = ExperimentEnv::Build(options);
+  FGRO_CHECK_OK(env.status());
+
+  StageOptimizer so(StageOptimizer::IpaRaaPathWithFallback());
+  const Simulator::SchedulerFn fuxi_fn = [](const SchedulingContext& c) {
+    return FuxiSchedule(c);
+  };
+  const Simulator::SchedulerFn so_fn = [&](const SchedulingContext& c) {
+    return so.Optimize(c);
+  };
+
+  for (double p : {0.0, 0.01, 0.05, 0.10}) {
+    std::printf("  instance-failure prob %.0f%% (machine crashes, "
+                "stragglers, model outages scale along)\n", p * 100);
+    RoSummary fuxi_summary, so_summary;
+    for (int which = 0; which < 2; ++which) {
+      SimOptions sim_options;
+      sim_options.outcome = OutcomeMode::kEnvironment;
+      sim_options.seed = 29;
+      sim_options.faults = SweepFaults(p);
+      Simulator sim(&(*env)->workload(), &(*env)->model(), sim_options);
+      Result<SimResult> result = sim.Run(which == 0 ? fuxi_fn : so_fn);
+      FGRO_CHECK_OK(result.status());
+      (which == 0 ? fuxi_summary : so_summary) = Summarize(result.value());
+    }
+    PrintFaultRow("Fuxi", fuxi_summary);
+    PrintFaultRow("IPA+RAA(Path)+FB", so_summary);
+    ReductionRates rr = ComputeReduction(fuxi_summary, so_summary);
+    std::printf("    -> RR Lat(in)=%4.0f%%  RR Cost=%4.0f%%  "
+                "goodput delta=%+.1fpp\n",
+                rr.latency_in_rr * 100, rr.cost_rr * 100,
+                (so_summary.goodput - fuxi_summary.goodput) * 100);
+  }
+
+  std::printf(
+      "\nExpected shape: as failures mount, both schedulers lose goodput to\n"
+      "retries and speculation, but IPA+RAA(Path)+FB keeps its latency/cost\n"
+      "advantage (RRs stay positive) and its goodput degrades no faster\n"
+      "than Fuxi's; model outages show up as theta0/Fuxi rungs in the\n"
+      "fallback histogram, never as lost stages.\n");
+  return 0;
+}

@@ -28,6 +28,14 @@ std::vector<int> Cluster::AvailableMachines(const ResourceConfig& theta) const {
   return out;
 }
 
+int Cluster::UpMachineCount() const {
+  int up = 0;
+  for (const Machine& m : machines_) {
+    if (m.up()) ++up;
+  }
+  return up;
+}
+
 void Cluster::AdvanceTime(double now) {
   double dt = now - now_;
   if (dt <= 0.0) return;

@@ -32,8 +32,11 @@ class Cluster {
   const std::vector<Machine>& machines() const { return machines_; }
 
   /// Indices of machines that can still fit at least one container of the
-  /// given configuration.
+  /// given configuration (down machines are excluded).
   std::vector<int> AvailableMachines(const ResourceConfig& theta) const;
+
+  /// Number of machines currently up.
+  int UpMachineCount() const;
 
   /// Advances all machine states to absolute time `now` (seconds).
   void AdvanceTime(double now);

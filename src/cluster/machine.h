@@ -39,9 +39,15 @@ class Machine {
   }
 
   bool CanFit(const ResourceConfig& theta) const {
-    return theta.cores <= available_cores() + 1e-9 &&
+    return up_ && theta.cores <= available_cores() + 1e-9 &&
            theta.memory_gb <= available_memory_gb() + 1e-9;
   }
+
+  /// Machine liveness (the fault injector's crash/recovery windows). A down
+  /// machine fits no container; containers already on it are the
+  /// simulator's problem (it fails and retries them elsewhere).
+  bool up() const { return up_; }
+  void SetUp(bool up) { up_ = up; }
 
   /// Reserves / releases container resources; Allocate returns false if the
   /// machine cannot fit the container.
@@ -60,6 +66,7 @@ class Machine {
  private:
   int id_;
   const HardwareType* hw_;
+  bool up_ = true;
   double base_util_;
   SystemState state_;
   double hidden_dynamics_ = 1.0;

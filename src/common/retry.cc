@@ -1,0 +1,32 @@
+#include "common/retry.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace fgro {
+
+bool RetryPolicy::Retryable(StatusCode code) const {
+  switch (code) {
+    case StatusCode::kDeadlineExceeded:
+    case StatusCode::kResourceExhausted:
+    case StatusCode::kUnavailable:
+      return true;
+    default:
+      return false;
+  }
+}
+
+double RetryPolicy::BackoffSeconds(int failed_attempt) const {
+  if (failed_attempt < 1) failed_attempt = 1;
+  double backoff = initial_backoff_seconds *
+                   std::pow(backoff_multiplier, failed_attempt - 1);
+  return std::min(backoff, max_backoff_seconds);
+}
+
+bool RetryPolicy::ShouldRetry(const Status& status, int attempts_made) const {
+  if (status.ok()) return false;
+  if (attempts_made >= max_attempts) return false;
+  return Retryable(status.code());
+}
+
+}  // namespace fgro

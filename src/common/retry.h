@@ -1,0 +1,53 @@
+#ifndef FGRO_COMMON_RETRY_H_
+#define FGRO_COMMON_RETRY_H_
+
+#include <functional>
+
+#include "common/status.h"
+
+namespace fgro {
+
+/// Retry policy with capped attempts and exponential backoff, shared by the
+/// simulator's instance re-execution and any fallible service call. Backoff
+/// is deterministic (no jitter): the simulator charges it to simulated time,
+/// so reproducibility matters more than thundering-herd avoidance here.
+struct RetryPolicy {
+  int max_attempts = 3;                 // total attempts, including the first
+  double initial_backoff_seconds = 1.0;
+  double backoff_multiplier = 2.0;
+  double max_backoff_seconds = 30.0;
+
+  /// Transient failures worth another attempt. Permanent errors
+  /// (InvalidArgument, FailedPrecondition, ...) never retry.
+  bool Retryable(StatusCode code) const;
+
+  /// Backoff to wait after the given 1-based failed attempt.
+  double BackoffSeconds(int failed_attempt) const;
+
+  /// True when `status` is retryable and attempts remain after
+  /// `attempts_made` (1-based count of attempts already executed).
+  bool ShouldRetry(const Status& status, int attempts_made) const;
+};
+
+/// Runs `fn` under the policy. On retryable failure the accumulated backoff
+/// is added to `*total_backoff_seconds` (if given) rather than slept — the
+/// caller owns the clock. Returns the first success or the last failure.
+template <typename T>
+Result<T> RetryCall(const RetryPolicy& policy,
+                    const std::function<Result<T>()>& fn,
+                    double* total_backoff_seconds = nullptr) {
+  Result<T> last = Status::Internal("retry loop did not run");
+  for (int attempt = 1; attempt <= policy.max_attempts; ++attempt) {
+    last = fn();
+    if (last.ok()) return last;
+    if (!policy.ShouldRetry(last.status(), attempt)) return last;
+    if (total_backoff_seconds != nullptr) {
+      *total_backoff_seconds += policy.BackoffSeconds(attempt);
+    }
+  }
+  return last;
+}
+
+}  // namespace fgro
+
+#endif  // FGRO_COMMON_RETRY_H_

@@ -18,6 +18,7 @@ enum class StatusCode {
   kFailedPrecondition,
   kResourceExhausted,
   kDeadlineExceeded,
+  kUnavailable,
   kInternal,
 };
 
@@ -48,6 +49,9 @@ class Status {
   static Status DeadlineExceeded(std::string msg) {
     return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
   }
@@ -71,6 +75,7 @@ class Status {
       case StatusCode::kFailedPrecondition: return "FailedPrecondition";
       case StatusCode::kResourceExhausted: return "ResourceExhausted";
       case StatusCode::kDeadlineExceeded: return "DeadlineExceeded";
+      case StatusCode::kUnavailable: return "Unavailable";
       case StatusCode::kInternal: return "Internal";
     }
     return "Unknown";
@@ -110,6 +115,21 @@ class Result {
     ::fgro::Status _st = (expr);                \
     if (!_st.ok()) return _st;                  \
   } while (0)
+
+#define FGRO_STATUS_CONCAT_INNER_(a, b) a##b
+#define FGRO_STATUS_CONCAT_(a, b) FGRO_STATUS_CONCAT_INNER_(a, b)
+
+/// Evaluates a Result<T> expression; on error returns its Status from the
+/// enclosing function, otherwise moves the value into `lhs` (which may be a
+/// declaration, e.g. FGRO_ASSIGN_OR_RETURN(auto x, MakeX())).
+#define FGRO_ASSIGN_OR_RETURN(lhs, expr)                             \
+  FGRO_ASSIGN_OR_RETURN_IMPL_(                                       \
+      FGRO_STATUS_CONCAT_(_fgro_result_, __LINE__), lhs, expr)
+
+#define FGRO_ASSIGN_OR_RETURN_IMPL_(result, lhs, expr)               \
+  auto result = (expr);                                              \
+  if (!result.ok()) return result.status();                          \
+  lhs = std::move(result).value()
 
 }  // namespace fgro
 

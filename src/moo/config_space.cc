@@ -3,14 +3,14 @@
 namespace fgro {
 
 const std::vector<ResourceConfig>& DefaultConfigGrid() {
-  static const std::vector<ResourceConfig>& kGrid = [] {
-    auto* grid = new std::vector<ResourceConfig>;
+  static const std::vector<ResourceConfig> kGrid = [] {
+    std::vector<ResourceConfig> grid;
     const double cores[] = {0.25, 0.5, 1, 2, 4, 8};
     const double mems[] = {0.5, 1, 2, 4, 8, 16, 32, 64};
     for (double c : cores) {
-      for (double m : mems) grid->push_back({c, m});
+      for (double m : mems) grid.push_back({c, m});
     }
-    return *grid;
+    return grid;
   }();
   return kGrid;
 }

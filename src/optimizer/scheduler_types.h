@@ -19,6 +19,12 @@ struct SchedulingContext {
   const LatencyModel* model = nullptr;
   ResourceConfig theta0;
   CostWeights cost_weights;
+  /// False while the model server is in an outage window: model-dependent
+  /// schedulers must degrade rather than dereference `model`.
+  bool model_available = true;
+  /// RO budget a degrading scheduler should respect (the simulator's
+  /// per-stage coverage cutoff).
+  double ro_time_limit_seconds = 60.0;
   /// Diverse-placement cap: max instances per machine. 0 = auto
   /// (2 * ceil(m / available machines), always >= ceil(m/n) as required).
   int alpha = 0;
@@ -27,6 +33,22 @@ struct SchedulingContext {
   int discretization_degree = 4;
 };
 
+/// How far down the degradation ladder a decision came from.
+/// kPrimary: the configured optimizer succeeded. kTheta0: placement held
+/// but RAA failed or blew its budget, so every instance runs HBO's theta0.
+/// kFuxi: the model was unavailable (or placement infeasible) and the
+/// model-free Fuxi baseline decided the stage.
+enum class FallbackLevel { kPrimary = 0, kTheta0 = 1, kFuxi = 2 };
+
+inline const char* FallbackLevelName(FallbackLevel level) {
+  switch (level) {
+    case FallbackLevel::kPrimary: return "primary";
+    case FallbackLevel::kTheta0: return "theta0";
+    case FallbackLevel::kFuxi: return "fuxi";
+  }
+  return "unknown";
+}
+
 /// The output of any scheduler: the placement plan (machine per instance)
 /// and the resource plan (theta per instance).
 struct StageDecision {
@@ -34,6 +56,7 @@ struct StageDecision {
   std::vector<int> machine_of_instance;
   std::vector<ResourceConfig> theta_of_instance;
   double solve_seconds = 0.0;
+  FallbackLevel fallback = FallbackLevel::kPrimary;
 };
 
 /// Per-machine instance capacity under theta0:

@@ -31,17 +31,23 @@ StageOptimizer::Config StageOptimizer::IpaRaaPath() {
   return {Placement::kIpaClustered, true,
           {RaaClustering::kFastMci, RaaAlgorithm::kPath}};
 }
+StageOptimizer::Config StageOptimizer::IpaRaaPathWithFallback() {
+  Config config = IpaRaaPath();
+  config.degrade_gracefully = true;
+  return config;
+}
 
 std::string StageOptimizer::ConfigName(const Config& config) {
+  std::string suffix = config.degrade_gracefully ? "+FB" : "";
   switch (config.placement) {
     case Placement::kFuxi:
-      return "Fuxi";
+      return "Fuxi" + suffix;
     case Placement::kIpaOrg:
-      return config.run_raa ? "IPA(Org)+RAA" : "IPA(Org)";
+      return (config.run_raa ? "IPA(Org)+RAA" : "IPA(Org)") + suffix;
     case Placement::kIpaClustered:
       break;
   }
-  if (!config.run_raa) return "IPA(Cluster)";
+  if (!config.run_raa) return "IPA(Cluster)" + suffix;
   std::string raa;
   switch (config.raa.clustering) {
     case RaaClustering::kNone: raa = "W/O_C"; break;
@@ -50,13 +56,31 @@ std::string StageOptimizer::ConfigName(const Config& config) {
       raa = config.raa.algorithm == RaaAlgorithm::kPath ? "Path" : "General";
       break;
   }
-  return "IPA+RAA(" + raa + ")";
+  return "IPA+RAA(" + raa + ")" + suffix;
 }
 
 StageDecision StageOptimizer::Optimize(const SchedulingContext& context) const {
   StageDecision decision;
   const std::vector<FastMciGroup>* groups = nullptr;
   ClusteredIpaResult clustered;
+
+  const bool model_ok = context.model_available && context.model != nullptr &&
+                        context.model->trained();
+  const bool placement_needs_model = config_.placement != Placement::kFuxi;
+
+  // Ladder bottom rung: the model-free Fuxi baseline, reached when the
+  // model is gone or the primary placement cannot place the stage.
+  auto fuxi_fallback = [&](double solve_spent) {
+    StageDecision fb = FuxiSchedule(context);
+    fb.solve_seconds += solve_spent;
+    fb.fallback = FallbackLevel::kFuxi;
+    return fb;
+  };
+
+  if (config_.degrade_gracefully && placement_needs_model && !model_ok) {
+    return fuxi_fallback(0.0);
+  }
+
   switch (config_.placement) {
     case Placement::kFuxi:
       decision = FuxiSchedule(context);
@@ -70,9 +94,36 @@ StageDecision StageOptimizer::Optimize(const SchedulingContext& context) const {
       groups = &clustered.groups;
       break;
   }
+
+  if (config_.degrade_gracefully) {
+    if (!decision.feasible && placement_needs_model) {
+      return fuxi_fallback(decision.solve_seconds);
+    }
+    if (decision.solve_seconds > context.ro_time_limit_seconds) {
+      return fuxi_fallback(decision.solve_seconds);
+    }
+  }
   if (!decision.feasible || !config_.run_raa) return decision;
 
+  if (config_.degrade_gracefully && !model_ok) {
+    // Placement was model-free (Fuxi) but RAA still needs the model: keep
+    // the placement, run every instance on HBO's theta0.
+    decision.fallback = FallbackLevel::kTheta0;
+    return decision;
+  }
+
   RaaResult raa = RunRaa(context, decision, groups, config_.raa);
+  if (config_.degrade_gracefully) {
+    const bool over_budget = decision.solve_seconds + raa.solve_seconds >
+                             context.ro_time_limit_seconds;
+    if (!raa.ok || over_budget) {
+      // Middle rung: keep the (valid) placement, drop the per-instance
+      // resource tuning and fall back to the uniform theta0 plan.
+      decision.solve_seconds += raa.solve_seconds;
+      decision.fallback = FallbackLevel::kTheta0;
+      return decision;
+    }
+  }
   if (raa.ok) {
     decision.theta_of_instance = std::move(raa.theta_of_instance);
   }

@@ -19,6 +19,12 @@ class StageOptimizer {
     Placement placement = Placement::kIpaClustered;
     bool run_raa = true;
     RaaOptions raa;
+    /// Graceful degradation (the fault-tolerance ladder):
+    /// IPA+RAA -> IPA with HBO theta0 -> Fuxi. Taken when the model is
+    /// null/untrained/unavailable, RAA fails, the primary placement is
+    /// infeasible, or the solve blows the context's RO time budget. The
+    /// level actually used is recorded in StageDecision::fallback.
+    bool degrade_gracefully = false;
   };
 
   /// Table 2 row presets.
@@ -29,6 +35,9 @@ class StageOptimizer {
   static Config IpaRaaDbscan();
   static Config IpaRaaGeneral();
   static Config IpaRaaPath();
+  /// IPA+RAA(Path) with the degradation ladder armed — the configuration
+  /// the fault-tolerance bench replays against Fuxi.
+  static Config IpaRaaPathWithFallback();
 
   static std::string ConfigName(const Config& config);
 

@@ -17,6 +17,27 @@ StageDependencyManager::StageDependencyManager(const Job& job)
       downstream_[static_cast<size_t>(d)].push_back(s);
     }
   }
+  // Kahn's algorithm over a scratch copy of the in-degrees: if a topological
+  // order does not cover every stage, the DAG has a cycle and a replay
+  // would deadlock silently.
+  std::vector<int> indegree = pending_deps_;
+  std::vector<int> frontier;
+  for (int s = 0; s < num_stages_; ++s) {
+    if (indegree[static_cast<size_t>(s)] == 0) frontier.push_back(s);
+  }
+  int ordered = 0;
+  while (!frontier.empty()) {
+    int s = frontier.back();
+    frontier.pop_back();
+    ++ordered;
+    for (int d : downstream_[static_cast<size_t>(s)]) {
+      if (--indegree[static_cast<size_t>(d)] == 0) frontier.push_back(d);
+    }
+  }
+  if (ordered != num_stages_) {
+    status_ = Status::FailedPrecondition(
+        "stage dependency graph contains a cycle");
+  }
 }
 
 std::vector<int> StageDependencyManager::PopReadyStages() {

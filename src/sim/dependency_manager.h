@@ -3,6 +3,7 @@
 
 #include <vector>
 
+#include "common/status.h"
 #include "plan/job.h"
 
 namespace fgro {
@@ -12,6 +13,13 @@ namespace fgro {
 class StageDependencyManager {
  public:
   explicit StageDependencyManager(const Job& job);
+
+  /// FailedPrecondition when the job's stage DAG contains a dependency
+  /// cycle (such a job can never finish — the replay loop would otherwise
+  /// spin on an empty ready set forever). Callers must check before
+  /// replaying.
+  const Status& status() const { return status_; }
+  bool ok() const { return status_.ok(); }
 
   /// Stages whose dependencies are met and that have not been released yet.
   /// Each stage is returned exactly once across calls.
@@ -25,6 +33,7 @@ class StageDependencyManager {
  private:
   int num_stages_ = 0;
   int completed_count_ = 0;
+  Status status_;
   std::vector<int> pending_deps_;   // unmet dependency count per stage
   std::vector<bool> released_;
   std::vector<bool> completed_;

@@ -11,11 +11,22 @@ RoSummary Summarize(const SimResult& result) {
   for (const StageOutcome& o : result.outcomes) {
     solve += o.solve_seconds * 1e3;
     s.max_solve_ms = std::max(s.max_solve_ms, o.solve_seconds * 1e3);
+    s.total_retries += o.retries;
+    s.total_failovers += o.failovers;
+    s.speculative_copies += o.speculative_copies;
+    s.speculative_wins += o.speculative_wins;
+    s.failed_instances += o.failed_instances;
+    s.total_wasted_cost += o.wasted_cost;
+    s.total_cost += o.stage_cost;
+    s.fallback_histogram[static_cast<size_t>(o.fallback)]++;
     if (!o.feasible) continue;
     ++s.feasible_stages;
     lat += o.stage_latency;
     lat_in += o.stage_latency_in;
     cost += o.stage_cost;
+  }
+  if (s.total_cost > 0.0) {
+    s.goodput = (s.total_cost - s.total_wasted_cost) / s.total_cost;
   }
   if (s.num_stages > 0) {
     s.coverage = static_cast<double>(s.feasible_stages) / s.num_stages;

@@ -1,12 +1,15 @@
 #ifndef FGRO_SIM_RO_METRICS_H_
 #define FGRO_SIM_RO_METRICS_H_
 
+#include <array>
+
 #include "sim/simulator.h"
 
 namespace fgro {
 
 /// Aggregate resource-optimization metrics over one replay (the columns of
-/// Tables 2 and 11).
+/// Tables 2 and 11), plus the fault-tolerance accounting of the
+/// failure-sweep bench.
 struct RoSummary {
   int num_stages = 0;
   int feasible_stages = 0;
@@ -16,6 +19,18 @@ struct RoSummary {
   double avg_cost = 0.0;
   double avg_solve_ms = 0.0;
   double max_solve_ms = 0.0;
+  // Fault-tolerance accounting, over ALL stages (failed ones included).
+  long total_retries = 0;
+  long total_failovers = 0;
+  long speculative_copies = 0;
+  long speculative_wins = 0;
+  int failed_instances = 0;
+  double total_wasted_cost = 0.0;
+  double total_cost = 0.0;      // useful + wasted, all stages
+  double goodput = 1.0;         // useful cost / total cost
+  /// Stages decided at each degradation-ladder level, indexed by
+  /// FallbackLevel (primary / theta0 / fuxi).
+  std::array<int, 3> fallback_histogram = {0, 0, 0};
 };
 
 RoSummary Summarize(const SimResult& result);

@@ -3,9 +3,44 @@
 #include <algorithm>
 
 #include "common/logging.h"
+#include "common/math_utils.h"
 #include "sim/dependency_manager.h"
 
 namespace fgro {
+
+namespace {
+
+/// Per-instance record of the fault-tolerant replay of one stage.
+struct InstanceRun {
+  double completion = 0.0;     // elapsed since stage start, incl. backoff
+  double final_run = 0.0;      // runtime of the winning attempt
+  int machine = -1;            // machine the winning attempt ran on
+  bool succeeded = false;
+};
+
+/// Deterministic retry placement: the up machine with the most free cores
+/// that fits theta (lowest id breaks ties), excluding `exclude`. -1 when
+/// the cluster has nowhere left to put the container.
+int PickRetryMachine(const Cluster& cluster, const FaultInjector& injector,
+                     const ResourceConfig& theta, double now, int exclude) {
+  int best = -1;
+  double best_cores = -1.0;
+  for (const Machine& m : cluster.machines()) {
+    if (m.id() == exclude) continue;
+    if (!injector.MachineUp(m.id(), now)) continue;
+    if (!(theta.cores <= m.available_cores() + 1e-9 &&
+          theta.memory_gb <= m.available_memory_gb() + 1e-9)) {
+      continue;
+    }
+    if (m.available_cores() > best_cores) {
+      best_cores = m.available_cores();
+      best = m.id();
+    }
+  }
+  return best;
+}
+
+}  // namespace
 
 Simulator::Simulator(const Workload* workload, const LatencyModel* model,
                      SimOptions options)
@@ -29,12 +64,45 @@ Result<SimResult> Simulator::RunJobs(const SchedulerFn& scheduler,
   Cluster cluster(options_.cluster);
   GroundTruthEnv env(workload_->profile.env);
   Hbo hbo(workload_->profile.hbo);
+  FaultInjector injector(options_.faults, cluster.size());
+  const bool faults = injector.active();
   SimResult result;
+
+  // One "actual" latency draw for an attempt of instance i on a machine.
+  auto sample_actual = [&](const Stage& stage, int i, const Machine& machine,
+                           const ResourceConfig& theta) -> Result<double> {
+    switch (options_.outcome) {
+      case OutcomeMode::kNoiseFree: {
+        FGRO_ASSIGN_OR_RETURN(
+            double pred,
+            model_->Predict(stage, i, theta, machine.state(),
+                            machine.hardware().id));
+        return pred;
+      }
+      case OutcomeMode::kGprNoise: {
+        FGRO_ASSIGN_OR_RETURN(
+            double pred,
+            model_->Predict(stage, i, theta, machine.state(),
+                            machine.hardware().id));
+        return options_.gpr->Sample(pred, &rng);
+      }
+      case OutcomeMode::kEnvironment:
+        return env.SampleLatency(stage, i, machine, theta, &rng);
+    }
+    return Status::Internal("unknown outcome mode");
+  };
 
   for (int job_idx : job_indices) {
     const Job& job = workload_->jobs[static_cast<size_t>(job_idx)];
     cluster.AdvanceTime(job.arrival_time);
+    if (faults) {
+      // Project the crash/recovery schedule onto machine liveness.
+      for (Machine& m : cluster.machines()) {
+        m.SetUp(injector.MachineUp(m.id(), cluster.now()));
+      }
+    }
     StageDependencyManager deps(job);
+    if (!deps.ok()) return deps.status();
 
     while (!deps.AllCompleted()) {
       std::vector<int> ready = deps.PopReadyStages();
@@ -50,6 +118,10 @@ Result<SimResult> Simulator::RunJobs(const SchedulerFn& scheduler,
         context.cluster = &cluster;
         context.model = model_;
         context.theta0 = rec.theta0;
+        context.ro_time_limit_seconds = options_.ro_time_limit_seconds;
+        if (faults) {
+          context.model_available = injector.ModelAvailable(cluster.now());
+        }
 
         StageOutcome outcome;
         outcome.job_idx = job_idx;
@@ -59,9 +131,13 @@ Result<SimResult> Simulator::RunJobs(const SchedulerFn& scheduler,
 
         StageDecision decision = scheduler(context);
         outcome.solve_seconds = decision.solve_seconds;
-        outcome.feasible = decision.feasible &&
-                           decision.solve_seconds <=
-                               options_.ro_time_limit_seconds;
+        outcome.fallback = decision.fallback;
+        // A degraded decision already paid its (abandoned) primary solve
+        // time; what matters is that the fallback itself is usable.
+        outcome.feasible =
+            decision.feasible &&
+            (decision.solve_seconds <= options_.ro_time_limit_seconds ||
+             decision.fallback != FallbackLevel::kPrimary);
         if (!outcome.feasible) {
           result.outcomes.push_back(std::move(outcome));
           deps.MarkCompleted(s);
@@ -76,46 +152,198 @@ Result<SimResult> Simulator::RunJobs(const SchedulerFn& scheduler,
               .Allocate(decision.theta_of_instance[static_cast<size_t>(i)]);
         }
 
-        double max_latency = 0.0, cost = 0.0;
-        std::vector<double> latencies(static_cast<size_t>(m));
+        if (!faults) {
+          // Happy path, bit-identical to the fault-free build.
+          double max_latency = 0.0, cost = 0.0;
+          std::vector<double> latencies(static_cast<size_t>(m));
+          for (int i = 0; i < m; ++i) {
+            const Machine& machine = cluster.machine(
+                decision.machine_of_instance[static_cast<size_t>(i)]);
+            const ResourceConfig& theta =
+                decision.theta_of_instance[static_cast<size_t>(i)];
+            Result<double> actual = sample_actual(stage, i, machine, theta);
+            if (!actual.ok()) return actual.status();
+            latencies[static_cast<size_t>(i)] = actual.value();
+            max_latency = std::max(max_latency, actual.value());
+            cost += actual.value() * context.cost_weights.Rate(theta);
+          }
+          for (int i = 0; i < m; ++i) {
+            cluster
+                .machine(decision.machine_of_instance[static_cast<size_t>(i)])
+                .Release(decision.theta_of_instance[static_cast<size_t>(i)]);
+          }
+          outcome.stage_latency = max_latency;
+          outcome.stage_latency_in = max_latency + decision.solve_seconds;
+          outcome.stage_cost = cost;
+          if (keep_instance_detail) {
+            outcome.instance_latencies = std::move(latencies);
+            outcome.instance_thetas = decision.theta_of_instance;
+          }
+          result.outcomes.push_back(std::move(outcome));
+          deps.MarkCompleted(s);
+          continue;
+        }
+
+        // Fault-tolerant path: attempts fail (injected failures, machine
+        // crashes) and are retried with backoff on surviving machines; the
+        // lost work of every failed or killed attempt is wasted cost.
+        const double stage_start = cluster.now();
+        const RetryPolicy& policy = options_.faults.retry;
+        std::vector<InstanceRun> runs(static_cast<size_t>(m));
+        // Extra allocations made by failovers, released at stage end.
+        std::vector<std::pair<int, ResourceConfig>> extra_allocs;
+
         for (int i = 0; i < m; ++i) {
-          const Machine& machine = cluster.machine(
-              decision.machine_of_instance[static_cast<size_t>(i)]);
           const ResourceConfig& theta =
               decision.theta_of_instance[static_cast<size_t>(i)];
-          double actual = 0.0;
-          switch (options_.outcome) {
-            case OutcomeMode::kNoiseFree: {
-              Result<double> pred = model_->Predict(
-                  stage, i, theta, machine.state(), machine.hardware().id);
-              if (!pred.ok()) return pred.status();
-              actual = pred.value();
+          const double rate = context.cost_weights.Rate(theta);
+          InstanceRun& run = runs[static_cast<size_t>(i)];
+          run.machine =
+              decision.machine_of_instance[static_cast<size_t>(i)];
+          double t = 0.0;  // elapsed since stage start, this instance
+          for (int attempt = 1;; ++attempt) {
+            const Machine& machine = cluster.machine(run.machine);
+            Result<double> drawn = sample_actual(stage, i, machine, theta);
+            if (!drawn.ok()) return drawn.status();
+            double nominal =
+                drawn.value() *
+                injector.StragglerMultiplier(job_idx, s, i, attempt);
+
+            double crash_at = 0.0;
+            const bool machine_crash = injector.MachineCrashesWithin(
+                run.machine, stage_start + t, nominal, &crash_at);
+            const bool inst_fail =
+                injector.InstanceFails(job_idx, s, i, attempt);
+            if (!machine_crash && !inst_fail) {
+              run.final_run = nominal;
+              run.completion = t + nominal;
+              run.succeeded = true;
               break;
             }
-            case OutcomeMode::kGprNoise: {
-              Result<double> pred = model_->Predict(
-                  stage, i, theta, machine.state(), machine.hardware().id);
-              if (!pred.ok()) return pred.status();
-              actual = options_.gpr->Sample(pred.value(), &rng);
+            // Work lost at the earlier of the two failure sources.
+            double ran = nominal;
+            if (inst_fail) {
+              ran = injector.FailurePointFraction(job_idx, s, i, attempt) *
+                    nominal;
+            }
+            if (machine_crash) {
+              ran = std::min(ran, crash_at - (stage_start + t));
+            }
+            ran = std::max(0.0, ran);
+            outcome.wasted_cost += ran * rate;
+            const Status failure =
+                machine_crash
+                    ? Status::Unavailable("machine crashed mid-attempt")
+                    : Status::ResourceExhausted("instance attempt failed");
+            if (!policy.ShouldRetry(failure, attempt)) {
+              ++outcome.failed_instances;
+              run.completion = t + ran;
               break;
             }
-            case OutcomeMode::kEnvironment:
-              actual = env.SampleLatency(stage, i, machine, theta, &rng);
-              break;
+            t += ran + policy.BackoffSeconds(attempt);
+            ++outcome.retries;
+            // Re-place when the current machine is gone; otherwise retry
+            // in place (transient container failure).
+            if (machine_crash ||
+                !injector.MachineUp(run.machine, stage_start + t)) {
+              int next = PickRetryMachine(cluster, injector, theta,
+                                          stage_start + t, run.machine);
+              if (next < 0) {
+                ++outcome.failed_instances;
+                run.completion = t;
+                break;
+              }
+              ++outcome.failovers;
+              run.machine = next;
+              if (cluster.machine(next).Allocate(theta)) {
+                extra_allocs.emplace_back(next, theta);
+              }
+            }
           }
-          latencies[static_cast<size_t>(i)] = actual;
-          max_latency = std::max(max_latency, actual);
-          cost += actual * context.cost_weights.Rate(theta);
+        }
+
+        // Speculative re-execution: instances lagging far behind the stage
+        // median get a backup copy; first finisher wins, the loser's run
+        // is killed and charged as waste.
+        if (options_.faults.speculative_execution && m >= 3) {
+          std::vector<double> completions;
+          completions.reserve(static_cast<size_t>(m));
+          for (const InstanceRun& run : runs) {
+            if (run.succeeded) completions.push_back(run.completion);
+          }
+          const double median = Median(completions);
+          const double detect_at =
+              options_.faults.speculative_threshold * median;
+          if (!completions.empty() && median > 0.0) {
+            for (int i = 0; i < m; ++i) {
+              InstanceRun& run = runs[static_cast<size_t>(i)];
+              if (!run.succeeded || run.completion <= detect_at) continue;
+              const ResourceConfig& theta =
+                  decision.theta_of_instance[static_cast<size_t>(i)];
+              const double rate = context.cost_weights.Rate(theta);
+              int copy_machine =
+                  PickRetryMachine(cluster, injector, theta,
+                                   stage_start + detect_at, run.machine);
+              if (copy_machine < 0) continue;
+              Result<double> drawn = sample_actual(
+                  stage, i, cluster.machine(copy_machine), theta);
+              if (!drawn.ok()) return drawn.status();
+              // The copy gets its own straggler draw on a high attempt
+              // index so it never collides with a retry attempt's fate.
+              double copy_run =
+                  drawn.value() *
+                  injector.StragglerMultiplier(job_idx, s, i, 1000);
+              double copy_completion = detect_at + copy_run;
+              ++outcome.speculative_copies;
+              if (copy_completion < run.completion) {
+                ++outcome.speculative_wins;
+                // Original killed when the copy finishes: everything the
+                // final original attempt ran is lost.
+                double original_started = run.completion - run.final_run;
+                outcome.wasted_cost +=
+                    std::max(0.0, copy_completion - original_started) * rate;
+                run.final_run = copy_run;
+                run.completion = copy_completion;
+                run.machine = copy_machine;
+              } else {
+                // Copy killed when the original finishes.
+                outcome.wasted_cost +=
+                    std::max(0.0, run.completion - detect_at) * rate;
+              }
+            }
+          }
+        }
+
+        double max_latency = 0.0, useful_cost = 0.0;
+        std::vector<double> latencies(static_cast<size_t>(m));
+        bool all_succeeded = true;
+        for (int i = 0; i < m; ++i) {
+          const InstanceRun& run = runs[static_cast<size_t>(i)];
+          const ResourceConfig& theta =
+              decision.theta_of_instance[static_cast<size_t>(i)];
+          latencies[static_cast<size_t>(i)] = run.completion;
+          max_latency = std::max(max_latency, run.completion);
+          if (run.succeeded) {
+            useful_cost += run.final_run * context.cost_weights.Rate(theta);
+          } else {
+            all_succeeded = false;
+          }
         }
         for (int i = 0; i < m; ++i) {
           cluster
               .machine(decision.machine_of_instance[static_cast<size_t>(i)])
               .Release(decision.theta_of_instance[static_cast<size_t>(i)]);
         }
+        for (const auto& [machine_id, theta] : extra_allocs) {
+          cluster.machine(machine_id).Release(theta);
+        }
 
+        // A stage that lost an instance past its retry budget did not
+        // produce its output: it fails cleanly (no crash, waste recorded).
+        outcome.feasible = all_succeeded;
         outcome.stage_latency = max_latency;
         outcome.stage_latency_in = max_latency + decision.solve_seconds;
-        outcome.stage_cost = cost;
+        outcome.stage_cost = useful_cost + outcome.wasted_cost;
         if (keep_instance_detail) {
           outcome.instance_latencies = std::move(latencies);
           outcome.instance_thetas = decision.theta_of_instance;

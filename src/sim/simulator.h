@@ -11,6 +11,7 @@
 #include "model/gpr.h"
 #include "model/latency_model.h"
 #include "optimizer/scheduler_types.h"
+#include "sim/fault_injector.h"
 #include "trace/workload_gen.h"
 
 namespace fgro {
@@ -28,6 +29,9 @@ struct SimOptions {
   OutcomeMode outcome = OutcomeMode::kEnvironment;
   const GprNoiseModel* gpr = nullptr;  // required for kGprNoise
   double ro_time_limit_seconds = 60.0; // coverage cutoff per stage
+  /// Fault model for this replay. Disabled (the default) replays the exact
+  /// happy path, bit-identical to a build without fault injection.
+  FaultOptions faults;
   uint64_t seed = 5;
 };
 
@@ -39,9 +43,18 @@ struct StageOutcome {
   int num_instances = 0;
   double stage_latency = 0.0;     // max instance latency (excl. RO time)
   double stage_latency_in = 0.0;  // including RO solve time
-  double stage_cost = 0.0;        // sum of latency * (w . theta)
+  double stage_cost = 0.0;        // sum of latency * (w . theta), incl. waste
   double solve_seconds = 0.0;
   double default_theta_cores = 0.0;  // HBO theta0, for diagnostics
+  /// Fault-tolerance accounting (all zero when faults are disabled).
+  int retries = 0;             // failed attempts that were re-executed
+  int failovers = 0;           // retries that moved to another machine
+  int speculative_copies = 0;  // backup copies launched for stragglers
+  int speculative_wins = 0;    // copies that beat the original
+  int failed_instances = 0;    // instances that exhausted their retry budget
+  double wasted_cost = 0.0;    // cost of lost work (part of stage_cost)
+  /// Degradation-ladder level the scheduler reported for this stage.
+  FallbackLevel fallback = FallbackLevel::kPrimary;
   std::vector<double> instance_latencies;  // populated when requested
   std::vector<ResourceConfig> instance_thetas;
 };
@@ -54,6 +67,11 @@ struct SimResult {
 /// in trace order, the dependency manager releases stages, the given
 /// scheduler decides placement + resources, machines are charged for the
 /// stage's containers, and actual latencies are drawn per OutcomeMode.
+/// With faults enabled, machines crash and recover on the injector's
+/// schedule, instance attempts fail and are retried with exponential
+/// backoff on surviving machines, stragglers trigger speculative backup
+/// copies, and the model server suffers outages the scheduler must
+/// degrade through.
 class Simulator {
  public:
   using SchedulerFn = std::function<StageDecision(const SchedulingContext&)>;

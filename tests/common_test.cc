@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <set>
+#include <vector>
 
 #include "common/math_utils.h"
 #include "common/rng.h"
@@ -30,8 +31,15 @@ TEST(StatusTest, AllFactoryCodesDistinct) {
       Status::InvalidArgument("").code(),  Status::NotFound("").code(),
       Status::OutOfRange("").code(),       Status::FailedPrecondition("").code(),
       Status::ResourceExhausted("").code(), Status::DeadlineExceeded("").code(),
-      Status::Internal("").code()};
-  EXPECT_EQ(codes.size(), 7u);
+      Status::Unavailable("").code(),       Status::Internal("").code()};
+  EXPECT_EQ(codes.size(), 8u);
+}
+
+TEST(StatusTest, UnavailableCarriesCodeAndName) {
+  Status s = Status::Unavailable("model server outage");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kUnavailable);
+  EXPECT_EQ(s.ToString(), "Unavailable: model server outage");
 }
 
 TEST(ResultTest, HoldsValue) {
@@ -55,6 +63,46 @@ Status UsesReturnIfError() {
 
 TEST(ResultTest, ReturnIfErrorPropagates) {
   EXPECT_EQ(UsesReturnIfError().code(), StatusCode::kInternal);
+}
+
+Result<int> ProduceValue(bool fail) {
+  if (fail) return Status::Unavailable("no value today");
+  return 7;
+}
+
+Result<int> UsesAssignOrReturn(bool fail) {
+  FGRO_ASSIGN_OR_RETURN(int x, ProduceValue(fail));
+  FGRO_ASSIGN_OR_RETURN(auto y, ProduceValue(false));
+  return x + y;
+}
+
+TEST(ResultTest, AssignOrReturnUnwrapsValue) {
+  Result<int> r = UsesAssignOrReturn(false);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 14);
+}
+
+TEST(ResultTest, AssignOrReturnPropagatesError) {
+  Result<int> r = UsesAssignOrReturn(true);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kUnavailable);
+  EXPECT_EQ(r.status().message(), "no value today");
+}
+
+Result<std::vector<int>> ProduceVector() {
+  return std::vector<int>{1, 2, 3};
+}
+
+Result<int> AssignsToExisting() {
+  std::vector<int> v;
+  FGRO_ASSIGN_OR_RETURN(v, ProduceVector());  // plain lhs, no declaration
+  return static_cast<int>(v.size());
+}
+
+TEST(ResultTest, AssignOrReturnAssignsToExistingVariable) {
+  Result<int> r = AssignsToExisting();
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 3);
 }
 
 TEST(MathTest, BasicAggregates) {

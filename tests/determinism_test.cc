@@ -113,6 +113,97 @@ TEST(DeterminismTest, SimulatorReplayIsReproducible) {
   EXPECT_DOUBLE_EQ(a.avg_cost, b.avg_cost);
 }
 
+TEST(DeterminismTest, FaultyReplayIsByteIdenticalAcrossRuns) {
+  // Fault schedules must be replayable: identical seeds and identical
+  // FaultOptions give byte-identical SimResults, field by field.
+  ExperimentEnv::Options options;
+  options.workload = WorkloadId::kA;
+  options.scale = 0.03;
+  options.train_model = false;
+  Result<std::unique_ptr<ExperimentEnv>> env = ExperimentEnv::Build(options);
+  ASSERT_TRUE(env.ok());
+  SimOptions sim_options;
+  sim_options.outcome = OutcomeMode::kEnvironment;
+  sim_options.seed = 13;
+  sim_options.faults.enabled = true;
+  sim_options.faults.machine_failure_rate_per_day = 6.0;
+  sim_options.faults.machine_recovery_seconds = 1200.0;
+  sim_options.faults.instance_failure_prob = 0.08;
+  sim_options.faults.straggler_prob = 0.05;
+  sim_options.faults.model_outage_rate_per_day = 4.0;
+  sim_options.faults.seed = 23;
+  auto run_once = [&] {
+    Simulator sim(&(*env)->workload(), &(*env)->model(), sim_options);
+    Result<SimResult> result = sim.Run(
+        [](const SchedulingContext& c) { return FuxiSchedule(c); },
+        /*keep_instance_detail=*/true);
+    EXPECT_TRUE(result.ok()) << result.status().ToString();
+    return std::move(result).value();
+  };
+  SimResult a = run_once();
+  SimResult b = run_once();
+  ASSERT_EQ(a.outcomes.size(), b.outcomes.size());
+  long total_retries = 0;
+  for (size_t i = 0; i < a.outcomes.size(); ++i) {
+    const StageOutcome& x = a.outcomes[i];
+    const StageOutcome& y = b.outcomes[i];
+    EXPECT_EQ(x.job_idx, y.job_idx);
+    EXPECT_EQ(x.stage_idx, y.stage_idx);
+    EXPECT_EQ(x.feasible, y.feasible);
+    EXPECT_EQ(x.retries, y.retries);
+    EXPECT_EQ(x.failovers, y.failovers);
+    EXPECT_EQ(x.speculative_copies, y.speculative_copies);
+    EXPECT_EQ(x.speculative_wins, y.speculative_wins);
+    EXPECT_EQ(x.failed_instances, y.failed_instances);
+    EXPECT_EQ(x.fallback, y.fallback);
+    EXPECT_DOUBLE_EQ(x.stage_latency, y.stage_latency);
+    EXPECT_DOUBLE_EQ(x.stage_cost, y.stage_cost);
+    EXPECT_DOUBLE_EQ(x.wasted_cost, y.wasted_cost);
+    ASSERT_EQ(x.instance_latencies.size(), y.instance_latencies.size());
+    for (size_t k = 0; k < x.instance_latencies.size(); ++k) {
+      EXPECT_DOUBLE_EQ(x.instance_latencies[k], y.instance_latencies[k]);
+    }
+    total_retries += x.retries;
+  }
+  EXPECT_GT(total_retries, 0);  // the fault path actually ran
+}
+
+TEST(DeterminismTest, DisabledFaultsMatchTheHappyPathBitForBit) {
+  // FaultOptions{} must not perturb the replay at all: same outcomes as a
+  // simulator that never heard of fault injection.
+  ExperimentEnv::Options options;
+  options.workload = WorkloadId::kA;
+  options.scale = 0.03;
+  options.train_model = false;
+  Result<std::unique_ptr<ExperimentEnv>> env = ExperimentEnv::Build(options);
+  ASSERT_TRUE(env.ok());
+  auto run_with = [&](const FaultOptions& faults) {
+    SimOptions sim_options;
+    sim_options.outcome = OutcomeMode::kEnvironment;
+    sim_options.seed = 13;
+    sim_options.faults = faults;
+    Simulator sim(&(*env)->workload(), &(*env)->model(), sim_options);
+    Result<SimResult> result = sim.Run(
+        [](const SchedulingContext& c) { return FuxiSchedule(c); });
+    EXPECT_TRUE(result.ok());
+    return std::move(result).value();
+  };
+  FaultOptions zero_rates;
+  zero_rates.enabled = true;  // enabled but every rate zero: inactive
+  SimResult plain = run_with(FaultOptions{});
+  SimResult zeros = run_with(zero_rates);
+  ASSERT_EQ(plain.outcomes.size(), zeros.outcomes.size());
+  for (size_t i = 0; i < plain.outcomes.size(); ++i) {
+    EXPECT_DOUBLE_EQ(plain.outcomes[i].stage_latency,
+                     zeros.outcomes[i].stage_latency);
+    EXPECT_DOUBLE_EQ(plain.outcomes[i].stage_cost,
+                     zeros.outcomes[i].stage_cost);
+    EXPECT_EQ(plain.outcomes[i].retries, 0);
+    EXPECT_EQ(zeros.outcomes[i].retries, 0);
+    EXPECT_DOUBLE_EQ(zeros.outcomes[i].wasted_cost, 0.0);
+  }
+}
+
 TEST(DeterminismTest, TrainingIsReproducible) {
   ExperimentEnv::Options options;
   options.workload = WorkloadId::kA;

@@ -1,0 +1,378 @@
+// Fault-injection and fault-tolerance tests: deterministic fault schedules,
+// machine liveness, the retry/failover/speculation machinery inside the
+// simulator, and the optimizer's graceful-degradation ladder.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "common/retry.h"
+#include "optimizer/fuxi.h"
+#include "optimizer/stage_optimizer.h"
+#include "sim/experiment_env.h"
+#include "sim/fault_injector.h"
+#include "sim/ro_metrics.h"
+#include "sim/simulator.h"
+#include "test_util.h"
+
+namespace fgro {
+namespace {
+
+FaultOptions HeavyFaults() {
+  FaultOptions faults;
+  faults.enabled = true;
+  faults.machine_failure_rate_per_day = 8.0;
+  faults.machine_recovery_seconds = 900.0;
+  faults.instance_failure_prob = 0.10;
+  faults.straggler_prob = 0.05;
+  faults.straggler_slowdown = 5.0;
+  faults.model_outage_rate_per_day = 12.0;
+  faults.model_outage_seconds = 3600.0;
+  faults.seed = 41;
+  return faults;
+}
+
+TEST(FaultInjectorTest, DisabledInjectsNothing) {
+  FaultOptions faults;  // enabled = false
+  FaultInjector injector(faults, 16);
+  EXPECT_FALSE(injector.active());
+  EXPECT_TRUE(injector.MachineUp(3, 12345.0));
+  EXPECT_TRUE(injector.ModelAvailable(12345.0));
+  EXPECT_FALSE(injector.InstanceFails(0, 0, 0, 1));
+  EXPECT_DOUBLE_EQ(injector.StragglerMultiplier(0, 0, 0, 1), 1.0);
+  // enabled but all rates zero is also inactive.
+  faults.enabled = true;
+  EXPECT_FALSE(FaultInjector(faults, 16).active());
+}
+
+TEST(FaultInjectorTest, SchedulesAreSeedDeterministic) {
+  FaultOptions faults = HeavyFaults();
+  FaultInjector a(faults, 32), b(faults, 32);
+  ASSERT_EQ(a.machine_windows().size(), b.machine_windows().size());
+  for (size_t m = 0; m < a.machine_windows().size(); ++m) {
+    ASSERT_EQ(a.machine_windows()[m].size(), b.machine_windows()[m].size());
+    for (size_t w = 0; w < a.machine_windows()[m].size(); ++w) {
+      EXPECT_DOUBLE_EQ(a.machine_windows()[m][w].start,
+                       b.machine_windows()[m][w].start);
+      EXPECT_DOUBLE_EQ(a.machine_windows()[m][w].end,
+                       b.machine_windows()[m][w].end);
+    }
+  }
+  for (int attempt = 1; attempt <= 4; ++attempt) {
+    EXPECT_EQ(a.InstanceFails(3, 1, 7, attempt),
+              b.InstanceFails(3, 1, 7, attempt));
+    EXPECT_DOUBLE_EQ(a.StragglerMultiplier(3, 1, 7, attempt),
+                     b.StragglerMultiplier(3, 1, 7, attempt));
+    EXPECT_DOUBLE_EQ(a.FailurePointFraction(3, 1, 7, attempt),
+                     b.FailurePointFraction(3, 1, 7, attempt));
+  }
+  FaultOptions other = faults;
+  other.seed = 42;
+  FaultInjector c(other, 32);
+  bool any_diff = false;
+  for (size_t m = 0; m < 32 && !any_diff; ++m) {
+    if (a.machine_windows()[m].size() != c.machine_windows()[m].size()) {
+      any_diff = true;
+    }
+  }
+  for (int i = 0; i < 200 && !any_diff; ++i) {
+    if (a.InstanceFails(0, 0, i, 1) != c.InstanceFails(0, 0, i, 1)) {
+      any_diff = true;
+    }
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(FaultInjectorTest, WindowsDriveLivenessQueries) {
+  FaultOptions faults = HeavyFaults();
+  FaultInjector injector(faults, 8);
+  bool saw_window = false;
+  for (int m = 0; m < 8; ++m) {
+    for (const FaultWindow& w : injector.machine_windows()[m]) {
+      saw_window = true;
+      EXPECT_FALSE(injector.MachineUp(m, (w.start + w.end) / 2.0));
+      EXPECT_TRUE(injector.MachineUp(m, w.start - 1.0));
+      EXPECT_DOUBLE_EQ(
+          injector.MachineRecoveryTime(m, (w.start + w.end) / 2.0), w.end);
+      double crash_at = 0.0;
+      EXPECT_TRUE(
+          injector.MachineCrashesWithin(m, w.start - 5.0, 10.0, &crash_at));
+      EXPECT_DOUBLE_EQ(crash_at, w.start);
+    }
+  }
+  EXPECT_TRUE(saw_window);  // 8 machines x 8 crashes/day x 7 days
+  bool saw_outage = false;
+  for (const FaultWindow& w : injector.model_windows()) {
+    saw_outage = true;
+    EXPECT_FALSE(injector.ModelAvailable(w.start));
+    EXPECT_TRUE(injector.ModelAvailable(w.end));
+  }
+  EXPECT_TRUE(saw_outage);
+}
+
+TEST(FaultInjectorTest, FailureRateRoughlyMatchesProbability) {
+  FaultOptions faults;
+  faults.enabled = true;
+  faults.instance_failure_prob = 0.2;
+  FaultInjector injector(faults, 1);
+  int failures = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    if (injector.InstanceFails(0, 0, i, 1)) ++failures;
+  }
+  EXPECT_NEAR(static_cast<double>(failures) / n, 0.2, 0.02);
+}
+
+TEST(MachineLivenessTest, DownMachineFitsNothing) {
+  Machine machine(0, &DefaultHardwareCatalog()[0], 0.3, 1);
+  ASSERT_TRUE(machine.up());
+  ASSERT_TRUE(machine.CanFit({1, 1}));
+  machine.SetUp(false);
+  EXPECT_FALSE(machine.CanFit({1, 1}));
+  EXPECT_FALSE(machine.Allocate({1, 1}));
+  machine.SetUp(true);
+  EXPECT_TRUE(machine.CanFit({1, 1}));
+}
+
+TEST(MachineLivenessTest, ClusterExcludesDownMachines) {
+  Cluster cluster(ClusterOptions{.num_machines = 8, .seed = 3});
+  EXPECT_EQ(cluster.UpMachineCount(), 8);
+  size_t all = cluster.AvailableMachines({1, 1}).size();
+  cluster.machine(2).SetUp(false);
+  cluster.machine(5).SetUp(false);
+  EXPECT_EQ(cluster.UpMachineCount(), 6);
+  std::vector<int> available = cluster.AvailableMachines({1, 1});
+  EXPECT_EQ(available.size(), all - 2);
+  for (int id : available) {
+    EXPECT_NE(id, 2);
+    EXPECT_NE(id, 5);
+  }
+}
+
+class FaultSimFixture : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    ExperimentEnv::Options options;
+    options.workload = WorkloadId::kA;
+    options.scale = 0.04;
+    options.train.epochs = 2;
+    options.train.max_train_samples = 3000;
+    options.seed = 66;
+    Result<std::unique_ptr<ExperimentEnv>> env = ExperimentEnv::Build(options);
+    ASSERT_TRUE(env.ok()) << env.status().ToString();
+    env_ = std::move(env).value().release();
+  }
+  static ExperimentEnv* env_;
+};
+
+ExperimentEnv* FaultSimFixture::env_ = nullptr;
+
+TEST_F(FaultSimFixture, FaultyReplayRetriesAndChargesWaste) {
+  SimOptions options;
+  options.outcome = OutcomeMode::kEnvironment;
+  options.faults = HeavyFaults();
+  Simulator sim(&env_->workload(), &env_->model(), options);
+  Result<SimResult> result =
+      sim.Run([](const SchedulingContext& c) { return FuxiSchedule(c); });
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  RoSummary s = Summarize(result.value());
+  EXPECT_EQ(s.num_stages, env_->workload().TotalStages());
+  // At 10% per-attempt failure over hundreds of instances, retries and
+  // wasted work are statistically certain.
+  EXPECT_GT(s.total_retries, 0);
+  EXPECT_GT(s.total_wasted_cost, 0.0);
+  EXPECT_LT(s.goodput, 1.0);
+  EXPECT_GT(s.goodput, 0.5);  // retries keep most work useful
+  // Retries mostly succeed: coverage stays high.
+  EXPECT_GT(s.coverage, 0.8);
+  for (const StageOutcome& o : result->outcomes) {
+    EXPECT_LE(o.wasted_cost, o.stage_cost + 1e-12);
+    if (o.feasible) EXPECT_EQ(o.failed_instances, 0);
+  }
+}
+
+TEST_F(FaultSimFixture, SpeculationOnlyModeWinsSomeCopies) {
+  SimOptions options;
+  options.outcome = OutcomeMode::kEnvironment;
+  options.faults.enabled = true;
+  options.faults.straggler_prob = 0.15;
+  options.faults.straggler_slowdown = 8.0;
+  options.faults.speculative_threshold = 1.5;
+  options.faults.seed = 7;
+  Simulator sim(&env_->workload(), &env_->model(), options);
+  Result<SimResult> result =
+      sim.Run([](const SchedulingContext& c) { return FuxiSchedule(c); });
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  RoSummary s = Summarize(result.value());
+  EXPECT_GT(s.speculative_copies, 0);
+  // An 8x straggler is nearly always beaten by a fresh copy.
+  EXPECT_GT(s.speculative_wins, 0);
+  EXPECT_LE(s.speculative_wins, s.speculative_copies);
+  EXPECT_GT(s.total_wasted_cost, 0.0);
+}
+
+TEST_F(FaultSimFixture, SpeculationCanBeDisabled) {
+  SimOptions options;
+  options.outcome = OutcomeMode::kEnvironment;
+  options.faults.enabled = true;
+  options.faults.straggler_prob = 0.15;
+  options.faults.straggler_slowdown = 8.0;
+  options.faults.speculative_execution = false;
+  options.faults.seed = 7;
+  Simulator sim(&env_->workload(), &env_->model(), options);
+  Result<SimResult> result =
+      sim.Run([](const SchedulingContext& c) { return FuxiSchedule(c); });
+  ASSERT_TRUE(result.ok());
+  RoSummary s = Summarize(result.value());
+  EXPECT_EQ(s.speculative_copies, 0);
+  EXPECT_EQ(s.speculative_wins, 0);
+}
+
+TEST_F(FaultSimFixture, FallbackLadderCoversModelOutage) {
+  // Model unavailable for the entire replay: every stage must still get a
+  // feasible decision, all of them from a fallback rung.
+  SimOptions options;
+  options.outcome = OutcomeMode::kEnvironment;
+  options.faults.enabled = true;
+  options.faults.model_outage_rate_per_day = 2000.0;  // wall-to-wall outage
+  options.faults.model_outage_seconds = 86400.0;
+  options.faults.seed = 11;
+  StageOptimizer so(StageOptimizer::IpaRaaPathWithFallback());
+  Simulator sim(&env_->workload(), &env_->model(), options);
+  Result<SimResult> result =
+      sim.Run([&](const SchedulingContext& c) { return so.Optimize(c); });
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  RoSummary s = Summarize(result.value());
+  EXPECT_GT(s.coverage, 0.95);
+  EXPECT_EQ(s.fallback_histogram[0], 0);  // primary never ran
+  EXPECT_GT(s.fallback_histogram[2], 0);  // Fuxi rung took the stages
+  for (const StageOutcome& o : result->outcomes) {
+    EXPECT_TRUE(o.feasible) << "job " << o.job_idx << " stage "
+                            << o.stage_idx;
+    EXPECT_NE(o.fallback, FallbackLevel::kPrimary);
+  }
+}
+
+TEST_F(FaultSimFixture, IntermittentOutageMixesLadderLevels) {
+  // Outages covering roughly half the clock: primary and fallback rungs
+  // must both appear, and every stage stays feasible.
+  SimOptions options;
+  options.outcome = OutcomeMode::kEnvironment;
+  options.faults.enabled = true;
+  options.faults.model_outage_rate_per_day = 24.0;
+  options.faults.model_outage_seconds = 1800.0;
+  options.faults.seed = 5;
+  StageOptimizer so(StageOptimizer::IpaRaaPathWithFallback());
+  Simulator sim(&env_->workload(), &env_->model(), options);
+  Result<SimResult> result =
+      sim.Run([&](const SchedulingContext& c) { return so.Optimize(c); });
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  RoSummary s = Summarize(result.value());
+  EXPECT_GT(s.fallback_histogram[0], 0);
+  EXPECT_GT(s.fallback_histogram[2], 0);
+  EXPECT_GT(s.coverage, 0.95);
+}
+
+TEST_F(FaultSimFixture, NullModelDegradesToFuxiInsteadOfCrashing) {
+  SchedulingContext context;
+  Cluster cluster(ClusterOptions{.num_machines = 16, .seed = 9});
+  Stage stage = testing_util::MakeChainStage(4);
+  Hbo hbo;
+  context.stage = &stage;
+  context.cluster = &cluster;
+  context.model = nullptr;  // no model at all
+  context.theta0 = hbo.Recommend(stage).theta0;
+  StageOptimizer so(StageOptimizer::IpaRaaPathWithFallback());
+  StageDecision decision = so.Optimize(context);
+  EXPECT_TRUE(decision.feasible);
+  EXPECT_EQ(decision.fallback, FallbackLevel::kFuxi);
+}
+
+TEST_F(FaultSimFixture, SolveBudgetOverrunFallsBackToTheta0) {
+  Cluster cluster(ClusterOptions{.num_machines = 16, .seed = 9});
+  const Stage& stage = env_->workload().jobs[0].stages[0];
+  Hbo hbo;
+  SchedulingContext context;
+  context.stage = &stage;
+  context.cluster = &cluster;
+  context.model = &env_->model();
+  context.theta0 = hbo.Recommend(stage).theta0;
+  // A budget no real solve can meet: the ladder must degrade, not fail.
+  context.ro_time_limit_seconds = 0.0;
+  StageOptimizer so(StageOptimizer::IpaRaaPathWithFallback());
+  StageDecision decision = so.Optimize(context);
+  EXPECT_TRUE(decision.feasible);
+  EXPECT_NE(decision.fallback, FallbackLevel::kPrimary);
+  if (decision.fallback == FallbackLevel::kTheta0) {
+    for (const ResourceConfig& theta : decision.theta_of_instance) {
+      EXPECT_TRUE(theta == context.theta0);
+    }
+  }
+}
+
+TEST(RetryPolicyTest, RetryableCodes) {
+  RetryPolicy policy;
+  EXPECT_TRUE(policy.Retryable(StatusCode::kDeadlineExceeded));
+  EXPECT_TRUE(policy.Retryable(StatusCode::kResourceExhausted));
+  EXPECT_TRUE(policy.Retryable(StatusCode::kUnavailable));
+  EXPECT_FALSE(policy.Retryable(StatusCode::kInvalidArgument));
+  EXPECT_FALSE(policy.Retryable(StatusCode::kFailedPrecondition));
+  EXPECT_FALSE(policy.Retryable(StatusCode::kInternal));
+  EXPECT_FALSE(policy.Retryable(StatusCode::kOk));
+}
+
+TEST(RetryPolicyTest, BackoffGrowsAndCaps) {
+  RetryPolicy policy;
+  policy.initial_backoff_seconds = 1.0;
+  policy.backoff_multiplier = 2.0;
+  policy.max_backoff_seconds = 5.0;
+  EXPECT_DOUBLE_EQ(policy.BackoffSeconds(1), 1.0);
+  EXPECT_DOUBLE_EQ(policy.BackoffSeconds(2), 2.0);
+  EXPECT_DOUBLE_EQ(policy.BackoffSeconds(3), 4.0);
+  EXPECT_DOUBLE_EQ(policy.BackoffSeconds(4), 5.0);  // capped
+  EXPECT_DOUBLE_EQ(policy.BackoffSeconds(10), 5.0);
+}
+
+TEST(RetryPolicyTest, ShouldRetryHonorsBudgetAndCode) {
+  RetryPolicy policy;
+  policy.max_attempts = 3;
+  Status transient = Status::Unavailable("down");
+  EXPECT_TRUE(policy.ShouldRetry(transient, 1));
+  EXPECT_TRUE(policy.ShouldRetry(transient, 2));
+  EXPECT_FALSE(policy.ShouldRetry(transient, 3));  // budget exhausted
+  EXPECT_FALSE(policy.ShouldRetry(Status::Internal("bug"), 1));
+  EXPECT_FALSE(policy.ShouldRetry(Status::OK(), 1));
+}
+
+TEST(RetryPolicyTest, RetryCallRetriesUntilSuccess) {
+  RetryPolicy policy;
+  policy.max_attempts = 5;
+  int calls = 0;
+  double backoff = 0.0;
+  Result<int> r = RetryCall<int>(
+      policy,
+      [&]() -> Result<int> {
+        if (++calls < 3) return Status::Unavailable("not yet");
+        return 42;
+      },
+      &backoff);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_EQ(calls, 3);
+  EXPECT_DOUBLE_EQ(backoff, 1.0 + 2.0);  // two failures
+}
+
+TEST(RetryPolicyTest, RetryCallStopsOnPermanentError) {
+  RetryPolicy policy;
+  int calls = 0;
+  Result<int> r = RetryCall<int>(policy, [&]() -> Result<int> {
+    ++calls;
+    return Status::InvalidArgument("never retry");
+  });
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(calls, 1);
+}
+
+}  // namespace
+}  // namespace fgro

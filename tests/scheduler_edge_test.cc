@@ -11,6 +11,7 @@
 #include "optimizer/ipa.h"
 #include "optimizer/ipa_clustered.h"
 #include "optimizer/raa.h"
+#include "optimizer/stage_optimizer.h"
 #include "sim/experiment_env.h"
 #include "test_util.h"
 
@@ -77,6 +78,46 @@ TEST_F(TinyModelFixture, FuxiInfeasibleOnExhaustedCluster) {
   EXPECT_FALSE(FuxiSchedule(context).feasible);
   EXPECT_FALSE(IpaSchedule(context).feasible);
   EXPECT_FALSE(IpaClusteredSchedule(context).decision.feasible);
+}
+
+TEST_F(TinyModelFixture, AllMachinesDownIsInfeasibleNotACrash) {
+  // Every machine marked down (crashed): nothing fits anywhere, so every
+  // scheduler must return feasible=false cleanly rather than crash or place
+  // instances on dead hosts.
+  Cluster cluster(ClusterOptions{.num_machines = 6, .seed = 11});
+  for (int i = 0; i < cluster.size(); ++i) cluster.machine(i).SetUp(false);
+  EXPECT_EQ(cluster.UpMachineCount(), 0);
+  const Stage& stage = env_->workload().jobs[0].stages[0];
+  SchedulingContext context = MakeContext(stage, &cluster, &env_->model());
+  EXPECT_FALSE(FuxiSchedule(context).feasible);
+  EXPECT_FALSE(IpaSchedule(context).feasible);
+  EXPECT_FALSE(IpaClusteredSchedule(context).decision.feasible);
+}
+
+TEST_F(TinyModelFixture, FallbackOptimizerSurvivesDeadCluster) {
+  // The degradation ladder cannot conjure capacity: on an all-down cluster
+  // it must land on the Fuxi rung with feasible=false, never crash.
+  Cluster cluster(ClusterOptions{.num_machines = 6, .seed = 12});
+  for (int i = 0; i < cluster.size(); ++i) cluster.machine(i).SetUp(false);
+  const Stage& stage = env_->workload().jobs[0].stages[0];
+  SchedulingContext context = MakeContext(stage, &cluster, &env_->model());
+  StageOptimizer optimizer(StageOptimizer::IpaRaaPathWithFallback());
+  StageDecision decision = optimizer.Optimize(context);
+  EXPECT_FALSE(decision.feasible);
+  EXPECT_EQ(decision.fallback, FallbackLevel::kFuxi);
+}
+
+TEST_F(TinyModelFixture, PartiallyDownClusterUsesOnlyLiveMachines) {
+  Cluster cluster(ClusterOptions{.num_machines = 8, .seed = 13});
+  for (int i = 0; i < cluster.size(); i += 2) cluster.machine(i).SetUp(false);
+  EXPECT_EQ(cluster.UpMachineCount(), 4);
+  Stage stage = MakeChainStage(/*m=*/4);
+  SchedulingContext context = MakeContext(stage, &cluster, &env_->model());
+  StageDecision decision = FuxiSchedule(context);
+  ASSERT_TRUE(decision.feasible);
+  for (int machine : decision.machine_of_instance) {
+    EXPECT_TRUE(cluster.machine(machine).up());
+  }
 }
 
 TEST_F(TinyModelFixture, IpaInfeasibleWhenStageExceedsClusterCapacity) {

@@ -38,6 +38,33 @@ TEST(DependencyManagerTest, ReleasesInDependencyOrder) {
   EXPECT_TRUE(deps.AllCompleted());
 }
 
+TEST(DependencyManagerTest, DetectsCyclicDag) {
+  // 0 -> 1 -> 2 -> 1: a replay of this job would deadlock silently. The
+  // manager must flag it at construction instead.
+  Job job;
+  job.stages.resize(3);
+  for (int s = 0; s < 3; ++s) {
+    job.stages[static_cast<size_t>(s)] = testing_util::MakeChainStage();
+  }
+  job.stage_deps = {{}, {0, 2}, {1}};
+  StageDependencyManager deps(job);
+  EXPECT_FALSE(deps.ok());
+  EXPECT_EQ(deps.status().code(), StatusCode::kFailedPrecondition);
+
+  Job acyclic = MakeDiamondJob();
+  EXPECT_TRUE(StageDependencyManager(acyclic).ok());
+}
+
+TEST(DependencyManagerTest, SelfLoopIsACycle) {
+  Job job;
+  job.stages.resize(1);
+  job.stages[0] = testing_util::MakeChainStage();
+  job.stage_deps = {{0}};
+  StageDependencyManager deps(job);
+  EXPECT_FALSE(deps.ok());
+  EXPECT_EQ(deps.status().code(), StatusCode::kFailedPrecondition);
+}
+
 TEST(DependencyManagerTest, DoubleCompleteIsIdempotent) {
   Job job = MakeDiamondJob();
   StageDependencyManager deps(job);
@@ -220,6 +247,23 @@ TEST_F(SimulatorFixture, StageOptimizerBeatsFuxiEndToEnd) {
   // The headline result, at smoke-test scale: both objectives improve.
   EXPECT_GT(rr.latency_in_rr, 0.0);
   EXPECT_GT(rr.cost_rr, 0.0);
+}
+
+TEST(SimulatorCycleTest, CyclicJobFailsPreconditionInsteadOfDeadlocking) {
+  Workload workload;
+  Job job;
+  job.stages.resize(2);
+  job.stages[0] = testing_util::MakeChainStage();
+  job.stages[1] = testing_util::MakeChainStage();
+  job.stage_deps = {{1}, {0}};
+  workload.jobs.push_back(job);
+  SimOptions options;
+  options.outcome = OutcomeMode::kEnvironment;
+  Simulator sim(&workload, nullptr, options);
+  Result<SimResult> result =
+      sim.Run([](const SchedulingContext& c) { return FuxiSchedule(c); });
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kFailedPrecondition);
 }
 
 TEST(ExperimentEnvTest, BuildWiresDatasetToWorkload) {

@@ -14,6 +14,9 @@ namespace testing_util {
 inline Stage MakeChainStage(int m = 4, double scan_rows = 1.0e6,
                             double filter_selectivity = 0.5) {
   Stage stage;
+  // Reserve up front: `add` hands out references into `operators`, which a
+  // reallocating push_back would invalidate.
+  stage.operators.reserve(3);
   auto add = [&stage](OperatorType type, std::vector<int> children) -> Operator& {
     Operator op;
     op.id = stage.operator_count();
