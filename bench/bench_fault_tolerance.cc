@@ -7,6 +7,7 @@
 // faults disabled the replay is bit-identical to the happy-path simulator.
 
 #include <cstdio>
+#include <cstring>
 #include <memory>
 
 #include "bench_util.h"
@@ -28,6 +29,12 @@ FaultOptions SweepFaults(double instance_failure_prob) {
   faults.straggler_slowdown = 4.0;
   faults.model_outage_rate_per_day = instance_failure_prob > 0.0 ? 6.0 : 0.0;
   faults.model_outage_seconds = 3600.0;
+  // Breaker over the model probe: outage windows trip it after 3 failed
+  // probes and later stages short-circuit to the ladder until a half-open
+  // probe succeeds.
+  faults.model_breaker.enabled = true;
+  faults.model_breaker.failure_threshold = 3;
+  faults.model_breaker.open_seconds = 900.0;
   faults.seed = 97;
   return faults;
 }
@@ -42,17 +49,32 @@ void PrintFaultRow(const char* label, const RoSummary& s) {
       s.total_failovers, s.speculative_wins, s.speculative_copies,
       s.fallback_histogram[0], s.fallback_histogram[1],
       s.fallback_histogram[2]);
+  if (s.breaker_trips > 0 || s.breaker_short_circuits > 0) {
+    std::printf("    %-16s breaker: trips=%ld short-circuits=%ld "
+                "recoveries=%ld\n",
+                "", s.breaker_trips, s.breaker_short_circuits,
+                s.breaker_recoveries);
+  }
+}
+
+bool HasFlag(int argc, char** argv, const char* flag) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], flag) == 0) return true;
+  }
+  return false;
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   SetLogLevel(LogLevel::kWarning);
+  // --quick: smoke scale + a two-point sweep, for the CI smoke-bench step.
+  const bool quick = HasFlag(argc, argv, "--quick");
   PrintHeader(
       "Fault tolerance: failure-rate sweep, Fuxi vs IPA+RAA(Path)+FB");
 
-  ExperimentEnv::Options options =
-      DefaultOptions(WorkloadId::kA, BenchScale::kAblation);
+  ExperimentEnv::Options options = DefaultOptions(
+      WorkloadId::kA, quick ? BenchScale::kSmoke : BenchScale::kAblation);
   Result<std::unique_ptr<ExperimentEnv>> env = ExperimentEnv::Build(options);
   FGRO_CHECK_OK(env.status());
 
@@ -64,7 +86,10 @@ int main() {
     return so.Optimize(c);
   };
 
-  for (double p : {0.0, 0.01, 0.05, 0.10}) {
+  const std::vector<double> sweep =
+      quick ? std::vector<double>{0.0, 0.05}
+            : std::vector<double>{0.0, 0.01, 0.05, 0.10};
+  for (double p : sweep) {
     std::printf("  instance-failure prob %.0f%% (machine crashes, "
                 "stragglers, model outages scale along)\n", p * 100);
     RoSummary fuxi_summary, so_summary;

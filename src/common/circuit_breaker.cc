@@ -1,0 +1,97 @@
+#include "common/circuit_breaker.h"
+
+#include <algorithm>
+
+namespace fgro {
+
+CircuitBreaker::CircuitBreaker(const CircuitBreakerOptions& options)
+    : options_(options) {
+  options_.failure_threshold = std::max(1, options_.failure_threshold);
+  options_.half_open_successes = std::max(1, options_.half_open_successes);
+  options_.open_seconds = std::max(0.0, options_.open_seconds);
+}
+
+const char* CircuitBreaker::StateName(State state) {
+  switch (state) {
+    case State::kClosed: return "closed";
+    case State::kOpen: return "open";
+    case State::kHalfOpen: return "half-open";
+  }
+  return "unknown";
+}
+
+bool CircuitBreaker::CountsAsFailure(const Status& status) {
+  return status.code() == StatusCode::kUnavailable ||
+         status.code() == StatusCode::kDeadlineExceeded;
+}
+
+void CircuitBreaker::Trip(double now) {
+  state_ = State::kOpen;
+  opened_at_ = now;
+  half_open_successes_ = 0;
+  ++trips_;
+}
+
+bool CircuitBreaker::AllowRequest(double now) {
+  if (state_ != State::kOpen) return true;
+  if (now - opened_at_ >= options_.open_seconds) {
+    state_ = State::kHalfOpen;
+    half_open_successes_ = 0;
+    return true;
+  }
+  ++short_circuits_;
+  return false;
+}
+
+void CircuitBreaker::RecordSuccess(double now) {
+  (void)now;
+  switch (state_) {
+    case State::kClosed:
+      consecutive_failures_ = 0;
+      break;
+    case State::kHalfOpen:
+      if (++half_open_successes_ >= options_.half_open_successes) {
+        state_ = State::kClosed;
+        consecutive_failures_ = 0;
+        half_open_successes_ = 0;
+        ++recoveries_;
+      }
+      break;
+    case State::kOpen:
+      // A success while open (caller ignored AllowRequest) is evidence the
+      // dependency recovered: treat it as a passed probe.
+      state_ = State::kHalfOpen;
+      half_open_successes_ = 1;
+      if (half_open_successes_ >= options_.half_open_successes) {
+        state_ = State::kClosed;
+        consecutive_failures_ = 0;
+        half_open_successes_ = 0;
+        ++recoveries_;
+      }
+      break;
+  }
+}
+
+void CircuitBreaker::RecordFailure(double now) {
+  switch (state_) {
+    case State::kClosed:
+      if (++consecutive_failures_ >= options_.failure_threshold) Trip(now);
+      break;
+    case State::kHalfOpen:
+      // A failed probe re-opens immediately; the cooldown restarts.
+      Trip(now);
+      break;
+    case State::kOpen:
+      break;
+  }
+}
+
+void CircuitBreaker::Record(const Status& status, double now) {
+  if (status.ok()) {
+    RecordSuccess(now);
+  } else if (CountsAsFailure(status)) {
+    RecordFailure(now);
+  }
+}
+
+}  // namespace fgro

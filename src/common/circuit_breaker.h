@@ -1,0 +1,77 @@
+#ifndef FGRO_COMMON_CIRCUIT_BREAKER_H_
+#define FGRO_COMMON_CIRCUIT_BREAKER_H_
+
+#include "common/status.h"
+
+namespace fgro {
+
+/// Knobs for one breaker. Defaults trip after 3 consecutive failures, stay
+/// open for 30 s, and close again after a single successful half-open probe.
+struct CircuitBreakerOptions {
+  bool enabled = false;        // convenience flag for embedding in configs
+  int failure_threshold = 3;   // consecutive failures that trip the breaker
+  double open_seconds = 30.0;  // cooldown before the first half-open probe
+  int half_open_successes = 1; // probe successes needed to close again
+};
+
+/// Circuit breaker over a fallible dependency (the model server, here):
+/// closed -> open on `failure_threshold` consecutive failures, open ->
+/// half-open once `open_seconds` of cooldown elapse, half-open -> closed
+/// after `half_open_successes` successful probes (or back to open on any
+/// probe failure). While open, AllowRequest short-circuits so callers fall
+/// straight to their fallback instead of burning retry budget on a dead
+/// dependency.
+///
+/// The clock is injected: every method takes `now` in caller-owned seconds
+/// (the simulator passes simulated time), so two replays with identical
+/// inputs walk identical state sequences — no wall-clock nondeterminism.
+/// `now` must be non-decreasing across calls.
+class CircuitBreaker {
+ public:
+  enum class State { kClosed = 0, kOpen = 1, kHalfOpen = 2 };
+
+  explicit CircuitBreaker(const CircuitBreakerOptions& options);
+
+  /// True when a call may proceed. Transitions open -> half-open when the
+  /// cooldown has elapsed; otherwise an open breaker counts a short-circuit
+  /// and refuses.
+  bool AllowRequest(double now);
+
+  void RecordSuccess(double now);
+  void RecordFailure(double now);
+
+  /// Which Status codes count as breaker failures: the transient
+  /// service-side errors (kUnavailable, kDeadlineExceeded). Caller bugs
+  /// (kInvalidArgument, ...) never trip the breaker.
+  static bool CountsAsFailure(const Status& status);
+
+  /// Routes `status` to RecordSuccess / RecordFailure / no-op per
+  /// CountsAsFailure.
+  void Record(const Status& status, double now);
+
+  State state() const { return state_; }
+  static const char* StateName(State state);
+
+  long trips() const { return trips_; }                    // closed/half-open -> open
+  long short_circuits() const { return short_circuits_; }  // refused while open
+  long recoveries() const { return recoveries_; }          // half-open -> closed
+  int consecutive_failures() const { return consecutive_failures_; }
+
+  const CircuitBreakerOptions& options() const { return options_; }
+
+ private:
+  void Trip(double now);
+
+  CircuitBreakerOptions options_;
+  State state_ = State::kClosed;
+  int consecutive_failures_ = 0;
+  int half_open_successes_ = 0;
+  double opened_at_ = 0.0;
+  long trips_ = 0;
+  long short_circuits_ = 0;
+  long recoveries_ = 0;
+};
+
+}  // namespace fgro
+
+#endif  // FGRO_COMMON_CIRCUIT_BREAKER_H_

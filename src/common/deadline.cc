@@ -1,0 +1,38 @@
+#include "common/deadline.h"
+
+#include <algorithm>
+#include <chrono>
+
+namespace fgro {
+
+namespace {
+
+double SteadyNowSeconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+Deadline Deadline::After(double budget_seconds) {
+  return After(budget_seconds, SteadyNowSeconds);
+}
+
+Deadline Deadline::After(double budget_seconds, ClockFn clock) {
+  double now = clock();
+  return Deadline(now + std::max(0.0, budget_seconds), std::move(clock));
+}
+
+double Deadline::remaining_seconds() const {
+  if (!clock_) return std::numeric_limits<double>::infinity();
+  return std::max(0.0, expires_at_ - clock_());
+}
+
+Status Deadline::Check(const char* what) const {
+  if (!expired()) return Status::OK();
+  return Status::DeadlineExceeded(std::string(what) +
+                                  ": propagated RO budget exhausted");
+}
+
+}  // namespace fgro

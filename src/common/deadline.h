@@ -1,0 +1,63 @@
+#ifndef FGRO_COMMON_DEADLINE_H_
+#define FGRO_COMMON_DEADLINE_H_
+
+#include <functional>
+#include <limits>
+#include <string>
+#include <utility>
+
+#include "common/status.h"
+
+namespace fgro {
+
+/// A propagated time budget. Instead of measuring a solve after the fact and
+/// discovering it blew `ro_time_limit_seconds`, the caller creates a
+/// Deadline up front and threads it through placement / RAA / model calls;
+/// each solver checks it at iteration granularity and aborts early, so the
+/// degradation ladder takes over with budget still left to run the fallback.
+///
+/// The clock is injected: `After(budget, clock)` uses any monotonic
+/// seconds-valued callable (tests pass a fake they advance by hand), and the
+/// default uses the process steady clock. Default-constructed deadlines are
+/// infinite and never expire — the expired() fast path does not touch the
+/// clock, so an unarmed deadline costs one branch per check.
+class Deadline {
+ public:
+  using ClockFn = std::function<double()>;
+
+  /// Infinite: never expires.
+  Deadline() = default;
+
+  static Deadline Infinite() { return Deadline(); }
+
+  /// Expires `budget_seconds` of wall-clock time from now.
+  static Deadline After(double budget_seconds);
+
+  /// Expires when `clock()` reaches `clock() + budget_seconds`.
+  static Deadline After(double budget_seconds, ClockFn clock);
+
+  bool infinite() const { return !clock_; }
+
+  bool expired() const {
+    if (!clock_) return false;
+    return clock_() >= expires_at_;
+  }
+
+  /// Seconds left; +infinity for an infinite deadline, clamped at 0 after
+  /// expiry.
+  double remaining_seconds() const;
+
+  /// OK while time remains; kDeadlineExceeded mentioning `what` after.
+  Status Check(const char* what) const;
+
+ private:
+  Deadline(double expires_at, ClockFn clock)
+      : expires_at_(expires_at), clock_(std::move(clock)) {}
+
+  double expires_at_ = std::numeric_limits<double>::infinity();
+  ClockFn clock_;  // null = infinite
+};
+
+}  // namespace fgro
+
+#endif  // FGRO_COMMON_DEADLINE_H_

@@ -19,6 +19,7 @@ enum class StatusCode {
   kResourceExhausted,
   kDeadlineExceeded,
   kUnavailable,
+  kDataLoss,
   kInternal,
 };
 
@@ -52,6 +53,9 @@ class Status {
   static Status Unavailable(std::string msg) {
     return Status(StatusCode::kUnavailable, std::move(msg));
   }
+  static Status DataLoss(std::string msg) {
+    return Status(StatusCode::kDataLoss, std::move(msg));
+  }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
   }
@@ -76,6 +80,7 @@ class Status {
       case StatusCode::kResourceExhausted: return "ResourceExhausted";
       case StatusCode::kDeadlineExceeded: return "DeadlineExceeded";
       case StatusCode::kUnavailable: return "Unavailable";
+      case StatusCode::kDataLoss: return "DataLoss";
       case StatusCode::kInternal: return "Internal";
     }
     return "Unknown";

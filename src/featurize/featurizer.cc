@@ -1,9 +1,12 @@
 #include "featurize/featurizer.h"
 
+#include "featurize/validate.h"
+
 namespace fgro {
 
 Result<std::vector<Vec>> Featurizer::OperatorRows(const Stage& stage,
                                                   int instance_idx) const {
+  FGRO_RETURN_IF_ERROR(ValidateInstanceMeta(stage, instance_idx));
   Result<std::vector<AimEntry>> aim =
       ComputeAim(stage, instance_idx, mask_.ch1 ? mask_.aim : AimMode::kOff);
   if (!aim.ok()) return aim.status();

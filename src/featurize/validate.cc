@@ -1,0 +1,76 @@
+#include "featurize/validate.h"
+
+#include <cmath>
+#include <string>
+
+#include "featurize/channels.h"
+
+namespace fgro {
+
+namespace {
+
+bool FiniteNonNegative(double v) { return std::isfinite(v) && v >= 0.0; }
+
+std::string Where(const Stage& stage, int instance_idx) {
+  return "stage " + std::to_string(stage.id) + " instance " +
+         std::to_string(instance_idx);
+}
+
+}  // namespace
+
+Status ValidateInstanceMeta(const Stage& stage, int instance_idx) {
+  if (instance_idx < 0 || instance_idx >= stage.instance_count()) {
+    return Status::InvalidArgument(
+        "instance index " + std::to_string(instance_idx) +
+        " out of range for stage " + std::to_string(stage.id) + " with " +
+        std::to_string(stage.instance_count()) + " instances");
+  }
+  const InstanceMeta& meta =
+      stage.instances[static_cast<size_t>(instance_idx)];
+  if (!FiniteNonNegative(meta.input_rows) ||
+      !FiniteNonNegative(meta.input_bytes)) {
+    return Status::InvalidArgument(Where(stage, instance_idx) +
+                                   ": non-finite or negative input rows/bytes");
+  }
+  if (!std::isfinite(meta.input_fraction) || meta.input_fraction < 0.0 ||
+      meta.input_fraction > 1.0 + 1e-9) {
+    return Status::InvalidArgument(Where(stage, instance_idx) +
+                                   ": input fraction outside [0, 1]");
+  }
+  if (!std::isfinite(meta.hidden_skew) || meta.hidden_skew <= 0.0) {
+    return Status::InvalidArgument(Where(stage, instance_idx) +
+                                   ": non-finite or non-positive skew factor");
+  }
+  return Status::OK();
+}
+
+Status ValidateChannels(const ResourceConfig& theta, const SystemState& state,
+                        int hardware_type, int discretization_degree) {
+  if (!std::isfinite(theta.cores) || theta.cores <= 0.0 ||
+      !std::isfinite(theta.memory_gb) || theta.memory_gb <= 0.0) {
+    return Status::InvalidArgument(
+        "resource plan must be finite and positive, got cores=" +
+        std::to_string(theta.cores) +
+        " memory_gb=" + std::to_string(theta.memory_gb));
+  }
+  for (double util : {state.cpu_util, state.mem_util, state.io_util}) {
+    if (!std::isfinite(util) || util < 0.0 || util > 1.0 + 1e-9) {
+      return Status::InvalidArgument(
+          "system-state utilization outside [0, 1]: " + std::to_string(util));
+    }
+  }
+  if (hardware_type < 0 || hardware_type >= kNumHardwareTypes) {
+    return Status::InvalidArgument("hardware type " +
+                                   std::to_string(hardware_type) +
+                                   " outside the catalog of " +
+                                   std::to_string(kNumHardwareTypes));
+  }
+  if (discretization_degree < 1) {
+    return Status::InvalidArgument(
+        "discretization degree must be >= 1, got " +
+        std::to_string(discretization_degree));
+  }
+  return Status::OK();
+}
+
+}  // namespace fgro

@@ -1,0 +1,29 @@
+#ifndef FGRO_FEATURIZE_VALIDATE_H_
+#define FGRO_FEATURIZE_VALIDATE_H_
+
+#include "cluster/machine.h"
+#include "cluster/resource.h"
+#include "common/status.h"
+#include "plan/stage.h"
+
+namespace fgro {
+
+/// Input validation at the featurizer boundary. Corrupt traces, buggy
+/// generators, or bit-flipped imports must be rejected with
+/// kInvalidArgument before NaN/Inf or out-of-range values reach GPR/Pareto
+/// math, where a single non-finite feature silently poisons every
+/// downstream prediction.
+
+/// Rejects an out-of-range instance index and non-finite / negative
+/// instance meta (rows, bytes, fraction, hidden skew).
+Status ValidateInstanceMeta(const Stage& stage, int instance_idx);
+
+/// Rejects non-finite or non-positive resource plans, system-state
+/// utilizations outside [0, 1], an out-of-range hardware type, and a
+/// discretization degree no bucketing can honor.
+Status ValidateChannels(const ResourceConfig& theta, const SystemState& state,
+                        int hardware_type, int discretization_degree);
+
+}  // namespace fgro
+
+#endif  // FGRO_FEATURIZE_VALIDATE_H_

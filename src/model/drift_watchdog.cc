@@ -1,0 +1,84 @@
+#include "model/drift_watchdog.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/math_utils.h"
+
+namespace fgro {
+
+namespace {
+// Cap for degenerate observations (NaN/Inf/non-positive): large enough to
+// out-vote any threshold, small enough to keep the median arithmetic sane.
+constexpr double kWorstQError = 1e6;
+}  // namespace
+
+DriftWatchdog::DriftWatchdog(const DriftWatchdogOptions& options,
+                             int num_hardware_types)
+    : options_(options) {
+  options_.window_size = std::max(1, options_.window_size);
+  options_.min_samples = std::max(1, options_.min_samples);
+  options_.recover_qerror =
+      std::min(options_.recover_qerror, options_.alarm_qerror);
+  const size_t buckets = static_cast<size_t>(std::max(1, num_hardware_types)) + 1;
+  windows_.resize(buckets);
+  cursor_.assign(buckets, 0);
+}
+
+void DriftWatchdog::Observe(int hardware_type, double predicted,
+                            double actual) {
+  if (!options_.enabled) return;
+  size_t bucket = windows_.size() - 1;  // catch-all
+  if (hardware_type >= 0 &&
+      hardware_type < static_cast<int>(windows_.size()) - 1) {
+    bucket = static_cast<size_t>(hardware_type);
+  }
+  double q = kWorstQError;
+  if (std::isfinite(predicted) && std::isfinite(actual) && predicted > 0.0 &&
+      actual > 0.0) {
+    q = std::min(kWorstQError, std::max(predicted / actual,
+                                        actual / predicted));
+  }
+  std::vector<double>& window = windows_[bucket];
+  if (window.size() < static_cast<size_t>(options_.window_size)) {
+    window.push_back(q);
+  } else {
+    window[cursor_[bucket]] = q;
+    cursor_[bucket] = (cursor_[bucket] + 1) % window.size();
+  }
+  UpdateAlarm();
+}
+
+double DriftWatchdog::MedianQError(int hardware_type) const {
+  size_t bucket = windows_.size() - 1;
+  if (hardware_type >= 0 &&
+      hardware_type < static_cast<int>(windows_.size()) - 1) {
+    bucket = static_cast<size_t>(hardware_type);
+  }
+  const std::vector<double>& window = windows_[bucket];
+  if (window.size() < static_cast<size_t>(options_.min_samples)) return 1.0;
+  return Median(window);
+}
+
+double DriftWatchdog::WorstMedianQError() const {
+  double worst = 1.0;
+  for (const std::vector<double>& window : windows_) {
+    if (window.size() < static_cast<size_t>(options_.min_samples)) continue;
+    worst = std::max(worst, Median(window));
+  }
+  return worst;
+}
+
+void DriftWatchdog::UpdateAlarm() {
+  const double worst = WorstMedianQError();
+  if (!alarmed_) {
+    if (worst >= options_.alarm_qerror) {
+      alarmed_ = true;
+      ++alarms_raised_;
+    }
+  } else if (worst < options_.recover_qerror) {
+    alarmed_ = false;
+  }
+}
+
+}  // namespace fgro

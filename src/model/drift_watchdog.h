@@ -1,0 +1,72 @@
+#ifndef FGRO_MODEL_DRIFT_WATCHDOG_H_
+#define FGRO_MODEL_DRIFT_WATCHDOG_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace fgro {
+
+/// Knobs for the online drift watchdog. Q-error = max(pred/actual,
+/// actual/pred) >= 1; a perfectly calibrated model sits near 1, and the
+/// paper's Fig. 10 drift scenario shows it climbing as the workload moves
+/// away from the training distribution.
+struct DriftWatchdogOptions {
+  bool enabled = false;
+  int window_size = 64;        // rolling observations kept per hardware type
+  int min_samples = 16;        // a window below this can never alarm
+  double alarm_qerror = 2.0;   // median q-error that raises the alarm
+  /// Hysteresis: once alarmed, every window's median must drop below this
+  /// (stricter) bound before the alarm clears — prevents flapping between
+  /// demote and re-promote at the threshold.
+  double recover_qerror = 1.5;
+};
+
+/// Online model-drift watchdog: compares predicted vs. simulated instance
+/// latencies in a rolling q-error window per hardware type and raises a
+/// drift alarm when any window's median crosses the threshold. The
+/// simulator demotes the optimizer down the existing fallback ladder while
+/// the alarm holds (the model keeps being shadow-evaluated, which is how
+/// the window recovers and the optimizer is re-promoted).
+///
+/// Purely arithmetic over caller-supplied values: no clock, no RNG —
+/// identical observation sequences produce identical alarm sequences.
+class DriftWatchdog {
+ public:
+  DriftWatchdog(const DriftWatchdogOptions& options, int num_hardware_types);
+
+  bool enabled() const { return options_.enabled; }
+
+  /// Feeds one (predicted, actual) pair and updates the alarm state.
+  /// Non-finite or non-positive pairs are counted as worst-case q-error:
+  /// a model emitting NaN is maximally drifted, not ignorable.
+  void Observe(int hardware_type, double predicted, double actual);
+
+  bool alarmed() const { return alarmed_; }
+
+  /// Number of clear -> alarmed transitions so far.
+  int alarms_raised() const { return alarms_raised_; }
+
+  /// Worst per-hardware-type median q-error over windows with enough
+  /// samples; 1.0 when nothing qualifies yet.
+  double WorstMedianQError() const;
+
+  /// Median q-error of one hardware type's window (1.0 if under-sampled).
+  double MedianQError(int hardware_type) const;
+
+  const DriftWatchdogOptions& options() const { return options_; }
+
+ private:
+  void UpdateAlarm();
+
+  DriftWatchdogOptions options_;
+  /// Rolling windows, one per hardware type (+ one catch-all for ids
+  /// outside [0, num_hardware_types)); ring buffers of q-errors.
+  std::vector<std::vector<double>> windows_;
+  std::vector<std::size_t> cursor_;
+  bool alarmed_ = false;
+  int alarms_raised_ = 0;
+};
+
+}  // namespace fgro
+
+#endif  // FGRO_MODEL_DRIFT_WATCHDOG_H_

@@ -6,6 +6,7 @@
 
 #include "common/logging.h"
 #include "common/math_utils.h"
+#include "featurize/validate.h"
 #include "model/metrics.h"
 
 namespace fgro {
@@ -124,6 +125,13 @@ Status LatencyModel::PrepareForInference(const Stage& stage, int instance_idx,
                                          int hardware_type,
                                          PreparedSample* out) const {
   const Featurizer& fz = options_.featurizer;
+  // Featurizer-boundary validation: a corrupt trace row or a bit-flipped
+  // import must fail here with kInvalidArgument, not surface as a NaN
+  // prediction inside IPA/RAA. (PredictFromEmbedding skips this on purpose:
+  // its inputs were validated when the embedding was built.)
+  FGRO_RETURN_IF_ERROR(ValidateInstanceMeta(stage, instance_idx));
+  FGRO_RETURN_IF_ERROR(ValidateChannels(theta, state, hardware_type,
+                                        fz.discretization_degree()));
   if (UsesTree()) {
     Result<PlanGraph> tree = fz.BuildPlanTree(stage, instance_idx,
                                               &out->tree_root);

@@ -1,14 +1,30 @@
 #include "moo/pareto.h"
 
 #include <algorithm>
+#include <cmath>
 #include <limits>
 
 namespace fgro {
 
+namespace {
+
+bool AllFinite(const std::vector<double>& p) {
+  for (double v : p) {
+    if (!std::isfinite(v)) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
 bool Dominates(const std::vector<double>& a, const std::vector<double>& b) {
+  // A point carrying NaN/Inf never dominates: NaN comparisons are all
+  // false, which would otherwise let a corrupt objective vector "dominate"
+  // everything and poison the frontier.
+  if (!AllFinite(a)) return false;
   bool strictly_better = false;
   for (size_t i = 0; i < a.size(); ++i) {
-    if (a[i] > b[i]) return false;
+    if (!(a[i] <= b[i])) return false;  // also rejects NaN in b
     if (a[i] < b[i]) strictly_better = true;
   }
   return strictly_better;
@@ -19,11 +35,21 @@ std::vector<int> ParetoFilter(
   std::vector<int> result;
   if (points.empty()) return result;
 
+  // Non-finite objective vectors are dropped up front: a NaN latency is a
+  // model failure, not a candidate operating point.
+  std::vector<bool> finite(points.size());
+  for (size_t i = 0; i < points.size(); ++i) {
+    finite[i] = AllFinite(points[i]);
+  }
+
   if (points[0].size() == 2) {
     // Sort by first objective (ties: second); sweep keeping the running
     // minimum of the second objective.
-    std::vector<int> order(points.size());
-    for (size_t i = 0; i < order.size(); ++i) order[i] = static_cast<int>(i);
+    std::vector<int> order;
+    order.reserve(points.size());
+    for (size_t i = 0; i < points.size(); ++i) {
+      if (finite[i]) order.push_back(static_cast<int>(i));
+    }
     std::sort(order.begin(), order.end(), [&](int a, int b) {
       if (points[static_cast<size_t>(a)][0] !=
           points[static_cast<size_t>(b)][0]) {
@@ -50,9 +76,10 @@ std::vector<int> ParetoFilter(
   }
 
   for (size_t i = 0; i < points.size(); ++i) {
+    if (!finite[i]) continue;
     bool dominated = false;
     for (size_t j = 0; j < points.size(); ++j) {
-      if (i == j) continue;
+      if (i == j || !finite[j]) continue;
       if (Dominates(points[j], points[i])) {
         dominated = true;
         break;

@@ -9,17 +9,31 @@ int WeightedUtopiaNearest(const std::vector<std::vector<double>>& pareto,
                           const std::vector<double>& weights) {
   if (pareto.empty()) return -1;
   const size_t k = pareto[0].size();
+  // Non-finite points are excluded from both the utopia/nadir bounds and
+  // candidacy: a NaN objective would otherwise corrupt the normalization
+  // for every point. -1 when no finite point exists.
+  auto is_finite = [&](const std::vector<double>& p) {
+    for (double v : p) {
+      if (!std::isfinite(v)) return false;
+    }
+    return true;
+  };
   std::vector<double> lo(k, std::numeric_limits<double>::infinity());
   std::vector<double> hi(k, -std::numeric_limits<double>::infinity());
+  bool any_finite = false;
   for (const std::vector<double>& p : pareto) {
+    if (!is_finite(p)) continue;
+    any_finite = true;
     for (size_t j = 0; j < k; ++j) {
       lo[j] = std::min(lo[j], p[j]);
       hi[j] = std::max(hi[j], p[j]);
     }
   }
-  int best = 0;
+  if (!any_finite) return -1;
+  int best = -1;
   double best_dist = std::numeric_limits<double>::infinity();
   for (size_t i = 0; i < pareto.size(); ++i) {
+    if (!is_finite(pareto[i])) continue;
     double dist = 0.0;
     for (size_t j = 0; j < k; ++j) {
       double range = hi[j] - lo[j];

@@ -121,6 +121,12 @@ StageDecision IpaSchedule(const SchedulingContext& context) {
   std::vector<std::vector<double>> L(
       static_cast<size_t>(m), std::vector<double>(static_cast<size_t>(n)));
   for (int i = 0; i < m; ++i) {
+    // One deadline check per matrix row: the m x n inference bill is the
+    // expensive part, and aborting here leaves the ladder budget to spare.
+    if (context.deadline.expired()) {
+      decision.solve_seconds = timer.ElapsedSeconds();
+      return decision;
+    }
     Result<LatencyModel::EmbeddedInstance> embedded =
         context.model->Embed(stage, i);
     if (!embedded.ok()) return decision;
@@ -134,6 +140,10 @@ StageDecision IpaSchedule(const SchedulingContext& context) {
     }
   }
 
+  if (context.deadline.expired()) {
+    decision.solve_seconds = timer.ElapsedSeconds();
+    return decision;
+  }
   std::vector<int> assignment = IpaGreedyMatch(L, std::move(capacity));
   if (assignment.empty() && m > 0) return decision;
 

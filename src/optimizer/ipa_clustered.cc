@@ -48,6 +48,10 @@ ClusteredIpaResult IpaClusteredSchedule(const SchedulingContext& context) {
   std::vector<std::vector<double>> L(
       static_cast<size_t>(mc), std::vector<double>(static_cast<size_t>(nc)));
   for (int i = 0; i < mc; ++i) {
+    if (context.deadline.expired()) {
+      decision.solve_seconds = timer.ElapsedSeconds();
+      return result;
+    }
     Result<LatencyModel::EmbeddedInstance> embedded = context.model->Embed(
         stage, inst_clusters[static_cast<size_t>(i)].representative);
     if (!embedded.ok()) return result;
@@ -94,6 +98,10 @@ ClusteredIpaResult IpaClusteredSchedule(const SchedulingContext& context) {
   int placed = 0;
 
   while (placed < m) {
+    if (context.deadline.expired()) {
+      decision.solve_seconds = timer.ElapsedSeconds();
+      return result;
+    }
     int i_t = -1;
     double max_bpl = -1.0;
     for (int i = 0; i < mc; ++i) {

@@ -362,6 +362,7 @@ StageDecision RunMooBaseline(const SchedulingContext& context,
   std::vector<std::vector<double>> pareto_front;
   for (int idx : pareto) pareto_front.push_back(fronts[static_cast<size_t>(idx)]);
   int pick = WeightedUtopiaNearest(pareto_front);
+  if (pick < 0) return decision;  // no finite frontier point
   const Vec& genome = genomes[static_cast<size_t>(pareto[static_cast<size_t>(pick)])];
 
   std::vector<int> mach_of_cluster, theta_of_cluster;

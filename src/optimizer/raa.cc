@@ -168,6 +168,12 @@ RaaResult RunRaa(const SchedulingContext& context,
   double default_latency = 0.0, default_cost = 0.0;
   pareto_sets.reserve(groups.size());
   for (const FastMciGroup& group : groups) {
+    // Deadline check per group frontier: RAA aborts with ok=false and the
+    // ladder keeps the (valid) placement on theta0.
+    if (context.deadline.expired()) {
+      result.solve_seconds = timer.ElapsedSeconds();
+      return result;
+    }
     const Machine& machine = cluster.machine(group.representative_machine);
     const double share =
         static_cast<double>(coresidents[static_cast<size_t>(
@@ -254,6 +260,9 @@ RaaResult RunRaa(const SchedulingContext& context,
   if (dominating.empty()) {
     result.recommended_index =
         WeightedUtopiaNearest(result.stage_pareto, options.wun_weights);
+    // WUN returns -1 when no finite point exists (a drifted model can emit
+    // NaN objectives): abort with ok=false, the ladder keeps theta0.
+    if (result.recommended_index < 0) return result;
   } else {
     std::vector<std::vector<double>> candidates;
     candidates.reserve(dominating.size());
@@ -261,6 +270,7 @@ RaaResult RunRaa(const SchedulingContext& context,
       candidates.push_back(result.stage_pareto[static_cast<size_t>(i)]);
     }
     int pick = WeightedUtopiaNearest(candidates, options.wun_weights);
+    if (pick < 0) return result;
     result.recommended_index = dominating[static_cast<size_t>(pick)];
   }
   const StageParetoPoint& chosen =

@@ -5,6 +5,7 @@
 
 #include "cluster/cluster.h"
 #include "cluster/resource.h"
+#include "common/deadline.h"
 #include "model/latency_model.h"
 #include "plan/stage.h"
 
@@ -25,6 +26,12 @@ struct SchedulingContext {
   /// RO budget a degrading scheduler should respect (the simulator's
   /// per-stage coverage cutoff).
   double ro_time_limit_seconds = 60.0;
+  /// Propagated solve deadline. Infinite by default; StageOptimizer arms it
+  /// from ro_time_limit_seconds when the degradation ladder is on, and
+  /// IPA/RAA check it at solver-iteration granularity, aborting early so
+  /// the fallback rung still has budget to run. Callers may pre-arm it
+  /// (e.g. with an injected test clock) and the solvers honor theirs.
+  Deadline deadline;
   /// Diverse-placement cap: max instances per machine. 0 = auto
   /// (2 * ceil(m / available machines), always >= ceil(m/n) as required).
   int alpha = 0;

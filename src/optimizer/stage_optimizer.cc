@@ -64,14 +64,25 @@ StageDecision StageOptimizer::Optimize(const SchedulingContext& context) const {
   const std::vector<FastMciGroup>* groups = nullptr;
   ClusteredIpaResult clustered;
 
-  const bool model_ok = context.model_available && context.model != nullptr &&
-                        context.model->trained();
+  // Arm the propagated deadline from the RO time limit so IPA/RAA abort at
+  // iteration granularity instead of discovering the overrun post-hoc.
+  // Only with the ladder on: without a fallback rung, an aborted solve
+  // would simply lose the stage. A caller-armed deadline is honored as-is.
+  SchedulingContext ctx = context;
+  if (config_.degrade_gracefully && ctx.deadline.infinite()) {
+    ctx.deadline = Deadline::After(ctx.ro_time_limit_seconds);
+  }
+
+  const bool model_ok = ctx.model_available && ctx.model != nullptr &&
+                        ctx.model->trained();
   const bool placement_needs_model = config_.placement != Placement::kFuxi;
 
   // Ladder bottom rung: the model-free Fuxi baseline, reached when the
-  // model is gone or the primary placement cannot place the stage.
+  // model is gone, the primary placement cannot place the stage, or the
+  // deadline expired mid-solve. Fuxi itself never checks the deadline —
+  // the bottom rung must always produce a decision.
   auto fuxi_fallback = [&](double solve_spent) {
-    StageDecision fb = FuxiSchedule(context);
+    StageDecision fb = FuxiSchedule(ctx);
     fb.solve_seconds += solve_spent;
     fb.fallback = FallbackLevel::kFuxi;
     return fb;
@@ -83,13 +94,13 @@ StageDecision StageOptimizer::Optimize(const SchedulingContext& context) const {
 
   switch (config_.placement) {
     case Placement::kFuxi:
-      decision = FuxiSchedule(context);
+      decision = FuxiSchedule(ctx);
       break;
     case Placement::kIpaOrg:
-      decision = IpaSchedule(context);
+      decision = IpaSchedule(ctx);
       break;
     case Placement::kIpaClustered:
-      clustered = IpaClusteredSchedule(context);
+      clustered = IpaClusteredSchedule(ctx);
       decision = std::move(clustered.decision);
       groups = &clustered.groups;
       break;
@@ -99,7 +110,7 @@ StageDecision StageOptimizer::Optimize(const SchedulingContext& context) const {
     if (!decision.feasible && placement_needs_model) {
       return fuxi_fallback(decision.solve_seconds);
     }
-    if (decision.solve_seconds > context.ro_time_limit_seconds) {
+    if (decision.solve_seconds > ctx.ro_time_limit_seconds) {
       return fuxi_fallback(decision.solve_seconds);
     }
   }
@@ -112,10 +123,10 @@ StageDecision StageOptimizer::Optimize(const SchedulingContext& context) const {
     return decision;
   }
 
-  RaaResult raa = RunRaa(context, decision, groups, config_.raa);
+  RaaResult raa = RunRaa(ctx, decision, groups, config_.raa);
   if (config_.degrade_gracefully) {
     const bool over_budget = decision.solve_seconds + raa.solve_seconds >
-                             context.ro_time_limit_seconds;
+                             ctx.ro_time_limit_seconds;
     if (!raa.ok || over_budget) {
       // Middle rung: keep the (valid) placement, drop the per-instance
       // resource tuning and fall back to the uniform theta0 plan.

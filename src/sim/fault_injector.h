@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/circuit_breaker.h"
 #include "common/retry.h"
 
 namespace fgro {
@@ -42,6 +43,13 @@ struct FaultOptions {
   /// during which schedulers see no model and must degrade.
   double model_outage_rate_per_day = 0.0;
   double model_outage_seconds = 600.0;
+
+  /// Circuit breaker over model-server probes. Disabled (default), every
+  /// stage probes the server directly (the oracle behavior). Enabled, the
+  /// simulator probes through the breaker: repeated failed probes trip it
+  /// and subsequent stages fall straight to the theta0/Fuxi ladder without
+  /// burning a probe, until a half-open probe after the cooldown succeeds.
+  CircuitBreakerOptions model_breaker;
 
   /// Horizon over which crash/outage schedules are generated. Events past
   /// the horizon never fire.

@@ -19,6 +19,11 @@ RoSummary Summarize(const SimResult& result) {
     s.total_wasted_cost += o.wasted_cost;
     s.total_cost += o.stage_cost;
     s.fallback_histogram[static_cast<size_t>(o.fallback)]++;
+    s.breaker_trips += o.breaker_tripped ? 1 : 0;
+    s.breaker_short_circuits += o.model_short_circuited ? 1 : 0;
+    s.breaker_recoveries += o.breaker_recovered ? 1 : 0;
+    s.drift_alarms += o.drift_alarm_raised ? 1 : 0;
+    s.drift_demoted_stages += o.drift_demoted ? 1 : 0;
     if (!o.feasible) continue;
     ++s.feasible_stages;
     lat += o.stage_latency;

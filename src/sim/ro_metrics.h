@@ -31,6 +31,12 @@ struct RoSummary {
   /// Stages decided at each degradation-ladder level, indexed by
   /// FallbackLevel (primary / theta0 / fuxi).
   std::array<int, 3> fallback_histogram = {0, 0, 0};
+  /// Defensive-layer accounting (all zero with breaker/watchdog off).
+  long breaker_trips = 0;           // stages where the breaker opened
+  long breaker_short_circuits = 0;  // stages that skipped the model probe
+  long breaker_recoveries = 0;      // stages where a half-open probe closed it
+  long drift_alarms = 0;            // watchdog alarm transitions
+  long drift_demoted_stages = 0;    // stages degraded by an active alarm
 };
 
 RoSummary Summarize(const SimResult& result);

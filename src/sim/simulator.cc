@@ -2,8 +2,10 @@
 
 #include <algorithm>
 
+#include "common/circuit_breaker.h"
 #include "common/logging.h"
 #include "common/math_utils.h"
+#include "featurize/channels.h"
 #include "sim/dependency_manager.h"
 
 namespace fgro {
@@ -66,7 +68,30 @@ Result<SimResult> Simulator::RunJobs(const SchedulerFn& scheduler,
   Hbo hbo(workload_->profile.hbo);
   FaultInjector injector(options_.faults, cluster.size());
   const bool faults = injector.active();
+  // Breaker over the model-server probe: only consulted when faults are on
+  // AND the breaker is enabled, so the oracle probe path is untouched by
+  // default and existing replays stay byte-identical.
+  CircuitBreaker breaker(options_.faults.model_breaker);
+  const bool use_breaker = faults && options_.faults.model_breaker.enabled;
+  // Online drift watchdog: shadow-compares predictions against simulated
+  // actuals per hardware type; independent of the fault injector.
+  DriftWatchdog watchdog(options_.drift_watchdog, kNumHardwareTypes);
+  const bool shadow =
+      watchdog.enabled() && model_ != nullptr && model_->trained();
   SimResult result;
+
+  // Deterministic drift pulse: scales actual latencies while sim time is
+  // inside the pulse window. The 1.0 fast path keeps the default replay
+  // bit-identical.
+  auto apply_drift = [&](double actual) {
+    if (options_.drift_multiplier == 1.0) return actual;
+    const double now = cluster.now();
+    if (now >= options_.drift_start_seconds &&
+        now < options_.drift_end_seconds) {
+      return actual * options_.drift_multiplier;
+    }
+    return actual;
+  };
 
   // One "actual" latency draw for an attempt of instance i on a machine.
   auto sample_actual = [&](const Stage& stage, int i, const Machine& machine,
@@ -77,19 +102,30 @@ Result<SimResult> Simulator::RunJobs(const SchedulerFn& scheduler,
             double pred,
             model_->Predict(stage, i, theta, machine.state(),
                             machine.hardware().id));
-        return pred;
+        return apply_drift(pred);
       }
       case OutcomeMode::kGprNoise: {
         FGRO_ASSIGN_OR_RETURN(
             double pred,
             model_->Predict(stage, i, theta, machine.state(),
                             machine.hardware().id));
-        return options_.gpr->Sample(pred, &rng);
+        return apply_drift(options_.gpr->Sample(pred, &rng));
       }
       case OutcomeMode::kEnvironment:
-        return env.SampleLatency(stage, i, machine, theta, &rng);
+        return apply_drift(env.SampleLatency(stage, i, machine, theta, &rng));
     }
     return Status::Internal("unknown outcome mode");
+  };
+
+  // Shadow prediction for the watchdog; never fails the replay (a failed
+  // shadow predict just skips the observation).
+  auto observe_drift = [&](const Stage& stage, int i, const Machine& machine,
+                           const ResourceConfig& theta, double actual) {
+    Result<double> pred = model_->Predict(stage, i, theta, machine.state(),
+                                          machine.hardware().id);
+    if (pred.ok()) {
+      watchdog.Observe(machine.hardware().id, pred.value(), actual);
+    }
   };
 
   for (int job_idx : job_indices) {
@@ -119,15 +155,48 @@ Result<SimResult> Simulator::RunJobs(const SchedulerFn& scheduler,
         context.model = model_;
         context.theta0 = rec.theta0;
         context.ro_time_limit_seconds = options_.ro_time_limit_seconds;
-        if (faults) {
-          context.model_available = injector.ModelAvailable(cluster.now());
-        }
 
         StageOutcome outcome;
         outcome.job_idx = job_idx;
         outcome.stage_idx = s;
         outcome.num_instances = stage.instance_count();
         outcome.default_theta_cores = rec.theta0.cores;
+
+        if (faults) {
+          if (use_breaker) {
+            // Breaker-gated probe: while open, stages skip the probe
+            // entirely (short circuit) and degrade immediately; a half-open
+            // probe after the cooldown decides recovery vs. re-trip.
+            const double now = cluster.now();
+            if (!breaker.AllowRequest(now)) {
+              context.model_available = false;
+              outcome.model_short_circuited = true;
+            } else {
+              const long trips_before = breaker.trips();
+              const long recoveries_before = breaker.recoveries();
+              const bool up = injector.ModelAvailable(now);
+              if (up) {
+                breaker.RecordSuccess(now);
+              } else {
+                breaker.RecordFailure(now);
+              }
+              context.model_available = up;
+              outcome.breaker_tripped = breaker.trips() > trips_before;
+              outcome.breaker_recovered =
+                  breaker.recoveries() > recoveries_before;
+            }
+          } else {
+            context.model_available = injector.ModelAvailable(cluster.now());
+          }
+        }
+        if (watchdog.enabled() && watchdog.alarmed()) {
+          // Drift demotion: the model is reachable but untrustworthy; the
+          // ladder treats it like an outage. Shadow evaluation continues
+          // below, so the window can recover and re-promote.
+          context.model_available = false;
+          outcome.drift_demoted = true;
+        }
+        const long alarms_before = watchdog.alarms_raised();
 
         StageDecision decision = scheduler(context);
         outcome.solve_seconds = decision.solve_seconds;
@@ -166,6 +235,7 @@ Result<SimResult> Simulator::RunJobs(const SchedulerFn& scheduler,
             latencies[static_cast<size_t>(i)] = actual.value();
             max_latency = std::max(max_latency, actual.value());
             cost += actual.value() * context.cost_weights.Rate(theta);
+            if (shadow) observe_drift(stage, i, machine, theta, actual.value());
           }
           for (int i = 0; i < m; ++i) {
             cluster
@@ -175,6 +245,7 @@ Result<SimResult> Simulator::RunJobs(const SchedulerFn& scheduler,
           outcome.stage_latency = max_latency;
           outcome.stage_latency_in = max_latency + decision.solve_seconds;
           outcome.stage_cost = cost;
+          outcome.drift_alarm_raised = watchdog.alarms_raised() > alarms_before;
           if (keep_instance_detail) {
             outcome.instance_latencies = std::move(latencies);
             outcome.instance_thetas = decision.theta_of_instance;
@@ -325,6 +396,12 @@ Result<SimResult> Simulator::RunJobs(const SchedulerFn& scheduler,
           max_latency = std::max(max_latency, run.completion);
           if (run.succeeded) {
             useful_cost += run.final_run * context.cost_weights.Rate(theta);
+            if (shadow) {
+              // Feed the winning attempt's runtime; straggler noise is part
+              // of the drift signal the watchdog is meant to see.
+              observe_drift(stage, i, cluster.machine(run.machine), theta,
+                            run.final_run);
+            }
           } else {
             all_succeeded = false;
           }
@@ -344,6 +421,7 @@ Result<SimResult> Simulator::RunJobs(const SchedulerFn& scheduler,
         outcome.stage_latency = max_latency;
         outcome.stage_latency_in = max_latency + decision.solve_seconds;
         outcome.stage_cost = useful_cost + outcome.wasted_cost;
+        outcome.drift_alarm_raised = watchdog.alarms_raised() > alarms_before;
         if (keep_instance_detail) {
           outcome.instance_latencies = std::move(latencies);
           outcome.instance_thetas = decision.theta_of_instance;

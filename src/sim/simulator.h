@@ -8,6 +8,7 @@
 #include "common/status.h"
 #include "env/ground_truth.h"
 #include "hbo/hbo.h"
+#include "model/drift_watchdog.h"
 #include "model/gpr.h"
 #include "model/latency_model.h"
 #include "optimizer/scheduler_types.h"
@@ -32,6 +33,19 @@ struct SimOptions {
   /// Fault model for this replay. Disabled (the default) replays the exact
   /// happy path, bit-identical to a build without fault injection.
   FaultOptions faults;
+  /// Online drift watchdog: compares the model's predicted instance latency
+  /// against the simulated actual, per hardware type, and demotes the
+  /// scheduler down the fallback ladder while the rolling q-error window is
+  /// in alarm. Disabled by default (zero overhead on the happy path).
+  DriftWatchdogOptions drift_watchdog;
+  /// Deterministic drift pulse: actual latencies are multiplied by
+  /// `drift_multiplier` while sim time is inside
+  /// [drift_start_seconds, drift_end_seconds). 1.0 (default) is a no-op;
+  /// the drift bench uses this to force the watchdog through a
+  /// demote -> recover -> re-promote cycle.
+  double drift_multiplier = 1.0;
+  double drift_start_seconds = 0.0;
+  double drift_end_seconds = 0.0;
   uint64_t seed = 5;
 };
 
@@ -55,6 +69,12 @@ struct StageOutcome {
   double wasted_cost = 0.0;    // cost of lost work (part of stage_cost)
   /// Degradation-ladder level the scheduler reported for this stage.
   FallbackLevel fallback = FallbackLevel::kPrimary;
+  /// Defensive-layer accounting (all false when breaker/watchdog are off).
+  bool model_short_circuited = false;  // breaker refused the model probe
+  bool breaker_tripped = false;        // breaker opened on this stage
+  bool breaker_recovered = false;      // half-open probe closed it here
+  bool drift_demoted = false;          // watchdog alarm forced degradation
+  bool drift_alarm_raised = false;     // alarm transitioned on this stage
   std::vector<double> instance_latencies;  // populated when requested
   std::vector<ResourceConfig> instance_thetas;
 };

@@ -1,6 +1,9 @@
 #include "trace/trace_io.h"
 
+#include <cmath>
 #include <cstdio>
+#include <cstring>
+#include <string>
 
 namespace fgro {
 
@@ -35,30 +38,97 @@ Status ExportTraceCsv(const TraceDataset& dataset, const std::string& path) {
   return Status::OK();
 }
 
+namespace {
+
+/// Value-level sanity checks on one parsed row. A row that PARSES but
+/// carries garbage (NaN latency, negative indices) is a corrupt input, and
+/// must be rejected before it reaches the featurizer.
+Status ValidateRecord(const InstanceRecord& r, const std::string& path,
+                      long line) {
+  auto bad = [&](const char* what) {
+    return Status::InvalidArgument(path + ": line " + std::to_string(line) +
+                                   ": " + what);
+  };
+  if (r.job_idx < 0 || r.stage_idx < 0 || r.instance_idx < 0 ||
+      r.machine_id < 0 || r.hardware_type < 0) {
+    return bad("negative index");
+  }
+  if (!std::isfinite(r.submit_time) || r.submit_time < 0.0) {
+    return bad("non-finite or negative submit_time");
+  }
+  if (!std::isfinite(r.theta.cores) || r.theta.cores <= 0.0 ||
+      !std::isfinite(r.theta.memory_gb) || r.theta.memory_gb <= 0.0) {
+    return bad("non-positive resource plan");
+  }
+  if (!std::isfinite(r.machine_state.cpu_util) ||
+      !std::isfinite(r.machine_state.mem_util) ||
+      !std::isfinite(r.machine_state.io_util)) {
+    return bad("non-finite machine state");
+  }
+  if (!std::isfinite(r.actual_latency) || r.actual_latency < 0.0 ||
+      !std::isfinite(r.actual_cpu_seconds) || r.actual_cpu_seconds < 0.0 ||
+      !std::isfinite(r.actual_cpu_seconds_star) ||
+      r.actual_cpu_seconds_star < 0.0) {
+    return bad("non-finite or negative latency column");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
 Result<std::vector<InstanceRecord>> ImportTraceCsv(const std::string& path) {
   std::FILE* f = std::fopen(path.c_str(), "r");
   if (f == nullptr) return Status::NotFound("cannot open " + path);
-  char header[512] = {0};
-  if (std::fscanf(f, "%511[^\n]\n", header) != 1 ||
-      std::string(header) != kHeader) {
+  // Line-at-a-time parse so a truncated or bit-flipped file fails loudly
+  // (kDataLoss) instead of silently yielding a shorter dataset, which is
+  // what a naive fscanf loop would do.
+  char line[1024];
+  if (std::fgets(line, sizeof(line), f) == nullptr) {
+    std::fclose(f);
+    return Status::DataLoss(path + ": empty trace file");
+  }
+  line[std::strcspn(line, "\r\n")] = '\0';
+  if (std::strcmp(line, kHeader) != 0) {
     std::fclose(f);
     return Status::InvalidArgument(path + ": unexpected CSV header");
   }
   std::vector<InstanceRecord> records;
-  while (true) {
+  long line_no = 1;
+  while (std::fgets(line, sizeof(line), f) != nullptr) {
+    ++line_no;
+    const size_t len = std::strlen(line);
+    const bool has_newline = len > 0 && line[len - 1] == '\n';
+    line[std::strcspn(line, "\r\n")] = '\0';
+    if (line[0] == '\0' && !has_newline) break;  // trailing EOF whitespace
+    if (!has_newline && !std::feof(f)) {
+      std::fclose(f);
+      return Status::DataLoss(path + ": line " + std::to_string(line_no) +
+                              ": over-long row");
+    }
     InstanceRecord r;
     double rows = 0, bytes = 0;
-    int ops = 0;
-    int got = std::fscanf(
-        f,
-        "%d,%d,%d,%d,%lf,%lf,%lf,%d,%d,%lf,%lf,%lf,%lf,%lf,%lf,%lf,%lf,%d\n",
+    int ops = 0, consumed = 0;
+    int got = std::sscanf(
+        line,
+        "%d,%d,%d,%d,%lf,%lf,%lf,%d,%d,%lf,%lf,%lf,%lf,%lf,%lf,%lf,%lf,%d%n",
         &r.job_idx, &r.stage_idx, &r.instance_idx, &r.template_id,
         &r.submit_time, &r.theta.cores, &r.theta.memory_gb, &r.machine_id,
         &r.hardware_type, &r.machine_state.cpu_util,
         &r.machine_state.mem_util, &r.machine_state.io_util,
         &r.actual_latency, &r.actual_cpu_seconds, &r.actual_cpu_seconds_star,
-        &rows, &bytes, &ops);
-    if (got != 18) break;
+        &rows, &bytes, &ops, &consumed);
+    // A short field count or trailing junk means the row was cut or
+    // corrupted in flight: 17.5 columns is data loss, not "end of data".
+    if (got != 18 || line[consumed] != '\0') {
+      std::fclose(f);
+      return Status::DataLoss(path + ": line " + std::to_string(line_no) +
+                              ": corrupt row");
+    }
+    Status valid = ValidateRecord(r, path, line_no);
+    if (!valid.ok()) {
+      std::fclose(f);
+      return valid;
+    }
     records.push_back(std::move(r));
   }
   std::fclose(f);

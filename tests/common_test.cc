@@ -4,6 +4,7 @@
 #include <set>
 #include <vector>
 
+#include "common/deadline.h"
 #include "common/math_utils.h"
 #include "common/rng.h"
 #include "common/status.h"
@@ -31,8 +32,16 @@ TEST(StatusTest, AllFactoryCodesDistinct) {
       Status::InvalidArgument("").code(),  Status::NotFound("").code(),
       Status::OutOfRange("").code(),       Status::FailedPrecondition("").code(),
       Status::ResourceExhausted("").code(), Status::DeadlineExceeded("").code(),
-      Status::Unavailable("").code(),       Status::Internal("").code()};
-  EXPECT_EQ(codes.size(), 8u);
+      Status::Unavailable("").code(),       Status::Internal("").code(),
+      Status::DataLoss("").code()};
+  EXPECT_EQ(codes.size(), 9u);
+}
+
+TEST(StatusTest, DataLossCarriesCodeAndName) {
+  Status s = Status::DataLoss("truncated trace");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kDataLoss);
+  EXPECT_EQ(s.ToString(), "DataLoss: truncated trace");
 }
 
 TEST(StatusTest, UnavailableCarriesCodeAndName) {
@@ -40,6 +49,48 @@ TEST(StatusTest, UnavailableCarriesCodeAndName) {
   EXPECT_FALSE(s.ok());
   EXPECT_EQ(s.code(), StatusCode::kUnavailable);
   EXPECT_EQ(s.ToString(), "Unavailable: model server outage");
+}
+
+TEST(DeadlineTest, DefaultIsInfiniteAndNeverExpires) {
+  Deadline deadline;
+  EXPECT_TRUE(deadline.infinite());
+  EXPECT_FALSE(deadline.expired());
+  EXPECT_TRUE(std::isinf(deadline.remaining_seconds()));
+  EXPECT_TRUE(deadline.Check("solve").ok());
+  EXPECT_TRUE(Deadline::Infinite().infinite());
+}
+
+TEST(DeadlineTest, FakeClockDrivesExpiry) {
+  double now = 100.0;
+  Deadline deadline = Deadline::After(5.0, [&now] { return now; });
+  EXPECT_FALSE(deadline.infinite());
+  EXPECT_FALSE(deadline.expired());
+  EXPECT_DOUBLE_EQ(deadline.remaining_seconds(), 5.0);
+  now = 104.9;
+  EXPECT_FALSE(deadline.expired());
+  EXPECT_TRUE(deadline.Check("solve").ok());
+  now = 105.0;
+  EXPECT_TRUE(deadline.expired());
+  EXPECT_DOUBLE_EQ(deadline.remaining_seconds(), 0.0);
+  Status s = deadline.Check("ipa row");
+  EXPECT_EQ(s.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_NE(s.message().find("ipa row"), std::string::npos);
+}
+
+TEST(DeadlineTest, ZeroAndNegativeBudgetsExpireImmediately) {
+  double now = 50.0;
+  auto clock = [&now] { return now; };
+  EXPECT_TRUE(Deadline::After(0.0, clock).expired());
+  // Negative budgets clamp to zero instead of expiring in the past's past.
+  EXPECT_TRUE(Deadline::After(-3.0, clock).expired());
+  EXPECT_DOUBLE_EQ(Deadline::After(-3.0, clock).remaining_seconds(), 0.0);
+}
+
+TEST(DeadlineTest, SteadyClockOverloadMovesForward) {
+  Deadline deadline = Deadline::After(3600.0);
+  EXPECT_FALSE(deadline.infinite());
+  EXPECT_FALSE(deadline.expired());  // an hour from now is not yet here
+  EXPECT_GT(deadline.remaining_seconds(), 3500.0);
 }
 
 TEST(ResultTest, HoldsValue) {

@@ -4,9 +4,14 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cmath>
+#include <limits>
 #include <memory>
 
+#include "common/circuit_breaker.h"
 #include "common/retry.h"
+#include "model/drift_watchdog.h"
 #include "optimizer/fuxi.h"
 #include "optimizer/stage_optimizer.h"
 #include "sim/experiment_env.h"
@@ -308,6 +313,372 @@ TEST_F(FaultSimFixture, SolveBudgetOverrunFallsBackToTheta0) {
       EXPECT_TRUE(theta == context.theta0);
     }
   }
+}
+
+TEST(CircuitBreakerTest, TripsAfterThresholdConsecutiveFailures) {
+  CircuitBreakerOptions options;
+  options.enabled = true;
+  options.failure_threshold = 3;
+  options.open_seconds = 30.0;
+  CircuitBreaker breaker(options);
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kClosed);
+  EXPECT_TRUE(breaker.AllowRequest(0.0));
+  breaker.RecordFailure(0.0);
+  breaker.RecordFailure(1.0);
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kClosed);
+  EXPECT_TRUE(breaker.AllowRequest(1.5));
+  breaker.RecordFailure(2.0);  // third consecutive failure trips it
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kOpen);
+  EXPECT_EQ(breaker.trips(), 1);
+  EXPECT_FALSE(breaker.AllowRequest(3.0));
+  EXPECT_FALSE(breaker.AllowRequest(20.0));
+  EXPECT_EQ(breaker.short_circuits(), 2);
+}
+
+TEST(CircuitBreakerTest, SuccessResetsConsecutiveFailures) {
+  CircuitBreakerOptions options;
+  options.failure_threshold = 3;
+  CircuitBreaker breaker(options);
+  breaker.RecordFailure(0.0);
+  breaker.RecordFailure(1.0);
+  breaker.RecordSuccess(2.0);  // streak broken
+  breaker.RecordFailure(3.0);
+  breaker.RecordFailure(4.0);
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kClosed);
+  EXPECT_EQ(breaker.trips(), 0);
+  breaker.RecordFailure(5.0);
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kOpen);
+}
+
+TEST(CircuitBreakerTest, HalfOpenProbeSuccessCloses) {
+  CircuitBreakerOptions options;
+  options.failure_threshold = 2;
+  options.open_seconds = 30.0;
+  CircuitBreaker breaker(options);
+  breaker.RecordFailure(0.0);
+  breaker.RecordFailure(1.0);  // trips at t=1
+  ASSERT_EQ(breaker.state(), CircuitBreaker::State::kOpen);
+  EXPECT_FALSE(breaker.AllowRequest(30.0));  // cooldown not elapsed yet
+  EXPECT_TRUE(breaker.AllowRequest(31.5));   // half-open probe allowed
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kHalfOpen);
+  breaker.RecordSuccess(31.6);
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kClosed);
+  EXPECT_EQ(breaker.recoveries(), 1);
+  EXPECT_TRUE(breaker.AllowRequest(32.0));
+}
+
+TEST(CircuitBreakerTest, HalfOpenProbeFailureReopensAndRestartsCooldown) {
+  CircuitBreakerOptions options;
+  options.failure_threshold = 2;
+  options.open_seconds = 30.0;
+  CircuitBreaker breaker(options);
+  breaker.RecordFailure(0.0);
+  breaker.RecordFailure(1.0);
+  EXPECT_TRUE(breaker.AllowRequest(40.0));  // half-open
+  breaker.RecordFailure(40.0);              // probe fails: re-open
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kOpen);
+  EXPECT_EQ(breaker.trips(), 2);
+  EXPECT_EQ(breaker.recoveries(), 0);
+  // Cooldown restarts from the re-trip, not the original trip.
+  EXPECT_FALSE(breaker.AllowRequest(60.0));
+  EXPECT_TRUE(breaker.AllowRequest(71.0));
+}
+
+TEST(CircuitBreakerTest, OnlyTransientCodesCountAsFailures) {
+  EXPECT_TRUE(CircuitBreaker::CountsAsFailure(Status::Unavailable("down")));
+  EXPECT_TRUE(
+      CircuitBreaker::CountsAsFailure(Status::DeadlineExceeded("slow")));
+  EXPECT_FALSE(CircuitBreaker::CountsAsFailure(Status::OK()));
+  EXPECT_FALSE(
+      CircuitBreaker::CountsAsFailure(Status::InvalidArgument("caller bug")));
+  EXPECT_FALSE(CircuitBreaker::CountsAsFailure(Status::Internal("bug")));
+
+  CircuitBreakerOptions options;
+  options.failure_threshold = 1;
+  CircuitBreaker breaker(options);
+  // A caller bug is routed to neither success nor failure.
+  breaker.Record(Status::InvalidArgument("bad input"), 0.0);
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kClosed);
+  EXPECT_EQ(breaker.consecutive_failures(), 0);
+  breaker.Record(Status::Unavailable("down"), 1.0);
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kOpen);
+}
+
+TEST_F(FaultSimFixture, BreakerOpensWithinThresholdDuringOutage) {
+  // Wall-to-wall model outage with the breaker on: the first
+  // `failure_threshold` stages burn a probe each, the trip lands exactly on
+  // the threshold-th stage, and every stage after it short-circuits (until
+  // a half-open probe, which also fails here). All stages stay feasible on
+  // fallback rungs the whole time.
+  SimOptions options;
+  options.outcome = OutcomeMode::kEnvironment;
+  options.faults.enabled = true;
+  options.faults.model_outage_rate_per_day = 2000.0;
+  options.faults.model_outage_seconds = 86400.0;
+  options.faults.model_breaker.enabled = true;
+  options.faults.model_breaker.failure_threshold = 3;
+  options.faults.model_breaker.open_seconds = 600.0;
+  options.faults.seed = 11;
+  StageOptimizer so(StageOptimizer::IpaRaaPathWithFallback());
+  Simulator sim(&env_->workload(), &env_->model(), options);
+  Result<SimResult> result =
+      sim.Run([&](const SchedulingContext& c) { return so.Optimize(c); });
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  const std::vector<StageOutcome>& outcomes = result->outcomes;
+  ASSERT_GE(outcomes.size(), 4u);
+  // Trip on the third failed probe, never earlier.
+  EXPECT_FALSE(outcomes[0].breaker_tripped);
+  EXPECT_FALSE(outcomes[0].model_short_circuited);
+  EXPECT_FALSE(outcomes[1].breaker_tripped);
+  EXPECT_FALSE(outcomes[1].model_short_circuited);
+  EXPECT_TRUE(outcomes[2].breaker_tripped);
+  RoSummary s = Summarize(result.value());
+  EXPECT_GE(s.breaker_trips, 1);
+  EXPECT_GT(s.breaker_short_circuits, 0);
+  EXPECT_EQ(s.breaker_recoveries, 0);  // the outage never lifts
+  EXPECT_EQ(s.fallback_histogram[0], 0);
+  EXPECT_GT(s.fallback_histogram[2], 0);
+  EXPECT_GT(s.coverage, 0.95);
+  for (const StageOutcome& o : outcomes) {
+    EXPECT_NE(o.fallback, FallbackLevel::kPrimary);
+  }
+}
+
+TEST_F(FaultSimFixture, BreakerRecoversViaHalfOpenProbe) {
+  // Intermittent outages: the breaker must trip during an outage window and
+  // close again via a successful half-open probe once the window lifts.
+  SimOptions options;
+  options.outcome = OutcomeMode::kEnvironment;
+  options.faults.enabled = true;
+  options.faults.model_outage_rate_per_day = 24.0;
+  options.faults.model_outage_seconds = 1800.0;
+  options.faults.model_breaker.enabled = true;
+  options.faults.model_breaker.failure_threshold = 2;
+  options.faults.model_breaker.open_seconds = 300.0;
+  options.faults.seed = 5;
+  StageOptimizer so(StageOptimizer::IpaRaaPathWithFallback());
+  Simulator sim(&env_->workload(), &env_->model(), options);
+  Result<SimResult> result =
+      sim.Run([&](const SchedulingContext& c) { return so.Optimize(c); });
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  RoSummary s = Summarize(result.value());
+  EXPECT_GE(s.breaker_trips, 1);
+  EXPECT_GE(s.breaker_recoveries, 1);
+  // Recovery means the primary rung comes back after the trip.
+  long last_trip = -1, last_primary = -1;
+  for (size_t i = 0; i < result->outcomes.size(); ++i) {
+    if (result->outcomes[i].breaker_tripped) {
+      if (last_trip < 0) last_trip = static_cast<long>(i);
+    }
+    if (result->outcomes[i].fallback == FallbackLevel::kPrimary) {
+      last_primary = static_cast<long>(i);
+    }
+  }
+  EXPECT_GE(last_trip, 0);
+  EXPECT_GT(last_primary, last_trip);
+  EXPECT_GT(s.coverage, 0.95);
+}
+
+TEST_F(FaultSimFixture, BreakerReplayIsByteIdentical) {
+  // Fixed seed + breaker on: two replays must agree on every outcome field,
+  // including the breaker bookkeeping (the breaker's injected clock is sim
+  // time, so no wall-clock leaks in).
+  SimOptions options;
+  options.outcome = OutcomeMode::kEnvironment;
+  options.faults = HeavyFaults();
+  options.faults.model_breaker.enabled = true;
+  options.faults.model_breaker.failure_threshold = 2;
+  options.faults.model_breaker.open_seconds = 600.0;
+  StageOptimizer so_a(StageOptimizer::IpaRaaPathWithFallback());
+  StageOptimizer so_b(StageOptimizer::IpaRaaPathWithFallback());
+  Simulator sim_a(&env_->workload(), &env_->model(), options);
+  Simulator sim_b(&env_->workload(), &env_->model(), options);
+  Result<SimResult> a =
+      sim_a.Run([&](const SchedulingContext& c) { return so_a.Optimize(c); });
+  Result<SimResult> b =
+      sim_b.Run([&](const SchedulingContext& c) { return so_b.Optimize(c); });
+  ASSERT_TRUE(a.ok() && b.ok());
+  ASSERT_EQ(a->outcomes.size(), b->outcomes.size());
+  for (size_t i = 0; i < a->outcomes.size(); ++i) {
+    const StageOutcome& x = a->outcomes[i];
+    const StageOutcome& y = b->outcomes[i];
+    EXPECT_EQ(x.feasible, y.feasible);
+    EXPECT_EQ(x.fallback, y.fallback);
+    EXPECT_EQ(x.model_short_circuited, y.model_short_circuited);
+    EXPECT_EQ(x.breaker_tripped, y.breaker_tripped);
+    EXPECT_EQ(x.breaker_recovered, y.breaker_recovered);
+    EXPECT_EQ(x.retries, y.retries);
+    EXPECT_EQ(x.failovers, y.failovers);
+    EXPECT_DOUBLE_EQ(x.stage_latency, y.stage_latency);
+    EXPECT_DOUBLE_EQ(x.stage_cost, y.stage_cost);
+    EXPECT_DOUBLE_EQ(x.wasted_cost, y.wasted_cost);
+  }
+}
+
+TEST(DriftWatchdogTest, CalibratedModelNeverAlarms) {
+  DriftWatchdogOptions options;
+  options.enabled = true;
+  options.window_size = 8;
+  options.min_samples = 4;
+  DriftWatchdog watchdog(options, 5);
+  for (int i = 0; i < 100; ++i) {
+    watchdog.Observe(i % 5, 10.0, 10.0 * (1.0 + 0.05 * ((i % 3) - 1)));
+  }
+  EXPECT_FALSE(watchdog.alarmed());
+  EXPECT_EQ(watchdog.alarms_raised(), 0);
+  EXPECT_LT(watchdog.WorstMedianQError(), 1.2);
+}
+
+TEST(DriftWatchdogTest, SustainedDriftAlarmsAndRecoversWithHysteresis) {
+  DriftWatchdogOptions options;
+  options.enabled = true;
+  options.window_size = 8;
+  options.min_samples = 4;
+  options.alarm_qerror = 2.0;
+  options.recover_qerror = 1.5;
+  DriftWatchdog watchdog(options, 5);
+  // Calibrated prefix on one hardware type.
+  for (int i = 0; i < 8; ++i) watchdog.Observe(0, 1.0, 1.0);
+  EXPECT_FALSE(watchdog.alarmed());
+  // 3x drift: the window median crosses 2.0 once drifted entries dominate.
+  for (int i = 0; i < 8; ++i) watchdog.Observe(0, 1.0, 3.0);
+  EXPECT_TRUE(watchdog.alarmed());
+  EXPECT_EQ(watchdog.alarms_raised(), 1);
+  EXPECT_NEAR(watchdog.MedianQError(0), 3.0, 1e-12);
+  // Recovery washes the window with calibrated pairs; the alarm holds until
+  // the median drops under the stricter recover bound (hysteresis), and a
+  // second drift episode counts as a second alarm.
+  for (int i = 0; i < 4; ++i) {
+    watchdog.Observe(0, 1.0, 1.0);
+    EXPECT_TRUE(watchdog.alarmed()) << "cleared too early at i=" << i;
+  }
+  for (int i = 0; i < 4; ++i) watchdog.Observe(0, 1.0, 1.0);
+  EXPECT_FALSE(watchdog.alarmed());
+  EXPECT_EQ(watchdog.alarms_raised(), 1);
+  for (int i = 0; i < 8; ++i) watchdog.Observe(0, 1.0, 3.0);
+  EXPECT_TRUE(watchdog.alarmed());
+  EXPECT_EQ(watchdog.alarms_raised(), 2);
+}
+
+TEST(DriftWatchdogTest, NonFinitePairsCountAsWorstCase) {
+  DriftWatchdogOptions options;
+  options.enabled = true;
+  options.window_size = 8;
+  options.min_samples = 4;
+  DriftWatchdog watchdog(options, 2);
+  const double nan = std::nan("");
+  watchdog.Observe(0, nan, 1.0);
+  watchdog.Observe(0, 1.0, nan);
+  watchdog.Observe(0, -1.0, 1.0);
+  EXPECT_FALSE(watchdog.alarmed());  // min_samples gate
+  watchdog.Observe(0, 1.0, std::numeric_limits<double>::infinity());
+  EXPECT_TRUE(watchdog.alarmed());  // four worst-case entries
+  EXPECT_GT(watchdog.MedianQError(0), 1e5);
+}
+
+TEST(DriftWatchdogTest, BucketsAreIndependentAndOutOfRangeGoesToCatchAll) {
+  DriftWatchdogOptions options;
+  options.enabled = true;
+  options.window_size = 8;
+  options.min_samples = 4;
+  DriftWatchdog watchdog(options, 2);
+  for (int i = 0; i < 8; ++i) watchdog.Observe(0, 1.0, 1.0);
+  // Drift confined to hardware type 1 alarms despite type 0 being healthy.
+  for (int i = 0; i < 4; ++i) watchdog.Observe(1, 1.0, 4.0);
+  EXPECT_TRUE(watchdog.alarmed());
+  EXPECT_NEAR(watchdog.MedianQError(0), 1.0, 1e-12);
+  // Out-of-range ids land in the catch-all bucket, not out of bounds.
+  DriftWatchdog other(options, 2);
+  for (int i = 0; i < 4; ++i) other.Observe(99, 1.0, 4.0);
+  EXPECT_TRUE(other.alarmed());
+  EXPECT_NEAR(other.MedianQError(99), 4.0, 1e-12);
+}
+
+TEST(DriftWatchdogTest, DisabledIgnoresObservations) {
+  DriftWatchdogOptions options;  // enabled = false
+  options.window_size = 4;
+  options.min_samples = 1;
+  DriftWatchdog watchdog(options, 2);
+  EXPECT_FALSE(watchdog.enabled());
+  for (int i = 0; i < 10; ++i) watchdog.Observe(0, 1.0, 100.0);
+  EXPECT_FALSE(watchdog.alarmed());
+  EXPECT_EQ(watchdog.alarms_raised(), 0);
+}
+
+TEST_F(FaultSimFixture, DriftWatchdogDemotesAndRepromotes) {
+  // Deterministic drift pulse over the middle of the trace, noise-free
+  // outcomes (q-error == pulse multiplier exactly): the watchdog must stay
+  // quiet before the pulse, alarm and demote during it, and clear the alarm
+  // so later stages run the primary path again.
+  double span = 0.0;
+  for (const Job& job : env_->workload().jobs) {
+    span = std::max(span, job.arrival_time);
+  }
+  ASSERT_GT(span, 0.0);
+  SimOptions options;
+  options.outcome = OutcomeMode::kNoiseFree;
+  options.drift_multiplier = 4.0;
+  options.drift_start_seconds = 0.25 * span;
+  options.drift_end_seconds = 0.60 * span;
+  options.drift_watchdog.enabled = true;
+  options.drift_watchdog.window_size = 32;
+  options.drift_watchdog.min_samples = 8;
+  options.drift_watchdog.alarm_qerror = 2.0;
+  options.drift_watchdog.recover_qerror = 1.5;
+  StageOptimizer so(StageOptimizer::IpaRaaPathWithFallback());
+  Simulator sim(&env_->workload(), &env_->model(), options);
+  Result<SimResult> result =
+      sim.Run([&](const SchedulingContext& c) { return so.Optimize(c); });
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  RoSummary s = Summarize(result.value());
+  EXPECT_GE(s.drift_alarms, 1);
+  EXPECT_GT(s.drift_demoted_stages, 0);
+  EXPECT_LT(s.drift_demoted_stages, s.num_stages);
+  EXPECT_GT(s.coverage, 0.95);
+  // Demoted stages ran a fallback rung; the primary path came back after
+  // the window recovered (re-promotion).
+  long first_demoted = -1, last_demoted = -1, last_primary = -1;
+  for (size_t i = 0; i < result->outcomes.size(); ++i) {
+    const StageOutcome& o = result->outcomes[i];
+    if (o.drift_demoted) {
+      EXPECT_NE(o.fallback, FallbackLevel::kPrimary);
+      if (first_demoted < 0) first_demoted = static_cast<long>(i);
+      last_demoted = static_cast<long>(i);
+    }
+    if (o.fallback == FallbackLevel::kPrimary) {
+      last_primary = static_cast<long>(i);
+    }
+  }
+  EXPECT_GT(first_demoted, 0);  // the pre-pulse prefix stayed primary
+  EXPECT_GT(last_primary, last_demoted);
+
+  // Same pulse with the watchdog off: nobody notices the drift.
+  options.drift_watchdog.enabled = false;
+  Simulator off(&env_->workload(), &env_->model(), options);
+  Result<SimResult> off_result =
+      off.Run([&](const SchedulingContext& c) { return so.Optimize(c); });
+  ASSERT_TRUE(off_result.ok());
+  RoSummary off_s = Summarize(off_result.value());
+  EXPECT_EQ(off_s.drift_alarms, 0);
+  EXPECT_EQ(off_s.drift_demoted_stages, 0);
+}
+
+TEST_F(FaultSimFixture, DriftWatchdogQuietWithoutDrift) {
+  // Watchdog armed but no pulse: a noise-free replay is perfectly
+  // calibrated and must never alarm or demote.
+  SimOptions options;
+  options.outcome = OutcomeMode::kNoiseFree;
+  options.drift_watchdog.enabled = true;
+  options.drift_watchdog.window_size = 32;
+  options.drift_watchdog.min_samples = 8;
+  StageOptimizer so(StageOptimizer::IpaRaaPathWithFallback());
+  Simulator sim(&env_->workload(), &env_->model(), options);
+  Result<SimResult> result =
+      sim.Run([&](const SchedulingContext& c) { return so.Optimize(c); });
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  RoSummary s = Summarize(result.value());
+  EXPECT_EQ(s.drift_alarms, 0);
+  EXPECT_EQ(s.drift_demoted_stages, 0);
 }
 
 TEST(RetryPolicyTest, RetryableCodes) {

@@ -1,11 +1,13 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 
 #include "featurize/aim.h"
 #include "featurize/channels.h"
 #include "featurize/discretize.h"
 #include "featurize/featurizer.h"
+#include "featurize/validate.h"
 #include "test_util.h"
 
 namespace fgro {
@@ -200,6 +202,79 @@ TEST(FeaturizerTest, DiscretizationDegreeChangesCh4) {
   Vec f = fine.ContextFeatures({1, 4}, state, 0);
   EXPECT_NE(c[static_cast<size_t>(kCh3Dim)], f[static_cast<size_t>(kCh3Dim)]);
   EXPECT_NEAR(f[static_cast<size_t>(kCh3Dim)], 0.43, 0.01);
+}
+
+TEST(ValidateTest, AcceptsWellFormedInputs) {
+  Stage stage = testing_util::MakeChainStage(4);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_TRUE(ValidateInstanceMeta(stage, i).ok());
+  }
+  EXPECT_TRUE(
+      ValidateChannels({2.0, 8.0}, {0.5, 0.5, 0.5}, 0, 10).ok());
+  EXPECT_TRUE(
+      ValidateChannels({0.5, 1.0}, {0.0, 1.0, 0.98}, kNumHardwareTypes - 1, 1)
+          .ok());
+}
+
+TEST(ValidateTest, RejectsBadInstanceIndexAndMeta) {
+  Stage stage = testing_util::MakeChainStage(2);
+  EXPECT_EQ(ValidateInstanceMeta(stage, -1).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(ValidateInstanceMeta(stage, 2).code(),
+            StatusCode::kInvalidArgument);
+
+  const double nan = std::nan("");
+  const double inf = std::numeric_limits<double>::infinity();
+  auto check = [&](const char* name, auto corrupt) {
+    Stage s = testing_util::MakeChainStage(2);
+    corrupt(s.instances[0]);
+    Status status = ValidateInstanceMeta(s, 0);
+    EXPECT_EQ(status.code(), StatusCode::kInvalidArgument) << name;
+    // The untouched sibling instance still validates.
+    EXPECT_TRUE(ValidateInstanceMeta(s, 1).ok()) << name;
+  };
+  check("nan_rows", [nan](InstanceMeta& m) { m.input_rows = nan; });
+  check("inf_bytes", [inf](InstanceMeta& m) { m.input_bytes = inf; });
+  check("neg_rows", [](InstanceMeta& m) { m.input_rows = -1.0; });
+  check("frac_above_one", [](InstanceMeta& m) { m.input_fraction = 1.5; });
+  check("neg_frac", [](InstanceMeta& m) { m.input_fraction = -0.1; });
+  check("zero_skew", [](InstanceMeta& m) { m.hidden_skew = 0.0; });
+  check("nan_skew", [nan](InstanceMeta& m) { m.hidden_skew = nan; });
+}
+
+TEST(ValidateTest, RejectsBadChannels) {
+  const double nan = std::nan("");
+  const SystemState good_state{0.5, 0.5, 0.5};
+  const ResourceConfig good_theta{2.0, 8.0};
+  EXPECT_EQ(ValidateChannels({nan, 8.0}, good_state, 0, 10).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(ValidateChannels({0.0, 8.0}, good_state, 0, 10).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(ValidateChannels({2.0, -1.0}, good_state, 0, 10).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(ValidateChannels(good_theta, {1.2, 0.5, 0.5}, 0, 10).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(ValidateChannels(good_theta, {0.5, nan, 0.5}, 0, 10).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(ValidateChannels(good_theta, good_state, -1, 10).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(ValidateChannels(good_theta, good_state, kNumHardwareTypes, 10)
+                .code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(ValidateChannels(good_theta, good_state, 0, 0).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(ValidateTest, FeaturizerRejectsCorruptInstanceMeta) {
+  // The boundary check is wired into the featurizer: a NaN row count must
+  // surface as kInvalidArgument, not as NaN features.
+  Stage stage = testing_util::MakeChainStage(2);
+  stage.instances[0].input_rows = std::nan("");
+  Featurizer fz(ChannelMask{}, 10);
+  Result<PlanGraph> graph = fz.BuildPlanGraph(stage, 0);
+  ASSERT_FALSE(graph.ok());
+  EXPECT_EQ(graph.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_TRUE(fz.BuildPlanGraph(stage, 1).ok());
 }
 
 }  // namespace

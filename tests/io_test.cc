@@ -1,6 +1,8 @@
 #include <gtest/gtest.h>
+#include <unistd.h>
 
 #include <cstdio>
+#include <cstring>
 #include <memory>
 
 #include "model/latency_model.h"
@@ -84,7 +86,96 @@ TEST_F(IoFixture, TraceCsvRejectsWrongHeader) {
   std::FILE* f = std::fopen(path.c_str(), "w");
   std::fprintf(f, "a,b,c\n1,2,3\n");
   std::fclose(f);
-  EXPECT_FALSE(ImportTraceCsv(path).ok());
+  Result<std::vector<InstanceRecord>> r = ImportTraceCsv(path);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(IoFixture, TraceCsvTruncationIsDataLoss) {
+  // Export a real trace, then chop the file mid-row: the import must fail
+  // with kDataLoss instead of silently returning the rows before the cut.
+  const std::string path = ::testing::TempDir() + "/fgro_trace_trunc.csv";
+  ASSERT_TRUE(ExportTraceCsv(env_->dataset(), path).ok());
+  ASSERT_GE(env_->dataset().records.size(), 2u);
+  // Cut in the middle of the second data row, so the tail is a half row.
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  char buf[2048];
+  ASSERT_NE(std::fgets(buf, sizeof(buf), f), nullptr);  // header
+  ASSERT_NE(std::fgets(buf, sizeof(buf), f), nullptr);  // row 1
+  const long row1_end = std::ftell(f);
+  ASSERT_NE(std::fgets(buf, sizeof(buf), f), nullptr);  // row 2
+  const long row2_len = static_cast<long>(std::strlen(buf));
+  std::fclose(f);
+  ASSERT_EQ(truncate(path.c_str(), row1_end + row2_len / 2), 0);
+  Result<std::vector<InstanceRecord>> r = ImportTraceCsv(path);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kDataLoss)
+      << r.status().ToString();
+}
+
+TEST_F(IoFixture, TraceCsvBitFlipIsDataLossOrInvalid) {
+  // Flip one byte inside a data row (a digit becomes a separator): the
+  // corrupt row must be rejected, not skipped.
+  const std::string path = ::testing::TempDir() + "/fgro_trace_flip.csv";
+  ASSERT_TRUE(ExportTraceCsv(env_->dataset(), path).ok());
+  std::FILE* f = std::fopen(path.c_str(), "r+b");
+  ASSERT_NE(f, nullptr);
+  // Find the second line's first comma and turn it into a ';'.
+  char buf[2048];
+  ASSERT_NE(std::fgets(buf, sizeof(buf), f), nullptr);  // header
+  const long row_start = std::ftell(f);
+  ASSERT_NE(std::fgets(buf, sizeof(buf), f), nullptr);  // first data row
+  const char* comma = std::strchr(buf, ',');
+  ASSERT_NE(comma, nullptr);
+  std::fseek(f, row_start + (comma - buf), SEEK_SET);
+  std::fputc(';', f);
+  std::fclose(f);
+  Result<std::vector<InstanceRecord>> r = ImportTraceCsv(path);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kDataLoss)
+      << r.status().ToString();
+}
+
+TEST_F(IoFixture, TraceCsvRejectsGarbageValues) {
+  // A row that parses but carries garbage (NaN latency, negative index)
+  // is kInvalidArgument: corrupt values must not reach the featurizer.
+  const std::string header =
+      "job_idx,stage_idx,instance_idx,template_id,submit_time,cores,"
+      "memory_gb,machine_id,hardware_type,cpu_util,mem_util,io_util,"
+      "actual_latency,actual_cpu_seconds,actual_cpu_seconds_star,input_rows,"
+      "input_bytes,operator_count";
+  struct Case {
+    const char* name;
+    const char* row;
+  };
+  const Case cases[] = {
+      {"nan_latency", "0,0,0,1,1.0,2,8,0,0,0.5,0.5,0.5,nan,1.0,1.0,10,100,3"},
+      {"negative_latency",
+       "0,0,0,1,1.0,2,8,0,0,0.5,0.5,0.5,-4.0,1.0,1.0,10,100,3"},
+      {"negative_index", "-1,0,0,1,1.0,2,8,0,0,0.5,0.5,0.5,4.0,1,1,10,100,3"},
+      {"zero_cores", "0,0,0,1,1.0,0,8,0,0,0.5,0.5,0.5,4.0,1,1,10,100,3"},
+      {"inf_util", "0,0,0,1,1.0,2,8,0,0,inf,0.5,0.5,4.0,1,1,10,100,3"},
+  };
+  for (const Case& c : cases) {
+    const std::string path =
+        ::testing::TempDir() + "/fgro_badval_" + c.name + ".csv";
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    std::fprintf(f, "%s\n%s\n", header.c_str(), c.row);
+    std::fclose(f);
+    Result<std::vector<InstanceRecord>> r = ImportTraceCsv(path);
+    ASSERT_FALSE(r.ok()) << c.name;
+    EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument) << c.name;
+  }
+}
+
+TEST_F(IoFixture, TraceCsvEmptyFileIsDataLoss) {
+  const std::string path = ::testing::TempDir() + "/fgro_trace_empty.csv";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  std::fclose(f);
+  Result<std::vector<InstanceRecord>> r = ImportTraceCsv(path);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kDataLoss);
 }
 
 TEST(ColumnOrderTest, PerfectColumnOrderHasZeroViolations) {

@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 
 #include "common/rng.h"
 #include "moo/config_space.h"
@@ -19,6 +20,41 @@ TEST(ParetoTest, DominanceDefinition) {
   EXPECT_TRUE(Dominates({1, 2}, {2, 2}));
   EXPECT_FALSE(Dominates({1, 3}, {2, 2}));
   EXPECT_FALSE(Dominates({2, 2}, {2, 2}));  // equal does not dominate
+}
+
+TEST(ParetoTest, NonFinitePointsNeverDominate) {
+  const double nan = std::nan("");
+  const double inf = std::numeric_limits<double>::infinity();
+  // NaN comparisons are all false; without the guard {nan, nan} would
+  // "dominate" nothing but {-inf, nan} style points could slip through.
+  EXPECT_FALSE(Dominates({nan, 0.0}, {2, 2}));
+  EXPECT_FALSE(Dominates({-inf, nan}, {2, 2}));
+  EXPECT_FALSE(Dominates({-inf, 0.0}, {2, 2}));  // -inf is corrupt, not good
+  EXPECT_FALSE(Dominates({1, 1}, {nan, 2}));
+  // A finite point still dominates an infinitely BAD one.
+  EXPECT_TRUE(Dominates({1, 1}, {inf, 2}));
+}
+
+TEST(ParetoTest, FilterDropsNonFinitePoints) {
+  const double nan = std::nan("");
+  const double inf = std::numeric_limits<double>::infinity();
+  // 2-D sweep path.
+  std::vector<std::vector<double>> points = {
+      {1.0, 4.0}, {nan, 0.0}, {2.0, 3.0}, {0.0, inf}, {3.0, 5.0}};
+  std::vector<int> frontier = ParetoFilter(points);
+  EXPECT_EQ(frontier, (std::vector<int>{0, 2}));
+  // General N-D path.
+  std::vector<std::vector<double>> points3 = {
+      {1.0, 4.0, 2.0}, {nan, 0.0, 0.0}, {2.0, 3.0, 1.0}, {1.0, -inf, 0.0}};
+  frontier = ParetoFilter(points3);
+  for (int idx : frontier) {
+    for (double v : points3[static_cast<size_t>(idx)]) {
+      EXPECT_TRUE(std::isfinite(v));
+    }
+  }
+  EXPECT_FALSE(frontier.empty());
+  // All-corrupt input yields an empty frontier, not a poisoned one.
+  EXPECT_TRUE(ParetoFilter({{nan, 1.0}, {inf, inf}}).empty());
 }
 
 std::vector<int> BruteForcePareto(
@@ -236,6 +272,18 @@ TEST(WunTest, WeightsShiftTheChoice) {
 TEST(WunTest, EdgeCases) {
   EXPECT_EQ(WeightedUtopiaNearest({}), -1);
   EXPECT_EQ(WeightedUtopiaNearest({{1.0, 2.0}}), 0);
+}
+
+TEST(WunTest, NonFinitePointsNeverWin) {
+  const double nan = std::nan("");
+  const double inf = std::numeric_limits<double>::infinity();
+  // A NaN point would otherwise poison the lo/hi normalization bounds and
+  // could win on a NaN distance comparison.
+  std::vector<std::vector<double>> pareto = {
+      {nan, 0.0}, {0.0, 10.0}, {1.0, 1.0}, {10.0, 0.0}, {0.0, inf}};
+  EXPECT_EQ(WeightedUtopiaNearest(pareto), 2);
+  // No finite candidate at all: -1, not an arbitrary corrupt pick.
+  EXPECT_EQ(WeightedUtopiaNearest({{nan, 1.0}, {1.0, inf}}), -1);
 }
 
 TEST(ConstrainedCompareTest, FeasibilityFirst) {
