@@ -1,0 +1,101 @@
+#ifndef FGRO_COMMON_BOUNDED_QUEUE_H_
+#define FGRO_COMMON_BOUNDED_QUEUE_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+namespace fgro {
+
+/// Bounded multi-producer/multi-consumer queue with a small fixed number of
+/// strict priority lanes: lane 0 (latency-sensitive) always pops before
+/// lane 1 (batch), FIFO within a lane. The capacity bound is the admission
+/// -control primitive of the RO service — TryPush never blocks and returns
+/// false when the queue is at capacity, so producers shed load (reject with
+/// kResourceExhausted) instead of queueing unboundedly and letting tail
+/// latency grow without limit.
+template <typename T>
+class BoundedPriorityQueue {
+ public:
+  explicit BoundedPriorityQueue(std::size_t capacity, int num_lanes = 2)
+      : capacity_(capacity),
+        lanes_(static_cast<std::size_t>(num_lanes > 0 ? num_lanes : 1)) {}
+
+  BoundedPriorityQueue(const BoundedPriorityQueue&) = delete;
+  BoundedPriorityQueue& operator=(const BoundedPriorityQueue&) = delete;
+
+  /// Non-blocking push into `lane` (clamped to the valid range). Returns
+  /// false — the caller sheds — when the queue is full or closed.
+  bool TryPush(T item, int lane = 0) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (closed_ || size_ >= capacity_) return false;
+      lanes_[ClampLane(lane)].push_back(std::move(item));
+      ++size_;
+    }
+    ready_.notify_one();
+    return true;
+  }
+
+  /// Blocks until an item is available or the queue is closed *and* empty.
+  /// Returns false only in the latter case, so consumers drain every
+  /// admitted item before exiting.
+  bool Pop(T* out) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    ready_.wait(lock, [&] { return size_ > 0 || closed_; });
+    if (size_ == 0) return false;
+    for (std::deque<T>& lane : lanes_) {
+      if (lane.empty()) continue;
+      *out = std::move(lane.front());
+      lane.pop_front();
+      --size_;
+      return true;
+    }
+    return false;  // unreachable: size_ > 0 implies a non-empty lane
+  }
+
+  /// Rejects future pushes; consumers drain the remainder and then Pop
+  /// returns false.
+  void Close() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      closed_ = true;
+    }
+    ready_.notify_all();
+  }
+
+  std::size_t size() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return size_;
+  }
+
+  std::size_t capacity() const { return capacity_; }
+
+  bool closed() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return closed_;
+  }
+
+ private:
+  std::size_t ClampLane(int lane) const {
+    if (lane < 0) return 0;
+    if (static_cast<std::size_t>(lane) >= lanes_.size()) {
+      return lanes_.size() - 1;
+    }
+    return static_cast<std::size_t>(lane);
+  }
+
+  const std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::condition_variable ready_;
+  std::vector<std::deque<T>> lanes_;
+  std::size_t size_ = 0;
+  bool closed_ = false;
+};
+
+}  // namespace fgro
+
+#endif  // FGRO_COMMON_BOUNDED_QUEUE_H_

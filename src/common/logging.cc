@@ -1,11 +1,20 @@
 #include "common/logging.h"
 
 #include <atomic>
+#include <mutex>
 
 namespace fgro {
 
 namespace {
 std::atomic<int> g_log_level{static_cast<int>(LogLevel::kInfo)};
+
+/// Serializes the final emit of each log line so concurrent service workers
+/// never interleave characters of two lines. Each line is fully formatted
+/// into its own buffer first; the lock only covers the single stream write.
+std::mutex& EmitMutex() {
+  static std::mutex mutex;
+  return mutex;
+}
 
 const char* LevelName(LogLevel level) {
   switch (level) {
@@ -35,7 +44,9 @@ LogMessage::LogMessage(LogLevel level, const char* file, int line)
 
 LogMessage::~LogMessage() {
   stream_ << "\n";
-  std::cerr << stream_.str();
+  const std::string line = stream_.str();
+  std::lock_guard<std::mutex> lock(EmitMutex());
+  std::cerr << line;
 }
 
 FatalLogMessage::FatalLogMessage(const char* file, int line,
@@ -46,7 +57,11 @@ FatalLogMessage::FatalLogMessage(const char* file, int line,
 
 FatalLogMessage::~FatalLogMessage() {
   stream_ << "\n";
-  std::cerr << stream_.str();
+  const std::string line = stream_.str();
+  {
+    std::lock_guard<std::mutex> lock(EmitMutex());
+    std::cerr << line;
+  }
   std::abort();
 }
 

@@ -12,6 +12,10 @@ enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
 
 /// Global log threshold; messages below it are discarded. Defaults to kInfo
 /// and can be raised by benchmarks to keep table output clean.
+///
+/// Logging is thread-safe: each FGRO_LOG line is formatted into a private
+/// buffer and emitted under a single global mutex, so lines from concurrent
+/// service workers never tear into each other.
 LogLevel GetLogLevel();
 void SetLogLevel(LogLevel level);
 

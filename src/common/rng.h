@@ -8,8 +8,31 @@
 
 namespace fgro {
 
+/// Mixes a base seed with a stream id into an independent seed via the
+/// splitmix64 finalizer, so adjacent stream ids (job 0, job 1, ...) land in
+/// well-separated regions of seed space instead of producing correlated
+/// mt19937_64 streams.
+///
+/// Concurrency convention (used by the RO service and required of any new
+/// concurrent component): an Rng is NOT thread-safe and must never be
+/// shared across workers. Each worker/job derives its own private stream as
+/// `Rng(MixSeed(base_seed, job_id))`; because the stream depends only on
+/// (base_seed, job_id) — never on which worker ran the job or in what order
+/// — replay results are byte-identical across thread counts.
+inline uint64_t MixSeed(uint64_t base, uint64_t stream) {
+  // splitmix64 sequence seeded at `base`, evaluated at index `stream + 1`:
+  // combining before the finalizer must not be a plain XOR or nearby
+  // (base, stream) pairs can collide pre-mix.
+  uint64_t z = base + 0x9e3779b97f4a7c15ULL * (stream + 1);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
 /// Deterministic random source used everywhere in the library. Experiments
 /// seed one Rng per component so runs are reproducible bit-for-bit.
+/// Not thread-safe: see MixSeed for the per-worker/per-job stream
+/// convention in concurrent code.
 class Rng {
  public:
   explicit Rng(uint64_t seed) : engine_(seed) {}

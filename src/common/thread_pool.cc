@@ -1,0 +1,54 @@
+#include "common/thread_pool.h"
+
+#include <utility>
+
+namespace fgro {
+
+ThreadPool::ThreadPool(int num_threads) {
+  if (num_threads < 1) num_threads = 1;
+  threads_.reserve(static_cast<size_t>(num_threads));
+  for (int i = 0; i < num_threads; ++i) {
+    threads_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() { Join(); }
+
+bool ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (closed_) return false;
+    tasks_.push_back(std::move(task));
+  }
+  ready_.notify_one();
+  return true;
+}
+
+void ThreadPool::Join() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (closed_ && threads_.empty()) return;
+    closed_ = true;
+  }
+  ready_.notify_all();
+  for (std::thread& t : threads_) {
+    if (t.joinable()) t.join();
+  }
+  threads_.clear();
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      ready_.wait(lock, [&] { return !tasks_.empty() || closed_; });
+      if (tasks_.empty()) return;  // closed and drained
+      task = std::move(tasks_.front());
+      tasks_.pop_front();
+    }
+    task();
+  }
+}
+
+}  // namespace fgro

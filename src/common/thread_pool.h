@@ -1,0 +1,46 @@
+#ifndef FGRO_COMMON_THREAD_POOL_H_
+#define FGRO_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace fgro {
+
+/// Fixed-size pool of worker threads draining an unbounded internal task
+/// queue. The RO service submits one long-running worker loop per thread;
+/// short tasks work just as well. Join() (also run by the destructor)
+/// closes the queue, lets the workers drain what is already queued, and
+/// joins them — after Join, Submit returns false and the task is dropped.
+class ThreadPool {
+ public:
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task; false when the pool has been joined.
+  bool Submit(std::function<void()> task);
+
+  /// Idempotent: close the queue, drain queued tasks, join all workers.
+  void Join();
+
+  int size() const { return static_cast<int>(threads_.size()); }
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mutex_;
+  std::condition_variable ready_;
+  std::deque<std::function<void()>> tasks_;
+  bool closed_ = false;
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace fgro
+
+#endif  // FGRO_COMMON_THREAD_POOL_H_

@@ -50,6 +50,11 @@ struct TrainOptions {
 /// Instance-level latency model: the paper's model-server artifact. Trains
 /// on trace records (log-latency MSE) and predicts the latency of an
 /// instance on any (machine, resource plan) pair.
+///
+/// Thread-safety: Train() is exclusive; after training, Predict()/Embed()
+/// are const, touch only the frozen weights, and keep all inference scratch
+/// (feature buffers, MLP activation cache) local to the call, so a trained
+/// model may be shared read-only by any number of RO-service workers.
 class LatencyModel {
  public:
   struct Options {

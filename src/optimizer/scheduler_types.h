@@ -32,6 +32,12 @@ struct SchedulingContext {
   /// the fallback rung still has budget to run. Callers may pre-arm it
   /// (e.g. with an injected test clock) and the solvers honor theirs.
   Deadline deadline;
+  /// False when the serving layer is browned out one rung: placement (IPA)
+  /// still runs, but RAA is skipped and every instance gets theta0, i.e.
+  /// the decision lands on FallbackLevel::kTheta0 directly. Cheaper than
+  /// the primary path, better than Fuxi; the brown-out controller flips
+  /// this under sustained overload and restores it when pressure clears.
+  bool raa_allowed = true;
   /// Diverse-placement cap: max instances per machine. 0 = auto
   /// (2 * ceil(m / available machines), always >= ceil(m/n) as required).
   int alpha = 0;

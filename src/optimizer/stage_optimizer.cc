@@ -116,6 +116,14 @@ StageDecision StageOptimizer::Optimize(const SchedulingContext& context) const {
   }
   if (!decision.feasible || !config_.run_raa) return decision;
 
+  if (config_.degrade_gracefully && !ctx.raa_allowed) {
+    // Brown-out rung: the serving layer disabled RAA under overload. The
+    // placement above is valid; run every instance on HBO's theta0 and
+    // report the middle ladder level so metrics attribute the demotion.
+    decision.fallback = FallbackLevel::kTheta0;
+    return decision;
+  }
+
   if (config_.degrade_gracefully && !model_ok) {
     // Placement was model-free (Fuxi) but RAA still needs the model: keep
     // the placement, run every instance on HBO's theta0.

@@ -11,6 +11,13 @@ namespace fgro {
 /// The Stage-level Optimizer (SO) of Fig. 3: a placement step (Fuxi, IPA, or
 /// clustered IPA) optionally followed by RAA's instance-specific resource
 /// tuning. Each named configuration of Table 2 is one SoConfig.
+///
+/// Thread-safety: Optimize() is const and keeps all solver scratch on the
+/// stack (IPA/RAA/Fuxi allocate their working sets per call; LatencyModel
+/// inference likewise uses caller-local scratch). One StageOptimizer may
+/// therefore be shared by all RO-service workers without locking, provided
+/// each call's SchedulingContext points at a cluster view no other thread
+/// is mutating.
 class StageOptimizer {
  public:
   enum class Placement { kFuxi, kIpaOrg, kIpaClustered };

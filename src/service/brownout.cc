@@ -1,0 +1,43 @@
+#include "service/brownout.h"
+
+namespace fgro {
+
+BrownoutLevel BrownoutController::Observe(int queue_depth, int queue_capacity,
+                                          double p95_seconds) {
+  if (!options_.enabled) return level_;
+
+  const double depth_fraction =
+      queue_capacity > 0
+          ? static_cast<double>(queue_depth) / queue_capacity
+          : 0.0;
+  const bool pressured = depth_fraction > options_.queue_high_fraction ||
+                         p95_seconds > options_.p95_high_seconds;
+  const bool clear = depth_fraction < options_.queue_low_fraction &&
+                     p95_seconds < options_.p95_low_seconds;
+
+  if (pressured) {
+    clear_streak_ = 0;
+    if (++pressured_streak_ >= options_.demote_after &&
+        level_ != BrownoutLevel::kFuxi) {
+      level_ = static_cast<BrownoutLevel>(static_cast<int>(level_) + 1);
+      ++demotions_;
+      pressured_streak_ = 0;
+    }
+  } else if (clear) {
+    pressured_streak_ = 0;
+    if (++clear_streak_ >= options_.promote_after &&
+        level_ != BrownoutLevel::kNormal) {
+      level_ = static_cast<BrownoutLevel>(static_cast<int>(level_) - 1);
+      ++promotions_;
+      clear_streak_ = 0;
+    }
+  } else {
+    // The hysteresis band between the low and high thresholds: hold the
+    // current level and forget partial streaks in both directions.
+    pressured_streak_ = 0;
+    clear_streak_ = 0;
+  }
+  return level_;
+}
+
+}  // namespace fgro

@@ -1,0 +1,77 @@
+#ifndef FGRO_SERVICE_BROWNOUT_H_
+#define FGRO_SERVICE_BROWNOUT_H_
+
+#include <limits>
+
+namespace fgro {
+
+/// How far the serving layer has browned out, mirroring the per-stage
+/// degradation ladder: kNormal runs the configured optimizer untouched,
+/// kTheta0 skips RAA (placement + uniform theta0), kFuxi drops to the
+/// model-free baseline. Higher = more degraded.
+enum class BrownoutLevel { kNormal = 0, kTheta0 = 1, kFuxi = 2 };
+
+inline const char* BrownoutLevelName(BrownoutLevel level) {
+  switch (level) {
+    case BrownoutLevel::kNormal: return "normal";
+    case BrownoutLevel::kTheta0: return "theta0";
+    case BrownoutLevel::kFuxi: return "fuxi";
+  }
+  return "unknown";
+}
+
+struct BrownoutOptions {
+  bool enabled = false;
+  /// Pressure thresholds. An observation is "pressured" when queue depth
+  /// exceeds queue_high_fraction of capacity OR the rolling p95 service
+  /// time exceeds p95_high_seconds; it is "clear" when depth is below
+  /// queue_low_fraction AND p95 is below p95_low_seconds. In between the
+  /// controller holds its level. The p95 thresholds default to infinity so
+  /// a queue-only policy needs no tuning.
+  double queue_high_fraction = 0.75;
+  double queue_low_fraction = 0.25;
+  double p95_high_seconds = std::numeric_limits<double>::infinity();
+  double p95_low_seconds = std::numeric_limits<double>::infinity();
+  /// Hysteresis: consecutive pressured observations before demoting one
+  /// level, and consecutive clear observations before promoting one level.
+  /// Mixed observations reset both streaks, like the circuit breaker's
+  /// half-open probe logic, so the level never flaps on a noisy boundary.
+  int demote_after = 3;
+  int promote_after = 8;
+  /// Rolling window (completions) over which the service p95 is computed.
+  int p95_window = 32;
+};
+
+/// Hysteretic brown-out controller for the RO service. The service feeds it
+/// one observation per scheduling decision point (admission or completion);
+/// it walks the ladder one level at a time: `demote_after` consecutive
+/// pressured observations demote (kNormal -> kTheta0 -> kFuxi),
+/// `promote_after` consecutive clear observations promote back up.
+///
+/// Not thread-safe: the owning service calls it under its own mutex.
+class BrownoutController {
+ public:
+  explicit BrownoutController(const BrownoutOptions& options)
+      : options_(options) {}
+
+  /// One pressure observation. Returns the level in force after it.
+  BrownoutLevel Observe(int queue_depth, int queue_capacity,
+                        double p95_seconds);
+
+  BrownoutLevel level() const { return level_; }
+  long demotions() const { return demotions_; }
+  long promotions() const { return promotions_; }
+  bool enabled() const { return options_.enabled; }
+
+ private:
+  BrownoutOptions options_;
+  BrownoutLevel level_ = BrownoutLevel::kNormal;
+  int pressured_streak_ = 0;
+  int clear_streak_ = 0;
+  long demotions_ = 0;
+  long promotions_ = 0;
+};
+
+}  // namespace fgro
+
+#endif  // FGRO_SERVICE_BROWNOUT_H_

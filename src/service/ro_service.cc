@@ -1,0 +1,298 @@
+#include "service/ro_service.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <thread>
+
+#include "common/rng.h"
+
+namespace fgro {
+
+namespace {
+
+double NowSeconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// p95 (or any quantile) of an unsorted sample; 0 when empty.
+double Percentile(std::vector<double> values, double q) {
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  const double rank = q * static_cast<double>(values.size());
+  std::size_t idx = static_cast<std::size_t>(std::ceil(rank));
+  if (idx > 0) --idx;
+  if (idx >= values.size()) idx = values.size() - 1;
+  return values[idx];
+}
+
+}  // namespace
+
+RoService::RoService(const Workload* workload, const LatencyModel* model,
+                     const SimOptions& sim_options,
+                     const StageOptimizer::Config& optimizer_config,
+                     RoServiceOptions options)
+    : workload_(workload),
+      simulator_(workload, model, sim_options),
+      optimizer_(optimizer_config),
+      options_(options),
+      base_seed_(sim_options.seed),
+      num_workers_(std::max(1, sim_options.service_threads)),
+      queue_(options.queue_capacity, /*num_lanes=*/2),
+      pool_(num_workers_),
+      controller_(options.brownout) {
+  locals_.reserve(static_cast<std::size_t>(num_workers_));
+  for (int i = 0; i < num_workers_; ++i) {
+    locals_.push_back(std::make_unique<WorkerLocal>());
+    WorkerLocal* local = locals_.back().get();
+    pool_.Submit([this, local] { WorkerLoop(local); });
+  }
+}
+
+RoService::~RoService() { Stop(); }
+
+Status RoService::Submit(int job_idx, RequestPriority priority) {
+  if (job_idx < 0 ||
+      job_idx >= static_cast<int>(workload_->jobs.size())) {
+    return Status::InvalidArgument("job index out of range");
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (stopped_) {
+    return Status::FailedPrecondition("RO service already stopped");
+  }
+  ++stats_.jobs_offered;
+
+  Request request;
+  request.job_idx = job_idx;
+  request.slot = next_slot_;
+  request.admit_time = NowSeconds();
+  if (options_.request_deadline_seconds > 0.0) {
+    request.deadline = Deadline::After(options_.request_deadline_seconds);
+  }
+  if (!queue_.TryPush(std::move(request), static_cast<int>(priority))) {
+    // Load shedding: reject now rather than buffer unboundedly or block
+    // the caller. A shed is itself a pressure signal for the controller.
+    ++stats_.jobs_shed;
+    ObservePressureLocked();
+    return Status::ResourceExhausted("RO admission queue full");
+  }
+  ++next_slot_;
+  ++pending_;
+  ++stats_.jobs_admitted;
+  if (priority == RequestPriority::kLatencySensitive) {
+    ++stats_.jobs_latency_sensitive;
+  }
+  const int depth = static_cast<int>(queue_.size());
+  stats_.max_queue_depth = std::max(stats_.max_queue_depth, depth);
+  ObservePressureLocked();
+  return Status::OK();
+}
+
+void RoService::ObservePressureLocked() {
+  if (!controller_.enabled()) return;
+  const std::vector<double> window(recent_service_seconds_.begin(),
+                                   recent_service_seconds_.end());
+  controller_.Observe(static_cast<int>(queue_.size()),
+                      static_cast<int>(queue_.capacity()),
+                      Percentile(window, 0.95));
+  stats_.brownout_demotions = controller_.demotions();
+  stats_.brownout_promotions = controller_.promotions();
+}
+
+void RoService::WorkerLoop(WorkerLocal* local) {
+  Request request;
+  while (queue_.Pop(&request)) {
+    ServeOne(request, local);
+  }
+}
+
+void RoService::ServeOne(const Request& request, WorkerLocal* local) {
+  const double dequeue_time = NowSeconds();
+  const bool expired = request.deadline.expired();
+
+  BrownoutLevel level;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    level = controller_.level();
+  }
+  if (expired) {
+    // The request already blew its budget waiting: serve the cheapest
+    // decision instead of dropping it on the floor.
+    level = BrownoutLevel::kFuxi;
+  }
+
+  // The brown-out level is sampled once per request so a whole job is
+  // decided at one ladder level; the per-stage ladder still applies on top
+  // (a primary solve can individually degrade inside the replay).
+  auto scheduler = [this, level](const SchedulingContext& context) {
+    SchedulingContext ctx = context;
+    if (level == BrownoutLevel::kFuxi) {
+      ctx.model_available = false;
+    } else if (level == BrownoutLevel::kTheta0) {
+      ctx.raa_allowed = false;
+    }
+    return optimizer_.Optimize(ctx);
+  };
+
+  Result<std::vector<StageOutcome>> outcomes = simulator_.ReplayJobIsolated(
+      scheduler, request.job_idx, MixSeed(base_seed_, request.job_idx));
+
+  if (options_.min_service_seconds > 0.0) {
+    const double elapsed = NowSeconds() - dequeue_time;
+    if (elapsed < options_.min_service_seconds) {
+      std::this_thread::sleep_for(std::chrono::duration<double>(
+          options_.min_service_seconds - elapsed));
+    }
+  }
+  const double end_time = NowSeconds();
+
+  local->wait_seconds.push_back(dequeue_time - request.admit_time);
+  local->service_seconds.push_back(end_time - dequeue_time);
+  const bool ok = outcomes.ok();
+  if (ok) {
+    local->results.emplace_back(request.slot, std::move(outcomes).value());
+  } else if (local->first_error.ok()) {
+    local->first_error = outcomes.status();
+  }
+
+  // Once-per-job control plane: completion counters, rolling p95 window,
+  // pressure observation, completion ordering, drain signalling. This is
+  // the only lock on the serving path; all per-stage work above ran
+  // lock-free.
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++stats_.jobs_completed;
+  if (!ok) ++stats_.jobs_failed;
+  if (expired) ++stats_.deadline_expired_jobs;
+  if (level == BrownoutLevel::kTheta0) {
+    ++stats_.brownout_theta0_jobs;
+  } else if (level == BrownoutLevel::kFuxi) {
+    ++stats_.brownout_fuxi_jobs;
+  }
+  recent_service_seconds_.push_back(end_time - dequeue_time);
+  while (static_cast<int>(recent_service_seconds_.size()) >
+         std::max(1, options_.brownout.p95_window)) {
+    recent_service_seconds_.pop_front();
+  }
+  ObservePressureLocked();
+  completion_order_.push_back(request.job_idx);
+  if (--pending_ == 0) idle_.notify_all();
+}
+
+void RoService::Drain() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  idle_.wait(lock, [this] { return pending_ == 0; });
+}
+
+void RoService::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopped_ = true;
+  }
+  queue_.Close();  // workers drain the queue, then their loops exit
+  pool_.Join();
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (merged_) return;
+  merged_ = true;
+
+  // Merge the per-worker accumulations. Results are keyed by admission
+  // slot, so the merged outcome order is the submission order regardless
+  // of which worker served which job.
+  std::vector<std::pair<int, std::vector<StageOutcome>>> all;
+  std::vector<double> waits, services;
+  for (const std::unique_ptr<WorkerLocal>& local : locals_) {
+    if (first_error_.ok() && !local->first_error.ok()) {
+      first_error_ = local->first_error;
+    }
+    for (auto& entry : local->results) all.push_back(std::move(entry));
+    waits.insert(waits.end(), local->wait_seconds.begin(),
+                 local->wait_seconds.end());
+    services.insert(services.end(), local->service_seconds.begin(),
+                    local->service_seconds.end());
+    local->results.clear();
+  }
+  std::sort(all.begin(), all.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  for (auto& [slot, outcomes] : all) {
+    (void)slot;
+    merged_result_.outcomes.insert(
+        merged_result_.outcomes.end(),
+        std::make_move_iterator(outcomes.begin()),
+        std::make_move_iterator(outcomes.end()));
+  }
+  stats_.queue_wait_p95_ms = Percentile(std::move(waits), 0.95) * 1e3;
+  stats_.service_p95_ms = Percentile(std::move(services), 0.95) * 1e3;
+  stats_.brownout_demotions = controller_.demotions();
+  stats_.brownout_promotions = controller_.promotions();
+}
+
+SimResult RoService::TakeResult() {
+  Stop();
+  std::lock_guard<std::mutex> lock(mutex_);
+  return std::move(merged_result_);
+}
+
+Status RoService::first_error() {
+  Stop();
+  std::lock_guard<std::mutex> lock(mutex_);
+  return first_error_;
+}
+
+RoSummary RoService::Summary() {
+  Stop();
+  std::lock_guard<std::mutex> lock(mutex_);
+  RoSummary summary = Summarize(merged_result_);
+  summary.jobs_offered = stats_.jobs_offered;
+  summary.jobs_admitted = stats_.jobs_admitted;
+  summary.jobs_shed = stats_.jobs_shed;
+  summary.jobs_completed = stats_.jobs_completed;
+  summary.jobs_failed = stats_.jobs_failed;
+  summary.jobs_latency_sensitive = stats_.jobs_latency_sensitive;
+  summary.brownout_demotions = stats_.brownout_demotions;
+  summary.brownout_promotions = stats_.brownout_promotions;
+  summary.brownout_theta0_jobs = stats_.brownout_theta0_jobs;
+  summary.brownout_fuxi_jobs = stats_.brownout_fuxi_jobs;
+  summary.deadline_expired_jobs = stats_.deadline_expired_jobs;
+  summary.queue_wait_p95_ms = stats_.queue_wait_p95_ms;
+  summary.service_p95_ms = stats_.service_p95_ms;
+  summary.max_queue_depth = stats_.max_queue_depth;
+  return summary;
+}
+
+RoServiceStats RoService::Stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+BrownoutLevel RoService::brownout_level() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return controller_.level();
+}
+
+const std::vector<int>& RoService::completion_order() {
+  Stop();
+  return completion_order_;
+}
+
+Result<SimResult> ServeWorkload(const Workload& workload,
+                                const LatencyModel* model,
+                                const SimOptions& sim_options,
+                                const StageOptimizer::Config& optimizer_config,
+                                RoServiceOptions options) {
+  // Nothing may shed in the drop-in replay mode: size the queue to the
+  // workload so the merged result covers every job.
+  options.queue_capacity =
+      std::max(options.queue_capacity, workload.jobs.size());
+  RoService service(&workload, model, sim_options, optimizer_config, options);
+  for (int j = 0; j < static_cast<int>(workload.jobs.size()); ++j) {
+    FGRO_RETURN_IF_ERROR(service.Submit(j, RequestPriority::kBatch));
+  }
+  service.Drain();
+  service.Stop();
+  FGRO_RETURN_IF_ERROR(service.first_error());
+  return service.TakeResult();
+}
+
+}  // namespace fgro

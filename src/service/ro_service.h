@@ -1,0 +1,200 @@
+#ifndef FGRO_SERVICE_RO_SERVICE_H_
+#define FGRO_SERVICE_RO_SERVICE_H_
+
+#include <condition_variable>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "common/bounded_queue.h"
+#include "common/deadline.h"
+#include "common/status.h"
+#include "common/thread_pool.h"
+#include "model/latency_model.h"
+#include "optimizer/stage_optimizer.h"
+#include "service/brownout.h"
+#include "sim/ro_metrics.h"
+#include "sim/simulator.h"
+#include "trace/workload_gen.h"
+
+namespace fgro {
+
+/// Admission priority class. Latency-sensitive requests are always popped
+/// before batch requests (strict priority, FIFO within a class); both
+/// classes share the bounded queue and are shed identically when it fills.
+enum class RequestPriority { kLatencySensitive = 0, kBatch = 1 };
+
+struct RoServiceOptions {
+  /// Admission-queue bound. A Submit() that finds the queue full is shed
+  /// immediately with kResourceExhausted — the service never blocks the
+  /// caller and never buffers unboundedly.
+  std::size_t queue_capacity = 64;
+  /// Per-request wall-clock budget armed at admission (0 = no deadline).
+  /// A request whose deadline has already expired when a worker dequeues
+  /// it is served at the cheapest ladder level (Fuxi) instead of being
+  /// dropped: the caller still gets a decision, just a cheap one.
+  double request_deadline_seconds = 0.0;
+  /// Artificial per-job service-time floor (seconds). Zero in production;
+  /// overload tests raise it so a burst deterministically outruns the
+  /// workers and exercises shedding / brown-out.
+  double min_service_seconds = 0.0;
+  /// Brown-out controller config (disabled by default).
+  BrownoutOptions brownout;
+};
+
+/// Counters the service accumulates; folded into RoSummary by Summary().
+struct RoServiceStats {
+  long jobs_offered = 0;
+  long jobs_admitted = 0;
+  long jobs_shed = 0;
+  long jobs_completed = 0;
+  long jobs_failed = 0;
+  long jobs_latency_sensitive = 0;
+  long brownout_demotions = 0;
+  long brownout_promotions = 0;
+  long brownout_theta0_jobs = 0;
+  long brownout_fuxi_jobs = 0;
+  long deadline_expired_jobs = 0;
+  double queue_wait_p95_ms = 0.0;
+  double service_p95_ms = 0.0;
+  int max_queue_depth = 0;
+};
+
+/// Concurrent RO service: a fixed pool of workers pulls stage-optimization
+/// requests (one request = one job replay) from a bounded two-lane
+/// admission queue. Overload is handled in three layers:
+///
+///   1. Load shedding — Submit() on a full queue rejects immediately with
+///      kResourceExhausted instead of queueing unboundedly.
+///   2. Brown-out — a hysteretic controller watches queue depth and the
+///      rolling p95 service time and demotes work down the degradation
+///      ladder (IPA+RAA -> theta0 -> Fuxi) under sustained pressure,
+///      re-promoting when it clears.
+///   3. Per-request deadlines — a request that waited past its budget is
+///      served at the Fuxi level rather than dropped.
+///
+/// Determinism: each job replays in isolation (Simulator::ReplayJobIsolated)
+/// with a private RNG stream seeded MixSeed(sim.seed, job_idx), so with
+/// brown-out and deadlines off the merged SimResult is byte-identical for
+/// any worker count. Workers accumulate stage outcomes and latency samples
+/// into per-worker locals merged at Stop() — no atomics on the replay
+/// path; the service mutex guards only the once-per-job control plane
+/// (counters, brown-out observations, drain signalling).
+///
+/// Use a degrade_gracefully optimizer config: brown-out and expired
+/// deadlines degrade via the ladder, which a non-FB config does not take.
+class RoService {
+ public:
+  RoService(const Workload* workload, const LatencyModel* model,
+            const SimOptions& sim_options,
+            const StageOptimizer::Config& optimizer_config,
+            RoServiceOptions options = {});
+  ~RoService();
+
+  RoService(const RoService&) = delete;
+  RoService& operator=(const RoService&) = delete;
+
+  /// Offers one job to the service. Returns OK when admitted,
+  /// kResourceExhausted when shed (queue full), kInvalidArgument for a bad
+  /// job index, kFailedPrecondition after Stop().
+  Status Submit(int job_idx, RequestPriority priority = RequestPriority::kBatch);
+
+  /// Blocks until every admitted request has completed. The service stays
+  /// open for further Submit() calls.
+  void Drain();
+
+  /// Closes admission, drains the queue, joins the workers, and merges the
+  /// per-worker results. Idempotent.
+  void Stop();
+
+  /// Merged replay result, outcomes ordered by admission slot (so equal to
+  /// the sequential order when jobs were submitted in index order).
+  /// Implies Stop().
+  SimResult TakeResult();
+
+  /// Aggregate RO metrics over the merged result, with the service-layer
+  /// fields (shed / brown-out / queue metrics) filled in. Implies Stop().
+  RoSummary Summary();
+
+  /// First replay error any worker hit (OK when none). Implies Stop().
+  Status first_error();
+
+  /// Service counters so far (callable while running).
+  RoServiceStats Stats() const;
+
+  /// Current brown-out level.
+  BrownoutLevel brownout_level() const;
+
+  /// Job indices in completion order (for priority-ordering tests).
+  /// Implies Stop().
+  const std::vector<int>& completion_order();
+
+  int num_workers() const { return num_workers_; }
+
+ private:
+  struct Request {
+    int job_idx = 0;
+    int slot = 0;  // admission sequence number, orders the merged result
+    Deadline deadline;
+    double admit_time = 0.0;  // steady-clock seconds
+  };
+
+  /// Per-worker accumulation (the no-atomics-on-hot-path rule): the bulk
+  /// data — stage outcomes and latency samples — collects here without any
+  /// synchronization and merges once, at Stop(). The cheap per-job
+  /// counters live in stats_ and are bumped inside the one control-plane
+  /// lock each job already takes, so Stats() is accurate while running.
+  struct WorkerLocal {
+    std::vector<std::pair<int, std::vector<StageOutcome>>> results;
+    Status first_error;
+    std::vector<double> wait_seconds;
+    std::vector<double> service_seconds;
+  };
+
+  void WorkerLoop(WorkerLocal* local);
+  void ServeOne(const Request& request, WorkerLocal* local);
+  /// Feeds one (queue depth, rolling p95) observation to the controller.
+  /// Caller holds mutex_.
+  void ObservePressureLocked();
+
+  const Workload* workload_;
+  Simulator simulator_;
+  StageOptimizer optimizer_;
+  RoServiceOptions options_;
+  uint64_t base_seed_;
+  int num_workers_;
+
+  BoundedPriorityQueue<Request> queue_;
+  std::vector<std::unique_ptr<WorkerLocal>> locals_;
+  ThreadPool pool_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable idle_;
+  BrownoutController controller_;
+  std::deque<double> recent_service_seconds_;  // rolling p95 window
+  std::vector<int> completion_order_;
+  RoServiceStats stats_;
+  int next_slot_ = 0;
+  int pending_ = 0;
+  bool stopped_ = false;
+  bool merged_ = false;
+  Status first_error_;
+
+  SimResult merged_result_;
+};
+
+/// Convenience driver for SimOptions::service_threads: submits every job of
+/// the workload in index order (batch priority, capacity >= workload size so
+/// nothing sheds), drains, and returns the merged result. With
+/// service_threads <= 1 this still uses the per-job isolated semantics, so
+/// the result is byte-identical to any higher thread count.
+Result<SimResult> ServeWorkload(const Workload& workload,
+                                const LatencyModel* model,
+                                const SimOptions& sim_options,
+                                const StageOptimizer::Config& optimizer_config,
+                                RoServiceOptions options = {});
+
+}  // namespace fgro
+
+#endif  // FGRO_SERVICE_RO_SERVICE_H_

@@ -37,6 +37,24 @@ struct RoSummary {
   long breaker_recoveries = 0;      // stages where a half-open probe closed it
   long drift_alarms = 0;            // watchdog alarm transitions
   long drift_demoted_stages = 0;    // stages degraded by an active alarm
+  /// Concurrent-service accounting (all zero in sequential replays).
+  /// Filled by RoService, not by Summarize(); the wall-clock fields
+  /// (queue_wait_p95_ms, service_p95_ms, max_queue_depth) depend on thread
+  /// count and load and are excluded from determinism comparisons.
+  long jobs_offered = 0;       // Submit() calls
+  long jobs_admitted = 0;      // accepted into the admission queue
+  long jobs_shed = 0;          // rejected with kResourceExhausted
+  long jobs_completed = 0;     // replays that finished (ok or failed)
+  long jobs_failed = 0;        // replays that returned an error status
+  long jobs_latency_sensitive = 0;  // admitted on the priority lane
+  long brownout_demotions = 0;      // controller level-increase transitions
+  long brownout_promotions = 0;     // controller level-decrease transitions
+  long brownout_theta0_jobs = 0;    // jobs served at the theta0 level
+  long brownout_fuxi_jobs = 0;      // jobs served at the fuxi level
+  long deadline_expired_jobs = 0;   // per-request deadline gone at dequeue
+  double queue_wait_p95_ms = 0.0;   // admission -> dequeue (wall clock)
+  double service_p95_ms = 0.0;      // dequeue -> completion (wall clock)
+  int max_queue_depth = 0;          // high-water mark of the queue
 };
 
 RoSummary Summarize(const SimResult& result);

@@ -5,6 +5,7 @@
 #include "common/circuit_breaker.h"
 #include "common/logging.h"
 #include "common/math_utils.h"
+#include "common/rng.h"
 #include "featurize/channels.h"
 #include "sim/dependency_manager.h"
 
@@ -42,6 +43,415 @@ int PickRetryMachine(const Cluster& cluster, const FaultInjector& injector,
   return best;
 }
 
+/// All mutable state of one replay. The sequential path builds one and
+/// threads it through every job (cluster time and breaker/watchdog state
+/// span jobs, exactly as before the service refactor); the concurrent
+/// service builds a fresh one per job so nothing is shared across workers.
+struct ReplayState {
+  ReplayState(const SimOptions& options, const WorkloadProfile& profile,
+              uint64_t seed)
+      : rng(seed),
+        cluster(options.cluster),
+        env(profile.env),
+        hbo(profile.hbo),
+        injector(options.faults, cluster.size()),
+        breaker(options.faults.model_breaker),
+        watchdog(options.drift_watchdog, kNumHardwareTypes) {}
+
+  Rng rng;
+  Cluster cluster;
+  GroundTruthEnv env;
+  Hbo hbo;
+  FaultInjector injector;
+  CircuitBreaker breaker;
+  DriftWatchdog watchdog;
+};
+
+/// Replays one job against `st`, appending its stage outcomes to `out`.
+/// This is the body shared by the sequential replay (one ReplayState for
+/// the whole run) and the isolated per-job replay (one per job).
+Status ReplayJobInState(const Workload& workload, const LatencyModel* model,
+                        const SimOptions& options, ReplayState& st,
+                        int job_idx, const Simulator::SchedulerFn& scheduler,
+                        bool keep_instance_detail,
+                        std::vector<StageOutcome>* out) {
+  Rng& rng = st.rng;
+  Cluster& cluster = st.cluster;
+  GroundTruthEnv& env = st.env;
+  FaultInjector& injector = st.injector;
+  CircuitBreaker& breaker = st.breaker;
+  DriftWatchdog& watchdog = st.watchdog;
+
+  const bool faults = injector.active();
+  // Breaker over the model-server probe: only consulted when faults are on
+  // AND the breaker is enabled, so the oracle probe path is untouched by
+  // default and existing replays stay byte-identical.
+  const bool use_breaker = faults && options.faults.model_breaker.enabled;
+  // Online drift watchdog: shadow-compares predictions against simulated
+  // actuals per hardware type; independent of the fault injector.
+  const bool shadow =
+      watchdog.enabled() && model != nullptr && model->trained();
+
+  // Deterministic drift pulse: scales actual latencies while sim time is
+  // inside the pulse window. The 1.0 fast path keeps the default replay
+  // bit-identical.
+  auto apply_drift = [&](double actual) {
+    if (options.drift_multiplier == 1.0) return actual;
+    const double now = cluster.now();
+    if (now >= options.drift_start_seconds &&
+        now < options.drift_end_seconds) {
+      return actual * options.drift_multiplier;
+    }
+    return actual;
+  };
+
+  // One "actual" latency draw for an attempt of instance i on a machine.
+  auto sample_actual = [&](const Stage& stage, int i, const Machine& machine,
+                           const ResourceConfig& theta) -> Result<double> {
+    switch (options.outcome) {
+      case OutcomeMode::kNoiseFree: {
+        FGRO_ASSIGN_OR_RETURN(
+            double pred,
+            model->Predict(stage, i, theta, machine.state(),
+                           machine.hardware().id));
+        return apply_drift(pred);
+      }
+      case OutcomeMode::kGprNoise: {
+        FGRO_ASSIGN_OR_RETURN(
+            double pred,
+            model->Predict(stage, i, theta, machine.state(),
+                           machine.hardware().id));
+        return apply_drift(options.gpr->Sample(pred, &rng));
+      }
+      case OutcomeMode::kEnvironment:
+        return apply_drift(env.SampleLatency(stage, i, machine, theta, &rng));
+    }
+    return Status::Internal("unknown outcome mode");
+  };
+
+  // Shadow prediction for the watchdog; never fails the replay (a failed
+  // shadow predict just skips the observation).
+  auto observe_drift = [&](const Stage& stage, int i, const Machine& machine,
+                           const ResourceConfig& theta, double actual) {
+    Result<double> pred = model->Predict(stage, i, theta, machine.state(),
+                                         machine.hardware().id);
+    if (pred.ok()) {
+      watchdog.Observe(machine.hardware().id, pred.value(), actual);
+    }
+  };
+
+  const Job& job = workload.jobs[static_cast<size_t>(job_idx)];
+  cluster.AdvanceTime(job.arrival_time);
+  if (faults) {
+    // Project the crash/recovery schedule onto machine liveness.
+    for (Machine& m : cluster.machines()) {
+      m.SetUp(injector.MachineUp(m.id(), cluster.now()));
+    }
+  }
+  StageDependencyManager deps(job);
+  if (!deps.ok()) return deps.status();
+
+  while (!deps.AllCompleted()) {
+    std::vector<int> ready = deps.PopReadyStages();
+    if (ready.empty()) {
+      return Status::Internal("dependency deadlock in job replay");
+    }
+    for (int s : ready) {
+      const Stage& stage = job.stages[static_cast<size_t>(s)];
+      HboRecommendation rec = st.hbo.Recommend(stage);
+
+      SchedulingContext context;
+      context.stage = &stage;
+      context.cluster = &cluster;
+      context.model = model;
+      context.theta0 = rec.theta0;
+      context.ro_time_limit_seconds = options.ro_time_limit_seconds;
+
+      StageOutcome outcome;
+      outcome.job_idx = job_idx;
+      outcome.stage_idx = s;
+      outcome.num_instances = stage.instance_count();
+      outcome.default_theta_cores = rec.theta0.cores;
+
+      if (faults) {
+        if (use_breaker) {
+          // Breaker-gated probe: while open, stages skip the probe
+          // entirely (short circuit) and degrade immediately; a half-open
+          // probe after the cooldown decides recovery vs. re-trip.
+          const double now = cluster.now();
+          if (!breaker.AllowRequest(now)) {
+            context.model_available = false;
+            outcome.model_short_circuited = true;
+          } else {
+            const long trips_before = breaker.trips();
+            const long recoveries_before = breaker.recoveries();
+            const bool up = injector.ModelAvailable(now);
+            if (up) {
+              breaker.RecordSuccess(now);
+            } else {
+              breaker.RecordFailure(now);
+            }
+            context.model_available = up;
+            outcome.breaker_tripped = breaker.trips() > trips_before;
+            outcome.breaker_recovered =
+                breaker.recoveries() > recoveries_before;
+          }
+        } else {
+          context.model_available = injector.ModelAvailable(cluster.now());
+        }
+      }
+      if (watchdog.enabled() && watchdog.alarmed()) {
+        // Drift demotion: the model is reachable but untrustworthy; the
+        // ladder treats it like an outage. Shadow evaluation continues
+        // below, so the window can recover and re-promote.
+        context.model_available = false;
+        outcome.drift_demoted = true;
+      }
+      const long alarms_before = watchdog.alarms_raised();
+
+      StageDecision decision = scheduler(context);
+      outcome.solve_seconds = decision.solve_seconds;
+      outcome.fallback = decision.fallback;
+      // A degraded decision already paid its (abandoned) primary solve
+      // time; what matters is that the fallback itself is usable.
+      outcome.feasible =
+          decision.feasible &&
+          (decision.solve_seconds <= options.ro_time_limit_seconds ||
+           decision.fallback != FallbackLevel::kPrimary);
+      if (!outcome.feasible) {
+        out->push_back(std::move(outcome));
+        deps.MarkCompleted(s);
+        continue;
+      }
+
+      // Charge the machines for the stage's containers.
+      const int m = stage.instance_count();
+      for (int i = 0; i < m; ++i) {
+        cluster
+            .machine(decision.machine_of_instance[static_cast<size_t>(i)])
+            .Allocate(decision.theta_of_instance[static_cast<size_t>(i)]);
+      }
+
+      if (!faults) {
+        // Happy path, bit-identical to the fault-free build.
+        double max_latency = 0.0, cost = 0.0;
+        std::vector<double> latencies(static_cast<size_t>(m));
+        for (int i = 0; i < m; ++i) {
+          const Machine& machine = cluster.machine(
+              decision.machine_of_instance[static_cast<size_t>(i)]);
+          const ResourceConfig& theta =
+              decision.theta_of_instance[static_cast<size_t>(i)];
+          Result<double> actual = sample_actual(stage, i, machine, theta);
+          if (!actual.ok()) return actual.status();
+          latencies[static_cast<size_t>(i)] = actual.value();
+          max_latency = std::max(max_latency, actual.value());
+          cost += actual.value() * context.cost_weights.Rate(theta);
+          if (shadow) observe_drift(stage, i, machine, theta, actual.value());
+        }
+        for (int i = 0; i < m; ++i) {
+          cluster
+              .machine(decision.machine_of_instance[static_cast<size_t>(i)])
+              .Release(decision.theta_of_instance[static_cast<size_t>(i)]);
+        }
+        outcome.stage_latency = max_latency;
+        outcome.stage_latency_in = max_latency + decision.solve_seconds;
+        outcome.stage_cost = cost;
+        outcome.drift_alarm_raised = watchdog.alarms_raised() > alarms_before;
+        if (keep_instance_detail) {
+          outcome.instance_latencies = std::move(latencies);
+          outcome.instance_thetas = decision.theta_of_instance;
+        }
+        out->push_back(std::move(outcome));
+        deps.MarkCompleted(s);
+        continue;
+      }
+
+      // Fault-tolerant path: attempts fail (injected failures, machine
+      // crashes) and are retried with backoff on surviving machines; the
+      // lost work of every failed or killed attempt is wasted cost.
+      const double stage_start = cluster.now();
+      const RetryPolicy& policy = options.faults.retry;
+      std::vector<InstanceRun> runs(static_cast<size_t>(m));
+      // Extra allocations made by failovers, released at stage end.
+      std::vector<std::pair<int, ResourceConfig>> extra_allocs;
+
+      for (int i = 0; i < m; ++i) {
+        const ResourceConfig& theta =
+            decision.theta_of_instance[static_cast<size_t>(i)];
+        const double rate = context.cost_weights.Rate(theta);
+        InstanceRun& run = runs[static_cast<size_t>(i)];
+        run.machine =
+            decision.machine_of_instance[static_cast<size_t>(i)];
+        double t = 0.0;  // elapsed since stage start, this instance
+        for (int attempt = 1;; ++attempt) {
+          const Machine& machine = cluster.machine(run.machine);
+          Result<double> drawn = sample_actual(stage, i, machine, theta);
+          if (!drawn.ok()) return drawn.status();
+          double nominal =
+              drawn.value() *
+              injector.StragglerMultiplier(job_idx, s, i, attempt);
+
+          double crash_at = 0.0;
+          const bool machine_crash = injector.MachineCrashesWithin(
+              run.machine, stage_start + t, nominal, &crash_at);
+          const bool inst_fail =
+              injector.InstanceFails(job_idx, s, i, attempt);
+          if (!machine_crash && !inst_fail) {
+            run.final_run = nominal;
+            run.completion = t + nominal;
+            run.succeeded = true;
+            break;
+          }
+          // Work lost at the earlier of the two failure sources.
+          double ran = nominal;
+          if (inst_fail) {
+            ran = injector.FailurePointFraction(job_idx, s, i, attempt) *
+                  nominal;
+          }
+          if (machine_crash) {
+            ran = std::min(ran, crash_at - (stage_start + t));
+          }
+          ran = std::max(0.0, ran);
+          outcome.wasted_cost += ran * rate;
+          const Status failure =
+              machine_crash
+                  ? Status::Unavailable("machine crashed mid-attempt")
+                  : Status::ResourceExhausted("instance attempt failed");
+          if (!policy.ShouldRetry(failure, attempt)) {
+            ++outcome.failed_instances;
+            run.completion = t + ran;
+            break;
+          }
+          t += ran + policy.BackoffSeconds(attempt);
+          ++outcome.retries;
+          // Re-place when the current machine is gone; otherwise retry
+          // in place (transient container failure).
+          if (machine_crash ||
+              !injector.MachineUp(run.machine, stage_start + t)) {
+            int next = PickRetryMachine(cluster, injector, theta,
+                                        stage_start + t, run.machine);
+            if (next < 0) {
+              ++outcome.failed_instances;
+              run.completion = t;
+              break;
+            }
+            ++outcome.failovers;
+            run.machine = next;
+            if (cluster.machine(next).Allocate(theta)) {
+              extra_allocs.emplace_back(next, theta);
+            }
+          }
+        }
+      }
+
+      // Speculative re-execution: instances lagging far behind the stage
+      // median get a backup copy; first finisher wins, the loser's run
+      // is killed and charged as waste.
+      if (options.faults.speculative_execution && m >= 3) {
+        std::vector<double> completions;
+        completions.reserve(static_cast<size_t>(m));
+        for (const InstanceRun& run : runs) {
+          if (run.succeeded) completions.push_back(run.completion);
+        }
+        const double median = Median(completions);
+        const double detect_at =
+            options.faults.speculative_threshold * median;
+        if (!completions.empty() && median > 0.0) {
+          for (int i = 0; i < m; ++i) {
+            InstanceRun& run = runs[static_cast<size_t>(i)];
+            if (!run.succeeded || run.completion <= detect_at) continue;
+            const ResourceConfig& theta =
+                decision.theta_of_instance[static_cast<size_t>(i)];
+            const double rate = context.cost_weights.Rate(theta);
+            int copy_machine =
+                PickRetryMachine(cluster, injector, theta,
+                                 stage_start + detect_at, run.machine);
+            if (copy_machine < 0) continue;
+            Result<double> drawn = sample_actual(
+                stage, i, cluster.machine(copy_machine), theta);
+            if (!drawn.ok()) return drawn.status();
+            // The copy gets its own straggler draw on a high attempt
+            // index so it never collides with a retry attempt's fate.
+            double copy_run =
+                drawn.value() *
+                injector.StragglerMultiplier(job_idx, s, i, 1000);
+            double copy_completion = detect_at + copy_run;
+            ++outcome.speculative_copies;
+            if (copy_completion < run.completion) {
+              ++outcome.speculative_wins;
+              // Original killed when the copy finishes: everything the
+              // final original attempt ran is lost.
+              double original_started = run.completion - run.final_run;
+              outcome.wasted_cost +=
+                  std::max(0.0, copy_completion - original_started) * rate;
+              run.final_run = copy_run;
+              run.completion = copy_completion;
+              run.machine = copy_machine;
+            } else {
+              // Copy killed when the original finishes.
+              outcome.wasted_cost +=
+                  std::max(0.0, run.completion - detect_at) * rate;
+            }
+          }
+        }
+      }
+
+      double max_latency = 0.0, useful_cost = 0.0;
+      std::vector<double> latencies(static_cast<size_t>(m));
+      bool all_succeeded = true;
+      for (int i = 0; i < m; ++i) {
+        const InstanceRun& run = runs[static_cast<size_t>(i)];
+        const ResourceConfig& theta =
+            decision.theta_of_instance[static_cast<size_t>(i)];
+        latencies[static_cast<size_t>(i)] = run.completion;
+        max_latency = std::max(max_latency, run.completion);
+        if (run.succeeded) {
+          useful_cost += run.final_run * context.cost_weights.Rate(theta);
+          if (shadow) {
+            // Feed the winning attempt's runtime; straggler noise is part
+            // of the drift signal the watchdog is meant to see.
+            observe_drift(stage, i, cluster.machine(run.machine), theta,
+                          run.final_run);
+          }
+        } else {
+          all_succeeded = false;
+        }
+      }
+      for (int i = 0; i < m; ++i) {
+        cluster
+            .machine(decision.machine_of_instance[static_cast<size_t>(i)])
+            .Release(decision.theta_of_instance[static_cast<size_t>(i)]);
+      }
+      for (const auto& [machine_id, theta] : extra_allocs) {
+        cluster.machine(machine_id).Release(theta);
+      }
+
+      // A stage that lost an instance past its retry budget did not
+      // produce its output: it fails cleanly (no crash, waste recorded).
+      outcome.feasible = all_succeeded;
+      outcome.stage_latency = max_latency;
+      outcome.stage_latency_in = max_latency + decision.solve_seconds;
+      outcome.stage_cost = useful_cost + outcome.wasted_cost;
+      outcome.drift_alarm_raised = watchdog.alarms_raised() > alarms_before;
+      if (keep_instance_detail) {
+        outcome.instance_latencies = std::move(latencies);
+        outcome.instance_thetas = decision.theta_of_instance;
+      }
+      out->push_back(std::move(outcome));
+      deps.MarkCompleted(s);
+    }
+  }
+  return Status::OK();
+}
+
+Status ValidateOutcomeMode(const SimOptions& options) {
+  if (options.outcome == OutcomeMode::kGprNoise &&
+      (options.gpr == nullptr || !options.gpr->fitted())) {
+    return Status::FailedPrecondition("GPR noise model required but missing");
+  }
+  return Status::OK();
+}
+
 }  // namespace
 
 Simulator::Simulator(const Workload* workload, const LatencyModel* model,
@@ -58,380 +468,34 @@ Result<SimResult> Simulator::Run(const SchedulerFn& scheduler,
 Result<SimResult> Simulator::RunJobs(const SchedulerFn& scheduler,
                                      const std::vector<int>& job_indices,
                                      bool keep_instance_detail) {
-  if (options_.outcome == OutcomeMode::kGprNoise &&
-      (options_.gpr == nullptr || !options_.gpr->fitted())) {
-    return Status::FailedPrecondition("GPR noise model required but missing");
-  }
-  Rng rng(options_.seed);
-  Cluster cluster(options_.cluster);
-  GroundTruthEnv env(workload_->profile.env);
-  Hbo hbo(workload_->profile.hbo);
-  FaultInjector injector(options_.faults, cluster.size());
-  const bool faults = injector.active();
-  // Breaker over the model-server probe: only consulted when faults are on
-  // AND the breaker is enabled, so the oracle probe path is untouched by
-  // default and existing replays stay byte-identical.
-  CircuitBreaker breaker(options_.faults.model_breaker);
-  const bool use_breaker = faults && options_.faults.model_breaker.enabled;
-  // Online drift watchdog: shadow-compares predictions against simulated
-  // actuals per hardware type; independent of the fault injector.
-  DriftWatchdog watchdog(options_.drift_watchdog, kNumHardwareTypes);
-  const bool shadow =
-      watchdog.enabled() && model_ != nullptr && model_->trained();
+  FGRO_RETURN_IF_ERROR(ValidateOutcomeMode(options_));
+  // One shared state for the whole replay: cluster time advances across
+  // jobs and breaker/watchdog state carries over, as it always has.
+  ReplayState state(options_, workload_->profile, options_.seed);
   SimResult result;
-
-  // Deterministic drift pulse: scales actual latencies while sim time is
-  // inside the pulse window. The 1.0 fast path keeps the default replay
-  // bit-identical.
-  auto apply_drift = [&](double actual) {
-    if (options_.drift_multiplier == 1.0) return actual;
-    const double now = cluster.now();
-    if (now >= options_.drift_start_seconds &&
-        now < options_.drift_end_seconds) {
-      return actual * options_.drift_multiplier;
-    }
-    return actual;
-  };
-
-  // One "actual" latency draw for an attempt of instance i on a machine.
-  auto sample_actual = [&](const Stage& stage, int i, const Machine& machine,
-                           const ResourceConfig& theta) -> Result<double> {
-    switch (options_.outcome) {
-      case OutcomeMode::kNoiseFree: {
-        FGRO_ASSIGN_OR_RETURN(
-            double pred,
-            model_->Predict(stage, i, theta, machine.state(),
-                            machine.hardware().id));
-        return apply_drift(pred);
-      }
-      case OutcomeMode::kGprNoise: {
-        FGRO_ASSIGN_OR_RETURN(
-            double pred,
-            model_->Predict(stage, i, theta, machine.state(),
-                            machine.hardware().id));
-        return apply_drift(options_.gpr->Sample(pred, &rng));
-      }
-      case OutcomeMode::kEnvironment:
-        return apply_drift(env.SampleLatency(stage, i, machine, theta, &rng));
-    }
-    return Status::Internal("unknown outcome mode");
-  };
-
-  // Shadow prediction for the watchdog; never fails the replay (a failed
-  // shadow predict just skips the observation).
-  auto observe_drift = [&](const Stage& stage, int i, const Machine& machine,
-                           const ResourceConfig& theta, double actual) {
-    Result<double> pred = model_->Predict(stage, i, theta, machine.state(),
-                                          machine.hardware().id);
-    if (pred.ok()) {
-      watchdog.Observe(machine.hardware().id, pred.value(), actual);
-    }
-  };
-
   for (int job_idx : job_indices) {
-    const Job& job = workload_->jobs[static_cast<size_t>(job_idx)];
-    cluster.AdvanceTime(job.arrival_time);
-    if (faults) {
-      // Project the crash/recovery schedule onto machine liveness.
-      for (Machine& m : cluster.machines()) {
-        m.SetUp(injector.MachineUp(m.id(), cluster.now()));
-      }
-    }
-    StageDependencyManager deps(job);
-    if (!deps.ok()) return deps.status();
-
-    while (!deps.AllCompleted()) {
-      std::vector<int> ready = deps.PopReadyStages();
-      if (ready.empty()) {
-        return Status::Internal("dependency deadlock in job replay");
-      }
-      for (int s : ready) {
-        const Stage& stage = job.stages[static_cast<size_t>(s)];
-        HboRecommendation rec = hbo.Recommend(stage);
-
-        SchedulingContext context;
-        context.stage = &stage;
-        context.cluster = &cluster;
-        context.model = model_;
-        context.theta0 = rec.theta0;
-        context.ro_time_limit_seconds = options_.ro_time_limit_seconds;
-
-        StageOutcome outcome;
-        outcome.job_idx = job_idx;
-        outcome.stage_idx = s;
-        outcome.num_instances = stage.instance_count();
-        outcome.default_theta_cores = rec.theta0.cores;
-
-        if (faults) {
-          if (use_breaker) {
-            // Breaker-gated probe: while open, stages skip the probe
-            // entirely (short circuit) and degrade immediately; a half-open
-            // probe after the cooldown decides recovery vs. re-trip.
-            const double now = cluster.now();
-            if (!breaker.AllowRequest(now)) {
-              context.model_available = false;
-              outcome.model_short_circuited = true;
-            } else {
-              const long trips_before = breaker.trips();
-              const long recoveries_before = breaker.recoveries();
-              const bool up = injector.ModelAvailable(now);
-              if (up) {
-                breaker.RecordSuccess(now);
-              } else {
-                breaker.RecordFailure(now);
-              }
-              context.model_available = up;
-              outcome.breaker_tripped = breaker.trips() > trips_before;
-              outcome.breaker_recovered =
-                  breaker.recoveries() > recoveries_before;
-            }
-          } else {
-            context.model_available = injector.ModelAvailable(cluster.now());
-          }
-        }
-        if (watchdog.enabled() && watchdog.alarmed()) {
-          // Drift demotion: the model is reachable but untrustworthy; the
-          // ladder treats it like an outage. Shadow evaluation continues
-          // below, so the window can recover and re-promote.
-          context.model_available = false;
-          outcome.drift_demoted = true;
-        }
-        const long alarms_before = watchdog.alarms_raised();
-
-        StageDecision decision = scheduler(context);
-        outcome.solve_seconds = decision.solve_seconds;
-        outcome.fallback = decision.fallback;
-        // A degraded decision already paid its (abandoned) primary solve
-        // time; what matters is that the fallback itself is usable.
-        outcome.feasible =
-            decision.feasible &&
-            (decision.solve_seconds <= options_.ro_time_limit_seconds ||
-             decision.fallback != FallbackLevel::kPrimary);
-        if (!outcome.feasible) {
-          result.outcomes.push_back(std::move(outcome));
-          deps.MarkCompleted(s);
-          continue;
-        }
-
-        // Charge the machines for the stage's containers.
-        const int m = stage.instance_count();
-        for (int i = 0; i < m; ++i) {
-          cluster
-              .machine(decision.machine_of_instance[static_cast<size_t>(i)])
-              .Allocate(decision.theta_of_instance[static_cast<size_t>(i)]);
-        }
-
-        if (!faults) {
-          // Happy path, bit-identical to the fault-free build.
-          double max_latency = 0.0, cost = 0.0;
-          std::vector<double> latencies(static_cast<size_t>(m));
-          for (int i = 0; i < m; ++i) {
-            const Machine& machine = cluster.machine(
-                decision.machine_of_instance[static_cast<size_t>(i)]);
-            const ResourceConfig& theta =
-                decision.theta_of_instance[static_cast<size_t>(i)];
-            Result<double> actual = sample_actual(stage, i, machine, theta);
-            if (!actual.ok()) return actual.status();
-            latencies[static_cast<size_t>(i)] = actual.value();
-            max_latency = std::max(max_latency, actual.value());
-            cost += actual.value() * context.cost_weights.Rate(theta);
-            if (shadow) observe_drift(stage, i, machine, theta, actual.value());
-          }
-          for (int i = 0; i < m; ++i) {
-            cluster
-                .machine(decision.machine_of_instance[static_cast<size_t>(i)])
-                .Release(decision.theta_of_instance[static_cast<size_t>(i)]);
-          }
-          outcome.stage_latency = max_latency;
-          outcome.stage_latency_in = max_latency + decision.solve_seconds;
-          outcome.stage_cost = cost;
-          outcome.drift_alarm_raised = watchdog.alarms_raised() > alarms_before;
-          if (keep_instance_detail) {
-            outcome.instance_latencies = std::move(latencies);
-            outcome.instance_thetas = decision.theta_of_instance;
-          }
-          result.outcomes.push_back(std::move(outcome));
-          deps.MarkCompleted(s);
-          continue;
-        }
-
-        // Fault-tolerant path: attempts fail (injected failures, machine
-        // crashes) and are retried with backoff on surviving machines; the
-        // lost work of every failed or killed attempt is wasted cost.
-        const double stage_start = cluster.now();
-        const RetryPolicy& policy = options_.faults.retry;
-        std::vector<InstanceRun> runs(static_cast<size_t>(m));
-        // Extra allocations made by failovers, released at stage end.
-        std::vector<std::pair<int, ResourceConfig>> extra_allocs;
-
-        for (int i = 0; i < m; ++i) {
-          const ResourceConfig& theta =
-              decision.theta_of_instance[static_cast<size_t>(i)];
-          const double rate = context.cost_weights.Rate(theta);
-          InstanceRun& run = runs[static_cast<size_t>(i)];
-          run.machine =
-              decision.machine_of_instance[static_cast<size_t>(i)];
-          double t = 0.0;  // elapsed since stage start, this instance
-          for (int attempt = 1;; ++attempt) {
-            const Machine& machine = cluster.machine(run.machine);
-            Result<double> drawn = sample_actual(stage, i, machine, theta);
-            if (!drawn.ok()) return drawn.status();
-            double nominal =
-                drawn.value() *
-                injector.StragglerMultiplier(job_idx, s, i, attempt);
-
-            double crash_at = 0.0;
-            const bool machine_crash = injector.MachineCrashesWithin(
-                run.machine, stage_start + t, nominal, &crash_at);
-            const bool inst_fail =
-                injector.InstanceFails(job_idx, s, i, attempt);
-            if (!machine_crash && !inst_fail) {
-              run.final_run = nominal;
-              run.completion = t + nominal;
-              run.succeeded = true;
-              break;
-            }
-            // Work lost at the earlier of the two failure sources.
-            double ran = nominal;
-            if (inst_fail) {
-              ran = injector.FailurePointFraction(job_idx, s, i, attempt) *
-                    nominal;
-            }
-            if (machine_crash) {
-              ran = std::min(ran, crash_at - (stage_start + t));
-            }
-            ran = std::max(0.0, ran);
-            outcome.wasted_cost += ran * rate;
-            const Status failure =
-                machine_crash
-                    ? Status::Unavailable("machine crashed mid-attempt")
-                    : Status::ResourceExhausted("instance attempt failed");
-            if (!policy.ShouldRetry(failure, attempt)) {
-              ++outcome.failed_instances;
-              run.completion = t + ran;
-              break;
-            }
-            t += ran + policy.BackoffSeconds(attempt);
-            ++outcome.retries;
-            // Re-place when the current machine is gone; otherwise retry
-            // in place (transient container failure).
-            if (machine_crash ||
-                !injector.MachineUp(run.machine, stage_start + t)) {
-              int next = PickRetryMachine(cluster, injector, theta,
-                                          stage_start + t, run.machine);
-              if (next < 0) {
-                ++outcome.failed_instances;
-                run.completion = t;
-                break;
-              }
-              ++outcome.failovers;
-              run.machine = next;
-              if (cluster.machine(next).Allocate(theta)) {
-                extra_allocs.emplace_back(next, theta);
-              }
-            }
-          }
-        }
-
-        // Speculative re-execution: instances lagging far behind the stage
-        // median get a backup copy; first finisher wins, the loser's run
-        // is killed and charged as waste.
-        if (options_.faults.speculative_execution && m >= 3) {
-          std::vector<double> completions;
-          completions.reserve(static_cast<size_t>(m));
-          for (const InstanceRun& run : runs) {
-            if (run.succeeded) completions.push_back(run.completion);
-          }
-          const double median = Median(completions);
-          const double detect_at =
-              options_.faults.speculative_threshold * median;
-          if (!completions.empty() && median > 0.0) {
-            for (int i = 0; i < m; ++i) {
-              InstanceRun& run = runs[static_cast<size_t>(i)];
-              if (!run.succeeded || run.completion <= detect_at) continue;
-              const ResourceConfig& theta =
-                  decision.theta_of_instance[static_cast<size_t>(i)];
-              const double rate = context.cost_weights.Rate(theta);
-              int copy_machine =
-                  PickRetryMachine(cluster, injector, theta,
-                                   stage_start + detect_at, run.machine);
-              if (copy_machine < 0) continue;
-              Result<double> drawn = sample_actual(
-                  stage, i, cluster.machine(copy_machine), theta);
-              if (!drawn.ok()) return drawn.status();
-              // The copy gets its own straggler draw on a high attempt
-              // index so it never collides with a retry attempt's fate.
-              double copy_run =
-                  drawn.value() *
-                  injector.StragglerMultiplier(job_idx, s, i, 1000);
-              double copy_completion = detect_at + copy_run;
-              ++outcome.speculative_copies;
-              if (copy_completion < run.completion) {
-                ++outcome.speculative_wins;
-                // Original killed when the copy finishes: everything the
-                // final original attempt ran is lost.
-                double original_started = run.completion - run.final_run;
-                outcome.wasted_cost +=
-                    std::max(0.0, copy_completion - original_started) * rate;
-                run.final_run = copy_run;
-                run.completion = copy_completion;
-                run.machine = copy_machine;
-              } else {
-                // Copy killed when the original finishes.
-                outcome.wasted_cost +=
-                    std::max(0.0, run.completion - detect_at) * rate;
-              }
-            }
-          }
-        }
-
-        double max_latency = 0.0, useful_cost = 0.0;
-        std::vector<double> latencies(static_cast<size_t>(m));
-        bool all_succeeded = true;
-        for (int i = 0; i < m; ++i) {
-          const InstanceRun& run = runs[static_cast<size_t>(i)];
-          const ResourceConfig& theta =
-              decision.theta_of_instance[static_cast<size_t>(i)];
-          latencies[static_cast<size_t>(i)] = run.completion;
-          max_latency = std::max(max_latency, run.completion);
-          if (run.succeeded) {
-            useful_cost += run.final_run * context.cost_weights.Rate(theta);
-            if (shadow) {
-              // Feed the winning attempt's runtime; straggler noise is part
-              // of the drift signal the watchdog is meant to see.
-              observe_drift(stage, i, cluster.machine(run.machine), theta,
-                            run.final_run);
-            }
-          } else {
-            all_succeeded = false;
-          }
-        }
-        for (int i = 0; i < m; ++i) {
-          cluster
-              .machine(decision.machine_of_instance[static_cast<size_t>(i)])
-              .Release(decision.theta_of_instance[static_cast<size_t>(i)]);
-        }
-        for (const auto& [machine_id, theta] : extra_allocs) {
-          cluster.machine(machine_id).Release(theta);
-        }
-
-        // A stage that lost an instance past its retry budget did not
-        // produce its output: it fails cleanly (no crash, waste recorded).
-        outcome.feasible = all_succeeded;
-        outcome.stage_latency = max_latency;
-        outcome.stage_latency_in = max_latency + decision.solve_seconds;
-        outcome.stage_cost = useful_cost + outcome.wasted_cost;
-        outcome.drift_alarm_raised = watchdog.alarms_raised() > alarms_before;
-        if (keep_instance_detail) {
-          outcome.instance_latencies = std::move(latencies);
-          outcome.instance_thetas = decision.theta_of_instance;
-        }
-        result.outcomes.push_back(std::move(outcome));
-        deps.MarkCompleted(s);
-      }
-    }
+    FGRO_RETURN_IF_ERROR(ReplayJobInState(*workload_, model_, options_, state,
+                                          job_idx, scheduler,
+                                          keep_instance_detail,
+                                          &result.outcomes));
   }
   return result;
+}
+
+Result<std::vector<StageOutcome>> Simulator::ReplayJobIsolated(
+    const SchedulerFn& scheduler, int job_idx, uint64_t seed,
+    bool keep_instance_detail) const {
+  if (job_idx < 0 ||
+      job_idx >= static_cast<int>(workload_->jobs.size())) {
+    return Status::InvalidArgument("job index out of range");
+  }
+  FGRO_RETURN_IF_ERROR(ValidateOutcomeMode(options_));
+  ReplayState state(options_, workload_->profile, seed);
+  std::vector<StageOutcome> outcomes;
+  FGRO_RETURN_IF_ERROR(ReplayJobInState(*workload_, model_, options_, state,
+                                        job_idx, scheduler,
+                                        keep_instance_detail, &outcomes));
+  return outcomes;
 }
 
 }  // namespace fgro

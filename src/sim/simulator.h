@@ -46,6 +46,13 @@ struct SimOptions {
   double drift_multiplier = 1.0;
   double drift_start_seconds = 0.0;
   double drift_end_seconds = 0.0;
+  /// Concurrent multi-job service mode (consumed by RoService, not by the
+  /// sequential Run/RunJobs path): number of worker threads replaying jobs
+  /// as independent requests via ReplayJobIsolated. Each job gets its own
+  /// cluster view and a private RNG stream seeded MixSeed(seed, job_idx),
+  /// so the merged result is byte-identical across thread counts. 0 keeps
+  /// the classic sequential shared-cluster replay.
+  int service_threads = 0;
   uint64_t seed = 5;
 };
 
@@ -108,6 +115,17 @@ class Simulator {
   Result<SimResult> RunJobs(const SchedulerFn& scheduler,
                             const std::vector<int>& job_indices,
                             bool keep_instance_detail = false);
+
+  /// Replays one job in isolation: a fresh cluster view, a private RNG
+  /// stream (`seed`), and per-job fault-injector/breaker/watchdog state.
+  /// This is the unit of work of the concurrent RO service — the result
+  /// depends only on (workload, model, options, job_idx, seed), never on
+  /// the calling thread or on what other jobs are in flight. Thread-safe:
+  /// concurrent calls share only immutable state (the workload, the
+  /// trained model, and this simulator's options).
+  Result<std::vector<StageOutcome>> ReplayJobIsolated(
+      const SchedulerFn& scheduler, int job_idx, uint64_t seed,
+      bool keep_instance_detail = false) const;
 
  private:
   const Workload* workload_;

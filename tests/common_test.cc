@@ -1,14 +1,22 @@
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cmath>
+#include <iostream>
 #include <set>
+#include <sstream>
+#include <string>
+#include <thread>
 #include <vector>
 
+#include "common/bounded_queue.h"
 #include "common/deadline.h"
+#include "common/logging.h"
 #include "common/math_utils.h"
 #include "common/rng.h"
 #include "common/status.h"
 #include "common/stopwatch.h"
+#include "common/thread_pool.h"
 
 namespace fgro {
 namespace {
@@ -280,6 +288,142 @@ TEST(StopwatchTest, MeasuresNonNegativeTime) {
   double t1 = sw.ElapsedSeconds();
   sw.Restart();
   EXPECT_LE(sw.ElapsedSeconds(), t1 + 1.0);
+}
+
+TEST(MixSeedTest, DeterministicAndStreamSeparated) {
+  EXPECT_EQ(MixSeed(5, 0), MixSeed(5, 0));
+  // Adjacent stream ids and adjacent base seeds land far apart; the
+  // resulting Rng streams must not be correlated in their first draw.
+  std::set<uint64_t> seeds;
+  for (uint64_t job = 0; job < 64; ++job) seeds.insert(MixSeed(5, job));
+  EXPECT_EQ(seeds.size(), 64u);
+  EXPECT_NE(MixSeed(5, 1), MixSeed(6, 0));
+  Rng a(MixSeed(5, 1)), b(MixSeed(5, 2));
+  EXPECT_NE(a.NextUint64(), b.NextUint64());
+}
+
+TEST(ThreadPoolTest, RunsEverySubmittedTask) {
+  std::atomic<int> count{0};
+  {
+    ThreadPool pool(4);
+    EXPECT_EQ(pool.size(), 4);
+    for (int i = 0; i < 100; ++i) {
+      EXPECT_TRUE(pool.Submit([&count] { ++count; }));
+    }
+    pool.Join();
+    EXPECT_FALSE(pool.Submit([&count] { ++count; }));  // closed
+  }
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPoolTest, JoinIsIdempotentAndDestructorJoins) {
+  std::atomic<int> count{0};
+  ThreadPool pool(2);
+  for (int i = 0; i < 10; ++i) pool.Submit([&count] { ++count; });
+  pool.Join();
+  pool.Join();
+  EXPECT_EQ(count.load(), 10);
+}
+
+TEST(BoundedQueueTest, PriorityLaneDrainsFirstFifoWithin) {
+  BoundedPriorityQueue<int> queue(8, 2);
+  EXPECT_TRUE(queue.TryPush(10, /*lane=*/1));
+  EXPECT_TRUE(queue.TryPush(11, /*lane=*/1));
+  EXPECT_TRUE(queue.TryPush(1, /*lane=*/0));
+  EXPECT_TRUE(queue.TryPush(2, /*lane=*/0));
+  int v = 0;
+  ASSERT_TRUE(queue.Pop(&v));
+  EXPECT_EQ(v, 1);  // lane 0 preempts the earlier lane-1 items
+  ASSERT_TRUE(queue.Pop(&v));
+  EXPECT_EQ(v, 2);
+  ASSERT_TRUE(queue.Pop(&v));
+  EXPECT_EQ(v, 10);  // then lane 1, in FIFO order
+  ASSERT_TRUE(queue.Pop(&v));
+  EXPECT_EQ(v, 11);
+}
+
+TEST(BoundedQueueTest, TryPushShedsAtCapacityAcrossLanes) {
+  BoundedPriorityQueue<int> queue(2, 2);
+  EXPECT_TRUE(queue.TryPush(1, 0));
+  EXPECT_TRUE(queue.TryPush(2, 1));
+  // The bound covers BOTH lanes: priority traffic cannot bypass it.
+  EXPECT_FALSE(queue.TryPush(3, 0));
+  EXPECT_FALSE(queue.TryPush(3, 1));
+  EXPECT_EQ(queue.size(), 2u);
+  int v = 0;
+  ASSERT_TRUE(queue.Pop(&v));
+  EXPECT_TRUE(queue.TryPush(3, 0));  // space freed, admission resumes
+}
+
+TEST(BoundedQueueTest, CloseDrainsRemainderThenUnblocksPop) {
+  BoundedPriorityQueue<int> queue(4);
+  queue.TryPush(7);
+  queue.Close();
+  EXPECT_FALSE(queue.TryPush(8));  // closed: no new admissions
+  int v = 0;
+  EXPECT_TRUE(queue.Pop(&v));  // ...but the remainder still drains
+  EXPECT_EQ(v, 7);
+  EXPECT_FALSE(queue.Pop(&v));  // closed and empty: consumers exit
+}
+
+TEST(BoundedQueueTest, ManyProducersManyConsumersLoseNothing) {
+  constexpr int kProducers = 4, kConsumers = 4, kPerProducer = 500;
+  BoundedPriorityQueue<int> queue(16, 2);
+  std::atomic<long> sum{0};
+  std::atomic<int> popped{0};
+  std::vector<std::thread> threads;
+  for (int c = 0; c < kConsumers; ++c) {
+    threads.emplace_back([&] {
+      int v = 0;
+      while (queue.Pop(&v)) {
+        sum += v;
+        ++popped;
+      }
+    });
+  }
+  for (int p = 0; p < kProducers; ++p) {
+    threads.emplace_back([&, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        const int value = p * kPerProducer + i;
+        // Spin on the bounded queue: production must not drop items.
+        while (!queue.TryPush(value, value % 2)) std::this_thread::yield();
+      }
+    });
+  }
+  for (size_t t = kConsumers; t < threads.size(); ++t) threads[t].join();
+  queue.Close();
+  for (int t = 0; t < kConsumers; ++t) threads[static_cast<size_t>(t)].join();
+  const long n = kProducers * kPerProducer;
+  EXPECT_EQ(popped.load(), n);
+  EXPECT_EQ(sum.load(), n * (n - 1) / 2);
+}
+
+TEST(LoggingTest, ConcurrentLinesNeverTear) {
+  // Capture stderr and hammer the logger from two threads; every captured
+  // line must be exactly one writer's line, never an interleaving.
+  std::ostringstream captured;
+  std::streambuf* old = std::cerr.rdbuf(captured.rdbuf());
+  constexpr int kLines = 200;
+  auto writer = [](char tag) {
+    for (int i = 0; i < kLines; ++i) {
+      FGRO_LOG(kInfo) << "tag=" << tag << " payload-" << tag << tag << tag;
+    }
+  };
+  std::thread a(writer, 'A'), b(writer, 'B');
+  a.join();
+  b.join();
+  std::cerr.rdbuf(old);
+
+  std::istringstream in(captured.str());
+  std::string line;
+  int total = 0;
+  while (std::getline(in, line)) {
+    ++total;
+    const bool is_a = line.find("tag=A payload-AAA") != std::string::npos;
+    const bool is_b = line.find("tag=B payload-BBB") != std::string::npos;
+    EXPECT_TRUE(is_a != is_b) << "torn log line: " << line;
+  }
+  EXPECT_EQ(total, 2 * kLines);
 }
 
 }  // namespace

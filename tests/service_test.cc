@@ -1,0 +1,338 @@
+// Concurrent RO-service tests: brown-out hysteresis, determinism of the
+// merged replay across worker counts, load shedding on a full admission
+// queue, priority ordering, per-request deadlines, and counter consistency.
+//
+// This suite (with fault_tolerance_test) is the TSan CI target: every test
+// here exercises the worker pool, the bounded queue, and the shared
+// control plane under real concurrency.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "service/brownout.h"
+#include "service/ro_service.h"
+#include "sim/experiment_env.h"
+#include "sim/ro_metrics.h"
+
+namespace fgro {
+namespace {
+
+// ---------------------------------------------------------------------------
+// BrownoutController unit tests (no concurrency, no fixture).
+
+BrownoutOptions TestBrownout() {
+  BrownoutOptions options;
+  options.enabled = true;
+  options.queue_high_fraction = 0.75;
+  options.queue_low_fraction = 0.25;
+  options.demote_after = 3;
+  options.promote_after = 2;
+  return options;
+}
+
+TEST(BrownoutControllerTest, DisabledHoldsNormal) {
+  BrownoutOptions options;  // enabled = false
+  BrownoutController controller(options);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(controller.Observe(10, 10, 1e9), BrownoutLevel::kNormal);
+  }
+  EXPECT_EQ(controller.demotions(), 0);
+}
+
+TEST(BrownoutControllerTest, DemotesOneLevelPerStreakAndRepromotes) {
+  BrownoutController controller(TestBrownout());
+  // Two pressured observations are not enough (demote_after = 3).
+  EXPECT_EQ(controller.Observe(9, 10, 0.0), BrownoutLevel::kNormal);
+  EXPECT_EQ(controller.Observe(9, 10, 0.0), BrownoutLevel::kNormal);
+  // Third demotes one level only.
+  EXPECT_EQ(controller.Observe(9, 10, 0.0), BrownoutLevel::kTheta0);
+  // The next streak demotes to the floor and stays there.
+  controller.Observe(9, 10, 0.0);
+  controller.Observe(9, 10, 0.0);
+  EXPECT_EQ(controller.Observe(9, 10, 0.0), BrownoutLevel::kFuxi);
+  EXPECT_EQ(controller.Observe(9, 10, 0.0), BrownoutLevel::kFuxi);
+  EXPECT_EQ(controller.demotions(), 2);
+  // Clear observations walk back up one level per streak.
+  EXPECT_EQ(controller.Observe(0, 10, 0.0), BrownoutLevel::kFuxi);
+  EXPECT_EQ(controller.Observe(0, 10, 0.0), BrownoutLevel::kTheta0);
+  controller.Observe(0, 10, 0.0);
+  EXPECT_EQ(controller.Observe(0, 10, 0.0), BrownoutLevel::kNormal);
+  EXPECT_EQ(controller.promotions(), 2);
+}
+
+TEST(BrownoutControllerTest, MiddleBandResetsBothStreaks) {
+  BrownoutController controller(TestBrownout());
+  controller.Observe(9, 10, 0.0);
+  controller.Observe(9, 10, 0.0);
+  // Depth in (low, high): holds the level and forgets the streak.
+  EXPECT_EQ(controller.Observe(5, 10, 0.0), BrownoutLevel::kNormal);
+  controller.Observe(9, 10, 0.0);
+  EXPECT_EQ(controller.Observe(9, 10, 0.0), BrownoutLevel::kNormal);
+  EXPECT_EQ(controller.Observe(9, 10, 0.0), BrownoutLevel::kTheta0);
+}
+
+TEST(BrownoutControllerTest, P95ThresholdAlonePressures) {
+  BrownoutOptions options = TestBrownout();
+  options.p95_high_seconds = 1.0;
+  options.p95_low_seconds = 0.5;
+  BrownoutController controller(options);
+  // Queue empty, but p95 above the high mark: still pressure.
+  controller.Observe(0, 10, 2.0);
+  controller.Observe(0, 10, 2.0);
+  EXPECT_EQ(controller.Observe(0, 10, 2.0), BrownoutLevel::kTheta0);
+  // Clear now needs BOTH depth and p95 below the low marks.
+  controller.Observe(0, 10, 0.7);  // middle band: hold
+  EXPECT_EQ(controller.level(), BrownoutLevel::kTheta0);
+  controller.Observe(0, 10, 0.1);
+  EXPECT_EQ(controller.Observe(0, 10, 0.1), BrownoutLevel::kNormal);
+}
+
+// ---------------------------------------------------------------------------
+// RoService tests over a shared trained environment.
+
+class ServiceFixture : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    ExperimentEnv::Options options;
+    options.workload = WorkloadId::kA;
+    options.scale = 0.04;
+    options.train.epochs = 2;
+    options.train.max_train_samples = 3000;
+    options.seed = 66;
+    Result<std::unique_ptr<ExperimentEnv>> env = ExperimentEnv::Build(options);
+    ASSERT_TRUE(env.ok()) << env.status().ToString();
+    env_ = std::move(env).value().release();
+  }
+  static ExperimentEnv* env_;
+
+  static SimOptions BaseSim(int threads) {
+    SimOptions sim;
+    sim.outcome = OutcomeMode::kEnvironment;
+    sim.service_threads = threads;
+    return sim;
+  }
+
+  static int NumJobs() {
+    return static_cast<int>(env_->workload().jobs.size());
+  }
+};
+
+ExperimentEnv* ServiceFixture::env_ = nullptr;
+
+/// Compares the deterministic fields of two merged replays. The wall-clock
+/// fields (solve_seconds, stage_latency_in) legitimately differ run to run
+/// and are excluded, exactly as in determinism_test.
+void ExpectSameReplay(const SimResult& a, const SimResult& b) {
+  ASSERT_EQ(a.outcomes.size(), b.outcomes.size());
+  for (size_t i = 0; i < a.outcomes.size(); ++i) {
+    const StageOutcome& x = a.outcomes[i];
+    const StageOutcome& y = b.outcomes[i];
+    EXPECT_EQ(x.job_idx, y.job_idx);
+    EXPECT_EQ(x.stage_idx, y.stage_idx);
+    EXPECT_EQ(x.feasible, y.feasible);
+    EXPECT_EQ(x.num_instances, y.num_instances);
+    EXPECT_EQ(x.fallback, y.fallback);
+    EXPECT_EQ(x.retries, y.retries);
+    EXPECT_EQ(x.failovers, y.failovers);
+    EXPECT_EQ(x.failed_instances, y.failed_instances);
+    EXPECT_DOUBLE_EQ(x.stage_latency, y.stage_latency);
+    EXPECT_DOUBLE_EQ(x.stage_cost, y.stage_cost);
+    EXPECT_DOUBLE_EQ(x.wasted_cost, y.wasted_cost);
+    EXPECT_DOUBLE_EQ(x.default_theta_cores, y.default_theta_cores);
+  }
+}
+
+TEST_F(ServiceFixture, ResultIdenticalAcrossThreadCounts) {
+  std::vector<SimResult> results;
+  for (int threads : {1, 2, 8}) {
+    Result<SimResult> result = ServeWorkload(
+        env_->workload(), &env_->model(), BaseSim(threads),
+        StageOptimizer::IpaRaaPathWithFallback());
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    results.push_back(std::move(result).value());
+  }
+  ExpectSameReplay(results[0], results[1]);
+  ExpectSameReplay(results[0], results[2]);
+  // The aggregate view agrees too (again minus wall-clock columns).
+  RoSummary s1 = Summarize(results[0]);
+  RoSummary s8 = Summarize(results[2]);
+  EXPECT_EQ(s1.num_stages, s8.num_stages);
+  EXPECT_EQ(s1.feasible_stages, s8.feasible_stages);
+  EXPECT_DOUBLE_EQ(s1.avg_latency, s8.avg_latency);
+  EXPECT_DOUBLE_EQ(s1.avg_cost, s8.avg_cost);
+  EXPECT_EQ(s1.fallback_histogram, s8.fallback_histogram);
+}
+
+TEST_F(ServiceFixture, MatchesManualIsolatedReplay) {
+  // The service is exactly "ReplayJobIsolated for every job, in slot
+  // order, with MixSeed streams" — verify against a hand-rolled loop.
+  SimOptions sim = BaseSim(4);
+  Result<SimResult> served =
+      ServeWorkload(env_->workload(), &env_->model(), sim,
+                    StageOptimizer::IpaRaaPathWithFallback());
+  ASSERT_TRUE(served.ok()) << served.status().ToString();
+
+  Simulator simulator(&env_->workload(), &env_->model(), sim);
+  StageOptimizer optimizer(StageOptimizer::IpaRaaPathWithFallback());
+  SimResult manual;
+  for (int j = 0; j < NumJobs(); ++j) {
+    Result<std::vector<StageOutcome>> outcomes = simulator.ReplayJobIsolated(
+        [&](const SchedulingContext& c) { return optimizer.Optimize(c); }, j,
+        MixSeed(sim.seed, static_cast<uint64_t>(j)));
+    ASSERT_TRUE(outcomes.ok()) << outcomes.status().ToString();
+    for (StageOutcome& o : outcomes.value()) {
+      manual.outcomes.push_back(std::move(o));
+    }
+  }
+  ExpectSameReplay(served.value(), manual);
+}
+
+TEST_F(ServiceFixture, ShedsWithResourceExhaustedWhenQueueFull) {
+  RoServiceOptions options;
+  options.queue_capacity = 2;
+  options.min_service_seconds = 0.05;  // one slow worker: the burst outruns it
+  RoService service(&env_->workload(), &env_->model(), BaseSim(1),
+                    StageOptimizer::IpaRaaPathWithFallback(), options);
+  int admitted = 0, shed = 0;
+  for (int round = 0; round < 3; ++round) {
+    for (int j = 0; j < NumJobs(); ++j) {
+      Status status = service.Submit(j);
+      if (status.ok()) {
+        ++admitted;
+      } else {
+        EXPECT_EQ(status.code(), StatusCode::kResourceExhausted)
+            << status.ToString();
+        ++shed;
+      }
+    }
+  }
+  EXPECT_GT(shed, 0);  // 3x the workload into a 2-deep queue must shed
+  EXPECT_GT(admitted, 0);
+  service.Drain();
+  RoServiceStats stats = service.Stats();
+  EXPECT_EQ(stats.jobs_offered, admitted + shed);
+  EXPECT_EQ(stats.jobs_admitted, admitted);
+  EXPECT_EQ(stats.jobs_shed, shed);
+  EXPECT_EQ(stats.jobs_completed, admitted);  // shed != dropped-after-admit
+  EXPECT_EQ(stats.jobs_failed, 0);
+  EXPECT_LE(stats.max_queue_depth, 2);
+  service.Stop();
+  // Every admitted job produced its outcomes.
+  RoSummary summary = service.Summary();
+  EXPECT_EQ(summary.jobs_shed, shed);
+  EXPECT_GT(summary.num_stages, 0);
+}
+
+TEST_F(ServiceFixture, LatencySensitiveOvertakesBatch) {
+  RoServiceOptions options;
+  options.queue_capacity = 16;
+  options.min_service_seconds = 0.03;  // keeps the single worker busy
+  RoService service(&env_->workload(), &env_->model(), BaseSim(1),
+                    StageOptimizer::IpaRaaPathWithFallback(), options);
+  // Batch backlog first, then one latency-sensitive request. The LS job
+  // can only be beaten by whatever the worker had already dequeued.
+  ASSERT_TRUE(service.Submit(1, RequestPriority::kBatch).ok());
+  ASSERT_TRUE(service.Submit(2, RequestPriority::kBatch).ok());
+  ASSERT_TRUE(service.Submit(3, RequestPriority::kBatch).ok());
+  ASSERT_TRUE(service.Submit(0, RequestPriority::kLatencySensitive).ok());
+  service.Drain();
+  const std::vector<int>& order = service.completion_order();
+  ASSERT_EQ(order.size(), 4u);
+  size_t ls_pos = 0, b2_pos = 0, b3_pos = 0;
+  for (size_t i = 0; i < order.size(); ++i) {
+    if (order[i] == 0) ls_pos = i;
+    if (order[i] == 2) b2_pos = i;
+    if (order[i] == 3) b3_pos = i;
+  }
+  EXPECT_LE(ls_pos, 1u);     // at worst, one batch job was already in flight
+  EXPECT_LT(ls_pos, b2_pos);  // jumped ahead of the queued batch backlog
+  EXPECT_LT(ls_pos, b3_pos);
+  EXPECT_LT(b2_pos, b3_pos);  // FIFO within the batch lane
+  EXPECT_EQ(service.Stats().jobs_latency_sensitive, 1);
+}
+
+TEST_F(ServiceFixture, BrownoutDemotesUnderOverloadAndRepromotesWhenClear) {
+  RoServiceOptions options;
+  options.queue_capacity = 8;
+  options.min_service_seconds = 0.02;
+  options.brownout.enabled = true;
+  options.brownout.queue_high_fraction = 0.5;
+  options.brownout.queue_low_fraction = 0.25;
+  options.brownout.demote_after = 2;
+  options.brownout.promote_after = 2;
+  RoService service(&env_->workload(), &env_->model(), BaseSim(1),
+                    StageOptimizer::IpaRaaPathWithFallback(), options);
+
+  // Phase 1 — overload: burst past the high-water mark. Every admission
+  // with depth > 4 is a pressured observation, so the burst itself walks
+  // the controller down the ladder before the worker can catch up.
+  for (int round = 0; round < 2; ++round) {
+    for (int j = 0; j < NumJobs(); ++j) {
+      (void)service.Submit(j);  // sheds are expected and fine here
+    }
+  }
+  RoServiceStats mid = service.Stats();
+  EXPECT_GT(mid.brownout_demotions, 0);
+  service.Drain();
+
+  // Phase 2 — pressure clears: one job at a time keeps the queue near
+  // empty, so every admission and completion is a clear observation.
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_TRUE(service.Submit(i % NumJobs()).ok());
+    service.Drain();
+  }
+  EXPECT_EQ(service.brownout_level(), BrownoutLevel::kNormal);
+  service.Stop();
+  RoServiceStats stats = service.Stats();
+  EXPECT_GT(stats.brownout_demotions, 0);
+  EXPECT_GT(stats.brownout_promotions, 0);
+  // Demoted jobs actually ran degraded.
+  EXPECT_GT(stats.brownout_theta0_jobs + stats.brownout_fuxi_jobs, 0);
+  RoSummary summary = service.Summary();
+  // Degraded jobs surface in the ladder histogram: not everything primary.
+  EXPECT_GT(summary.fallback_histogram[1] + summary.fallback_histogram[2], 0);
+}
+
+TEST_F(ServiceFixture, ExpiredDeadlineServedAtFuxiNotDropped) {
+  RoServiceOptions options;
+  options.queue_capacity = 16;
+  options.min_service_seconds = 0.04;
+  options.request_deadline_seconds = 0.02;  // less than one service slot
+  RoService service(&env_->workload(), &env_->model(), BaseSim(1),
+                    StageOptimizer::IpaRaaPathWithFallback(), options);
+  const int n = std::min(6, NumJobs());
+  for (int j = 0; j < n; ++j) {
+    ASSERT_TRUE(service.Submit(j).ok());
+  }
+  service.Drain();
+  RoServiceStats stats = service.Stats();
+  // Everything behind the first request waited out its budget...
+  EXPECT_GT(stats.deadline_expired_jobs, 0);
+  // ...but was served (cheaply) rather than dropped.
+  EXPECT_EQ(stats.jobs_completed, n);
+  RoSummary summary = service.Summary();
+  EXPECT_EQ(summary.deadline_expired_jobs, stats.deadline_expired_jobs);
+  EXPECT_GT(summary.fallback_histogram[2], 0);  // Fuxi-level decisions exist
+}
+
+TEST_F(ServiceFixture, SubmitValidatesAndStopsCleanly) {
+  RoService service(&env_->workload(), &env_->model(), BaseSim(2),
+                    StageOptimizer::IpaRaaPathWithFallback());
+  EXPECT_EQ(service.Submit(-1).code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(service.Submit(NumJobs()).code(), StatusCode::kInvalidArgument);
+  ASSERT_TRUE(service.Submit(0).ok());
+  service.Stop();
+  EXPECT_EQ(service.Submit(0).code(), StatusCode::kFailedPrecondition);
+  // The job admitted before Stop() still completed and merged.
+  EXPECT_EQ(service.Stats().jobs_completed, 1);
+  EXPECT_TRUE(service.first_error().ok());
+  // Stop() is idempotent, including via the destructor.
+  service.Stop();
+}
+
+}  // namespace
+}  // namespace fgro
