@@ -12,10 +12,12 @@
 #include <cstdio>
 #include <cstring>
 #include <memory>
+#include <string>
 #include <thread>
 #include <vector>
 
 #include "bench_util.h"
+#include "obs/snapshot.h"
 #include "optimizer/stage_optimizer.h"
 #include "service/ro_service.h"
 
@@ -37,11 +39,20 @@ bool HasFlag(int argc, char** argv, const char* flag) {
   return false;
 }
 
+std::string FlagValue(int argc, char** argv, const char* prefix) {
+  const std::size_t len = std::strlen(prefix);
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], prefix, len) == 0) return argv[i] + len;
+  }
+  return "";
+}
+
 struct SweepPoint {
   double multiplier = 0.0;
   double offered_rate = 0.0;   // requests/s offered
   double goodput = 0.0;        // completions/s achieved
   RoSummary summary;
+  std::string breakdown_json;  // per-phase rollup incl. queue wait
 };
 
 }  // namespace
@@ -49,6 +60,7 @@ struct SweepPoint {
 int main(int argc, char** argv) {
   SetLogLevel(LogLevel::kWarning);
   const bool quick = HasFlag(argc, argv, "--quick");
+  const std::string json_out = FlagValue(argc, argv, "--json_out=");
   PrintHeader("Overload: offered load vs goodput / shed rate / p95");
 
   ExperimentEnv::Options options = DefaultOptions(
@@ -99,7 +111,13 @@ int main(int argc, char** argv) {
     service_options.brownout.queue_low_fraction = 0.25;
     service_options.brownout.demote_after = 3;
     service_options.brownout.promote_after = 5;
-    RoService service(&workload, &(*env)->model(), sim, config,
+    // One registry per sweep point: the service's queue-wait / service-time
+    // histograms and the replay-path phase timings all land here, so the
+    // JSON breakdown is per-multiplier rather than cumulative.
+    obs::MetricsRegistry registry;
+    SimOptions point_sim = sim;
+    point_sim.obs.metrics = &registry;
+    RoService service(&workload, &(*env)->model(), point_sim, config,
                       service_options);
 
     const double rate = multiplier * saturation;
@@ -128,6 +146,7 @@ int main(int argc, char** argv) {
     point.offered_rate = rate;
     point.summary = service.Summary();
     point.goodput = point.summary.jobs_completed / elapsed;
+    point.breakdown_json = obs::PhaseBreakdownJson(registry);
     const RoSummary& s = point.summary;
     std::printf("  %4.1fx %8.1f %8ld %5.1f%% %7.1f %7.1fms %7.1fms %5ld/%-2ld"
                 " %d/%d/%d\n",
@@ -163,5 +182,27 @@ int main(int argc, char** argv) {
               " | p95 wait bounded: %s\n",
               shed_past_saturation ? "yes" : "NO",
               goodput_holds ? "yes" : "NO", wait_bounded ? "yes" : "NO");
+
+  if (!json_out.empty()) {
+    // Per-multiplier phase breakdown (queue wait included) as a JSON array,
+    // matching PhaseBreakdownJson's schema per entry.
+    std::string json = "[";
+    char buf[160];
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      const SweepPoint& p = points[i];
+      if (i > 0) json += ",";
+      std::snprintf(buf, sizeof(buf),
+                    "{\"multiplier\": %.17g, \"offered_rate\": %.17g, "
+                    "\"goodput\": %.17g, \"shed\": %ld, \"breakdown\": ",
+                    p.multiplier, p.offered_rate, p.goodput,
+                    p.summary.jobs_shed);
+      json += buf;
+      json += p.breakdown_json;
+      json += "}";
+    }
+    json += "]\n";
+    FGRO_CHECK_OK(obs::WriteJsonFile(json, json_out));
+    std::printf("  wrote %s\n", json_out.c_str());
+  }
   return (shed_past_saturation && goodput_holds && wait_bounded) ? 0 : 1;
 }

@@ -3,15 +3,28 @@
 // RAA-Path's O(m p log(m p)) walk vs the O((m p)^2) general algorithm,
 // 1-D KDE clustering vs O(n^2) DBSCAN. These are the solve-time mechanics
 // behind Table 2's timing columns.
+//
+// In addition to the microbenchmarks, `--breakdown_out=PATH` replays a
+// smoke-scale workload with the observability layer attached and writes the
+// per-phase timing rollup (IPA / RAA / WUN / Predict) as JSON — the
+// end-to-end counterpart of the per-kernel numbers above. `--breakdown_only`
+// skips the microbenchmarks (what CI uses to produce the artifact).
 
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "bench_util.h"
 #include "clustering/dbscan.h"
 #include "clustering/kde1d.h"
 #include "common/rng.h"
+#include "obs/snapshot.h"
 #include "optimizer/ipa.h"
 #include "optimizer/raa_general.h"
 #include "optimizer/raa_path.h"
+#include "optimizer/stage_optimizer.h"
 
 namespace fgro {
 namespace {
@@ -124,7 +137,71 @@ void BM_Dbscan(benchmark::State& state) {
 BENCHMARK(BM_Dbscan)->Arg(256)->Arg(1024)->Arg(4096)
     ->Unit(benchmark::kMillisecond);
 
+/// Replays a smoke-scale workload with metrics wired through every layer
+/// (optimizer spans/histograms, per-hardware-type model predict timing) and
+/// emits the per-phase rollup. Returns nonzero on replay failure.
+int RunBreakdown(const std::string& out_path) {
+  SetLogLevel(LogLevel::kWarning);
+  bench::PrintHeader("Per-phase solve-time breakdown (smoke-scale replay)");
+
+  ExperimentEnv::Options options =
+      bench::DefaultOptions(WorkloadId::kA, bench::BenchScale::kSmoke);
+  Result<std::unique_ptr<ExperimentEnv>> env = ExperimentEnv::Build(options);
+  FGRO_CHECK_OK(env.status());
+
+  obs::MetricsRegistry registry;
+  obs::Obs obs;
+  obs.metrics = &registry;
+  (*env)->mutable_model()->set_obs(obs);
+
+  SimOptions sim_options;
+  sim_options.outcome = OutcomeMode::kEnvironment;
+  sim_options.obs = obs;
+  StageOptimizer optimizer(StageOptimizer::IpaRaaPathWithFallback());
+  Simulator sim(&(*env)->workload(), &(*env)->model(), sim_options);
+  Result<SimResult> result = sim.Run(
+      [&](const SchedulingContext& context) {
+        return optimizer.Optimize(context);
+      });
+  FGRO_CHECK_OK(result.status());
+  (*env)->mutable_model()->set_obs(obs::Obs{});  // unwire before env dies
+
+  const std::string json = obs::PhaseBreakdownJson(registry);
+  std::printf("%s\n", json.c_str());
+  if (!out_path.empty()) {
+    FGRO_CHECK_OK(obs::WriteJsonFile(json, out_path));
+    std::printf("  wrote %s\n", out_path.c_str());
+  }
+  return 0;
+}
+
 }  // namespace
 }  // namespace fgro
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // Peel off our flags before google-benchmark sees (and rejects) them.
+  bool breakdown_only = false;
+  std::string breakdown_out;
+  int out_argc = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--breakdown_only") == 0) {
+      breakdown_only = true;
+    } else if (std::strncmp(argv[i], "--breakdown_out=", 16) == 0) {
+      breakdown_out = argv[i] + 16;
+    } else {
+      argv[out_argc++] = argv[i];
+    }
+  }
+  argc = out_argc;
+
+  if (breakdown_only || !breakdown_out.empty()) {
+    const int rc = fgro::RunBreakdown(breakdown_out);
+    if (rc != 0 || breakdown_only) return rc;
+  }
+
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

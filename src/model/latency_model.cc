@@ -6,6 +6,7 @@
 
 #include "common/logging.h"
 #include "common/math_utils.h"
+#include "common/stopwatch.h"
 #include "featurize/validate.h"
 #include "model/metrics.h"
 
@@ -359,15 +360,55 @@ Status LatencyModel::FineTune(const TraceDataset& dataset,
   return Status::OK();
 }
 
-Result<double> LatencyModel::Predict(const Stage& stage, int instance_idx,
-                                     const ResourceConfig& theta,
-                                     const SystemState& state,
-                                     int hardware_type) const {
+Result<double> LatencyModel::PredictImpl(const Stage& stage, int instance_idx,
+                                         const ResourceConfig& theta,
+                                         const SystemState& state,
+                                         int hardware_type) const {
   PreparedSample sample;
   FGRO_RETURN_IF_ERROR(PrepareForInference(
       stage, instance_idx, theta, state, hardware_type, &sample));
   double pred_log = Clamp(ForwardOnly(sample), -2.0, 12.5);
   return std::max(0.005, std::expm1(pred_log));
+}
+
+Result<double> LatencyModel::Predict(const Stage& stage, int instance_idx,
+                                     const ResourceConfig& theta,
+                                     const SystemState& state,
+                                     int hardware_type) const {
+  const bool instrumented = hardware_type >= 0 &&
+                            hardware_type < kNumHardwareTypes &&
+                            obs_predict_calls_[hardware_type] != nullptr;
+  if (!instrumented) {
+    return PredictImpl(stage, instance_idx, theta, state, hardware_type);
+  }
+  Stopwatch timer;
+  Result<double> out =
+      PredictImpl(stage, instance_idx, theta, state, hardware_type);
+  obs_predict_calls_[hardware_type]->Increment();
+  obs_predict_seconds_[hardware_type]->Observe(timer.ElapsedSeconds());
+  return out;
+}
+
+void LatencyModel::set_obs(const obs::Obs& obs) {
+  for (int h = 0; h < kNumHardwareTypes; ++h) {
+    if (obs.metrics == nullptr) {
+      obs_predict_calls_[h] = nullptr;
+      obs_predict_fast_calls_[h] = nullptr;
+      obs_predict_seconds_[h] = nullptr;
+    } else {
+      const std::string suffix = ".hw" + std::to_string(h);
+      obs_predict_calls_[h] =
+          obs.metrics->GetCounter("model.predict_calls" + suffix);
+      obs_predict_fast_calls_[h] =
+          obs.metrics->GetCounter("model.predict_fast_calls" + suffix);
+      obs_predict_seconds_[h] =
+          obs.metrics->GetLatencyHistogram("model.predict_seconds" + suffix);
+    }
+  }
+  obs_predict_records_ =
+      obs.metrics == nullptr
+          ? nullptr
+          : obs.metrics->GetCounter("model.predict_records_calls");
 }
 
 Result<LatencyModel::EmbeddedInstance> LatencyModel::Embed(
@@ -400,6 +441,14 @@ double LatencyModel::PredictFromEmbedding(const EmbeddedInstance& embedded,
                                           const ResourceConfig& theta,
                                           const SystemState& state,
                                           int hardware_type) const {
+  // Count-only on the fast path: this runs once per grid configuration in
+  // RAA's frontier sweep, so a timer here would distort exactly the numbers
+  // the breakdown is meant to explain. (The QPPNet fallback below lands in
+  // Predict and is timed there.)
+  if (hardware_type >= 0 && hardware_type < kNumHardwareTypes &&
+      obs_predict_fast_calls_[hardware_type] != nullptr) {
+    obs_predict_fast_calls_[hardware_type]->Increment();
+  }
   if (options_.kind == ModelKind::kMciGtn ||
       options_.kind == ModelKind::kMciTlstm) {
     Vec context =
@@ -429,6 +478,7 @@ double LatencyModel::PredictFromEmbedding(const EmbeddedInstance& embedded,
 
 Result<std::vector<double>> LatencyModel::PredictRecords(
     const TraceDataset& dataset, const std::vector<int>& indices) const {
+  if (obs_predict_records_ != nullptr) obs_predict_records_->Increment();
   std::vector<double> out;
   out.reserve(indices.size());
   for (int idx : indices) {

@@ -6,6 +6,7 @@
 
 #include "common/status.h"
 #include "featurize/featurizer.h"
+#include "obs/obs.h"
 #include "nn/adam.h"
 #include "nn/graph_embedder.h"
 #include "nn/mlp.h"
@@ -124,6 +125,15 @@ class LatencyModel {
   const Featurizer& featurizer() const { return options_.featurizer; }
   bool trained() const { return trained_; }
 
+  /// Wires (or, with a default Obs, unwires) inference observability:
+  /// per-hardware-type Predict call counters and latency histograms, plus
+  /// fast-path (PredictFromEmbedding) call counters. Handles are resolved
+  /// here, once, so the per-call cost is one branch when disabled and one
+  /// relaxed atomic bump when enabled — Predict stays const, lock-free, and
+  /// shareable across RO-service workers. Not thread-safe against
+  /// concurrent Predict calls: wire before serving, like Train().
+  void set_obs(const obs::Obs& obs);
+
  private:
   struct PreparedSample {
     PlanGraph graph;
@@ -133,6 +143,10 @@ class LatencyModel {
     double target_raw = 0.0;
   };
 
+  Result<double> PredictImpl(const Stage& stage, int instance_idx,
+                             const ResourceConfig& theta,
+                             const SystemState& state,
+                             int hardware_type) const;
   bool UsesTree() const;
   bool UsesInstanceFeatures() const;
   Status PrepareSample(const TraceDataset& dataset, int record_idx,
@@ -160,6 +174,13 @@ class LatencyModel {
 
   Standardizer op_standardizer_;
   Standardizer inst_standardizer_;
+
+  /// Pre-resolved observability handles (see set_obs), all null when
+  /// disabled. Indexed by hardware type.
+  obs::Counter* obs_predict_calls_[kNumHardwareTypes] = {};
+  obs::Counter* obs_predict_fast_calls_[kNumHardwareTypes] = {};
+  obs::Histogram* obs_predict_seconds_[kNumHardwareTypes] = {};
+  obs::Counter* obs_predict_records_ = nullptr;
 };
 
 }  // namespace fgro

@@ -1,0 +1,138 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace fgro {
+namespace obs {
+
+Histogram::Histogram(std::vector<double> upper_bounds)
+    : bounds_(std::move(upper_bounds)), buckets_(bounds_.size() + 1) {
+  std::sort(bounds_.begin(), bounds_.end());
+}
+
+void Histogram::Observe(double value) {
+  // lower_bound: the first bound >= value, i.e. buckets are (lower, upper]
+  // — inclusive on the upper side, matching the "le" label the snapshot
+  // serializes and the (lower, upper] range Quantile interpolates over.
+  const std::size_t idx = static_cast<std::size_t>(
+      std::lower_bound(bounds_.begin(), bounds_.end(), value) -
+      bounds_.begin());
+  buckets_[idx].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(value, std::memory_order_relaxed);
+}
+
+double Histogram::Quantile(double q) const {
+  const uint64_t total = count();
+  if (total == 0) return 0.0;
+  q = std::min(1.0, std::max(0.0, q));
+  // Rank of the target observation, 1-based (matches the exact sample
+  // percentile convention of QuantileOfSamples).
+  const uint64_t rank = std::max<uint64_t>(
+      1, static_cast<uint64_t>(std::ceil(q * static_cast<double>(total))));
+  uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    const uint64_t in_bucket = bucket_count(i);
+    if (in_bucket == 0) continue;
+    if (cumulative + in_bucket < rank) {
+      cumulative += in_bucket;
+      continue;
+    }
+    if (i == bounds_.size()) return bounds_.empty() ? 0.0 : bounds_.back();
+    const double lower = i == 0 ? 0.0 : bounds_[i - 1];
+    const double upper = bounds_[i];
+    const double fraction = static_cast<double>(rank - cumulative) /
+                            static_cast<double>(in_bucket);
+    return lower + (upper - lower) * fraction;
+  }
+  return bounds_.empty() ? 0.0 : bounds_.back();
+}
+
+std::vector<double> Histogram::ExponentialBounds(double start, double factor,
+                                                 int count) {
+  std::vector<double> bounds;
+  bounds.reserve(static_cast<std::size_t>(std::max(0, count)));
+  double bound = start;
+  for (int i = 0; i < count; ++i) {
+    bounds.push_back(bound);
+    bound *= factor;
+  }
+  return bounds;
+}
+
+const std::vector<double>& Histogram::LatencyBounds() {
+  static const std::vector<double> kBounds =
+      ExponentialBounds(1e-4, 1.4, 50);
+  return kBounds;
+}
+
+double QuantileOfSamples(std::vector<double> values, double q) {
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  const double rank = q * static_cast<double>(values.size());
+  std::size_t idx = static_cast<std::size_t>(std::ceil(rank));
+  if (idx > 0) --idx;
+  if (idx >= values.size()) idx = values.size() - 1;
+  return values[idx];
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name) {
+  Stripe& stripe = StripeOf(name);
+  std::lock_guard<std::mutex> lock(stripe.mutex);
+  std::unique_ptr<Counter>& slot = stripe.counters[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name) {
+  Stripe& stripe = StripeOf(name);
+  std::lock_guard<std::mutex> lock(stripe.mutex);
+  std::unique_ptr<Gauge>& slot = stripe.gauges[name];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return slot.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(
+    const std::string& name, const std::vector<double>& upper_bounds) {
+  Stripe& stripe = StripeOf(name);
+  std::lock_guard<std::mutex> lock(stripe.mutex);
+  std::unique_ptr<Histogram>& slot = stripe.histograms[name];
+  if (slot == nullptr) slot = std::make_unique<Histogram>(upper_bounds);
+  return slot.get();
+}
+
+MetricsRegistry::Snapshot MetricsRegistry::Snap() const {
+  Snapshot snapshot;
+  for (const Stripe& stripe : stripes_) {
+    std::lock_guard<std::mutex> lock(stripe.mutex);
+    for (const auto& [name, counter] : stripe.counters) {
+      snapshot.counters[name] = counter->value();
+    }
+    for (const auto& [name, gauge] : stripe.gauges) {
+      snapshot.gauges[name] = gauge->value();
+    }
+    for (const auto& [name, histogram] : stripe.histograms) {
+      HistogramView view;
+      view.count = histogram->count();
+      view.sum = histogram->sum();
+      view.p50 = histogram->Quantile(0.50);
+      view.p95 = histogram->Quantile(0.95);
+      view.p99 = histogram->Quantile(0.99);
+      const std::vector<double>& bounds = histogram->upper_bounds();
+      view.buckets.reserve(histogram->num_buckets());
+      for (std::size_t i = 0; i < histogram->num_buckets(); ++i) {
+        const double bound = i < bounds.size()
+                                 ? bounds[i]
+                                 : std::numeric_limits<double>::infinity();
+        view.buckets.emplace_back(bound, histogram->bucket_count(i));
+      }
+      snapshot.histograms[name] = std::move(view);
+    }
+  }
+  return snapshot;
+}
+
+}  // namespace obs
+}  // namespace fgro

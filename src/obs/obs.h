@@ -1,0 +1,26 @@
+#ifndef FGRO_OBS_OBS_H_
+#define FGRO_OBS_OBS_H_
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace fgro {
+namespace obs {
+
+/// The observability hookup threaded through the hot layers (simulator ->
+/// SchedulingContext -> StageOptimizer/RAA; LatencyModel via set_obs; the
+/// RO service shares its registry the same way). Both pointers default to
+/// null = disabled: every instrumentation site guards on them, so the
+/// disabled hot path costs one branch and zero allocations, and replay
+/// results are byte-identical either way (metrics observe outcomes, they
+/// never feed back into decisions or RNG streams).
+struct Obs {
+  MetricsRegistry* metrics = nullptr;
+  Tracer* tracer = nullptr;
+  bool enabled() const { return metrics != nullptr || tracer != nullptr; }
+};
+
+}  // namespace obs
+}  // namespace fgro
+
+#endif  // FGRO_OBS_OBS_H_

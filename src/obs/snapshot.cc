@@ -1,0 +1,185 @@
+#include "obs/snapshot.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace fgro {
+namespace obs {
+
+namespace {
+
+std::string FormatDouble(double value) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.17g", value);
+  return buffer;
+}
+
+std::string EscapeJson(const std::string& raw) {
+  std::string out;
+  out.reserve(raw.size());
+  for (char c : raw) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x", c);
+          out += buffer;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void AppendHistogramView(const MetricsRegistry::HistogramView& view,
+                         std::string* out) {
+  *out += "{\"count\": " + std::to_string(view.count);
+  *out += ", \"sum\": " + FormatDouble(view.sum);
+  *out += ", \"p50\": " + FormatDouble(view.p50);
+  *out += ", \"p95\": " + FormatDouble(view.p95);
+  *out += ", \"p99\": " + FormatDouble(view.p99);
+  *out += ", \"buckets\": [";
+  bool first = true;
+  for (const auto& [bound, count] : view.buckets) {
+    if (count == 0) continue;
+    if (!first) *out += ", ";
+    first = false;
+    *out += "{\"le\": ";
+    *out += std::isinf(bound) ? "\"inf\"" : FormatDouble(bound);
+    *out += ", \"n\": " + std::to_string(count) + "}";
+  }
+  *out += "]}";
+}
+
+void AppendSpans(const std::vector<Span>& spans, std::string* out) {
+  *out += "[";
+  for (std::size_t i = 0; i < spans.size(); ++i) {
+    const Span& span = spans[i];
+    if (i > 0) *out += ", ";
+    *out += "{\"id\": " + std::to_string(span.id);
+    *out += ", \"parent\": " + std::to_string(span.parent_id);
+    *out += ", \"name\": \"" + EscapeJson(span.name) + "\"";
+    *out += ", \"start\": " + FormatDouble(span.start_seconds);
+    *out += ", \"end\": " + FormatDouble(span.end_seconds) + "}";
+  }
+  *out += "]";
+}
+
+}  // namespace
+
+std::string SnapshotJson(const MetricsRegistry& registry,
+                         const Tracer* tracer) {
+  const MetricsRegistry::Snapshot snapshot = registry.Snap();
+  std::string out = "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, value] : snapshot.counters) {
+    if (!first) out += ",";
+    first = false;
+    out += "\n    \"" + EscapeJson(name) + "\": " + std::to_string(value);
+  }
+  out += first ? "},\n" : "\n  },\n";
+  out += "  \"gauges\": {";
+  first = true;
+  for (const auto& [name, value] : snapshot.gauges) {
+    if (!first) out += ",";
+    first = false;
+    out += "\n    \"" + EscapeJson(name) + "\": " + FormatDouble(value);
+  }
+  out += first ? "},\n" : "\n  },\n";
+  out += "  \"histograms\": {";
+  first = true;
+  for (const auto& [name, view] : snapshot.histograms) {
+    if (!first) out += ",";
+    first = false;
+    out += "\n    \"" + EscapeJson(name) + "\": ";
+    AppendHistogramView(view, &out);
+  }
+  out += first ? "}" : "\n  }";
+  if (tracer != nullptr) {
+    out += ",\n  \"spans\": ";
+    AppendSpans(tracer->spans(), &out);
+  }
+  out += "\n}\n";
+  return out;
+}
+
+std::string SpansJson(const Tracer& tracer) {
+  std::string out;
+  AppendSpans(tracer.spans(), &out);
+  return out;
+}
+
+std::string PhaseBreakdownJson(const MetricsRegistry& registry) {
+  const MetricsRegistry::Snapshot snapshot = registry.Snap();
+  auto histogram_of = [&](const std::string& name) {
+    const auto it = snapshot.histograms.find(name);
+    return it != snapshot.histograms.end() ? it->second
+                                           : MetricsRegistry::HistogramView{};
+  };
+  auto append_phase = [](const std::string& key, uint64_t count,
+                         double seconds, double p95, std::string* out) {
+    *out += "    \"" + key + "\": {\"count\": " + std::to_string(count) +
+            ", \"seconds\": " + FormatDouble(seconds) +
+            ", \"p95_ms\": " + FormatDouble(p95 * 1e3) + "}";
+  };
+
+  // Predict rolls up the per-hardware-type counters: timed full passes
+  // (model.predict_seconds.hw*) plus the untimed embedding-path fast calls.
+  uint64_t predict_calls = 0;
+  double predict_seconds = 0.0, predict_p95 = 0.0;
+  for (const auto& [name, view] : snapshot.histograms) {
+    if (name.rfind("model.predict_seconds.", 0) == 0) {
+      predict_seconds += view.sum;
+      predict_p95 = std::max(predict_p95, view.p95);
+    }
+  }
+  for (const auto& [name, value] : snapshot.counters) {
+    if (name.rfind("model.predict_calls.", 0) == 0 ||
+        name.rfind("model.predict_fast_calls.", 0) == 0) {
+      predict_calls += value;
+    }
+  }
+
+  std::string out = "{\n";
+  const MetricsRegistry::HistogramView ipa =
+      histogram_of("so.placement_seconds");
+  const MetricsRegistry::HistogramView raa = histogram_of("so.raa_seconds");
+  const MetricsRegistry::HistogramView wun = histogram_of("so.wun_seconds");
+  const MetricsRegistry::HistogramView wait =
+      histogram_of("svc.queue_wait_seconds");
+  const MetricsRegistry::HistogramView service =
+      histogram_of("svc.service_seconds");
+  append_phase("ipa", ipa.count, ipa.sum, ipa.p95, &out);
+  out += ",\n";
+  append_phase("raa", raa.count, raa.sum, raa.p95, &out);
+  out += ",\n";
+  append_phase("wun", wun.count, wun.sum, wun.p95, &out);
+  out += ",\n";
+  append_phase("predict", predict_calls, predict_seconds, predict_p95, &out);
+  out += ",\n";
+  append_phase("queue_wait", wait.count, wait.sum, wait.p95, &out);
+  out += ",\n";
+  append_phase("service", service.count, service.sum, service.p95, &out);
+  out += "\n}";
+  return out;
+}
+
+Status WriteJsonFile(const std::string& json, const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return Status::Internal("cannot open " + path);
+  const std::size_t written = std::fwrite(json.data(), 1, json.size(), f);
+  std::fclose(f);
+  if (written != json.size()) {
+    return Status::Internal("short write to " + path);
+  }
+  return Status::OK();
+}
+
+}  // namespace obs
+}  // namespace fgro

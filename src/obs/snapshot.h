@@ -1,0 +1,37 @@
+#ifndef FGRO_OBS_SNAPSHOT_H_
+#define FGRO_OBS_SNAPSHOT_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace fgro {
+namespace obs {
+
+/// Serializes a registry snapshot (and optionally a span tree) as JSON.
+/// Keys are name-sorted and doubles use %.17g, so identical state produces
+/// byte-identical output — the golden-tree test diffs this string.
+/// Histogram buckets are emitted sparsely (zero-count buckets dropped);
+/// the overflow bucket serializes with "le": "inf".
+std::string SnapshotJson(const MetricsRegistry& registry,
+                         const Tracer* tracer = nullptr);
+
+/// Just the span array (the "spans" value of SnapshotJson).
+std::string SpansJson(const Tracer& tracer);
+
+/// Compact per-phase rollup for the perf benches: seconds and call counts
+/// for the optimizer phases (ipa = placement, raa, wun), model predicts,
+/// and the service queue, pulled from the standard metric names (DESIGN.md
+/// §10). Phases with no data emit zeros, so the JSON schema is stable.
+std::string PhaseBreakdownJson(const MetricsRegistry& registry);
+
+/// Writes `json` to `path`, trace_io style (kInternal on open/write
+/// failure).
+Status WriteJsonFile(const std::string& json, const std::string& path);
+
+}  // namespace obs
+}  // namespace fgro
+
+#endif  // FGRO_OBS_SNAPSHOT_H_

@@ -1,0 +1,50 @@
+#include "obs/trace.h"
+
+#include <chrono>
+
+namespace fgro {
+namespace obs {
+
+namespace {
+
+double SteadyNowSeconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+Tracer::Tracer(ClockFn clock) : clock_(std::move(clock)) {
+  if (clock_ == nullptr) clock_ = SteadyNowSeconds;
+}
+
+int Tracer::Begin(const char* name, int parent_id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Span span;
+  span.id = static_cast<int>(spans_.size());
+  span.parent_id = parent_id;
+  span.name = name;
+  span.start_seconds = clock_();
+  spans_.push_back(std::move(span));
+  return spans_.back().id;
+}
+
+void Tracer::End(int id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (id < 0 || id >= static_cast<int>(spans_.size())) return;
+  spans_[static_cast<std::size_t>(id)].end_seconds = clock_();
+}
+
+std::vector<Span> Tracer::spans() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return spans_;
+}
+
+void Tracer::Clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  spans_.clear();
+}
+
+}  // namespace obs
+}  // namespace fgro

@@ -1,0 +1,82 @@
+#ifndef FGRO_OBS_TRACE_H_
+#define FGRO_OBS_TRACE_H_
+
+#include <functional>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace fgro {
+namespace obs {
+
+/// One timed interval in a Dapper-style span tree. Spans are parent-linked
+/// by id (-1 = root); ids are allocated in Begin order, so a single-threaded
+/// trace with an injected clock is fully deterministic (the golden-tree
+/// test relies on this).
+struct Span {
+  int id = -1;
+  int parent_id = -1;
+  std::string name;
+  double start_seconds = 0.0;
+  double end_seconds = 0.0;
+};
+
+/// Span collector. The clock is injected exactly like CircuitBreaker's:
+/// tests pass a fake returning scripted seconds; production uses the
+/// default steady clock. Begin/End are mutex-serialized — spans mark
+/// once-per-decision boundaries (one per stage decision, placement, RAA),
+/// not per-predict events, so the lock is off the per-call hot path.
+class Tracer {
+ public:
+  using ClockFn = std::function<double()>;
+
+  /// Null clock = process steady clock.
+  explicit Tracer(ClockFn clock = nullptr);
+
+  /// Opens a span and returns its id. `parent_id` of -1 makes a root.
+  int Begin(const char* name, int parent_id = -1);
+  void End(int id);
+
+  /// Copy of all spans begun so far, ordered by id. Spans still open have
+  /// end_seconds 0.
+  std::vector<Span> spans() const;
+  void Clear();
+
+ private:
+  ClockFn clock_;
+  mutable std::mutex mutex_;
+  std::vector<Span> spans_;
+};
+
+/// RAII span handle. A null tracer makes every operation a no-op with no
+/// allocation — the disabled hot path costs one branch. Parenting is
+/// explicit (pass the parent span or its id), never thread-local, so the
+/// tree shape does not depend on which worker ran the code.
+class ScopedSpan {
+ public:
+  ScopedSpan(Tracer* tracer, const char* name, int parent_id = -1)
+      : tracer_(tracer) {
+    if (tracer_ != nullptr) id_ = tracer_->Begin(name, parent_id);
+  }
+  ScopedSpan(Tracer* tracer, const char* name, const ScopedSpan& parent)
+      : ScopedSpan(tracer, name, parent.id()) {}
+  ~ScopedSpan() {
+    if (tracer_ != nullptr) tracer_->End(id_);
+  }
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  /// -1 when tracing is disabled; safe to pass on as a child's parent_id.
+  int id() const { return id_; }
+  bool active() const { return tracer_ != nullptr; }
+
+ private:
+  Tracer* tracer_ = nullptr;
+  int id_ = -1;
+};
+
+}  // namespace obs
+}  // namespace fgro
+
+#endif  // FGRO_OBS_TRACE_H_

@@ -135,7 +135,7 @@ std::vector<FastMciGroup> BuildGroups(
 RaaResult RunRaa(const SchedulingContext& context,
                  const StageDecision& placement,
                  const std::vector<FastMciGroup>* fast_mci_groups,
-                 const RaaOptions& options) {
+                 const RaaOptions& options, int trace_parent) {
   Stopwatch timer;
   RaaResult result;
   const Stage& stage = *context.stage;
@@ -246,6 +246,8 @@ RaaResult RunRaa(const SchedulingContext& context,
   // the recommendation improves the stage rather than trading one objective
   // far away (Table 13: the plan dominates the default on 68-99% of
   // stages). If no point dominates the default, WUN runs on the full set.
+  obs::ScopedSpan wun_span(context.obs.tracer, "so.wun", trace_parent);
+  Stopwatch wun_timer;
   result.stage_pareto.reserve(stage_pareto.size());
   for (const StageParetoPoint& p : stage_pareto) {
     result.stage_pareto.push_back({p.latency, p.cost});
@@ -272,6 +274,10 @@ RaaResult RunRaa(const SchedulingContext& context,
     int pick = WeightedUtopiaNearest(candidates, options.wun_weights);
     if (pick < 0) return result;
     result.recommended_index = dominating[static_cast<size_t>(pick)];
+  }
+  if (context.obs.metrics != nullptr) {
+    context.obs.metrics->GetLatencyHistogram("so.wun_seconds")
+        ->Observe(wun_timer.ElapsedSeconds());
   }
   const StageParetoPoint& chosen =
       stage_pareto[static_cast<size_t>(result.recommended_index)];

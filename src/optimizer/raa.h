@@ -49,10 +49,13 @@ struct RaaResult {
 /// Pareto set with hierarchical MOO, and recommends one plan by Weighted
 /// Utopia Nearest. `fast_mci_groups` supplies clustered IPA's sub-clusters
 /// for RaaClustering::kFastMci (pass null to rebuild them from scratch).
+/// With context.obs wired, the WUN selection emits a "so.wun" span under
+/// `trace_parent` (the caller's "so.raa" span) and a so.wun_seconds
+/// histogram sample.
 RaaResult RunRaa(const SchedulingContext& context,
                  const StageDecision& placement,
                  const std::vector<FastMciGroup>* fast_mci_groups,
-                 const RaaOptions& options);
+                 const RaaOptions& options, int trace_parent = -1);
 
 }  // namespace fgro
 

@@ -7,6 +7,7 @@
 #include "cluster/resource.h"
 #include "common/deadline.h"
 #include "model/latency_model.h"
+#include "obs/obs.h"
 #include "plan/stage.h"
 
 namespace fgro {
@@ -44,6 +45,15 @@ struct SchedulingContext {
   /// Discretization degree for machine clustering (Expt 4 couples this to
   /// model accuracy).
   int discretization_degree = 4;
+  /// Observability hookup (metrics + tracer), default-disabled. The
+  /// simulator copies SimOptions::obs here per stage; schedulers record
+  /// phase timings and spans through it but never read it back — metrics
+  /// cannot influence a decision, which is what keeps instrumented replays
+  /// byte-identical to uninstrumented ones.
+  obs::Obs obs;
+  /// Span id the scheduler should parent its decision span under (-1 =
+  /// root). Set by the simulator's per-stage span.
+  int trace_parent = -1;
 };
 
 /// How far down the degradation ladder a decision came from.

@@ -60,6 +60,23 @@ std::string StageOptimizer::ConfigName(const Config& config) {
 }
 
 StageDecision StageOptimizer::Optimize(const SchedulingContext& context) const {
+  obs::ScopedSpan decide_span(context.obs.tracer, "so.decide",
+                              context.trace_parent);
+  StageDecision decision = OptimizeImpl(context, decide_span.id());
+  if (obs::MetricsRegistry* metrics = context.obs.metrics) {
+    metrics->GetCounter("so.decisions")->Increment();
+    metrics
+        ->GetCounter(std::string("so.fallback.") +
+                     FallbackLevelName(decision.fallback))
+        ->Increment();
+    metrics->GetLatencyHistogram("so.solve_seconds")
+        ->Observe(decision.solve_seconds);
+  }
+  return decision;
+}
+
+StageDecision StageOptimizer::OptimizeImpl(const SchedulingContext& context,
+                                           int trace_parent) const {
   StageDecision decision;
   const std::vector<FastMciGroup>* groups = nullptr;
   ClusteredIpaResult clustered;
@@ -92,18 +109,28 @@ StageDecision StageOptimizer::Optimize(const SchedulingContext& context) const {
     return fuxi_fallback(0.0);
   }
 
-  switch (config_.placement) {
-    case Placement::kFuxi:
-      decision = FuxiSchedule(ctx);
-      break;
-    case Placement::kIpaOrg:
-      decision = IpaSchedule(ctx);
-      break;
-    case Placement::kIpaClustered:
-      clustered = IpaClusteredSchedule(ctx);
-      decision = std::move(clustered.decision);
-      groups = &clustered.groups;
-      break;
+  {
+    obs::ScopedSpan placement_span(ctx.obs.tracer, "so.placement",
+                                   trace_parent);
+    switch (config_.placement) {
+      case Placement::kFuxi:
+        decision = FuxiSchedule(ctx);
+        break;
+      case Placement::kIpaOrg:
+        decision = IpaSchedule(ctx);
+        break;
+      case Placement::kIpaClustered:
+        clustered = IpaClusteredSchedule(ctx);
+        decision = std::move(clustered.decision);
+        groups = &clustered.groups;
+        break;
+    }
+  }
+  if (ctx.obs.metrics != nullptr) {
+    // Solver-reported seconds, not span wall time: the histogram must agree
+    // with the solve_seconds the RO time budget is charged against.
+    ctx.obs.metrics->GetLatencyHistogram("so.placement_seconds")
+        ->Observe(decision.solve_seconds);
   }
 
   if (config_.degrade_gracefully) {
@@ -131,7 +158,15 @@ StageDecision StageOptimizer::Optimize(const SchedulingContext& context) const {
     return decision;
   }
 
-  RaaResult raa = RunRaa(ctx, decision, groups, config_.raa);
+  RaaResult raa;
+  {
+    obs::ScopedSpan raa_span(ctx.obs.tracer, "so.raa", trace_parent);
+    raa = RunRaa(ctx, decision, groups, config_.raa, raa_span.id());
+  }
+  if (ctx.obs.metrics != nullptr) {
+    ctx.obs.metrics->GetLatencyHistogram("so.raa_seconds")
+        ->Observe(raa.solve_seconds);
+  }
   if (config_.degrade_gracefully) {
     const bool over_budget = decision.solve_seconds + raa.solve_seconds >
                              ctx.ro_time_limit_seconds;

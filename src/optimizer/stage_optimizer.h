@@ -51,11 +51,17 @@ class StageOptimizer {
   explicit StageOptimizer(Config config) : config_(config) {}
 
   /// Runs placement then (optionally) RAA; solve_seconds covers both.
+  /// With context.obs wired, emits one "so.decide" span per decision (child
+  /// spans "so.placement" / "so.raa" / "so.wun"), the per-phase solve-time
+  /// histograms, and the decision/fallback counters of DESIGN.md §10.
   StageDecision Optimize(const SchedulingContext& context) const;
 
   const Config& config() const { return config_; }
 
  private:
+  StageDecision OptimizeImpl(const SchedulingContext& context,
+                             int trace_parent) const;
+
   Config config_;
 };
 

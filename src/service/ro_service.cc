@@ -17,17 +17,6 @@ double NowSeconds() {
       .count();
 }
 
-/// p95 (or any quantile) of an unsorted sample; 0 when empty.
-double Percentile(std::vector<double> values, double q) {
-  if (values.empty()) return 0.0;
-  std::sort(values.begin(), values.end());
-  const double rank = q * static_cast<double>(values.size());
-  std::size_t idx = static_cast<std::size_t>(std::ceil(rank));
-  if (idx > 0) --idx;
-  if (idx >= values.size()) idx = values.size() - 1;
-  return values[idx];
-}
-
 }  // namespace
 
 RoService::RoService(const Workload* workload, const LatencyModel* model,
@@ -43,6 +32,17 @@ RoService::RoService(const Workload* workload, const LatencyModel* model,
       queue_(options.queue_capacity, /*num_lanes=*/2),
       pool_(num_workers_),
       controller_(options.brownout) {
+  // Record into the caller's registry when one is wired through the sim
+  // options (so service/simulator/optimizer/model share one breakdown),
+  // else into the service-owned fallback. Handles resolve once, here.
+  metrics_ = sim_options.obs.metrics != nullptr ? sim_options.obs.metrics
+                                                : &owned_metrics_;
+  wait_hist_ = metrics_->GetLatencyHistogram("svc.queue_wait_seconds");
+  service_hist_ = metrics_->GetLatencyHistogram("svc.service_seconds");
+  admitted_counter_ = metrics_->GetCounter("svc.jobs_admitted");
+  shed_counter_ = metrics_->GetCounter("svc.jobs_shed");
+  completed_counter_ = metrics_->GetCounter("svc.jobs_completed");
+  queue_depth_gauge_ = metrics_->GetGauge("svc.queue_depth");
   locals_.reserve(static_cast<std::size_t>(num_workers_));
   for (int i = 0; i < num_workers_; ++i) {
     locals_.push_back(std::make_unique<WorkerLocal>());
@@ -75,28 +75,34 @@ Status RoService::Submit(int job_idx, RequestPriority priority) {
     // Load shedding: reject now rather than buffer unboundedly or block
     // the caller. A shed is itself a pressure signal for the controller.
     ++stats_.jobs_shed;
+    shed_counter_->Increment();
     ObservePressureLocked();
     return Status::ResourceExhausted("RO admission queue full");
   }
   ++next_slot_;
   ++pending_;
   ++stats_.jobs_admitted;
+  admitted_counter_->Increment();
   if (priority == RequestPriority::kLatencySensitive) {
     ++stats_.jobs_latency_sensitive;
   }
   const int depth = static_cast<int>(queue_.size());
   stats_.max_queue_depth = std::max(stats_.max_queue_depth, depth);
+  queue_depth_gauge_->Set(static_cast<double>(depth));
   ObservePressureLocked();
   return Status::OK();
 }
 
 void RoService::ObservePressureLocked() {
   if (!controller_.enabled()) return;
-  const std::vector<double> window(recent_service_seconds_.begin(),
-                                   recent_service_seconds_.end());
+  // The controller wants the p95 of the *recent* window (recency matters
+  // for hysteresis), so this stays an exact sample quantile over the deque
+  // rather than a cumulative-histogram read.
+  std::vector<double> window(recent_service_seconds_.begin(),
+                             recent_service_seconds_.end());
   controller_.Observe(static_cast<int>(queue_.size()),
                       static_cast<int>(queue_.capacity()),
-                      Percentile(window, 0.95));
+                      obs::QuantileOfSamples(std::move(window), 0.95));
   stats_.brownout_demotions = controller_.demotions();
   stats_.brownout_promotions = controller_.promotions();
 }
@@ -148,8 +154,11 @@ void RoService::ServeOne(const Request& request, WorkerLocal* local) {
   }
   const double end_time = NowSeconds();
 
-  local->wait_seconds.push_back(dequeue_time - request.admit_time);
-  local->service_seconds.push_back(end_time - dequeue_time);
+  // One relaxed atomic bump per histogram per completed job, outside the
+  // control-plane lock. These feed the p95 summary fields at Stop().
+  wait_hist_->Observe(dequeue_time - request.admit_time);
+  service_hist_->Observe(end_time - dequeue_time);
+  completed_counter_->Increment();
   const bool ok = outcomes.ok();
   if (ok) {
     local->results.emplace_back(request.slot, std::move(outcomes).value());
@@ -201,16 +210,11 @@ void RoService::Stop() {
   // slot, so the merged outcome order is the submission order regardless
   // of which worker served which job.
   std::vector<std::pair<int, std::vector<StageOutcome>>> all;
-  std::vector<double> waits, services;
   for (const std::unique_ptr<WorkerLocal>& local : locals_) {
     if (first_error_.ok() && !local->first_error.ok()) {
       first_error_ = local->first_error;
     }
     for (auto& entry : local->results) all.push_back(std::move(entry));
-    waits.insert(waits.end(), local->wait_seconds.begin(),
-                 local->wait_seconds.end());
-    services.insert(services.end(), local->service_seconds.begin(),
-                    local->service_seconds.end());
     local->results.clear();
   }
   std::sort(all.begin(), all.end(),
@@ -222,8 +226,10 @@ void RoService::Stop() {
         std::make_move_iterator(outcomes.begin()),
         std::make_move_iterator(outcomes.end()));
   }
-  stats_.queue_wait_p95_ms = Percentile(std::move(waits), 0.95) * 1e3;
-  stats_.service_p95_ms = Percentile(std::move(services), 0.95) * 1e3;
+  // p95s now come off the shared histograms (bucketed quantiles) instead
+  // of a second hand-rolled sample-percentile path.
+  stats_.queue_wait_p95_ms = wait_hist_->Quantile(0.95) * 1e3;
+  stats_.service_p95_ms = service_hist_->Quantile(0.95) * 1e3;
   stats_.brownout_demotions = controller_.demotions();
   stats_.brownout_promotions = controller_.promotions();
 }

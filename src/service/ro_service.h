@@ -12,6 +12,7 @@
 #include "common/status.h"
 #include "common/thread_pool.h"
 #include "model/latency_model.h"
+#include "obs/metrics.h"
 #include "optimizer/stage_optimizer.h"
 #include "service/brownout.h"
 #include "sim/ro_metrics.h"
@@ -132,6 +133,12 @@ class RoService {
 
   int num_workers() const { return num_workers_; }
 
+  /// The metrics registry this service records into: the caller's, when
+  /// SimOptions::obs.metrics was wired (so service, simulator, optimizer,
+  /// and model share one breakdown), else a private registry owned by the
+  /// service. Always safe to snapshot, including while serving.
+  const obs::MetricsRegistry& metrics() const { return *metrics_; }
+
  private:
   struct Request {
     int job_idx = 0;
@@ -141,15 +148,15 @@ class RoService {
   };
 
   /// Per-worker accumulation (the no-atomics-on-hot-path rule): the bulk
-  /// data — stage outcomes and latency samples — collects here without any
-  /// synchronization and merges once, at Stop(). The cheap per-job
-  /// counters live in stats_ and are bumped inside the one control-plane
-  /// lock each job already takes, so Stats() is accurate while running.
+  /// data — stage outcomes — collects here without any synchronization and
+  /// merges once, at Stop(). Wait/service latency samples go straight into
+  /// the shared obs histograms (one relaxed atomic bump per completed job,
+  /// off the per-stage path). The cheap per-job counters live in stats_
+  /// and are bumped inside the one control-plane lock each job already
+  /// takes, so Stats() is accurate while running.
   struct WorkerLocal {
     std::vector<std::pair<int, std::vector<StageOutcome>>> results;
     Status first_error;
-    std::vector<double> wait_seconds;
-    std::vector<double> service_seconds;
   };
 
   void WorkerLoop(WorkerLocal* local);
@@ -164,6 +171,17 @@ class RoService {
   RoServiceOptions options_;
   uint64_t base_seed_;
   int num_workers_;
+
+  /// Fallback registry used when the caller did not wire one through
+  /// SimOptions::obs — declared before the handles resolved from it.
+  obs::MetricsRegistry owned_metrics_;
+  obs::MetricsRegistry* metrics_ = nullptr;
+  obs::Histogram* wait_hist_ = nullptr;     // svc.queue_wait_seconds
+  obs::Histogram* service_hist_ = nullptr;  // svc.service_seconds
+  obs::Counter* admitted_counter_ = nullptr;
+  obs::Counter* shed_counter_ = nullptr;
+  obs::Counter* completed_counter_ = nullptr;
+  obs::Gauge* queue_depth_gauge_ = nullptr;
 
   BoundedPriorityQueue<Request> queue_;
   std::vector<std::unique_ptr<WorkerLocal>> locals_;

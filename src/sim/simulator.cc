@@ -140,6 +140,10 @@ Status ReplayJobInState(const Workload& workload, const LatencyModel* model,
     }
   };
 
+  obs::ScopedSpan job_span(options.obs.tracer, "sim.job");
+  obs::MetricsRegistry* metrics = options.obs.metrics;
+  if (metrics != nullptr) metrics->GetCounter("sim.jobs_replayed")->Increment();
+
   const Job& job = workload.jobs[static_cast<size_t>(job_idx)];
   cluster.AdvanceTime(job.arrival_time);
   if (faults) {
@@ -158,6 +162,8 @@ Status ReplayJobInState(const Workload& workload, const LatencyModel* model,
     }
     for (int s : ready) {
       const Stage& stage = job.stages[static_cast<size_t>(s)];
+      obs::ScopedSpan stage_span(options.obs.tracer, "sim.stage",
+                                 job_span.id());
       HboRecommendation rec = st.hbo.Recommend(stage);
 
       SchedulingContext context;
@@ -166,6 +172,8 @@ Status ReplayJobInState(const Workload& workload, const LatencyModel* model,
       context.model = model;
       context.theta0 = rec.theta0;
       context.ro_time_limit_seconds = options.ro_time_limit_seconds;
+      context.obs = options.obs;
+      context.trace_parent = stage_span.id();
 
       StageOutcome outcome;
       outcome.job_idx = job_idx;
@@ -212,6 +220,14 @@ Status ReplayJobInState(const Workload& workload, const LatencyModel* model,
       StageDecision decision = scheduler(context);
       outcome.solve_seconds = decision.solve_seconds;
       outcome.fallback = decision.fallback;
+      if (metrics != nullptr) {
+        metrics->GetCounter("sim.stages_replayed")->Increment();
+        metrics->GetLatencyHistogram("sim.stage_solve_seconds")
+            ->Observe(decision.solve_seconds);
+        if (!decision.feasible) {
+          metrics->GetCounter("sim.stages_infeasible")->Increment();
+        }
+      }
       // A degraded decision already paid its (abandoned) primary solve
       // time; what matters is that the fallback itself is usable.
       outcome.feasible =

@@ -11,6 +11,7 @@
 #include "model/drift_watchdog.h"
 #include "model/gpr.h"
 #include "model/latency_model.h"
+#include "obs/obs.h"
 #include "optimizer/scheduler_types.h"
 #include "sim/fault_injector.h"
 #include "trace/workload_gen.h"
@@ -53,6 +54,14 @@ struct SimOptions {
   /// so the merged result is byte-identical across thread counts. 0 keeps
   /// the classic sequential shared-cluster replay.
   int service_threads = 0;
+  /// Observability hookup, default-disabled. When wired, the replay loop
+  /// emits sim.job / sim.stage spans, the sim.* counters and
+  /// stage-solve-time histogram, and forwards the hookup to the scheduler
+  /// via SchedulingContext::obs. Metrics never feed back into the replay:
+  /// outcomes are byte-identical with or without this set (the PR 3
+  /// determinism guarantee), and both registry and tracer are internally
+  /// synchronized so concurrent service workers may share them.
+  obs::Obs obs;
   uint64_t seed = 5;
 };
 

@@ -8,8 +8,10 @@
 
 #include "moo/nsga2.h"
 #include "moo/weighted_sum.h"
+#include "obs/obs.h"
 #include "optimizer/fuxi.h"
 #include "optimizer/stage_optimizer.h"
+#include "service/ro_service.h"
 #include "sim/experiment_env.h"
 #include "sim/ro_metrics.h"
 #include "trace/trace_collector.h"
@@ -202,6 +204,72 @@ TEST(DeterminismTest, DisabledFaultsMatchTheHappyPathBitForBit) {
     EXPECT_EQ(zeros.outcomes[i].retries, 0);
     EXPECT_DOUBLE_EQ(zeros.outcomes[i].wasted_cost, 0.0);
   }
+}
+
+TEST(DeterminismTest, MetricsEnabledReplayIsByteIdenticalAcrossThreads) {
+  // The PR 3 guarantee must survive the observability layer: with a
+  // metrics registry attached (and the model instrumented), the merged
+  // service result is byte-identical between the sequential path and 8
+  // workers, and identical to a replay with observability disabled —
+  // metrics observe outcomes, they never feed back into decisions or RNG.
+  ExperimentEnv::Options options;
+  options.workload = WorkloadId::kA;
+  options.scale = 0.03;
+  options.train.epochs = 1;
+  options.train.max_train_samples = 800;
+  Result<std::unique_ptr<ExperimentEnv>> env = ExperimentEnv::Build(options);
+  ASSERT_TRUE(env.ok()) << env.status().ToString();
+
+  auto run_with = [&](int threads, obs::MetricsRegistry* registry) {
+    obs::Obs obs;
+    obs.metrics = registry;
+    (*env)->mutable_model()->set_obs(obs);
+    SimOptions sim_options;
+    sim_options.outcome = OutcomeMode::kEnvironment;
+    sim_options.seed = 13;
+    sim_options.service_threads = threads;
+    sim_options.obs = obs;
+    Result<SimResult> result =
+        ServeWorkload((*env)->workload(), &(*env)->model(), sim_options,
+                      StageOptimizer::IpaRaaPathWithFallback());
+    EXPECT_TRUE(result.ok()) << result.status().ToString();
+    (*env)->mutable_model()->set_obs(obs::Obs{});
+    return std::move(result).value();
+  };
+
+  obs::MetricsRegistry sequential_registry, parallel_registry;
+  const SimResult sequential = run_with(1, &sequential_registry);
+  const SimResult parallel = run_with(8, &parallel_registry);
+  const SimResult unobserved = run_with(8, nullptr);
+
+  auto expect_same = [](const SimResult& a, const SimResult& b) {
+    ASSERT_EQ(a.outcomes.size(), b.outcomes.size());
+    for (size_t i = 0; i < a.outcomes.size(); ++i) {
+      const StageOutcome& x = a.outcomes[i];
+      const StageOutcome& y = b.outcomes[i];
+      EXPECT_EQ(x.job_idx, y.job_idx);
+      EXPECT_EQ(x.stage_idx, y.stage_idx);
+      EXPECT_EQ(x.feasible, y.feasible);
+      EXPECT_EQ(x.num_instances, y.num_instances);
+      EXPECT_EQ(x.fallback, y.fallback);
+      EXPECT_DOUBLE_EQ(x.stage_latency, y.stage_latency);
+      EXPECT_DOUBLE_EQ(x.stage_cost, y.stage_cost);
+      EXPECT_DOUBLE_EQ(x.default_theta_cores, y.default_theta_cores);
+    }
+  };
+  expect_same(sequential, parallel);
+  expect_same(sequential, unobserved);
+
+  // The registries actually recorded the replay (this is not a no-op run),
+  // and both thread counts counted the same work.
+  const obs::MetricsRegistry::Snapshot seq_snap = sequential_registry.Snap();
+  const obs::MetricsRegistry::Snapshot par_snap = parallel_registry.Snap();
+  const uint64_t num_jobs = (*env)->workload().jobs.size();
+  EXPECT_EQ(seq_snap.counters.at("sim.jobs_replayed"), num_jobs);
+  EXPECT_EQ(par_snap.counters.at("sim.jobs_replayed"), num_jobs);
+  EXPECT_EQ(seq_snap.counters.at("so.decisions"),
+            par_snap.counters.at("so.decisions"));
+  EXPECT_GT(seq_snap.histograms.at("svc.service_seconds").count, 0u);
 }
 
 TEST(DeterminismTest, TrainingIsReproducible) {

@@ -1,0 +1,301 @@
+// Observability layer tests: histogram bucketing and quantiles against
+// closed-form expectations, counter monotonicity, the golden span tree with
+// an injected fake clock (byte-exact JSON), snapshot determinism, and a
+// concurrent registry stress that the TSan CI job runs to certify the
+// lock-striped get-or-create path and the relaxed-atomic hot path.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/obs.h"
+#include "obs/snapshot.h"
+#include "obs/trace.h"
+
+namespace fgro {
+namespace obs {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Histogram mechanics.
+
+TEST(HistogramTest, ObservationsLandInTheRightBuckets) {
+  Histogram h({1.0, 2.0, 4.0});
+  h.Observe(0.5);   // <= 1            -> bucket 0
+  h.Observe(1.0);   // boundary is inclusive on the upper side
+  h.Observe(1.5);   // (1, 2]          -> bucket 1
+  h.Observe(3.0);   // (2, 4]          -> bucket 2
+  h.Observe(10.0);  // > 4             -> overflow
+  EXPECT_EQ(h.count(), 5u);
+  EXPECT_DOUBLE_EQ(h.sum(), 16.0);
+  ASSERT_EQ(h.num_buckets(), 4u);  // 3 finite + overflow
+  EXPECT_EQ(h.bucket_count(0), 2u);
+  EXPECT_EQ(h.bucket_count(1), 1u);
+  EXPECT_EQ(h.bucket_count(2), 1u);
+  EXPECT_EQ(h.bucket_count(3), 1u);
+}
+
+TEST(HistogramTest, ConstructorSortsBounds) {
+  Histogram h({4.0, 1.0, 2.0});
+  ASSERT_EQ(h.upper_bounds().size(), 3u);
+  EXPECT_DOUBLE_EQ(h.upper_bounds()[0], 1.0);
+  EXPECT_DOUBLE_EQ(h.upper_bounds()[2], 4.0);
+}
+
+TEST(HistogramTest, QuantileMatchesClosedForm) {
+  // Five observations, all inside the single finite bucket (0, 10]. The
+  // quantile interpolates linearly: rank r of 5 maps to 10 * r/5.
+  Histogram h({10.0});
+  for (double v : {1.0, 2.0, 3.0, 4.0, 5.0}) h.Observe(v);
+  EXPECT_DOUBLE_EQ(h.Quantile(0.5), 10.0 * 3 / 5);   // rank ceil(2.5) = 3
+  EXPECT_DOUBLE_EQ(h.Quantile(0.2), 10.0 * 1 / 5);   // rank 1
+  EXPECT_DOUBLE_EQ(h.Quantile(1.0), 10.0);           // rank 5
+  EXPECT_DOUBLE_EQ(h.Quantile(0.0), 10.0 * 1 / 5);   // rank clamps to 1
+}
+
+TEST(HistogramTest, QuantileWalksCumulativeBuckets) {
+  Histogram h({1.0, 2.0, 4.0});
+  h.Observe(0.5);
+  h.Observe(1.5);
+  h.Observe(3.0);
+  h.Observe(10.0);
+  // rank(0.5 * 4) = 2 -> second observation, alone in bucket (1, 2]: the
+  // interpolation reaches the bucket's upper bound.
+  EXPECT_DOUBLE_EQ(h.Quantile(0.5), 2.0);
+  // rank 1 -> bucket (0, 1], fraction 1/1.
+  EXPECT_DOUBLE_EQ(h.Quantile(0.25), 1.0);
+  // rank 4 lands in the overflow bucket: reports the last finite bound.
+  EXPECT_DOUBLE_EQ(h.Quantile(1.0), 4.0);
+}
+
+TEST(HistogramTest, EmptyHistogramQuantileIsZero) {
+  Histogram h(Histogram::LatencyBounds());
+  EXPECT_DOUBLE_EQ(h.Quantile(0.95), 0.0);
+  EXPECT_EQ(h.count(), 0u);
+}
+
+TEST(HistogramTest, ExponentialBoundsGrowGeometrically) {
+  const std::vector<double> bounds = Histogram::ExponentialBounds(1.0, 2.0, 4);
+  ASSERT_EQ(bounds.size(), 4u);
+  EXPECT_DOUBLE_EQ(bounds[0], 1.0);
+  EXPECT_DOUBLE_EQ(bounds[3], 8.0);
+  // The shared latency boundaries: 50 buckets from 0.1 ms, factor 1.4.
+  EXPECT_EQ(Histogram::LatencyBounds().size(), 50u);
+  EXPECT_DOUBLE_EQ(Histogram::LatencyBounds()[0], 1e-4);
+}
+
+TEST(QuantileOfSamplesTest, MatchesExactPercentile) {
+  std::vector<double> values;
+  for (int i = 1; i <= 100; ++i) values.push_back(static_cast<double>(i));
+  EXPECT_DOUBLE_EQ(QuantileOfSamples(values, 0.95), 95.0);
+  EXPECT_DOUBLE_EQ(QuantileOfSamples(values, 0.50), 50.0);
+  EXPECT_DOUBLE_EQ(QuantileOfSamples(values, 1.0), 100.0);
+  EXPECT_DOUBLE_EQ(QuantileOfSamples({}, 0.95), 0.0);
+  EXPECT_DOUBLE_EQ(QuantileOfSamples({7.0}, 0.5), 7.0);
+}
+
+// ---------------------------------------------------------------------------
+// Counters, gauges, registry.
+
+TEST(CounterTest, AccumulatesAndNeverMovesBackwards) {
+  Counter c;
+  uint64_t last = 0;
+  for (int i = 0; i < 1000; ++i) {
+    c.Increment(i % 3 == 0 ? 2 : 1);
+    EXPECT_GE(c.value(), last);  // monotone by construction: no Set/Decrement
+    last = c.value();
+  }
+  EXPECT_EQ(c.value(), last);
+  EXPECT_GT(last, 1000u);
+}
+
+TEST(RegistryTest, GetOrCreateReturnsStableSharedHandles) {
+  MetricsRegistry registry;
+  Counter* a = registry.GetCounter("so.decisions");
+  Counter* b = registry.GetCounter("so.decisions");
+  EXPECT_EQ(a, b);  // same name -> same metric
+  EXPECT_NE(a, registry.GetCounter("so.decisions2"));
+  Histogram* h1 = registry.GetLatencyHistogram("svc.service_seconds");
+  // A re-lookup with different bounds returns the existing instance.
+  Histogram* h2 = registry.GetHistogram("svc.service_seconds", {1.0});
+  EXPECT_EQ(h1, h2);
+  EXPECT_EQ(h1->upper_bounds().size(), Histogram::LatencyBounds().size());
+}
+
+TEST(RegistryTest, SnapshotCarriesAllThreeKinds) {
+  MetricsRegistry registry;
+  registry.GetCounter("jobs")->Increment(3);
+  registry.GetGauge("depth")->Set(7.5);
+  registry.GetHistogram("lat", {1.0, 2.0})->Observe(1.5);
+  const MetricsRegistry::Snapshot snap = registry.Snap();
+  EXPECT_EQ(snap.counters.at("jobs"), 3u);
+  EXPECT_DOUBLE_EQ(snap.gauges.at("depth"), 7.5);
+  const MetricsRegistry::HistogramView& view = snap.histograms.at("lat");
+  EXPECT_EQ(view.count, 1u);
+  EXPECT_DOUBLE_EQ(view.sum, 1.5);
+  ASSERT_EQ(view.buckets.size(), 3u);  // 2 finite + overflow
+  EXPECT_EQ(view.buckets[1].second, 1u);
+}
+
+TEST(RegistryTest, IdenticalStateSerializesByteIdentically) {
+  // Same metrics recorded in a different creation order must snapshot to
+  // the same JSON string (name-sorted keys) — the property the golden
+  // tests and the determinism regression lean on.
+  MetricsRegistry a, b;
+  a.GetCounter("x")->Increment();
+  a.GetCounter("y")->Increment(2);
+  a.GetLatencyHistogram("h")->Observe(0.005);
+  b.GetLatencyHistogram("h")->Observe(0.005);
+  b.GetCounter("y")->Increment(2);
+  b.GetCounter("x")->Increment();
+  EXPECT_EQ(SnapshotJson(a), SnapshotJson(b));
+}
+
+TEST(RegistryTest, PhaseBreakdownSchemaIsStableWhenEmpty) {
+  MetricsRegistry registry;
+  const std::string json = PhaseBreakdownJson(registry);
+  for (const char* key :
+       {"\"ipa\"", "\"raa\"", "\"wun\"", "\"predict\"", "\"queue_wait\"",
+        "\"service\""}) {
+    EXPECT_NE(json.find(key), std::string::npos) << key;
+  }
+  EXPECT_NE(json.find("\"count\": 0"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Tracing.
+
+TEST(TracerTest, GoldenSpanTreeWithFakeClock) {
+  // The injected clock scripts time as 0, 1, 2, ... (one tick per
+  // Begin/End), so the whole span tree — ids, parents, timestamps — is a
+  // deterministic function of the code path and can be diffed as a string.
+  double t = 0.0;
+  Tracer tracer([&t] { return t++; });
+  {
+    ScopedSpan job(&tracer, "sim.job");
+    ScopedSpan decide(&tracer, "so.decide", job);
+    { ScopedSpan placement(&tracer, "so.placement", decide); }
+    {
+      ScopedSpan raa(&tracer, "so.raa", decide);
+      { ScopedSpan wun(&tracer, "so.wun", raa); }
+    }
+  }
+  const std::string golden =
+      "[{\"id\": 0, \"parent\": -1, \"name\": \"sim.job\", \"start\": 0, "
+      "\"end\": 9}, "
+      "{\"id\": 1, \"parent\": 0, \"name\": \"so.decide\", \"start\": 1, "
+      "\"end\": 8}, "
+      "{\"id\": 2, \"parent\": 1, \"name\": \"so.placement\", \"start\": 2, "
+      "\"end\": 3}, "
+      "{\"id\": 3, \"parent\": 1, \"name\": \"so.raa\", \"start\": 4, "
+      "\"end\": 7}, "
+      "{\"id\": 4, \"parent\": 3, \"name\": \"so.wun\", \"start\": 5, "
+      "\"end\": 6}]";
+  EXPECT_EQ(SpansJson(tracer), golden);
+}
+
+TEST(TracerTest, NullTracerIsANoOp) {
+  ScopedSpan span(nullptr, "so.decide");
+  EXPECT_FALSE(span.active());
+  EXPECT_EQ(span.id(), -1);
+  ScopedSpan child(nullptr, "so.raa", span);  // -1 parent propagates safely
+  EXPECT_EQ(child.id(), -1);
+}
+
+TEST(TracerTest, ClearResetsAndIdsRestart) {
+  double t = 0.0;
+  Tracer tracer([&t] { return t++; });
+  { ScopedSpan a(&tracer, "a"); }
+  tracer.Clear();
+  { ScopedSpan b(&tracer, "b"); }
+  const std::vector<Span> spans = tracer.spans();
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_EQ(spans[0].id, 0);
+  EXPECT_EQ(spans[0].name, "b");
+}
+
+TEST(ObsTest, DisabledObsReportsDisabled) {
+  Obs obs;
+  EXPECT_FALSE(obs.enabled());
+  MetricsRegistry registry;
+  obs.metrics = &registry;
+  EXPECT_TRUE(obs.enabled());
+}
+
+// ---------------------------------------------------------------------------
+// Concurrency stress (the TSan CI job runs this test suite).
+
+TEST(RegistryStressTest, ConcurrentGetObserveAndSnapshotAreRaceFree) {
+  MetricsRegistry registry;
+  constexpr int kThreads = 8;
+  constexpr int kIters = 2000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int w = 0; w < kThreads; ++w) {
+    threads.emplace_back([&registry, w] {
+      for (int i = 0; i < kIters; ++i) {
+        // Get-or-create races on the striped locks on purpose: every
+        // thread resolves the same names over and over.
+        registry.GetCounter("svc.jobs_completed")->Increment();
+        registry.GetCounter("lane." + std::to_string(w % 4))->Increment();
+        registry.GetLatencyHistogram("svc.service_seconds")
+            ->Observe(1e-4 * (i % 100 + 1));
+        registry.GetGauge("svc.queue_depth")->Set(static_cast<double>(i));
+        if (i % 128 == 0) {
+          // Snapshots interleave with writers.
+          const MetricsRegistry::Snapshot snap = registry.Snap();
+          EXPECT_LE(snap.counters.at("svc.jobs_completed"),
+                    static_cast<uint64_t>(kThreads) * kIters);
+        }
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  const MetricsRegistry::Snapshot snap = registry.Snap();
+  EXPECT_EQ(snap.counters.at("svc.jobs_completed"),
+            static_cast<uint64_t>(kThreads) * kIters);
+  uint64_t lanes = 0;
+  for (int lane = 0; lane < 4; ++lane) {
+    lanes += snap.counters.at("lane." + std::to_string(lane));
+  }
+  EXPECT_EQ(lanes, static_cast<uint64_t>(kThreads) * kIters);
+  EXPECT_EQ(snap.histograms.at("svc.service_seconds").count,
+            static_cast<uint64_t>(kThreads) * kIters);
+}
+
+TEST(TracerStressTest, ConcurrentSpansKeepUniqueIdsAndMatchedEnds) {
+  Tracer tracer;
+  constexpr int kThreads = 8;
+  constexpr int kSpansPerThread = 500;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int w = 0; w < kThreads; ++w) {
+    threads.emplace_back([&tracer] {
+      for (int i = 0; i < kSpansPerThread; ++i) {
+        ScopedSpan outer(&tracer, "sim.job");
+        ScopedSpan inner(&tracer, "sim.stage", outer);
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  const std::vector<Span> spans = tracer.spans();
+  ASSERT_EQ(spans.size(),
+            static_cast<std::size_t>(kThreads) * kSpansPerThread * 2);
+  for (std::size_t i = 0; i < spans.size(); ++i) {
+    EXPECT_EQ(spans[i].id, static_cast<int>(i));  // ids dense, in order
+    EXPECT_GE(spans[i].end_seconds, spans[i].start_seconds);
+    if (spans[i].name == "sim.stage") {
+      // Every stage span parents to some job span, never to itself.
+      ASSERT_GE(spans[i].parent_id, 0);
+      EXPECT_EQ(spans[static_cast<std::size_t>(spans[i].parent_id)].name,
+                "sim.job");
+    }
+  }
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace fgro

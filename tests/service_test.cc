@@ -91,6 +91,46 @@ TEST(BrownoutControllerTest, P95ThresholdAlonePressures) {
   EXPECT_EQ(controller.Observe(0, 10, 0.1), BrownoutLevel::kNormal);
 }
 
+TEST(BrownoutControllerTest, AlternatingPressureNeverDemotes) {
+  // Strictly alternating pressured / clear observations: each flip resets
+  // the opposite streak, so with demote_after = 3 and promote_after = 2 the
+  // controller must hold kNormal forever — the hysteresis point.
+  BrownoutController controller(TestBrownout());
+  for (int i = 0; i < 40; ++i) {
+    const BrownoutLevel level = i % 2 == 0
+                                    ? controller.Observe(9, 10, 0.0)
+                                    : controller.Observe(0, 10, 0.0);
+    EXPECT_EQ(level, BrownoutLevel::kNormal) << "observation " << i;
+  }
+  EXPECT_EQ(controller.demotions(), 0);
+  EXPECT_EQ(controller.promotions(), 0);
+}
+
+TEST(BrownoutControllerTest, RepromotesExactlyAtPromoteAfter) {
+  BrownoutOptions options = TestBrownout();
+  options.promote_after = 4;
+  BrownoutController controller(options);
+  // Demote once (demote_after = 3).
+  controller.Observe(9, 10, 0.0);
+  controller.Observe(9, 10, 0.0);
+  ASSERT_EQ(controller.Observe(9, 10, 0.0), BrownoutLevel::kTheta0);
+  // promote_after - 1 clear observations hold the level...
+  for (int i = 0; i < options.promote_after - 1; ++i) {
+    EXPECT_EQ(controller.Observe(0, 10, 0.0), BrownoutLevel::kTheta0)
+        << "clear observation " << i;
+  }
+  // ...a middle-band blip resets the clear streak entirely...
+  EXPECT_EQ(controller.Observe(5, 10, 0.0), BrownoutLevel::kTheta0);
+  for (int i = 0; i < options.promote_after - 1; ++i) {
+    EXPECT_EQ(controller.Observe(0, 10, 0.0), BrownoutLevel::kTheta0)
+        << "post-reset clear observation " << i;
+  }
+  // ...and the promote_after-th consecutive clear promotes, exactly then.
+  EXPECT_EQ(controller.Observe(0, 10, 0.0), BrownoutLevel::kNormal);
+  EXPECT_EQ(controller.promotions(), 1);
+  EXPECT_EQ(controller.demotions(), 1);
+}
+
 // ---------------------------------------------------------------------------
 // RoService tests over a shared trained environment.
 
