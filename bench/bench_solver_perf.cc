@@ -9,6 +9,13 @@
 // per-phase timing rollup (IPA / RAA / WUN / Predict) as JSON — the
 // end-to-end counterpart of the per-kernel numbers above. `--breakdown_only`
 // skips the microbenchmarks (what CI uses to produce the artifact).
+//
+// `--json_out=PATH` runs the batched-inference throughput comparison: the
+// same prediction sweep through the scalar PredictFromEmbedding loop and
+// through one PredictBatch GEMM call, reporting predictions/sec for both
+// phases, the speedup, and a checksum delta that must be exactly 0.0 (the
+// two paths are bit-identical by construction). `--inference_only` skips
+// the microbenchmarks after it.
 
 #include <benchmark/benchmark.h>
 
@@ -20,6 +27,8 @@
 #include "clustering/dbscan.h"
 #include "clustering/kde1d.h"
 #include "common/rng.h"
+#include "common/stopwatch.h"
+#include "nn/mlp.h"
 #include "obs/snapshot.h"
 #include "optimizer/ipa.h"
 #include "optimizer/raa_general.h"
@@ -137,6 +146,48 @@ void BM_Dbscan(benchmark::State& state) {
 BENCHMARK(BM_Dbscan)->Arg(256)->Arg(1024)->Arg(4096)
     ->Unit(benchmark::kMillisecond);
 
+void BM_MlpForwardRowByRow(benchmark::State& state) {
+  const int batch = static_cast<int>(state.range(0));
+  Rng rng(23);
+  Mlp mlp({46, 48, 48, 1}, &rng);  // the latency predictor head's shape
+  Mat x;
+  x.Resize(batch, 46);
+  for (double& v : x.data) v = rng.Normal();
+  MlpVecScratch scratch;
+  Vec row(46), out;
+  for (auto _ : state) {
+    double sum = 0.0;
+    for (int r = 0; r < x.rows; ++r) {
+      std::memcpy(row.data(), x.Row(r), sizeof(double) * 46);
+      mlp.ForwardInto(row, &out, &scratch);
+      sum += out[0];
+    }
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(state.iterations() * batch);
+}
+BENCHMARK(BM_MlpForwardRowByRow)->Arg(64)->Arg(512)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_MlpForwardBatch(benchmark::State& state) {
+  const int batch = static_cast<int>(state.range(0));
+  Rng rng(23);
+  Mlp mlp({46, 48, 48, 1}, &rng);
+  Mat x;
+  x.Resize(batch, 46);
+  for (double& v : x.data) v = rng.Normal();
+  MlpScratch scratch;
+  for (auto _ : state) {
+    const Mat& y = mlp.ForwardBatch(x, &scratch);
+    double sum = 0.0;
+    for (int r = 0; r < y.rows; ++r) sum += y.Row(r)[0];
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(state.iterations() * batch);
+}
+BENCHMARK(BM_MlpForwardBatch)->Arg(64)->Arg(512)
+    ->Unit(benchmark::kMicrosecond);
+
 /// Replays a smoke-scale workload with metrics wired through every layer
 /// (optimizer spans/histograms, per-hardware-type model predict timing) and
 /// emits the per-phase rollup. Returns nonzero on replay failure.
@@ -175,24 +226,125 @@ int RunBreakdown(const std::string& out_path) {
   return 0;
 }
 
+/// Scalar-vs-batched prediction throughput on the optimizer's hot query
+/// shape: one embedded instance swept over a candidate grid, exactly what
+/// IPA's machine sweep and RAA's configuration sweep issue. The model is
+/// untrained (Xavier init) — throughput does not depend on the weights.
+/// Writes a JSON artifact and returns nonzero on failure or if the two
+/// paths disagree on any output bit.
+int RunInferenceBench(const std::string& out_path) {
+  SetLogLevel(LogLevel::kWarning);
+  bench::PrintHeader("Batched-inference throughput (scalar vs PredictBatch)");
+
+  ExperimentEnv::Options options =
+      bench::DefaultOptions(WorkloadId::kA, bench::BenchScale::kSmoke);
+  options.train_model = false;
+  Result<std::unique_ptr<ExperimentEnv>> env = ExperimentEnv::Build(options);
+  FGRO_CHECK_OK(env.status());
+  const LatencyModel& model = (*env)->model();
+  const Stage& stage = (*env)->workload().jobs[0].stages[0];
+  Result<LatencyModel::EmbeddedInstance> embedded = model.Embed(stage, 0);
+  FGRO_CHECK_OK(embedded.status());
+
+  constexpr int kCandidates = 2048;
+  constexpr int kRepeats = 50;
+  Rng rng(29);
+  std::vector<LatencyModel::PredictionCandidate> candidates;
+  candidates.reserve(kCandidates);
+  for (int i = 0; i < kCandidates; ++i) {
+    LatencyModel::PredictionCandidate c;
+    c.theta.cores = 0.5 * static_cast<double>(rng.UniformInt(1, 16));
+    c.theta.memory_gb = static_cast<double>(rng.UniformInt(1, 64));
+    c.state.cpu_util = rng.Uniform();
+    c.state.mem_util = rng.Uniform();
+    c.state.io_util = rng.Uniform();
+    c.hardware_type = static_cast<int>(rng.UniformInt(0, 4));
+    candidates.push_back(c);
+  }
+  const double total = static_cast<double>(kCandidates) * kRepeats;
+
+  double scalar_sum = 0.0;
+  Stopwatch scalar_timer;
+  for (int rep = 0; rep < kRepeats; ++rep) {
+    for (const LatencyModel::PredictionCandidate& c : candidates) {
+      scalar_sum += model.PredictFromEmbedding(embedded.value(), c.theta,
+                                               c.state, c.hardware_type);
+    }
+  }
+  const double scalar_seconds = scalar_timer.ElapsedSeconds();
+
+  LatencyModel::BatchScratch scratch;
+  std::vector<double> out(kCandidates);
+  double batched_sum = 0.0;
+  // Warm the scratch outside the timed region so the steady-state
+  // (allocation-free) throughput is what gets reported.
+  model.PredictBatch(embedded.value(), candidates, out.data(), &scratch);
+  Stopwatch batched_timer;
+  for (int rep = 0; rep < kRepeats; ++rep) {
+    model.PredictBatch(embedded.value(), candidates, out.data(), &scratch);
+    for (double v : out) batched_sum += v;
+  }
+  const double batched_seconds = batched_timer.ElapsedSeconds();
+
+  const double scalar_rate = total / scalar_seconds;
+  const double batched_rate = total / batched_seconds;
+  const double speedup = scalar_seconds / batched_seconds;
+  const double checksum_delta = batched_sum - scalar_sum;
+
+  char json[1024];
+  std::snprintf(json, sizeof(json),
+                "{\n"
+                "  \"predictions_per_phase\": %.0f,\n"
+                "  \"scalar\": {\"seconds\": %.6f, "
+                "\"predictions_per_sec\": %.0f},\n"
+                "  \"batched\": {\"seconds\": %.6f, "
+                "\"predictions_per_sec\": %.0f},\n"
+                "  \"speedup\": %.3f,\n"
+                "  \"checksum_delta\": %.17g\n"
+                "}\n",
+                total, scalar_seconds, scalar_rate, batched_seconds,
+                batched_rate, speedup, checksum_delta);
+  std::printf("%s", json);
+  if (!out_path.empty()) {
+    FGRO_CHECK_OK(obs::WriteJsonFile(json, out_path));
+    std::printf("  wrote %s\n", out_path.c_str());
+  }
+  if (checksum_delta != 0.0) {
+    std::fprintf(stderr, "FAIL: batched path is not bit-identical\n");
+    return 1;
+  }
+  return 0;
+}
+
 }  // namespace
 }  // namespace fgro
 
 int main(int argc, char** argv) {
   // Peel off our flags before google-benchmark sees (and rejects) them.
   bool breakdown_only = false;
+  bool inference_only = false;
   std::string breakdown_out;
+  std::string json_out;
   int out_argc = 1;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--breakdown_only") == 0) {
       breakdown_only = true;
+    } else if (std::strcmp(argv[i], "--inference_only") == 0) {
+      inference_only = true;
     } else if (std::strncmp(argv[i], "--breakdown_out=", 16) == 0) {
       breakdown_out = argv[i] + 16;
+    } else if (std::strncmp(argv[i], "--json_out=", 11) == 0) {
+      json_out = argv[i] + 11;
     } else {
       argv[out_argc++] = argv[i];
     }
   }
   argc = out_argc;
+
+  if (inference_only || !json_out.empty()) {
+    const int rc = fgro::RunInferenceBench(json_out);
+    if (rc != 0 || inference_only) return rc;
+  }
 
   if (breakdown_only || !breakdown_out.empty()) {
     const int rc = fgro::RunBreakdown(breakdown_out);

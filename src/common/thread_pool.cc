@@ -1,5 +1,7 @@
 #include "common/thread_pool.h"
 
+#include <atomic>
+#include <memory>
 #include <utility>
 
 namespace fgro {
@@ -49,6 +51,47 @@ void ThreadPool::WorkerLoop() {
     }
     task();
   }
+}
+
+void ParallelFor(ThreadPool* pool, int count,
+                 const std::function<void(int)>& body) {
+  if (count <= 0) return;
+  if (pool == nullptr || pool->size() == 0 || count == 1) {
+    for (int i = 0; i < count; ++i) body(i);
+    return;
+  }
+  struct State {
+    std::atomic<int> next{0};
+    std::atomic<int> done{0};
+    std::mutex mutex;
+    std::condition_variable cv;
+  };
+  auto state = std::make_shared<State>();
+  // Workers hold the state alive via shared_ptr; `body` is only captured by
+  // reference, which is safe because ParallelFor blocks until done == count
+  // and a late-started worker then finds next >= count without touching it.
+  auto run = [state, count, &body] {
+    for (;;) {
+      const int i = state->next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= count) return;
+      body(i);
+      if (state->done.fetch_add(1, std::memory_order_acq_rel) + 1 == count) {
+        std::lock_guard<std::mutex> lock(state->mutex);
+        state->cv.notify_all();
+      }
+    }
+  };
+  const int helpers = pool->size() < count - 1 ? pool->size() : count - 1;
+  for (int h = 0; h < helpers; ++h) {
+    // A refused Submit (joined pool) is fine: the caller's loop below picks
+    // up every unclaimed index.
+    pool->Submit(run);
+  }
+  run();
+  std::unique_lock<std::mutex> lock(state->mutex);
+  state->cv.wait(lock, [&] {
+    return state->done.load(std::memory_order_acquire) == count;
+  });
 }
 
 }  // namespace fgro

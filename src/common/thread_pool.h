@@ -41,6 +41,16 @@ class ThreadPool {
   std::vector<std::thread> threads_;
 };
 
+/// Runs body(i) for every i in [0, count), fanning across `pool` with the
+/// calling thread participating, and blocks until all indices finish. A
+/// null or empty pool (or a joined one — Submit refusals fall back to the
+/// caller) degrades to a plain serial loop. Indices are claimed from an
+/// atomic counter, so the execution order is unspecified: bodies must be
+/// independent, and deterministic callers should write to per-index slots
+/// and merge sequentially after this returns.
+void ParallelFor(ThreadPool* pool, int count,
+                 const std::function<void(int)>& body);
+
 }  // namespace fgro
 
 #endif  // FGRO_COMMON_THREAD_POOL_H_

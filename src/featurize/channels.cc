@@ -59,26 +59,33 @@ Vec ContextFeatureVector(const ResourceConfig& theta, const SystemState& state,
                          int hardware_type, const ChannelMask& mask,
                          int discretization_degree) {
   Vec out(static_cast<size_t>(kContextDim), 0.0);
+  ContextFeatureRowInto(theta, state, hardware_type, mask,
+                        discretization_degree, out.data());
+  return out;
+}
+
+void ContextFeatureRowInto(const ResourceConfig& theta,
+                           const SystemState& state, int hardware_type,
+                           const ChannelMask& mask, int discretization_degree,
+                           double* out) {
+  for (int i = 0; i < kContextDim; ++i) out[i] = 0.0;
   int off = 0;
   if (mask.ch3) {
-    out[static_cast<size_t>(off + 0)] =
-        std::log2(std::max(0.125, theta.cores));
-    out[static_cast<size_t>(off + 1)] =
-        std::log2(std::max(0.25, theta.memory_gb));
-    out[static_cast<size_t>(off + 2)] = theta.cores;
+    out[off + 0] = std::log2(std::max(0.125, theta.cores));
+    out[off + 1] = std::log2(std::max(0.25, theta.memory_gb));
+    out[off + 2] = theta.cores;
   }
   off += kCh3Dim;
   if (mask.ch4) {
     SystemState d = DiscretizeState(state, discretization_degree);
-    out[static_cast<size_t>(off + 0)] = d.cpu_util;
-    out[static_cast<size_t>(off + 1)] = d.mem_util;
-    out[static_cast<size_t>(off + 2)] = d.io_util;
+    out[off + 0] = d.cpu_util;
+    out[off + 1] = d.mem_util;
+    out[off + 2] = d.io_util;
   }
   off += kCh4Dim;
   if (mask.ch5 && hardware_type >= 0 && hardware_type < kNumHardwareTypes) {
-    out[static_cast<size_t>(off + hardware_type)] = 1.0;
+    out[off + hardware_type] = 1.0;
   }
-  return out;
 }
 
 }  // namespace fgro

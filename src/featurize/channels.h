@@ -55,6 +55,14 @@ Vec ContextFeatureVector(const ResourceConfig& theta, const SystemState& state,
                          int hardware_type, const ChannelMask& mask,
                          int discretization_degree);
 
+/// Same features written into a caller buffer of kContextDim doubles — the
+/// allocation-free form the batched feature-matrix assembly uses. `out` is
+/// fully overwritten (disabled channels are zeroed).
+void ContextFeatureRowInto(const ResourceConfig& theta,
+                           const SystemState& state, int hardware_type,
+                           const ChannelMask& mask, int discretization_degree,
+                           double* out);
+
 }  // namespace fgro
 
 #endif  // FGRO_FEATURIZE_CHANNELS_H_

@@ -3,10 +3,12 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <cstring>
 
 #include "common/logging.h"
 #include "common/math_utils.h"
 #include "common/stopwatch.h"
+#include "featurize/discretize.h"
 #include "featurize/validate.h"
 #include "model/metrics.h"
 
@@ -405,10 +407,27 @@ void LatencyModel::set_obs(const obs::Obs& obs) {
           obs.metrics->GetLatencyHistogram("model.predict_seconds" + suffix);
     }
   }
-  obs_predict_records_ =
-      obs.metrics == nullptr
-          ? nullptr
-          : obs.metrics->GetCounter("model.predict_records_calls");
+  if (obs.metrics == nullptr) {
+    obs_predict_records_ = nullptr;
+    obs_predict_batch_calls_ = nullptr;
+    obs_predict_batch_rows_ = nullptr;
+    obs_predict_batch_size_ = nullptr;
+    obs_predict_batch_seconds_ = nullptr;
+  } else {
+    obs_predict_records_ =
+        obs.metrics->GetCounter("model.predict_records_calls");
+    obs_predict_batch_calls_ =
+        obs.metrics->GetCounter("model.predict_batch_calls");
+    obs_predict_batch_rows_ =
+        obs.metrics->GetCounter("model.predict_batch_rows");
+    // Power-of-two batch-size buckets: 1 .. 2^19 (+overflow) spans one RAA
+    // grid row through the largest IPA matrices.
+    obs_predict_batch_size_ = obs.metrics->GetHistogram(
+        "model.predict_batch_size",
+        obs::Histogram::ExponentialBounds(1.0, 2.0, 20));
+    obs_predict_batch_seconds_ =
+        obs.metrics->GetLatencyHistogram("model.predict_batch_seconds");
+  }
 }
 
 Result<LatencyModel::EmbeddedInstance> LatencyModel::Embed(
@@ -463,7 +482,14 @@ double LatencyModel::PredictFromEmbedding(const EmbeddedInstance& embedded,
             inst_standardizer_.inv_std[j];
       }
     }
-    Vec input = embedded.plan_embedding;
+    // Assemble [embedding | ch2 | context] with one reservation; the old
+    // copy-then-insert form reallocated the vector up to twice per call,
+    // which dominated the RAA sweep's allocator traffic.
+    Vec input;
+    input.reserve(embedded.plan_embedding.size() +
+                  embedded.ch2_features.size() + context.size());
+    input.insert(input.end(), embedded.plan_embedding.begin(),
+                 embedded.plan_embedding.end());
     input.insert(input.end(), embedded.ch2_features.begin(),
                  embedded.ch2_features.end());
     input.insert(input.end(), context.begin(), context.end());
@@ -474,6 +500,167 @@ double LatencyModel::PredictFromEmbedding(const EmbeddedInstance& embedded,
   Result<double> pred = Predict(*embedded.stage, embedded.instance_idx, theta,
                                 state, hardware_type);
   return pred.ok() ? pred.value() : 1.0;
+}
+
+namespace {
+
+/// Chunk size for batched feature-matrix assembly: bounds the scratch at
+/// kBatchChunk x in_dim doubles (~100 KB for the default GTN head) so an
+/// IPA matrix with a million cells never materializes as one allocation.
+constexpr int kBatchChunk = 256;
+
+uint64_t DoubleBits(double v) {
+  uint64_t bits = 0;
+  std::memcpy(&bits, &v, sizeof(bits));
+  return bits;
+}
+
+PredictionKey MakePredictionKey(const LatencyModel::EmbeddedInstance& embedded,
+                                const ResourceConfig& theta,
+                                const SystemState& state, int hardware_type,
+                                int discretization_degree) {
+  PredictionKey key;
+  if (embedded.stage != nullptr) {
+    key.job_id = embedded.stage->job_id;
+    key.stage_id = embedded.stage->id;
+  }
+  key.instance_idx = embedded.instance_idx;
+  key.hardware_type = hardware_type;
+  key.theta_cores_bits = DoubleBits(theta.cores);
+  key.theta_memory_bits = DoubleBits(theta.memory_gb);
+  // The model sees the machine state only through its discretization, so
+  // keying on the discretized bits is exact (see PredictionKey docs).
+  const SystemState d = DiscretizeState(state, discretization_degree);
+  key.cpu_bits = DoubleBits(d.cpu_util);
+  key.mem_bits = DoubleBits(d.mem_util);
+  key.io_bits = DoubleBits(d.io_util);
+  return key;
+}
+
+}  // namespace
+
+void LatencyModel::PredictBatch(const std::vector<PredictionQuery>& queries,
+                                double* out, BatchScratch* scratch,
+                                PredictionMemo* memo) const {
+  const int n = static_cast<int>(queries.size());
+  if (n == 0) return;
+  Stopwatch timer;
+  if (obs_predict_batch_calls_ != nullptr) {
+    obs_predict_batch_calls_->Increment();
+    obs_predict_batch_size_->Observe(static_cast<double>(n));
+  }
+  const int dd = options_.featurizer.discretization_degree();
+
+  // Memo pass: resolve hits up front; only misses reach the forward pass.
+  scratch->pending.clear();
+  scratch->pending.reserve(static_cast<size_t>(n));
+  if (memo != nullptr) {
+    for (int i = 0; i < n; ++i) {
+      const PredictionQuery& q = queries[i];
+      const PredictionKey key =
+          MakePredictionKey(*q.embedded, q.candidate.theta, q.candidate.state,
+                            q.candidate.hardware_type, dd);
+      if (!memo->Lookup(key, &out[i])) scratch->pending.push_back(i);
+    }
+  } else {
+    for (int i = 0; i < n; ++i) scratch->pending.push_back(i);
+  }
+  if (scratch->pending.empty()) {
+    if (obs_predict_batch_seconds_ != nullptr) {
+      obs_predict_batch_seconds_->Observe(timer.ElapsedSeconds());
+    }
+    return;
+  }
+
+  const bool fast = options_.kind == ModelKind::kMciGtn ||
+                    options_.kind == ModelKind::kMciTlstm;
+  if (!fast) {
+    // QPPNet-style kinds broadcast context into every unit, so there is no
+    // reusable embedding to batch over; fall through to the scalar path
+    // (these rows land in model.predict_calls, not predict_batch_rows).
+    for (int i : scratch->pending) {
+      const PredictionQuery& q = queries[i];
+      out[i] = PredictFromEmbedding(*q.embedded, q.candidate.theta,
+                                    q.candidate.state,
+                                    q.candidate.hardware_type);
+      if (memo != nullptr) {
+        memo->Insert(MakePredictionKey(*q.embedded, q.candidate.theta,
+                                       q.candidate.state,
+                                       q.candidate.hardware_type, dd),
+                     out[i]);
+      }
+    }
+    // No predict_batch_seconds observation here: these rows were already
+    // timed inside Predict, and the breakdown rollup must not count the
+    // same wall-clock twice.
+    return;
+  }
+
+  const int in_dim = predictor_.in_dim();
+  const int pending_count = static_cast<int>(scratch->pending.size());
+  if (obs_predict_batch_rows_ != nullptr) {
+    obs_predict_batch_rows_->Increment(static_cast<uint64_t>(pending_count));
+  }
+  for (int start = 0; start < pending_count; start += kBatchChunk) {
+    const int m = std::min(kBatchChunk, pending_count - start);
+    scratch->features.Resize(m, in_dim);
+    for (int r = 0; r < m; ++r) {
+      const PredictionQuery& q = queries[scratch->pending[start + r]];
+      const EmbeddedInstance& e = *q.embedded;
+      FGRO_CHECK(static_cast<int>(e.plan_embedding.size() +
+                                  e.ch2_features.size()) +
+                     kContextDim ==
+                 in_dim);
+      double* row = scratch->features.Row(r);
+      std::memcpy(row, e.plan_embedding.data(),
+                  e.plan_embedding.size() * sizeof(double));
+      double* cursor = row + e.plan_embedding.size();
+      std::memcpy(cursor, e.ch2_features.data(),
+                  e.ch2_features.size() * sizeof(double));
+      cursor += e.ch2_features.size();
+      ContextFeatureRowInto(q.candidate.theta, q.candidate.state,
+                            q.candidate.hardware_type,
+                            options_.featurizer.mask(), dd, cursor);
+      // Same (unclamped) tail standardization as PredictFromEmbedding —
+      // identical operations in identical order keeps rows bit-identical
+      // to the scalar path.
+      if (inst_standardizer_.fitted()) {
+        for (int i = 0; i < kContextDim; ++i) {
+          const size_t j = static_cast<size_t>(kCh2Dim + i);
+          cursor[i] = (cursor[i] - inst_standardizer_.mean[j]) *
+                      inst_standardizer_.inv_std[j];
+        }
+      }
+    }
+    const Mat& y = predictor_.ForwardBatch(scratch->features, &scratch->mlp);
+    for (int r = 0; r < m; ++r) {
+      const int i = scratch->pending[start + r];
+      const double pred_log = Clamp(y.Row(r)[0], -2.0, 12.5);
+      out[i] = std::max(0.005, std::expm1(pred_log));
+      if (memo != nullptr) {
+        const PredictionQuery& q = queries[i];
+        memo->Insert(MakePredictionKey(*q.embedded, q.candidate.theta,
+                                       q.candidate.state,
+                                       q.candidate.hardware_type, dd),
+                     out[i]);
+      }
+    }
+  }
+  if (obs_predict_batch_seconds_ != nullptr) {
+    obs_predict_batch_seconds_->Observe(timer.ElapsedSeconds());
+  }
+}
+
+void LatencyModel::PredictBatch(
+    const EmbeddedInstance& embedded,
+    const std::vector<PredictionCandidate>& candidates, double* out,
+    BatchScratch* scratch, PredictionMemo* memo) const {
+  scratch->queries.clear();
+  scratch->queries.reserve(candidates.size());
+  for (const PredictionCandidate& c : candidates) {
+    scratch->queries.push_back(PredictionQuery{&embedded, c});
+  }
+  PredictBatch(scratch->queries, out, scratch, memo);
 }
 
 Result<std::vector<double>> LatencyModel::PredictRecords(

@@ -6,6 +6,7 @@
 
 #include "common/status.h"
 #include "featurize/featurizer.h"
+#include "model/prediction_cache.h"
 #include "obs/obs.h"
 #include "nn/adam.h"
 #include "nn/graph_embedder.h"
@@ -111,6 +112,53 @@ class LatencyModel {
                               const SystemState& state,
                               int hardware_type) const;
 
+  /// One (resource plan, machine state, hardware) query of a batched sweep.
+  struct PredictionCandidate {
+    ResourceConfig theta;
+    SystemState state;
+    int hardware_type = 0;
+  };
+  /// One row of a heterogeneous batch: an embedded instance paired with a
+  /// candidate. IPA's m x n placement matrix flattens to this form. The
+  /// pointed-to embedding must outlive the PredictBatch call.
+  struct PredictionQuery {
+    const EmbeddedInstance* embedded = nullptr;
+    PredictionCandidate candidate;
+  };
+  /// Caller-owned scratch for PredictBatch: the assembled feature matrix,
+  /// the MLP activation ping-pong, and the pending-row index list. Reusing
+  /// one scratch across calls makes batched inference allocation-free once
+  /// the buffers are warm. Not shareable across concurrent calls.
+  struct BatchScratch {
+    Mat features;
+    MlpScratch mlp;
+    std::vector<int> pending;
+    std::vector<PredictionQuery> queries;  // used by the candidates overload
+  };
+
+  /// Batched inference for the optimizer hot path. Writes
+  /// out[i] = PredictFromEmbedding(*queries[i].embedded, candidate...)
+  /// bit-identically: the feature matrix keeps each row's operation order
+  /// (assemble -> standardize tail -> MLP forward with ascending-index
+  /// accumulation), so batching never changes a replay. The feature matrix
+  /// is assembled in bounded chunks, so arbitrarily large batches run in
+  /// O(chunk) extra memory. QPPNet-style kinds (no reusable plan embedding)
+  /// fall back to per-row PredictFromEmbedding.
+  ///
+  /// If `memo` is non-null it is consulted per row (keyed on the embedding
+  /// identity and the discretized candidate — exact, see PredictionKey) and
+  /// misses are inserted after the forward pass. `out` must hold
+  /// queries.size() doubles.
+  void PredictBatch(const std::vector<PredictionQuery>& queries, double* out,
+                    BatchScratch* scratch,
+                    PredictionMemo* memo = nullptr) const;
+  /// Common special case: one embedding swept over many candidates (RAA's
+  /// configuration grid, IPA's machine sweep for one instance).
+  void PredictBatch(const EmbeddedInstance& embedded,
+                    const std::vector<PredictionCandidate>& candidates,
+                    double* out, BatchScratch* scratch,
+                    PredictionMemo* memo = nullptr) const;
+
   /// Convenience: predict for every record index, in order.
   Result<std::vector<double>> PredictRecords(
       const TraceDataset& dataset, const std::vector<int>& indices) const;
@@ -181,6 +229,10 @@ class LatencyModel {
   obs::Counter* obs_predict_fast_calls_[kNumHardwareTypes] = {};
   obs::Histogram* obs_predict_seconds_[kNumHardwareTypes] = {};
   obs::Counter* obs_predict_records_ = nullptr;
+  obs::Counter* obs_predict_batch_calls_ = nullptr;
+  obs::Counter* obs_predict_batch_rows_ = nullptr;
+  obs::Histogram* obs_predict_batch_size_ = nullptr;
+  obs::Histogram* obs_predict_batch_seconds_ = nullptr;
 };
 
 }  // namespace fgro

@@ -1,0 +1,91 @@
+#include "model/prediction_cache.h"
+
+namespace fgro {
+namespace {
+
+// splitmix64: cheap, well-mixed 64-bit finalizer.
+uint64_t Mix(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+uint64_t PredictionKey::Hash() const {
+  uint64_t h = Mix(static_cast<uint64_t>(static_cast<uint32_t>(job_id)) |
+                   (static_cast<uint64_t>(static_cast<uint32_t>(stage_id))
+                    << 32));
+  h = Mix(h ^ (static_cast<uint64_t>(static_cast<uint32_t>(instance_idx)) |
+               (static_cast<uint64_t>(static_cast<uint32_t>(hardware_type))
+                << 32)));
+  h = Mix(h ^ theta_cores_bits);
+  h = Mix(h ^ theta_memory_bits);
+  h = Mix(h ^ cpu_bits);
+  h = Mix(h ^ mem_bits);
+  h = Mix(h ^ io_bits);
+  return h;
+}
+
+PredictionMemo::PredictionMemo(size_t capacity)
+    : capacity_(capacity < kShards ? kShards : capacity) {}
+
+bool PredictionMemo::Lookup(const PredictionKey& key, double* value) {
+  Shard& shard = shards_[key.Hash() % kShards];
+  {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    auto it = shard.map.find(key);
+    if (it != shard.map.end()) {
+      *value = it->second;
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      if (obs_hits_ != nullptr) obs_hits_->Increment();
+      return true;
+    }
+  }
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  if (obs_misses_ != nullptr) obs_misses_->Increment();
+  return false;
+}
+
+void PredictionMemo::Insert(const PredictionKey& key, double value) {
+  Shard& shard = shards_[key.Hash() % kShards];
+  const size_t shard_capacity = capacity_ / kShards;
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  auto [it, inserted] = shard.map.emplace(key, value);
+  if (!inserted) return;
+  shard.order.push_back(key);
+  while (shard.order.size() > shard_capacity) {
+    shard.map.erase(shard.order.front());
+    shard.order.pop_front();
+  }
+}
+
+void PredictionMemo::Clear() {
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    shard.map.clear();
+    shard.order.clear();
+  }
+}
+
+size_t PredictionMemo::size() const {
+  size_t total = 0;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    total += shard.map.size();
+  }
+  return total;
+}
+
+void PredictionMemo::set_obs(const obs::Obs& obs) {
+  if (obs.metrics == nullptr) {
+    obs_hits_ = nullptr;
+    obs_misses_ = nullptr;
+    return;
+  }
+  obs_hits_ = obs.metrics->GetCounter("model.memo_hits");
+  obs_misses_ = obs.metrics->GetCounter("model.memo_misses");
+}
+
+}  // namespace fgro

@@ -1,0 +1,110 @@
+#ifndef FGRO_MODEL_PREDICTION_CACHE_H_
+#define FGRO_MODEL_PREDICTION_CACHE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <unordered_map>
+
+#include "obs/obs.h"
+
+namespace fgro {
+
+/// Exact cache key of one prediction query. The model's inputs depend on
+/// the machine state only through DiscretizeState (Channel 4), so keying on
+/// the *discretized* state bit patterns — plus the raw theta bits, the
+/// hardware type, and the (job, stage, instance) identity of the embedding
+/// — makes a hit return exactly the value the model would have computed,
+/// never an approximation. The full tuple (not just its hash) is the map
+/// key: a 64-bit hash collision could otherwise silently corrupt a replay.
+struct PredictionKey {
+  int32_t job_id = 0;
+  int32_t stage_id = 0;
+  int32_t instance_idx = 0;
+  int32_t hardware_type = 0;
+  uint64_t theta_cores_bits = 0;
+  uint64_t theta_memory_bits = 0;
+  uint64_t cpu_bits = 0;
+  uint64_t mem_bits = 0;
+  uint64_t io_bits = 0;
+
+  bool operator==(const PredictionKey& other) const {
+    return job_id == other.job_id && stage_id == other.stage_id &&
+           instance_idx == other.instance_idx &&
+           hardware_type == other.hardware_type &&
+           theta_cores_bits == other.theta_cores_bits &&
+           theta_memory_bits == other.theta_memory_bits &&
+           cpu_bits == other.cpu_bits && mem_bits == other.mem_bits &&
+           io_bits == other.io_bits;
+  }
+
+  uint64_t Hash() const;
+};
+
+struct PredictionKeyHash {
+  size_t operator()(const PredictionKey& k) const {
+    return static_cast<size_t>(k.Hash());
+  }
+};
+
+/// Bounded, thread-safe memo of prediction queries for the optimizer hot
+/// path. The clustered IPA/RAA variants and the evolutionary baselines
+/// re-issue identical (representative, machine bucket, theta) queries many
+/// times per stage; a hit skips the whole forward pass.
+///
+/// Sharded 16 ways by key hash; each shard holds an unordered_map plus a
+/// FIFO ring for eviction (oldest insertion goes first once the shard
+/// exceeds capacity/16). Values for a key are immutable once inserted, so a
+/// replay is byte-identical whether any given query hits or misses — which
+/// is what keeps batched/parallel replays identical to the scalar run even
+/// though hit/miss *counters* may differ across thread interleavings.
+///
+/// The cache must be discarded (or Clear()ed) whenever the model's
+/// parameters change (FineTune/Train): keys identify inputs, not weights.
+class PredictionMemo {
+ public:
+  explicit PredictionMemo(size_t capacity = 1 << 16);
+
+  PredictionMemo(const PredictionMemo&) = delete;
+  PredictionMemo& operator=(const PredictionMemo&) = delete;
+
+  /// True and fills *value on a hit. Bumps the hit/miss telemetry either
+  /// way.
+  bool Lookup(const PredictionKey& key, double* value);
+
+  /// Inserts (idempotent: re-inserting an existing key is a no-op, so two
+  /// workers racing on the same miss both record the same value).
+  void Insert(const PredictionKey& key, double value);
+
+  void Clear();
+
+  uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
+  uint64_t misses() const { return misses_.load(std::memory_order_relaxed); }
+  size_t size() const;
+  size_t capacity() const { return capacity_; }
+
+  /// Wires (or with a default Obs, unwires) the hit/miss counters
+  /// ("model.memo_hits"/"model.memo_misses"). Resolve-once like
+  /// LatencyModel::set_obs; not thread-safe against concurrent Lookup.
+  void set_obs(const obs::Obs& obs);
+
+ private:
+  static constexpr size_t kShards = 16;
+  struct Shard {
+    mutable std::mutex mutex;
+    std::unordered_map<PredictionKey, double, PredictionKeyHash> map;
+    std::deque<PredictionKey> order;  // FIFO eviction
+  };
+
+  size_t capacity_;
+  Shard shards_[kShards];
+  std::atomic<uint64_t> hits_{0};
+  std::atomic<uint64_t> misses_{0};
+  obs::Counter* obs_hits_ = nullptr;
+  obs::Counter* obs_misses_ = nullptr;
+};
+
+}  // namespace fgro
+
+#endif  // FGRO_MODEL_PREDICTION_CACHE_H_

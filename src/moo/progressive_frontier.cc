@@ -34,6 +34,29 @@ std::vector<InstanceParetoPoint> InstanceMooSolver::SolveExhaustive(
   return frontier;
 }
 
+std::vector<InstanceParetoPoint> InstanceMooSolver::SolveExhaustive(
+    const double* latencies, const std::vector<ResourceConfig>& grid) const {
+  std::vector<InstanceParetoPoint> points;
+  points.reserve(grid.size());
+  std::vector<std::vector<double>> objectives;
+  objectives.reserve(grid.size());
+  for (size_t i = 0; i < grid.size(); ++i) {
+    double lat = latencies[i];
+    double cost = lat * weights_.Rate(grid[i]);
+    points.push_back({grid[i], lat, cost});
+    objectives.push_back({lat, cost});
+  }
+  std::vector<InstanceParetoPoint> frontier;
+  for (int idx : ParetoFilter(objectives)) {
+    frontier.push_back(points[static_cast<size_t>(idx)]);
+  }
+  std::sort(frontier.begin(), frontier.end(),
+            [](const InstanceParetoPoint& a, const InstanceParetoPoint& b) {
+              return a.latency > b.latency;
+            });
+  return frontier;
+}
+
 std::vector<InstanceParetoPoint> InstanceMooSolver::SolveProgressive(
     const LatencyFn& predict_latency, const std::vector<ResourceConfig>& grid,
     int max_probes) const {

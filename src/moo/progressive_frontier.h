@@ -32,6 +32,13 @@ class InstanceMooSolver {
       const LatencyFn& predict_latency,
       const std::vector<ResourceConfig>& grid) const;
 
+  /// Precomputed-latency form for the batched RAA sweep: `latencies` holds
+  /// grid.size() values with latencies[i] = predict(grid[i]). Performs the
+  /// same operations in the same order as the callback form, so the two are
+  /// bit-identical whenever the inputs are.
+  std::vector<InstanceParetoPoint> SolveExhaustive(
+      const double* latencies, const std::vector<ResourceConfig>& grid) const;
+
   /// `max_probes` bounds the number of constrained sub-problems.
   std::vector<InstanceParetoPoint> SolveProgressive(
       const LatencyFn& predict_latency,

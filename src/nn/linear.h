@@ -3,6 +3,7 @@
 
 #include <vector>
 
+#include "nn/mat.h"
 #include "nn/param.h"
 
 namespace fgro {
@@ -15,6 +16,18 @@ class Linear {
   Linear(int in_dim, int out_dim, Rng* rng);
 
   Vec Forward(const Vec& x) const;
+  /// Single-row forward into a caller-owned buffer (resized to out_dim, no
+  /// allocation once warm). `y` must not alias `x`. Bit-identical to
+  /// Forward: same per-element accumulation order.
+  void ForwardInto(const Vec& x, Vec* y) const;
+  /// Batched forward: y = x W^T + b over `x.rows` candidate rows, written
+  /// into the caller-provided scratch `y` (resized, capacity reused). The
+  /// kernel blocks over batch rows — each output element keeps the exact
+  /// ascending-k accumulation of the scalar path, so results are
+  /// bit-identical to calling Forward row by row; the blocking only
+  /// interleaves *independent* accumulator chains for ILP. `y` must not
+  /// alias `x`.
+  void ForwardBatch(const Mat& x, Mat* y) const;
   /// `x` must be the same input passed to Forward.
   Vec Backward(const Vec& x, const Vec& dy);
   /// Accumulates into an existing dx instead of allocating (hot paths).

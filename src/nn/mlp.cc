@@ -26,12 +26,37 @@ Vec Mlp::Forward(const Vec& x, MlpCache* cache) const {
 }
 
 Vec Mlp::Forward(const Vec& x) const {
-  Vec h = x;
+  MlpVecScratch scratch;
+  Vec out;
+  ForwardInto(x, &out, &scratch);
+  return out;
+}
+
+void Mlp::ForwardInto(const Vec& x, Vec* out, MlpVecScratch* scratch) const {
+  FGRO_CHECK(!layers_.empty());
+  const Vec* in = &x;
+  const size_t last = layers_.size() - 1;
   for (size_t l = 0; l < layers_.size(); ++l) {
-    h = layers_[l].Forward(h);
-    if (l + 1 < layers_.size()) h = Relu(h);
+    Vec* dst = l == last ? out
+                         : (in == &scratch->a ? &scratch->b : &scratch->a);
+    layers_[l].ForwardInto(*in, dst);
+    if (l != last) {
+      for (double& v : *dst) v = v > 0.0 ? v : 0.0;
+    }
+    in = dst;
   }
-  return h;
+}
+
+const Mat& Mlp::ForwardBatch(const Mat& x, MlpScratch* scratch) const {
+  FGRO_CHECK(!layers_.empty());
+  const Mat* in = &x;
+  for (size_t l = 0; l < layers_.size(); ++l) {
+    Mat* dst = in == &scratch->a ? &scratch->b : &scratch->a;
+    layers_[l].ForwardBatch(*in, dst);
+    if (l + 1 < layers_.size()) ReluInPlace(dst);
+    in = dst;
+  }
+  return *in;
 }
 
 Vec Mlp::Backward(const MlpCache& cache, const Vec& dout) {

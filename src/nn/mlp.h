@@ -14,6 +14,21 @@ struct MlpCache {
   std::vector<Vec> layer_outputs;  // post-activation (last layer: raw)
 };
 
+/// Caller-owned scratch for the batched forward: two activation matrices
+/// ping-ponged across layers. Reusing one scratch across batches makes the
+/// forward allocation-free once the buffers are warm.
+struct MlpScratch {
+  Mat a;
+  Mat b;
+};
+
+/// Caller-owned scratch for the single-row inference path (same ping-pong,
+/// vector-sized).
+struct MlpVecScratch {
+  Vec a;
+  Vec b;
+};
+
 /// Multilayer perceptron with ReLU between layers and a linear final layer.
 /// This is the paper's "latency predictor" head and is also reused inside
 /// the QPPNet neural units.
@@ -24,8 +39,19 @@ class Mlp {
   Mlp(const std::vector<int>& dims, Rng* rng);
 
   Vec Forward(const Vec& x, MlpCache* cache) const;
-  /// Inference-only forward without cache allocation churn.
+  /// Inference-only forward. Internally ping-pongs two buffers across
+  /// layers, so it no longer allocates one Vec per layer; use ForwardInto
+  /// with caller scratch to drop even those.
   Vec Forward(const Vec& x) const;
+  /// Single-row inference into caller buffers: no allocation once scratch
+  /// is warm. `out` and `scratch` must not alias `x`. Bit-identical to
+  /// Forward(x).
+  void ForwardInto(const Vec& x, Vec* out, MlpVecScratch* scratch) const;
+  /// Batched inference: runs every row of `x` through the network with
+  /// in-place ReLU between layers, returning a reference to the scratch
+  /// matrix holding the final activations (x.rows x out_dim). Row i is
+  /// bit-identical to Forward(row i). No allocation once scratch is warm.
+  const Mat& ForwardBatch(const Mat& x, MlpScratch* scratch) const;
 
   /// Accumulates parameter gradients; returns dL/dx.
   Vec Backward(const MlpCache& cache, const Vec& dout);

@@ -130,18 +130,23 @@ std::string PhaseBreakdownJson(const MetricsRegistry& registry) {
   };
 
   // Predict rolls up the per-hardware-type counters: timed full passes
-  // (model.predict_seconds.hw*) plus the untimed embedding-path fast calls.
+  // (model.predict_seconds.hw*), the untimed embedding-path fast calls, and
+  // the rows that went through the batched GEMM path (model.predict_batch_
+  // rows counts exactly the predictions that bypass the scalar counters, so
+  // the rollup stays a complete prediction count in batched replays).
   uint64_t predict_calls = 0;
   double predict_seconds = 0.0, predict_p95 = 0.0;
   for (const auto& [name, view] : snapshot.histograms) {
-    if (name.rfind("model.predict_seconds.", 0) == 0) {
+    if (name.rfind("model.predict_seconds.", 0) == 0 ||
+        name == "model.predict_batch_seconds") {
       predict_seconds += view.sum;
       predict_p95 = std::max(predict_p95, view.p95);
     }
   }
   for (const auto& [name, value] : snapshot.counters) {
     if (name.rfind("model.predict_calls.", 0) == 0 ||
-        name.rfind("model.predict_fast_calls.", 0) == 0) {
+        name.rfind("model.predict_fast_calls.", 0) == 0 ||
+        name == "model.predict_batch_rows") {
       predict_calls += value;
     }
   }

@@ -1,12 +1,99 @@
 #include "optimizer/ipa.h"
 
 #include <algorithm>
+#include <atomic>
 #include <limits>
+#include <numeric>
 
 #include "common/logging.h"
 #include "common/stopwatch.h"
+#include "common/thread_pool.h"
 
 namespace fgro {
+
+bool BuildBplMatrix(const SchedulingContext& context,
+                    const std::vector<int>& instance_rows,
+                    const std::vector<int>& machine_cols,
+                    std::vector<std::vector<double>>* L) {
+  const Stage& stage = *context.stage;
+  const Cluster& cluster = *context.cluster;
+  const LatencyModel& model = *context.model;
+  const int m = static_cast<int>(instance_rows.size());
+  const int n = static_cast<int>(machine_cols.size());
+  L->assign(static_cast<size_t>(m),
+            std::vector<double>(static_cast<size_t>(n)));
+
+  if (!context.batched_inference) {
+    // Scalar baseline path, preserved verbatim: one deadline check per
+    // matrix row (the m x n inference bill is the expensive part, and
+    // aborting here leaves the ladder budget to spare).
+    for (int i = 0; i < m; ++i) {
+      if (context.deadline.expired()) return false;
+      Result<LatencyModel::EmbeddedInstance> embedded =
+          model.Embed(stage, instance_rows[static_cast<size_t>(i)]);
+      if (!embedded.ok()) return false;
+      for (int j = 0; j < n; ++j) {
+        const Machine& machine =
+            cluster.machine(machine_cols[static_cast<size_t>(j)]);
+        (*L)[static_cast<size_t>(i)][static_cast<size_t>(j)] =
+            model.PredictFromEmbedding(embedded.value(), context.theta0,
+                                       machine.state(),
+                                       machine.hardware().id);
+      }
+    }
+    return true;
+  }
+
+  // Batched path. Embed every row first — the per-instance GNN/TLSTM pass
+  // dominates and rows are independent, so it fans across the worker pool;
+  // each slot is written by exactly one body and read only after the fan
+  // completes, which keeps the result byte-identical at any thread count.
+  std::vector<LatencyModel::EmbeddedInstance> embedded(
+      static_cast<size_t>(m));
+  std::atomic<bool> failed{false};
+  std::atomic<bool> expired{false};
+  ParallelFor(context.worker_pool, m, [&](int i) {
+    if (failed.load(std::memory_order_relaxed) ||
+        expired.load(std::memory_order_relaxed)) {
+      return;
+    }
+    if (context.deadline.expired()) {
+      expired.store(true, std::memory_order_relaxed);
+      return;
+    }
+    Result<LatencyModel::EmbeddedInstance> r =
+        model.Embed(stage, instance_rows[static_cast<size_t>(i)]);
+    if (!r.ok()) {
+      failed.store(true, std::memory_order_relaxed);
+      return;
+    }
+    embedded[static_cast<size_t>(i)] = r.value();
+  });
+  if (failed.load() || expired.load()) return false;
+
+  // The whole matrix as one flat batch: PredictBatch chunks internally, so
+  // this never materializes m*n feature rows at once.
+  std::vector<LatencyModel::PredictionQuery> queries;
+  queries.reserve(static_cast<size_t>(m) * static_cast<size_t>(n));
+  for (int i = 0; i < m; ++i) {
+    for (int j = 0; j < n; ++j) {
+      const Machine& machine =
+          cluster.machine(machine_cols[static_cast<size_t>(j)]);
+      queries.push_back(LatencyModel::PredictionQuery{
+          &embedded[static_cast<size_t>(i)],
+          {context.theta0, machine.state(), machine.hardware().id}});
+    }
+  }
+  std::vector<double> out(queries.size());
+  LatencyModel::BatchScratch scratch;
+  model.PredictBatch(queries, out.data(), &scratch, context.memo);
+  for (int i = 0; i < m; ++i) {
+    std::copy(out.begin() + static_cast<long>(i) * n,
+              out.begin() + static_cast<long>(i + 1) * n,
+              (*L)[static_cast<size_t>(i)].begin());
+  }
+  return true;
+}
 
 std::vector<int> IpaGreedyMatch(const std::vector<std::vector<double>>& L,
                                 std::vector<int> capacity) {
@@ -116,28 +203,14 @@ StageDecision IpaSchedule(const SchedulingContext& context) {
         alpha);
   }
 
-  // Latency matrix: one plan embedding per instance, then a cheap predictor
-  // sweep over the candidate machines.
-  std::vector<std::vector<double>> L(
-      static_cast<size_t>(m), std::vector<double>(static_cast<size_t>(n)));
-  for (int i = 0; i < m; ++i) {
-    // One deadline check per matrix row: the m x n inference bill is the
-    // expensive part, and aborting here leaves the ladder budget to spare.
-    if (context.deadline.expired()) {
-      decision.solve_seconds = timer.ElapsedSeconds();
-      return decision;
-    }
-    Result<LatencyModel::EmbeddedInstance> embedded =
-        context.model->Embed(stage, i);
-    if (!embedded.ok()) return decision;
-    for (int j = 0; j < n; ++j) {
-      const Machine& machine =
-          cluster.machine(candidates[static_cast<size_t>(j)]);
-      L[static_cast<size_t>(i)][static_cast<size_t>(j)] =
-          context.model->PredictFromEmbedding(embedded.value(), context.theta0,
-                                              machine.state(),
-                                              machine.hardware().id);
-    }
+  // Latency matrix: one plan embedding per instance, then a predictor sweep
+  // over the candidate machines (batched into one PredictBatch by default).
+  std::vector<int> instance_rows(static_cast<size_t>(m));
+  std::iota(instance_rows.begin(), instance_rows.end(), 0);
+  std::vector<std::vector<double>> L;
+  if (!BuildBplMatrix(context, instance_rows, candidates, &L)) {
+    decision.solve_seconds = timer.ElapsedSeconds();
+    return decision;
   }
 
   if (context.deadline.expired()) {

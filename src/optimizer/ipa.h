@@ -21,6 +21,21 @@ StageDecision IpaSchedule(const SchedulingContext& context);
 std::vector<int> IpaGreedyMatch(const std::vector<std::vector<double>>& L,
                                 std::vector<int> capacity);
 
+/// Shared by IPA and its clustered variant: fills (*L)[i][j] with the
+/// predicted latency of stage instance instance_rows[i] on machine
+/// machine_cols[j] (a cluster machine id) under theta0. In batched mode
+/// (context.batched_inference) each row is embedded once — fanning across
+/// context.worker_pool when set — and the whole matrix becomes one
+/// PredictBatch call (chunked internally, memoized via context.memo);
+/// otherwise this runs the original scalar PredictFromEmbedding loops.
+/// Both modes produce bit-identical matrices. Returns false when the
+/// deadline expired or an embedding failed, in which case *L is
+/// unspecified.
+bool BuildBplMatrix(const SchedulingContext& context,
+                    const std::vector<int>& instance_rows,
+                    const std::vector<int>& machine_cols,
+                    std::vector<std::vector<double>>* L);
+
 /// Empirically checks Theorem 5.1's column-order assumption on a latency
 /// matrix: samples instance pairs and machines and returns the fraction of
 /// (pair, machine) samples whose latency order disagrees with the

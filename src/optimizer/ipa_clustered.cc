@@ -6,6 +6,7 @@
 #include "common/logging.h"
 #include "common/stopwatch.h"
 #include "optimizer/fuxi.h"  // InstanceCapacity / ResolveAlpha
+#include "optimizer/ipa.h"   // BuildBplMatrix
 
 namespace fgro {
 
@@ -44,25 +45,22 @@ ClusteredIpaResult IpaClusteredSchedule(const SchedulingContext& context) {
     }
   }
 
-  // Reduced latency matrix over representatives.
-  std::vector<std::vector<double>> L(
-      static_cast<size_t>(mc), std::vector<double>(static_cast<size_t>(nc)));
+  // Reduced latency matrix over representatives (one PredictBatch in the
+  // default batched mode; see BuildBplMatrix).
+  std::vector<int> instance_rows(static_cast<size_t>(mc));
+  std::vector<int> machine_cols(static_cast<size_t>(nc));
   for (int i = 0; i < mc; ++i) {
-    if (context.deadline.expired()) {
-      decision.solve_seconds = timer.ElapsedSeconds();
-      return result;
-    }
-    Result<LatencyModel::EmbeddedInstance> embedded = context.model->Embed(
-        stage, inst_clusters[static_cast<size_t>(i)].representative);
-    if (!embedded.ok()) return result;
-    for (int j = 0; j < nc; ++j) {
-      const Machine& machine =
-          cluster.machine(mach_clusters[static_cast<size_t>(j)].representative);
-      L[static_cast<size_t>(i)][static_cast<size_t>(j)] =
-          context.model->PredictFromEmbedding(embedded.value(), context.theta0,
-                                              machine.state(),
-                                              machine.hardware().id);
-    }
+    instance_rows[static_cast<size_t>(i)] =
+        inst_clusters[static_cast<size_t>(i)].representative;
+  }
+  for (int j = 0; j < nc; ++j) {
+    machine_cols[static_cast<size_t>(j)] =
+        mach_clusters[static_cast<size_t>(j)].representative;
+  }
+  std::vector<std::vector<double>> L;
+  if (!BuildBplMatrix(context, instance_rows, machine_cols, &L)) {
+    decision.solve_seconds = timer.ElapsedSeconds();
+    return result;
   }
 
   // Remaining-instance cursors: instances in each cluster are sorted by

@@ -55,6 +55,13 @@ struct BaselineProblem {
     return plan_b() ? mc : 2 * mc;
   }
 
+  /// Batched-inference scratch, reused across the many Evaluate calls an
+  /// evolutionary run makes (mutable: Evaluate is logically const and the
+  /// solvers drive it from one thread).
+  mutable LatencyModel::BatchScratch batch_scratch;
+  mutable std::vector<LatencyModel::PredictionQuery> batch_queries;
+  mutable std::vector<double> batch_lats;
+
   /// Decodes a genome into per-cluster (machine cluster, theta index).
   void Decode(const Vec& genome, std::vector<int>* mach_of_cluster,
               std::vector<int>* theta_of_cluster) const {
@@ -90,6 +97,28 @@ struct BaselineProblem {
     std::vector<double> used_mem(static_cast<size_t>(nc), 0.0);
     std::vector<long> used_slots(static_cast<size_t>(nc), 0);
 
+    // One PredictBatch per genome covers every cluster's latency; the
+    // accumulation loop below is unchanged, so batched and scalar genomes
+    // evaluate bit-identically.
+    const bool batched = context->batched_inference;
+    if (batched) {
+      batch_queries.clear();
+      batch_queries.reserve(static_cast<size_t>(mc));
+      for (int i = 0; i < mc; ++i) {
+        int j = mach_of_cluster[static_cast<size_t>(i)];
+        const Machine& machine = context->cluster->machine(
+            mach_clusters[static_cast<size_t>(j)].representative);
+        batch_queries.push_back(LatencyModel::PredictionQuery{
+            &embeddings[static_cast<size_t>(i)],
+            {grid[static_cast<size_t>(
+                 theta_of_cluster[static_cast<size_t>(i)])],
+             machine.state(), machine.hardware().id}});
+      }
+      batch_lats.resize(static_cast<size_t>(mc));
+      context->model->PredictBatch(batch_queries, batch_lats.data(),
+                                   &batch_scratch, context->memo);
+    }
+
     MooEvaluation eval;
     double latency = 0.0, cost = 0.0;
     for (int i = 0; i < mc; ++i) {
@@ -105,9 +134,11 @@ struct BaselineProblem {
 
       const Machine& machine = context->cluster->machine(
           mach_clusters[static_cast<size_t>(j)].representative);
-      double lat = context->model->PredictFromEmbedding(
-          embeddings[static_cast<size_t>(i)], theta, machine.state(),
-          machine.hardware().id);
+      double lat =
+          batched ? batch_lats[static_cast<size_t>(i)]
+                  : context->model->PredictFromEmbedding(
+                        embeddings[static_cast<size_t>(i)], theta,
+                        machine.state(), machine.hardware().id);
       latency = std::max(latency, lat);
       cost += lat * context->cost_weights.Rate(theta) * size;
     }

@@ -1,6 +1,7 @@
 #include "optimizer/raa.h"
 
 #include <algorithm>
+#include <atomic>
 #include <map>
 #include <tuple>
 
@@ -8,6 +9,7 @@
 #include "common/logging.h"
 #include "common/math_utils.h"
 #include "common/stopwatch.h"
+#include "common/thread_pool.h"
 #include "featurize/discretize.h"
 #include "hbo/hbo.h"
 #include "moo/progressive_frontier.h"
@@ -158,22 +160,35 @@ RaaResult RunRaa(const SchedulingContext& context,
         placement.machine_of_instance[static_cast<size_t>(i)])]++;
   }
 
-  // Instance-level MOO per group, on the representative's machine. Along
-  // the way, accumulate the predicted objectives of keeping HBO's default
-  // theta0 everywhere: the incumbent operating point the recommendation
-  // should dominate.
+  // Instance-level MOO per group, on the representative's machine. Group
+  // frontiers are independent, so they are constructed in a (possibly
+  // parallel) fan into per-group slots and merged sequentially in group
+  // order below — the incumbent accumulation (default_latency/default_cost)
+  // therefore sees the exact FP operation order of the original serial
+  // loop, and the result is byte-identical at any thread count.
   InstanceMooSolver solver(context.cost_weights);
-  std::vector<std::vector<InstanceParetoPoint>> pareto_sets;
-  std::vector<double> multiplicity;
-  double default_latency = 0.0, default_cost = 0.0;
-  pareto_sets.reserve(groups.size());
-  for (const FastMciGroup& group : groups) {
+  const int ng = static_cast<int>(groups.size());
+  struct GroupFrontier {
+    bool ok = false;
+    bool expired = false;
+    std::vector<InstanceParetoPoint> frontier;
+    double lat0 = 0.0;  // predicted latency of keeping theta0
+  };
+  std::vector<GroupFrontier> slots(static_cast<size_t>(ng));
+  std::atomic<bool> any_abort{false};
+  ParallelFor(context.worker_pool, ng, [&](int gi) {
+    GroupFrontier& slot = slots[static_cast<size_t>(gi)];
+    // Best-effort early-out: once any group aborted, the whole RAA attempt
+    // is discarded, so remaining groups skip their model bill.
+    if (any_abort.load(std::memory_order_relaxed)) return;
     // Deadline check per group frontier: RAA aborts with ok=false and the
     // ladder keeps the (valid) placement on theta0.
     if (context.deadline.expired()) {
-      result.solve_seconds = timer.ElapsedSeconds();
-      return result;
+      slot.expired = true;
+      any_abort.store(true, std::memory_order_relaxed);
+      return;
     }
+    const FastMciGroup& group = groups[static_cast<size_t>(gi)];
     const Machine& machine = cluster.machine(group.representative_machine);
     const double share =
         static_cast<double>(coresidents[static_cast<size_t>(
@@ -202,21 +217,61 @@ RaaResult RunRaa(const SchedulingContext& context,
 
     Result<LatencyModel::EmbeddedInstance> embedded =
         context.model->Embed(stage, group.representative);
-    if (!embedded.ok()) return result;
-    auto predict = [&](const ResourceConfig& theta) {
-      return context.model->PredictFromEmbedding(
-          embedded.value(), theta, machine.state(), machine.hardware().id);
-    };
-    std::vector<InstanceParetoPoint> frontier =
-        solver.SolveExhaustive(predict, grid);
-    if (frontier.empty()) return result;
-    pareto_sets.push_back(std::move(frontier));
-    multiplicity.push_back(static_cast<double>(group.instances.size()));
+    if (!embedded.ok()) {
+      any_abort.store(true, std::memory_order_relaxed);
+      return;
+    }
+    if (context.batched_inference) {
+      // One PredictBatch over the grid plus theta0 (appended as the last
+      // candidate, matching the scalar path's evaluate-grid-then-theta0
+      // order per value).
+      std::vector<LatencyModel::PredictionCandidate> candidates;
+      candidates.reserve(grid.size() + 1);
+      for (const ResourceConfig& theta : grid) {
+        candidates.push_back(
+            {theta, machine.state(), machine.hardware().id});
+      }
+      candidates.push_back(
+          {context.theta0, machine.state(), machine.hardware().id});
+      std::vector<double> lats(candidates.size());
+      LatencyModel::BatchScratch scratch;
+      context.model->PredictBatch(embedded.value(), candidates, lats.data(),
+                                  &scratch, context.memo);
+      slot.frontier = solver.SolveExhaustive(lats.data(), grid);
+      slot.lat0 = lats.back();
+    } else {
+      auto predict = [&](const ResourceConfig& theta) {
+        return context.model->PredictFromEmbedding(
+            embedded.value(), theta, machine.state(), machine.hardware().id);
+      };
+      slot.frontier = solver.SolveExhaustive(predict, grid);
+      slot.lat0 = predict(context.theta0);
+    }
+    if (slot.frontier.empty()) {
+      any_abort.store(true, std::memory_order_relaxed);
+      return;
+    }
+    slot.ok = true;
+  });
 
-    double lat0 = predict(context.theta0);
-    default_latency = std::max(default_latency, lat0);
-    default_cost += lat0 * context.cost_weights.Rate(context.theta0) *
-                    static_cast<double>(group.instances.size());
+  // Deterministic merge in group order.
+  std::vector<std::vector<InstanceParetoPoint>> pareto_sets;
+  std::vector<double> multiplicity;
+  double default_latency = 0.0, default_cost = 0.0;
+  pareto_sets.reserve(slots.size());
+  for (GroupFrontier& slot : slots) {
+    if (slot.expired) {
+      result.solve_seconds = timer.ElapsedSeconds();
+      return result;
+    }
+    if (!slot.ok) return result;
+    const size_t gi = pareto_sets.size();
+    pareto_sets.push_back(std::move(slot.frontier));
+    multiplicity.push_back(
+        static_cast<double>(groups[gi].instances.size()));
+    default_latency = std::max(default_latency, slot.lat0);
+    default_cost += slot.lat0 * context.cost_weights.Rate(context.theta0) *
+                    static_cast<double>(groups[gi].instances.size());
   }
 
   // Stage-level hierarchical MOO.

@@ -12,6 +12,8 @@
 
 namespace fgro {
 
+class ThreadPool;
+
 /// Everything a scheduler needs to decide one stage: the stage itself, the
 /// current cluster view, the fine-grained model (null for the model-free
 /// Fuxi baseline), and HBO's default resource plan theta0.
@@ -54,6 +56,23 @@ struct SchedulingContext {
   /// Span id the scheduler should parent its decision span under (-1 =
   /// root). Set by the simulator's per-stage span.
   int trace_parent = -1;
+  /// Batched-inference switch. When true (default) IPA/clustered-IPA/RAA
+  /// and the MOO baselines issue PredictBatch sweeps over the model; when
+  /// false they run the original scalar PredictFromEmbedding loops, kept
+  /// alive as the bench baseline and the determinism-test oracle. Both
+  /// paths are bit-identical by construction, so this flag can never change
+  /// a decision — only its cost.
+  bool batched_inference = true;
+  /// Optional prediction memo shared across stages (caller-owned, thread-
+  /// safe; must be cleared whenever the model is retrained). Null = no
+  /// memoization. Hits return exactly the value the model would compute,
+  /// so replays stay byte-identical whatever the hit pattern.
+  PredictionMemo* memo = nullptr;
+  /// Optional worker pool for RAA's per-group frontier fan-out
+  /// (caller-owned). Null = serial. Per-group results land in per-group
+  /// slots and merge in group order, so the outcome is byte-identical
+  /// across any thread count.
+  ThreadPool* worker_pool = nullptr;
 };
 
 /// How far down the degradation ladder a decision came from.

@@ -174,6 +174,9 @@ Status ReplayJobInState(const Workload& workload, const LatencyModel* model,
       context.ro_time_limit_seconds = options.ro_time_limit_seconds;
       context.obs = options.obs;
       context.trace_parent = stage_span.id();
+      context.batched_inference = options.batched_inference;
+      context.memo = options.memo;
+      context.worker_pool = options.worker_pool;
 
       StageOutcome outcome;
       outcome.job_idx = job_idx;

@@ -62,6 +62,17 @@ struct SimOptions {
   /// determinism guarantee), and both registry and tracer are internally
   /// synchronized so concurrent service workers may share them.
   obs::Obs obs;
+  /// Batched inference for the optimizer hot path (forwarded to
+  /// SchedulingContext::batched_inference). On by default; replays are
+  /// bit-identical either way, so flipping this only changes wall-clock.
+  bool batched_inference = true;
+  /// Optional prediction memo shared across stages (caller-owned; clear it
+  /// whenever the model is retrained). Null = no memoization.
+  PredictionMemo* memo = nullptr;
+  /// Optional worker pool for the optimizer's parallel fan-outs (RAA group
+  /// frontiers, per-instance embedding; caller-owned). Null = serial.
+  /// Deterministic merge keeps replays byte-identical across thread counts.
+  ThreadPool* worker_pool = nullptr;
   uint64_t seed = 5;
 };
 

@@ -6,6 +6,8 @@
 
 #include <memory>
 
+#include "common/thread_pool.h"
+#include "model/prediction_cache.h"
 #include "moo/nsga2.h"
 #include "moo/weighted_sum.h"
 #include "obs/obs.h"
@@ -270,6 +272,65 @@ TEST(DeterminismTest, MetricsEnabledReplayIsByteIdenticalAcrossThreads) {
   EXPECT_EQ(seq_snap.counters.at("so.decisions"),
             par_snap.counters.at("so.decisions"));
   EXPECT_GT(seq_snap.histograms.at("svc.service_seconds").count, 0u);
+}
+
+TEST(DeterminismTest, BatchedParallelReplayMatchesScalarSequential) {
+  // The batched-inference engine's contract: flipping batched_inference,
+  // attaching a prediction memo, and fanning RAA across a worker pool must
+  // never change a decision — only wall-clock. A full replay through the
+  // IPA+RAA path must be byte-identical in every mode.
+  ExperimentEnv::Options options;
+  options.workload = WorkloadId::kA;
+  options.scale = 0.03;
+  options.train.epochs = 1;
+  options.train.max_train_samples = 800;
+  Result<std::unique_ptr<ExperimentEnv>> env = ExperimentEnv::Build(options);
+  ASSERT_TRUE(env.ok()) << env.status().ToString();
+
+  auto run_with = [&](bool batched, PredictionMemo* memo, ThreadPool* pool) {
+    SimOptions sim_options;
+    sim_options.outcome = OutcomeMode::kEnvironment;
+    sim_options.seed = 13;
+    sim_options.batched_inference = batched;
+    sim_options.memo = memo;
+    sim_options.worker_pool = pool;
+    Simulator sim(&(*env)->workload(), &(*env)->model(), sim_options);
+    StageOptimizer optimizer(StageOptimizer::IpaRaaPathWithFallback());
+    Result<SimResult> result = sim.Run(
+        [&](const SchedulingContext& c) { return optimizer.Optimize(c); });
+    EXPECT_TRUE(result.ok()) << result.status().ToString();
+    return std::move(result).value();
+  };
+
+  const SimResult scalar = run_with(false, nullptr, nullptr);
+  const SimResult batched = run_with(true, nullptr, nullptr);
+  ThreadPool pool(4);
+  PredictionMemo memo;
+  const SimResult parallel_memoized = run_with(true, &memo, &pool);
+  // A second pass through the warm memo must still match (hits are exact).
+  const SimResult warm_memo = run_with(true, &memo, &pool);
+  EXPECT_GT(memo.hits(), 0u);
+
+  auto expect_same = [](const SimResult& a, const SimResult& b) {
+    ASSERT_EQ(a.outcomes.size(), b.outcomes.size());
+    for (size_t i = 0; i < a.outcomes.size(); ++i) {
+      const StageOutcome& x = a.outcomes[i];
+      const StageOutcome& y = b.outcomes[i];
+      EXPECT_EQ(x.job_idx, y.job_idx);
+      EXPECT_EQ(x.stage_idx, y.stage_idx);
+      EXPECT_EQ(x.feasible, y.feasible);
+      EXPECT_EQ(x.num_instances, y.num_instances);
+      EXPECT_EQ(x.fallback, y.fallback);
+      // Byte-identical, not approximately equal: the batched GEMM keeps
+      // every accumulation order, so EXPECT_EQ on doubles is the contract.
+      EXPECT_EQ(x.stage_latency, y.stage_latency);
+      EXPECT_EQ(x.stage_cost, y.stage_cost);
+      EXPECT_EQ(x.default_theta_cores, y.default_theta_cores);
+    }
+  };
+  expect_same(scalar, batched);
+  expect_same(scalar, parallel_memoized);
+  expect_same(scalar, warm_memo);
 }
 
 TEST(DeterminismTest, TrainingIsReproducible) {

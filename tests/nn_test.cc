@@ -111,6 +111,41 @@ TEST(MlpTest, GradientsMatchFiniteDifference) {
   CheckGradients(params, loss, backward);
 }
 
+TEST(LinearTest, ForwardBatchMatchesForwardPerRow) {
+  Rng rng(21);
+  Linear layer(5, 3, &rng);
+  Rng data_rng(22);
+  // 10 rows: two full 4-row GEMM blocks plus a 2-row tail.
+  Mat x;
+  x.Resize(10, 5);
+  for (double& v : x.data) v = data_rng.Normal();
+  Mat y;
+  layer.ForwardBatch(x, &y);
+  ASSERT_EQ(y.rows, 10);
+  ASSERT_EQ(y.cols, 3);
+  for (int r = 0; r < x.rows; ++r) {
+    Vec row(x.Row(r), x.Row(r) + x.cols);
+    Vec expected = layer.Forward(row);
+    for (int c = 0; c < y.cols; ++c) {
+      // Exact: the blocked GEMM keeps each output element's accumulation
+      // order identical to the scalar path.
+      EXPECT_EQ(y.Row(r)[c], expected[static_cast<size_t>(c)])
+          << "row " << r << " col " << c;
+    }
+  }
+}
+
+TEST(LinearTest, ForwardIntoMatchesForward) {
+  Rng rng(23);
+  Linear layer(4, 4, &rng);
+  Vec x = {0.3, -1.1, 2.2, 0.0};
+  Vec expected = layer.Forward(x);
+  Vec out;
+  layer.ForwardInto(x, &out);
+  ASSERT_EQ(out.size(), expected.size());
+  for (size_t i = 0; i < out.size(); ++i) EXPECT_EQ(out[i], expected[i]);
+}
+
 TEST(MlpTest, CachedAndUncachedForwardAgree) {
   Rng rng(5);
   Mlp mlp({4, 8, 2}, &rng);
