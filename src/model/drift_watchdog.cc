@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <string>
 
 #include "common/math_utils.h"
 
@@ -47,6 +48,24 @@ void DriftWatchdog::Observe(int hardware_type, double predicted,
     cursor_[bucket] = (cursor_[bucket] + 1) % window.size();
   }
   UpdateAlarm();
+  if (!obs_median_.empty()) {
+    obs_median_[bucket]->Set(MedianQError(static_cast<int>(bucket)));
+    obs_worst_median_->Set(WorstMedianQError());
+  }
+}
+
+void DriftWatchdog::set_obs(const obs::Obs& obs) {
+  if (obs.metrics == nullptr || !options_.enabled) return;
+  obs_median_.resize(windows_.size());
+  for (size_t b = 0; b + 1 < windows_.size(); ++b) {
+    obs_median_[b] = obs.metrics->GetGauge("drift.median_qerror.hw" +
+                                           std::to_string(b));
+  }
+  obs_median_.back() = obs.metrics->GetGauge("drift.median_qerror.other");
+  obs_worst_median_ = obs.metrics->GetGauge("drift.worst_median_qerror");
+  obs_alarmed_ = obs.metrics->GetGauge("drift.alarmed");
+  obs_alarms_raised_ = obs.metrics->GetCounter("drift.alarms_raised");
+  obs_recoveries_ = obs.metrics->GetCounter("drift.recoveries");
 }
 
 double DriftWatchdog::MedianQError(int hardware_type) const {
@@ -75,9 +94,18 @@ void DriftWatchdog::UpdateAlarm() {
     if (worst >= options_.alarm_qerror) {
       alarmed_ = true;
       ++alarms_raised_;
+      if (obs_alarms_raised_ != nullptr) {
+        obs_alarms_raised_->Increment();
+        obs_alarmed_->Set(1.0);
+      }
     }
   } else if (worst < options_.recover_qerror) {
     alarmed_ = false;
+    ++recoveries_;
+    if (obs_recoveries_ != nullptr) {
+      obs_recoveries_->Increment();
+      obs_alarmed_->Set(0.0);
+    }
   }
 }
 

@@ -4,6 +4,8 @@
 #include <cstddef>
 #include <vector>
 
+#include "obs/obs.h"
+
 namespace fgro {
 
 /// Knobs for the online drift watchdog. Q-error = max(pred/actual,
@@ -46,6 +48,17 @@ class DriftWatchdog {
   /// Number of clear -> alarmed transitions so far.
   int alarms_raised() const { return alarms_raised_; }
 
+  /// Number of alarmed -> clear transitions so far.
+  int recoveries() const { return recoveries_; }
+
+  /// Wires the watchdog into the metrics registry: per-hardware-type
+  /// rolling-median gauges (`drift.median_qerror.hw<k>`, plus `.other` for
+  /// the catch-all bucket), `drift.worst_median_qerror`, the
+  /// `drift.alarmed` gauge, and the `drift.alarms_raised` /
+  /// `drift.recoveries` counters. Export-only: the watchdog never reads a
+  /// metric back, so instrumented replays stay byte-identical.
+  void set_obs(const obs::Obs& obs);
+
   /// Worst per-hardware-type median q-error over windows with enough
   /// samples; 1.0 when nothing qualifies yet.
   double WorstMedianQError() const;
@@ -65,6 +78,14 @@ class DriftWatchdog {
   std::vector<std::size_t> cursor_;
   bool alarmed_ = false;
   int alarms_raised_ = 0;
+  int recoveries_ = 0;
+
+  // Pre-resolved obs handles, null when not wired.
+  std::vector<obs::Gauge*> obs_median_;  // one per bucket
+  obs::Gauge* obs_worst_median_ = nullptr;
+  obs::Gauge* obs_alarmed_ = nullptr;
+  obs::Counter* obs_alarms_raised_ = nullptr;
+  obs::Counter* obs_recoveries_ = nullptr;
 };
 
 }  // namespace fgro

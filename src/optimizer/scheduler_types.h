@@ -73,6 +73,16 @@ struct SchedulingContext {
   /// slots and merge in group order, so the outcome is byte-identical
   /// across any thread count.
   ThreadPool* worker_pool = nullptr;
+  /// Decision epoch the caller is solving under (reconfiguration): stamped
+  /// onto the StageDecision so the dispatcher can drop decisions superseded
+  /// by a drift alarm or machine transition that bumped the epoch after the
+  /// solve started. 0 when reconfiguration is off.
+  long epoch = 0;
+  /// Optional partial re-entry (reconfiguration): solve only these instance
+  /// indices of `stage` (ascending, caller-owned). StageOptimizer builds a
+  /// reduced stage view and returns a decision sized to the subset, row r
+  /// deciding instance (*instance_subset)[r]. Null (default) = whole stage.
+  const std::vector<int>* instance_subset = nullptr;
 };
 
 /// How far down the degradation ladder a decision came from.
@@ -99,6 +109,10 @@ struct StageDecision {
   std::vector<ResourceConfig> theta_of_instance;
   double solve_seconds = 0.0;
   FallbackLevel fallback = FallbackLevel::kPrimary;
+  /// Epoch the decision was solved under (copied from the context). The
+  /// reconfiguration dispatcher refuses to dispatch a decision whose epoch
+  /// a trigger event has since superseded.
+  long epoch = 0;
 };
 
 /// Per-machine instance capacity under theta0:

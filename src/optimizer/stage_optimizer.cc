@@ -62,7 +62,30 @@ std::string StageOptimizer::ConfigName(const Config& config) {
 StageDecision StageOptimizer::Optimize(const SchedulingContext& context) const {
   obs::ScopedSpan decide_span(context.obs.tracer, "so.decide",
                               context.trace_parent);
-  StageDecision decision = OptimizeImpl(context, decide_span.id());
+  StageDecision decision;
+  const std::vector<int>* subset = context.instance_subset;
+  if (subset != nullptr && !subset->empty() && context.stage != nullptr &&
+      static_cast<int>(subset->size()) < context.stage->instance_count()) {
+    // Partial re-entry (reconfiguration): solve a reduced stage holding only
+    // the requested instances. Row r of the decision maps to instance
+    // (*subset)[r] of the original stage — the caller owns that mapping.
+    // The prediction memo keys on instance index within the stage, which a
+    // reduced view renumbers, so it must not see these queries.
+    Stage reduced = *context.stage;
+    reduced.instances.clear();
+    reduced.instances.reserve(subset->size());
+    for (int idx : *subset) {
+      reduced.instances.push_back(context.stage->instances[idx]);
+    }
+    SchedulingContext partial = context;
+    partial.stage = &reduced;
+    partial.instance_subset = nullptr;
+    partial.memo = nullptr;
+    decision = OptimizeImpl(partial, decide_span.id());
+  } else {
+    decision = OptimizeImpl(context, decide_span.id());
+  }
+  decision.epoch = context.epoch;
   if (obs::MetricsRegistry* metrics = context.obs.metrics) {
     metrics->GetCounter("so.decisions")->Increment();
     metrics

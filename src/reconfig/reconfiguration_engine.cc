@@ -1,0 +1,214 @@
+#include "reconfig/reconfiguration_engine.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/rng.h"
+
+namespace fgro {
+
+ReconfigurationEngine::ReconfigurationEngine(const ReconfigOptions& options,
+                                             const LatencyModel* base_model,
+                                             const Workload* workload,
+                                             uint64_t stream_seed,
+                                             const obs::Obs& obs)
+    : options_(options), base_model_(base_model), seed_(stream_seed),
+      obs_(obs) {
+  options_.dispatch_hazard_seconds =
+      std::max(0.0, options_.dispatch_hazard_seconds);
+  options_.max_replans_per_stage = std::max(0, options_.max_replans_per_stage);
+  options_.max_migrations_per_stage =
+      std::max(0, options_.max_migrations_per_stage);
+  options_.replay_buffer_capacity =
+      std::max(1, options_.replay_buffer_capacity);
+  options_.fine_tune_min_samples = std::max(1, options_.fine_tune_min_samples);
+  buffer_.workload = workload;
+  buffer_.records.reserve(
+      static_cast<std::size_t>(options_.replay_buffer_capacity));
+  if (obs_.metrics != nullptr) {
+    obs_epoch_bumps_ = obs_.metrics->GetCounter("reconfig.epoch_bumps");
+    obs_replans_ = obs_.metrics->GetCounter("reconfig.replans");
+    obs_replan_failures_ =
+        obs_.metrics->GetCounter("reconfig.replan_failures");
+    obs_stale_drops_ = obs_.metrics->GetCounter("reconfig.stale_drops");
+    obs_migrations_ = obs_.metrics->GetCounter("reconfig.migrations");
+    obs_migration_wins_ =
+        obs_.metrics->GetCounter("reconfig.migration_wins");
+    obs_fine_tunes_ = obs_.metrics->GetCounter("reconfig.fine_tunes");
+    obs_observations_ = obs_.metrics->GetCounter("reconfig.observations");
+  }
+}
+
+long ReconfigurationEngine::BumpEpoch() {
+  ++epoch_;
+  ++stats_.epoch_bumps;
+  if (obs_epoch_bumps_ != nullptr) obs_epoch_bumps_->Increment();
+  return epoch_;
+}
+
+bool ReconfigurationEngine::NoteMachineLiveness(Cluster* cluster,
+                                                const MachineUpFn& machine_up,
+                                                double now) {
+  const std::size_t n = static_cast<std::size_t>(cluster->size());
+  const bool first = machine_up_.empty();
+  if (first) machine_up_.assign(n, 1);
+  bool transition = false;
+  for (std::size_t i = 0; i < n; ++i) {
+    const bool up = machine_up(static_cast<int>(i), now);
+    if (!first && (machine_up_[i] != 0) != up) transition = true;
+    machine_up_[i] = up ? 1 : 0;
+    cluster->machine(static_cast<int>(i)).SetUp(up);
+  }
+  if (transition && options_.replan_on_machine_event) BumpEpoch();
+  return transition;
+}
+
+bool ReconfigurationEngine::NoteDriftAlarms(long alarms_raised) {
+  if (alarms_raised <= last_alarms_seen_) return false;
+  last_alarms_seen_ = alarms_raised;
+  // A fresh alarm means the model drifted (again): any trust bought by an
+  // earlier fine-tune is void.
+  trust_until_observation_ = -1;
+  if (options_.replan_on_drift_alarm) BumpEpoch();
+  return true;
+}
+
+void ReconfigurationEngine::RecordObservation(
+    int job_idx, int stage_idx, const Stage& stage, int instance_idx,
+    const ResourceConfig& theta, const Machine& machine,
+    double actual_latency) {
+  ++stats_.observations;
+  if (obs_observations_ != nullptr) obs_observations_->Increment();
+  if (!options_.online_model_update) return;
+  if (!(actual_latency > 0.0)) return;  // log-latency target needs > 0
+
+  InstanceRecord record;
+  record.job_idx = job_idx;
+  record.stage_idx = stage_idx;
+  record.instance_idx = instance_idx;
+  record.template_id = stage.template_id;
+  record.theta = theta;
+  record.machine_id = machine.id();
+  record.hardware_type = machine.hardware().id;
+  record.machine_state = machine.state();
+  record.actual_latency = actual_latency;
+
+  const std::size_t cap =
+      static_cast<std::size_t>(options_.replay_buffer_capacity);
+  if (buffer_.records.size() < cap) {
+    buffer_.records.push_back(std::move(record));
+  } else {
+    buffer_.records[buffer_cursor_] = std::move(record);
+    buffer_cursor_ = (buffer_cursor_ + 1) % cap;
+  }
+}
+
+bool ReconfigurationEngine::MaybeFineTune() {
+  if (!options_.online_model_update || base_model_ == nullptr ||
+      !base_model_->trained()) {
+    return false;
+  }
+  const int n = static_cast<int>(buffer_.records.size());
+  if (n < options_.fine_tune_min_samples) return false;
+  if (stats_.fine_tunes >= options_.max_fine_tunes) return false;
+  if (last_tune_observation_ >= 0 &&
+      stats_.observations - last_tune_observation_ <
+          options_.fine_tune_cooldown_observations) {
+    return false;
+  }
+
+  obs::ScopedSpan span(obs_.tracer, "reconfig.fine_tune");
+  if (tuned_ == nullptr) {
+    tuned_ = std::make_unique<LatencyModel>(*base_model_);
+  }
+  std::vector<int> indices(static_cast<std::size_t>(n));
+  std::iota(indices.begin(), indices.end(), 0);
+  TrainOptions tune;
+  tune.epochs = options_.fine_tune_epochs;
+  tune.batch_size = options_.fine_tune_batch;
+  tune.lr = options_.fine_tune_lr;
+  tune.lr_decay = 1.0;
+  tune.max_train_samples = n;
+  tune.seed =
+      MixSeed(seed_, 0xF17EULL + static_cast<uint64_t>(stats_.fine_tunes));
+  if (!tuned_->FineTune(buffer_, indices, tune).ok()) return false;
+
+  ++stats_.fine_tunes;
+  if (obs_fine_tunes_ != nullptr) obs_fine_tunes_->Increment();
+  last_tune_observation_ = stats_.observations;
+  trust_until_observation_ =
+      stats_.observations + options_.post_tune_trust_observations;
+  return true;
+}
+
+int ReconfigurationEngine::PickMigrationTarget(
+    const Cluster& cluster, const MachineUpFn& machine_up, const Stage& stage,
+    int instance_idx, const ResourceConfig& theta, double now,
+    int current_machine) const {
+  const LatencyModel* model = active_model();
+  if (model == nullptr || !model->trained()) return -1;
+  Result<LatencyModel::EmbeddedInstance> embedded =
+      model->Embed(stage, instance_idx);
+  if (!embedded.ok()) return -1;
+
+  // The current machine is a candidate too: a straggler is attempt-level
+  // interference, not a property of the machine, so a fresh container on
+  // the same host (the killed run's slot frees up) is a legitimate rescue
+  // when no other machine predicts better. It needs no CanFit check — it
+  // inherits the killed run's allocation.
+  std::vector<LatencyModel::PredictionCandidate> candidates;
+  std::vector<int> ids;
+  const bool current_up = machine_up(current_machine, now);
+  if (current_up) {
+    const Machine& current = cluster.machine(current_machine);
+    candidates.push_back({theta, current.state(), current.hardware().id});
+    ids.push_back(current_machine);
+  }
+  for (const Machine& m : cluster.machines()) {
+    if (m.id() == current_machine) continue;
+    if (!machine_up(m.id(), now)) continue;
+    if (!m.CanFit(theta)) continue;
+    candidates.push_back({theta, m.state(), m.hardware().id});
+    ids.push_back(m.id());
+  }
+  if (candidates.empty()) return -1;
+
+  std::vector<double> predicted(candidates.size());
+  LatencyModel::BatchScratch scratch;
+  model->PredictBatch(embedded.value(), candidates, predicted.data(),
+                      &scratch);
+  // Lowest prediction wins; the current machine is listed first, so on a
+  // tie the rescue stays put (no pointless move).
+  int best = -1;
+  double best_pred = 0.0;
+  for (std::size_t i = 0; i < predicted.size(); ++i) {
+    if (best < 0 || predicted[i] < best_pred) {
+      best_pred = predicted[i];
+      best = ids[i];
+    }
+  }
+  return best;
+}
+
+void ReconfigurationEngine::CountStaleDrop() {
+  ++stats_.stale_decision_drops;
+  if (obs_stale_drops_ != nullptr) obs_stale_drops_->Increment();
+}
+void ReconfigurationEngine::CountReplan() {
+  ++stats_.replans;
+  if (obs_replans_ != nullptr) obs_replans_->Increment();
+}
+void ReconfigurationEngine::CountReplanFailure() {
+  ++stats_.replan_failures;
+  if (obs_replan_failures_ != nullptr) obs_replan_failures_->Increment();
+}
+void ReconfigurationEngine::CountMigration() {
+  ++stats_.migrations;
+  if (obs_migrations_ != nullptr) obs_migrations_->Increment();
+}
+void ReconfigurationEngine::CountMigrationWin() {
+  ++stats_.migration_wins;
+  if (obs_migration_wins_ != nullptr) obs_migration_wins_->Increment();
+}
+
+}  // namespace fgro

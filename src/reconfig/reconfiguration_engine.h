@@ -1,0 +1,219 @@
+#ifndef FGRO_RECONFIG_RECONFIGURATION_ENGINE_H_
+#define FGRO_RECONFIG_RECONFIGURATION_ENGINE_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "model/latency_model.h"
+#include "obs/obs.h"
+#include "trace/trace_collector.h"
+
+namespace fgro {
+
+/// Knobs for online reconfiguration of in-flight work. Disabled (the
+/// default) the simulator replays exactly as before — the engine is never
+/// constructed and no code path changes. Enabled, the replay loop repairs
+/// running stages instead of only riding the degradation ladder down:
+/// re-planning not-yet-dispatched instances when a drift alarm or a machine
+/// up/down transition supersedes the current decision epoch, migrating
+/// stragglers to healthier machines, and fine-tuning the latency model on
+/// the replay's own observations so the watchdog re-promotes early.
+struct ReconfigOptions {
+  bool enabled = false;
+
+  /// Re-plan remaining instances when the DriftWatchdog raises an alarm
+  /// mid-stage (only after a successful fine-tune repaired the model —
+  /// re-planning with a model that just proved untrustworthy is pointless).
+  bool replan_on_drift_alarm = true;
+
+  /// Re-plan remaining instances when a machine they are assigned to goes
+  /// down, and drop decisions whose epoch was superseded by a machine
+  /// transition inside the dispatch hazard window.
+  bool replan_on_machine_event = true;
+
+  /// Sim-time window after a decision within which a crash of an assigned
+  /// machine supersedes the decision's epoch (the decision is dropped
+  /// undispatched and re-solved against the projected liveness). Fixed in
+  /// sim time — never wall clock — so replays stay deterministic.
+  double dispatch_hazard_seconds = 1.0;
+
+  /// Cap on mid-stage re-plans per stage (each one is a fresh partial
+  /// IPA/RAA solve; the cap bounds solve-time amplification under flapping).
+  int max_replans_per_stage = 2;
+
+  /// Straggler migration: an instance whose winning attempt runs longer
+  /// than `migration_threshold` x its detection anchor gets a replacement
+  /// launched on the best healthy machine at the detection point; original
+  /// and replacement race, the loser is killed when the winner finishes,
+  /// and the loser's burned runtime is wasted cost. Detection trips on
+  /// whichever anchor fires first: the active model's prediction (counted
+  /// only while the model is trustworthy — no alarm, or inside a fresh
+  /// fine-tune's trust window) or the running median of the stage's
+  /// completed runs (once 3 samples exist), so detection stays armed
+  /// mid-drift without a half-repaired model flagging every instance.
+  bool migrate_stragglers = true;
+  double migration_threshold = 2.5;
+  int max_migrations_per_stage = 4;
+
+  /// Incremental model update: successful instance runs feed a bounded
+  /// replay buffer of (features, latency) pairs; while the watchdog is
+  /// alarmed the engine fine-tunes a private copy of the model on the
+  /// buffer with a small learning rate, then trusts the repaired copy for
+  /// `post_tune_trust_observations` observations while the q-error window
+  /// catches up.
+  bool online_model_update = true;
+  int replay_buffer_capacity = 256;
+  int fine_tune_min_samples = 24;
+  /// Observations that must accrue between fine-tunes (prevents tuning on
+  /// a buffer the previous tune already saw).
+  int fine_tune_cooldown_observations = 48;
+  /// How long (in observations) a fresh fine-tune is trusted against a
+  /// still-alarmed watchdog window. If the window has not recovered by
+  /// then, the repair did not take and the ladder demotes again.
+  int post_tune_trust_observations = 96;
+  double fine_tune_lr = 3e-4;
+  int fine_tune_epochs = 2;
+  int fine_tune_batch = 16;
+  int max_fine_tunes = 16;
+
+  uint64_t seed = 1013;
+};
+
+/// Counters of one replay's reconfiguration activity (per ReplayState: per
+/// job in service mode, per run in the sequential replay).
+struct ReconfigStats {
+  long epoch_bumps = 0;
+  long replans = 0;           // partial re-plans whose result was swapped in
+  long replan_failures = 0;   // partial re-plans that came back infeasible
+  long stale_decision_drops = 0;
+  long migrations = 0;
+  long migration_wins = 0;    // migrated run beat the original's completion
+  long fine_tunes = 0;
+  long observations = 0;      // (features, latency) pairs recorded
+};
+
+/// The online reconfiguration engine: owns the decision epoch, the machine
+/// liveness view it diffs for up/down transitions, the bounded replay
+/// buffer, and the lazily cloned fine-tuned model. Deterministic by
+/// construction: every trigger derives from injector windows, watchdog
+/// state, or recorded observations — never from wall clock or shared
+/// mutable state — so replays with reconfiguration enabled stay
+/// byte-identical across thread counts under the MixSeed convention.
+///
+/// Not thread-safe; one engine per ReplayState, like the Rng.
+class ReconfigurationEngine {
+ public:
+  /// Liveness oracle: up(machine_id, sim_time). Wraps FaultInjector in the
+  /// simulator; a std::function keeps this library below sim in the layer
+  /// graph.
+  using MachineUpFn = std::function<bool(int, double)>;
+
+  ReconfigurationEngine(const ReconfigOptions& options,
+                        const LatencyModel* base_model,
+                        const Workload* workload, uint64_t stream_seed,
+                        const obs::Obs& obs);
+
+  const ReconfigOptions& options() const { return options_; }
+  const ReconfigStats& stats() const { return stats_; }
+
+  /// The model schedulers should currently use: the fine-tuned clone once
+  /// one exists, else the base model (possibly null).
+  const LatencyModel* active_model() const {
+    return tuned_ != nullptr ? tuned_.get() : base_model_;
+  }
+  bool model_tuned() const { return tuned_ != nullptr; }
+
+  /// Monotone decision epoch. A StageDecision stamped with an older epoch
+  /// than current was superseded by a trigger event and must not dispatch.
+  long current_epoch() const { return epoch_; }
+  bool DecisionIsStale(long decision_epoch) const {
+    return decision_epoch < epoch_;
+  }
+  long BumpEpoch();
+
+  /// Projects machine liveness at `now` onto the cluster (Machine::SetUp)
+  /// and diffs it against the last projection; any up/down transition bumps
+  /// the epoch (when replan_on_machine_event). Returns true on transition.
+  bool NoteMachineLiveness(Cluster* cluster, const MachineUpFn& machine_up,
+                           double now);
+
+  /// Feeds the watchdog's cumulative alarm count; a new alarm revokes trust
+  /// in any earlier fine-tune and bumps the epoch (when
+  /// replan_on_drift_alarm). Returns true on a new alarm.
+  bool NoteDriftAlarms(long alarms_raised);
+
+  /// True when the scheduler may trust the active model against an alarmed
+  /// watchdog window: a recent fine-tune bought a trust window that has not
+  /// yet expired. With no alarm the question never arises; callers combine
+  /// this with the watchdog state.
+  bool ModelTrusted() const {
+    return trust_until_observation_ >= 0 &&
+           stats_.observations < trust_until_observation_;
+  }
+
+  /// Records one successful instance run into the bounded replay buffer
+  /// (ring-replace beyond capacity) and the observation counter.
+  void RecordObservation(int job_idx, int stage_idx, const Stage& stage,
+                         int instance_idx, const ResourceConfig& theta,
+                         const Machine& machine, double actual_latency);
+
+  /// Fine-tunes the cloned model on the replay buffer when due (enough
+  /// samples, cooldown elapsed, cap not hit). Returns true when a tune ran.
+  bool MaybeFineTune();
+
+  /// Best healthy machine to re-run a straggling instance on, the current
+  /// machine included (a straggler is attempt-level interference, so a
+  /// fresh container in place is a legitimate rescue): the up machine that
+  /// fits `theta` with the lowest predicted latency. -1 only when no
+  /// healthy machine exists or the model cannot predict. Deterministic:
+  /// pure model inference over the cluster snapshot; ties keep the rescue
+  /// on the current machine, then lowest id.
+  int PickMigrationTarget(const Cluster& cluster,
+                          const MachineUpFn& machine_up, const Stage& stage,
+                          int instance_idx, const ResourceConfig& theta,
+                          double now, int current_machine) const;
+
+  // Outcome accounting, mirrored into obs counters when wired.
+  void CountStaleDrop();
+  void CountReplan();
+  void CountReplanFailure();
+  void CountMigration();
+  void CountMigrationWin();
+
+ private:
+  ReconfigOptions options_;
+  const LatencyModel* base_model_;
+  uint64_t seed_;
+  obs::Obs obs_;
+
+  long epoch_ = 0;
+  long last_alarms_seen_ = 0;
+  std::vector<char> machine_up_;  // last projected liveness; empty = unset
+
+  /// Bounded replay buffer of synthesized trace records (ring).
+  TraceDataset buffer_;
+  std::size_t buffer_cursor_ = 0;
+
+  std::unique_ptr<LatencyModel> tuned_;
+  long last_tune_observation_ = -1;
+  long trust_until_observation_ = -1;
+
+  ReconfigStats stats_;
+
+  // Pre-resolved obs handles, null when disabled.
+  obs::Counter* obs_epoch_bumps_ = nullptr;
+  obs::Counter* obs_replans_ = nullptr;
+  obs::Counter* obs_replan_failures_ = nullptr;
+  obs::Counter* obs_stale_drops_ = nullptr;
+  obs::Counter* obs_migrations_ = nullptr;
+  obs::Counter* obs_migration_wins_ = nullptr;
+  obs::Counter* obs_fine_tunes_ = nullptr;
+  obs::Counter* obs_observations_ = nullptr;
+};
+
+}  // namespace fgro
+
+#endif  // FGRO_RECONFIG_RECONFIGURATION_ENGINE_H_

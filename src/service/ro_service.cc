@@ -142,8 +142,13 @@ void RoService::ServeOne(const Request& request, WorkerLocal* local) {
     return optimizer_.Optimize(ctx);
   };
 
+  // A fully browned-out (Fuxi-level) request is being served as cheaply as
+  // possible — re-planning and model fine-tuning would defeat the point —
+  // so the reconfiguration engine is suppressed for it.
   Result<std::vector<StageOutcome>> outcomes = simulator_.ReplayJobIsolated(
-      scheduler, request.job_idx, MixSeed(base_seed_, request.job_idx));
+      scheduler, request.job_idx, MixSeed(base_seed_, request.job_idx),
+      /*keep_instance_detail=*/false,
+      /*allow_reconfig=*/level != BrownoutLevel::kFuxi);
 
   if (options_.min_service_seconds > 0.0) {
     const double elapsed = NowSeconds() - dequeue_time;

@@ -24,6 +24,11 @@ RoSummary Summarize(const SimResult& result) {
     s.breaker_recoveries += o.breaker_recovered ? 1 : 0;
     s.drift_alarms += o.drift_alarm_raised ? 1 : 0;
     s.drift_demoted_stages += o.drift_demoted ? 1 : 0;
+    s.total_replans += o.replans;
+    s.stale_decision_drops += o.stale_decision_drops;
+    s.migrations += o.migrations;
+    s.migration_wins += o.migration_wins;
+    s.fine_tunes += o.fine_tunes;
     if (!o.feasible) continue;
     ++s.feasible_stages;
     lat += o.stage_latency;

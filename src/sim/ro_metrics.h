@@ -37,6 +37,12 @@ struct RoSummary {
   long breaker_recoveries = 0;      // stages where a half-open probe closed it
   long drift_alarms = 0;            // watchdog alarm transitions
   long drift_demoted_stages = 0;    // stages degraded by an active alarm
+  /// Reconfiguration accounting (all zero with the engine off).
+  long total_replans = 0;           // mid-stage partial re-plans swapped in
+  long stale_decision_drops = 0;    // decisions dropped for superseded epoch
+  long migrations = 0;              // straggler migrations executed
+  long migration_wins = 0;          // migrations that beat the original run
+  long fine_tunes = 0;              // online model updates
   /// Concurrent-service accounting (all zero in sequential replays).
   /// Filled by RoService, not by Summarize(); the wall-clock fields
   /// (queue_wait_p95_ms, service_p95_ms, max_queue_depth) depend on thread

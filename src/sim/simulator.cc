@@ -1,6 +1,8 @@
 #include "sim/simulator.h"
 
 #include <algorithm>
+#include <memory>
+#include <numeric>
 
 #include "common/circuit_breaker.h"
 #include "common/logging.h"
@@ -48,15 +50,23 @@ int PickRetryMachine(const Cluster& cluster, const FaultInjector& injector,
 /// span jobs, exactly as before the service refactor); the concurrent
 /// service builds a fresh one per job so nothing is shared across workers.
 struct ReplayState {
-  ReplayState(const SimOptions& options, const WorkloadProfile& profile,
-              uint64_t seed)
+  ReplayState(const SimOptions& options, const Workload& workload,
+              const LatencyModel* model, uint64_t seed,
+              bool allow_reconfig = true)
       : rng(seed),
         cluster(options.cluster),
-        env(profile.env),
-        hbo(profile.hbo),
+        env(workload.profile.env),
+        hbo(workload.profile.hbo),
         injector(options.faults, cluster.size()),
         breaker(options.faults.model_breaker),
-        watchdog(options.drift_watchdog, kNumHardwareTypes) {}
+        watchdog(options.drift_watchdog, kNumHardwareTypes) {
+    watchdog.set_obs(options.obs);
+    if (options.reconfig.enabled && allow_reconfig) {
+      reconfig = std::make_unique<ReconfigurationEngine>(
+          options.reconfig, model, &workload,
+          MixSeed(seed, options.reconfig.seed), options.obs);
+    }
+  }
 
   Rng rng;
   Cluster cluster;
@@ -65,6 +75,9 @@ struct ReplayState {
   FaultInjector injector;
   CircuitBreaker breaker;
   DriftWatchdog watchdog;
+  /// Null unless SimOptions::reconfig.enabled (and the caller allowed it):
+  /// the replay then repairs in-flight work instead of only degrading.
+  std::unique_ptr<ReconfigurationEngine> reconfig;
 };
 
 /// Replays one job against `st`, appending its stage outcomes to `out`.
@@ -81,6 +94,13 @@ Status ReplayJobInState(const Workload& workload, const LatencyModel* model,
   FaultInjector& injector = st.injector;
   CircuitBreaker& breaker = st.breaker;
   DriftWatchdog& watchdog = st.watchdog;
+  ReconfigurationEngine* engine = st.reconfig.get();
+  // Liveness oracle handed to the engine (keeps fgro_reconfig below sim in
+  // the layer graph; the injector cannot be linked from there).
+  const ReconfigurationEngine::MachineUpFn up_fn = [&injector](int id,
+                                                              double t) {
+    return injector.MachineUp(id, t);
+  };
 
   const bool faults = injector.active();
   // Breaker over the model-server probe: only consulted when faults are on
@@ -130,11 +150,18 @@ Status ReplayJobInState(const Workload& workload, const LatencyModel* model,
   };
 
   // Shadow prediction for the watchdog; never fails the replay (a failed
-  // shadow predict just skips the observation).
+  // shadow predict just skips the observation). Under reconfiguration the
+  // shadow uses the engine's active (possibly fine-tuned) model — that is
+  // the whole point of the online update: the repaired model's q-error
+  // recovers and the watchdog re-promotes early. The ground-truth draw in
+  // sample_actual always stays on the base model, so the tune chases a
+  // fixed target.
   auto observe_drift = [&](const Stage& stage, int i, const Machine& machine,
                            const ResourceConfig& theta, double actual) {
-    Result<double> pred = model->Predict(stage, i, theta, machine.state(),
-                                         machine.hardware().id);
+    const LatencyModel* shadow_model =
+        engine != nullptr ? engine->active_model() : model;
+    Result<double> pred = shadow_model->Predict(
+        stage, i, theta, machine.state(), machine.hardware().id);
     if (pred.ok()) {
       watchdog.Observe(machine.hardware().id, pred.value(), actual);
     }
@@ -147,9 +174,15 @@ Status ReplayJobInState(const Workload& workload, const LatencyModel* model,
   const Job& job = workload.jobs[static_cast<size_t>(job_idx)];
   cluster.AdvanceTime(job.arrival_time);
   if (faults) {
-    // Project the crash/recovery schedule onto machine liveness.
-    for (Machine& m : cluster.machines()) {
-      m.SetUp(injector.MachineUp(m.id(), cluster.now()));
+    if (engine != nullptr) {
+      // Same liveness projection as below, but diffed against the last
+      // view: an up/down transition supersedes the decision epoch.
+      engine->NoteMachineLiveness(&cluster, up_fn, cluster.now());
+    } else {
+      // Project the crash/recovery schedule onto machine liveness.
+      for (Machine& m : cluster.machines()) {
+        m.SetUp(injector.MachineUp(m.id(), cluster.now()));
+      }
     }
   }
   StageDependencyManager deps(job);
@@ -211,16 +244,67 @@ Status ReplayJobInState(const Workload& workload, const LatencyModel* model,
           context.model_available = injector.ModelAvailable(cluster.now());
         }
       }
-      if (watchdog.enabled() && watchdog.alarmed()) {
+      // Whether the model *server* is reachable, independent of drift
+      // trust — replans must not resurrect a model the breaker took away.
+      const bool model_server_up = context.model_available;
+      const long tunes_before =
+          engine != nullptr ? engine->stats().fine_tunes : 0;
+      if (engine != nullptr) {
+        // Alarms raised since the last look supersede the epoch; an alarm
+        // is also the cue to fine-tune on the replay buffer, ideally before
+        // this stage's decision so the repaired model can serve it.
+        engine->NoteDriftAlarms(watchdog.alarms_raised());
+        if (watchdog.enabled() && watchdog.alarmed()) {
+          engine->MaybeFineTune();
+        }
+        context.model = engine->active_model();
+        if (engine->model_tuned()) {
+          // The memo caches base-model predictions; a tuned model must
+          // bypass it or replans would read stale values.
+          context.memo = nullptr;
+        }
+        context.epoch = engine->current_epoch();
+      }
+      if (watchdog.enabled() && watchdog.alarmed() &&
+          (engine == nullptr || !engine->ModelTrusted())) {
         // Drift demotion: the model is reachable but untrustworthy; the
         // ladder treats it like an outage. Shadow evaluation continues
-        // below, so the window can recover and re-promote.
+        // below, so the window can recover and re-promote. A fresh
+        // fine-tune buys a trust window that overrides the alarm until the
+        // q-error window catches up (or a new alarm revokes it).
         context.model_available = false;
         outcome.drift_demoted = true;
       }
       const long alarms_before = watchdog.alarms_raised();
 
       StageDecision decision = scheduler(context);
+      if (engine != nullptr && faults && decision.feasible &&
+          engine->options().replan_on_machine_event &&
+          engine->options().dispatch_hazard_seconds > 0.0) {
+        // Stale-decision hazard: a machine assigned by this decision
+        // crashes within the (fixed, sim-time) dispatch hazard window —
+        // the event supersedes the decision's epoch, so it is dropped
+        // undispatched and re-solved against the projected liveness.
+        const double hazard = engine->options().dispatch_hazard_seconds;
+        bool superseded = false;
+        for (int i = 0; i < stage.instance_count() && !superseded; ++i) {
+          double crash_at = 0.0;
+          superseded = injector.MachineCrashesWithin(
+              decision.machine_of_instance[static_cast<size_t>(i)],
+              cluster.now(), hazard, &crash_at);
+        }
+        if (superseded) engine->BumpEpoch();
+        if (engine->DecisionIsStale(decision.epoch)) {
+          engine->CountStaleDrop();
+          ++outcome.stale_decision_drops;
+          const double spent = decision.solve_seconds;
+          engine->NoteMachineLiveness(&cluster, up_fn,
+                                      cluster.now() + hazard);
+          context.epoch = engine->current_epoch();
+          decision = scheduler(context);
+          decision.solve_seconds += spent;
+        }
+      }
       outcome.solve_seconds = decision.solve_seconds;
       outcome.fallback = decision.fallback;
       if (metrics != nullptr) {
@@ -238,6 +322,391 @@ Status ReplayJobInState(const Workload& workload, const LatencyModel* model,
           (decision.solve_seconds <= options.ro_time_limit_seconds ||
            decision.fallback != FallbackLevel::kPrimary);
       if (!outcome.feasible) {
+        out->push_back(std::move(outcome));
+        deps.MarkCompleted(s);
+        continue;
+      }
+
+      if (engine != nullptr) {
+        // Reconfiguration dispatch: instances launch in index order and the
+        // engine may repair the not-yet-dispatched tail mid-stage. With no
+        // trigger firing this path consumes the RNG in exactly the legacy
+        // order (one draw per instance, i ascending), so reconfig-on
+        // replays without faults or drift stay byte-identical to
+        // reconfig-off ones.
+        const int m = stage.instance_count();
+        const double stage_start = cluster.now();
+        const RetryPolicy& policy = options.faults.retry;
+        std::vector<int> assign_machine = decision.machine_of_instance;
+        std::vector<ResourceConfig> assign_theta = decision.theta_of_instance;
+        std::vector<double> start_offset(static_cast<size_t>(m), 0.0);
+        // What is actually charged per slot (replans re-point the tail).
+        std::vector<int> alloc_machine = assign_machine;
+        std::vector<ResourceConfig> alloc_theta = assign_theta;
+        for (int i = 0; i < m; ++i) {
+          cluster.machine(alloc_machine[static_cast<size_t>(i)])
+              .Allocate(alloc_theta[static_cast<size_t>(i)]);
+        }
+        std::vector<InstanceRun> runs(static_cast<size_t>(m));
+        std::vector<std::pair<int, ResourceConfig>> extra_allocs;
+        double solve_total = decision.solve_seconds;
+        int replans_done = 0;
+        int migrations_done = 0;
+        // Completed (post-rescue) run durations so far this stage; the
+        // running median is the self-normalizing straggler anchor.
+        std::vector<double> completed_runs;
+        completed_runs.reserve(static_cast<size_t>(m));
+
+        for (int i = 0; i < m; ++i) {
+          const ResourceConfig theta = assign_theta[static_cast<size_t>(i)];
+          const double rate = context.cost_weights.Rate(theta);
+          InstanceRun& run = runs[static_cast<size_t>(i)];
+          run.machine = assign_machine[static_cast<size_t>(i)];
+          double t = start_offset[static_cast<size_t>(i)];
+
+          if (!faults) {
+            const Machine& machine = cluster.machine(run.machine);
+            Result<double> drawn = sample_actual(stage, i, machine, theta);
+            if (!drawn.ok()) return drawn.status();
+            run.final_run = drawn.value();
+            run.completion = t + drawn.value();
+            run.succeeded = true;
+          } else {
+            for (int attempt = 1;; ++attempt) {
+              if (!injector.MachineUp(run.machine, stage_start + t)) {
+                // Machine already down at dispatch (e.g. it crashed between
+                // a re-plan and this launch): nothing ran, nothing is
+                // wasted; route through the ordinary retry/failover path.
+                const Status failure =
+                    Status::Unavailable("machine down at dispatch");
+                if (!policy.ShouldRetry(failure, attempt)) {
+                  ++outcome.failed_instances;
+                  run.completion = t;
+                  break;
+                }
+                t += policy.BackoffSeconds(attempt);
+                ++outcome.retries;
+                int next = PickRetryMachine(cluster, injector, theta,
+                                            stage_start + t, run.machine);
+                if (next < 0) {
+                  ++outcome.failed_instances;
+                  run.completion = t;
+                  break;
+                }
+                ++outcome.failovers;
+                run.machine = next;
+                if (cluster.machine(next).Allocate(theta)) {
+                  extra_allocs.emplace_back(next, theta);
+                }
+                continue;
+              }
+              const Machine& machine = cluster.machine(run.machine);
+              Result<double> drawn = sample_actual(stage, i, machine, theta);
+              if (!drawn.ok()) return drawn.status();
+              double nominal =
+                  drawn.value() *
+                  injector.StragglerMultiplier(job_idx, s, i, attempt);
+
+              double crash_at = 0.0;
+              const bool machine_crash = injector.MachineCrashesWithin(
+                  run.machine, stage_start + t, nominal, &crash_at);
+              const bool inst_fail =
+                  injector.InstanceFails(job_idx, s, i, attempt);
+              if (!machine_crash && !inst_fail) {
+                run.final_run = nominal;
+                run.completion = t + nominal;
+                run.succeeded = true;
+                break;
+              }
+              double ran = nominal;
+              if (inst_fail) {
+                ran = injector.FailurePointFraction(job_idx, s, i, attempt) *
+                      nominal;
+              }
+              if (machine_crash) {
+                ran = std::min(ran, crash_at - (stage_start + t));
+              }
+              ran = std::max(0.0, ran);
+              outcome.wasted_cost += ran * rate;
+              const Status failure =
+                  machine_crash
+                      ? Status::Unavailable("machine crashed mid-attempt")
+                      : Status::ResourceExhausted("instance attempt failed");
+              if (!policy.ShouldRetry(failure, attempt)) {
+                ++outcome.failed_instances;
+                run.completion = t + ran;
+                break;
+              }
+              t += ran + policy.BackoffSeconds(attempt);
+              ++outcome.retries;
+              if (machine_crash ||
+                  !injector.MachineUp(run.machine, stage_start + t)) {
+                int next = PickRetryMachine(cluster, injector, theta,
+                                            stage_start + t, run.machine);
+                if (next < 0) {
+                  ++outcome.failed_instances;
+                  run.completion = t;
+                  break;
+                }
+                ++outcome.failovers;
+                run.machine = next;
+                if (cluster.machine(next).Allocate(theta)) {
+                  extra_allocs.emplace_back(next, theta);
+                }
+              }
+            }
+          }
+
+          // Straggler migration: the winning attempt ran far past a
+          // detection anchor, so at the detection point a replacement is
+          // launched on the best healthy machine and races the original;
+          // the loser is killed the moment the winner finishes and its
+          // burned runtime is wasted cost. Detection trips on whichever of
+          // two anchors fires first (the race makes over-eager trips cost
+          // only waste, while a missed trip costs stage latency):
+          //  - the active model's per-instance prediction, counted only
+          //    while the model is trustworthy (no alarm, or a fresh
+          //    fine-tune inside its trust window) — mid-drift a
+          //    half-repaired model underpredicts uniformly and would flag
+          //    every instance;
+          //  - the running median of this stage's completed runs (once 3
+          //    samples exist) — self-normalizing under regime shift, the
+          //    same property that makes speculative execution key on it,
+          //    so real stragglers are still rescued while the watchdog is
+          //    alarmed with no trusted repair.
+          if (run.succeeded && engine->options().migrate_stragglers &&
+              migrations_done < engine->options().max_migrations_per_stage) {
+            const LatencyModel* active = engine->active_model();
+            if (active != nullptr && active->trained()) {
+              const double threshold = engine->options().migration_threshold;
+              double anchor = -1.0;  // smallest anchor the run overran
+              if (completed_runs.size() >= 3) {
+                std::vector<double> sorted = completed_runs;
+                const std::size_t mid = sorted.size() / 2;
+                std::nth_element(sorted.begin(), sorted.begin() + mid,
+                                 sorted.end());
+                if (run.final_run > threshold * sorted[mid]) {
+                  anchor = sorted[mid];
+                }
+              }
+              if (!(watchdog.enabled() && watchdog.alarmed()) ||
+                  engine->ModelTrusted()) {
+                const Machine& current = cluster.machine(run.machine);
+                Result<double> pred =
+                    active->Predict(stage, i, theta, current.state(),
+                                    current.hardware().id);
+                if (pred.ok() && pred.value() > 0.0 &&
+                    run.final_run > threshold * pred.value() &&
+                    (anchor < 0.0 || pred.value() < anchor)) {
+                  anchor = pred.value();
+                }
+              }
+              if (anchor > 0.0) {
+                const double started = run.completion - run.final_run;
+                const double detect_at = started + threshold * anchor;
+                const int target = engine->PickMigrationTarget(
+                    cluster, up_fn, stage, i, theta, stage_start + detect_at,
+                    run.machine);
+                if (target >= 0) {
+                  Result<double> drawn = sample_actual(
+                      stage, i, cluster.machine(target), theta);
+                  if (!drawn.ok()) return drawn.status();
+                  // Attempt index 2000: a private straggler-fate stream for
+                  // migrated runs (speculative copies use 1000).
+                  const double mig_run =
+                      drawn.value() *
+                      injector.StragglerMultiplier(job_idx, s, i, 2000);
+                  const double mig_completion = detect_at + mig_run;
+                  ++migrations_done;
+                  engine->CountMigration();
+                  ++outcome.migrations;
+                  // The replacement occupied a real slot whichever way the
+                  // race went.
+                  if (cluster.machine(target).Allocate(theta)) {
+                    extra_allocs.emplace_back(target, theta);
+                  }
+                  // The original keeps running while the replacement races
+                  // it; the first to finish wins and the loser is killed at
+                  // that instant, its whole burned runtime charged as
+                  // waste. Killing the original at detection instead would
+                  // gamble the stage tail on the replacement not
+                  // re-straggling — a lost race must never make the stage
+                  // slower than doing nothing.
+                  if (mig_completion < run.completion) {
+                    engine->CountMigrationWin();
+                    ++outcome.migration_wins;
+                    outcome.wasted_cost +=
+                        std::max(0.0, mig_completion - started) * rate;
+                    run.machine = target;
+                    run.final_run = mig_run;
+                    run.completion = mig_completion;
+                  } else {
+                    outcome.wasted_cost +=
+                        std::max(0.0, run.completion - detect_at) * rate;
+                  }
+                }
+              }
+            }
+          }
+
+          if (run.succeeded) {
+            completed_runs.push_back(run.final_run);
+            const Machine& machine = cluster.machine(run.machine);
+            if (shadow) {
+              observe_drift(stage, i, machine, theta, run.final_run);
+            }
+            engine->RecordObservation(job_idx, s, stage, i, theta, machine,
+                                      run.final_run);
+          }
+
+          // Mid-stage triggers: a drift alarm that a fine-tune just
+          // repaired, or a remaining assignment pointing at a machine that
+          // has gone down, re-plans the not-yet-dispatched tail.
+          if (i + 1 >= m || replans_done >= engine->options().max_replans_per_stage) {
+            continue;
+          }
+          const double t_check = stage_start + run.completion;
+          bool want_replan = false;
+          // When the re-plan is repairing a machine event, the repair point
+          // is the event itself (the crash a heartbeat would detect), not
+          // the completion of instance i where this loop happens to look.
+          double replan_at = run.completion;
+          bool drift_replan = false;
+          if (engine->NoteDriftAlarms(watchdog.alarms_raised()) &&
+              engine->options().replan_on_drift_alarm) {
+            // Re-planning with the model that just proved untrustworthy
+            // would reproduce the same plan: only worth it if the tune ran.
+            if (engine->MaybeFineTune()) {
+              want_replan = true;
+              drift_replan = true;
+            }
+          }
+          if (!want_replan && faults &&
+              engine->options().replan_on_machine_event) {
+            for (int j = i + 1; j < m; ++j) {
+              const int mj = assign_machine[static_cast<size_t>(j)];
+              if (injector.MachineUp(mj, t_check)) continue;
+              want_replan = true;
+              double crash_at = 0.0;
+              // Down since before the stage started -> event time 0.
+              double event = 0.0;
+              if (injector.MachineCrashesWithin(mj, stage_start,
+                                                run.completion, &crash_at)) {
+                event = crash_at - stage_start;
+              }
+              replan_at = std::min(replan_at, std::max(0.0, event));
+            }
+          }
+          if (!want_replan) continue;
+
+          ++replans_done;
+          for (int j = i + 1; j < m; ++j) {
+            cluster.machine(alloc_machine[static_cast<size_t>(j)])
+                .Release(alloc_theta[static_cast<size_t>(j)]);
+          }
+          if (faults) {
+            engine->NoteMachineLiveness(&cluster, up_fn,
+                                        stage_start + replan_at);
+          }
+          // A drift re-plan re-optimizes the whole undispatched tail (the
+          // repaired model may prefer different placements everywhere). A
+          // machine-event re-plan solves only the instances that actually
+          // need repair — re-pointing healthy instances would charge them
+          // the re-dispatch delay for no reason.
+          std::vector<int> remaining;
+          if (drift_replan) {
+            remaining.resize(static_cast<size_t>(m - i - 1));
+            std::iota(remaining.begin(), remaining.end(), i + 1);
+          } else {
+            for (int j = i + 1; j < m; ++j) {
+              if (!injector.MachineUp(assign_machine[static_cast<size_t>(j)],
+                                      t_check)) {
+                remaining.push_back(j);
+              }
+            }
+          }
+          SchedulingContext sub = context;
+          sub.model = engine->active_model();
+          sub.model_available =
+              model_server_up &&
+              (!(watchdog.enabled() && watchdog.alarmed()) ||
+               engine->ModelTrusted());
+          sub.memo = nullptr;
+          sub.instance_subset = &remaining;
+          sub.epoch = engine->current_epoch();
+          sub.deadline = Deadline::After(std::max(
+              0.1, options.ro_time_limit_seconds - solve_total));
+          StageDecision redo;
+          {
+            obs::ScopedSpan replan_span(options.obs.tracer,
+                                        "reconfig.replan", stage_span.id());
+            redo = scheduler(sub);
+          }
+          solve_total += redo.solve_seconds;
+          if (redo.feasible &&
+              redo.machine_of_instance.size() == remaining.size()) {
+            engine->CountReplan();
+            ++outcome.replans;
+            for (size_t r = 0; r < remaining.size(); ++r) {
+              const size_t j = static_cast<size_t>(remaining[r]);
+              const bool moved =
+                  assign_machine[j] != redo.machine_of_instance[r] ||
+                  !(assign_theta[j] == redo.theta_of_instance[r]);
+              assign_machine[j] = redo.machine_of_instance[r];
+              assign_theta[j] = redo.theta_of_instance[r];
+              // Instances the re-plan actually moved re-dispatch at the
+              // repair point — the delay is honestly charged to latency.
+              // Instances whose assignment survived were never recalled
+              // and keep their original dispatch time.
+              if (moved) start_offset[j] = replan_at;
+            }
+          } else {
+            engine->CountReplanFailure();
+          }
+          for (int j = i + 1; j < m; ++j) {
+            alloc_machine[static_cast<size_t>(j)] =
+                assign_machine[static_cast<size_t>(j)];
+            alloc_theta[static_cast<size_t>(j)] =
+                assign_theta[static_cast<size_t>(j)];
+            cluster.machine(alloc_machine[static_cast<size_t>(j)])
+                .Allocate(alloc_theta[static_cast<size_t>(j)]);
+          }
+        }
+
+        double max_latency = 0.0, useful_cost = 0.0;
+        std::vector<double> latencies(static_cast<size_t>(m));
+        bool all_succeeded = true;
+        for (int i = 0; i < m; ++i) {
+          const InstanceRun& run = runs[static_cast<size_t>(i)];
+          const ResourceConfig& theta = assign_theta[static_cast<size_t>(i)];
+          latencies[static_cast<size_t>(i)] = run.completion;
+          max_latency = std::max(max_latency, run.completion);
+          if (run.succeeded) {
+            useful_cost += run.final_run * context.cost_weights.Rate(theta);
+          } else {
+            all_succeeded = false;
+          }
+        }
+        for (int i = 0; i < m; ++i) {
+          cluster.machine(alloc_machine[static_cast<size_t>(i)])
+              .Release(alloc_theta[static_cast<size_t>(i)]);
+        }
+        for (const auto& [machine_id, extra_theta] : extra_allocs) {
+          cluster.machine(machine_id).Release(extra_theta);
+        }
+
+        outcome.feasible = all_succeeded;
+        outcome.solve_seconds = solve_total;
+        outcome.stage_latency = max_latency;
+        outcome.stage_latency_in = max_latency + solve_total;
+        outcome.stage_cost = useful_cost + outcome.wasted_cost;
+        outcome.drift_alarm_raised = watchdog.alarms_raised() > alarms_before;
+        outcome.fine_tunes =
+            static_cast<int>(engine->stats().fine_tunes - tunes_before);
+        if (keep_instance_detail) {
+          outcome.instance_latencies = std::move(latencies);
+          outcome.instance_thetas = std::move(assign_theta);
+        }
         out->push_back(std::move(outcome));
         deps.MarkCompleted(s);
         continue;
@@ -489,8 +958,9 @@ Result<SimResult> Simulator::RunJobs(const SchedulerFn& scheduler,
                                      bool keep_instance_detail) {
   FGRO_RETURN_IF_ERROR(ValidateOutcomeMode(options_));
   // One shared state for the whole replay: cluster time advances across
-  // jobs and breaker/watchdog state carries over, as it always has.
-  ReplayState state(options_, workload_->profile, options_.seed);
+  // jobs and breaker/watchdog/reconfig state carries over, as it always
+  // has — in particular the fine-tuned model persists across jobs.
+  ReplayState state(options_, *workload_, model_, options_.seed);
   SimResult result;
   for (int job_idx : job_indices) {
     FGRO_RETURN_IF_ERROR(ReplayJobInState(*workload_, model_, options_, state,
@@ -503,13 +973,13 @@ Result<SimResult> Simulator::RunJobs(const SchedulerFn& scheduler,
 
 Result<std::vector<StageOutcome>> Simulator::ReplayJobIsolated(
     const SchedulerFn& scheduler, int job_idx, uint64_t seed,
-    bool keep_instance_detail) const {
+    bool keep_instance_detail, bool allow_reconfig) const {
   if (job_idx < 0 ||
       job_idx >= static_cast<int>(workload_->jobs.size())) {
     return Status::InvalidArgument("job index out of range");
   }
   FGRO_RETURN_IF_ERROR(ValidateOutcomeMode(options_));
-  ReplayState state(options_, workload_->profile, seed);
+  ReplayState state(options_, *workload_, model_, seed, allow_reconfig);
   std::vector<StageOutcome> outcomes;
   FGRO_RETURN_IF_ERROR(ReplayJobInState(*workload_, model_, options_, state,
                                         job_idx, scheduler,

@@ -13,6 +13,7 @@
 #include "model/latency_model.h"
 #include "obs/obs.h"
 #include "optimizer/scheduler_types.h"
+#include "reconfig/reconfiguration_engine.h"
 #include "sim/fault_injector.h"
 #include "trace/workload_gen.h"
 
@@ -47,6 +48,11 @@ struct SimOptions {
   double drift_multiplier = 1.0;
   double drift_start_seconds = 0.0;
   double drift_end_seconds = 0.0;
+  /// Online reconfiguration of in-flight work (drift-alarm / machine-event
+  /// re-planning, straggler migration, incremental model update). Disabled
+  /// by default: the engine is never constructed and the replay is
+  /// byte-identical to builds without the reconfig subsystem.
+  ReconfigOptions reconfig;
   /// Concurrent multi-job service mode (consumed by RoService, not by the
   /// sequential Run/RunJobs path): number of worker threads replaying jobs
   /// as independent requests via ReplayJobIsolated. Each job gets its own
@@ -102,6 +108,12 @@ struct StageOutcome {
   bool breaker_recovered = false;      // half-open probe closed it here
   bool drift_demoted = false;          // watchdog alarm forced degradation
   bool drift_alarm_raised = false;     // alarm transitioned on this stage
+  /// Reconfiguration accounting (all zero when reconfig is disabled).
+  int replans = 0;                // mid-stage partial re-plans swapped in
+  int stale_decision_drops = 0;   // decisions dropped for a superseded epoch
+  int migrations = 0;             // stragglers migrated to healthier machines
+  int migration_wins = 0;         // migrations that beat the original run
+  int fine_tunes = 0;             // online model updates during this stage
   std::vector<double> instance_latencies;  // populated when requested
   std::vector<ResourceConfig> instance_thetas;
 };
@@ -143,9 +155,12 @@ class Simulator {
   /// the calling thread or on what other jobs are in flight. Thread-safe:
   /// concurrent calls share only immutable state (the workload, the
   /// trained model, and this simulator's options).
+  /// `allow_reconfig=false` suppresses the reconfiguration engine for this
+  /// job even when SimOptions::reconfig.enabled — the service uses it to
+  /// keep browned-out (Fuxi-level) requests on the cheapest path.
   Result<std::vector<StageOutcome>> ReplayJobIsolated(
       const SchedulerFn& scheduler, int job_idx, uint64_t seed,
-      bool keep_instance_detail = false) const;
+      bool keep_instance_detail = false, bool allow_reconfig = true) const;
 
  private:
   const Workload* workload_;

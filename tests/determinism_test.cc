@@ -4,6 +4,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <memory>
 
 #include "common/thread_pool.h"
@@ -331,6 +332,132 @@ TEST(DeterminismTest, BatchedParallelReplayMatchesScalarSequential) {
   expect_same(scalar, batched);
   expect_same(scalar, parallel_memoized);
   expect_same(scalar, warm_memo);
+}
+
+TEST(DeterminismTest, ReconfigReplayIsByteIdenticalAcrossThreads) {
+  // The online-reconfiguration engine must preserve the service-mode
+  // determinism contract: with a drift pulse, machine crashes, the
+  // watchdog, AND reconfiguration (re-plans, stale-decision drops, fine
+  // tunes) all active, the merged result is byte-identical across
+  // service_threads 1, 2, and 8 — every trigger derives from seeds and sim
+  // time, never from worker interleaving.
+  ExperimentEnv::Options options;
+  options.workload = WorkloadId::kA;
+  options.scale = 0.03;
+  options.train.epochs = 1;
+  options.train.max_train_samples = 800;
+  Result<std::unique_ptr<ExperimentEnv>> env = ExperimentEnv::Build(options);
+  ASSERT_TRUE(env.ok()) << env.status().ToString();
+  double span = 0.0;
+  for (const Job& job : (*env)->workload().jobs) {
+    span = std::max(span, job.arrival_time);
+  }
+  ASSERT_GT(span, 0.0);
+
+  auto run_with = [&](int threads) {
+    SimOptions sim_options;
+    sim_options.outcome = OutcomeMode::kNoiseFree;
+    sim_options.seed = 13;
+    sim_options.service_threads = threads;
+    sim_options.drift_multiplier = 4.0;
+    sim_options.drift_start_seconds = 0.0;
+    sim_options.drift_end_seconds = 0.7 * span;
+    sim_options.drift_watchdog.enabled = true;
+    sim_options.drift_watchdog.window_size = 16;
+    sim_options.drift_watchdog.min_samples = 4;
+    sim_options.faults.enabled = true;
+    sim_options.faults.machine_failure_rate_per_day = 24.0;
+    sim_options.faults.machine_recovery_seconds = 900.0;
+    sim_options.faults.seed = 23;
+    sim_options.reconfig.enabled = true;
+    sim_options.reconfig.dispatch_hazard_seconds = 30.0;
+    sim_options.reconfig.fine_tune_min_samples = 8;
+    sim_options.reconfig.fine_tune_cooldown_observations = 8;
+    Result<SimResult> result =
+        ServeWorkload((*env)->workload(), &(*env)->model(), sim_options,
+                      StageOptimizer::IpaRaaPathWithFallback());
+    EXPECT_TRUE(result.ok()) << result.status().ToString();
+    return std::move(result).value();
+  };
+
+  const SimResult one = run_with(1);
+  const SimResult two = run_with(2);
+  const SimResult eight = run_with(8);
+
+  auto expect_same = [](const SimResult& a, const SimResult& b) {
+    ASSERT_EQ(a.outcomes.size(), b.outcomes.size());
+    for (size_t i = 0; i < a.outcomes.size(); ++i) {
+      const StageOutcome& x = a.outcomes[i];
+      const StageOutcome& y = b.outcomes[i];
+      EXPECT_EQ(x.job_idx, y.job_idx);
+      EXPECT_EQ(x.stage_idx, y.stage_idx);
+      EXPECT_EQ(x.feasible, y.feasible);
+      EXPECT_EQ(x.fallback, y.fallback);
+      EXPECT_EQ(x.retries, y.retries);
+      EXPECT_EQ(x.failovers, y.failovers);
+      EXPECT_EQ(x.replans, y.replans);
+      EXPECT_EQ(x.stale_decision_drops, y.stale_decision_drops);
+      EXPECT_EQ(x.migrations, y.migrations);
+      EXPECT_EQ(x.migration_wins, y.migration_wins);
+      EXPECT_EQ(x.fine_tunes, y.fine_tunes);
+      EXPECT_EQ(x.drift_demoted, y.drift_demoted);
+      EXPECT_DOUBLE_EQ(x.stage_latency, y.stage_latency);
+      EXPECT_DOUBLE_EQ(x.stage_cost, y.stage_cost);
+      EXPECT_DOUBLE_EQ(x.wasted_cost, y.wasted_cost);
+    }
+  };
+  expect_same(one, two);
+  expect_same(one, eight);
+
+  // The reconfiguration machinery actually fired — this is not a no-op
+  // determinism check on dead code.
+  const RoSummary s = Summarize(one);
+  EXPECT_GT(s.fine_tunes + s.total_replans + s.stale_decision_drops, 0);
+}
+
+TEST(DeterminismTest, ReconfigWithoutTriggersMatchesDisabledBitForBit) {
+  // With no drift, no faults, and no machine events, an enabled
+  // reconfiguration engine must be a pure no-op: its dispatch path consumes
+  // outcome randomness in exactly the legacy order, straggler detection
+  // never fires on noise-free runs, and every reconfig counter stays zero.
+  ExperimentEnv::Options options;
+  options.workload = WorkloadId::kA;
+  options.scale = 0.03;
+  options.train.epochs = 1;
+  options.train.max_train_samples = 800;
+  Result<std::unique_ptr<ExperimentEnv>> env = ExperimentEnv::Build(options);
+  ASSERT_TRUE(env.ok()) << env.status().ToString();
+
+  auto run_with = [&](bool reconfigure) {
+    SimOptions sim_options;
+    sim_options.outcome = OutcomeMode::kNoiseFree;
+    sim_options.seed = 13;
+    sim_options.drift_watchdog.enabled = true;
+    sim_options.reconfig.enabled = reconfigure;
+    Simulator sim(&(*env)->workload(), &(*env)->model(), sim_options);
+    StageOptimizer optimizer(StageOptimizer::IpaRaaPathWithFallback());
+    Result<SimResult> result = sim.Run(
+        [&](const SchedulingContext& c) { return optimizer.Optimize(c); });
+    EXPECT_TRUE(result.ok()) << result.status().ToString();
+    return std::move(result).value();
+  };
+
+  const SimResult off = run_with(false);
+  const SimResult on = run_with(true);
+  ASSERT_EQ(off.outcomes.size(), on.outcomes.size());
+  for (size_t i = 0; i < off.outcomes.size(); ++i) {
+    const StageOutcome& x = off.outcomes[i];
+    const StageOutcome& y = on.outcomes[i];
+    EXPECT_EQ(x.feasible, y.feasible);
+    EXPECT_EQ(x.fallback, y.fallback);
+    EXPECT_EQ(x.stage_latency, y.stage_latency);
+    EXPECT_EQ(x.stage_cost, y.stage_cost);
+    EXPECT_EQ(y.replans, 0);
+    EXPECT_EQ(y.stale_decision_drops, 0);
+    EXPECT_EQ(y.migrations, 0);
+    EXPECT_EQ(y.fine_tunes, 0);
+    EXPECT_DOUBLE_EQ(x.wasted_cost, y.wasted_cost);
+  }
 }
 
 TEST(DeterminismTest, TrainingIsReproducible) {

@@ -733,6 +733,60 @@ TEST(RetryPolicyTest, RetryCallRetriesUntilSuccess) {
   EXPECT_DOUBLE_EQ(backoff, 1.0 + 2.0);  // two failures
 }
 
+TEST_F(FaultSimFixture, CrashBetweenReplanAndDispatchRoutesThroughFailover) {
+  // Regression for the stale-decision hazard: with reconfiguration on, a
+  // machine that crashes inside the dispatch hazard window supersedes the
+  // decision's epoch (the decision is dropped and re-solved), and a machine
+  // that is down at the dispatch instant itself must route through the
+  // existing retry/failover path rather than "succeed" on a dead machine.
+  // Crash churn is cranked high enough (~40% expected downtime) that both
+  // events are statistically certain over the workload.
+  SimOptions options;
+  options.outcome = OutcomeMode::kEnvironment;
+  options.faults.enabled = true;
+  options.faults.machine_failure_rate_per_day = 60.0;
+  options.faults.machine_recovery_seconds = 600.0;
+  options.faults.seed = 47;
+  options.reconfig.enabled = true;
+  options.reconfig.dispatch_hazard_seconds = 60.0;
+  options.reconfig.migrate_stragglers = false;  // isolate the crash path
+
+  auto run = [&]() {
+    StageOptimizer so(StageOptimizer::IpaRaaPathWithFallback());
+    Simulator sim(&env_->workload(), &env_->model(), options);
+    Result<SimResult> result =
+        sim.Run([&](const SchedulingContext& c) { return so.Optimize(c); });
+    EXPECT_TRUE(result.ok()) << result.status().ToString();
+    return std::move(result).value();
+  };
+
+  const SimResult a = run();
+  const RoSummary s = Summarize(a);
+  EXPECT_GT(s.stale_decision_drops, 0);
+  EXPECT_GT(s.total_failovers, 0);
+  EXPECT_GT(s.coverage, 0.8);  // failover keeps the work landing
+  // Replanning on the projected liveness is active too under this churn.
+  EXPECT_GT(s.total_replans + s.stale_decision_drops, 1);
+
+  // The crash-at-dispatch path consumes no outcome randomness, so the whole
+  // replay stays byte-identical across runs.
+  const SimResult b = run();
+  ASSERT_EQ(a.outcomes.size(), b.outcomes.size());
+  for (size_t i = 0; i < a.outcomes.size(); ++i) {
+    const StageOutcome& x = a.outcomes[i];
+    const StageOutcome& y = b.outcomes[i];
+    EXPECT_EQ(x.feasible, y.feasible);
+    EXPECT_EQ(x.fallback, y.fallback);
+    EXPECT_EQ(x.retries, y.retries);
+    EXPECT_EQ(x.failovers, y.failovers);
+    EXPECT_EQ(x.replans, y.replans);
+    EXPECT_EQ(x.stale_decision_drops, y.stale_decision_drops);
+    EXPECT_DOUBLE_EQ(x.stage_latency, y.stage_latency);
+    EXPECT_DOUBLE_EQ(x.stage_cost, y.stage_cost);
+    EXPECT_DOUBLE_EQ(x.wasted_cost, y.wasted_cost);
+  }
+}
+
 TEST(RetryPolicyTest, RetryCallStopsOnPermanentError) {
   RetryPolicy policy;
   int calls = 0;

@@ -1,0 +1,374 @@
+// Online-reconfiguration tests: the ReconfigurationEngine's epoch / trigger
+// bookkeeping, the bounded replay buffer and incremental fine-tune, the
+// StageOptimizer's partial re-entry, and the replay-level behavior of
+// reconfigure-vs-degrade under a deterministic drift pulse.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "hbo/hbo.h"
+#include "optimizer/stage_optimizer.h"
+#include "reconfig/reconfiguration_engine.h"
+#include "sim/experiment_env.h"
+#include "sim/ro_metrics.h"
+#include "sim/simulator.h"
+#include "test_util.h"
+
+namespace fgro {
+namespace {
+
+ReconfigurationEngine MakeEngine(const ReconfigOptions& options,
+                                 const LatencyModel* model = nullptr,
+                                 const Workload* workload = nullptr) {
+  return ReconfigurationEngine(options, model, workload, /*stream_seed=*/7,
+                               obs::Obs{});
+}
+
+TEST(ReconfigEngineTest, EpochIsMonotoneAndStalenessIsStrict) {
+  ReconfigurationEngine engine = MakeEngine(ReconfigOptions{});
+  EXPECT_EQ(engine.current_epoch(), 0);
+  EXPECT_FALSE(engine.DecisionIsStale(0));
+  EXPECT_EQ(engine.BumpEpoch(), 1);
+  EXPECT_EQ(engine.BumpEpoch(), 2);
+  EXPECT_TRUE(engine.DecisionIsStale(0));
+  EXPECT_TRUE(engine.DecisionIsStale(1));
+  EXPECT_FALSE(engine.DecisionIsStale(2));
+  EXPECT_EQ(engine.stats().epoch_bumps, 2);
+}
+
+TEST(ReconfigEngineTest, MachineTransitionBumpsEpochAndProjectsLiveness) {
+  Cluster cluster(ClusterOptions{.num_machines = 4, .seed = 3});
+  std::set<int> down;
+  ReconfigurationEngine::MachineUpFn up_fn = [&down](int id, double) {
+    return down.count(id) == 0;
+  };
+  ReconfigurationEngine engine = MakeEngine(ReconfigOptions{});
+  // First projection initializes the view: all machines up, no transition.
+  EXPECT_FALSE(engine.NoteMachineLiveness(&cluster, up_fn, 0.0));
+  EXPECT_EQ(engine.current_epoch(), 0);
+  // Machine 2 goes down: transition, epoch bump, cluster sees it.
+  down.insert(2);
+  EXPECT_TRUE(engine.NoteMachineLiveness(&cluster, up_fn, 10.0));
+  EXPECT_EQ(engine.current_epoch(), 1);
+  EXPECT_FALSE(cluster.machine(2).up());
+  EXPECT_TRUE(cluster.machine(1).up());
+  // Same view again: no transition, no bump.
+  EXPECT_FALSE(engine.NoteMachineLiveness(&cluster, up_fn, 20.0));
+  EXPECT_EQ(engine.current_epoch(), 1);
+  // Recovery is a transition too.
+  down.erase(2);
+  EXPECT_TRUE(engine.NoteMachineLiveness(&cluster, up_fn, 30.0));
+  EXPECT_EQ(engine.current_epoch(), 2);
+  EXPECT_TRUE(cluster.machine(2).up());
+}
+
+TEST(ReconfigEngineTest, MachineEventEpochBumpCanBeDisabled) {
+  Cluster cluster(ClusterOptions{.num_machines = 4, .seed = 3});
+  std::set<int> down;
+  ReconfigurationEngine::MachineUpFn up_fn = [&down](int id, double) {
+    return down.count(id) == 0;
+  };
+  ReconfigOptions options;
+  options.replan_on_machine_event = false;
+  ReconfigurationEngine engine = MakeEngine(options);
+  engine.NoteMachineLiveness(&cluster, up_fn, 0.0);
+  down.insert(1);
+  EXPECT_TRUE(engine.NoteMachineLiveness(&cluster, up_fn, 10.0));
+  // The transition is still reported and projected, but no epoch bump.
+  EXPECT_EQ(engine.current_epoch(), 0);
+  EXPECT_FALSE(cluster.machine(1).up());
+}
+
+TEST(ReconfigEngineTest, NewDriftAlarmBumpsEpochOnceAndRevokesTrust) {
+  ReconfigurationEngine engine = MakeEngine(ReconfigOptions{});
+  EXPECT_FALSE(engine.NoteDriftAlarms(0));
+  EXPECT_EQ(engine.current_epoch(), 0);
+  EXPECT_TRUE(engine.NoteDriftAlarms(1));
+  EXPECT_EQ(engine.current_epoch(), 1);
+  // The same cumulative count is not a new alarm.
+  EXPECT_FALSE(engine.NoteDriftAlarms(1));
+  EXPECT_EQ(engine.current_epoch(), 1);
+  EXPECT_TRUE(engine.NoteDriftAlarms(3));
+  EXPECT_EQ(engine.current_epoch(), 2);
+  EXPECT_FALSE(engine.ModelTrusted());
+}
+
+TEST(ReconfigEngineTest, MigrationTargetRequiresALiveBetterMachine) {
+  Cluster cluster(ClusterOptions{.num_machines = 4, .seed = 3});
+  Stage stage = testing_util::MakeChainStage(4);
+  ReconfigOptions options;
+  // No trained model: migration has no prediction to anchor on.
+  ReconfigurationEngine engine = MakeEngine(options);
+  ReconfigurationEngine::MachineUpFn all_up = [](int, double) { return true; };
+  EXPECT_EQ(engine.PickMigrationTarget(cluster, all_up, stage, 0, {2, 4},
+                                       0.0, 0),
+            -1);
+}
+
+class ReconfigModelFixture : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    ExperimentEnv::Options options;
+    options.workload = WorkloadId::kA;
+    options.scale = 0.04;
+    options.train.epochs = 2;
+    options.train.max_train_samples = 3000;
+    options.seed = 66;
+    Result<std::unique_ptr<ExperimentEnv>> env = ExperimentEnv::Build(options);
+    ASSERT_TRUE(env.ok()) << env.status().ToString();
+    env_ = std::move(env).value().release();
+  }
+  static ExperimentEnv* env_;
+};
+
+ExperimentEnv* ReconfigModelFixture::env_ = nullptr;
+
+TEST_F(ReconfigModelFixture, FineTuneMovesPredictionsTowardObservations) {
+  const Workload& workload = env_->workload();
+  const LatencyModel& base = env_->model();
+  ASSERT_TRUE(base.trained());
+  Cluster cluster(ClusterOptions{.num_machines = 8, .seed = 3});
+  Hbo hbo;
+
+  ReconfigOptions options;
+  options.enabled = true;
+  options.fine_tune_min_samples = 16;
+  options.fine_tune_cooldown_observations = 32;
+  options.fine_tune_epochs = 4;
+  ReconfigurationEngine engine =
+      MakeEngine(options, &base, &workload);
+  EXPECT_FALSE(engine.model_tuned());
+  EXPECT_EQ(engine.active_model(), &base);
+  // Nothing recorded yet: a tune attempt must refuse.
+  EXPECT_FALSE(engine.MaybeFineTune());
+
+  // Feed observations at 3x the base model's prediction — a drift regime —
+  // round-robin over machines and the first job's stages.
+  const double kDrift = 3.0;
+  const Job& job = workload.jobs[0];
+  int fed = 0;
+  for (int pass = 0; fed < 48 && pass < 8; ++pass) {
+    for (size_t s = 0; s < job.stages.size() && fed < 48; ++s) {
+      const Stage& stage = job.stages[s];
+      const ResourceConfig theta0 = hbo.Recommend(stage).theta0;
+      for (int i = 0; i < stage.instance_count() && fed < 48; ++i) {
+        const Machine& machine = cluster.machine(fed % cluster.size());
+        Result<double> pred = base.Predict(stage, i, theta0, machine.state(),
+                                           machine.hardware().id);
+        ASSERT_TRUE(pred.ok());
+        engine.RecordObservation(0, static_cast<int>(s), stage, i, theta0,
+                                 machine, kDrift * pred.value());
+        ++fed;
+      }
+    }
+  }
+  ASSERT_EQ(engine.stats().observations, 48);
+
+  ASSERT_TRUE(engine.MaybeFineTune());
+  EXPECT_TRUE(engine.model_tuned());
+  EXPECT_EQ(engine.stats().fine_tunes, 1);
+  EXPECT_TRUE(engine.ModelTrusted());
+  EXPECT_NE(engine.active_model(), &base);
+  // The cooldown refuses an immediate re-tune on the same buffer.
+  EXPECT_FALSE(engine.MaybeFineTune());
+
+  // The tuned copy must predict closer to the drifted actuals than the
+  // frozen base on the very pairs it trained on (averaged q-error).
+  const Stage& probe_stage = job.stages[0];
+  const ResourceConfig theta0 = hbo.Recommend(probe_stage).theta0;
+  double base_err = 0.0, tuned_err = 0.0;
+  int n = 0;
+  for (int i = 0; i < probe_stage.instance_count(); ++i) {
+    const Machine& machine = cluster.machine(i % cluster.size());
+    Result<double> pb = base.Predict(probe_stage, i, theta0, machine.state(),
+                                     machine.hardware().id);
+    Result<double> pt = engine.active_model()->Predict(
+        probe_stage, i, theta0, machine.state(), machine.hardware().id);
+    ASSERT_TRUE(pb.ok() && pt.ok());
+    const double actual = kDrift * pb.value();
+    base_err += std::max(pb.value() / actual, actual / pb.value());
+    tuned_err += std::max(pt.value() / actual, actual / pt.value());
+    ++n;
+  }
+  ASSERT_GT(n, 0);
+  EXPECT_LT(tuned_err / n, base_err / n);
+
+  // A fresh alarm revokes the trust the tune bought.
+  EXPECT_TRUE(engine.NoteDriftAlarms(1));
+  EXPECT_FALSE(engine.ModelTrusted());
+}
+
+TEST_F(ReconfigModelFixture, ReplayBufferIsBoundedRing) {
+  const Workload& workload = env_->workload();
+  Cluster cluster(ClusterOptions{.num_machines = 4, .seed = 3});
+  ReconfigOptions options;
+  options.replay_buffer_capacity = 8;
+  options.fine_tune_min_samples = 4;
+  ReconfigurationEngine engine =
+      MakeEngine(options, &env_->model(), &workload);
+  const Stage& stage = workload.jobs[0].stages[0];
+  for (int k = 0; k < 100; ++k) {
+    engine.RecordObservation(0, 0, stage, k % stage.instance_count(), {2, 4},
+                             cluster.machine(k % 4), 1.0 + k);
+  }
+  // Observations keep counting past capacity; the tune still runs off the
+  // bounded buffer rather than 100 rows (no way to observe the buffer size
+  // directly, but a capacity bug would make FineTune quadratic — the
+  // counter is the contract we can check).
+  EXPECT_EQ(engine.stats().observations, 100);
+  EXPECT_TRUE(engine.MaybeFineTune());
+}
+
+TEST_F(ReconfigModelFixture, PartialReentrySolvesOnlyTheSubset) {
+  const Workload& workload = env_->workload();
+  Cluster cluster(ClusterOptions{.num_machines = 48, .seed = 21});
+  Hbo hbo;
+  // Pick the first stage with enough instances to split.
+  const Stage* stage = nullptr;
+  for (const Job& job : workload.jobs) {
+    for (const Stage& s : job.stages) {
+      if (s.instance_count() >= 4) {
+        stage = &s;
+        break;
+      }
+    }
+    if (stage != nullptr) break;
+  }
+  ASSERT_NE(stage, nullptr);
+
+  SchedulingContext context;
+  context.stage = stage;
+  context.cluster = &cluster;
+  context.model = &env_->model();
+  context.theta0 = hbo.Recommend(*stage).theta0;
+  context.epoch = 7;
+  StageOptimizer so(StageOptimizer::IpaRaaPathWithFallback());
+
+  const StageDecision full = so.Optimize(context);
+  ASSERT_TRUE(full.feasible);
+  EXPECT_EQ(full.epoch, 7);
+  EXPECT_EQ(static_cast<int>(full.machine_of_instance.size()),
+            stage->instance_count());
+
+  std::vector<int> subset = {1, stage->instance_count() - 1};
+  context.instance_subset = &subset;
+  const StageDecision partial = so.Optimize(context);
+  ASSERT_TRUE(partial.feasible);
+  EXPECT_EQ(partial.epoch, 7);
+  EXPECT_EQ(partial.machine_of_instance.size(), subset.size());
+  EXPECT_EQ(partial.theta_of_instance.size(), subset.size());
+  for (int machine : partial.machine_of_instance) {
+    EXPECT_GE(machine, 0);
+    EXPECT_LT(machine, cluster.size());
+  }
+}
+
+TEST_F(ReconfigModelFixture, MigrationTargetBeatsCurrentPrediction) {
+  const Workload& workload = env_->workload();
+  const LatencyModel& model = env_->model();
+  Cluster cluster(ClusterOptions{.num_machines = 8, .seed = 3});
+  const Stage& stage = workload.jobs[0].stages[0];
+  const ResourceConfig theta{2, 4};
+  ReconfigOptions options;
+  ReconfigurationEngine engine = MakeEngine(options, &model, &workload);
+  ReconfigurationEngine::MachineUpFn all_up = [](int, double) { return true; };
+
+  // Current machine chosen as the model's WORST machine for this instance,
+  // so a strictly better target must exist somewhere.
+  int worst = 0;
+  double worst_pred = -1.0;
+  for (int id = 0; id < cluster.size(); ++id) {
+    const Machine& m = cluster.machine(id);
+    Result<double> pred =
+        model.Predict(stage, 0, theta, m.state(), m.hardware().id);
+    ASSERT_TRUE(pred.ok());
+    if (pred.value() > worst_pred) {
+      worst_pred = pred.value();
+      worst = id;
+    }
+  }
+  const int target =
+      engine.PickMigrationTarget(cluster, all_up, stage, 0, theta, 0.0, worst);
+  ASSERT_GE(target, 0);
+  ASSERT_NE(target, worst);
+  const Machine& tm = cluster.machine(target);
+  Result<double> target_pred =
+      model.Predict(stage, 0, theta, tm.state(), tm.hardware().id);
+  ASSERT_TRUE(target_pred.ok());
+  EXPECT_LT(target_pred.value(), worst_pred);
+
+  // With every other machine dead the rescue re-runs in place on the
+  // current machine (a fresh container on the same host).
+  ReconfigurationEngine::MachineUpFn only_current = [worst](int id, double) {
+    return id == worst;
+  };
+  EXPECT_EQ(engine.PickMigrationTarget(cluster, only_current, stage, 0, theta,
+                                       0.0, worst),
+            worst);
+
+  // With the whole cluster dead there is nowhere to go at all.
+  ReconfigurationEngine::MachineUpFn none_up = [](int, double) {
+    return false;
+  };
+  EXPECT_EQ(engine.PickMigrationTarget(cluster, none_up, stage, 0, theta, 0.0,
+                                       worst),
+            -1);
+}
+
+TEST_F(ReconfigModelFixture, DriftPulseReconfigureBeatsDegradeOnly) {
+  // The headline behavior: under a mid-trace drift pulse, the reconfigure
+  // arm fine-tunes on its own observations, wins back the primary rung
+  // while the pulse still holds, and serves strictly fewer drift-demoted
+  // stages than the degrade-only arm.
+  double span = 0.0;
+  for (const Job& job : env_->workload().jobs) {
+    span = std::max(span, job.arrival_time);
+  }
+  ASSERT_GT(span, 0.0);
+  SimOptions base;
+  base.outcome = OutcomeMode::kNoiseFree;
+  base.drift_multiplier = 4.0;
+  base.drift_start_seconds = 0.25 * span;
+  base.drift_end_seconds = 0.60 * span;
+  base.drift_watchdog.enabled = true;
+  base.drift_watchdog.window_size = 32;
+  base.drift_watchdog.min_samples = 8;
+  base.drift_watchdog.alarm_qerror = 2.0;
+  base.drift_watchdog.recover_qerror = 1.5;
+
+  auto run_with = [&](bool reconfigure) {
+    SimOptions options = base;
+    options.reconfig.enabled = reconfigure;
+    options.reconfig.migrate_stragglers = false;  // isolate the tune loop
+    options.reconfig.fine_tune_min_samples = 16;
+    options.reconfig.fine_tune_cooldown_observations = 24;
+    options.reconfig.post_tune_trust_observations = 64;
+    StageOptimizer so(StageOptimizer::IpaRaaPathWithFallback());
+    Simulator sim(&env_->workload(), &env_->model(), options);
+    Result<SimResult> result =
+        sim.Run([&](const SchedulingContext& c) { return so.Optimize(c); });
+    EXPECT_TRUE(result.ok()) << result.status().ToString();
+    return Summarize(result.value());
+  };
+
+  const RoSummary degrade = run_with(false);
+  const RoSummary reconfigure = run_with(true);
+  ASSERT_GE(degrade.drift_alarms, 1);
+  EXPECT_GT(degrade.drift_demoted_stages, 0);
+  EXPECT_GT(reconfigure.fine_tunes, 0);
+  EXPECT_LT(reconfigure.drift_demoted_stages, degrade.drift_demoted_stages);
+  // Fewer demotions means more stages decided on the primary rung.
+  EXPECT_GT(reconfigure.fallback_histogram[0], degrade.fallback_histogram[0]);
+  EXPECT_GT(reconfigure.coverage, 0.95);
+  // Degrade-only never reconfigures anything.
+  EXPECT_EQ(degrade.fine_tunes, 0);
+  EXPECT_EQ(degrade.total_replans, 0);
+  EXPECT_EQ(degrade.stale_decision_drops, 0);
+}
+
+}  // namespace
+}  // namespace fgro
