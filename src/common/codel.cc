@@ -1,0 +1,90 @@
+#include "common/codel.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace fgro {
+
+void SojournCodel::Observe(double now, double sojourn) {
+  if (!options_.enabled) return;
+  if (sojourn < target_) {
+    // The minimum delay over the pending interval dipped below target:
+    // the standing queue drained, so any overload episode ends here.
+    first_above_time_ = 0.0;
+    if (overloaded_) {
+      overloaded_ = false;
+      last_count_ = count_;
+      last_exit_time_ = now;
+      count_ = 0;
+      ++interval_resets_;
+    }
+    return;
+  }
+  if (first_above_time_ == 0.0) {
+    // First sighting above target: arm the mark one interval out. Only if
+    // every observation until then also stays above target (this branch
+    // never resets the mark) does the controller conclude the *minimum*
+    // sojourn over the interval exceeded target — transient spikes
+    // shorter than an interval never trigger.
+    first_above_time_ = now + options_.interval_seconds;
+  } else if (!overloaded_ && now >= first_above_time_) {
+    overloaded_ = true;
+    // Soft restart, as in CoDel: re-entering overload shortly after an
+    // episode ended resumes near the previous escalation instead of
+    // re-ramping from scratch.
+    const bool recent =
+        last_count_ > 2 &&
+        now - last_exit_time_ < 8.0 * options_.interval_seconds;
+    count_ = recent ? last_count_ - 2 : 1;
+    next_fire_time_ =
+        now + options_.interval_seconds / std::sqrt(static_cast<double>(count_));
+  }
+  if (overloaded_ && now >= next_fire_time_) {
+    // Inverse-sqrt law: each escalation tightens the next control
+    // interval, so a persistent overload walks up the rung ladder at an
+    // accelerating pace.
+    ++count_;
+    next_fire_time_ +=
+        options_.interval_seconds / std::sqrt(static_cast<double>(count_));
+  }
+}
+
+CodelRung SojournCodel::RungFor(bool latency_sensitive) const {
+  if (!options_.enabled || !overloaded_) return CodelRung::kNone;
+  int c = count_;
+  if (latency_sensitive) c -= options_.protect_margin;
+  if (c >= options_.shed_count) {
+    // The latency-sensitive lane is never shed: at the deepest rung it is
+    // served at the floor level instead.
+    return latency_sensitive ? CodelRung::kFuxi : CodelRung::kShed;
+  }
+  if (c >= options_.fuxi_count) return CodelRung::kFuxi;
+  if (c >= options_.theta0_count) return CodelRung::kTheta0;
+  return CodelRung::kNone;
+}
+
+double SojournCodel::current_interval_seconds() const {
+  if (!overloaded_ || count_ < 1) return options_.interval_seconds;
+  return options_.interval_seconds / std::sqrt(static_cast<double>(count_));
+}
+
+VirtualSojournQueue::VirtualSojournQueue(const CodelVirtualModel& model)
+    : model_(model),
+      free_at_(static_cast<std::size_t>(std::max(1, model.workers)), 0.0) {}
+
+VirtualSojournQueue::Arrival VirtualSojournQueue::NextArrival() {
+  Arrival arrival;
+  arrival.arrival_seconds = vnow_;
+  vnow_ += model_.interarrival_seconds;
+  const double earliest = *std::min_element(free_at_.begin(), free_at_.end());
+  arrival.start_seconds = std::max(arrival.arrival_seconds, earliest);
+  arrival.sojourn_seconds = arrival.start_seconds - arrival.arrival_seconds;
+  return arrival;
+}
+
+void VirtualSojournQueue::Consume(const Arrival& arrival) {
+  auto it = std::min_element(free_at_.begin(), free_at_.end());
+  *it = arrival.start_seconds + model_.service_seconds;
+}
+
+}  // namespace fgro

@@ -1,0 +1,150 @@
+#ifndef FGRO_COMMON_CODEL_H_
+#define FGRO_COMMON_CODEL_H_
+
+#include <vector>
+
+namespace fgro {
+
+/// Escalation rung the CoDel controller asks the service to apply to a
+/// request. The three-rung overload response, mildest first: demote the
+/// decision one ladder level (kTheta0), demote to the model-free floor
+/// (kFuxi), early-drop the request at admission (kShed). kNone admits and
+/// serves at the configured level.
+enum class CodelRung { kNone = 0, kTheta0 = 1, kFuxi = 2, kShed = 3 };
+
+inline const char* CodelRungName(CodelRung rung) {
+  switch (rung) {
+    case CodelRung::kNone: return "none";
+    case CodelRung::kTheta0: return "theta0";
+    case CodelRung::kFuxi: return "fuxi";
+    case CodelRung::kShed: return "shed";
+  }
+  return "unknown";
+}
+
+struct CodelOptions {
+  bool enabled = false;
+  /// Sojourn-time target: queue delay the controller tolerates
+  /// indefinitely. The adaptive-target layer may move this at runtime
+  /// (via set_target); this is the initial value.
+  double target_seconds = 0.005;
+  /// Control interval: the sojourn must stay above target for one full
+  /// interval before the controller declares overload, and while
+  /// overloaded the escalation count advances once per (shrinking)
+  /// interval.
+  double interval_seconds = 0.100;
+  /// Rung schedule on the escalation count: count >= theta0_count demotes
+  /// batch requests one ladder level, >= fuxi_count demotes to the floor,
+  /// >= shed_count early-drops fresh batch arrivals.
+  int theta0_count = 1;
+  int fuxi_count = 3;
+  int shed_count = 6;
+  /// Priority-lane protection: latency-sensitive requests evaluate the
+  /// rung schedule at (count - protect_margin) and are never shed, so the
+  /// latency-sensitive lane keeps full-quality decisions until the batch
+  /// lane is already at the floor.
+  int protect_margin = 3;
+};
+
+/// Deterministic sojourn-time CoDel (Controlled Delay, RFC 8289 adapted
+/// from packet dropping to a demote/shed rung ladder). Entirely
+/// clock-injected: the controller never reads a clock — every Observe()
+/// carries the caller's notion of "now" (wall seconds in the live service,
+/// virtual sim-clock seconds in deterministic replay), so identical
+/// observation sequences produce identical state on any machine.
+///
+/// Control law: a sojourn (queue delay seen at dequeue) below target
+/// clears the pending-overload mark and ends an overload episode. A
+/// sojourn at/above target arms a mark one interval in the future; if the
+/// sojourn is still above target when that mark passes — i.e. the *minimum*
+/// delay over the interval never dipped below target — the controller
+/// enters the overloaded state. While overloaded the escalation count
+/// increments on a schedule that tightens by the inverse-sqrt law
+/// (interval / sqrt(count)), the classic CoDel drop-rate ramp.
+///
+/// Not thread-safe: the owning service calls it under its control-plane
+/// mutex.
+class SojournCodel {
+ public:
+  explicit SojournCodel(const CodelOptions& options)
+      : options_(options), target_(options.target_seconds) {}
+
+  /// One sojourn observation taken at time `now_seconds` (any monotonic
+  /// seconds-valued clock, consistent across calls).
+  void Observe(double now_seconds, double sojourn_seconds);
+
+  /// Rung currently in force for a request of the given lane.
+  CodelRung RungFor(bool latency_sensitive) const;
+
+  /// Adaptive-target hook; clamps below are the caller's business.
+  void set_target(double target_seconds) { target_ = target_seconds; }
+  double target_seconds() const { return target_; }
+
+  bool overloaded() const { return overloaded_; }
+  int count() const { return count_; }
+  /// Current control interval: interval / sqrt(count) while overloaded
+  /// (the inverse-sqrt tightening), the configured interval otherwise.
+  double current_interval_seconds() const;
+  /// Completed overload episodes (overloaded -> clear transitions).
+  long interval_resets() const { return interval_resets_; }
+
+ private:
+  CodelOptions options_;
+  double target_;
+  bool overloaded_ = false;
+  int count_ = 0;            // escalation count while overloaded
+  int last_count_ = 0;       // count when the last episode ended
+  double last_exit_time_ = 0.0;
+  double first_above_time_ = 0.0;  // 0 = no pending mark
+  double next_fire_time_ = 0.0;
+  long interval_resets_ = 0;
+};
+
+/// Deterministic queueing model that stands in for the wall clock when a
+/// replay must be byte-identical across worker-thread counts. Arrivals are
+/// spaced `interarrival_seconds` apart on a virtual clock in submission
+/// order; `workers` modeled servers (a fixed config, deliberately NOT tied
+/// to the physical service_threads — it models the paper's RO service
+/// capacity, and tying it to the host would make sojourns thread-count
+/// dependent) each take `service_seconds` per request. The virtual sojourn
+/// of an admission is then a pure function of the submission sequence, so
+/// CoDel decisions derived from it are too.
+struct CodelVirtualModel {
+  double interarrival_seconds = 0.5;
+  double service_seconds = 1.0;
+  int workers = 2;
+};
+
+/// FIFO G/D/c bookkeeping over the virtual model: NextArrival() stamps the
+/// next submission's arrival/start/sojourn; Consume() commits a served
+/// admission to the earliest-free modeled worker (call it only for
+/// requests that were actually admitted — a shed consumes no capacity).
+class VirtualSojournQueue {
+ public:
+  explicit VirtualSojournQueue(const CodelVirtualModel& model);
+
+  struct Arrival {
+    double arrival_seconds = 0.0;
+    double start_seconds = 0.0;    // virtual dequeue time
+    double sojourn_seconds = 0.0;  // start - arrival
+  };
+
+  /// Advances the virtual arrival clock and computes when the earliest
+  /// modeled worker could start this request. Does not consume capacity.
+  Arrival NextArrival();
+
+  /// Commits `arrival` as served: the earliest-free worker is busy until
+  /// start + service_seconds.
+  void Consume(const Arrival& arrival);
+
+  double now_seconds() const { return vnow_; }
+
+ private:
+  CodelVirtualModel model_;
+  double vnow_ = 0.0;
+  std::vector<double> free_at_;  // per modeled worker
+};
+
+}  // namespace fgro
+
+#endif  // FGRO_COMMON_CODEL_H_

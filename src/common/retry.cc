@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/rng.h"
+
 namespace fgro {
 
 bool RetryPolicy::Retryable(StatusCode code) const {
@@ -21,6 +23,18 @@ double RetryPolicy::BackoffSeconds(int failed_attempt) const {
   double backoff = initial_backoff_seconds *
                    std::pow(backoff_multiplier, failed_attempt - 1);
   return std::min(backoff, max_backoff_seconds);
+}
+
+double RetryPolicy::BackoffSeconds(int failed_attempt, uint64_t stream) const {
+  const double base = BackoffSeconds(failed_attempt);
+  if (!full_jitter) return base;
+  // splitmix64-mixed (seed, stream, attempt) -> uniform in (0, 1]: the
+  // top 53 bits give a double in [0, 1); mapping to (0, 1] keeps a strictly
+  // positive wait so a retry never fires at the same instant it failed.
+  const uint64_t z = MixSeed(MixSeed(jitter_seed, stream),
+                             static_cast<uint64_t>(failed_attempt));
+  const double u = 1.0 - (z >> 11) * (1.0 / 9007199254740992.0);
+  return base * u;
 }
 
 bool RetryPolicy::ShouldRetry(const Status& status, int attempts_made) const {

@@ -1,6 +1,7 @@
 #ifndef FGRO_COMMON_RETRY_H_
 #define FGRO_COMMON_RETRY_H_
 
+#include <cstdint>
 #include <functional>
 
 #include "common/status.h"
@@ -9,20 +10,38 @@ namespace fgro {
 
 /// Retry policy with capped attempts and exponential backoff, shared by the
 /// simulator's instance re-execution and any fallible service call. Backoff
-/// is deterministic (no jitter): the simulator charges it to simulated time,
-/// so reproducibility matters more than thundering-herd avoidance here.
+/// is deterministic even with jitter enabled: the jitter is derived from
+/// MixSeed over a caller-supplied stream id (job/stage/instance), never
+/// from shared RNG state or a clock, so the simulator can charge it to
+/// simulated time and replays stay byte-identical at any thread count.
 struct RetryPolicy {
   int max_attempts = 3;                 // total attempts, including the first
   double initial_backoff_seconds = 1.0;
   double backoff_multiplier = 2.0;
   double max_backoff_seconds = 30.0;
+  /// Full jitter (AWS-style): the jittered backoff is uniform in
+  /// (0, capped exponential backoff], so retries that failed in the same
+  /// epoch — e.g. every instance of a machine that just went down — spread
+  /// out instead of re-colliding in synchronized waves. Off by default:
+  /// the un-jittered schedule is bit-compatible with older replays.
+  bool full_jitter = false;
+  /// Base seed for the jitter streams; mixed with the caller's stream id.
+  uint64_t jitter_seed = 0x8badf00d5eedULL;
 
   /// Transient failures worth another attempt. Permanent errors
   /// (InvalidArgument, FailedPrecondition, ...) never retry.
   bool Retryable(StatusCode code) const;
 
-  /// Backoff to wait after the given 1-based failed attempt.
+  /// Backoff to wait after the given 1-based failed attempt (no jitter).
   double BackoffSeconds(int failed_attempt) const;
+
+  /// Backoff with deterministic full jitter for the given retry stream
+  /// (identify the retrying entity, e.g. MixSeed over job/stage/instance).
+  /// Identical (policy, stream, attempt) -> identical wait; different
+  /// streams decorrelate. The exponential cap is preserved: the jittered
+  /// value never exceeds BackoffSeconds(failed_attempt). With full_jitter
+  /// off this is exactly BackoffSeconds(failed_attempt).
+  double BackoffSeconds(int failed_attempt, uint64_t stream) const;
 
   /// True when `status` is retryable and attempts remain after
   /// `attempts_made` (1-based count of attempts already executed).

@@ -1,0 +1,133 @@
+#include "service/adaptive_target.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace fgro {
+
+namespace {
+
+double MedianOf(std::vector<double> values) {
+  if (values.empty()) return 0.0;
+  const std::size_t mid = values.size() / 2;
+  std::nth_element(values.begin(), values.begin() + mid, values.end());
+  double m = values[mid];
+  if (values.size() % 2 == 0) {
+    const double lower =
+        *std::max_element(values.begin(), values.begin() + mid);
+    m = 0.5 * (m + lower);
+  }
+  return m;
+}
+
+}  // namespace
+
+AdaptiveTarget::AdaptiveTarget(const AdaptiveTargetOptions& options)
+    : options_(options), target_(options.initial_target_seconds) {
+  target_ = std::min(std::max(target_, options_.min_target_seconds),
+                     options_.max_target_seconds);
+  window_latency_.reserve(static_cast<std::size_t>(options_.window));
+  window_throughput_.reserve(static_cast<std::size_t>(options_.window));
+}
+
+double AdaptiveTarget::RegressionSlope(const std::vector<double>& latencies,
+                                       const std::vector<double>& throughputs,
+                                       std::size_t* used) {
+  std::vector<double> xs;
+  std::vector<double> ys;
+  xs.reserve(latencies.size());
+  ys.reserve(latencies.size());
+  if (options_.outlier_rejection && latencies.size() >= 4) {
+    const double median = MedianOf(latencies);
+    std::vector<double> deviations;
+    deviations.reserve(latencies.size());
+    for (double x : latencies) deviations.push_back(std::fabs(x - median));
+    // Scaled MAD (consistent with sigma under normality); when it
+    // degenerates the window is effectively constant and rejection would
+    // throw away legitimate ties, so it is skipped.
+    const double mad = 1.4826 * MedianOf(deviations);
+    const double cut = options_.outlier_mad_multiple * mad;
+    if (mad > 1e-12) {
+      for (std::size_t i = 0; i < latencies.size(); ++i) {
+        if (std::fabs(latencies[i] - median) <= cut) {
+          xs.push_back(latencies[i]);
+          ys.push_back(throughputs[i]);
+        } else {
+          ++outliers_rejected_;
+        }
+      }
+    }
+  }
+  if (xs.empty()) {
+    xs = latencies;
+    ys = throughputs;
+  }
+  if (used != nullptr) *used = xs.size();
+  if (xs.size() < 2) return 0.0;
+  double mean_x = 0.0;
+  double mean_y = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    mean_x += xs[i];
+    mean_y += ys[i];
+  }
+  mean_x /= static_cast<double>(xs.size());
+  mean_y /= static_cast<double>(xs.size());
+  double cov = 0.0;
+  double var = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    cov += (xs[i] - mean_x) * (ys[i] - mean_y);
+    var += (xs[i] - mean_x) * (xs[i] - mean_x);
+  }
+  if (var < 1e-18) return 0.0;
+  return cov / var;
+}
+
+bool AdaptiveTarget::AddPoint(double latency_seconds, double throughput) {
+  if (!options_.enabled) return false;
+  window_latency_.push_back(latency_seconds);
+  window_throughput_.push_back(throughput);
+  if (static_cast<int>(window_latency_.size()) < std::max(2, options_.window)) {
+    return false;
+  }
+  const double before = target_;
+  Adapt();
+  window_latency_.clear();
+  window_throughput_.clear();
+  return target_ != before;
+}
+
+void AdaptiveTarget::Adapt() {
+  const double slope =
+      RegressionSlope(window_latency_, window_throughput_, nullptr);
+  const double med_latency = MedianOf(window_latency_);
+  const double med_throughput = MedianOf(window_throughput_);
+  if (med_throughput <= 0.0) return;  // nothing served yet: no signal
+  // Elasticity: fractional throughput gained per fractional latency
+  // granted, evaluated at the window's center. Above the knee threshold
+  // the curve still climbs and a looser target buys real throughput;
+  // below it, queueing is pure delay.
+  const double normalized =
+      slope * (std::max(med_latency, 1e-9) / med_throughput);
+  if (normalized > options_.slope_threshold) {
+    target_ *= 1.0 + options_.step_fraction;
+  } else {
+    target_ *= 1.0 - options_.step_fraction;
+  }
+  target_ = std::min(std::max(target_, options_.min_target_seconds),
+                     options_.max_target_seconds);
+  ++adaptations_;
+}
+
+void ThroughputEstimator::Record(double dequeue_time_seconds) {
+  times_.push_back(dequeue_time_seconds);
+  while (static_cast<int>(times_.size()) > window_) times_.pop_front();
+}
+
+double ThroughputEstimator::RatePerSecond() const {
+  if (times_.size() < 2) return 0.0;
+  const double span = times_.back() - times_.front();
+  if (span <= 0.0) return 0.0;
+  return static_cast<double>(times_.size() - 1) / span;
+}
+
+}  // namespace fgro

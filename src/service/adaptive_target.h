@@ -1,0 +1,90 @@
+#ifndef FGRO_SERVICE_ADAPTIVE_TARGET_H_
+#define FGRO_SERVICE_ADAPTIVE_TARGET_H_
+
+#include <cstddef>
+#include <deque>
+#include <vector>
+
+namespace fgro {
+
+struct AdaptiveTargetOptions {
+  bool enabled = false;
+  /// Hard bounds on the learned target; the gradient walk clamps here.
+  double min_target_seconds = 0.001;
+  double max_target_seconds = 0.050;
+  double initial_target_seconds = 0.005;
+  /// Observations accumulated before each adaptation step.
+  int window = 32;
+  /// Multiplicative step per adaptation: target *= (1 +/- step_fraction).
+  double step_fraction = 0.25;
+  /// Knee criterion on the normalized latency/throughput slope
+  /// (fractional throughput gain per fractional latency increase). Above
+  /// it, extra queueing still buys throughput and the target rises; below
+  /// it, the curve has flattened and the target tightens.
+  double slope_threshold = 0.5;
+  /// MAD-based outlier rejection over the window's latencies before the
+  /// regression (as in CoDelModel): points farther than
+  /// outlier_mad_multiple scaled-MADs from the median are excluded.
+  bool outlier_rejection = true;
+  double outlier_mad_multiple = 4.0;
+};
+
+/// Learns the CoDel sojourn target from the observed latency/throughput
+/// curve, gradient-style, after the ceph CoDelAdaptiveTarget design: the
+/// operating point worth protecting is the knee of the curve, where more
+/// tolerated queueing delay stops buying throughput. Each window of
+/// (sojourn, throughput) points is outlier-rejected, least-squares fit,
+/// and the normalized slope (an elasticity: d tput/tput per d lat/lat)
+/// compared to the knee threshold; the target then takes one bounded
+/// multiplicative step toward the knee. Fully deterministic: no clock, no
+/// RNG — the target is a pure function of the observation sequence.
+///
+/// Not thread-safe: the owning service calls it under its mutex.
+class AdaptiveTarget {
+ public:
+  explicit AdaptiveTarget(const AdaptiveTargetOptions& options);
+
+  /// One (sojourn latency, observed throughput) point; every `window`
+  /// points the target adapts. Returns true when the target moved.
+  bool AddPoint(double latency_seconds, double throughput);
+
+  double target_seconds() const { return target_; }
+  long adaptations() const { return adaptations_; }
+  long outliers_rejected() const { return outliers_rejected_; }
+
+  /// Exposed for closed-form tests: least-squares slope of throughput vs
+  /// latency over the given points, after outlier rejection when enabled.
+  double RegressionSlope(const std::vector<double>& latencies,
+                         const std::vector<double>& throughputs,
+                         std::size_t* used = nullptr);
+
+ private:
+  void Adapt();
+
+  AdaptiveTargetOptions options_;
+  double target_;
+  std::vector<double> window_latency_;
+  std::vector<double> window_throughput_;
+  long adaptations_ = 0;
+  long outliers_rejected_ = 0;
+};
+
+/// Windowed completion-rate estimator feeding AdaptiveTarget's throughput
+/// axis: completions per second over the last `window` dequeue timestamps
+/// (wall or virtual — whatever clock the caller runs CoDel on). Returns 0
+/// until two timestamps exist.
+class ThroughputEstimator {
+ public:
+  explicit ThroughputEstimator(int window) : window_(window < 2 ? 2 : window) {}
+
+  void Record(double dequeue_time_seconds);
+  double RatePerSecond() const;
+
+ private:
+  int window_;
+  std::deque<double> times_;
+};
+
+}  // namespace fgro
+
+#endif  // FGRO_SERVICE_ADAPTIVE_TARGET_H_

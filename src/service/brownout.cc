@@ -1,6 +1,23 @@
 #include "service/brownout.h"
 
+#include <algorithm>
+
+#include "obs/metrics.h"
+
 namespace fgro {
+
+void BrownoutController::AddSample(double service_seconds) {
+  window_.push_back(service_seconds);
+  while (static_cast<int>(window_.size()) >
+         std::max(1, options_.p95_window)) {
+    window_.pop_front();
+  }
+}
+
+double BrownoutController::WindowP95() const {
+  return obs::QuantileOfSamples(
+      std::vector<double>(window_.begin(), window_.end()), 0.95);
+}
 
 BrownoutLevel BrownoutController::Observe(int queue_depth, int queue_capacity,
                                           double p95_seconds) {
@@ -30,6 +47,10 @@ BrownoutLevel BrownoutController::Observe(int queue_depth, int queue_capacity,
       level_ = static_cast<BrownoutLevel>(static_cast<int>(level_) - 1);
       ++promotions_;
       clear_streak_ = 0;
+      // Staleness fix: drop the rolling window on promotion so latencies
+      // recorded under (or before) the brown-out cannot masquerade as
+      // fresh pressure and re-demote the just-recovered service.
+      window_.clear();
     }
   } else {
     // The hysteresis band between the low and high thresholds: hold the

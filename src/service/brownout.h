@@ -1,6 +1,7 @@
 #ifndef FGRO_SERVICE_BROWNOUT_H_
 #define FGRO_SERVICE_BROWNOUT_H_
 
+#include <deque>
 #include <limits>
 
 namespace fgro {
@@ -55,8 +56,22 @@ class BrownoutController {
       : options_(options) {}
 
   /// One pressure observation. Returns the level in force after it.
+  ///
+  /// A promotion clears the rolling service-time window (see AddSample):
+  /// the samples in it were produced *while browned out* (or before, under
+  /// the pressure that caused the demotion), so carrying them across the
+  /// promotion would let stale pre-recovery latencies immediately re-demote
+  /// a service that has in fact recovered.
   BrownoutLevel Observe(int queue_depth, int queue_capacity,
                         double p95_seconds);
+
+  /// One completed-request service time into the rolling window backing
+  /// WindowP95(). Bounded by BrownoutOptions::p95_window.
+  void AddSample(double service_seconds);
+
+  /// Exact p95 over the current rolling window (0 when empty). Feed this
+  /// to Observe() so the promotion-time clearing applies.
+  double WindowP95() const;
 
   BrownoutLevel level() const { return level_; }
   long demotions() const { return demotions_; }
@@ -70,6 +85,7 @@ class BrownoutController {
   int clear_streak_ = 0;
   long demotions_ = 0;
   long promotions_ = 0;
+  std::deque<double> window_;  // rolling service times, p95_window deep
 };
 
 }  // namespace fgro

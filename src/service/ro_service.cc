@@ -17,6 +17,34 @@ double NowSeconds() {
       .count();
 }
 
+/// One admission-control arm at a time: CoDel enabled forces the static
+/// brown-out baseline off.
+BrownoutOptions ArmedBrownout(const RoServiceOptions& options) {
+  BrownoutOptions brownout = options.brownout;
+  if (options.codel.enabled) brownout.enabled = false;
+  return brownout;
+}
+
+/// The adaptive target starts at the CoDel target unless the caller set a
+/// different initial value explicitly.
+AdaptiveTargetOptions ArmedAdaptiveTarget(const RoServiceOptions& options) {
+  AdaptiveTargetOptions adaptive = options.adaptive_target;
+  if (!options.codel.enabled) adaptive.enabled = false;
+  return adaptive;
+}
+
+BrownoutLevel LevelOfRung(CodelRung rung) {
+  switch (rung) {
+    case CodelRung::kNone: return BrownoutLevel::kNormal;
+    case CodelRung::kTheta0: return BrownoutLevel::kTheta0;
+    // A shed rung reached at dequeue means the request was admitted before
+    // the overload deepened; it is served at the floor, not dropped.
+    case CodelRung::kFuxi:
+    case CodelRung::kShed: return BrownoutLevel::kFuxi;
+  }
+  return BrownoutLevel::kNormal;
+}
+
 }  // namespace
 
 RoService::RoService(const Workload* workload, const LatencyModel* model,
@@ -31,7 +59,14 @@ RoService::RoService(const Workload* workload, const LatencyModel* model,
       num_workers_(std::max(1, sim_options.service_threads)),
       queue_(options.queue_capacity, /*num_lanes=*/2),
       pool_(num_workers_),
-      controller_(options.brownout) {
+      controller_(ArmedBrownout(options)),
+      codel_(options.codel),
+      adaptive_target_(ArmedAdaptiveTarget(options)),
+      throughput_(std::max(8, options.adaptive_target.window)),
+      virtual_queue_(options.codel_virtual) {
+  if (options_.codel.enabled && options_.adaptive_target.enabled) {
+    codel_.set_target(adaptive_target_.target_seconds());
+  }
   // Record into the caller's registry when one is wired through the sim
   // options (so service/simulator/optimizer/model share one breakdown),
   // else into the service-owned fallback. Handles resolve once, here.
@@ -39,10 +74,26 @@ RoService::RoService(const Workload* workload, const LatencyModel* model,
                                                 : &owned_metrics_;
   wait_hist_ = metrics_->GetLatencyHistogram("svc.queue_wait_seconds");
   service_hist_ = metrics_->GetLatencyHistogram("svc.service_seconds");
+  ls_wait_hist_ = metrics_->GetLatencyHistogram("svc.queue_wait_ls_seconds");
+  batch_wait_hist_ =
+      metrics_->GetLatencyHistogram("svc.queue_wait_batch_seconds");
   admitted_counter_ = metrics_->GetCounter("svc.jobs_admitted");
   shed_counter_ = metrics_->GetCounter("svc.jobs_shed");
   completed_counter_ = metrics_->GetCounter("svc.jobs_completed");
   queue_depth_gauge_ = metrics_->GetGauge("svc.queue_depth");
+  expired_counter_ = metrics_->GetCounter("svc.expired_in_queue");
+  sojourn_hist_ =
+      metrics_->GetLatencyHistogram("service.codel.sojourn_seconds");
+  codel_target_gauge_ = metrics_->GetGauge("service.codel.target_seconds");
+  codel_interval_gauge_ =
+      metrics_->GetGauge("service.codel.interval_seconds");
+  codel_reset_counter_ =
+      metrics_->GetCounter("service.codel.interval_resets");
+  codel_shed_counter_ = metrics_->GetCounter("service.codel.drops.shed");
+  codel_theta0_counter_ = metrics_->GetCounter("service.codel.drops.theta0");
+  codel_fuxi_counter_ = metrics_->GetCounter("service.codel.drops.fuxi");
+  codel_adapt_counter_ =
+      metrics_->GetCounter("service.codel.target_adaptations");
   locals_.reserve(static_cast<std::size_t>(num_workers_));
   for (int i = 0; i < num_workers_; ++i) {
     locals_.push_back(std::make_unique<WorkerLocal>());
@@ -67,10 +118,37 @@ Status RoService::Submit(int job_idx, RequestPriority priority) {
   Request request;
   request.job_idx = job_idx;
   request.slot = next_slot_;
+  request.priority = priority;
   request.admit_time = NowSeconds();
   if (options_.request_deadline_seconds > 0.0) {
     request.deadline = Deadline::After(options_.request_deadline_seconds);
   }
+
+  const bool latency_sensitive =
+      priority == RequestPriority::kLatencySensitive;
+  VirtualSojournQueue::Arrival virtual_arrival;
+  const bool codel_virtual =
+      options_.codel.enabled &&
+      options_.codel_clock == CodelClockMode::kVirtualSim;
+  if (codel_virtual) {
+    // Deterministic mode: this request's (virtual) dequeue time and
+    // sojourn are computed here, in submission order under the mutex, and
+    // the CoDel verdict pinned onto the request — a pure function of the
+    // submission sequence, independent of worker count and scheduling.
+    virtual_arrival = virtual_queue_.NextArrival();
+    CodelObserveLocked(virtual_arrival.start_seconds,
+                       virtual_arrival.sojourn_seconds);
+    const CodelRung rung = codel_.RungFor(latency_sensitive);
+    if (rung == CodelRung::kShed) return CodelShedLocked();
+    request.codel_level = LevelOfRung(rung);
+  } else if (options_.codel.enabled &&
+             codel_.RungFor(latency_sensitive) == CodelRung::kShed) {
+    // Wall-clock mode, deepest rung: early-drop the freshest load at the
+    // door instead of queueing work the sojourn says cannot be served in
+    // time. The latency-sensitive lane never reaches the shed rung.
+    return CodelShedLocked();
+  }
+
   if (!queue_.TryPush(std::move(request), static_cast<int>(priority))) {
     // Load shedding: reject now rather than buffer unboundedly or block
     // the caller. A shed is itself a pressure signal for the controller.
@@ -79,6 +157,7 @@ Status RoService::Submit(int job_idx, RequestPriority priority) {
     ObservePressureLocked();
     return Status::ResourceExhausted("RO admission queue full");
   }
+  if (codel_virtual) virtual_queue_.Consume(virtual_arrival);
   ++next_slot_;
   ++pending_;
   ++stats_.jobs_admitted;
@@ -96,15 +175,52 @@ Status RoService::Submit(int job_idx, RequestPriority priority) {
 void RoService::ObservePressureLocked() {
   if (!controller_.enabled()) return;
   // The controller wants the p95 of the *recent* window (recency matters
-  // for hysteresis), so this stays an exact sample quantile over the deque
-  // rather than a cumulative-histogram read.
-  std::vector<double> window(recent_service_seconds_.begin(),
-                             recent_service_seconds_.end());
+  // for hysteresis); it owns the rolling sample deque so a promotion can
+  // clear it — see BrownoutController::Observe on staleness.
   controller_.Observe(static_cast<int>(queue_.size()),
                       static_cast<int>(queue_.capacity()),
-                      obs::QuantileOfSamples(std::move(window), 0.95));
+                      controller_.WindowP95());
   stats_.brownout_demotions = controller_.demotions();
   stats_.brownout_promotions = controller_.promotions();
+}
+
+void RoService::CodelObserveLocked(double now_seconds,
+                                   double sojourn_seconds) {
+  sojourn_hist_->Observe(sojourn_seconds);
+  throughput_.Record(now_seconds);
+  // The adaptive layer walks the target along the observed
+  // latency/throughput curve; feed it before the control decision so the
+  // observation below already runs against the freshest target.
+  if (adaptive_target_.AddPoint(sojourn_seconds,
+                                throughput_.RatePerSecond())) {
+    codel_.set_target(adaptive_target_.target_seconds());
+  }
+  codel_.Observe(now_seconds, sojourn_seconds);
+  codel_target_gauge_->Set(codel_.target_seconds());
+  codel_interval_gauge_->Set(codel_.current_interval_seconds());
+  const long resets = codel_.interval_resets();
+  if (resets > prev_interval_resets_) {
+    codel_reset_counter_->Increment(
+        static_cast<uint64_t>(resets - prev_interval_resets_));
+    prev_interval_resets_ = resets;
+  }
+  const long adaptations = adaptive_target_.adaptations();
+  if (adaptations > prev_adaptations_) {
+    codel_adapt_counter_->Increment(
+        static_cast<uint64_t>(adaptations - prev_adaptations_));
+    prev_adaptations_ = adaptations;
+  }
+  stats_.codel_interval_resets = resets;
+  stats_.codel_target_adaptations = adaptations;
+  stats_.codel_target_ms = codel_.target_seconds() * 1e3;
+}
+
+Status RoService::CodelShedLocked() {
+  ++stats_.jobs_shed;
+  ++stats_.codel_shed_jobs;
+  shed_counter_->Increment();
+  codel_shed_counter_->Increment();
+  return Status::ResourceExhausted("CoDel early-drop: admission shed");
 }
 
 void RoService::WorkerLoop(WorkerLocal* local) {
@@ -117,16 +233,43 @@ void RoService::WorkerLoop(WorkerLocal* local) {
 void RoService::ServeOne(const Request& request, WorkerLocal* local) {
   const double dequeue_time = NowSeconds();
   const bool expired = request.deadline.expired();
+  const bool latency_sensitive =
+      request.priority == RequestPriority::kLatencySensitive;
+  const double wait_seconds = dequeue_time - request.admit_time;
+
+  if (expired) {
+    // Deadline-aware dequeue shed: the budget died while the request
+    // queued, so even the cheapest decision would burn a worker on an
+    // answer the caller has abandoned. Complete it as shed.
+    expired_counter_->Increment();
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.deadline_expired_jobs;
+    ++stats_.expired_in_queue;
+    ++stats_.jobs_shed;
+    ObservePressureLocked();
+    if (--pending_ == 0) idle_.notify_all();
+    return;
+  }
 
   BrownoutLevel level;
-  {
+  if (options_.codel.enabled) {
+    if (options_.codel_clock == CodelClockMode::kVirtualSim) {
+      level = request.codel_level;  // pinned at admission, deterministic
+    } else {
+      // Wall-clock mode: CoDel observes the real sojourn at dequeue and
+      // the rung in force decides this request's ladder level. Only the
+      // batch lane feeds the controller: CoDel's min-sojourn logic assumes
+      // FIFO, and a latency-sensitive request overtakes the batch lane, so
+      // its near-zero sojourn says nothing about the standing backlog —
+      // feeding it in would end an overload episode the batch queue is
+      // still deep in.
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (!latency_sensitive) CodelObserveLocked(dequeue_time, wait_seconds);
+      level = LevelOfRung(codel_.RungFor(latency_sensitive));
+    }
+  } else {
     std::lock_guard<std::mutex> lock(mutex_);
     level = controller_.level();
-  }
-  if (expired) {
-    // The request already blew its budget waiting: serve the cheapest
-    // decision instead of dropping it on the floor.
-    level = BrownoutLevel::kFuxi;
   }
 
   // The brown-out level is sampled once per request so a whole job is
@@ -161,7 +304,9 @@ void RoService::ServeOne(const Request& request, WorkerLocal* local) {
 
   // One relaxed atomic bump per histogram per completed job, outside the
   // control-plane lock. These feed the p95 summary fields at Stop().
-  wait_hist_->Observe(dequeue_time - request.admit_time);
+  wait_hist_->Observe(wait_seconds);
+  (latency_sensitive ? ls_wait_hist_ : batch_wait_hist_)
+      ->Observe(wait_seconds);
   service_hist_->Observe(end_time - dequeue_time);
   completed_counter_->Increment();
   const bool ok = outcomes.ok();
@@ -178,16 +323,23 @@ void RoService::ServeOne(const Request& request, WorkerLocal* local) {
   std::lock_guard<std::mutex> lock(mutex_);
   ++stats_.jobs_completed;
   if (!ok) ++stats_.jobs_failed;
-  if (expired) ++stats_.deadline_expired_jobs;
-  if (level == BrownoutLevel::kTheta0) {
-    ++stats_.brownout_theta0_jobs;
-  } else if (level == BrownoutLevel::kFuxi) {
-    ++stats_.brownout_fuxi_jobs;
+  if (options_.codel.enabled) {
+    if (level == BrownoutLevel::kTheta0) {
+      ++stats_.codel_theta0_jobs;
+      codel_theta0_counter_->Increment();
+    } else if (level == BrownoutLevel::kFuxi) {
+      ++stats_.codel_fuxi_jobs;
+      codel_fuxi_counter_->Increment();
+    }
+  } else {
+    if (level == BrownoutLevel::kTheta0) {
+      ++stats_.brownout_theta0_jobs;
+    } else if (level == BrownoutLevel::kFuxi) {
+      ++stats_.brownout_fuxi_jobs;
+    }
   }
-  recent_service_seconds_.push_back(end_time - dequeue_time);
-  while (static_cast<int>(recent_service_seconds_.size()) >
-         std::max(1, options_.brownout.p95_window)) {
-    recent_service_seconds_.pop_front();
+  if (controller_.enabled()) {
+    controller_.AddSample(end_time - dequeue_time);
   }
   ObservePressureLocked();
   completion_order_.push_back(request.job_idx);
@@ -266,6 +418,13 @@ RoSummary RoService::Summary() {
   summary.brownout_theta0_jobs = stats_.brownout_theta0_jobs;
   summary.brownout_fuxi_jobs = stats_.brownout_fuxi_jobs;
   summary.deadline_expired_jobs = stats_.deadline_expired_jobs;
+  summary.expired_in_queue = stats_.expired_in_queue;
+  summary.codel_shed_jobs = stats_.codel_shed_jobs;
+  summary.codel_theta0_jobs = stats_.codel_theta0_jobs;
+  summary.codel_fuxi_jobs = stats_.codel_fuxi_jobs;
+  summary.codel_interval_resets = stats_.codel_interval_resets;
+  summary.codel_target_adaptations = stats_.codel_target_adaptations;
+  summary.codel_target_ms = stats_.codel_target_ms;
   summary.queue_wait_p95_ms = stats_.queue_wait_p95_ms;
   summary.service_p95_ms = stats_.service_p95_ms;
   summary.max_queue_depth = stats_.max_queue_depth;

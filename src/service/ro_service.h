@@ -2,18 +2,19 @@
 #define FGRO_SERVICE_RO_SERVICE_H_
 
 #include <condition_variable>
-#include <deque>
 #include <memory>
 #include <mutex>
 #include <vector>
 
 #include "common/bounded_queue.h"
+#include "common/codel.h"
 #include "common/deadline.h"
 #include "common/status.h"
 #include "common/thread_pool.h"
 #include "model/latency_model.h"
 #include "obs/metrics.h"
 #include "optimizer/stage_optimizer.h"
+#include "service/adaptive_target.h"
 #include "service/brownout.h"
 #include "sim/ro_metrics.h"
 #include "sim/simulator.h"
@@ -26,22 +27,47 @@ namespace fgro {
 /// classes share the bounded queue and are shed identically when it fills.
 enum class RequestPriority { kLatencySensitive = 0, kBatch = 1 };
 
+/// Which clock drives CoDel's sojourn observations. kVirtualSim derives
+/// enqueue/dequeue times from the deterministic virtual queue model
+/// (CodelVirtualModel): every CoDel decision is fixed at admission, in
+/// submission order under the control-plane mutex, so the merged replay is
+/// byte-identical across service_threads — the sim-clock-derived mode
+/// determinism_test pins down. kWallClock timestamps real enqueue/dequeue
+/// (the live-serving mode bench_overload exercises); only batch-lane
+/// sojourns feed the controller there, because a latency-sensitive
+/// request overtakes the batch lane and its near-zero sojourn is not
+/// evidence about the standing backlog CoDel controls.
+enum class CodelClockMode { kVirtualSim = 0, kWallClock = 1 };
+
 struct RoServiceOptions {
   /// Admission-queue bound. A Submit() that finds the queue full is shed
   /// immediately with kResourceExhausted — the service never blocks the
   /// caller and never buffers unboundedly.
   std::size_t queue_capacity = 64;
   /// Per-request wall-clock budget armed at admission (0 = no deadline).
-  /// A request whose deadline has already expired when a worker dequeues
-  /// it is served at the cheapest ladder level (Fuxi) instead of being
-  /// dropped: the caller still gets a decision, just a cheap one.
+  /// A request whose deadline already expired while it waited in the queue
+  /// is completed as shed at dequeue (expired_in_queue counter) — solving
+  /// it even at the cheapest ladder level would burn a worker on an answer
+  /// the caller has already given up on.
   double request_deadline_seconds = 0.0;
   /// Artificial per-job service-time floor (seconds). Zero in production;
   /// overload tests raise it so a burst deterministically outruns the
   /// workers and exercises shedding / brown-out.
   double min_service_seconds = 0.0;
-  /// Brown-out controller config (disabled by default).
+  /// Static-threshold brown-out controller (PR 3), the config-selected
+  /// baseline arm. Forced off when codel.enabled — one admission-control
+  /// arm at a time.
   BrownoutOptions brownout;
+  /// Adaptive arm: sojourn-time CoDel over the admission queue, driving
+  /// the three-rung response (theta0 demotion, Fuxi demotion, early-drop
+  /// shed) with latency-sensitive-lane protection.
+  CodelOptions codel;
+  CodelClockMode codel_clock = CodelClockMode::kVirtualSim;
+  /// Virtual queue model backing kVirtualSim (ignored under kWallClock).
+  CodelVirtualModel codel_virtual;
+  /// Online target learning from the observed latency/throughput curve
+  /// (only consulted when codel.enabled).
+  AdaptiveTargetOptions adaptive_target;
 };
 
 /// Counters the service accumulates; folded into RoSummary by Summary().
@@ -57,6 +83,16 @@ struct RoServiceStats {
   long brownout_theta0_jobs = 0;
   long brownout_fuxi_jobs = 0;
   long deadline_expired_jobs = 0;
+  /// Deadline-aware dequeue shed: requests completed as shed because the
+  /// deadline expired while they waited (subset of deadline_expired_jobs).
+  long expired_in_queue = 0;
+  /// CoDel arm accounting (all zero when codel is disabled).
+  long codel_shed_jobs = 0;     // early-dropped at admission (shed rung)
+  long codel_theta0_jobs = 0;   // served one ladder level down
+  long codel_fuxi_jobs = 0;     // served at the floor level
+  long codel_interval_resets = 0;      // overload episodes ended
+  long codel_target_adaptations = 0;   // learned-target steps taken
+  double codel_target_ms = 0.0;        // current (learned) sojourn target
   double queue_wait_p95_ms = 0.0;
   double service_p95_ms = 0.0;
   int max_queue_depth = 0;
@@ -68,12 +104,21 @@ struct RoServiceStats {
 ///
 ///   1. Load shedding — Submit() on a full queue rejects immediately with
 ///      kResourceExhausted instead of queueing unboundedly.
-///   2. Brown-out — a hysteretic controller watches queue depth and the
-///      rolling p95 service time and demotes work down the degradation
-///      ladder (IPA+RAA -> theta0 -> Fuxi) under sustained pressure,
-///      re-promoting when it clears.
-///   3. Per-request deadlines — a request that waited past its budget is
-///      served at the Fuxi level rather than dropped.
+///   2. Admission control, one of two config-selected arms:
+///      - Static brown-out (baseline) — a hysteretic controller watches
+///        queue depth and the rolling p95 service time and demotes work
+///        down the degradation ladder (IPA+RAA -> theta0 -> Fuxi) under
+///        sustained pressure, re-promoting when it clears.
+///      - Adaptive CoDel — every request is timestamped at enqueue and its
+///        sojourn observed at dequeue; when the minimum sojourn stays above
+///        a (learned) target for a control interval the service walks a
+///        three-rung response at inverse-sqrt-tightening intervals: theta0
+///        demotion, Fuxi demotion, then early-dropping the freshest batch
+///        arrivals, while the latency-sensitive lane is protected (demoted
+///        later, never shed). The target itself is learned online from the
+///        observed latency/throughput curve (AdaptiveTarget).
+///   3. Per-request deadlines — a request whose budget expired while it
+///      queued is completed as shed at dequeue instead of burning a worker.
 ///
 /// Determinism: each job replays in isolation (Simulator::ReplayJobIsolated)
 /// with a private RNG stream seeded MixSeed(sim.seed, job_idx), so with
@@ -143,8 +188,13 @@ class RoService {
   struct Request {
     int job_idx = 0;
     int slot = 0;  // admission sequence number, orders the merged result
+    RequestPriority priority = RequestPriority::kBatch;
     Deadline deadline;
     double admit_time = 0.0;  // steady-clock seconds
+    /// Ladder level CoDel pinned at admission (kVirtualSim mode only):
+    /// decided in submission order under the mutex, so it is a pure
+    /// function of the submission sequence — the determinism anchor.
+    BrownoutLevel codel_level = BrownoutLevel::kNormal;
   };
 
   /// Per-worker accumulation (the no-atomics-on-hot-path rule): the bulk
@@ -164,6 +214,13 @@ class RoService {
   /// Feeds one (queue depth, rolling p95) observation to the controller.
   /// Caller holds mutex_.
   void ObservePressureLocked();
+  /// One CoDel sojourn observation at (virtual or wall) dequeue time:
+  /// feeds the controller, the throughput estimator, the adaptive target,
+  /// and the service.codel.* metrics. Caller holds mutex_.
+  void CodelObserveLocked(double now_seconds, double sojourn_seconds);
+  /// Sheds the current Submit() under the CoDel early-drop rung.
+  /// Caller holds mutex_.
+  Status CodelShedLocked();
 
   const Workload* workload_;
   Simulator simulator_;
@@ -178,10 +235,25 @@ class RoService {
   obs::MetricsRegistry* metrics_ = nullptr;
   obs::Histogram* wait_hist_ = nullptr;     // svc.queue_wait_seconds
   obs::Histogram* service_hist_ = nullptr;  // svc.service_seconds
+  /// Per-lane queue waits, so the priority-protection claim is checkable
+  /// (latency-sensitive p95 bounded while the batch lane sheds).
+  obs::Histogram* ls_wait_hist_ = nullptr;     // svc.queue_wait_ls_seconds
+  obs::Histogram* batch_wait_hist_ = nullptr;  // svc.queue_wait_batch_seconds
   obs::Counter* admitted_counter_ = nullptr;
   obs::Counter* shed_counter_ = nullptr;
   obs::Counter* completed_counter_ = nullptr;
   obs::Gauge* queue_depth_gauge_ = nullptr;
+  obs::Counter* expired_counter_ = nullptr;  // svc.expired_in_queue
+  // service.codel.*: sojourn histogram, learned target / tightened
+  // interval gauges, interval resets, drops by rung, target adaptations.
+  obs::Histogram* sojourn_hist_ = nullptr;
+  obs::Gauge* codel_target_gauge_ = nullptr;
+  obs::Gauge* codel_interval_gauge_ = nullptr;
+  obs::Counter* codel_reset_counter_ = nullptr;
+  obs::Counter* codel_shed_counter_ = nullptr;
+  obs::Counter* codel_theta0_counter_ = nullptr;
+  obs::Counter* codel_fuxi_counter_ = nullptr;
+  obs::Counter* codel_adapt_counter_ = nullptr;
 
   BoundedPriorityQueue<Request> queue_;
   std::vector<std::unique_ptr<WorkerLocal>> locals_;
@@ -190,7 +262,12 @@ class RoService {
   mutable std::mutex mutex_;
   std::condition_variable idle_;
   BrownoutController controller_;
-  std::deque<double> recent_service_seconds_;  // rolling p95 window
+  SojournCodel codel_;
+  AdaptiveTarget adaptive_target_;
+  ThroughputEstimator throughput_;
+  VirtualSojournQueue virtual_queue_;
+  long prev_interval_resets_ = 0;
+  long prev_adaptations_ = 0;
   std::vector<int> completion_order_;
   RoServiceStats stats_;
   int next_slot_ = 0;

@@ -58,6 +58,14 @@ struct RoSummary {
   long brownout_theta0_jobs = 0;    // jobs served at the theta0 level
   long brownout_fuxi_jobs = 0;      // jobs served at the fuxi level
   long deadline_expired_jobs = 0;   // per-request deadline gone at dequeue
+  long expired_in_queue = 0;        // expired requests completed as shed
+  /// CoDel-arm accounting (all zero when the adaptive arm is off).
+  long codel_shed_jobs = 0;         // early-dropped at admission
+  long codel_theta0_jobs = 0;       // served one ladder level down
+  long codel_fuxi_jobs = 0;         // served at the floor level
+  long codel_interval_resets = 0;   // overload episodes ended
+  long codel_target_adaptations = 0;  // learned-target steps
+  double codel_target_ms = 0.0;     // final learned sojourn target
   double queue_wait_p95_ms = 0.0;   // admission -> dequeue (wall clock)
   double service_p95_ms = 0.0;      // dequeue -> completion (wall clock)
   int max_queue_depth = 0;          // high-water mark of the queue

@@ -363,6 +363,14 @@ Status ReplayJobInState(const Workload& workload, const LatencyModel* model,
           InstanceRun& run = runs[static_cast<size_t>(i)];
           run.machine = assign_machine[static_cast<size_t>(i)];
           double t = start_offset[static_cast<size_t>(i)];
+          // Jitter stream for this instance's retries: a pure function of
+          // (job, stage, instance), so the full-jitter backoff is
+          // byte-identical at any thread count yet decorrelated across
+          // the instances that failed in the same machine-down epoch.
+          const uint64_t retry_stream =
+              MixSeed(MixSeed(static_cast<uint64_t>(job_idx),
+                              static_cast<uint64_t>(s)),
+                      static_cast<uint64_t>(i));
 
           if (!faults) {
             const Machine& machine = cluster.machine(run.machine);
@@ -384,7 +392,7 @@ Status ReplayJobInState(const Workload& workload, const LatencyModel* model,
                   run.completion = t;
                   break;
                 }
-                t += policy.BackoffSeconds(attempt);
+                t += policy.BackoffSeconds(attempt, retry_stream);
                 ++outcome.retries;
                 int next = PickRetryMachine(cluster, injector, theta,
                                             stage_start + t, run.machine);
@@ -437,7 +445,7 @@ Status ReplayJobInState(const Workload& workload, const LatencyModel* model,
                 run.completion = t + ran;
                 break;
               }
-              t += ran + policy.BackoffSeconds(attempt);
+              t += ran + policy.BackoffSeconds(attempt, retry_stream);
               ++outcome.retries;
               if (machine_crash ||
                   !injector.MachineUp(run.machine, stage_start + t)) {
@@ -771,6 +779,12 @@ Status ReplayJobInState(const Workload& workload, const LatencyModel* model,
         run.machine =
             decision.machine_of_instance[static_cast<size_t>(i)];
         double t = 0.0;  // elapsed since stage start, this instance
+        // Per-(job, stage, instance) jitter stream; see the reconfig
+        // dispatch branch for the determinism rationale.
+        const uint64_t retry_stream =
+            MixSeed(MixSeed(static_cast<uint64_t>(job_idx),
+                            static_cast<uint64_t>(s)),
+                    static_cast<uint64_t>(i));
         for (int attempt = 1;; ++attempt) {
           const Machine& machine = cluster.machine(run.machine);
           Result<double> drawn = sample_actual(stage, i, machine, theta);
@@ -810,7 +824,7 @@ Status ReplayJobInState(const Workload& workload, const LatencyModel* model,
             run.completion = t + ran;
             break;
           }
-          t += ran + policy.BackoffSeconds(attempt);
+          t += ran + policy.BackoffSeconds(attempt, retry_stream);
           ++outcome.retries;
           // Re-place when the current machine is gone; otherwise retry
           // in place (transient container failure).

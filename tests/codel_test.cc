@@ -1,0 +1,420 @@
+// Closed-form tests for the adaptive admission-control machinery: the
+// sojourn-time CoDel controller (arming, inverse-sqrt escalation schedule,
+// episode exit, soft restart, rung ladder with priority-lane protection),
+// the deterministic virtual sojourn queue, and the adaptive-target learner
+// (knee convergence on a synthetic latency/throughput curve, bound
+// clamping, MAD outlier rejection). Everything here is clock-injected and
+// RNG-free, so every assertion is exact.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/codel.h"
+#include "service/adaptive_target.h"
+
+namespace fgro {
+namespace {
+
+CodelOptions TestCodel() {
+  CodelOptions options;
+  options.enabled = true;
+  options.target_seconds = 0.005;
+  options.interval_seconds = 0.100;
+  options.theta0_count = 1;
+  options.fuxi_count = 3;
+  options.shed_count = 6;
+  options.protect_margin = 3;
+  return options;
+}
+
+// ---------------------------------------------------------------------------
+// SojournCodel
+
+TEST(SojournCodelTest, DisabledNeverReacts) {
+  CodelOptions options = TestCodel();
+  options.enabled = false;
+  SojournCodel codel(options);
+  for (int i = 0; i < 100; ++i) {
+    codel.Observe(0.01 * i, /*sojourn=*/1.0);
+  }
+  EXPECT_FALSE(codel.overloaded());
+  EXPECT_EQ(codel.RungFor(false), CodelRung::kNone);
+}
+
+TEST(SojournCodelTest, BelowTargetStaysIdle) {
+  SojournCodel codel(TestCodel());
+  for (int i = 0; i < 100; ++i) {
+    codel.Observe(0.01 * i, /*sojourn=*/0.004);
+  }
+  EXPECT_FALSE(codel.overloaded());
+  EXPECT_EQ(codel.count(), 0);
+  EXPECT_EQ(codel.RungFor(false), CodelRung::kNone);
+  EXPECT_EQ(codel.interval_resets(), 0);
+}
+
+TEST(SojournCodelTest, OverloadRequiresFullIntervalAboveTarget) {
+  SojournCodel codel(TestCodel());
+  codel.Observe(0.00, 0.010);  // arms the mark at t = 0.100
+  codel.Observe(0.05, 0.010);  // mark not yet due
+  EXPECT_FALSE(codel.overloaded());
+  codel.Observe(0.10, 0.010);  // minimum stayed above target for an interval
+  EXPECT_TRUE(codel.overloaded());
+  EXPECT_EQ(codel.count(), 1);
+  EXPECT_EQ(codel.RungFor(false), CodelRung::kTheta0);
+  // Priority protection: count 1 - margin 3 is below every rung.
+  EXPECT_EQ(codel.RungFor(true), CodelRung::kNone);
+}
+
+TEST(SojournCodelTest, TransientSpikeShorterThanIntervalDoesNotTrigger) {
+  SojournCodel codel(TestCodel());
+  codel.Observe(0.00, 0.010);  // arm
+  codel.Observe(0.05, 0.001);  // dip below target clears the mark
+  codel.Observe(0.09, 0.010);  // re-arm at t = 0.190
+  codel.Observe(0.11, 0.010);  // old mark time passes, but it was cleared
+  EXPECT_FALSE(codel.overloaded());
+  codel.Observe(0.19, 0.010);
+  EXPECT_TRUE(codel.overloaded());
+}
+
+TEST(SojournCodelTest, EscalationFollowsInverseSqrtSchedule) {
+  SojournCodel codel(TestCodel());
+  const double I = 0.100;
+  codel.Observe(0.0, 0.010);  // arm at I
+  codel.Observe(I, 0.010);    // overload entry: count 1, next fire at 2I
+  ASSERT_TRUE(codel.overloaded());
+  ASSERT_EQ(codel.count(), 1);
+  EXPECT_DOUBLE_EQ(codel.current_interval_seconds(), I);
+
+  codel.Observe(2 * I - 1e-4, 0.010);
+  EXPECT_EQ(codel.count(), 1);
+  codel.Observe(2 * I, 0.010);  // fire 2 at entry + I/sqrt(1)
+  EXPECT_EQ(codel.count(), 2);
+  EXPECT_DOUBLE_EQ(codel.current_interval_seconds(), I / std::sqrt(2.0));
+
+  const double fire3 = 2 * I + I / std::sqrt(2.0);
+  codel.Observe(fire3 - 1e-4, 0.010);
+  EXPECT_EQ(codel.count(), 2);
+  codel.Observe(fire3, 0.010);  // fire 3 at +I/sqrt(2)
+  EXPECT_EQ(codel.count(), 3);
+  EXPECT_DOUBLE_EQ(codel.current_interval_seconds(), I / std::sqrt(3.0));
+
+  const double fire4 = fire3 + I / std::sqrt(3.0);
+  codel.Observe(fire4 - 1e-4, 0.010);
+  EXPECT_EQ(codel.count(), 3);
+  codel.Observe(fire4, 0.010);
+  EXPECT_EQ(codel.count(), 4);
+}
+
+TEST(SojournCodelTest, BelowTargetEndsEpisodeAndCountsReset) {
+  SojournCodel codel(TestCodel());
+  codel.Observe(0.0, 0.010);
+  codel.Observe(0.1, 0.010);
+  ASSERT_TRUE(codel.overloaded());
+  codel.Observe(0.15, 0.001);  // standing queue drained
+  EXPECT_FALSE(codel.overloaded());
+  EXPECT_EQ(codel.count(), 0);
+  EXPECT_EQ(codel.RungFor(false), CodelRung::kNone);
+  EXPECT_EQ(codel.interval_resets(), 1);
+  EXPECT_DOUBLE_EQ(codel.current_interval_seconds(), 0.100);
+}
+
+// Walks an overload episode up to the given escalation count, starting at
+// time `start`; returns the time of the last observation fed.
+double EscalateTo(SojournCodel* codel, double start, int target_count) {
+  double t = start;
+  codel->Observe(t, 0.010);
+  while (codel->count() < target_count) {
+    t += 0.01;
+    codel->Observe(t, 0.010);
+  }
+  return t;
+}
+
+TEST(SojournCodelTest, SoftRestartResumesNearPreviousCount) {
+  SojournCodel codel(TestCodel());
+  double t = EscalateTo(&codel, 0.0, 5);
+  ASSERT_EQ(codel.count(), 5);
+  codel.Observe(t + 0.01, 0.001);  // exit with last_count = 5
+  ASSERT_FALSE(codel.overloaded());
+  // Re-entry within 8 intervals of the exit: the ramp resumes at
+  // last_count - 2 instead of 1.
+  codel.Observe(t + 0.02, 0.010);              // re-arm
+  codel.Observe(t + 0.02 + 0.100, 0.010);      // re-enter
+  ASSERT_TRUE(codel.overloaded());
+  EXPECT_EQ(codel.count(), 3);
+}
+
+TEST(SojournCodelTest, SoftRestartExpiresAfterEightIntervals) {
+  SojournCodel codel(TestCodel());
+  double t = EscalateTo(&codel, 0.0, 5);
+  codel.Observe(t + 0.01, 0.001);  // exit
+  const double late = t + 0.01 + 8.0 * 0.100 + 0.05;  // memory expired
+  codel.Observe(late, 0.010);
+  codel.Observe(late + 0.100, 0.010);
+  ASSERT_TRUE(codel.overloaded());
+  EXPECT_EQ(codel.count(), 1);
+}
+
+TEST(SojournCodelTest, AlternatingPressureNeverEntersOverload) {
+  // Hysteresis: pressure that oscillates faster than the control interval
+  // is exactly the "good queue" CoDel tolerates — the minimum sojourn per
+  // interval keeps dipping below target, so no episode ever starts.
+  SojournCodel codel(TestCodel());
+  for (int i = 0; i < 500; ++i) {
+    codel.Observe(0.02 * i, i % 2 == 0 ? 0.050 : 0.001);
+    ASSERT_FALSE(codel.overloaded()) << "at observation " << i;
+    ASSERT_EQ(codel.RungFor(false), CodelRung::kNone);
+  }
+  EXPECT_EQ(codel.interval_resets(), 0);
+}
+
+TEST(SojournCodelTest, RungLadderWithPriorityProtection) {
+  SojournCodel codel(TestCodel());
+  EscalateTo(&codel, 0.0, 3);
+  EXPECT_EQ(codel.RungFor(false), CodelRung::kFuxi);
+  EXPECT_EQ(codel.RungFor(true), CodelRung::kNone);  // 3 - 3 = 0
+
+  EscalateTo(&codel, 1.0, 4);
+  EXPECT_EQ(codel.RungFor(true), CodelRung::kTheta0);  // 4 - 3 = 1
+
+  EscalateTo(&codel, 2.0, 6);
+  EXPECT_EQ(codel.RungFor(false), CodelRung::kShed);
+  EXPECT_EQ(codel.RungFor(true), CodelRung::kFuxi);  // 6 - 3 = 3
+
+  // The latency-sensitive lane is never shed, no matter how deep the
+  // escalation goes: at the deepest rung it serves at the floor instead.
+  EscalateTo(&codel, 3.0, 20);
+  EXPECT_EQ(codel.RungFor(false), CodelRung::kShed);
+  EXPECT_EQ(codel.RungFor(true), CodelRung::kFuxi);
+}
+
+TEST(SojournCodelTest, IdenticalObservationSequencesGiveIdenticalState) {
+  // Byte-determinism at the controller level: two instances fed the same
+  // (now, sojourn) sequence agree on every piece of observable state at
+  // every step — the property the service's virtual-clock mode leans on.
+  SojournCodel a(TestCodel());
+  SojournCodel b(TestCodel());
+  for (int i = 0; i < 2000; ++i) {
+    const double now = 0.003 * i;
+    const double sojourn = 0.001 + 0.012 * ((i * 7919) % 101) / 100.0;
+    a.Observe(now, sojourn);
+    b.Observe(now, sojourn);
+    ASSERT_EQ(a.overloaded(), b.overloaded()) << i;
+    ASSERT_EQ(a.count(), b.count()) << i;
+    ASSERT_EQ(a.interval_resets(), b.interval_resets()) << i;
+    ASSERT_DOUBLE_EQ(a.current_interval_seconds(),
+                     b.current_interval_seconds())
+        << i;
+    ASSERT_EQ(a.RungFor(false), b.RungFor(false)) << i;
+    ASSERT_EQ(a.RungFor(true), b.RungFor(true)) << i;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// VirtualSojournQueue
+
+TEST(VirtualSojournQueueTest, ClosedFormSojournsWhenOversubscribed) {
+  // Arrivals every 0.4s against 2 modeled workers of 1.0s service: offered
+  // rate 2.5/s vs capacity 2.0/s, so the virtual backlog grows by 0.2s of
+  // sojourn every two arrivals — exactly.
+  CodelVirtualModel model;
+  model.interarrival_seconds = 0.4;
+  model.service_seconds = 1.0;
+  model.workers = 2;
+  VirtualSojournQueue queue(model);
+
+  const double expected_arrival[6] = {0.0, 0.4, 0.8, 1.2, 1.6, 2.0};
+  const double expected_sojourn[6] = {0.0, 0.0, 0.2, 0.2, 0.4, 0.4};
+  for (int i = 0; i < 6; ++i) {
+    VirtualSojournQueue::Arrival a = queue.NextArrival();
+    // 0.4 is not exactly representable, so the accumulated virtual clock
+    // carries a few ULPs of error relative to the closed form.
+    EXPECT_NEAR(a.arrival_seconds, expected_arrival[i], 1e-12) << i;
+    EXPECT_NEAR(a.sojourn_seconds, expected_sojourn[i], 1e-12) << i;
+    EXPECT_NEAR(a.start_seconds, expected_arrival[i] + expected_sojourn[i],
+                1e-12)
+        << i;
+    queue.Consume(a);
+  }
+}
+
+TEST(VirtualSojournQueueTest, ShedConsumesNoCapacity) {
+  CodelVirtualModel model;
+  model.interarrival_seconds = 0.4;
+  model.service_seconds = 1.0;
+  model.workers = 2;
+  VirtualSojournQueue queue(model);
+  // Admit two, then shed every other arrival: the modeled backlog stops
+  // growing because sheds never occupy a modeled worker.
+  queue.Consume(queue.NextArrival());
+  queue.Consume(queue.NextArrival());
+  double last_sojourn = 0.0;
+  for (int i = 0; i < 10; ++i) {
+    VirtualSojournQueue::Arrival a = queue.NextArrival();
+    last_sojourn = a.sojourn_seconds;
+    if (i % 2 == 0) queue.Consume(a);  // odd arrivals shed
+  }
+  // Effective admitted rate 1.25/s < capacity 2/s: sojourn settles at 0.
+  EXPECT_DOUBLE_EQ(last_sojourn, 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// AdaptiveTarget
+
+AdaptiveTargetOptions TestAdaptive() {
+  AdaptiveTargetOptions options;
+  options.enabled = true;
+  options.min_target_seconds = 0.0005;
+  options.max_target_seconds = 0.100;
+  options.initial_target_seconds = 0.005;
+  options.window = 16;
+  options.step_fraction = 0.25;
+  options.slope_threshold = 0.5;
+  return options;
+}
+
+// Synthetic saturating latency/throughput curve with its knee (elasticity
+// = slope_threshold) exactly at latency == knee.
+double CurveThroughput(double latency, double knee) {
+  return 1000.0 * latency / (latency + knee);
+}
+
+// Feeds `windows` adaptation windows, each sampling the curve around the
+// learner's current target (spread +/-20%, as a real sojourn stream would).
+void WalkCurve(AdaptiveTarget* learner, double knee, int windows) {
+  for (int w = 0; w < windows; ++w) {
+    for (int i = 0; i < 16; ++i) {
+      const double latency =
+          learner->target_seconds() * (0.8 + 0.4 * i / 15.0);
+      learner->AddPoint(latency, CurveThroughput(latency, knee));
+    }
+  }
+}
+
+TEST(AdaptiveTargetTest, ConvergesDownToKneeFromAbove) {
+  AdaptiveTargetOptions options = TestAdaptive();
+  options.initial_target_seconds = 0.080;  // way past the knee
+  AdaptiveTarget learner(options);
+  const double knee = 0.010;
+  WalkCurve(&learner, knee, 40);
+  // Equilibrium is elasticity knee/(L+knee) == 0.5, i.e. L == knee; with a
+  // 25% multiplicative step the walk settles within one step of it.
+  EXPECT_GT(learner.target_seconds(), 0.6 * knee);
+  EXPECT_LT(learner.target_seconds(), 1.7 * knee);
+  EXPECT_GE(learner.adaptations(), 40);
+}
+
+TEST(AdaptiveTargetTest, ConvergesUpToKneeFromBelow) {
+  AdaptiveTargetOptions options = TestAdaptive();
+  options.initial_target_seconds = 0.001;  // starving the queue
+  AdaptiveTarget learner(options);
+  const double knee = 0.010;
+  WalkCurve(&learner, knee, 40);
+  EXPECT_GT(learner.target_seconds(), 0.6 * knee);
+  EXPECT_LT(learner.target_seconds(), 1.7 * knee);
+}
+
+TEST(AdaptiveTargetTest, FlatCurveTightensToLowerBound) {
+  // Throughput independent of latency (fully saturated pool): queueing is
+  // pure delay, so the target walks to the floor and clamps there.
+  AdaptiveTarget learner(TestAdaptive());
+  for (int w = 0; w < 30; ++w) {
+    for (int i = 0; i < 16; ++i) {
+      const double latency =
+          learner.target_seconds() * (0.8 + 0.4 * i / 15.0);
+      learner.AddPoint(latency, 500.0);
+    }
+  }
+  EXPECT_DOUBLE_EQ(learner.target_seconds(), 0.0005);
+}
+
+TEST(AdaptiveTargetTest, SteepCurveLoosensToUpperBound) {
+  // Throughput still linear in tolerated latency (elasticity 1 > 0.5):
+  // more queueing keeps buying throughput, so the target grows and clamps
+  // at the ceiling.
+  AdaptiveTarget learner(TestAdaptive());
+  for (int w = 0; w < 30; ++w) {
+    for (int i = 0; i < 16; ++i) {
+      const double latency =
+          learner.target_seconds() * (0.8 + 0.4 * i / 15.0);
+      learner.AddPoint(latency, 1000.0 * latency);
+    }
+  }
+  EXPECT_DOUBLE_EQ(learner.target_seconds(), 0.100);
+}
+
+TEST(AdaptiveTargetTest, DisabledNeverAdapts) {
+  AdaptiveTargetOptions options = TestAdaptive();
+  options.enabled = false;
+  AdaptiveTarget learner(options);
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_FALSE(learner.AddPoint(0.01, 100.0));
+  }
+  EXPECT_DOUBLE_EQ(learner.target_seconds(), 0.005);
+  EXPECT_EQ(learner.adaptations(), 0);
+}
+
+TEST(AdaptiveTargetTest, MadOutlierRejectionDropsSpike) {
+  AdaptiveTarget learner(TestAdaptive());
+  // A tight cluster of latencies at constant throughput, plus one wild
+  // (latency, throughput) spike that would otherwise dominate the fit.
+  std::vector<double> latencies;
+  std::vector<double> throughputs;
+  for (int i = 0; i < 15; ++i) {
+    latencies.push_back(0.010 + 0.0001 * i);
+    throughputs.push_back(100.0);
+  }
+  latencies.push_back(0.500);
+  throughputs.push_back(1000.0);
+
+  std::size_t used = 0;
+  const double slope = learner.RegressionSlope(latencies, throughputs, &used);
+  EXPECT_EQ(used, 15u);
+  EXPECT_EQ(learner.outliers_rejected(), 1);
+  EXPECT_DOUBLE_EQ(slope, 0.0);  // the surviving cluster is flat
+
+  AdaptiveTargetOptions no_reject = TestAdaptive();
+  no_reject.outlier_rejection = false;
+  AdaptiveTarget naive(no_reject);
+  const double naive_slope =
+      naive.RegressionSlope(latencies, throughputs, &used);
+  EXPECT_EQ(used, 16u);
+  EXPECT_GT(naive_slope, 100.0);  // the spike drags the fit positive
+}
+
+TEST(AdaptiveTargetTest, DegenerateMadSkipsRejection) {
+  // All-equal latencies: MAD is 0, rejection would discard legitimate
+  // ties, so the fit runs over the full window.
+  AdaptiveTarget learner(TestAdaptive());
+  std::vector<double> latencies(8, 0.010);
+  std::vector<double> throughputs(8, 100.0);
+  std::size_t used = 0;
+  learner.RegressionSlope(latencies, throughputs, &used);
+  EXPECT_EQ(used, 8u);
+  EXPECT_EQ(learner.outliers_rejected(), 0);
+}
+
+// ---------------------------------------------------------------------------
+// ThroughputEstimator
+
+TEST(ThroughputEstimatorTest, WindowedCompletionRate) {
+  ThroughputEstimator estimator(8);
+  EXPECT_DOUBLE_EQ(estimator.RatePerSecond(), 0.0);
+  estimator.Record(0.0);
+  EXPECT_DOUBLE_EQ(estimator.RatePerSecond(), 0.0);  // needs two points
+  for (int i = 1; i <= 10; ++i) estimator.Record(0.1 * i);
+  // Window keeps the last 8 timestamps: (8 - 1) / (1.0 - 0.3).
+  EXPECT_NEAR(estimator.RatePerSecond(), 10.0, 1e-9);
+}
+
+TEST(ThroughputEstimatorTest, StalledClockReportsZero) {
+  ThroughputEstimator estimator(4);
+  estimator.Record(1.0);
+  estimator.Record(1.0);
+  EXPECT_DOUBLE_EQ(estimator.RatePerSecond(), 0.0);
+}
+
+}  // namespace
+}  // namespace fgro

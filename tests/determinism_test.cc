@@ -460,6 +460,177 @@ TEST(DeterminismTest, ReconfigWithoutTriggersMatchesDisabledBitForBit) {
   }
 }
 
+TEST(DeterminismTest, CodelReplayIsByteIdenticalAcrossThreads) {
+  // The adaptive-CoDel arm must preserve the service-mode determinism
+  // contract: in kVirtualSim clock mode every CoDel decision (demote rung,
+  // early-drop shed, adaptive-target step) is a pure function of the
+  // submission sequence, so an overloaded virtual model produces the same
+  // shed pattern, the same merged outcomes, and the same codel counters
+  // for 1, 2, and 8 workers.
+  ExperimentEnv::Options options;
+  options.workload = WorkloadId::kA;
+  options.scale = 0.03;
+  options.train.epochs = 1;
+  options.train.max_train_samples = 800;
+  Result<std::unique_ptr<ExperimentEnv>> env = ExperimentEnv::Build(options);
+  ASSERT_TRUE(env.ok()) << env.status().ToString();
+  const int num_jobs = static_cast<int>((*env)->workload().jobs.size());
+  const int rounds = 4;
+
+  struct Run {
+    std::vector<bool> admitted;  // per submission, in submission order
+    SimResult result;
+    RoServiceStats stats;
+  };
+  auto run_with = [&](int threads) {
+    SimOptions sim_options;
+    sim_options.outcome = OutcomeMode::kEnvironment;
+    sim_options.seed = 13;
+    sim_options.service_threads = threads;
+
+    RoServiceOptions service_options;
+    // Capacity above the whole offered load: a full-queue shed would be
+    // timing-dependent, so it must be structurally impossible — every
+    // shed below is a (deterministic) CoDel early-drop.
+    service_options.queue_capacity =
+        static_cast<std::size_t>(rounds * num_jobs + 8);
+    service_options.codel.enabled = true;
+    service_options.codel_clock = CodelClockMode::kVirtualSim;
+    service_options.codel.interval_seconds = 0.5;  // virtual seconds
+    service_options.codel.theta0_count = 1;
+    service_options.codel.fuxi_count = 2;
+    service_options.codel.shed_count = 3;
+    service_options.codel.protect_margin = 1;
+    // Oversubscribed virtual model (2.5 arrivals/s vs 2 modeled servers of
+    // 1s each): the virtual sojourn climbs until the shed rung engages,
+    // sheds relieve the modeled backlog, and the cycle repeats — an
+    // overload/recover oscillation exercising every rung.
+    service_options.codel_virtual.interarrival_seconds = 0.4;
+    service_options.codel_virtual.service_seconds = 1.0;
+    service_options.codel_virtual.workers = 2;
+    service_options.adaptive_target.enabled = true;
+    service_options.adaptive_target.initial_target_seconds = 0.3;
+    service_options.adaptive_target.min_target_seconds = 0.1;
+    service_options.adaptive_target.max_target_seconds = 1.0;
+    service_options.adaptive_target.window = 8;
+
+    RoService service(&(*env)->workload(), &(*env)->model(), sim_options,
+                      StageOptimizer::IpaRaaPathWithFallback(),
+                      service_options);
+    Run run;
+    for (int r = 0; r < rounds; ++r) {
+      for (int j = 0; j < num_jobs; ++j) {
+        const Status status = service.Submit(
+            j, j % 4 == 0 ? RequestPriority::kLatencySensitive
+                          : RequestPriority::kBatch);
+        if (!status.ok()) {
+          EXPECT_EQ(status.code(), StatusCode::kResourceExhausted)
+              << status.ToString();
+        }
+        run.admitted.push_back(status.ok());
+      }
+    }
+    service.Drain();
+    run.stats = service.Stats();
+    run.result = service.TakeResult();
+    return run;
+  };
+
+  const Run one = run_with(1);
+  const Run two = run_with(2);
+  const Run eight = run_with(8);
+
+  auto expect_same = [](const Run& a, const Run& b) {
+    // The shed pattern itself is part of the contract.
+    ASSERT_EQ(a.admitted.size(), b.admitted.size());
+    for (size_t i = 0; i < a.admitted.size(); ++i) {
+      EXPECT_EQ(a.admitted[i], b.admitted[i]) << "submission " << i;
+    }
+    ASSERT_EQ(a.result.outcomes.size(), b.result.outcomes.size());
+    for (size_t i = 0; i < a.result.outcomes.size(); ++i) {
+      const StageOutcome& x = a.result.outcomes[i];
+      const StageOutcome& y = b.result.outcomes[i];
+      EXPECT_EQ(x.job_idx, y.job_idx);
+      EXPECT_EQ(x.stage_idx, y.stage_idx);
+      EXPECT_EQ(x.feasible, y.feasible);
+      EXPECT_EQ(x.num_instances, y.num_instances);
+      EXPECT_EQ(x.fallback, y.fallback);
+      EXPECT_EQ(x.stage_latency, y.stage_latency);
+      EXPECT_EQ(x.stage_cost, y.stage_cost);
+      EXPECT_EQ(x.default_theta_cores, y.default_theta_cores);
+    }
+    EXPECT_EQ(a.stats.jobs_shed, b.stats.jobs_shed);
+    EXPECT_EQ(a.stats.codel_shed_jobs, b.stats.codel_shed_jobs);
+    EXPECT_EQ(a.stats.codel_theta0_jobs, b.stats.codel_theta0_jobs);
+    EXPECT_EQ(a.stats.codel_fuxi_jobs, b.stats.codel_fuxi_jobs);
+    EXPECT_EQ(a.stats.codel_interval_resets, b.stats.codel_interval_resets);
+    EXPECT_EQ(a.stats.codel_target_adaptations,
+              b.stats.codel_target_adaptations);
+    EXPECT_EQ(a.stats.codel_target_ms, b.stats.codel_target_ms);
+  };
+  expect_same(one, two);
+  expect_same(one, eight);
+
+  // The control loop actually fired — sheds, demotions, episode resets,
+  // and target adaptations all happened; this is not determinism of a
+  // dormant controller.
+  EXPECT_GT(one.stats.codel_shed_jobs, 0);
+  EXPECT_GT(one.stats.codel_theta0_jobs + one.stats.codel_fuxi_jobs, 0);
+  EXPECT_GT(one.stats.codel_interval_resets, 0);
+  EXPECT_GT(one.stats.codel_target_adaptations, 0);
+}
+
+TEST(DeterminismTest, DisabledCodelConfigIsInertBitForBit) {
+  // codel.enabled = false must take exactly the legacy service path: a
+  // service carrying a fully-populated (but disabled) CoDel and adaptive-
+  // target config produces the same merged result, bit for bit, as one
+  // with default options — on any thread count.
+  ExperimentEnv::Options options;
+  options.workload = WorkloadId::kA;
+  options.scale = 0.03;
+  options.train.epochs = 1;
+  options.train.max_train_samples = 800;
+  Result<std::unique_ptr<ExperimentEnv>> env = ExperimentEnv::Build(options);
+  ASSERT_TRUE(env.ok()) << env.status().ToString();
+
+  auto run_with = [&](int threads, const RoServiceOptions& service_options) {
+    SimOptions sim_options;
+    sim_options.outcome = OutcomeMode::kEnvironment;
+    sim_options.seed = 13;
+    sim_options.service_threads = threads;
+    Result<SimResult> result = ServeWorkload(
+        (*env)->workload(), &(*env)->model(), sim_options,
+        StageOptimizer::IpaRaaPathWithFallback(), service_options);
+    EXPECT_TRUE(result.ok()) << result.status().ToString();
+    return std::move(result).value();
+  };
+
+  RoServiceOptions loaded;
+  loaded.codel.enabled = false;  // the one switch that matters
+  loaded.codel.target_seconds = 0.001;
+  loaded.codel.shed_count = 1;
+  loaded.codel_clock = CodelClockMode::kVirtualSim;
+  loaded.codel_virtual.interarrival_seconds = 0.01;  // savagely overloaded
+  loaded.codel_virtual.service_seconds = 10.0;
+  loaded.adaptive_target.enabled = true;  // forced off without codel
+
+  const SimResult plain = run_with(2, RoServiceOptions{});
+  const SimResult carrying = run_with(8, loaded);
+  ASSERT_EQ(plain.outcomes.size(), carrying.outcomes.size());
+  for (size_t i = 0; i < plain.outcomes.size(); ++i) {
+    const StageOutcome& x = plain.outcomes[i];
+    const StageOutcome& y = carrying.outcomes[i];
+    EXPECT_EQ(x.job_idx, y.job_idx);
+    EXPECT_EQ(x.stage_idx, y.stage_idx);
+    EXPECT_EQ(x.feasible, y.feasible);
+    EXPECT_EQ(x.num_instances, y.num_instances);
+    EXPECT_EQ(x.fallback, y.fallback);
+    EXPECT_EQ(x.stage_latency, y.stage_latency);
+    EXPECT_EQ(x.stage_cost, y.stage_cost);
+    EXPECT_EQ(x.default_theta_cores, y.default_theta_cores);
+  }
+}
+
 TEST(DeterminismTest, TrainingIsReproducible) {
   ExperimentEnv::Options options;
   options.workload = WorkloadId::kA;

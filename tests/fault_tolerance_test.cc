@@ -704,6 +704,55 @@ TEST(RetryPolicyTest, BackoffGrowsAndCaps) {
   EXPECT_DOUBLE_EQ(policy.BackoffSeconds(10), 5.0);
 }
 
+TEST(RetryPolicyTest, FullJitterIsDeterministicBoundedAndDecorrelated) {
+  RetryPolicy policy;
+  policy.initial_backoff_seconds = 1.0;
+  policy.backoff_multiplier = 2.0;
+  policy.max_backoff_seconds = 5.0;
+  policy.full_jitter = true;
+  for (uint64_t stream : {0ull, 1ull, 42ull, 0xdeadbeefull}) {
+    for (int attempt = 1; attempt <= 10; ++attempt) {
+      const double jittered = policy.BackoffSeconds(attempt, stream);
+      // Reproducible: same (policy, stream, attempt) -> same wait, every
+      // time — the property that keeps faulty replays byte-identical.
+      EXPECT_DOUBLE_EQ(jittered, policy.BackoffSeconds(attempt, stream));
+      // Full jitter is uniform in (0, capped backoff]: positive, and the
+      // exponential cap is preserved.
+      EXPECT_GT(jittered, 0.0);
+      EXPECT_LE(jittered, policy.BackoffSeconds(attempt));
+      EXPECT_LE(jittered, policy.max_backoff_seconds);
+    }
+  }
+  // Different streams decorrelate: the whole point of jitter is that two
+  // instances knocked out by the same machine crash do not re-collide on
+  // a synchronized schedule.
+  bool any_diff = false;
+  for (int attempt = 1; attempt <= 10; ++attempt) {
+    if (policy.BackoffSeconds(attempt, 7) != policy.BackoffSeconds(attempt, 8)) {
+      any_diff = true;
+    }
+  }
+  EXPECT_TRUE(any_diff);
+  // So does the attempt number within one stream: both attempts are at
+  // the 5.0s cap, so only the per-attempt jitter separates them.
+  EXPECT_NE(policy.BackoffSeconds(9, 7), policy.BackoffSeconds(10, 7));
+}
+
+TEST(RetryPolicyTest, JitterOffMatchesLegacyScheduleExactly) {
+  // full_jitter = false must be bit-compatible with the pre-jitter code:
+  // the stream-taking overload collapses to the deterministic schedule.
+  RetryPolicy policy;
+  policy.initial_backoff_seconds = 1.0;
+  policy.backoff_multiplier = 2.0;
+  policy.max_backoff_seconds = 5.0;
+  for (uint64_t stream : {0ull, 99ull}) {
+    EXPECT_DOUBLE_EQ(policy.BackoffSeconds(1, stream), 1.0);
+    EXPECT_DOUBLE_EQ(policy.BackoffSeconds(2, stream), 2.0);
+    EXPECT_DOUBLE_EQ(policy.BackoffSeconds(3, stream), 4.0);
+    EXPECT_DOUBLE_EQ(policy.BackoffSeconds(4, stream), 5.0);  // capped
+  }
+}
+
 TEST(RetryPolicyTest, ShouldRetryHonorsBudgetAndCode) {
   RetryPolicy policy;
   policy.max_attempts = 3;

@@ -1,6 +1,8 @@
-// Concurrent RO-service tests: brown-out hysteresis, determinism of the
-// merged replay across worker counts, load shedding on a full admission
-// queue, priority ordering, per-request deadlines, and counter consistency.
+// Concurrent RO-service tests: brown-out hysteresis (including the
+// promotion-time p95-window clearing), adaptive-CoDel admission control
+// with priority-lane protection, determinism of the merged replay across
+// worker counts, load shedding on a full admission queue, priority
+// ordering, deadline-aware dequeue shedding, and counter consistency.
 //
 // This suite (with fault_tolerance_test) is the TSan CI target: every test
 // here exercises the worker pool, the bounded queue, and the shared
@@ -9,7 +11,9 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <chrono>
 #include <memory>
+#include <thread>
 #include <vector>
 
 #include "common/rng.h"
@@ -128,6 +132,54 @@ TEST(BrownoutControllerTest, RepromotesExactlyAtPromoteAfter) {
   // ...and the promote_after-th consecutive clear promotes, exactly then.
   EXPECT_EQ(controller.Observe(0, 10, 0.0), BrownoutLevel::kNormal);
   EXPECT_EQ(controller.promotions(), 1);
+  EXPECT_EQ(controller.demotions(), 1);
+}
+
+TEST(BrownoutControllerTest, PromotionClearsStaleP95Window) {
+  // Staleness regression (demote -> promote -> no spurious re-demote): the
+  // rolling service-time window is owned by the controller precisely so a
+  // promotion can drop it. Before the fix the window survived promotion,
+  // and with the exact small-window p95 sitting on the slowest retained
+  // sample, latencies recorded under the brown-out kept masquerading as
+  // fresh pressure against p95_high after the service had recovered.
+  BrownoutOptions options = TestBrownout();
+  options.demote_after = 2;
+  options.promote_after = 2;
+  options.p95_high_seconds = 1.0;
+  options.p95_low_seconds = 0.5;
+  options.p95_window = 8;
+  BrownoutController controller(options);
+
+  // Overload: slow completions push the window p95 over the high mark,
+  // and the deep queue agrees — two pressured observations demote.
+  for (int i = 0; i < 8; ++i) controller.AddSample(2.0);
+  EXPECT_GT(controller.WindowP95(), options.p95_high_seconds);
+  controller.Observe(9, 10, controller.WindowP95());
+  EXPECT_EQ(controller.Observe(9, 10, controller.WindowP95()),
+            BrownoutLevel::kTheta0);
+  ASSERT_EQ(controller.demotions(), 1);
+
+  // Recovery: fast browned-out completions age the slow samples out of the
+  // bounded window; two clear observations then promote.
+  for (int i = 0; i < 8; ++i) controller.AddSample(0.05);
+  ASSERT_LT(controller.WindowP95(), options.p95_low_seconds);
+  controller.Observe(0, 10, controller.WindowP95());
+  EXPECT_EQ(controller.Observe(0, 10, controller.WindowP95()),
+            BrownoutLevel::kNormal);
+  ASSERT_EQ(controller.promotions(), 1);
+
+  // The fix under test: promotion dropped the window, so nothing recorded
+  // before the recovery can feed the next pressure decision.
+  EXPECT_DOUBLE_EQ(controller.WindowP95(), 0.0);
+
+  // Fresh, healthy completions: the controller holds kNormal — no
+  // spurious re-demote from retained brown-out-era history.
+  for (int i = 0; i < 8; ++i) {
+    controller.AddSample(0.05);
+    EXPECT_EQ(controller.Observe(0, 10, controller.WindowP95()),
+              BrownoutLevel::kNormal)
+        << "post-promotion observation " << i;
+  }
   EXPECT_EQ(controller.demotions(), 1);
 }
 
@@ -337,7 +389,7 @@ TEST_F(ServiceFixture, BrownoutDemotesUnderOverloadAndRepromotesWhenClear) {
   EXPECT_GT(summary.fallback_histogram[1] + summary.fallback_histogram[2], 0);
 }
 
-TEST_F(ServiceFixture, ExpiredDeadlineServedAtFuxiNotDropped) {
+TEST_F(ServiceFixture, ExpiredDeadlineCompletedAsShedAtDequeue) {
   RoServiceOptions options;
   options.queue_capacity = 16;
   options.min_service_seconds = 0.04;
@@ -350,13 +402,80 @@ TEST_F(ServiceFixture, ExpiredDeadlineServedAtFuxiNotDropped) {
   }
   service.Drain();
   RoServiceStats stats = service.Stats();
-  // Everything behind the first request waited out its budget...
-  EXPECT_GT(stats.deadline_expired_jobs, 0);
-  // ...but was served (cheaply) rather than dropped.
-  EXPECT_EQ(stats.jobs_completed, n);
+  // Everything behind the first request waited out its budget in the queue
+  // and was completed as shed at dequeue — a worker never burns a solve
+  // (even a cheap Fuxi one) on an answer the caller has abandoned.
+  EXPECT_GT(stats.expired_in_queue, 0);
+  EXPECT_EQ(stats.deadline_expired_jobs, stats.expired_in_queue);
+  EXPECT_EQ(stats.jobs_shed, stats.expired_in_queue);  // shed at dequeue
+  EXPECT_EQ(stats.jobs_completed + stats.expired_in_queue, n);
+  EXPECT_LT(stats.jobs_completed, n);
+  EXPECT_GE(stats.jobs_completed, 1);  // the first dequeue beat its budget
   RoSummary summary = service.Summary();
+  EXPECT_EQ(summary.expired_in_queue, stats.expired_in_queue);
   EXPECT_EQ(summary.deadline_expired_jobs, stats.deadline_expired_jobs);
-  EXPECT_GT(summary.fallback_histogram[2], 0);  // Fuxi-level decisions exist
+  EXPECT_EQ(summary.jobs_completed, stats.jobs_completed);
+}
+
+TEST_F(ServiceFixture, CodelShedsBatchButProtectsLatencySensitiveLane) {
+  // Wall-clock CoDel under a sustained overload burst: the batch lane must
+  // reach the shed rung (early drops at the door) while every
+  // latency-sensitive submission is still admitted and its queue-wait p95
+  // stays bounded near the sojourn target — the priority-protection claim.
+  RoServiceOptions options;
+  // Deeper than the whole burst, so plain queue-full shedding is
+  // structurally impossible: every shed in this test is a CoDel early-drop.
+  options.queue_capacity = 192;
+  options.min_service_seconds = 0.02;
+  options.codel.enabled = true;
+  options.codel_clock = CodelClockMode::kWallClock;
+  options.codel.target_seconds = 0.01;
+  options.codel.interval_seconds = 0.02;
+  options.codel.theta0_count = 1;
+  options.codel.fuxi_count = 2;
+  options.codel.shed_count = 3;
+  options.codel.protect_margin = 2;
+  RoService service(&env_->workload(), &env_->model(), BaseSim(1),
+                    StageOptimizer::IpaRaaPathWithFallback(), options);
+
+  // Paced open loop at ~10x the single worker's capacity; every 20th
+  // request is latency-sensitive (well under capacity on its own lane).
+  const int total = 150;
+  int ls_submitted = 0;
+  int ls_admitted = 0;
+  for (int r = 0; r < total; ++r) {
+    const bool ls = r % 20 == 0;
+    const Status status =
+        service.Submit(r % NumJobs(), ls ? RequestPriority::kLatencySensitive
+                                         : RequestPriority::kBatch);
+    if (ls) {
+      ++ls_submitted;
+      if (status.ok()) ++ls_admitted;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  service.Drain();
+  service.Stop();
+
+  RoServiceStats stats = service.Stats();
+  // The batch lane hit the shed rung...
+  EXPECT_GT(stats.codel_shed_jobs, 0);
+  EXPECT_EQ(stats.jobs_shed, stats.codel_shed_jobs);  // none were queue-full
+  // ...after walking through the demotion rungs...
+  EXPECT_GT(stats.codel_theta0_jobs + stats.codel_fuxi_jobs, 0);
+  // ...while the latency-sensitive lane was never shed.
+  EXPECT_EQ(ls_admitted, ls_submitted);
+
+  // Priority protection in latency terms: LS requests jump the standing
+  // batch backlog, so their p95 wait stays within a few service slots even
+  // though the batch lane's wait grew to the backlog CoDel was draining.
+  const auto snapshot = service.metrics().Snap();
+  const double ls_p95 =
+      snapshot.histograms.at("svc.queue_wait_ls_seconds").p95;
+  const double batch_p95 =
+      snapshot.histograms.at("svc.queue_wait_batch_seconds").p95;
+  EXPECT_LT(ls_p95, 0.25);  // a few service slots, sanitizer-slack included
+  EXPECT_GT(batch_p95, ls_p95);
 }
 
 TEST_F(ServiceFixture, SubmitValidatesAndStopsCleanly) {
