@@ -1,9 +1,12 @@
 #include "model/latency_model.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
+#include <string>
 
 #include "common/logging.h"
 #include "common/math_utils.h"
@@ -86,6 +89,42 @@ LatencyModel::LatencyModel(Options options) : options_(std::move(options)) {
                     h, &rng);
       break;
   }
+  RetagParams();
+}
+
+void LatencyModel::RetagParams() {
+  // Process-wide monotone counter: two models whose parameters ever diverged
+  // can never share a tag, so PredictionMemo keys built from the tag are
+  // exact whatever mix of base/tuned/promoted models touches one memo. The
+  // tag value itself never influences a prediction, so replays stay
+  // byte-identical regardless of construction order across threads.
+  static std::atomic<uint64_t> next_tag{1};
+  params_tag_ = next_tag.fetch_add(1, std::memory_order_relaxed);
+}
+
+bool LatencyModel::HasFiniteParameters() const {
+  auto all_finite = [](const Vec& v) {
+    for (double x : v) {
+      if (!std::isfinite(x)) return false;
+    }
+    return true;
+  };
+  std::vector<Param*> params = const_cast<LatencyModel*>(this)->AllParams();
+  for (const Param* p : params) {
+    if (!all_finite(p->value)) return false;
+  }
+  return all_finite(op_standardizer_.mean) &&
+         all_finite(op_standardizer_.inv_std) &&
+         all_finite(inst_standardizer_.mean) &&
+         all_finite(inst_standardizer_.inv_std);
+}
+
+void LatencyModel::CorruptParamForTest(double value) {
+  std::vector<Param*> params = AllParams();
+  if (!params.empty() && !params[0]->value.empty()) {
+    params[0]->value[0] = value;
+  }
+  RetagParams();
 }
 
 bool LatencyModel::UsesTree() const {
@@ -319,6 +358,7 @@ Status LatencyModel::Train(const TraceDataset& dataset,
     }
   }
   trained_ = true;
+  RetagParams();
   return Status::OK();
 }
 
@@ -359,6 +399,7 @@ Status LatencyModel::FineTune(const TraceDataset& dataset,
       tuner.Step(params, batch);
     }
   }
+  RetagParams();
   return Status::OK();
 }
 
@@ -518,7 +559,8 @@ uint64_t DoubleBits(double v) {
 PredictionKey MakePredictionKey(const LatencyModel::EmbeddedInstance& embedded,
                                 const ResourceConfig& theta,
                                 const SystemState& state, int hardware_type,
-                                int discretization_degree) {
+                                int discretization_degree,
+                                uint64_t model_tag) {
   PredictionKey key;
   if (embedded.stage != nullptr) {
     key.job_id = embedded.stage->job_id;
@@ -534,6 +576,7 @@ PredictionKey MakePredictionKey(const LatencyModel::EmbeddedInstance& embedded,
   key.cpu_bits = DoubleBits(d.cpu_util);
   key.mem_bits = DoubleBits(d.mem_util);
   key.io_bits = DoubleBits(d.io_util);
+  key.model_tag = model_tag;
   return key;
 }
 
@@ -559,7 +602,7 @@ void LatencyModel::PredictBatch(const std::vector<PredictionQuery>& queries,
       const PredictionQuery& q = queries[i];
       const PredictionKey key =
           MakePredictionKey(*q.embedded, q.candidate.theta, q.candidate.state,
-                            q.candidate.hardware_type, dd);
+                            q.candidate.hardware_type, dd, params_tag_);
       if (!memo->Lookup(key, &out[i])) scratch->pending.push_back(i);
     }
   } else {
@@ -586,7 +629,8 @@ void LatencyModel::PredictBatch(const std::vector<PredictionQuery>& queries,
       if (memo != nullptr) {
         memo->Insert(MakePredictionKey(*q.embedded, q.candidate.theta,
                                        q.candidate.state,
-                                       q.candidate.hardware_type, dd),
+                                       q.candidate.hardware_type, dd,
+                                       params_tag_),
                      out[i]);
       }
     }
@@ -641,7 +685,8 @@ void LatencyModel::PredictBatch(const std::vector<PredictionQuery>& queries,
         const PredictionQuery& q = queries[i];
         memo->Insert(MakePredictionKey(*q.embedded, q.candidate.theta,
                                        q.candidate.state,
-                                       q.candidate.hardware_type, dd),
+                                       q.candidate.hardware_type, dd,
+                                       params_tag_),
                      out[i]);
       }
     }
@@ -679,7 +724,8 @@ Result<std::vector<double>> LatencyModel::PredictRecords(
 }
 
 namespace {
-constexpr const char* kModelMagic = "fgro-model-v1";
+constexpr const char* kModelMagic = "fgro-model-v2";
+constexpr const char* kChecksumPrefix = "checksum ";
 
 void WriteVec(std::FILE* f, const Vec& v) {
   std::fprintf(f, "%zu", v.size());
@@ -690,17 +736,36 @@ void WriteVec(std::FILE* f, const Vec& v) {
 bool ReadVec(std::FILE* f, Vec* v) {
   size_t n = 0;
   if (std::fscanf(f, "%zu", &n) != 1) return false;
+  // Cap against a crafted header demanding an absurd allocation before any
+  // value has been read; no real snapshot's vector comes close.
+  if (n > (1u << 26)) return false;
   v->resize(n);
   for (size_t i = 0; i < n; ++i) {
     if (std::fscanf(f, "%lg", &(*v)[i]) != 1) return false;
   }
   return true;
 }
+
+/// FNV-1a 64 over the snapshot body. The footer makes truncation, bit
+/// flips, and appended junk detectable as framing damage (kDataLoss)
+/// instead of surfacing as a subtly wrong model.
+uint64_t SnapshotChecksum(const char* data, size_t size) {
+  uint64_t h = 1469598103934665603ULL;
+  for (size_t i = 0; i < size; ++i) {
+    h ^= static_cast<unsigned char>(data[i]);
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
 }  // namespace
 
 Status LatencyModel::Save(const std::string& path) const {
-  std::FILE* f = std::fopen(path.c_str(), "w");
-  if (f == nullptr) return Status::Internal("cannot open " + path);
+  // Assemble the body in memory so the checksum footer can cover every
+  // byte exactly as written.
+  char* body = nullptr;
+  size_t body_size = 0;
+  std::FILE* f = open_memstream(&body, &body_size);
+  if (f == nullptr) return Status::Internal("cannot buffer snapshot");
   const ChannelMask& mask = options_.featurizer.mask();
   std::fprintf(f, "%s\n", kModelMagic);
   std::fprintf(f, "%d %d %d %d %d %lu\n", static_cast<int>(options_.kind),
@@ -723,13 +788,69 @@ Status LatencyModel::Save(const std::string& path) const {
     WriteVec(f, p->value);
   }
   std::fclose(f);
+
+  std::FILE* out = std::fopen(path.c_str(), "w");
+  if (out == nullptr) {
+    std::free(body);
+    return Status::Internal("cannot open " + path);
+  }
+  const size_t written = std::fwrite(body, 1, body_size, out);
+  std::fprintf(out, "%s%016llx\n", kChecksumPrefix,
+               static_cast<unsigned long long>(
+                   SnapshotChecksum(body, body_size)));
+  std::free(body);
+  if (written != body_size || std::fclose(out) != 0) {
+    return Status::Internal("short write to " + path);
+  }
   return Status::OK();
 }
 
 Result<std::unique_ptr<LatencyModel>> LatencyModel::Load(
     const std::string& path) {
-  std::FILE* f = std::fopen(path.c_str(), "r");
-  if (f == nullptr) return Status::NotFound("cannot open " + path);
+  std::FILE* raw = std::fopen(path.c_str(), "rb");
+  if (raw == nullptr) return Status::NotFound("cannot open " + path);
+  std::string content;
+  {
+    char buf[1 << 16];
+    size_t n = 0;
+    while ((n = std::fread(buf, 1, sizeof(buf), raw)) > 0) {
+      content.append(buf, n);
+    }
+    const bool read_error = std::ferror(raw) != 0;
+    std::fclose(raw);
+    if (read_error) return Status::DataLoss(path + ": read error");
+  }
+
+  // Framing first: the last line must be the checksum footer and it must
+  // match the body byte-for-byte. Anything else — empty file, truncation,
+  // a flipped bit, appended junk — is storage damage, not a caller error.
+  auto damaged = [&](const std::string& why) -> Status {
+    return Status::DataLoss(path + ": " + why);
+  };
+  if (content.empty()) return damaged("empty snapshot");
+  if (content.back() != '\n') return damaged("truncated snapshot");
+  const size_t footer_start = content.rfind('\n', content.size() - 2);
+  const size_t body_size = footer_start == std::string::npos
+                               ? 0
+                               : footer_start + 1;
+  const std::string footer =
+      content.substr(body_size, content.size() - body_size - 1);
+  unsigned long long stored = 0;
+  char trailing = '\0';
+  if (footer.compare(0, std::strlen(kChecksumPrefix), kChecksumPrefix) != 0 ||
+      std::sscanf(footer.c_str() + std::strlen(kChecksumPrefix), "%16llx%c",
+                  &stored, &trailing) != 1) {
+    return damaged("missing or malformed checksum footer");
+  }
+  if (SnapshotChecksum(content.data(), body_size) != stored) {
+    return damaged("checksum mismatch");
+  }
+
+  // The body verified, so parse it; any structural or value-level garbage
+  // past this point was *written* that way — an invalid snapshot, not a
+  // damaged one.
+  std::FILE* f = fmemopen(const_cast<char*>(content.data()), body_size, "r");
+  if (f == nullptr) return Status::Internal("cannot buffer snapshot");
   auto fail = [&](const std::string& why) -> Status {
     std::fclose(f);
     return Status::InvalidArgument(path + ": " + why);
@@ -747,6 +868,13 @@ Result<std::unique_ptr<LatencyModel>> LatencyModel::Load(
                   &options.qpp_data_dim, &seed) != 6) {
     return fail("bad architecture header");
   }
+  if (kind < 0 || kind > static_cast<int>(ModelKind::kQppnetOriginal) ||
+      options.embed_dim < 1 || options.embed_dim > 4096 ||
+      options.gnn_layers < 0 || options.gnn_layers > 64 ||
+      options.mlp_hidden < 1 || options.mlp_hidden > 4096 ||
+      options.qpp_data_dim < 1 || options.qpp_data_dim > 4096) {
+    return fail("architecture header out of range");
+  }
   options.kind = static_cast<ModelKind>(kind);
   options.seed = seed;
   int ch[5] = {0}, aim = 0, dd = 10;
@@ -754,6 +882,7 @@ Result<std::unique_ptr<LatencyModel>> LatencyModel::Load(
                   &ch[4], &aim, &dd) != 7) {
     return fail("bad channel mask");
   }
+  if (dd < 1 || dd > 1024) return fail("discretization degree out of range");
   ChannelMask mask;
   mask.ch1 = ch[0] != 0;
   mask.ch2 = ch[1] != 0;
@@ -767,6 +896,9 @@ Result<std::unique_ptr<LatencyModel>> LatencyModel::Load(
   int trained = 0, target = 0;
   if (std::fscanf(f, "%d %d", &trained, &target) != 2) {
     return fail("bad state header");
+  }
+  if (target < 0 || target > static_cast<int>(Target::kActualCpuTimeStar)) {
+    return fail("unknown training target");
   }
   model->trained_ = trained != 0;
   model->target_ = static_cast<Target>(target);
@@ -790,7 +922,13 @@ Result<std::unique_ptr<LatencyModel>> LatencyModel::Load(
     }
     p->value = std::move(value);
   }
+  char extra[2] = {0};
+  if (std::fscanf(f, "%1s", extra) == 1) return fail("trailing data in body");
   std::fclose(f);
+  if (!model->HasFiniteParameters()) {
+    return Status::InvalidArgument(path + ": non-finite parameter");
+  }
+  model->RetagParams();
   return model;
 }
 

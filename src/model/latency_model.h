@@ -164,10 +164,34 @@ class LatencyModel {
       const TraceDataset& dataset, const std::vector<int>& indices) const;
 
   /// Persists the trained model (architecture, standardizers, parameters)
-  /// to a version-tagged text file; Load reconstructs it. This is what lets
-  /// the model server hand models to schedulers across process boundaries.
+  /// to a version-tagged text file with a checksum footer; Load reconstructs
+  /// it. This is what lets the model server hand models to schedulers across
+  /// process boundaries. Load never crashes and never returns a silently
+  /// wrong model: a truncated, bit-flipped, over-long, or empty snapshot is
+  /// kDataLoss (the checksum or framing no longer matches what Save wrote);
+  /// a well-framed file carrying garbage (unknown kind, impossible shapes,
+  /// non-finite weights) is kInvalidArgument.
   Status Save(const std::string& path) const;
   static Result<std::unique_ptr<LatencyModel>> Load(const std::string& path);
+
+  /// True when every learned parameter and fitted standardizer entry is
+  /// finite. The model-registry promotion gate refuses candidates that fail
+  /// this (a NaN-poisoned model would otherwise predict a constant floor).
+  bool HasFiniteParameters() const;
+
+  /// Identity of the current parameter values, unique process-wide: assigned
+  /// at construction and re-assigned whenever the parameters change
+  /// (Train/FineTune/Load/CorruptParamForTest). Copies share the tag —
+  /// identical weights compute identical predictions — until one of them
+  /// mutates. PredictionMemo keys include this tag, so a swapped or tuned
+  /// model can never serve a prior model's cached prediction.
+  uint64_t params_tag() const { return params_tag_; }
+
+  /// Fault-injection hook for the rollout bench and lifecycle tests:
+  /// overwrites one value of the first learned parameter (e.g. with NaN to
+  /// synthesize a poisoned candidate). Re-tags the parameters. Never called
+  /// on a serving path.
+  void CorruptParamForTest(double value);
 
   ModelKind kind() const { return options_.kind; }
   const Featurizer& featurizer() const { return options_.featurizer; }
@@ -210,9 +234,13 @@ class LatencyModel {
   std::vector<Param*> AllParams();
   double TargetOf(const InstanceRecord& record, Target target) const;
 
+  /// Draws a fresh process-unique params_tag (see params_tag()).
+  void RetagParams();
+
   Options options_;
   Target target_ = Target::kInstanceLatency;
   bool trained_ = false;
+  uint64_t params_tag_ = 0;
 
   GraphEmbedder gnn_;
   TreeLstm tlstm_;

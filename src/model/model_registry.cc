@@ -1,0 +1,414 @@
+#include "model/model_registry.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+#include <random>
+#include <utility>
+
+#include "common/rng.h"
+#include "model/metrics.h"
+
+namespace fgro {
+
+ModelRegistry::ModelRegistry(int max_versions)
+    : max_versions_(std::max(2, max_versions)) {}
+
+long ModelRegistry::Install(std::shared_ptr<const LatencyModel> model,
+                            std::string source) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Entry entry;
+  entry.id = next_id_++;
+  entry.model = std::move(model);
+  entry.source = std::move(source);
+  entries_.push_back(std::move(entry));
+  previous_id_ = active_id_;
+  active_id_ = entries_.back().id;
+  ++epoch_;
+  EvictLocked();
+  return active_id_;
+}
+
+void ModelRegistry::EvictLocked() {
+  while (entries_.size() > static_cast<size_t>(max_versions_)) {
+    auto victim = entries_.end();
+    for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+      if (it->id != active_id_ && it->id != previous_id_) {
+        victim = it;
+        break;
+      }
+    }
+    if (victim == entries_.end()) return;  // only protected versions left
+    entries_.erase(victim);
+  }
+}
+
+std::shared_ptr<const LatencyModel> ModelRegistry::active() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const Entry& e : entries_) {
+    if (e.id == active_id_) return e.model;
+  }
+  return nullptr;
+}
+
+long ModelRegistry::active_version() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return active_id_;
+}
+
+long ModelRegistry::model_epoch() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return epoch_;
+}
+
+Result<long> ModelRegistry::RollbackToPrevious() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (previous_id_ == 0) {
+    return Status::FailedPrecondition("no predecessor version retained");
+  }
+  for (Entry& e : entries_) {
+    if (e.id == active_id_) e.rolled_back = true;
+  }
+  active_id_ = previous_id_;
+  // A second consecutive rollback has no sane target (the rolled-back
+  // version is not it); the next Install re-arms rollback.
+  previous_id_ = 0;
+  ++epoch_;
+  return active_id_;
+}
+
+std::shared_ptr<const LatencyModel> ModelRegistry::Get(long version_id) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const Entry& e : entries_) {
+    if (e.id == version_id) return e.model;
+  }
+  return nullptr;
+}
+
+std::vector<ModelRegistry::VersionInfo> ModelRegistry::Versions() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<VersionInfo> out;
+  out.reserve(entries_.size());
+  for (const Entry& e : entries_) {
+    VersionInfo info;
+    info.id = e.id;
+    info.source = e.source;
+    info.active = e.id == active_id_;
+    info.rolled_back = e.rolled_back;
+    out.push_back(std::move(info));
+  }
+  return out;
+}
+
+size_t ModelRegistry::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return entries_.size();
+}
+
+ModelGateResult RunModelGate(const LatencyModel* candidate,
+                             const LatencyModel* incumbent,
+                             const TraceDataset& holdout,
+                             const std::vector<int>& holdout_indices,
+                             const ModelGateOptions& options) {
+  ModelGateResult result;
+  if (candidate == nullptr) {
+    result.reason = "no candidate";
+    return result;
+  }
+  if (!candidate->trained()) {
+    result.reason = "candidate untrained";
+    return result;
+  }
+  if (!candidate->HasFiniteParameters()) {
+    result.reason = "candidate has non-finite parameters";
+    return result;
+  }
+  if (static_cast<int>(holdout_indices.size()) < options.min_holdout_samples ||
+      incumbent == nullptr || !incumbent->trained()) {
+    result.passed = true;
+    result.reason = "ok (accuracy check skipped)";
+    return result;
+  }
+
+  Result<std::vector<double>> cand_pred =
+      candidate->PredictRecords(holdout, holdout_indices);
+  Result<std::vector<double>> inc_pred =
+      incumbent->PredictRecords(holdout, holdout_indices);
+  if (!cand_pred.ok()) {
+    result.reason = "candidate prediction failed: " +
+                    cand_pred.status().message();
+    return result;
+  }
+  if (!inc_pred.ok()) {
+    // Cannot compare against a broken incumbent; the structural checks
+    // passed, so let the shadow window decide.
+    result.passed = true;
+    result.reason = "ok (incumbent prediction failed)";
+    return result;
+  }
+  std::vector<double> actual;
+  actual.reserve(holdout_indices.size());
+  for (int idx : holdout_indices) {
+    actual.push_back(holdout.records[static_cast<size_t>(idx)].actual_latency);
+  }
+  result.candidate_wmape =
+      ComputeModelMetrics(actual, cand_pred.value()).wmape;
+  result.incumbent_wmape = ComputeModelMetrics(actual, inc_pred.value()).wmape;
+  const double budget =
+      result.incumbent_wmape * (1.0 + options.max_wmape_regression);
+  if (!std::isfinite(result.candidate_wmape) ||
+      result.candidate_wmape > budget) {
+    result.reason = "holdout WMAPE " + std::to_string(result.candidate_wmape) +
+                    " exceeds budget " + std::to_string(budget) +
+                    " (incumbent " + std::to_string(result.incumbent_wmape) +
+                    ")";
+    return result;
+  }
+  result.passed = true;
+  result.reason = "ok";
+  return result;
+}
+
+ModelLifecycle::ModelLifecycle(const ModelLifecycleOptions& options,
+                               std::shared_ptr<const LatencyModel> initial,
+                               const Workload* workload, uint64_t stream_seed,
+                               const obs::Obs& obs)
+    : options_(options), registry_(options.max_versions), seed_(stream_seed),
+      obs_(obs) {
+  options_.shadow_observations = std::max(1, options_.shadow_observations);
+  options_.probation_observations =
+      std::max(0, options_.probation_observations);
+  options_.rollback_cooldown_observations =
+      std::max(0, options_.rollback_cooldown_observations);
+  options_.buffer_capacity = std::max(1, options_.buffer_capacity);
+  options_.retrain_min_samples = std::max(1, options_.retrain_min_samples);
+  buffer_.workload = workload;
+  buffer_.records.reserve(static_cast<size_t>(options_.buffer_capacity));
+  if (initial != nullptr) {
+    registry_.Install(std::move(initial), "initial");
+    active_raw_ = registry_.active().get();
+  }
+  if (obs_.metrics != nullptr) {
+    obs_candidates_ = obs_.metrics->GetCounter("model.lifecycle.candidates");
+    obs_gate_rejects_ =
+        obs_.metrics->GetCounter("model.lifecycle.gate_rejects");
+    obs_shadow_rejects_ =
+        obs_.metrics->GetCounter("model.lifecycle.shadow_rejects");
+    obs_promotions_ = obs_.metrics->GetCounter("model.lifecycle.promotions");
+    obs_rollbacks_ = obs_.metrics->GetCounter("model.lifecycle.rollbacks");
+    obs_retrains_ = obs_.metrics->GetCounter("model.lifecycle.retrains");
+    obs_wasted_decisions_ =
+        obs_.metrics->GetCounter("model.lifecycle.wasted_decisions");
+  }
+}
+
+std::vector<int> ModelLifecycle::BufferIndices() const {
+  std::vector<int> indices(buffer_.records.size());
+  std::iota(indices.begin(), indices.end(), 0);
+  return indices;
+}
+
+bool ModelLifecycle::SubmitCandidate(std::unique_ptr<LatencyModel> candidate,
+                                     const std::string& source) {
+  ++stats_.candidates_submitted;
+  if (obs_candidates_ != nullptr) obs_candidates_->Increment();
+
+  if (options_.unconditional) {
+    // The unguarded adoption path the gate replaces: no validation, no
+    // shadow, instant swap (bench collapse baseline).
+    return Promote(std::move(candidate), source);
+  }
+  if (shadow_ != nullptr || cooldown_left_ > 0) return false;
+
+  obs::ScopedSpan span(obs_.tracer, "model.lifecycle.gate");
+  const ModelGateResult gate = RunModelGate(
+      candidate.get(), active_raw_, buffer_, BufferIndices(), options_.gate);
+  if (!gate.passed) {
+    ++stats_.gate_rejects;
+    if (obs_gate_rejects_ != nullptr) obs_gate_rejects_->Increment();
+    return false;
+  }
+  shadow_ = std::move(candidate);
+  shadow_source_ = source;
+  shadow_scored_ = 0;
+  shadow_abs_err_ = 0.0;
+  incumbent_abs_err_ = 0.0;
+  shadow_actual_sum_ = 0.0;
+  return true;
+}
+
+bool ModelLifecycle::Promote(std::unique_ptr<LatencyModel> candidate,
+                             const std::string& source) {
+  if (candidate == nullptr) return false;
+  obs::ScopedSpan span(obs_.tracer, "model.lifecycle.promote");
+  registry_.Install(
+      std::shared_ptr<const LatencyModel>(std::move(candidate)), source);
+  active_raw_ = registry_.active().get();
+  probation_left_ =
+      options_.unconditional ? 0 : options_.probation_observations;
+  decisions_since_promotion_ = 0;
+  solve_since_promotion_ = 0.0;
+  ++stats_.promotions;
+  if (obs_promotions_ != nullptr) obs_promotions_->Increment();
+  return true;
+}
+
+bool ModelLifecycle::Observe(int job_idx, int stage_idx, const Stage& stage,
+                             int instance_idx, const ResourceConfig& theta,
+                             int machine_id, int hardware_type,
+                             const SystemState& machine_state,
+                             double actual_latency, double now) {
+  ++observations_;
+  if (probation_left_ > 0) --probation_left_;
+  if (cooldown_left_ > 0) --cooldown_left_;
+
+  if (actual_latency > 0.0) {  // log-latency target needs > 0
+    InstanceRecord record;
+    record.job_idx = job_idx;
+    record.stage_idx = stage_idx;
+    record.instance_idx = instance_idx;
+    record.template_id = stage.template_id;
+    record.theta = theta;
+    record.machine_id = machine_id;
+    record.hardware_type = hardware_type;
+    record.machine_state = machine_state;
+    record.actual_latency = actual_latency;
+    const size_t cap = static_cast<size_t>(options_.buffer_capacity);
+    if (buffer_.records.size() < cap) {
+      buffer_.records.push_back(std::move(record));
+    } else {
+      buffer_.records[buffer_cursor_] = std::move(record);
+      buffer_cursor_ = (buffer_cursor_ + 1) % cap;
+    }
+  }
+
+  bool promoted = false;
+  if (shadow_ != nullptr && active_raw_ != nullptr && actual_latency > 0.0) {
+    // Shadow canary: both models score the live observation; neither
+    // result affects any decision until the window closes.
+    Result<double> cand = shadow_->Predict(stage, instance_idx, theta,
+                                           machine_state, hardware_type);
+    Result<double> inc = active_raw_->Predict(stage, instance_idx, theta,
+                                              machine_state, hardware_type);
+    if (cand.ok() && inc.ok()) {
+      shadow_abs_err_ += std::abs(cand.value() - actual_latency);
+      incumbent_abs_err_ += std::abs(inc.value() - actual_latency);
+      shadow_actual_sum_ += actual_latency;
+      ++shadow_scored_;
+    }
+    if (shadow_scored_ >= options_.shadow_observations &&
+        shadow_actual_sum_ > 0.0) {
+      const double cand_wmape = shadow_abs_err_ / shadow_actual_sum_;
+      const double inc_wmape = incumbent_abs_err_ / shadow_actual_sum_;
+      if (cand_wmape <=
+          inc_wmape * (1.0 + options_.max_shadow_regression)) {
+        promoted = Promote(std::move(shadow_), shadow_source_);
+      } else {
+        ++stats_.shadow_rejects;
+        if (obs_shadow_rejects_ != nullptr) obs_shadow_rejects_->Increment();
+        shadow_.reset();
+      }
+    }
+  }
+
+  MaybeScheduledRetrain(now);
+  return promoted;
+}
+
+void ModelLifecycle::MaybeScheduledRetrain(double now) {
+  if (options_.retrain_period_seconds <= 0.0) return;
+  if (!retrain_clock_set_) {
+    retrain_clock_set_ = true;
+    next_retrain_time_ = now + options_.retrain_period_seconds;
+    return;
+  }
+  if (now < next_retrain_time_) return;
+  next_retrain_time_ = now + options_.retrain_period_seconds;
+  if (stats_.retrains >= options_.max_retrains) return;
+  if (shadow_ != nullptr || cooldown_left_ > 0) return;
+  const int n = static_cast<int>(buffer_.records.size());
+  if (n < options_.retrain_min_samples) return;
+  if (active_raw_ == nullptr || !active_raw_->trained()) return;
+
+  obs::ScopedSpan span(obs_.tracer, "model.lifecycle.retrain");
+  auto candidate = std::make_unique<LatencyModel>(*active_raw_);
+  std::vector<int> indices = BufferIndices();
+  TrainOptions tune;
+  tune.epochs = options_.retrain_epochs;
+  tune.batch_size = options_.retrain_batch;
+  tune.lr = options_.retrain_lr;
+  tune.lr_decay = 1.0;
+  tune.max_train_samples = n;
+  tune.seed = MixSeed(
+      seed_, 0x5E7AULL + static_cast<uint64_t>(stats_.retrains));
+
+  Status tuned = Status::OK();
+  if (options_.poison == ModelLifecycleOptions::RetrainPoison::kLabelShuffle) {
+    // Fine-tune on a label-permuted copy of the buffer: the candidate
+    // learns noise, while the gate still validates on the true labels.
+    TraceDataset poisoned = buffer_;
+    std::vector<double> labels;
+    labels.reserve(poisoned.records.size());
+    for (const InstanceRecord& r : poisoned.records) {
+      labels.push_back(r.actual_latency);
+    }
+    std::mt19937_64 shuffle_rng(MixSeed(
+        seed_, 0x19ABULL + static_cast<uint64_t>(stats_.retrains)));
+    std::shuffle(labels.begin(), labels.end(), shuffle_rng);
+    for (size_t i = 0; i < poisoned.records.size(); ++i) {
+      poisoned.records[i].actual_latency = labels[i];
+    }
+    tuned = candidate->FineTune(poisoned, indices, tune);
+  } else {
+    tuned = candidate->FineTune(buffer_, indices, tune);
+  }
+  if (!tuned.ok()) return;
+  if (options_.poison == ModelLifecycleOptions::RetrainPoison::kNanInject) {
+    candidate->CorruptParamForTest(
+        std::numeric_limits<double>::quiet_NaN());
+  }
+
+  ++stats_.retrains;
+  if (obs_retrains_ != nullptr) obs_retrains_->Increment();
+  SubmitCandidate(std::move(candidate),
+                  options_.poison == ModelLifecycleOptions::RetrainPoison::kNone
+                      ? "retrain"
+                      : "retrain-poisoned");
+}
+
+bool ModelLifecycle::NoteDriftAlarms(long alarms_raised) {
+  if (alarms_raised <= last_alarms_seen_) return false;
+  last_alarms_seen_ = alarms_raised;
+  if (options_.unconditional) return false;
+  if (probation_left_ <= 0) return false;
+
+  // A fresh drift alarm inside probation: the promotion is presumed the
+  // cause; restore the predecessor and account the work the bad model
+  // burned.
+  Result<long> restored = registry_.RollbackToPrevious();
+  if (!restored.ok()) return false;
+  obs::ScopedSpan span(obs_.tracer, "model.lifecycle.rollback");
+  active_raw_ = registry_.active().get();
+  ++stats_.rollbacks;
+  stats_.wasted_decisions += decisions_since_promotion_;
+  stats_.wasted_solve_seconds += solve_since_promotion_;
+  if (obs_rollbacks_ != nullptr) obs_rollbacks_->Increment();
+  if (obs_wasted_decisions_ != nullptr) {
+    obs_wasted_decisions_->Increment(
+        static_cast<uint64_t>(decisions_since_promotion_));
+  }
+  probation_left_ = 0;
+  cooldown_left_ = options_.rollback_cooldown_observations;
+  decisions_since_promotion_ = 0;
+  solve_since_promotion_ = 0.0;
+  shadow_.reset();  // the regime just proved unstable; re-canary later
+  return true;
+}
+
+void ModelLifecycle::NoteDecision(double solve_seconds) {
+  ++decisions_since_promotion_;
+  solve_since_promotion_ += solve_seconds;
+}
+
+}  // namespace fgro

@@ -1,0 +1,300 @@
+#ifndef FGRO_MODEL_MODEL_REGISTRY_H_
+#define FGRO_MODEL_MODEL_REGISTRY_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "model/latency_model.h"
+#include "obs/obs.h"
+#include "trace/trace_collector.h"
+
+namespace fgro {
+
+/// Versioned registry of immutable latency-model snapshots: the safe
+/// hand-off point between whoever produces models (scheduled retrains,
+/// reconfig fine-tunes, snapshots loaded from disk) and whoever consumes
+/// them (RO-service workers mid-solve).
+///
+/// Concurrency: thread-safe. Readers take a shared_ptr copy of the active
+/// snapshot under a brief mutex hold (RCU-style: the swap is an O(1)
+/// pointer assignment, readers pin their version with the refcount and
+/// never block a promotion; an old version dies when its last in-flight
+/// solve drops it). Versions are immutable once installed — promotion and
+/// rollback change which version is active, never a version's weights.
+///
+/// Retention is bounded: beyond `max_versions` the oldest version that is
+/// neither active nor the rollback target is evicted (its weights survive
+/// until in-flight readers finish, per shared_ptr semantics).
+class ModelRegistry {
+ public:
+  explicit ModelRegistry(int max_versions = 4);
+
+  struct VersionInfo {
+    long id = 0;
+    std::string source;
+    bool active = false;
+    bool rolled_back = false;  // was demoted by an automatic rollback
+  };
+
+  /// Installs a snapshot as the new active version. Returns its monotone
+  /// version id (ids start at 1 and never recycle). Bumps the model epoch.
+  long Install(std::shared_ptr<const LatencyModel> model, std::string source);
+
+  /// The active snapshot (null until the first Install). The returned
+  /// shared_ptr keeps the version alive across a concurrent swap.
+  std::shared_ptr<const LatencyModel> active() const;
+  long active_version() const;
+
+  /// Monotone count of activation changes (Install + successful rollback).
+  /// Stamped through SchedulingContext/StageDecision so a decision solved
+  /// under a superseded model is identifiable.
+  long model_epoch() const;
+
+  /// Re-activates the version that was active before the current one and
+  /// marks the current one rolled_back. Fails (kFailedPrecondition) when
+  /// no predecessor is retained. Returns the re-activated version id.
+  Result<long> RollbackToPrevious();
+
+  /// Snapshot of a retained version by id; null when evicted or unknown.
+  std::shared_ptr<const LatencyModel> Get(long version_id) const;
+
+  std::vector<VersionInfo> Versions() const;
+  size_t size() const;
+
+ private:
+  struct Entry {
+    long id = 0;
+    std::shared_ptr<const LatencyModel> model;
+    std::string source;
+    bool rolled_back = false;
+  };
+
+  void EvictLocked();
+
+  mutable std::mutex mutex_;
+  std::vector<Entry> entries_;  // install order
+  long next_id_ = 1;
+  long active_id_ = 0;    // 0 = none
+  long previous_id_ = 0;  // rollback target; 0 = none
+  long epoch_ = 0;
+  int max_versions_;
+};
+
+/// Static-validation knobs shared by the lifecycle gate and the model
+/// server's gated adoption path.
+struct ModelGateOptions {
+  /// Candidate holdout WMAPE may exceed the incumbent's by at most this
+  /// fraction (0.10 = 10% regression budget).
+  double max_wmape_regression = 0.10;
+  /// Below this many holdout records the accuracy comparison is skipped
+  /// (structural checks still apply).
+  int min_holdout_samples = 16;
+};
+
+struct ModelGateResult {
+  bool passed = false;
+  std::string reason;  // human-readable reject reason; "ok" on pass
+  double candidate_wmape = 0.0;  // 0 when the accuracy check was skipped
+  double incumbent_wmape = 0.0;
+};
+
+/// Static validation of a candidate model against the incumbent: the
+/// candidate must be trained with all-finite parameters, and — given
+/// enough holdout records — its WMAPE on them must be within the
+/// regression budget of the incumbent's. Pure and deterministic.
+ModelGateResult RunModelGate(const LatencyModel* candidate,
+                             const LatencyModel* incumbent,
+                             const TraceDataset& holdout,
+                             const std::vector<int>& holdout_indices,
+                             const ModelGateOptions& options);
+
+/// Knobs for the model lifecycle. Disabled (default), nothing changes: no
+/// registry, no shadow scoring, fine-tunes adopt via PR 6's trust windows.
+/// Enabled, every candidate model — scheduled retrain, reconfig fine-tune,
+/// loaded snapshot — must pass the static gate, then a shadow window
+/// scoring live observations alongside the incumbent, before an atomic
+/// swap promotes it; a fresh drift alarm inside the probation window after
+/// promotion rolls the swap back automatically.
+struct ModelLifecycleOptions {
+  bool enabled = false;
+
+  ModelGateOptions gate;
+
+  /// Shadow canary: live observations both models score before the
+  /// candidate may promote, and the regression budget its shadow WMAPE
+  /// must stay within vs. the incumbent's on the same observations.
+  int shadow_observations = 48;
+  double max_shadow_regression = 0.10;
+
+  /// Probation: observations after a promotion during which a *new* drift
+  /// alarm triggers automatic rollback.
+  int probation_observations = 128;
+
+  /// Observations after a rollback during which new candidates are
+  /// refused (the regime just proved unstable; let the window recover).
+  int rollback_cooldown_observations = 96;
+
+  int max_versions = 4;
+
+  /// Bounded ring of completed-instance records: the gate's holdout set
+  /// and the scheduled retrains' training data.
+  int buffer_capacity = 256;
+
+  /// Scheduled retrains inside the replay (the embedded model-server loop
+  /// of Expt 7): every `retrain_period_seconds` of sim time the lifecycle
+  /// fine-tunes a clone of the active model on the buffer and submits it
+  /// through the gate. 0 disables.
+  double retrain_period_seconds = 0.0;
+  int retrain_min_samples = 24;
+  double retrain_lr = 3e-4;
+  int retrain_epochs = 2;
+  int retrain_batch = 16;
+  int max_retrains = 16;
+
+  /// Fault injection for the rollout bench: poison every scheduled
+  /// retrain. kLabelShuffle fine-tunes on a label-permuted copy of the
+  /// buffer (the gate still validates on the true labels); kNanInject
+  /// corrupts one weight to NaN after the tune.
+  enum class RetrainPoison { kNone, kLabelShuffle, kNanInject };
+  RetrainPoison poison = RetrainPoison::kNone;
+
+  /// Ablation arm: adopt every candidate instantly — no gate, no shadow,
+  /// no rollback. This is the unguarded adoption path the gate replaces;
+  /// the rollout bench uses it as the collapse baseline.
+  bool unconditional = false;
+
+  uint64_t seed = 20277;
+};
+
+struct ModelLifecycleStats {
+  long candidates_submitted = 0;
+  long gate_rejects = 0;
+  long shadow_rejects = 0;
+  long promotions = 0;
+  long rollbacks = 0;
+  long retrains = 0;  // scheduled retrains that produced a candidate
+  /// Decisions solved under a model that was later rolled back inside its
+  /// probation window, and the solver seconds they burned.
+  long wasted_decisions = 0;
+  double wasted_solve_seconds = 0.0;
+};
+
+/// The model lifecycle: owns the registry, the observation buffer, the
+/// in-shadow candidate, and the probation state. One lifecycle per
+/// ReplayState (like the Rng and the ReconfigurationEngine): all triggers
+/// derive from recorded observations and sim time, never wall clock, so
+/// replays stay byte-identical across thread counts. The registry inside
+/// is itself thread-safe for the service's concurrent-reader pattern.
+class ModelLifecycle {
+ public:
+  /// `initial` becomes version 1 (must be trained). `workload` backs the
+  /// observation buffer's plan lookups, like the reconfig replay buffer.
+  ModelLifecycle(const ModelLifecycleOptions& options,
+                 std::shared_ptr<const LatencyModel> initial,
+                 const Workload* workload, uint64_t stream_seed,
+                 const obs::Obs& obs);
+
+  const ModelLifecycleOptions& options() const { return options_; }
+  const ModelLifecycleStats& stats() const { return stats_; }
+  const ModelRegistry& registry() const { return registry_; }
+
+  /// The model schedulers should use right now (raw pointer valid until
+  /// the next promotion/rollback; single-threaded replay use). Concurrent
+  /// readers take active_snapshot() instead.
+  const LatencyModel* active_model() const { return active_raw_; }
+  std::shared_ptr<const LatencyModel> active_snapshot() const {
+    return registry_.active();
+  }
+  long model_epoch() const { return registry_.model_epoch(); }
+
+  /// Submits a candidate through the promotion pipeline: static gate
+  /// against the buffered observations, then shadow. At most one candidate
+  /// shadows at a time (a second submission while one is in shadow is
+  /// refused). In unconditional mode the candidate is promoted on the
+  /// spot. Returns true when the candidate was accepted (into shadow, or
+  /// promoted).
+  bool SubmitCandidate(std::unique_ptr<LatencyModel> candidate,
+                       const std::string& source);
+
+  /// Records one completed instance: appends to the observation buffer,
+  /// scores the in-shadow candidate and the incumbent on it, advances
+  /// probation, and runs a scheduled retrain when due. Returns true when
+  /// this observation promoted a candidate — the caller must bump its
+  /// decision epoch (in-flight decisions were solved by the old model).
+  bool Observe(int job_idx, int stage_idx, const Stage& stage,
+               int instance_idx, const ResourceConfig& theta, int machine_id,
+               int hardware_type, const SystemState& machine_state,
+               double actual_latency, double now);
+
+  /// Feeds the watchdog's cumulative alarm count. A *new* alarm inside the
+  /// probation window rolls the promotion back (wasted-work accounted) and
+  /// starts the rollback cooldown. Returns true on rollback — the caller
+  /// must bump its decision epoch.
+  bool NoteDriftAlarms(long alarms_raised);
+
+  /// Accounts one scheduler decision (for wasted-work attribution if the
+  /// model it used is rolled back).
+  void NoteDecision(double solve_seconds);
+
+  /// True inside the post-promotion probation window. Doubles as the trust
+  /// signal against an alarmed watchdog: a just-promoted model earned its
+  /// swap through gate + shadow, so the ladder should not demote it while
+  /// probation decides (rollback, not demotion, is its failure path).
+  bool InProbation() const { return probation_left_ > 0; }
+  bool ShadowActive() const { return shadow_ != nullptr; }
+
+ private:
+  bool Promote(std::unique_ptr<LatencyModel> candidate,
+               const std::string& source);
+  void MaybeScheduledRetrain(double now);
+  std::vector<int> BufferIndices() const;
+
+  ModelLifecycleOptions options_;
+  ModelRegistry registry_;
+  uint64_t seed_;
+  obs::Obs obs_;
+
+  const LatencyModel* active_raw_ = nullptr;
+
+  TraceDataset buffer_;
+  std::size_t buffer_cursor_ = 0;
+  long observations_ = 0;
+
+  // In-shadow candidate and its scoring accumulators (same observations,
+  // both models, WMAPE = sum|err| / sum actual).
+  std::unique_ptr<LatencyModel> shadow_;
+  std::string shadow_source_;
+  int shadow_scored_ = 0;
+  double shadow_abs_err_ = 0.0;
+  double incumbent_abs_err_ = 0.0;
+  double shadow_actual_sum_ = 0.0;
+
+  long probation_left_ = 0;
+  long cooldown_left_ = 0;
+  long last_alarms_seen_ = 0;
+
+  long decisions_since_promotion_ = 0;
+  double solve_since_promotion_ = 0.0;
+
+  double next_retrain_time_ = 0.0;
+  bool retrain_clock_set_ = false;
+
+  ModelLifecycleStats stats_;
+
+  // Pre-resolved obs handles, null when disabled.
+  obs::Counter* obs_candidates_ = nullptr;
+  obs::Counter* obs_gate_rejects_ = nullptr;
+  obs::Counter* obs_shadow_rejects_ = nullptr;
+  obs::Counter* obs_promotions_ = nullptr;
+  obs::Counter* obs_rollbacks_ = nullptr;
+  obs::Counter* obs_retrains_ = nullptr;
+  obs::Counter* obs_wasted_decisions_ = nullptr;
+};
+
+}  // namespace fgro
+
+#endif  // FGRO_MODEL_MODEL_REGISTRY_H_

@@ -25,6 +25,7 @@ uint64_t PredictionKey::Hash() const {
   h = Mix(h ^ cpu_bits);
   h = Mix(h ^ mem_bits);
   h = Mix(h ^ io_bits);
+  h = Mix(h ^ model_tag);
   return h;
 }
 

@@ -28,6 +28,10 @@ struct PredictionKey {
   uint64_t cpu_bits = 0;
   uint64_t mem_bits = 0;
   uint64_t io_bits = 0;
+  /// LatencyModel::params_tag() of the scoring model. Keys identify inputs
+  /// *and* weights: a hot-swapped or fine-tuned model queries under a new
+  /// tag and can never be served a prior model's cached value.
+  uint64_t model_tag = 0;
 
   bool operator==(const PredictionKey& other) const {
     return job_id == other.job_id && stage_id == other.stage_id &&
@@ -36,7 +40,7 @@ struct PredictionKey {
            theta_cores_bits == other.theta_cores_bits &&
            theta_memory_bits == other.theta_memory_bits &&
            cpu_bits == other.cpu_bits && mem_bits == other.mem_bits &&
-           io_bits == other.io_bits;
+           io_bits == other.io_bits && model_tag == other.model_tag;
   }
 
   uint64_t Hash() const;
@@ -60,8 +64,9 @@ struct PredictionKeyHash {
 /// is what keeps batched/parallel replays identical to the scalar run even
 /// though hit/miss *counters* may differ across thread interleavings.
 ///
-/// The cache must be discarded (or Clear()ed) whenever the model's
-/// parameters change (FineTune/Train): keys identify inputs, not weights.
+/// Keys carry the scoring model's params_tag, so the memo stays valid
+/// across Train/FineTune/hot-swap: entries written under old weights are
+/// simply unreachable (and age out FIFO) once the model re-tags.
 class PredictionMemo {
  public:
   explicit PredictionMemo(size_t capacity = 1 << 16);

@@ -78,6 +78,11 @@ struct SchedulingContext {
   /// by a drift alarm or machine transition that bumped the epoch after the
   /// solve started. 0 when reconfiguration is off.
   long epoch = 0;
+  /// Model epoch (ModelRegistry::model_epoch) of the model this solve uses:
+  /// stamped onto the StageDecision so a decision solved under a since-
+  /// superseded (promoted or rolled-back) model version is identifiable.
+  /// 0 when the model lifecycle is off.
+  long model_epoch = 0;
   /// Optional partial re-entry (reconfiguration): solve only these instance
   /// indices of `stage` (ascending, caller-owned). StageOptimizer builds a
   /// reduced stage view and returns a decision sized to the subset, row r
@@ -113,6 +118,9 @@ struct StageDecision {
   /// reconfiguration dispatcher refuses to dispatch a decision whose epoch
   /// a trigger event has since superseded.
   long epoch = 0;
+  /// Model epoch the decision was solved under (copied from the context);
+  /// see SchedulingContext::model_epoch.
+  long model_epoch = 0;
 };
 
 /// Per-machine instance capacity under theta0:

@@ -86,6 +86,7 @@ StageDecision StageOptimizer::Optimize(const SchedulingContext& context) const {
     decision = OptimizeImpl(context, decide_span.id());
   }
   decision.epoch = context.epoch;
+  decision.model_epoch = context.model_epoch;
   if (obs::MetricsRegistry* metrics = context.obs.metrics) {
     metrics->GetCounter("so.decisions")->Increment();
     metrics

@@ -104,8 +104,10 @@ void ReconfigurationEngine::RecordObservation(
 }
 
 bool ReconfigurationEngine::MaybeFineTune() {
-  if (!options_.online_model_update || base_model_ == nullptr ||
-      !base_model_->trained()) {
+  const LatencyModel* source =
+      lifecycle_ != nullptr ? lifecycle_->active_model() : base_model_;
+  if (!options_.online_model_update || source == nullptr ||
+      !source->trained()) {
     return false;
   }
   const int n = static_cast<int>(buffer_.records.size());
@@ -118,9 +120,6 @@ bool ReconfigurationEngine::MaybeFineTune() {
   }
 
   obs::ScopedSpan span(obs_.tracer, "reconfig.fine_tune");
-  if (tuned_ == nullptr) {
-    tuned_ = std::make_unique<LatencyModel>(*base_model_);
-  }
   std::vector<int> indices(static_cast<std::size_t>(n));
   std::iota(indices.begin(), indices.end(), 0);
   TrainOptions tune;
@@ -131,6 +130,25 @@ bool ReconfigurationEngine::MaybeFineTune() {
   tune.max_train_samples = n;
   tune.seed =
       MixSeed(seed_, 0xF17EULL + static_cast<uint64_t>(stats_.fine_tunes));
+
+  if (lifecycle_ != nullptr) {
+    // Gated path: tune a clone of the registry's active version and
+    // submit it as a promotion candidate. The active model is unchanged
+    // here — the swap, if the candidate survives gate + shadow, happens
+    // inside a later lifecycle Observe and is reported there.
+    if (lifecycle_->ShadowActive()) return false;  // one canary at a time
+    auto candidate = std::make_unique<LatencyModel>(*source);
+    if (!candidate->FineTune(buffer_, indices, tune).ok()) return false;
+    ++stats_.fine_tunes;
+    if (obs_fine_tunes_ != nullptr) obs_fine_tunes_->Increment();
+    last_tune_observation_ = stats_.observations;
+    lifecycle_->SubmitCandidate(std::move(candidate), "fine-tune");
+    return false;
+  }
+
+  if (tuned_ == nullptr) {
+    tuned_ = std::make_unique<LatencyModel>(*base_model_);
+  }
   if (!tuned_->FineTune(buffer_, indices, tune).ok()) return false;
 
   ++stats_.fine_tunes;

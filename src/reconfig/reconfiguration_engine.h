@@ -8,6 +8,7 @@
 
 #include "cluster/cluster.h"
 #include "model/latency_model.h"
+#include "model/model_registry.h"
 #include "obs/obs.h"
 #include "trace/trace_collector.h"
 
@@ -119,9 +120,20 @@ class ReconfigurationEngine {
   const ReconfigOptions& options() const { return options_; }
   const ReconfigStats& stats() const { return stats_; }
 
-  /// The model schedulers should currently use: the fine-tuned clone once
-  /// one exists, else the base model (possibly null).
+  /// Routes model updates through a lifecycle's promotion gate instead of
+  /// the engine's private clone + trust window: with a lifecycle attached,
+  /// active_model() reads the registry's active version, fine-tuned clones
+  /// are submitted as gate candidates rather than swapped in, and
+  /// ModelTrusted() delegates to the probation window. The lifecycle must
+  /// outlive the engine.
+  void AttachLifecycle(ModelLifecycle* lifecycle) { lifecycle_ = lifecycle; }
+  bool lifecycle_attached() const { return lifecycle_ != nullptr; }
+
+  /// The model schedulers should currently use: the lifecycle's active
+  /// version when attached, else the fine-tuned clone once one exists,
+  /// else the base model (possibly null).
   const LatencyModel* active_model() const {
+    if (lifecycle_ != nullptr) return lifecycle_->active_model();
     return tuned_ != nullptr ? tuned_.get() : base_model_;
   }
   bool model_tuned() const { return tuned_ != nullptr; }
@@ -147,9 +159,13 @@ class ReconfigurationEngine {
 
   /// True when the scheduler may trust the active model against an alarmed
   /// watchdog window: a recent fine-tune bought a trust window that has not
-  /// yet expired. With no alarm the question never arises; callers combine
-  /// this with the watchdog state.
+  /// yet expired — or, with a lifecycle attached, the active model is a
+  /// fresh promotion inside its probation window (it earned the swap
+  /// through gate + shadow; rollback, not ladder demotion, is its failure
+  /// path). With no alarm the question never arises; callers combine this
+  /// with the watchdog state.
   bool ModelTrusted() const {
+    if (lifecycle_ != nullptr) return lifecycle_->InProbation();
     return trust_until_observation_ >= 0 &&
            stats_.observations < trust_until_observation_;
   }
@@ -161,7 +177,11 @@ class ReconfigurationEngine {
                          const Machine& machine, double actual_latency);
 
   /// Fine-tunes the cloned model on the replay buffer when due (enough
-  /// samples, cooldown elapsed, cap not hit). Returns true when a tune ran.
+  /// samples, cooldown elapsed, cap not hit). Returns true when the active
+  /// model changed: without a lifecycle the clone is swapped in on the
+  /// spot (with a trust window); with one attached the clone is only
+  /// *submitted* as a gate candidate, so this returns false — the swap, if
+  /// any, happens at promotion time and is reported by the lifecycle.
   bool MaybeFineTune();
 
   /// Best healthy machine to re-run a straggling instance on, the current
@@ -186,6 +206,7 @@ class ReconfigurationEngine {
  private:
   ReconfigOptions options_;
   const LatencyModel* base_model_;
+  ModelLifecycle* lifecycle_ = nullptr;  // not owned; null = legacy path
   uint64_t seed_;
   obs::Obs obs_;
 

@@ -8,6 +8,7 @@ RoSummary Summarize(const SimResult& result) {
   RoSummary s;
   s.num_stages = static_cast<int>(result.outcomes.size());
   double lat = 0.0, lat_in = 0.0, cost = 0.0, solve = 0.0;
+  double abs_err = 0.0, actual_sum = 0.0;
   for (const StageOutcome& o : result.outcomes) {
     solve += o.solve_seconds * 1e3;
     s.max_solve_ms = std::max(s.max_solve_ms, o.solve_seconds * 1e3);
@@ -29,6 +30,15 @@ RoSummary Summarize(const SimResult& result) {
     s.migrations += o.migrations;
     s.migration_wins += o.migration_wins;
     s.fine_tunes += o.fine_tunes;
+    s.promotions += o.promotions;
+    s.rollbacks += o.rollbacks;
+    s.gate_rejects += o.gate_rejects;
+    s.shadow_rejects += o.shadow_rejects;
+    s.lifecycle_retrains += o.lifecycle_retrains;
+    s.wasted_decisions += o.wasted_decisions;
+    s.wasted_solve_seconds += o.wasted_solve_seconds;
+    abs_err += o.pred_abs_error;
+    actual_sum += o.pred_actual_sum;
     if (!o.feasible) continue;
     ++s.feasible_stages;
     lat += o.stage_latency;
@@ -38,6 +48,7 @@ RoSummary Summarize(const SimResult& result) {
   if (s.total_cost > 0.0) {
     s.goodput = (s.total_cost - s.total_wasted_cost) / s.total_cost;
   }
+  if (actual_sum > 0.0) s.serving_wmape = abs_err / actual_sum;
   if (s.num_stages > 0) {
     s.coverage = static_cast<double>(s.feasible_stages) / s.num_stages;
     s.avg_solve_ms = solve / s.num_stages;

@@ -43,6 +43,17 @@ struct RoSummary {
   long migrations = 0;              // straggler migrations executed
   long migration_wins = 0;          // migrations that beat the original run
   long fine_tunes = 0;              // online model updates
+  /// Model-lifecycle accounting (all zero with the lifecycle off).
+  long promotions = 0;              // candidates promoted into service
+  long rollbacks = 0;               // probation rollbacks to the predecessor
+  long gate_rejects = 0;            // candidates the static gate refused
+  long shadow_rejects = 0;          // candidates the shadow window refused
+  long lifecycle_retrains = 0;      // scheduled retrains submitted
+  long wasted_decisions = 0;        // decisions invalidated by a rollback
+  double wasted_solve_seconds = 0.0;
+  /// Serving WMAPE of the active model over the shadow observations
+  /// (sum |pred - actual| / sum actual); 0 when nothing was observed.
+  double serving_wmape = 0.0;
   /// Concurrent-service accounting (all zero in sequential replays).
   /// Filled by RoService, not by Summarize(); the wall-clock fields
   /// (queue_wait_p95_ms, service_p95_ms, max_queue_depth) depend on thread

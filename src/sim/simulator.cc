@@ -1,6 +1,7 @@
 #include "sim/simulator.h"
 
 #include <algorithm>
+#include <cmath>
 #include <memory>
 #include <numeric>
 
@@ -66,6 +67,17 @@ struct ReplayState {
           options.reconfig, model, &workload,
           MixSeed(seed, options.reconfig.seed), options.obs);
     }
+    if (options.lifecycle.enabled && model != nullptr && model->trained()) {
+      // The initial registry version aliases the caller-owned base model
+      // (no-op deleter): the lifecycle never outlives the replay, and the
+      // base model must stay the rollback target of the first promotion.
+      lifecycle = std::make_unique<ModelLifecycle>(
+          options.lifecycle,
+          std::shared_ptr<const LatencyModel>(model,
+                                              [](const LatencyModel*) {}),
+          &workload, MixSeed(seed, options.lifecycle.seed), options.obs);
+      if (reconfig != nullptr) reconfig->AttachLifecycle(lifecycle.get());
+    }
   }
 
   Rng rng;
@@ -78,6 +90,10 @@ struct ReplayState {
   /// Null unless SimOptions::reconfig.enabled (and the caller allowed it):
   /// the replay then repairs in-flight work instead of only degrading.
   std::unique_ptr<ReconfigurationEngine> reconfig;
+  /// Null unless SimOptions::lifecycle.enabled with a trained base model:
+  /// model updates then flow through the gated promotion pipeline and the
+  /// replay can roll a bad promotion back.
+  std::unique_ptr<ModelLifecycle> lifecycle;
 };
 
 /// Replays one job against `st`, appending its stage outcomes to `out`.
@@ -95,6 +111,7 @@ Status ReplayJobInState(const Workload& workload, const LatencyModel* model,
   CircuitBreaker& breaker = st.breaker;
   DriftWatchdog& watchdog = st.watchdog;
   ReconfigurationEngine* engine = st.reconfig.get();
+  ModelLifecycle* lifecycle = st.lifecycle.get();
   // Liveness oracle handed to the engine (keeps fgro_reconfig below sim in
   // the layer graph; the injector cannot be linked from there).
   const ReconfigurationEngine::MachineUpFn up_fn = [&injector](int id,
@@ -108,9 +125,12 @@ Status ReplayJobInState(const Workload& workload, const LatencyModel* model,
   // default and existing replays stay byte-identical.
   const bool use_breaker = faults && options.faults.model_breaker.enabled;
   // Online drift watchdog: shadow-compares predictions against simulated
-  // actuals per hardware type; independent of the fault injector.
-  const bool shadow =
-      watchdog.enabled() && model != nullptr && model->trained();
+  // actuals per hardware type; independent of the fault injector. The
+  // model lifecycle rides the same per-completion hook (its observation
+  // buffer, shadow canary, and scheduled retrains all advance there), so
+  // either subsystem being on enables it.
+  const bool shadow = (watchdog.enabled() || lifecycle != nullptr) &&
+                      model != nullptr && model->trained();
 
   // Deterministic drift pulse: scales actual latencies while sim time is
   // inside the pulse window. The 1.0 fast path keeps the default replay
@@ -151,20 +171,48 @@ Status ReplayJobInState(const Workload& workload, const LatencyModel* model,
 
   // Shadow prediction for the watchdog; never fails the replay (a failed
   // shadow predict just skips the observation). Under reconfiguration the
-  // shadow uses the engine's active (possibly fine-tuned) model — that is
-  // the whole point of the online update: the repaired model's q-error
-  // recovers and the watchdog re-promotes early. The ground-truth draw in
-  // sample_actual always stays on the base model, so the tune chases a
-  // fixed target.
-  auto observe_drift = [&](const Stage& stage, int i, const Machine& machine,
-                           const ResourceConfig& theta, double actual) {
+  // shadow uses the engine's active (possibly fine-tuned or promoted)
+  // model — that is the whole point of the online update: the repaired
+  // model's q-error recovers and the watchdog re-promotes early. The
+  // ground-truth draw in sample_actual always stays on the base model, so
+  // the tune chases a fixed target.
+  //
+  // With the model lifecycle on, this is also its per-completion hook:
+  // the observation lands in the lifecycle buffer, the shadow candidate
+  // scores it, scheduled retrains fire on it, and a promotion or a
+  // probation rollback surfaces here. Either supersedes in-flight
+  // decisions, so the engine's epoch is bumped. Returns true when the
+  // observation promoted a candidate (the caller may want to re-plan the
+  // undispatched tail with the new model).
+  auto observe_drift = [&](const Stage& stage, int stage_idx, int i,
+                           const Machine& machine, const ResourceConfig& theta,
+                           double actual, StageOutcome* outcome) -> bool {
     const LatencyModel* shadow_model =
-        engine != nullptr ? engine->active_model() : model;
+        engine != nullptr
+            ? engine->active_model()
+            : (lifecycle != nullptr ? lifecycle->active_model() : model);
     Result<double> pred = shadow_model->Predict(
         stage, i, theta, machine.state(), machine.hardware().id);
     if (pred.ok()) {
-      watchdog.Observe(machine.hardware().id, pred.value(), actual);
+      if (watchdog.enabled()) {
+        watchdog.Observe(machine.hardware().id, pred.value(), actual);
+      }
+      outcome->pred_abs_error += std::abs(pred.value() - actual);
+      outcome->pred_actual_sum += actual;
     }
+    bool promoted = false;
+    if (lifecycle != nullptr) {
+      promoted = lifecycle->Observe(job_idx, stage_idx, stage, i, theta,
+                                    machine.id(), machine.hardware().id,
+                                    machine.state(), actual, cluster.now());
+      if (promoted && engine != nullptr) engine->BumpEpoch();
+      if (lifecycle->NoteDriftAlarms(watchdog.alarms_raised())) {
+        // Probation rollback: the promotion this observation's alarm
+        // indicts is gone; decisions solved under it are stale.
+        if (engine != nullptr) engine->BumpEpoch();
+      }
+    }
+    return promoted;
   };
 
   obs::ScopedSpan job_span(options.obs.tracer, "sim.job");
@@ -249,6 +297,16 @@ Status ReplayJobInState(const Workload& workload, const LatencyModel* model,
       const bool model_server_up = context.model_available;
       const long tunes_before =
           engine != nullptr ? engine->stats().fine_tunes : 0;
+      ModelLifecycleStats lc_before;
+      if (lifecycle != nullptr) {
+        lc_before = lifecycle->stats();
+        // A probation rollback pending from an alarm the last stage
+        // raised supersedes any in-flight epoch before this solve starts.
+        if (lifecycle->NoteDriftAlarms(watchdog.alarms_raised()) &&
+            engine != nullptr) {
+          engine->BumpEpoch();
+        }
+      }
       if (engine != nullptr) {
         // Alarms raised since the last look supersede the epoch; an alarm
         // is also the cue to fine-tune on the replay buffer, ideally before
@@ -257,27 +315,56 @@ Status ReplayJobInState(const Workload& workload, const LatencyModel* model,
         if (watchdog.enabled() && watchdog.alarmed()) {
           engine->MaybeFineTune();
         }
+        // The prediction memo keys on the scoring model's params_tag, so
+        // a tuned or hot-swapped model reads only its own entries — no
+        // need to bypass it anymore.
         context.model = engine->active_model();
-        if (engine->model_tuned()) {
-          // The memo caches base-model predictions; a tuned model must
-          // bypass it or replans would read stale values.
-          context.memo = nullptr;
-        }
         context.epoch = engine->current_epoch();
+      } else if (lifecycle != nullptr) {
+        context.model = lifecycle->active_model();
       }
-      if (watchdog.enabled() && watchdog.alarmed() &&
-          (engine == nullptr || !engine->ModelTrusted())) {
+      if (lifecycle != nullptr) {
+        context.model_epoch = lifecycle->model_epoch();
+      }
+      const bool model_trusted =
+          engine != nullptr
+              ? engine->ModelTrusted()
+              : (lifecycle != nullptr && lifecycle->InProbation());
+      if (watchdog.enabled() && watchdog.alarmed() && !model_trusted) {
         // Drift demotion: the model is reachable but untrustworthy; the
         // ladder treats it like an outage. Shadow evaluation continues
         // below, so the window can recover and re-promote. A fresh
-        // fine-tune buys a trust window that overrides the alarm until the
-        // q-error window catches up (or a new alarm revokes it).
+        // fine-tune buys a trust window — or, under the lifecycle, a
+        // fresh promotion's probation window — that overrides the alarm
+        // until the q-error window catches up (or a new alarm revokes it).
         context.model_available = false;
         outcome.drift_demoted = true;
       }
       const long alarms_before = watchdog.alarms_raised();
 
+      // Per-stage deltas of the lifecycle counters, written into the
+      // outcome on every exit path below.
+      auto finish_lifecycle = [&](StageOutcome* o) {
+        if (lifecycle == nullptr) return;
+        const ModelLifecycleStats& lc = lifecycle->stats();
+        o->promotions =
+            static_cast<int>(lc.promotions - lc_before.promotions);
+        o->rollbacks = static_cast<int>(lc.rollbacks - lc_before.rollbacks);
+        o->gate_rejects =
+            static_cast<int>(lc.gate_rejects - lc_before.gate_rejects);
+        o->shadow_rejects =
+            static_cast<int>(lc.shadow_rejects - lc_before.shadow_rejects);
+        o->lifecycle_retrains =
+            static_cast<int>(lc.retrains - lc_before.retrains);
+        o->wasted_decisions = lc.wasted_decisions - lc_before.wasted_decisions;
+        o->wasted_solve_seconds =
+            lc.wasted_solve_seconds - lc_before.wasted_solve_seconds;
+      };
+
       StageDecision decision = scheduler(context);
+      if (lifecycle != nullptr) {
+        lifecycle->NoteDecision(decision.solve_seconds);
+      }
       if (engine != nullptr && faults && decision.feasible &&
           engine->options().replan_on_machine_event &&
           engine->options().dispatch_hazard_seconds > 0.0) {
@@ -322,6 +409,7 @@ Status ReplayJobInState(const Workload& workload, const LatencyModel* model,
           (decision.solve_seconds <= options.ro_time_limit_seconds ||
            decision.fallback != FallbackLevel::kPrimary);
       if (!outcome.feasible) {
+        finish_lifecycle(&outcome);
         out->push_back(std::move(outcome));
         deps.MarkCompleted(s);
         continue;
@@ -557,11 +645,13 @@ Status ReplayJobInState(const Workload& workload, const LatencyModel* model,
             }
           }
 
+          bool promoted_now = false;
           if (run.succeeded) {
             completed_runs.push_back(run.final_run);
             const Machine& machine = cluster.machine(run.machine);
             if (shadow) {
-              observe_drift(stage, i, machine, theta, run.final_run);
+              promoted_now = observe_drift(stage, s, i, machine, theta,
+                                           run.final_run, &outcome);
             }
             engine->RecordObservation(job_idx, s, stage, i, theta, machine,
                                       run.final_run);
@@ -580,10 +670,19 @@ Status ReplayJobInState(const Workload& workload, const LatencyModel* model,
           // the completion of instance i where this loop happens to look.
           double replan_at = run.completion;
           bool drift_replan = false;
+          if (promoted_now && engine->options().replan_on_drift_alarm) {
+            // A mid-stage promotion: the undispatched tail was planned by
+            // the superseded model; re-solve it with the promoted one.
+            want_replan = true;
+            drift_replan = true;
+          }
           if (engine->NoteDriftAlarms(watchdog.alarms_raised()) &&
               engine->options().replan_on_drift_alarm) {
             // Re-planning with the model that just proved untrustworthy
             // would reproduce the same plan: only worth it if the tune ran.
+            // (Under the lifecycle the tune is only *submitted* as a gate
+            // candidate — the active model is unchanged, so no re-plan
+            // until a later observation promotes it.)
             if (engine->MaybeFineTune()) {
               want_replan = true;
               drift_replan = true;
@@ -642,6 +741,9 @@ Status ReplayJobInState(const Workload& workload, const LatencyModel* model,
           sub.memo = nullptr;
           sub.instance_subset = &remaining;
           sub.epoch = engine->current_epoch();
+          if (lifecycle != nullptr) {
+            sub.model_epoch = lifecycle->model_epoch();
+          }
           sub.deadline = Deadline::After(std::max(
               0.1, options.ro_time_limit_seconds - solve_total));
           StageDecision redo;
@@ -649,6 +751,9 @@ Status ReplayJobInState(const Workload& workload, const LatencyModel* model,
             obs::ScopedSpan replan_span(options.obs.tracer,
                                         "reconfig.replan", stage_span.id());
             redo = scheduler(sub);
+          }
+          if (lifecycle != nullptr) {
+            lifecycle->NoteDecision(redo.solve_seconds);
           }
           solve_total += redo.solve_seconds;
           if (redo.feasible &&
@@ -711,6 +816,7 @@ Status ReplayJobInState(const Workload& workload, const LatencyModel* model,
         outcome.drift_alarm_raised = watchdog.alarms_raised() > alarms_before;
         outcome.fine_tunes =
             static_cast<int>(engine->stats().fine_tunes - tunes_before);
+        finish_lifecycle(&outcome);
         if (keep_instance_detail) {
           outcome.instance_latencies = std::move(latencies);
           outcome.instance_thetas = std::move(assign_theta);
@@ -742,7 +848,10 @@ Status ReplayJobInState(const Workload& workload, const LatencyModel* model,
           latencies[static_cast<size_t>(i)] = actual.value();
           max_latency = std::max(max_latency, actual.value());
           cost += actual.value() * context.cost_weights.Rate(theta);
-          if (shadow) observe_drift(stage, i, machine, theta, actual.value());
+          if (shadow) {
+            observe_drift(stage, s, i, machine, theta, actual.value(),
+                          &outcome);
+          }
         }
         for (int i = 0; i < m; ++i) {
           cluster
@@ -753,6 +862,7 @@ Status ReplayJobInState(const Workload& workload, const LatencyModel* model,
         outcome.stage_latency_in = max_latency + decision.solve_seconds;
         outcome.stage_cost = cost;
         outcome.drift_alarm_raised = watchdog.alarms_raised() > alarms_before;
+        finish_lifecycle(&outcome);
         if (keep_instance_detail) {
           outcome.instance_latencies = std::move(latencies);
           outcome.instance_thetas = decision.theta_of_instance;
@@ -912,8 +1022,8 @@ Status ReplayJobInState(const Workload& workload, const LatencyModel* model,
           if (shadow) {
             // Feed the winning attempt's runtime; straggler noise is part
             // of the drift signal the watchdog is meant to see.
-            observe_drift(stage, i, cluster.machine(run.machine), theta,
-                          run.final_run);
+            observe_drift(stage, s, i, cluster.machine(run.machine), theta,
+                          run.final_run, &outcome);
           }
         } else {
           all_succeeded = false;
@@ -935,6 +1045,7 @@ Status ReplayJobInState(const Workload& workload, const LatencyModel* model,
       outcome.stage_latency_in = max_latency + decision.solve_seconds;
       outcome.stage_cost = useful_cost + outcome.wasted_cost;
       outcome.drift_alarm_raised = watchdog.alarms_raised() > alarms_before;
+      finish_lifecycle(&outcome);
       if (keep_instance_detail) {
         outcome.instance_latencies = std::move(latencies);
         outcome.instance_thetas = decision.theta_of_instance;

@@ -11,6 +11,7 @@
 #include "model/drift_watchdog.h"
 #include "model/gpr.h"
 #include "model/latency_model.h"
+#include "model/model_registry.h"
 #include "obs/obs.h"
 #include "optimizer/scheduler_types.h"
 #include "reconfig/reconfiguration_engine.h"
@@ -53,6 +54,14 @@ struct SimOptions {
   /// by default: the engine is never constructed and the replay is
   /// byte-identical to builds without the reconfig subsystem.
   ReconfigOptions reconfig;
+  /// Safe model lifecycle: versioned registry + gated promotion (static
+  /// validation, shadow canary, probation rollback) for every model update
+  /// — scheduled retrains inside the replay and reconfig fine-tunes alike.
+  /// Disabled by default: no registry is built and the replay is
+  /// byte-identical to builds without the lifecycle subsystem. Enabled,
+  /// the replay state owns one ModelLifecycle per ReplayState (per job in
+  /// service mode), seeded MixSeed(seed, lifecycle.seed).
+  ModelLifecycleOptions lifecycle;
   /// Concurrent multi-job service mode (consumed by RoService, not by the
   /// sequential Run/RunJobs path): number of worker threads replaying jobs
   /// as independent requests via ReplayJobIsolated. Each job gets its own
@@ -114,6 +123,21 @@ struct StageOutcome {
   int migrations = 0;             // stragglers migrated to healthier machines
   int migration_wins = 0;         // migrations that beat the original run
   int fine_tunes = 0;             // online model updates during this stage
+  /// Model-lifecycle accounting (all zero when the lifecycle is off);
+  /// per-stage deltas of the ModelLifecycleStats counters.
+  int promotions = 0;             // candidates promoted during this stage
+  int rollbacks = 0;              // probation rollbacks during this stage
+  int gate_rejects = 0;           // candidates the static gate refused
+  int shadow_rejects = 0;         // candidates the shadow window refused
+  int lifecycle_retrains = 0;     // scheduled retrains that produced one
+  long wasted_decisions = 0;      // decisions invalidated by a rollback
+  double wasted_solve_seconds = 0.0;
+  /// Serving-accuracy accumulators over the shadow observations of this
+  /// stage (active model's |pred - actual| and actual sums); RoSummary
+  /// derives the serving WMAPE from them. Zero when neither the watchdog
+  /// nor the lifecycle is on.
+  double pred_abs_error = 0.0;
+  double pred_actual_sum = 0.0;
   std::vector<double> instance_latencies;  // populated when requested
   std::vector<ResourceConfig> instance_thetas;
 };

@@ -460,6 +460,139 @@ TEST(DeterminismTest, ReconfigWithoutTriggersMatchesDisabledBitForBit) {
   }
 }
 
+TEST(DeterminismTest, ModelLifecycleReplayIsByteIdenticalAcrossThreads) {
+  // The safe-model-lifecycle pipeline must preserve the service-mode
+  // determinism contract: with a drift regime, the watchdog, scheduled
+  // retrains, shadow canaries, promotions (model hot-swaps at fixed
+  // virtual times), and probation all active, the merged result is
+  // byte-identical across service_threads 1, 2, and 8 — each job's
+  // lifecycle is seeded from (seed, job_idx) and driven by sim time only.
+  ExperimentEnv::Options options;
+  options.workload = WorkloadId::kA;
+  options.scale = 0.03;
+  options.train.epochs = 1;
+  options.train.max_train_samples = 800;
+  Result<std::unique_ptr<ExperimentEnv>> env = ExperimentEnv::Build(options);
+  ASSERT_TRUE(env.ok()) << env.status().ToString();
+
+  auto run_with = [&](int threads) {
+    SimOptions sim_options;
+    sim_options.outcome = OutcomeMode::kNoiseFree;
+    sim_options.seed = 13;
+    sim_options.service_threads = threads;
+    sim_options.drift_multiplier = 3.0;
+    sim_options.drift_start_seconds = 0.0;
+    sim_options.drift_end_seconds = 1e18;
+    sim_options.drift_watchdog.enabled = true;
+    sim_options.drift_watchdog.window_size = 16;
+    sim_options.drift_watchdog.min_samples = 4;
+    // Candidates come from the reconfiguration engine's fine-tunes, now
+    // routed through the lifecycle's gate + shadow instead of trust
+    // windows (sim time is per-job constant in service mode, so the
+    // time-scheduled retrain path stays quiet here by construction).
+    sim_options.reconfig.enabled = true;
+    sim_options.reconfig.fine_tune_min_samples = 8;
+    sim_options.reconfig.fine_tune_cooldown_observations = 8;
+    sim_options.lifecycle.enabled = true;
+    sim_options.lifecycle.shadow_observations = 8;
+    sim_options.lifecycle.probation_observations = 16;
+    Result<SimResult> result =
+        ServeWorkload((*env)->workload(), &(*env)->model(), sim_options,
+                      StageOptimizer::IpaRaaPathWithFallback());
+    EXPECT_TRUE(result.ok()) << result.status().ToString();
+    return std::move(result).value();
+  };
+
+  const SimResult one = run_with(1);
+  const SimResult two = run_with(2);
+  const SimResult eight = run_with(8);
+
+  auto expect_same = [](const SimResult& a, const SimResult& b) {
+    ASSERT_EQ(a.outcomes.size(), b.outcomes.size());
+    for (size_t i = 0; i < a.outcomes.size(); ++i) {
+      const StageOutcome& x = a.outcomes[i];
+      const StageOutcome& y = b.outcomes[i];
+      EXPECT_EQ(x.job_idx, y.job_idx);
+      EXPECT_EQ(x.stage_idx, y.stage_idx);
+      EXPECT_EQ(x.feasible, y.feasible);
+      EXPECT_EQ(x.fallback, y.fallback);
+      EXPECT_EQ(x.promotions, y.promotions);
+      EXPECT_EQ(x.rollbacks, y.rollbacks);
+      EXPECT_EQ(x.gate_rejects, y.gate_rejects);
+      EXPECT_EQ(x.shadow_rejects, y.shadow_rejects);
+      EXPECT_EQ(x.lifecycle_retrains, y.lifecycle_retrains);
+      EXPECT_EQ(x.wasted_decisions, y.wasted_decisions);
+      EXPECT_EQ(x.drift_demoted, y.drift_demoted);
+      EXPECT_EQ(x.stage_latency, y.stage_latency);
+      EXPECT_EQ(x.stage_cost, y.stage_cost);
+      EXPECT_EQ(x.pred_abs_error, y.pred_abs_error);
+      EXPECT_EQ(x.pred_actual_sum, y.pred_actual_sum);
+    }
+  };
+  expect_same(one, two);
+  expect_same(one, eight);
+
+  // Hot swaps actually happened at fixed points of the replay — this is
+  // the determinism of a live promotion pipeline, not of a dormant one.
+  const RoSummary s = Summarize(one);
+  EXPECT_GT(s.fine_tunes, 0);
+  EXPECT_GT(s.promotions, 0);
+  EXPECT_GT(s.serving_wmape, 0.0);
+}
+
+TEST(DeterminismTest, DisabledLifecycleConfigIsInertBitForBit) {
+  // lifecycle.enabled = false must take exactly the legacy replay path: a
+  // SimOptions carrying a fully-populated (but disabled) lifecycle config
+  // produces the same outcomes, bit for bit, as default options — and
+  // every lifecycle counter stays zero.
+  ExperimentEnv::Options options;
+  options.workload = WorkloadId::kA;
+  options.scale = 0.03;
+  options.train.epochs = 1;
+  options.train.max_train_samples = 800;
+  Result<std::unique_ptr<ExperimentEnv>> env = ExperimentEnv::Build(options);
+  ASSERT_TRUE(env.ok()) << env.status().ToString();
+
+  auto run_with = [&](const ModelLifecycleOptions& lifecycle) {
+    SimOptions sim_options;
+    sim_options.outcome = OutcomeMode::kEnvironment;
+    sim_options.seed = 13;
+    sim_options.lifecycle = lifecycle;
+    Simulator sim(&(*env)->workload(), &(*env)->model(), sim_options);
+    StageOptimizer optimizer(StageOptimizer::IpaRaaPathWithFallback());
+    Result<SimResult> result = sim.Run(
+        [&](const SchedulingContext& c) { return optimizer.Optimize(c); });
+    EXPECT_TRUE(result.ok()) << result.status().ToString();
+    return std::move(result).value();
+  };
+
+  ModelLifecycleOptions loaded;
+  loaded.enabled = false;  // the one switch that matters
+  loaded.retrain_period_seconds = 1.0;
+  loaded.retrain_min_samples = 1;
+  loaded.shadow_observations = 1;
+  loaded.unconditional = true;
+  loaded.poison = ModelLifecycleOptions::RetrainPoison::kNanInject;
+
+  const SimResult plain = run_with(ModelLifecycleOptions{});
+  const SimResult carrying = run_with(loaded);
+  ASSERT_EQ(plain.outcomes.size(), carrying.outcomes.size());
+  for (size_t i = 0; i < plain.outcomes.size(); ++i) {
+    const StageOutcome& x = plain.outcomes[i];
+    const StageOutcome& y = carrying.outcomes[i];
+    EXPECT_EQ(x.feasible, y.feasible);
+    EXPECT_EQ(x.fallback, y.fallback);
+    EXPECT_EQ(x.stage_latency, y.stage_latency);
+    EXPECT_EQ(x.stage_cost, y.stage_cost);
+    EXPECT_EQ(y.promotions, 0);
+    EXPECT_EQ(y.rollbacks, 0);
+    EXPECT_EQ(y.gate_rejects, 0);
+    EXPECT_EQ(y.shadow_rejects, 0);
+    EXPECT_EQ(y.lifecycle_retrains, 0);
+    EXPECT_EQ(y.wasted_decisions, 0);
+  }
+}
+
 TEST(DeterminismTest, CodelReplayIsByteIdenticalAcrossThreads) {
   // The adaptive-CoDel arm must preserve the service-mode determinism
   // contract: in kVirtualSim clock mode every CoDel decision (demote rung,

@@ -1,9 +1,11 @@
 #include <gtest/gtest.h>
 #include <unistd.h>
 
+#include <cmath>
 #include <cstdio>
 #include <cstring>
 #include <memory>
+#include <string>
 
 #include "model/latency_model.h"
 #include "optimizer/ipa.h"
@@ -59,8 +61,96 @@ TEST_F(IoFixture, ModelLoadRejectsGarbage) {
   std::FILE* f = std::fopen(path.c_str(), "w");
   std::fprintf(f, "not a model at all\n");
   std::fclose(f);
-  EXPECT_FALSE(LatencyModel::Load(path).ok());
-  EXPECT_FALSE(LatencyModel::Load("/nonexistent/nowhere.txt").ok());
+  Result<std::unique_ptr<LatencyModel>> r = LatencyModel::Load(path);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kDataLoss);
+  Result<std::unique_ptr<LatencyModel>> missing =
+      LatencyModel::Load("/nonexistent/nowhere.txt");
+  ASSERT_FALSE(missing.ok());
+  EXPECT_EQ(missing.status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(IoFixture, ModelSnapshotEmptyFileIsDataLoss) {
+  const std::string path = ::testing::TempDir() + "/fgro_model_empty.txt";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  std::fclose(f);
+  Result<std::unique_ptr<LatencyModel>> r = LatencyModel::Load(path);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kDataLoss);
+}
+
+TEST_F(IoFixture, ModelSnapshotTruncationIsDataLoss) {
+  // Chop the snapshot at several points — mid-body, mid-footer, right
+  // before the final newline. Every cut must surface as kDataLoss (the
+  // checksum footer is damaged or gone), never a crash or a partial model.
+  const std::string path = ::testing::TempDir() + "/fgro_model_trunc.txt";
+  ASSERT_TRUE(env_->model().Save(path).ok());
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  std::fseek(f, 0, SEEK_END);
+  const long size = std::ftell(f);
+  std::fclose(f);
+  ASSERT_GT(size, 64);
+  for (long cut : {size / 2, size - 4, size - 1, 16L}) {
+    const std::string copy =
+        ::testing::TempDir() + "/fgro_model_trunc_" + std::to_string(cut) +
+        ".txt";
+    ASSERT_TRUE(env_->model().Save(copy).ok());
+    ASSERT_EQ(truncate(copy.c_str(), cut), 0);
+    Result<std::unique_ptr<LatencyModel>> r = LatencyModel::Load(copy);
+    ASSERT_FALSE(r.ok()) << "cut at " << cut;
+    EXPECT_EQ(r.status().code(), StatusCode::kDataLoss)
+        << "cut at " << cut << ": " << r.status().ToString();
+  }
+}
+
+TEST_F(IoFixture, ModelSnapshotBitFlipIsDataLoss) {
+  // Flip one body byte: the FNV-1a footer no longer matches -> kDataLoss.
+  const std::string path = ::testing::TempDir() + "/fgro_model_flip.txt";
+  ASSERT_TRUE(env_->model().Save(path).ok());
+  std::FILE* f = std::fopen(path.c_str(), "r+b");
+  ASSERT_NE(f, nullptr);
+  std::fseek(f, 0, SEEK_END);
+  const long size = std::ftell(f);
+  ASSERT_GT(size, 64);
+  std::fseek(f, size / 2, SEEK_SET);
+  const int original = std::fgetc(f);
+  std::fseek(f, size / 2, SEEK_SET);
+  std::fputc(original == '7' ? '8' : '7', f);
+  std::fclose(f);
+  Result<std::unique_ptr<LatencyModel>> r = LatencyModel::Load(path);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kDataLoss)
+      << r.status().ToString();
+}
+
+TEST_F(IoFixture, ModelSnapshotTrailingJunkIsDataLoss) {
+  // Bytes appended after the checksum footer (an over-long file, e.g. a
+  // doubled write) displace the footer from the last line -> kDataLoss.
+  const std::string path = ::testing::TempDir() + "/fgro_model_long.txt";
+  ASSERT_TRUE(env_->model().Save(path).ok());
+  std::FILE* f = std::fopen(path.c_str(), "ab");
+  ASSERT_NE(f, nullptr);
+  std::fprintf(f, "0.25 0.5 0.75\n");
+  std::fclose(f);
+  Result<std::unique_ptr<LatencyModel>> r = LatencyModel::Load(path);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kDataLoss)
+      << r.status().ToString();
+}
+
+TEST_F(IoFixture, ModelSnapshotNonFiniteParamIsInvalidArgument) {
+  // A snapshot that frames and checksums correctly but carries a NaN
+  // weight is well-formed garbage: kInvalidArgument, distinct from the
+  // kDataLoss framing failures above.
+  LatencyModel poisoned(env_->model());
+  poisoned.CorruptParamForTest(std::nan(""));
+  const std::string path = ::testing::TempDir() + "/fgro_model_nan.txt";
+  ASSERT_TRUE(poisoned.Save(path).ok());
+  Result<std::unique_ptr<LatencyModel>> r = LatencyModel::Load(path);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument)
+      << r.status().ToString();
 }
 
 TEST_F(IoFixture, TraceCsvRoundTrip) {
