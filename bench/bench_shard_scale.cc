@@ -1,0 +1,253 @@
+// POP-style sharded solve at cluster scale (DESIGN.md §15): partition the
+// machines and instances of each stage decision into k shards, solve the
+// shards independently, merge, and polish the critical instances. This
+// bench is the scale-sweep acceptance harness for that path:
+//
+//   1. Near-linear solve-time scaling: on a >=10x fleet (1280 machines vs
+//      the 128-machine seed experiments) with width-scaled stages, total
+//      IPA(Org)+RAA solve time must drop near-linearly in k across
+//      k in {1,2,4,8}. The sweep runs serially (no worker pool), so the
+//      gate measures the algorithmic m*n/k win, not the box's core count.
+//   2. Bounded quality: the sharded plan's WUN quality (3:1 latency:cost
+//      under the model's own predictions) stays within a declared
+//      tolerance of the k=1 exact solve, which remains the oracle.
+//   3. Determinism: a sharded replay through the RO service is
+//      byte-identical across service_threads {1,2,8}.
+//
+// The exit code enforces all three; --quick runs a smaller fleet with
+// relaxed timing gates for CI smoke, --json_out= emits the sweep.
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "hbo/hbo.h"
+#include "obs/snapshot.h"
+#include "optimizer/sharding.h"
+#include "optimizer/stage_optimizer.h"
+#include "service/ro_service.h"
+#include "trace/workload_gen.h"
+
+using namespace fgro;
+using namespace fgro::bench;
+
+namespace {
+
+bool HasFlag(int argc, char** argv, const char* flag) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], flag) == 0) return true;
+  }
+  return false;
+}
+
+std::string FlagValue(int argc, char** argv, const char* prefix) {
+  const std::size_t len = std::strlen(prefix);
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], prefix, len) == 0) return argv[i] + len;
+  }
+  return "";
+}
+
+/// Model-predicted WUN ingredients of a decision: stage latency (max over
+/// instances) and monetary cost (sum of predicted seconds * rate(theta)).
+void PredictedLatencyCost(const SchedulingContext& context,
+                          const StageDecision& decision, double* latency,
+                          double* cost) {
+  const LatencyModel& model = *context.model;
+  const Cluster& cluster = *context.cluster;
+  *latency = 0.0;
+  *cost = 0.0;
+  for (int i = 0; i < context.stage->instance_count(); ++i) {
+    Result<LatencyModel::EmbeddedInstance> embedded =
+        model.Embed(*context.stage, i);
+    FGRO_CHECK_OK(embedded.status());
+    const Machine& machine =
+        cluster.machine(decision.machine_of_instance[static_cast<size_t>(i)]);
+    const ResourceConfig& theta =
+        decision.theta_of_instance[static_cast<size_t>(i)];
+    const double p = model.PredictFromEmbedding(
+        embedded.value(), theta, machine.state(), machine.hardware().id);
+    *latency = std::max(*latency, p);
+    *cost += p * context.cost_weights.Rate(theta);
+  }
+}
+
+struct SweepRow {
+  int k = 1;
+  double solve_seconds = 0.0;
+  double speedup = 1.0;       // vs the k=1 oracle sweep
+  double wun_quality = 1.0;   // 3:1 latency:cost vs the k=1 oracle
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  SetLogLevel(LogLevel::kWarning);
+  const bool quick = HasFlag(argc, argv, "--quick");
+  const std::string json_out = FlagValue(argc, argv, "--json_out=");
+  PrintHeader("POP-style sharding: scale sweep vs the k=1 oracle");
+
+  // The model only has to be competent, not headline-grade: the sweep
+  // compares sharded vs exact solves under the SAME model.
+  ExperimentEnv::Options options =
+      DefaultOptions(WorkloadId::kA, BenchScale::kSmoke);
+  Result<std::unique_ptr<ExperimentEnv>> env = ExperimentEnv::Build(options);
+  FGRO_CHECK_OK(env.status());
+
+  // >=10x the seed experiments' 128-machine fleet, with width-scaled
+  // stages approaching the paper's wide production stages.
+  const int fleet = quick ? 256 : 1280;
+  const double width_scale = quick ? 4.0 : 10.0;
+  const int want_stages = quick ? 2 : 4;
+  const int min_instances = quick ? 48 : 96;
+  const std::vector<int> ks = quick ? std::vector<int>{1, 2, 4}
+                                    : std::vector<int>{1, 2, 4, 8};
+
+  WorkloadProfile wide_profile =
+      GetWorkloadProfile(WorkloadId::kA, 0.05, width_scale);
+  Result<Workload> wide = WorkloadGenerator(wide_profile).Generate();
+  FGRO_CHECK_OK(wide.status());
+  std::vector<const Stage*> stages;
+  for (const Job& job : wide->jobs) {
+    for (const Stage& stage : job.stages) {
+      if (stage.instance_count() >= min_instances &&
+          static_cast<int>(stages.size()) < want_stages) {
+        stages.push_back(&stage);
+      }
+    }
+  }
+  FGRO_CHECK(static_cast<int>(stages.size()) == want_stages)
+      << "width-scaled workload produced too few wide stages";
+
+  Cluster cluster(ClusterOptions{.num_machines = fleet, .seed = 17});
+  Hbo hbo;
+  // IPA(Org)+RAA: the full m*n inference bill, where sharding's m*n/k
+  // algorithmic win actually shows (the clustered path is already mc*nc).
+  StageOptimizer so(StageOptimizer::Config{
+      StageOptimizer::Placement::kIpaOrg, true,
+      {RaaClustering::kFastMci, RaaAlgorithm::kPath}});
+
+  int total_instances = 0;
+  for (const Stage* stage : stages) total_instances += stage->instance_count();
+  std::printf("  fleet=%d machines, %d stages, %d instances, width x%.0f\n",
+              fleet, want_stages, total_instances, width_scale);
+
+  std::vector<SweepRow> rows;
+  std::vector<double> oracle_latency(stages.size());
+  std::vector<double> oracle_cost(stages.size());
+  for (int k : ks) {
+    SweepRow row;
+    row.k = k;
+    double quality_sum = 0.0;
+    for (size_t i = 0; i < stages.size(); ++i) {
+      SchedulingContext context;
+      context.stage = stages[i];
+      context.cluster = &cluster;
+      context.model = &(*env)->model();
+      context.theta0 = hbo.Recommend(*stages[i]).theta0;
+      context.shard_count = k;
+      // Serial on purpose: the gate measures algorithmic work, and CI
+      // boxes have few cores. The shard fan still parallelizes in
+      // production through SchedulingContext::worker_pool.
+      context.worker_pool = nullptr;
+      StageDecision decision = so.Optimize(context);
+      FGRO_CHECK(decision.feasible);
+      row.solve_seconds += decision.solve_seconds;
+      double latency = 0.0, cost = 0.0;
+      PredictedLatencyCost(context, decision, &latency, &cost);
+      if (k == 1) {
+        oracle_latency[i] = latency;
+        oracle_cost[i] = cost;
+      }
+      quality_sum += (3.0 * (latency / oracle_latency[i]) +
+                      1.0 * (cost / oracle_cost[i])) /
+                     4.0;
+    }
+    row.wun_quality = quality_sum / static_cast<double>(stages.size());
+    row.speedup = rows.empty() ? 1.0
+                               : rows.front().solve_seconds / row.solve_seconds;
+    std::printf("    k=%d  solve=%7.3fs  speedup=%5.2fx  WUN=%6.4f\n", row.k,
+                row.solve_seconds, row.speedup, row.wun_quality);
+    rows.push_back(row);
+  }
+
+  // Determinism: a sharded replay must not depend on the worker count.
+  bool identical = true;
+  {
+    std::vector<RoSummary> by_threads;
+    for (int threads : {1, 2, 8}) {
+      SimOptions sim_options;
+      sim_options.seed = 11;
+      sim_options.cluster.num_machines = quick ? 96 : 192;
+      sim_options.shard_count = 4;
+      sim_options.service_threads = threads;
+      Result<SimResult> result =
+          ServeWorkload((*env)->workload(), &(*env)->model(), sim_options,
+                        StageOptimizer::IpaRaaPathWithFallback());
+      FGRO_CHECK_OK(result.status());
+      by_threads.push_back(Summarize(result.value()));
+    }
+    for (size_t i = 1; i < by_threads.size(); ++i) {
+      identical = identical &&
+                  by_threads[i].coverage == by_threads[0].coverage &&
+                  by_threads[i].avg_latency == by_threads[0].avg_latency &&
+                  by_threads[i].avg_cost == by_threads[0].avg_cost &&
+                  by_threads[i].goodput == by_threads[0].goodput &&
+                  by_threads[i].fallback_histogram ==
+                      by_threads[0].fallback_histogram;
+    }
+    std::printf("  sharded replay, service_threads {1,2,8} byte-identical: "
+                "%s\n",
+                identical ? "yes" : "NO - DETERMINISM REGRESSION");
+  }
+
+  if (!json_out.empty()) {
+    std::string json = "{\"fleet\":" + std::to_string(fleet) +
+                       ",\"stages\":" + std::to_string(want_stages) +
+                       ",\"instances\":" + std::to_string(total_instances) +
+                       ",\"rows\":[";
+    for (size_t i = 0; i < rows.size(); ++i) {
+      char buf[160];
+      std::snprintf(buf, sizeof(buf),
+                    "%s{\"k\":%d,\"solve_seconds\":%.6f,\"speedup\":%.4f,"
+                    "\"wun_quality\":%.6f}",
+                    i > 0 ? "," : "", rows[i].k, rows[i].solve_seconds,
+                    rows[i].speedup, rows[i].wun_quality);
+      json += buf;
+    }
+    json += std::string("],\"threads_identical\":") +
+            (identical ? "true" : "false") + "}\n";
+    FGRO_CHECK_OK(obs::WriteJsonFile(json, json_out));
+    std::printf("  wrote %s\n", json_out.c_str());
+  }
+
+  // Acceptance gates. Timing: near-linear means each doubling of k keeps
+  // buying real solve time — the floor is a fraction of ideal k to absorb
+  // the constant embed + refinement terms. Quick mode keeps only a token
+  // timing gate (tiny fleets are noise-dominated on shared CI boxes).
+  const double speedup_floor_frac = quick ? 0.20 : 0.45;
+  const double quality_tolerance = quick ? 0.15 : 0.10;
+  bool ok = identical;
+  for (const SweepRow& row : rows) {
+    if (row.k == 1) continue;
+    const double floor = speedup_floor_frac * row.k;
+    if (row.speedup < floor) {
+      std::printf("  GATE FAIL: k=%d speedup %.2fx below floor %.2fx\n",
+                  row.k, row.speedup, floor);
+      ok = false;
+    }
+    if (row.wun_quality > 1.0 + quality_tolerance) {
+      std::printf("  GATE FAIL: k=%d WUN %.4f above tolerance %.2f\n", row.k,
+                  row.wun_quality, 1.0 + quality_tolerance);
+      ok = false;
+    }
+  }
+  std::printf("  %s\n", ok ? "PASS: near-linear scaling, bounded quality, "
+                             "thread-count independent"
+                           : "FAIL");
+  return ok ? 0 : 1;
+}

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/stopwatch.h"
+#include "optimizer/sharding.h"
 
 namespace fgro {
 
@@ -31,7 +32,7 @@ StageDecision FuxiSchedule(const SchedulingContext& context) {
   const Cluster& cluster = *context.cluster;
   const int m = stage.instance_count();
 
-  std::vector<int> candidates = cluster.AvailableMachines(context.theta0);
+  std::vector<int> candidates = CandidateMachines(context);
   if (candidates.empty()) return decision;
   const int alpha =
       ResolveAlpha(context.alpha, m, static_cast<int>(candidates.size()));

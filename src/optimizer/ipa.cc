@@ -8,6 +8,7 @@
 #include "common/logging.h"
 #include "common/stopwatch.h"
 #include "common/thread_pool.h"
+#include "optimizer/sharding.h"
 
 namespace fgro {
 
@@ -191,7 +192,7 @@ StageDecision IpaSchedule(const SchedulingContext& context) {
   FGRO_CHECK(context.model != nullptr) << "IPA requires the latency model";
   const int m = stage.instance_count();
 
-  std::vector<int> candidates = cluster.AvailableMachines(context.theta0);
+  std::vector<int> candidates = CandidateMachines(context);
   if (candidates.empty()) return decision;
   const int n = static_cast<int>(candidates.size());
   const int alpha = ResolveAlpha(context.alpha, m, n);

@@ -7,6 +7,7 @@
 #include "common/stopwatch.h"
 #include "optimizer/fuxi.h"  // InstanceCapacity / ResolveAlpha
 #include "optimizer/ipa.h"   // BuildBplMatrix
+#include "optimizer/sharding.h"  // CandidateMachines
 
 namespace fgro {
 
@@ -19,7 +20,7 @@ ClusteredIpaResult IpaClusteredSchedule(const SchedulingContext& context) {
   FGRO_CHECK(context.model != nullptr);
   const int m = stage.instance_count();
 
-  std::vector<int> candidates = cluster.AvailableMachines(context.theta0);
+  std::vector<int> candidates = CandidateMachines(context);
   if (candidates.empty()) return result;
   const int alpha =
       ResolveAlpha(context.alpha, m, static_cast<int>(candidates.size()));

@@ -16,6 +16,7 @@
 #include "hbo/hbo.h"
 #include "optimizer/fuxi.h"
 #include "optimizer/ipa_clustered.h"
+#include "optimizer/sharding.h"
 
 namespace fgro {
 
@@ -167,7 +168,7 @@ bool BuildProblem(const SchedulingContext& context, bool ipa_placement,
   problem->context = &context;
   problem->grid = Hbo::ResourcePlanCatalog();
 
-  std::vector<int> candidates = cluster.AvailableMachines(context.theta0);
+  std::vector<int> candidates = CandidateMachines(context);
   if (candidates.empty()) return false;
   const int alpha = ResolveAlpha(context.alpha, stage.instance_count(),
                                  static_cast<int>(candidates.size()));

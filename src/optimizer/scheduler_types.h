@@ -88,6 +88,31 @@ struct SchedulingContext {
   /// reduced stage view and returns a decision sized to the subset, row r
   /// deciding instance (*instance_subset)[r]. Null (default) = whole stage.
   const std::vector<int>* instance_subset = nullptr;
+  /// POP-style sharded solve (DESIGN.md §15): partition machines and
+  /// instances into this many subproblems via MixSeed(shard_seed, id),
+  /// solve each independently on the shard's machines only, and merge with
+  /// a deterministic shard-ordered reconciliation pass. 1 (default) runs
+  /// the exact legacy whole-fleet solve, which remains the quality oracle.
+  int shard_count = 1;
+  /// Seed of the MixSeed-derived shard assignment. Decisions are
+  /// reproducible for any fixed (shard_seed, shard_count) and byte-identical
+  /// across thread counts — the assignment is a pure function of the seed
+  /// and the (deterministic) entity descriptors at solve time, never of
+  /// thread count or iteration order.
+  uint64_t shard_seed = 0x706f70;  // "pop"
+  /// Base cap on instances RefineMergedDecision() may re-place against the
+  /// whole fleet after a sharded merge (stage latency is max over
+  /// instances, so a handful of critical instances recover most of the
+  /// partition's quality loss). The spent budget is
+  /// EffectiveRefineBudget(): max(this, m/16), growing with stage width.
+  /// 0 disables refinement, keeping every placement strictly in-shard.
+  /// Costs O(m + budget * n) extra predictions per decision.
+  int shard_refine_budget = 8;
+  /// Shard view restriction (set by the sharded orchestrator, or by tests):
+  /// machine ids (ascending, caller-owned) a solver may place onto. Null
+  /// (default) = the whole fleet. Every solver enumerates candidates
+  /// through CandidateMachines() in sharding.h, which honors this.
+  const std::vector<int>* machine_subset = nullptr;
 };
 
 /// How far down the degradation ladder a decision came from.

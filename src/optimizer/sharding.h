@@ -1,0 +1,141 @@
+#ifndef FGRO_OPTIMIZER_SHARDING_H_
+#define FGRO_OPTIMIZER_SHARDING_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "optimizer/scheduler_types.h"
+
+namespace fgro {
+
+/// POP-style problem sharding (Narayanan et al., "Solving Large-Scale
+/// Granular Resource Allocation Problems Efficiently with POP"): randomly
+/// partition the machines and the instances of one stage decision into k
+/// independent subproblems, solve each on its own machine slice, and merge.
+/// Granular allocation tolerates this split because any shard holds a
+/// statistically similar cross-section of the fleet — POP reports ~1%
+/// allocation-quality loss for ~100x speedups, and the k=1 path stays
+/// bit-identical to the legacy whole-fleet solve as the quality oracle.
+
+/// Minimum machines a shard must keep for the split to be worth taking;
+/// EffectiveShardCount() lowers k until this holds.
+inline constexpr int kMinMachinesPerShard = 2;
+
+/// One deterministic partition of a stage decision's machines + instances.
+struct ShardPlan {
+  int shard_count = 1;
+  /// Disjoint machine ids per shard, ascending within each shard; the union
+  /// over shards is exactly the machine universe handed to Plan().
+  std::vector<std::vector<int>> machines_of_shard;
+  /// Disjoint instance indices per shard, ascending; union = [0, m).
+  std::vector<std::vector<int>> instances_of_shard;
+};
+
+class ShardPlanner {
+ public:
+  /// Deterministic stratified, load-balanced deal. Machines: within each
+  /// stratum (same hardware class = interchangeable capacity), order by
+  /// descending load (ties by MixSeed(seed, id)) and snake-deal with a
+  /// seed-rotated offset, so every shard receives an equal (±1) slice of
+  /// every hardware class AND an even cross-section of the fleet's load
+  /// spectrum. A plain hash deal leaves some shards without the
+  /// lightly-loaded machines the k=1 oracle exploits — that skew, not
+  /// hardware mix, is where most of the POP quality loss comes from at
+  /// test scale. Instances: snake-deal in descending-size order so heavy
+  /// instances spread evenly and per-shard work balances. The mapping is a
+  /// pure function of (seed, k) and the entity descriptors passed in
+  /// (machine id + stratum + load, instance index + size) — never of
+  /// thread count or iteration order — which is the sharding leg of the
+  /// repo's MixSeed determinism convention. Loads evolve with the
+  /// simulated cluster, so replans adapt; at any single solve point the
+  /// state is itself deterministic, so plans stay byte-identical across
+  /// thread counts and repeated runs.
+  ///
+  /// `machine_ids` must be ascending (the whole fleet, or an enclosing
+  /// machine_subset). `machine_strata` and `machine_loads` are parallel to
+  /// `machine_ids` (empty = one stratum / uniform load); `instance_sizes`
+  /// is parallel to [0, num_instances) (empty = uniform).
+  static ShardPlan Plan(int shard_count, uint64_t seed,
+                        const std::vector<int>& machine_ids,
+                        const std::vector<int>& machine_strata,
+                        const std::vector<double>& machine_loads,
+                        int num_instances,
+                        const std::vector<double>& instance_sizes);
+
+  /// Unstratified convenience overload (uniform machines and instances).
+  static ShardPlan Plan(int shard_count, uint64_t seed,
+                        const std::vector<int>& machine_ids,
+                        int num_instances) {
+    return Plan(shard_count, seed, machine_ids, {}, {}, num_instances, {});
+  }
+};
+
+/// The exact plan the sharded orchestrator uses for `context`: k from
+/// EffectiveShardCount, machine universe = machine_subset or the whole
+/// fleet, strata = hardware type, load = current cpu+mem+io utilization,
+/// instance size = input_rows. Tests use this to predict which shard owns
+/// which machine/instance.
+ShardPlan PlanForContext(const SchedulingContext& context);
+
+/// How many shards this context can actually sustain: shard_count capped so
+/// every shard keeps >= kMinMachinesPerShard machines and the stage has at
+/// least one instance per shard on average. Returns 1 (= run the exact
+/// legacy path) for unsharded contexts or degenerate problems.
+int EffectiveShardCount(const SchedulingContext& context);
+
+/// The single candidate-enumeration helper every solver goes through:
+/// available machines (CanFit theta0) restricted to context.machine_subset
+/// when one is set. Routing ipa/ipa_clustered/fuxi/moo_baselines through
+/// this is what guarantees no solver silently escapes its shard.
+std::vector<int> CandidateMachines(const SchedulingContext& context);
+
+/// What the merge had to repair (surfaced as so.shard.* counters).
+struct ShardMergeStats {
+  int infeasible_shards = 0;
+  int rescued_instances = 0;
+};
+
+/// Moves RefineMergedDecision() may actually spend on `context`:
+/// max(shard_refine_budget, m/16) — wide stages have proportionally more
+/// instances near the latency max, and a sweep per move costs O(n), far
+/// below the O(m*n/k) solve it polishes. 0 when refinement is disabled
+/// (shard_refine_budget <= 0).
+int EffectiveRefineBudget(const SchedulingContext& context);
+
+/// Bounded whole-fleet polish of a merged sharded decision, targeting the
+/// one metric sharding inherently hurts: stage latency is max over
+/// instances, and a partition denies each instance (k-1)/k of the fleet —
+/// including, sometimes, the one machine the k=1 oracle would give the
+/// critical instance. Iteratively take the instance with the highest
+/// model-predicted latency under its current placement and re-place it
+/// against the full candidate view, stopping at EffectiveRefineBudget()
+/// moves or at the fixed point where the bottleneck instance cannot
+/// improve. With `tune_theta` (pass the placement's run_raa, primary-rung
+/// decisions only) the bottleneck's resource config is also re-searched on
+/// its final machine over RAA's own capacity-filtered exploration grid —
+/// per-shard RAA picks its WUN tradeoff from a shard-local frontier, and
+/// re-tuning the handful of critical instances recovers the theta quality
+/// a shard-local view gives up. Work is O(m + budget * (n + grid))
+/// predictions — small next to the m*n/k solve — and the pass is
+/// sequential and deterministic. Returns the number of refined instances.
+int RefineMergedDecision(const SchedulingContext& context,
+                         StageDecision* decision, bool tune_theta);
+
+/// Deterministic shard-ordered merge. Shards own disjoint machine sets, so
+/// concatenating feasible per-shard placements can never double-book a
+/// machine; instances of infeasible shards are reconciled in ascending
+/// instance order onto leftover theta0 capacity anywhere in the context's
+/// machine view (round-robin over ascending candidates, the Fuxi diversity
+/// discipline). Rescued instances run on theta0, so a rescue demotes the
+/// merged decision to at least FallbackLevel::kTheta0. solve_seconds is
+/// the sum over shards (total work); the orchestrator overwrites it with
+/// the fan's wall time. Infeasible only when even reconciliation cannot
+/// place every instance.
+StageDecision MergeShardDecisions(const SchedulingContext& context,
+                                  const ShardPlan& plan,
+                                  const std::vector<StageDecision>& per_shard,
+                                  ShardMergeStats* stats);
+
+}  // namespace fgro
+
+#endif  // FGRO_OPTIMIZER_SHARDING_H_

@@ -1,8 +1,11 @@
 #include "optimizer/stage_optimizer.h"
 
+#include "common/stopwatch.h"
+#include "common/thread_pool.h"
 #include "optimizer/fuxi.h"
 #include "optimizer/ipa.h"
 #include "optimizer/ipa_clustered.h"
+#include "optimizer/sharding.h"
 
 namespace fgro {
 
@@ -81,9 +84,9 @@ StageDecision StageOptimizer::Optimize(const SchedulingContext& context) const {
     partial.stage = &reduced;
     partial.instance_subset = nullptr;
     partial.memo = nullptr;
-    decision = OptimizeImpl(partial, decide_span.id());
+    decision = Dispatch(partial, decide_span.id());
   } else {
-    decision = OptimizeImpl(context, decide_span.id());
+    decision = Dispatch(context, decide_span.id());
   }
   decision.epoch = context.epoch;
   decision.model_epoch = context.model_epoch;
@@ -97,6 +100,102 @@ StageDecision StageOptimizer::Optimize(const SchedulingContext& context) const {
         ->Observe(decision.solve_seconds);
   }
   return decision;
+}
+
+StageDecision StageOptimizer::Dispatch(const SchedulingContext& context,
+                                       int trace_parent) const {
+  if (EffectiveShardCount(context) > 1) {
+    return OptimizeSharded(context, trace_parent);
+  }
+  return OptimizeImpl(context, trace_parent);
+}
+
+StageDecision StageOptimizer::OptimizeSharded(const SchedulingContext& context,
+                                              int trace_parent) const {
+  Stopwatch wall;
+  obs::ScopedSpan shard_span(context.obs.tracer, "so.sharded", trace_parent);
+  const Stage& stage = *context.stage;
+  const int m = stage.instance_count();
+  const int k = EffectiveShardCount(context);
+
+  ShardPlan plan = PlanForContext(context);
+
+  // Per-shard stage views are built up front (sequentially); the solves fan
+  // across the worker pool into per-shard slots and merge in shard order —
+  // the same slot discipline as RAA's group fan, so the decision is
+  // byte-identical at any thread count.
+  std::vector<Stage> shard_stages(static_cast<size_t>(k));
+  for (int s = 0; s < k; ++s) {
+    const std::vector<int>& insts =
+        plan.instances_of_shard[static_cast<size_t>(s)];
+    Stage& view = shard_stages[static_cast<size_t>(s)];
+    view = stage;
+    view.instances.clear();
+    view.instances.reserve(insts.size());
+    for (int idx : insts) {
+      view.instances.push_back(stage.instances[static_cast<size_t>(idx)]);
+    }
+  }
+  std::vector<StageDecision> slots(static_cast<size_t>(k));
+  ParallelFor(context.worker_pool, k, [&](int s) {
+    if (plan.instances_of_shard[static_cast<size_t>(s)].empty()) {
+      slots[static_cast<size_t>(s)].feasible = true;  // nothing to place
+      return;
+    }
+    SchedulingContext sub = context;
+    sub.stage = &shard_stages[static_cast<size_t>(s)];
+    sub.machine_subset = &plan.machines_of_shard[static_cast<size_t>(s)];
+    sub.shard_count = 1;        // shards run the exact solver, never recurse
+    sub.memo = nullptr;         // memo keys on instance index, which the
+                                // shard view renumbers
+    sub.worker_pool = nullptr;  // the shard fan IS the parallelism
+    slots[static_cast<size_t>(s)] = OptimizeImpl(sub, shard_span.id());
+  });
+
+  ShardMergeStats stats;
+  StageDecision merged = MergeShardDecisions(context, plan, slots, &stats);
+  // Critical-instance polish: give the few instances pinning the stage
+  // latency their pick of the whole fleet again (bounded by
+  // shard_refine_budget), recovering most of the partition's max-latency
+  // loss for O(m + budget * n) extra predictions. Theta re-tuning only
+  // makes sense on decisions that actually carry RAA-chosen plans — on the
+  // theta0/fuxi rungs every instance runs theta0 by contract, and the
+  // polish must not silently un-degrade them.
+  const bool tune_theta = config_.run_raa && context.raa_allowed &&
+                          merged.fallback == FallbackLevel::kPrimary;
+  const int refined = RefineMergedDecision(context, &merged, tune_theta);
+  // Wall time of the whole fan, not the per-shard sum: this is what the RO
+  // budget and the coverage cutoff are charged against.
+  merged.solve_seconds = wall.ElapsedSeconds();
+
+  if (!merged.feasible && config_.degrade_gracefully) {
+    // Bottom rung, whole-fleet: even reconciliation could not absorb the
+    // infeasible shards, so fall back exactly like the legacy ladder.
+    StageDecision fb = FuxiSchedule(context);
+    fb.solve_seconds += merged.solve_seconds;
+    fb.fallback = FallbackLevel::kFuxi;
+    merged = std::move(fb);
+  }
+
+  if (obs::MetricsRegistry* metrics = context.obs.metrics) {
+    metrics->GetCounter("so.shard.decisions")->Increment();
+    metrics->GetCounter("so.shard.solves")
+        ->Increment(static_cast<uint64_t>(k));
+    if (stats.infeasible_shards > 0) {
+      metrics->GetCounter("so.shard.infeasible_shards")
+          ->Increment(static_cast<uint64_t>(stats.infeasible_shards));
+    }
+    if (stats.rescued_instances > 0) {
+      metrics->GetCounter("so.shard.rescued_instances")
+          ->Increment(static_cast<uint64_t>(stats.rescued_instances));
+    }
+    if (refined > 0) {
+      metrics->GetCounter("so.shard.refined_moves")
+          ->Increment(static_cast<uint64_t>(refined));
+    }
+    metrics->GetGauge("so.shard.effective_k")->Set(k);
+  }
+  return merged;
 }
 
 StageDecision StageOptimizer::OptimizeImpl(const SchedulingContext& context,

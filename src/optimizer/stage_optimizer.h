@@ -59,8 +59,20 @@ class StageOptimizer {
   const Config& config() const { return config_; }
 
  private:
+  /// Sharded-or-legacy dispatch: POP-style fan when the context sustains
+  /// more than one shard (EffectiveShardCount), the exact legacy solve
+  /// otherwise.
+  StageDecision Dispatch(const SchedulingContext& context,
+                         int trace_parent) const;
   StageDecision OptimizeImpl(const SchedulingContext& context,
                              int trace_parent) const;
+  /// POP-style sharded solve (DESIGN.md §15): deterministic MixSeed
+  /// partition of machines + instances, per-shard OptimizeImpl fanned over
+  /// context.worker_pool into per-shard slots, shard-ordered merge with a
+  /// capacity-aware reconciliation pass. Byte-identical at any thread count
+  /// and reproducible for any fixed (shard_seed, shard_count).
+  StageDecision OptimizeSharded(const SchedulingContext& context,
+                                int trace_parent) const;
 
   Config config_;
 };

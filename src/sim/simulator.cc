@@ -258,6 +258,8 @@ Status ReplayJobInState(const Workload& workload, const LatencyModel* model,
       context.batched_inference = options.batched_inference;
       context.memo = options.memo;
       context.worker_pool = options.worker_pool;
+      context.shard_count = options.shard_count;
+      context.shard_seed = options.shard_seed;
 
       StageOutcome outcome;
       outcome.job_idx = job_idx;

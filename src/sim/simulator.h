@@ -88,6 +88,13 @@ struct SimOptions {
   /// frontiers, per-instance embedding; caller-owned). Null = serial.
   /// Deterministic merge keeps replays byte-identical across thread counts.
   ThreadPool* worker_pool = nullptr;
+  /// POP-style sharded solve (DESIGN.md §15), forwarded to every stage's
+  /// SchedulingContext — the reconfiguration engine's partial re-plans
+  /// inherit it through the context copy. 1 (default) = the exact legacy
+  /// whole-fleet solve; replays at any fixed (shard_seed, shard_count) are
+  /// byte-identical across service_threads and repeated runs.
+  int shard_count = 1;
+  uint64_t shard_seed = 0x706f70;  // "pop"
   uint64_t seed = 5;
 };
 

@@ -17,7 +17,8 @@ const char* WorkloadName(WorkloadId id) {
   return "?";
 }
 
-WorkloadProfile GetWorkloadProfile(WorkloadId id, double scale) {
+WorkloadProfile GetWorkloadProfile(WorkloadId id, double scale,
+                                   double width_scale) {
   WorkloadProfile p;
   p.id = id;
   p.name = WorkloadName(id);
@@ -79,6 +80,7 @@ WorkloadProfile GetWorkloadProfile(WorkloadId id, double scale) {
       break;
   }
   p.num_jobs = std::max(4, static_cast<int>(std::lround(p.num_jobs * scale)));
+  p.width_scale = width_scale;
   return p;
 }
 
@@ -103,7 +105,14 @@ WorkloadGenerator::WorkloadGenerator(WorkloadProfile profile)
 
 Status WorkloadGenerator::PartitionStage(Stage* stage, Rng* rng) const {
   HboRecommendation rec = hbo_.Recommend(*stage);
-  const int m = rec.partition_count;
+  int m = rec.partition_count;
+  if (profile_.width_scale != 1.0) {
+    // Paper-scale widening: inflate the HBO sizing, clamped exactly like
+    // HBO clamps its own recommendation.
+    m = static_cast<int>(std::min<long>(
+        profile_.hbo.max_instances,
+        std::max<long>(1, std::lround(m * profile_.width_scale))));
+  }
 
   // Skewed partition fractions (lognormal weights, normalized). This is the
   // source of the large per-instance latency variance of Fig. 2(c)/11.

@@ -40,14 +40,23 @@ struct WorkloadProfile {
   double partition_skew_sigma = 0.7;  // lognormal skew of partition sizes
   double hidden_skew_sigma = 0.08;    // straggler factor invisible to models
 
+  /// Stage-width multiplier toward paper scale: multiplies the HBO
+  /// partition count of every stage (clamped to [1, hbo.max_instances]).
+  /// 1.0 keeps Table 1's laptop-sized shape; 10-100 approaches the paper's
+  /// very wide production stages. Orthogonal to `scale`, which multiplies
+  /// the job count.
+  double width_scale = 1.0;
+
   PlanGenOptions plan;
   HboOptions hbo;
   GroundTruthOptions env;
 };
 
 /// Returns the calibrated profile of a workload; `scale` multiplies the job
-/// count (1.0 = the default laptop-sized trace).
-WorkloadProfile GetWorkloadProfile(WorkloadId id, double scale = 1.0);
+/// count and `width_scale` the per-stage instance count (1.0/1.0 = the
+/// default laptop-sized trace).
+WorkloadProfile GetWorkloadProfile(WorkloadId id, double scale = 1.0,
+                                   double width_scale = 1.0);
 
 /// A generated workload: jobs with full plans, statistics, partition counts
 /// and instance metadata, sorted by arrival time.

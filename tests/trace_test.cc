@@ -1,9 +1,13 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cmath>
 #include <set>
 
+#include "featurize/validate.h"
 #include "trace/data_split.h"
 #include "trace/trace_collector.h"
+#include "trace/trace_io.h"
 #include "trace/workload_gen.h"
 
 namespace fgro {
@@ -180,6 +184,130 @@ TEST_F(TraceFixture, TimeBucketsPartitionRecords) {
       double t = dataset_.records[static_cast<size_t>(idx)].submit_time;
       EXPECT_GE(t, static_cast<double>(b) * 6 * 3600.0 - 1e-6);
     }
+  }
+}
+
+// --- Scaled trace generation (DESIGN.md §15) ---------------------------
+// width_scale pushes stage widths 10-100x toward the paper's production
+// clusters; at that scale the generator must still emit metas the
+// featurizer boundary accepts, stay seed-deterministic, and round-trip
+// through the CSV exporter. These guard the sharding bench's input.
+
+uint64_t Fnv1aMix(uint64_t h, uint64_t v) {
+  for (int b = 0; b < 8; ++b) {
+    h ^= (v >> (8 * b)) & 0xffULL;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+/// Order-sensitive FNV-1a over the structural skeleton of a workload
+/// (arrivals, templates, widths, per-instance rows). Quantized so the
+/// checksum captures generator drift, not libm rounding.
+uint64_t WorkloadChecksum(const Workload& w) {
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (const Job& job : w.jobs) {
+    h = Fnv1aMix(h,
+                 static_cast<uint64_t>(std::llround(job.arrival_time * 1e3)));
+    for (const Stage& stage : job.stages) {
+      h = Fnv1aMix(h, static_cast<uint64_t>(stage.template_id));
+      h = Fnv1aMix(h, static_cast<uint64_t>(stage.instance_count()));
+      for (const InstanceMeta& meta : stage.instances) {
+        h = Fnv1aMix(h, static_cast<uint64_t>(std::llround(meta.input_rows)));
+      }
+    }
+  }
+  return h;
+}
+
+class ScaledWorkloadTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(ScaledWorkloadTest, WidthScaledInstancesAllValidate) {
+  const double width = GetParam();
+  WorkloadProfile profile = GetWorkloadProfile(WorkloadId::kC, 0.02, width);
+  Result<Workload> scaled = WorkloadGenerator(profile).Generate();
+  ASSERT_TRUE(scaled.ok()) << scaled.status().ToString();
+  int widest = 0;
+  for (const Job& job : scaled->jobs) {
+    ASSERT_TRUE(job.Validate().ok());
+    for (const Stage& stage : job.stages) {
+      widest = std::max(widest, stage.instance_count());
+      EXPECT_LE(stage.instance_count(), profile.hbo.max_instances);
+      double total = 0.0;
+      for (int i = 0; i < stage.instance_count(); ++i) {
+        ASSERT_TRUE(ValidateInstanceMeta(stage, i).ok())
+            << "instance " << i << " of a width x" << width
+            << " stage fails the featurizer boundary";
+        total += stage.instances[static_cast<size_t>(i)].input_fraction;
+      }
+      // Skewed partition fractions must renormalize at any width.
+      EXPECT_NEAR(total, 1.0, 1e-6);
+    }
+  }
+  // Scaling is real, not a no-op: stages widen ~width x until the HBO
+  // instance cap binds (it does at 100x).
+  Result<Workload> base =
+      WorkloadGenerator(GetWorkloadProfile(WorkloadId::kC, 0.02)).Generate();
+  ASSERT_TRUE(base.ok());
+  int base_widest = 0;
+  for (const Job& job : base->jobs) {
+    for (const Stage& stage : job.stages) {
+      base_widest = std::max(base_widest, stage.instance_count());
+    }
+  }
+  const int expect_widest = std::min(
+      profile.hbo.max_instances,
+      static_cast<int>(static_cast<double>(base_widest) * width / 2.0));
+  EXPECT_GE(widest, expect_widest);
+}
+
+TEST_P(ScaledWorkloadTest, SeededChecksumStableAndSeedSensitive) {
+  const double width = GetParam();
+  WorkloadProfile profile = GetWorkloadProfile(WorkloadId::kA, 0.03, width);
+  Result<Workload> a = WorkloadGenerator(profile).Generate();
+  Result<Workload> b = WorkloadGenerator(profile).Generate();
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(WorkloadChecksum(*a), WorkloadChecksum(*b))
+      << "same profile, different trace: generator lost determinism at "
+         "width x" << width;
+  WorkloadProfile reseeded = profile;
+  reseeded.seed += 1;
+  Result<Workload> c = WorkloadGenerator(reseeded).Generate();
+  ASSERT_TRUE(c.ok());
+  EXPECT_NE(WorkloadChecksum(*a), WorkloadChecksum(*c))
+      << "seed does not reach the scaled generation path";
+}
+
+INSTANTIATE_TEST_SUITE_P(WidthScales, ScaledWorkloadTest,
+                         ::testing::Values(10.0, 100.0),
+                         [](const auto& info) {
+                           return info.param == 10.0 ? std::string("x10")
+                                                     : std::string("x100");
+                         });
+
+TEST(ScaledTraceIoTest, CollectedTraceRoundTripsAt10xWidth) {
+  WorkloadProfile profile = GetWorkloadProfile(WorkloadId::kA, 0.02, 10.0);
+  Result<Workload> w = WorkloadGenerator(profile).Generate();
+  ASSERT_TRUE(w.ok());
+  TraceCollector collector(ClusterOptions{.num_machines = 64, .seed = 9},
+                           /*seed=*/31);
+  Result<TraceDataset> dataset = collector.Collect(*w);
+  ASSERT_TRUE(dataset.ok()) << dataset.status().ToString();
+  EXPECT_EQ(static_cast<int>(dataset->records.size()), w->TotalInstances());
+
+  const std::string path = ::testing::TempDir() + "/fgro_trace_x10.csv";
+  ASSERT_TRUE(ExportTraceCsv(*dataset, path).ok());
+  Result<std::vector<InstanceRecord>> records = ImportTraceCsv(path);
+  ASSERT_TRUE(records.ok()) << records.status().ToString();
+  ASSERT_EQ(records->size(), dataset->records.size());
+  for (size_t i = 0; i < records->size(); i += 101) {
+    const InstanceRecord& a = dataset->records[i];
+    const InstanceRecord& b = (*records)[i];
+    EXPECT_EQ(a.job_idx, b.job_idx);
+    EXPECT_EQ(a.stage_idx, b.stage_idx);
+    EXPECT_EQ(a.instance_idx, b.instance_idx);
+    EXPECT_NEAR(a.actual_latency, b.actual_latency, 1e-5);
+    EXPECT_NEAR(a.theta.cores, b.theta.cores, 1e-9);
   }
 }
 
