@@ -34,19 +34,28 @@ PredictionMemo::PredictionMemo(size_t capacity)
 
 bool PredictionMemo::Lookup(const PredictionKey& key, double* value) {
   Shard& shard = shards_[key.Hash() % kShards];
+  bool hit = false;
   {
     std::lock_guard<std::mutex> lock(shard.mutex);
     auto it = shard.map.find(key);
     if (it != shard.map.end()) {
       *value = it->second;
-      hits_.fetch_add(1, std::memory_order_relaxed);
-      if (obs_hits_ != nullptr) obs_hits_->Increment();
-      return true;
+      hit = true;
     }
   }
-  misses_.fetch_add(1, std::memory_order_relaxed);
-  if (obs_misses_ != nullptr) obs_misses_->Increment();
-  return false;
+  if (hit) {
+    hits_.fetch_add(1, std::memory_order_relaxed);
+    if (obs_hits_ != nullptr) obs_hits_->Increment();
+  } else {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    if (obs_misses_ != nullptr) obs_misses_->Increment();
+  }
+  if (obs_hit_ratio_ != nullptr) {
+    const double h = static_cast<double>(hits());
+    const double total = h + static_cast<double>(misses());
+    obs_hit_ratio_->Set(total > 0.0 ? h / total : 0.0);
+  }
+  return hit;
 }
 
 void PredictionMemo::Insert(const PredictionKey& key, double value) {
@@ -83,10 +92,12 @@ void PredictionMemo::set_obs(const obs::Obs& obs) {
   if (obs.metrics == nullptr) {
     obs_hits_ = nullptr;
     obs_misses_ = nullptr;
+    obs_hit_ratio_ = nullptr;
     return;
   }
-  obs_hits_ = obs.metrics->GetCounter("model.memo_hits");
-  obs_misses_ = obs.metrics->GetCounter("model.memo_misses");
+  obs_hits_ = obs.metrics->GetCounter("model.memo.hits");
+  obs_misses_ = obs.metrics->GetCounter("model.memo.misses");
+  obs_hit_ratio_ = obs.metrics->GetGauge("model.memo.hit_ratio");
 }
 
 }  // namespace fgro

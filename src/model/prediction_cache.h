@@ -90,8 +90,10 @@ class PredictionMemo {
   size_t capacity() const { return capacity_; }
 
   /// Wires (or with a default Obs, unwires) the hit/miss counters
-  /// ("model.memo_hits"/"model.memo_misses"). Resolve-once like
-  /// LatencyModel::set_obs; not thread-safe against concurrent Lookup.
+  /// ("model.memo.hits"/"model.memo.misses") and the running hit-ratio
+  /// gauge ("model.memo.hit_ratio", hits/(hits+misses), refreshed on every
+  /// Lookup). Resolve-once like LatencyModel::set_obs; not thread-safe
+  /// against concurrent Lookup.
   void set_obs(const obs::Obs& obs);
 
  private:
@@ -108,6 +110,7 @@ class PredictionMemo {
   std::atomic<uint64_t> misses_{0};
   obs::Counter* obs_hits_ = nullptr;
   obs::Counter* obs_misses_ = nullptr;
+  obs::Gauge* obs_hit_ratio_ = nullptr;
 };
 
 }  // namespace fgro

@@ -122,6 +122,8 @@ ClusteredIpaResult IpaClusteredSchedule(const SchedulingContext& context) {
     FGRO_CHECK(delta > 0);
 
     FastMciGroup group;
+    group.instance_cluster = i_t;
+    group.canonical_representative = ic.representative;
     group.instances.reserve(static_cast<size_t>(delta));
     for (long k = 0; k < delta; ++k) {
       int inst = ic.instance_ids[taken[static_cast<size_t>(i_t)]++];

@@ -17,6 +17,16 @@ struct FastMciGroup {
   std::vector<int> instances;
   int representative = -1;
   int representative_machine = -1;
+  /// Index of the KDE instance cluster this group came from (-1 when the
+  /// group was not derived from the KDE clustering, e.g. RAA(W/O_C)).
+  int instance_cluster = -1;
+  /// The *whole* instance cluster's representative (its largest-rows
+  /// instance), which may live in a different group when clustered IPA
+  /// split the cluster across dispatch steps. Frontier compression
+  /// (DESIGN.md §16) builds one template per (instance cluster, machine
+  /// bucket) from this canonical instance, so every split-off group of the
+  /// same cluster shares it; -1 means "same as representative".
+  int canonical_representative = -1;
 };
 
 struct ClusteredIpaResult {

@@ -13,6 +13,7 @@
 namespace fgro {
 
 class ThreadPool;
+class FrontierCache;
 
 /// Everything a scheduler needs to decide one stage: the stage itself, the
 /// current cluster view, the fine-grained model (null for the model-free
@@ -68,6 +69,21 @@ struct SchedulingContext {
   /// memoization. Hits return exactly the value the model would compute,
   /// so replays stay byte-identical whatever the hit pattern.
   PredictionMemo* memo = nullptr;
+  /// Frontier compression (DESIGN.md §16): RAA builds one Pareto-frontier
+  /// template per (instance cluster, machine bucket) from the cluster's
+  /// canonical representative and instantiates each group's decision from
+  /// it with a bounded correction pass (RaaOptions::correction_top_k). On
+  /// by default; off runs the uncompressed per-group solve, which is
+  /// bit-identical to the legacy path and remains the quality oracle.
+  bool frontier_compression = true;
+  /// Optional frontier-template cache shared across stages and epochs
+  /// (caller-owned, thread-safe). Keys are content-based — cluster
+  /// signature, DiscretizeState bits, theta-grid hash, params_tag — so the
+  /// cache survives shard/reconfig views that renumber instance indices,
+  /// and a model hot-swap can never serve a stale template. Null with
+  /// compression on = a solve-local cache (templates still shared within
+  /// the solve, no cross-stage reuse).
+  FrontierCache* frontier_cache = nullptr;
   /// Optional worker pool for RAA's per-group frontier fan-out
   /// (caller-owned). Null = serial. Per-group results land in per-group
   /// slots and merge in group order, so the outcome is byte-identical

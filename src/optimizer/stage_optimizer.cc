@@ -73,7 +73,11 @@ StageDecision StageOptimizer::Optimize(const SchedulingContext& context) const {
     // the requested instances. Row r of the decision maps to instance
     // (*subset)[r] of the original stage — the caller owns that mapping.
     // The prediction memo keys on instance index within the stage, which a
-    // reduced view renumbers, so it must not see these queries.
+    // reduced view renumbers, so it must not see these queries. The frontier
+    // cache stays (inherited through the copy): its keys are content-based
+    // (cluster signature + instance_count), so a reduced view can only ever
+    // hit templates that are exact for it — reconfig partial re-plans hit
+    // warm frontiers when the subset preserves the full stage's width.
     Stage reduced = *context.stage;
     reduced.instances.clear();
     reduced.instances.reserve(subset->size());
@@ -149,6 +153,11 @@ StageDecision StageOptimizer::OptimizeSharded(const SchedulingContext& context,
     sub.memo = nullptr;         // memo keys on instance index, which the
                                 // shard view renumbers
     sub.worker_pool = nullptr;  // the shard fan IS the parallelism
+    // sub.frontier_cache is inherited through the copy on purpose: frontier
+    // keys are content-based (and include instance_count, which the shard
+    // view changes), so shards share the cache read-side safely — every hit
+    // is exact for the shard's own view, and concurrent shard inserts are
+    // idempotent.
     slots[static_cast<size_t>(s)] = OptimizeImpl(sub, shard_span.id());
   });
 

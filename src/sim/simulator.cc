@@ -257,6 +257,8 @@ Status ReplayJobInState(const Workload& workload, const LatencyModel* model,
       context.trace_parent = stage_span.id();
       context.batched_inference = options.batched_inference;
       context.memo = options.memo;
+      context.frontier_compression = options.frontier_compression;
+      context.frontier_cache = options.frontier_cache;
       context.worker_pool = options.worker_pool;
       context.shard_count = options.shard_count;
       context.shard_seed = options.shard_seed;
@@ -741,6 +743,10 @@ Status ReplayJobInState(const Workload& workload, const LatencyModel* model,
               (!(watchdog.enabled() && watchdog.alarmed()) ||
                engine->ModelTrusted());
           sub.memo = nullptr;
+          // sub.frontier_cache is inherited through the copy on purpose:
+          // its content-based keys (params_tag included) stay exact under
+          // the swapped model and the reduced stage view, so partial
+          // re-plans hit warm frontier templates.
           sub.instance_subset = &remaining;
           sub.epoch = engine->current_epoch();
           if (lifecycle != nullptr) {

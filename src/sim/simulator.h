@@ -84,6 +84,19 @@ struct SimOptions {
   /// Optional prediction memo shared across stages (caller-owned; clear it
   /// whenever the model is retrained). Null = no memoization.
   PredictionMemo* memo = nullptr;
+  /// Frontier compression (DESIGN.md §16), forwarded to every stage's
+  /// SchedulingContext. On by default; replays are byte-identical across
+  /// thread counts and cache warmth either way (every cached template is a
+  /// pure function of its key), and `frontier_compression = false` restores
+  /// the uncompressed legacy solve bit-for-bit.
+  bool frontier_compression = true;
+  /// Optional frontier-template cache shared across stages, epochs and
+  /// (in service mode) jobs (caller-owned, thread-safe). Content-based keys
+  /// make it safe under reconfig partial re-plans and sharded sub-solves;
+  /// model hot-swaps invalidate wholesale via params_tag. Null = each RAA
+  /// solve uses a solve-local cache (compression still on, no cross-stage
+  /// reuse).
+  FrontierCache* frontier_cache = nullptr;
   /// Optional worker pool for the optimizer's parallel fan-outs (RAA group
   /// frontiers, per-instance embedding; caller-owned). Null = serial.
   /// Deterministic merge keeps replays byte-identical across thread counts.
